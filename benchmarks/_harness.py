@@ -1,0 +1,156 @@
+"""Shared harness for the reproduction benchmarks.
+
+Every benchmark regenerates one table or figure from the paper and
+prints a paper-vs-measured comparison.  The simulations run at reduced
+scale (pure-Python simulator vs the authors' native one); the scale is
+controlled here and recorded in EXPERIMENTS.md.
+
+Output is written through :func:`emit` (bypassing pytest's capture) so
+``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` records
+the series.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Iterable, Optional, Sequence
+
+from repro import (
+    CongestionConfig,
+    FlowWorkload,
+    FluidNetwork,
+    SiriusNetwork,
+    SlotTiming,
+    WorkloadConfig,
+    pod_map_for,
+)
+from repro.units import KILOBYTE, MEGABYTE, NANOSECOND
+
+# --- simulation scale ------------------------------------------------------
+#: Racks in the simulated datacenter (paper: 128; reduced for pure Python).
+N_NODES = int(os.environ.get("REPRO_BENCH_NODES", "32"))
+#: AWGR ports; the epoch is this many slots (paper: 16).
+GRATING_PORTS = int(os.environ.get("REPRO_BENCH_GRATING", "8"))
+#: Flows per simulation run (paper: ~200,000).
+N_FLOWS = int(os.environ.get("REPRO_BENCH_FLOWS", "1500"))
+#: Mean flow size — the paper's 100 KB.
+MEAN_FLOW_BITS = 100 * KILOBYTE
+#: Pareto tail cap keeping single runs bounded (the mean is recalibrated).
+TRUNCATION_BITS = 2 * MEGABYTE
+#: Pod size for the ESN-OSUB baseline (aggregation subtree).
+POD_SIZE = max(2, N_NODES // 4)
+
+_REFERENCE = SiriusNetwork(
+    N_NODES, GRATING_PORTS, uplink_multiplier=1.0
+).reference_node_bandwidth_bps
+
+
+def reference_bandwidth() -> float:
+    """ESN-equivalent per-node bandwidth used for load and goodput."""
+    return _REFERENCE
+
+
+def make_workload(load: float, *, seed: int = 2,
+                  mean_flow_bits: float = MEAN_FLOW_BITS,
+                  n_nodes: int = N_NODES):
+    """The paper's §7 workload at the requested load."""
+    truncation = max(TRUNCATION_BITS, 4 * mean_flow_bits)
+    return FlowWorkload(WorkloadConfig(
+        n_nodes=n_nodes,
+        load=load,
+        node_bandwidth_bps=_REFERENCE,
+        mean_flow_bits=mean_flow_bits,
+        truncation_bits=truncation,
+        seed=seed,
+    ))
+
+
+def run_sirius(load: float, *, multiplier: float = 1.5, q: int = 4,
+               ideal: bool = False, guardband_ns: float = 10.0,
+               header_bytes: int = 18,
+               track_reorder: bool = False, seed: int = 1,
+               mean_flow_bits: float = MEAN_FLOW_BITS,
+               n_flows: int = None):
+    """One Sirius simulation at the standard benchmark scale.
+
+    ``header_bytes=0`` reproduces the paper's simulator, which treats
+    the whole cell as payload; the default keeps a small realistic
+    framing header.
+    """
+    timing = SlotTiming(guardband_s=guardband_ns * NANOSECOND,
+                        header_bytes=header_bytes)
+    net = SiriusNetwork(
+        N_NODES, GRATING_PORTS,
+        uplink_multiplier=multiplier,
+        timing=timing,
+        config=CongestionConfig(queue_threshold=q, ideal=ideal),
+        track_reorder=track_reorder,
+        seed=seed,
+    )
+    workload = make_workload(load, mean_flow_bits=mean_flow_bits)
+    return net.run(workload.generate(n_flows or N_FLOWS))
+
+
+def run_esn(load: float, *, oversubscription: Optional[float] = None,
+            mean_flow_bits: float = MEAN_FLOW_BITS,
+            n_flows: int = None):
+    """One ESN (Ideal) / ESN-OSUB (Ideal) fluid simulation."""
+    if oversubscription is None:
+        net = FluidNetwork(N_NODES, _REFERENCE)
+    else:
+        net = FluidNetwork(
+            N_NODES, _REFERENCE,
+            pod_map=pod_map_for(N_NODES, POD_SIZE),
+            pod_bandwidth_bps=POD_SIZE * _REFERENCE / oversubscription,
+        )
+    workload = make_workload(load, mean_flow_bits=mean_flow_bits)
+    return net.run(workload.generate(n_flows or N_FLOWS))
+
+
+# --- reporting ------------------------------------------------------------
+#: Set per-test by benchmarks/conftest.py.
+CAPTURE_MANAGER = None
+
+
+def emit(line: str = "") -> None:
+    """Print past pytest's capture so ``tee`` records the tables."""
+    manager = CAPTURE_MANAGER
+    if manager is not None:
+        manager.suspend_global_capture(in_=False)
+    try:
+        print(line)
+        sys.stdout.flush()
+    finally:
+        if manager is not None:
+            manager.resume_global_capture()
+
+
+def emit_table(title: str, headers: Sequence[str],
+               rows: Iterable[Sequence[object]]) -> None:
+    """Render an aligned text table to the benchmark log."""
+    rows = [[_format(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    emit()
+    emit(f"== {title} ==")
+    emit("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        emit("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+
+
+def _format(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def us(seconds: Optional[float]) -> float:
+    """Seconds → microseconds (None-safe for empty FCT populations)."""
+    return 0.0 if seconds is None else seconds / 1e-6

@@ -1,0 +1,19 @@
+"""Benchmark-suite plumbing.
+
+Exposes pytest's capture manager to the harness so result tables can be
+written through to the real stdout (and any ``tee``) instead of being
+swallowed by per-test capture.
+"""
+
+import pytest
+
+import _harness
+
+
+@pytest.fixture(autouse=True)
+def _expose_capture_manager(request):
+    _harness.CAPTURE_MANAGER = request.config.pluginmanager.getplugin(
+        "capturemanager"
+    )
+    yield
+    _harness.CAPTURE_MANAGER = None

@@ -1,0 +1,81 @@
+"""Ablation — the three disaggregated laser designs (§3.3, §4.5).
+
+Compares power, worst-case tuning and combiner loss of the fixed bank,
+the pipelined tunable bank and the comb source; checks the §4.5 claim
+that two tunable lasers (plus a spare) suffice when the worst-case tune
+fits in a slot, and the laser-sharing arithmetic.
+"""
+
+from _harness import emit_table
+
+from repro import TunableLaserBank
+from repro.optics.disaggregated import compare_designs
+from repro.optics.link_budget import LinkBudget, lasers_per_node
+from repro.units import NANOSECOND
+
+
+def test_design_comparison(benchmark):
+    rows = benchmark.pedantic(
+        lambda: compare_designs(19, slot_duration_s=100 * NANOSECOND),
+        rounds=1, iterations=1,
+    )
+    emit_table(
+        "§3.3 — disaggregated laser design space (19 channels)",
+        ["design", "power (W)", "worst tuning (ps)", "combiner loss (dB)"],
+        [
+            (r["design"], r["power_w"], r["worst_tuning_s"] / 1e-12,
+             r["combiner_loss_db"])
+            for r in rows
+        ],
+    )
+    by_name = {r["design"]: r for r in rows}
+    assert by_name["TunableLaserBank"]["power_w"] < (
+        by_name["FixedLaserBank"]["power_w"]
+    )
+    for r in rows:
+        assert r["worst_tuning_s"] < 1e-9
+
+
+def test_pipelined_bank_sizing(benchmark):
+    def check():
+        two = TunableLaserBank(112, n_lasers=2)
+        three = TunableLaserBank(112, n_lasers=3)
+        return {
+            "two_ok_100ns": two.pipeline_feasible(100 * NANOSECOND),
+            "two_ok_10ns": two.pipeline_feasible(10 * NANOSECOND),
+            "three_survives_failure": True,
+        }
+
+    results = benchmark.pedantic(check, rounds=1, iterations=1)
+    three = TunableLaserBank(112, n_lasers=3)
+    three.fail_laser(0)
+    emit_table(
+        "§4.5 — tunable-laser-bank sizing",
+        ["configuration", "measured", "paper"],
+        [
+            ("2 lasers hide <100 ns tuning in 100 ns slots",
+             results["two_ok_100ns"], True),
+            ("2 lasers insufficient for 10 ns slots",
+             not results["two_ok_10ns"], True),
+            ("3rd (spare) laser keeps the bank alive",
+             three.healthy_lasers == 2, True),
+        ],
+    )
+    assert results["two_ok_100ns"]
+    assert not results["two_ok_10ns"]
+
+
+def test_laser_sharing(benchmark):
+    budget = LinkBudget()
+    degree = benchmark(budget.max_sharing_degree)
+    emit_table(
+        "§4.5 — link budget and laser sharing",
+        ["quantity", "measured", "paper"],
+        [
+            ("required launch power (dBm)", budget.required_launch_dbm, 7),
+            ("sharing degree (16 dBm laser)", degree, 8),
+            ("laser chips for 256 uplinks", lasers_per_node(256), 32),
+        ],
+    )
+    assert degree == 8
+    assert lasers_per_node(256) == 32

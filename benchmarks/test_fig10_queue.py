@@ -1,0 +1,77 @@
+"""E14 — Fig 10: effect of the queue threshold Q.
+
+Paper: Q=2 loses goodput under bursts; larger Q raises FCT, queue
+occupancy and reordering.  Q=4 is the sweet spot; worst-case aggregate
+queue occupancy at a ToR stays tens of KB (78.2 KB at their scale) and
+the per-flow reorder buffer peaks at 163 KB.
+"""
+
+from _harness import emit_table, run_sirius, us
+
+QS = (2, 4, 8, 16)
+LOADS = (0.10, 0.50, 1.00)
+
+
+def _sweep():
+    rows = []
+    for q in QS:
+        for load in LOADS:
+            result = run_sirius(load, multiplier=1.5, q=q,
+                                track_reorder=True)
+            rows.append({"q": q, "load": load, "result": result})
+    return rows
+
+
+def test_fig10_queue_threshold(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    emit_table(
+        "Fig 10a — 99th-percentile short-flow FCT (us)",
+        ["load"] + [f"Q={q}" for q in QS],
+        [
+            [load] + [us(r["result"].fct_percentile(99))
+                      for r in rows if r["load"] == load]
+            for load in LOADS
+        ],
+    )
+    emit_table(
+        "Fig 10b — normalized goodput",
+        ["load"] + [f"Q={q}" for q in QS],
+        [
+            [load] + [r["result"].normalized_goodput
+                      for r in rows if r["load"] == load]
+            for load in LOADS
+        ],
+    )
+    emit_table(
+        "Fig 10c — peak aggregate forward-queue occupancy (KB)",
+        ["load"] + [f"Q={q}" for q in QS],
+        [
+            [load] + [r["result"].peak_fwd_bytes / 1000
+                      for r in rows if r["load"] == load]
+            for load in LOADS
+        ],
+    )
+    emit_table(
+        "Fig 10d — peak per-flow reorder buffer (KB)",
+        ["load"] + [f"Q={q}" for q in QS],
+        [
+            [load] + [r["result"].peak_reorder_bytes / 1000
+                      for r in rows if r["load"] == load]
+            for load in LOADS
+        ],
+    )
+
+    at_full = {r["q"]: r["result"] for r in rows if r["load"] == 1.0}
+    # Larger Q admits (weakly) more queuing.
+    assert (at_full[16].peak_fwd_cells >= at_full[2].peak_fwd_cells)
+    # The Q bound holds: per-destination queues never exceed Q, so the
+    # aggregate is bounded by Q x destinations.
+    for q, result in at_full.items():
+        n = result.n_nodes
+        assert result.peak_fwd_cells <= q * n
+    # Q=2 underperforms Q=4 on goodput under bursty traffic (paper's
+    # reason for picking 4); allow equality at this reduced scale.
+    assert (at_full[4].normalized_goodput
+            >= at_full[2].normalized_goodput - 0.01)
+    # Queue occupancy stays tens-of-KB scale, as in the paper.
+    assert at_full[4].peak_fwd_bytes < 150_000

@@ -1,0 +1,55 @@
+"""E15 — Fig 11: 99th-percentile FCT vs guardband at full load.
+
+Paper: the guardband is swept from 1 ns to 40 ns while kept at 10 % of
+the slot; FCT worsens as the guardband (and hence slot and epoch)
+grows — the case for sub-10 ns reconfiguration.  The protocol/ideal gap
+also widens with the guardband.
+"""
+
+from _harness import emit_table, run_sirius, us
+
+GUARDBANDS_NS = (1, 5, 10, 20, 40)
+
+
+def _sweep():
+    # header_bytes=0: the paper's simulator treats the cell as pure
+    # payload, which matters for the 1 ns point where the slot (and
+    # cell) shrink to 10 ns / ~60 B.
+    rows = []
+    for guard in GUARDBANDS_NS:
+        sirius = run_sirius(1.0, multiplier=1.5, guardband_ns=guard,
+                            header_bytes=0)
+        ideal = run_sirius(1.0, multiplier=1.5, guardband_ns=guard,
+                           header_bytes=0, ideal=True)
+        rows.append({"guard": guard, "sirius": sirius, "ideal": ideal})
+    return rows
+
+
+def test_fig11_guardband_sweep(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    emit_table(
+        "Fig 11 — 99th-percentile short-flow FCT at L=100% (us)",
+        ["guardband (ns)", "slot (ns)", "Sirius", "Sirius (Ideal)"],
+        [
+            (r["guard"], r["guard"] * 10,
+             us(r["sirius"].fct_percentile(99)),
+             us(r["ideal"].fct_percentile(99)))
+            for r in rows
+        ],
+    )
+    fcts = [r["sirius"].fct_percentile(99) for r in rows]
+    # FCT grows with the guardband (epoch duration grows with the
+    # slot); the magnitude of the growth is scale-dependent — at this
+    # reduced scale the injection-bound component of the overloaded
+    # FCT is epoch-count-invariant, so the rise is gentler than the
+    # paper's (see EXPERIMENTS.md).
+    assert fcts[-1] > fcts[2] >= fcts[0] * 0.95
+    assert fcts[-1] > fcts[0]
+    # The protocol pays a positive premium over SIRIUS (IDEAL) at every
+    # guardband.  (The paper additionally reports the absolute gap
+    # *widening* with G; at this reduced scale the overloaded FCT is
+    # injection-bound and epoch-count-invariant, so the widening does
+    # not reproduce — recorded in EXPERIMENTS.md.)
+    for r in rows:
+        assert (r["sirius"].fct_percentile(99)
+                > r["ideal"].fct_percentile(99))

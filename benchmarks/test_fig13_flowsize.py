@@ -1,0 +1,67 @@
+"""E17 — Fig 13: sensitivity to the average flow size.
+
+Paper: with 512 B mean flows (median 46 B!) the fixed 562 B cell is
+oversized — 2.3× worse FCT and 1.7× lower goodput than ESN (Ideal).
+The gap shrinks as flows grow: at 16 KiB mean it is 1.2× (FCT) and
+1.05× (goodput), and at 100 KB Sirius matches ESN.
+"""
+
+from _harness import emit_table, run_esn, run_sirius, us
+
+from repro.units import BYTE, KIB, KILOBYTE
+
+FLOW_SIZES = (
+    ("512B", 512 * BYTE),
+    ("1KiB", 1 * KIB),
+    ("4KiB", 4 * KIB),
+    ("16KiB", 16 * KIB),
+    ("64KiB", 64 * KIB),
+    ("100KB", 100 * KILOBYTE),
+)
+LOAD = 0.5
+
+
+def _sweep():
+    rows = []
+    for label, mean in FLOW_SIZES:
+        sirius = run_sirius(LOAD, multiplier=1.5, mean_flow_bits=mean)
+        esn = run_esn(LOAD, mean_flow_bits=mean)
+        rows.append({"label": label, "mean": mean, "sirius": sirius,
+                     "esn": esn})
+    return rows
+
+
+def test_fig13_flow_size_sweep(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    emit_table(
+        "Fig 13 — FCT (99p short, us) and goodput vs mean flow size",
+        ["mean flow size", "ESN p99", "Sirius p99", "FCT ratio",
+         "ESN goodput", "Sirius goodput", "goodput ratio"],
+        [
+            (r["label"],
+             us(r["esn"].fct_percentile(99)),
+             us(r["sirius"].fct_percentile(99)),
+             (r["sirius"].fct_percentile(99)
+              / max(r["esn"].fct_percentile(99), 1e-12)),
+             r["esn"].normalized_goodput,
+             r["sirius"].normalized_goodput,
+             r["sirius"].normalized_goodput
+             / max(r["esn"].normalized_goodput, 1e-12))
+            for r in rows
+        ],
+    )
+    ratios = {
+        r["label"]: r["sirius"].normalized_goodput
+        / max(r["esn"].normalized_goodput, 1e-12)
+        for r in rows
+    }
+    # Tiny flows suffer from cell padding: goodput ratio is the worst
+    # at 512 B and improves monotonically toward the big-flow regime.
+    assert ratios["512B"] < ratios["16KiB"] <= ratios["100KB"] * 1.05
+    # At 100 KB Sirius approximately matches ESN goodput.
+    assert ratios["100KB"] > 0.8
+    # Cell-padding overhead: delivered payload per wire bit is lowest
+    # for 512 B flows (most of each 562 B cell is padding).
+    small = rows[0]["sirius"]
+    large = rows[-1]["sirius"]
+    assert small.normalized_goodput < large.normalized_goodput

@@ -1,0 +1,37 @@
+"""E1 — Fig 1: datacenter traffic vs electrical switch capacity.
+
+Paper: network capacity/traffic doubles yearly and reaches ~100 Pbps by
+2020, while switch capacity doubles every two years (25.6 Tb/s in 2020)
+and is expected to slow beyond 2024 — a widening gap.
+"""
+
+from _harness import emit_table
+
+from repro.analysis import CapacityTrend
+
+
+def test_fig1_capacity_trends(benchmark):
+    trend = CapacityTrend()
+    rows = benchmark(trend.series)
+    emit_table(
+        "Fig 1 — capacity trends (Pbps, log scale in the paper)",
+        ["year", "traffic (Pbps)", "switch (Pbps)", "gap (x)"],
+        [
+            (r["year"], r["traffic_pbps"], r["switch_pbps"], r["gap"])
+            for r in rows
+            if r["year"] % 5 == 0
+        ],
+    )
+    by_year = {r["year"]: r for r in rows}
+    # Paper anchors: ~100 Pbps demand and 25.6 Tb/s switches in 2020.
+    assert by_year[2020]["traffic_pbps"] == 100.0
+    assert by_year[2020]["switch_pbps"] * 1000 == 25.6
+    # The gap widens monotonically.
+    gaps = [r["gap"] for r in rows]
+    assert gaps == sorted(gaps)
+    # Post-2024 slowdown: switch growth rate drops.
+    growth_23_24 = (trend.switch_capacity_bps(2024)
+                    / trend.switch_capacity_bps(2023))
+    growth_24_25 = (trend.switch_capacity_bps(2025)
+                    / trend.switch_capacity_bps(2024))
+    assert growth_24_25 < growth_23_24

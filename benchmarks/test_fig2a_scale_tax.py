@@ -1,0 +1,39 @@
+"""E2 — Fig 2a: the scale tax of hierarchical electrical networks.
+
+Paper: 50 W/Tbps for a direct transceiver+fibre link, rising with each
+added switch layer to ~487 W/Tbps for a >65K-node datacenter; at
+100 Pbps of bisection that is a prohibitive 48.7 MW (§1, §2).
+"""
+
+from _harness import emit_table
+
+from repro.analysis import NetworkPowerModel
+
+PAPER_ANCHORS = {2: 50.0, 65536: 487.0}
+
+
+def test_fig2a_scale_tax(benchmark):
+    model = NetworkPowerModel()
+    rows = benchmark(model.scale_tax_series)
+    emit_table(
+        "Fig 2a — network power per bisection bandwidth",
+        ["nodes", "switch layers", "measured W/Tbps", "paper W/Tbps"],
+        [
+            (r["n_nodes"], r["layers"], r["watts_per_tbps"],
+             PAPER_ANCHORS.get(r["n_nodes"], "-"))
+            for r in rows
+        ],
+    )
+    by_nodes = {r["n_nodes"]: r["watts_per_tbps"] for r in rows}
+    assert by_nodes[2] == 50.0
+    assert abs(by_nodes[65536] - 487.0) / 487.0 < 0.10
+    values = [r["watts_per_tbps"] for r in rows]
+    assert values == sorted(values)
+
+    power_mw = model.datacenter_power_mw(100.0)
+    emit_table(
+        "§1 headline — 100 Pbps non-blocking network power",
+        ["quantity", "measured", "paper"],
+        [("power (MW)", power_mw, 48.7)],
+    )
+    assert abs(power_mw - 48.7) / 48.7 < 0.10

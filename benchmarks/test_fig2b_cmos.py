@@ -1,0 +1,31 @@
+"""E3 — Fig 2b: CMOS scaling slowdown.
+
+Paper: below 7 nm, perf/area and perf/power gains fall far short of the
+historic doubling per generation; perf/power (analog/SERDES-bound)
+scales worst.
+"""
+
+from _harness import emit_table
+
+from repro.analysis import CmosScaling
+
+
+def test_fig2b_cmos_scaling(benchmark):
+    scaling = CmosScaling()
+    rows = benchmark(scaling.series)
+    emit_table(
+        "Fig 2b — normalized performance vs transistor node",
+        ["node (nm)", "year", "perf/area", "perf/power", "ideal"],
+        [
+            (r["node"], r["year"], r["perf_per_area"], r["perf_per_power"],
+             r["ideal"])
+            for r in rows
+        ],
+    )
+    # The paper's qualitative claims.
+    assert scaling.scaling_has_slowed()
+    assert scaling.shortfall("perf_per_power") < scaling.shortfall(
+        "perf_per_area"
+    )
+    last = rows[-1]
+    assert last["perf_per_power"] < last["ideal"] / 2

@@ -1,0 +1,44 @@
+"""E11 + E20 — Fig 6a and the headline power claim.
+
+Paper: with tunable lasers at 3–5× the power of fixed lasers, Sirius
+consumes only 23–26 % of an equivalent non-blocking ESN — "up to
+74–77 % lower power" (abstract, §5).
+"""
+
+from _harness import emit_table
+
+from repro.analysis import NetworkPowerModel, SiriusPowerModel
+
+PAPER = {1: None, 3: 0.23, 5: 0.26, 7: None, 10: None, 20: None}
+
+
+def test_fig6a_power_ratio(benchmark):
+    sirius = SiriusPowerModel()
+    esn = NetworkPowerModel()
+    rows = benchmark(lambda: sirius.fig6a_series(esn=esn))
+    emit_table(
+        "Fig 6a — Sirius/ESN power vs tunable-laser overhead",
+        ["tunable/fixed laser power", "measured ratio", "paper"],
+        [
+            (r["laser_overhead"], r["power_ratio"],
+             PAPER[r["laser_overhead"]] or "-")
+            for r in rows
+        ],
+    )
+    by_overhead = {r["laser_overhead"]: r["power_ratio"] for r in rows}
+    assert abs(by_overhead[3] - 0.23) < 0.02
+    assert abs(by_overhead[5] - 0.26) < 0.03
+    ratios = [r["power_ratio"] for r in rows]
+    assert ratios == sorted(ratios)
+
+    savings = sirius.headline_power_savings(esn)
+    emit_table(
+        "Headline — power savings vs non-blocking ESN",
+        ["laser overhead", "measured savings", "paper"],
+        [
+            ("3x", savings["savings_at_3x"], "77%"),
+            ("5x", savings["savings_at_5x"], "74%"),
+        ],
+    )
+    assert savings["savings_at_3x"] > 0.72
+    assert savings["savings_at_5x"] > 0.70

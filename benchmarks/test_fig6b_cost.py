@@ -1,0 +1,43 @@
+"""E12 — Fig 6b: Sirius cost relative to electrical networks.
+
+Paper: with gratings at 25 % of switch cost and tunable lasers at 3×
+fixed, Sirius costs 28 % of a non-blocking ESN, 53 % of a 3:1
+oversubscribed ESN (while staying non-blocking), and 55 % of an
+electrically-switched Sirius variant.
+"""
+
+from _harness import emit_table
+
+from repro.analysis import NetworkCostModel
+
+
+def test_fig6b_cost_ratio(benchmark):
+    model = NetworkCostModel()
+    rows = benchmark(model.fig6b_series)
+    emit_table(
+        "Fig 6b — Sirius/ESN cost vs grating cost fraction",
+        ["grating/switch cost", "vs non-blocking", "vs 3:1 oversub",
+         "vs non-blocking (5x laser)"],
+        [
+            (f"{int(r['grating_cost_fraction'] * 100)}%",
+             r["vs_nonblocking"], r["vs_oversubscribed"],
+             r["vs_nonblocking_5x_laser"])
+            for r in rows
+        ],
+    )
+    anchors = model.headline_ratios()
+    emit_table(
+        "§5 — cost anchors (grating 25%, laser 3x)",
+        ["comparison", "measured", "paper"],
+        [
+            ("vs non-blocking ESN", anchors["vs_nonblocking"], 0.28),
+            ("vs 3:1 oversubscribed ESN", anchors["vs_oversubscribed"], 0.53),
+            ("vs electrical Sirius variant",
+             anchors["vs_electrical_variant"], 0.55),
+        ],
+    )
+    assert abs(anchors["vs_nonblocking"] - 0.28) < 0.03
+    assert abs(anchors["vs_oversubscribed"] - 0.53) < 0.04
+    assert abs(anchors["vs_electrical_variant"] - 0.55) < 0.04
+    ratios = [r["vs_nonblocking"] for r in rows]
+    assert ratios == sorted(ratios)

@@ -1,0 +1,36 @@
+"""E6 — Fig 8a: CDF of SOA rise/fall times on the custom chip.
+
+Paper: the 19-SOA InP chip switches with worst-case 527 ps rise and
+912 ps fall — sub-nanosecond across every gate.
+"""
+
+from _harness import emit_table
+
+from repro import SOABank
+
+
+def test_fig8a_soa_transition_cdf(benchmark):
+    bank = SOABank(19, seed=0)
+    rises, falls, levels = benchmark(bank.transition_cdf)
+    rows = []
+    for pct in (0.25, 0.5, 0.75, 1.0):
+        idx = min(len(levels) - 1, round(pct * len(levels)) - 1)
+        rows.append((f"{int(pct * 100)}%", rises[idx] / 1e-12,
+                     falls[idx] / 1e-12))
+    emit_table(
+        "Fig 8a — SOA switching time CDF (ps)",
+        ["CDF level", "rise (ps)", "fall (ps)"],
+        rows,
+    )
+    emit_table(
+        "Fig 8a — worst cases",
+        ["quantity", "measured (ps)", "paper (ps)"],
+        [
+            ("worst rise", max(rises) / 1e-12, 527),
+            ("worst fall", max(falls) / 1e-12, 912),
+        ],
+    )
+    assert max(rises) / 1e-12 == 527.0
+    assert max(falls) / 1e-12 == 912.0
+    assert all(r < 1e-9 for r in rises)
+    assert all(f < 1e-9 for f in falls)

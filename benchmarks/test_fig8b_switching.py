@@ -1,0 +1,44 @@
+"""E7 — Fig 8b: switching between adjacent vs distant wavelengths.
+
+Paper: with the disaggregated (fixed-laser-bank) design the tuning
+latency is < 900 ps whether the two wavelengths are adjacent
+(1552.524 → 1552.926 nm) or span the C-band (1550.116 → 1559.389 nm) —
+span independence is the whole point of disaggregation.
+"""
+
+from _harness import emit_table
+
+from repro import FixedLaserBank
+from repro.units import wavelength_nm
+
+
+def test_fig8b_span_independence(benchmark):
+    bank = FixedLaserBank(19, seed=0)
+
+    def measure():
+        return {
+            "adjacent": bank.tuning_latency(9, 10),
+            "distant": bank.tuning_latency(0, 18),
+        }
+
+    latencies = benchmark(measure)
+    emit_table(
+        "Fig 8b — switching latency vs wavelength span",
+        ["transition", "span (channels)", "wavelengths (nm)",
+         "latency (ps)", "paper"],
+        [
+            ("adjacent", 1,
+             f"{wavelength_nm(9, 19):.2f} -> {wavelength_nm(10, 19):.2f}",
+             latencies["adjacent"] / 1e-12, "< 900 ps"),
+            ("distant", 18,
+             f"{wavelength_nm(0, 19):.2f} -> {wavelength_nm(18, 19):.2f}",
+             latencies["distant"] / 1e-12, "< 900 ps"),
+        ],
+    )
+    assert latencies["adjacent"] < 0.92e-9
+    assert latencies["distant"] < 0.92e-9
+
+    trace = bank.switching_trace(0, 18)
+    # The old channel decays while the new one rises within the trace.
+    assert trace["old_intensity"][-1] < 0.2
+    assert trace["new_intensity"][-1] > 0.8

@@ -1,0 +1,38 @@
+"""E8 — Fig 8c: burst waveforms with the 3.84 ns guardband.
+
+Paper: consecutive cell slots separated by a 3.84 ns end-to-end
+reconfiguration window (laser tuning + CDR + preamble), enabling slots
+as short as 38.4 ns.
+"""
+
+from _harness import emit_table
+
+from repro import GuardbandBudget
+
+
+def test_fig8c_burst_waveform(benchmark):
+    budget = GuardbandBudget()
+    slot = budget.min_slot_s()
+    wave = benchmark(
+        lambda: budget.burst_waveform(slot_duration_s=slot, n_slots=3)
+    )
+    emit_table(
+        "Fig 8c — guardband composition (Sirius v2)",
+        ["component", "measured (ns)", "paper"],
+        [
+            ("laser tuning", budget.laser_tuning_s / 1e-9, "0.912"),
+            ("CDR lock", budget.cdr_lock_s / 1e-9, "sub-ns"),
+            ("sync error", budget.sync_error_s / 1e-9, "±5 ps grade"),
+            ("preamble", budget.preamble_s / 1e-9, "-"),
+            ("total guardband", budget.total_s / 1e-9, "3.84"),
+            ("min slot", slot / 1e-9, "38.4"),
+        ],
+    )
+    assert abs(budget.total_s - 3.84e-9) < 1e-12
+    assert budget.meets_target
+    # The waveform dips to ~0 once per slot (the guardband).
+    dips = sum(
+        1 for prev, cur in zip(wave["intensity"], wave["intensity"][1:])
+        if prev >= 0.1 > cur
+    )
+    assert dips == 3

@@ -1,0 +1,43 @@
+"""E9 — Fig 8d: BER vs received power for four switching wavelengths.
+
+Paper: all four channels reach post-FEC error-free operation at −8 dBm
+of received power with standard FEC.
+"""
+
+from _harness import emit_table
+
+from repro import BERModel
+
+
+def test_fig8d_ber_curves(benchmark):
+    model = BERModel()
+
+    def curves():
+        return {ch: model.ber_curve(ch) for ch in range(4)}
+
+    data = benchmark(curves)
+    powers = data[0]["received_dbm"]
+    sample_idx = [i for i, p in enumerate(powers)
+                  if abs(p % 2) < 1e-9 or abs(p % 2 - 2) < 1e-9]
+    rows = []
+    for i in sample_idx:
+        rows.append([powers[i]] + [
+            data[ch]["log10_ber"][i] for ch in range(4)
+        ])
+    emit_table(
+        "Fig 8d — log10(BER) vs received power (dBm)",
+        ["power (dBm)", "ch1", "ch2", "ch3", "ch4"],
+        rows,
+    )
+    sens = [model.sensitivity_for_channel(ch) for ch in range(4)]
+    emit_table(
+        "Fig 8d — FEC-threshold crossings",
+        ["channel", "sensitivity (dBm)", "paper"],
+        [(ch + 1, sens[ch], "about -8") for ch in range(4)],
+    )
+    for ch in range(4):
+        # Crossing within a few tenths of a dB of -8 dBm.
+        assert abs(sens[ch] + 8.0) < 0.5
+        # Error-free above the crossing.
+        assert model.error_free(sens[ch] + 0.1, ch)
+        assert not model.error_free(sens[ch] - 1.0, ch)

@@ -1,0 +1,110 @@
+"""E13 — Fig 9: FCT and goodput vs network load, four systems.
+
+Paper (at 128 racks / 3,072 servers): Sirius closely matches ESN (Ideal)
+on both 99th-percentile short-flow FCT and average goodput, while
+ESN-OSUB (Ideal) saturates early (goodput up to 6.7× lower, FCT up to
+86 % higher).  SIRIUS (IDEAL) lower-bounds Sirius' FCT at low load
+(the request/grant round-trip) with the gap closing as load rises.
+
+Reduced scale here (see EXPERIMENTS.md): the orderings and crossovers
+are the reproduction target, not absolute values.
+"""
+
+from _harness import N_FLOWS, N_NODES, emit, emit_table, run_esn, run_sirius, us
+
+from repro.analysis.plotting import ascii_chart
+
+LOADS = (0.10, 0.25, 0.50, 0.75, 1.00)
+
+
+def _sweep():
+    rows = []
+    for load in LOADS:
+        esn = run_esn(load)
+        osub = run_esn(load, oversubscription=3.0)
+        sirius = run_sirius(load, multiplier=1.5)
+        ideal = run_sirius(load, multiplier=1.5, ideal=True)
+        rows.append({
+            "load": load,
+            "esn": esn, "osub": osub, "sirius": sirius, "ideal": ideal,
+        })
+    return rows
+
+
+def test_fig9_load_sweep(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    emit(f"\n[scale: {N_NODES} racks, {N_FLOWS} flows per point]")
+    emit_table(
+        "Fig 9a — 99th-percentile FCT of short flows (<100 KB), us",
+        ["load", "ESN (Ideal)", "ESN-OSUB (Ideal)", "Sirius",
+         "Sirius (Ideal)"],
+        [
+            (r["load"],
+             us(r["esn"].fct_percentile(99)),
+             us(r["osub"].fct_percentile(99)),
+             us(r["sirius"].fct_percentile(99)),
+             us(r["ideal"].fct_percentile(99)))
+            for r in rows
+        ],
+    )
+    emit_table(
+        "Fig 9b — normalized average server goodput",
+        ["load", "ESN (Ideal)", "ESN-OSUB (Ideal)", "Sirius",
+         "Sirius (Ideal)"],
+        [
+            (r["load"],
+             r["esn"].normalized_goodput,
+             r["osub"].normalized_goodput,
+             r["sirius"].normalized_goodput,
+             r["ideal"].normalized_goodput)
+            for r in rows
+        ],
+    )
+
+    emit()
+    emit(ascii_chart(
+        {
+            "ESN": [(r["load"], r["esn"].normalized_goodput) for r in rows],
+            "OSUB": [(r["load"], r["osub"].normalized_goodput)
+                     for r in rows],
+            "Sirius": [(r["load"], r["sirius"].normalized_goodput)
+                       for r in rows],
+        },
+        title="Fig 9b shape — goodput vs load",
+        width=48, height=12,
+    ))
+
+    for r in rows:
+        load = r["load"]
+        # At low load everyone delivers the offered load.
+        if load <= 0.25:
+            for system in ("esn", "osub", "sirius", "ideal"):
+                assert r[system].normalized_goodput > 0.8 * load, (
+                    system, load
+                )
+        # ESN (Ideal) upper-bounds its oversubscribed variant.
+        assert (r["esn"].normalized_goodput
+                >= r["osub"].normalized_goodput - 1e-9), load
+        # FCT ordering: oversubscription degrades the ESN's tail.
+        assert (r["osub"].fct_percentile(99)
+                >= r["esn"].fct_percentile(99) * 0.95), load
+        # Sirius tracks ESN (Ideal) goodput within a modest factor at
+        # every load (the paper's headline "closely matches"; exact
+        # closeness is scale-dependent — see EXPERIMENTS.md).
+        assert (r["sirius"].normalized_goodput
+                > 0.6 * r["esn"].normalized_goodput), load
+    low = rows[0]
+    # SIRIUS (IDEAL) lower-bounds Sirius at low load (request/grant
+    # round-trip latency, §7).
+    assert (low["ideal"].fct_percentile(99)
+            < low["sirius"].fct_percentile(99))
+    # OSUB saturates early: goodput flat from L=0.5 to 1.0 while
+    # ESN (Ideal) keeps growing.
+    osub_gain = (rows[-1]["osub"].normalized_goodput
+                 - rows[2]["osub"].normalized_goodput)
+    esn_gain = (rows[-1]["esn"].normalized_goodput
+                - rows[2]["esn"].normalized_goodput)
+    assert osub_gain < esn_gain
+    # Sirius keeps delivering everything it is offered.
+    for r in rows:
+        assert r["sirius"].completion_fraction == 1.0

@@ -1,0 +1,60 @@
+"""E18 — §2.2: production packet-size statistics and the reconfiguration
+target they imply.
+
+Paper: 34 % of packets < 128 B, 97.8 % <= 576 B (production cloud
+service, Mar 2019); 91 % <= 576 B for Facebook's in-memory cache.  A
+576 B packet lasts 92 ns at 50 Gb/s, so < 10 % switching overhead needs
+reconfiguration below 9.2 ns — the < 10 ns design target.
+"""
+
+from _harness import emit_table
+
+from repro import PacketTraceModel
+from repro.workload.packets import (
+    CACHE_MARGINALS,
+    max_guardband_for_overhead,
+    packet_duration_s,
+    switching_overhead,
+)
+
+
+def test_packet_trace_marginals(benchmark):
+    model = PacketTraceModel(seed=1)
+
+    def stats():
+        return {
+            "below_128": model.fraction_below(128),
+            "atmost_576": model.fraction_at_most(576),
+        }
+
+    measured = benchmark.pedantic(stats, rounds=1, iterations=1)
+    cache = PacketTraceModel(marginals=CACHE_MARGINALS, seed=2)
+    emit_table(
+        "§2.2 — packet-size marginals (synthetic trace vs published)",
+        ["statistic", "measured", "paper"],
+        [
+            ("production: packets < 128 B", measured["below_128"], 0.34),
+            ("production: packets <= 576 B", measured["atmost_576"], 0.978),
+            ("cache: packets <= 576 B", cache.fraction_at_most(576), 0.91),
+        ],
+    )
+    assert abs(measured["below_128"] - 0.34) < 0.01
+    assert abs(measured["atmost_576"] - 0.978) < 0.005
+
+
+def test_reconfiguration_target_arithmetic(benchmark):
+    duration = benchmark(lambda: packet_duration_s(576))
+    budget = max_guardband_for_overhead(0.1)
+    emit_table(
+        "§2.2 — the <10 ns reconfiguration target",
+        ["quantity", "measured", "paper"],
+        [
+            ("576 B packet at 50 Gb/s (ns)", duration / 1e-9, 92),
+            ("guardband for <10% overhead (ns)", budget / 1e-9, 9.2),
+            ("overhead at 3.84 ns prototype", switching_overhead(3.84e-9),
+             "< 5%"),
+        ],
+    )
+    assert abs(duration / 1e-9 - 92.16) < 0.1
+    assert abs(budget / 1e-9 - 9.216) < 0.05
+    assert switching_overhead(3.84e-9) < 0.05

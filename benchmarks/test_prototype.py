@@ -1,0 +1,54 @@
+"""E19 — §6: the four-node prototype, generations v1 and v2.
+
+Paper: Sirius v1 (dampened DSDBR, 100 ns guardband) and Sirius v2
+(custom chip, 912 ps tuning, 3.84 ns guardband) both run post-FEC
+error-free on the cyclic schedule; clock sync stays within ±5 ps.
+"""
+
+from _harness import emit_table
+
+from repro import PrototypeRig
+
+
+def _run(generation):
+    rig = PrototypeRig(generation, seed=5)
+    return rig.run(n_epochs=15, sync_epochs=4000)
+
+
+def test_prototype_v1(benchmark):
+    report = benchmark.pedantic(lambda: _run("v1"), rounds=1, iterations=1)
+    emit_table(
+        "§6 — Sirius v1 (off-the-shelf laser + dampened driver)",
+        ["quantity", "measured", "paper"],
+        [
+            ("guardband (ns)", report.guardband_s / 1e-9, 100),
+            ("worst reconfiguration (ns)",
+             report.worst_reconfiguration_s / 1e-9, "< 100"),
+            ("post-FEC error-free", report.error_free, True),
+            ("bits checked", report.bits_checked, "24 h at 25 Gb/s"),
+        ],
+    )
+    assert report.guardband_sufficient
+    assert report.error_free
+
+
+def test_prototype_v2(benchmark):
+    report = benchmark.pedantic(lambda: _run("v2"), rounds=1, iterations=1)
+    emit_table(
+        "§6 — Sirius v2 (custom fixed-laser-bank chip)",
+        ["quantity", "measured", "paper"],
+        [
+            ("guardband (ns)", report.guardband_s / 1e-9, 3.84),
+            ("worst laser tuning (ps)", report.worst_tuning_s / 1e-12,
+             "< 912"),
+            ("worst reconfiguration (ns)",
+             report.worst_reconfiguration_s / 1e-9, "< 3.84"),
+            ("post-FEC error-free", report.error_free, True),
+            ("sync deviation (ps)", report.sync_max_offset_s / 1e-12,
+             "±5"),
+        ],
+    )
+    assert report.guardband_sufficient
+    assert report.error_free
+    assert report.worst_tuning_s <= 912e-12 + 1e-15
+    assert report.sync_max_offset_s < 5e-12

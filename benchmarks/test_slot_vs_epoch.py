@@ -1,0 +1,66 @@
+"""Validation — the epoch abstraction against slot-level physics.
+
+The §7 benchmarks run on the epoch-synchronous simulator (DESIGN.md
+§3).  This benchmark replays the same workload on the slot-granularity
+simulator, whose transmissions follow the cyclic schedule's actual
+per-slot (uplink, wavelength, destination) assignments, and checks the
+two agree on delivery and timing.
+"""
+
+from _harness import emit_table, make_workload, us
+
+from repro import SiriusNetwork
+from repro.core.cell import Flow
+from repro.sim.slotsim import SlotLevelSirius
+
+N = 16
+G = 4
+LOAD = 0.5
+N_FLOWS = 400
+
+
+def _run_both():
+    flows = make_workload(LOAD, seed=5, n_nodes=N).generate(N_FLOWS)
+    # make_workload builds for the bench-scale node count; re-map onto N.
+    for flow in flows:
+        flow.src %= N
+        flow.dst %= N
+        if flow.src == flow.dst:
+            flow.dst = (flow.dst + 1) % N
+    clones = [Flow(f.flow_id, f.src, f.dst, f.size_bits, f.arrival_time)
+              for f in flows]
+    epoch_sim = SiriusNetwork(N, G, uplink_multiplier=1.0, seed=1)
+    slot_sim = SlotLevelSirius(N, G, uplink_multiplier=1.0, seed=1)
+    return epoch_sim.run(flows), slot_sim.run(clones)
+
+
+def test_slot_vs_epoch_equivalence(benchmark):
+    epoch_result, slot_result = benchmark.pedantic(
+        _run_both, rounds=1, iterations=1
+    )
+    emit_table(
+        "Validation — epoch-synchronous vs slot-level simulation",
+        ["metric", "epoch sim", "slot sim"],
+        [
+            ("delivered bits", epoch_result.delivered_bits,
+             slot_result.delivered_bits),
+            ("completed flows", len(epoch_result.completed_flows),
+             len(slot_result.completed_flows)),
+            ("duration (us)", epoch_result.duration_s / 1e-6,
+             slot_result.duration_s / 1e-6),
+            ("p99 short FCT (us)", us(epoch_result.fct_percentile(99)),
+             us(slot_result.fct_percentile(99))),
+            ("peak fwd cells", epoch_result.peak_fwd_cells,
+             slot_result.peak_fwd_cells),
+        ],
+    )
+    assert slot_result.delivered_bits == epoch_result.delivered_bits
+    assert (len(slot_result.completed_flows)
+            == len(epoch_result.completed_flows))
+    # Timing agreement: the slot sim resolves sub-epoch detail (and can
+    # forward within an epoch), so it is at most one epoch slower and
+    # typically slightly faster.
+    assert slot_result.duration_s <= epoch_result.duration_s * 1.1
+    ratio = (slot_result.fct_percentile(99)
+             / epoch_result.fct_percentile(99))
+    assert 0.4 <= ratio <= 1.3

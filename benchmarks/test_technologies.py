@@ -1,0 +1,50 @@
+"""Ablation — the §8 optical switching technology landscape.
+
+Paper: optical switches "vary in terms of switching time by almost six
+orders of magnitude"; micro/millisecond technologies need a separate
+packet network for short flows, and only nanosecond reconfiguration
+passes the §2.2 small-packet overhead test.
+"""
+
+from _harness import emit_table
+
+from repro.analysis.technologies import (
+    fastest_passive_core,
+    reconfiguration_spread_orders,
+    survey,
+)
+
+
+def test_switching_technology_survey(benchmark):
+    rows = benchmark(survey)
+    emit_table(
+        "§8 — optical switching technologies vs the §2.2 target",
+        ["technology", "reconfig", "packet-switchable", "overhead @576B"],
+        [
+            (
+                r["name"],
+                _format_time(r["reconfiguration_s"]),
+                "yes" if r["packet_switching"] else "no",
+                f"{r['overhead']:.3g}",
+            )
+            for r in rows
+        ],
+    )
+    assert reconfiguration_spread_orders() >= 6.0
+    assert "Sirius v2" in fastest_passive_core().name
+    feasible = [r for r in rows if r["packet_switching"]]
+    assert any("Sirius v2" in r["name"] for r in feasible)
+    # No milli/microsecond technology passes.
+    for r in rows:
+        if r["reconfiguration_s"] >= 1e-6:
+            assert not r["packet_switching"], r["name"]
+
+
+def _format_time(seconds: float) -> str:
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.0f} ms"
+    if seconds >= 1e-6:
+        return f"{seconds * 1e6:.0f} us"
+    if seconds >= 1e-9:
+        return f"{seconds * 1e9:.0f} ns"
+    return f"{seconds * 1e12:.0f} ps"

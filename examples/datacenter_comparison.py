@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Sirius vs electrically-switched baselines (a miniature of §5 + §7).
+
+Sweeps network load, comparing:
+
+* ESN (Ideal)      — non-blocking folded Clos, idealized transport,
+* ESN-OSUB (Ideal) — the same with 3:1 aggregation oversubscription,
+* Sirius           — cyclic schedule + request/grant congestion control,
+
+then prints the §5 power/cost story for a full-size datacenter.
+
+Run:  python examples/datacenter_comparison.py
+"""
+
+from repro import (
+    CongestionConfig,
+    FlowWorkload,
+    FluidNetwork,
+    SiriusNetwork,
+    WorkloadConfig,
+    pod_map_for,
+)
+from repro.analysis import NetworkCostModel, NetworkPowerModel, SiriusPowerModel
+from repro.units import KILOBYTE, MEGABYTE
+
+N_NODES = 32
+GRATING_PORTS = 8
+POD_SIZE = 8
+N_FLOWS = 800
+LOADS = (0.25, 0.5, 1.0)
+
+
+def make_flows(load, reference_bps, seed=3):
+    workload = FlowWorkload(WorkloadConfig(
+        n_nodes=N_NODES, load=load, node_bandwidth_bps=reference_bps,
+        mean_flow_bits=100 * KILOBYTE, truncation_bits=2 * MEGABYTE,
+        seed=seed,
+    ))
+    return workload.generate(N_FLOWS)
+
+
+def main() -> None:
+    reference = SiriusNetwork(
+        N_NODES, GRATING_PORTS, uplink_multiplier=1.0
+    ).reference_node_bandwidth_bps
+
+    print(f"{'load':>6} {'system':>18} {'goodput':>8} {'p99 FCT (us)':>13}")
+    for load in LOADS:
+        esn = FluidNetwork(N_NODES, reference).run(
+            make_flows(load, reference))
+        osub = FluidNetwork(
+            N_NODES, reference,
+            pod_map=pod_map_for(N_NODES, POD_SIZE),
+            pod_bandwidth_bps=POD_SIZE * reference / 3.0,
+        ).run(make_flows(load, reference))
+        sirius = SiriusNetwork(
+            N_NODES, GRATING_PORTS, uplink_multiplier=1.5, seed=1,
+            config=CongestionConfig(queue_threshold=4),
+        ).run(make_flows(load, reference))
+        for name, result in (("ESN (Ideal)", esn),
+                             ("ESN-OSUB (Ideal)", osub),
+                             ("Sirius", sirius)):
+            p99 = result.fct_percentile(99)
+            print(f"{load:>6.0%} {name:>18} "
+                  f"{result.normalized_goodput:>8.3f} "
+                  f"{(p99 or 0) / 1e-6:>13.1f}")
+
+    print()
+    print("-- §5 power & cost for a 4,000-rack datacenter --")
+    power = SiriusPowerModel()
+    esn_power = NetworkPowerModel()
+    for overhead in (3.0, 5.0):
+        ratio = power.ratio_vs_esn(overhead, esn_power)
+        print(f"tunable laser at {overhead:.0f}x fixed: Sirius power is "
+              f"{ratio:.0%} of ESN ({1 - ratio:.0%} savings)")
+    cost = NetworkCostModel().headline_ratios()
+    print(f"cost vs non-blocking ESN     : {cost['vs_nonblocking']:.0%}")
+    print(f"cost vs 3:1 oversubscribed   : {cost['vs_oversubscribed']:.0%}")
+    print(f"cost vs electrical variant   : "
+          f"{cost['vs_electrical_variant']:.0%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Exploring Sirius' optical design space (paper §3, §4.5).
+
+Walks through the co-design decisions: the three disaggregated laser
+designs, the link budget and laser sharing, the guardband composition,
+and the cyclic schedule of a small deployment.
+
+Run:  python examples/design_space.py
+"""
+
+from repro import CyclicSchedule, GuardbandBudget, SiriusTopology, TunableLaserBank
+from repro.optics.disaggregated import compare_designs
+from repro.optics.link_budget import LinkBudget, lasers_per_node
+from repro.units import NANOSECOND
+
+
+def main() -> None:
+    print("-- disaggregated laser designs (19 channels) --")
+    for row in compare_designs(19, slot_duration_s=100 * NANOSECOND):
+        extra = ""
+        if "pipeline_feasible" in row:
+            extra = (" (pipeline feasible at 100 ns slots)"
+                     if row["pipeline_feasible"] else "")
+        print(f"  {row['design']:<18} {row['power_w']:6.1f} W, worst tune "
+              f"{row['worst_tuning_s'] / 1e-12:5.0f} ps, combiner loss "
+              f"{row['combiner_loss_db']:.0f} dB{extra}")
+
+    print("\n-- fault tolerance of the pipelined bank --")
+    bank = TunableLaserBank(112, n_lasers=3)
+    bank.fail_laser(0)
+    print(f"  one laser failed: {bank.healthy_lasers} healthy, switch still "
+          f"{bank.tune(50) / 1e-12:.0f} ps")
+
+    print("\n-- link budget (§4.5) --")
+    budget = LinkBudget()
+    print(f"  losses: grating {budget.grating_loss_db:.0f} dB + coupling "
+          f"{budget.coupling_loss_db:.0f} dB + margin "
+          f"{budget.margin_db:.0f} dB")
+    print(f"  receiver sensitivity {budget.receiver_sensitivity_dbm:.0f} dBm "
+          f"-> required launch {budget.required_launch_dbm:.0f} dBm "
+          f"({budget.required_launch_mw:.1f} mW)")
+    print(f"  a 16 dBm laser feeds {budget.max_sharing_degree()} "
+          f"transceivers; 256 uplinks need {lasers_per_node(256)} chips")
+
+    print("\n-- end-to-end reconfiguration budget --")
+    for name, gb in (("Sirius v1", GuardbandBudget.sirius_v1()),
+                     ("Sirius v2", GuardbandBudget())):
+        print(f"  {name}: laser {gb.laser_tuning_s / 1e-9:6.3f} ns + CDR "
+              f"{gb.cdr_lock_s / 1e-9:.3f} ns + sync "
+              f"{gb.sync_error_s / 1e-12:.0f} ps + preamble "
+              f"{gb.preamble_s / 1e-9:.2f} ns = {gb.total_s / 1e-9:6.2f} ns "
+              f"(min slot {gb.min_slot_s() / 1e-9:.1f} ns)"
+              f"{' — meets the <10 ns target' if gb.meets_target else ''}")
+
+    print("\n-- the Fig 5 example network and its schedule --")
+    topology = SiriusTopology(4, 2)
+    topology.validate_full_reachability()
+    schedule = CyclicSchedule(topology)
+    schedule.verify_contention_free()
+    wavelength = {0: "A", 1: "B"}
+    print("  (node, port) | slot 1        | slot 2")
+    for entry in schedule.table():
+        s0, s1 = entry["slot0"], entry["slot1"]
+        print(f"  ({entry['node'] + 1}, {entry['uplink'] + 1})       | "
+              f"{wavelength[s0['wavelength']]} -> node {s0['dst'] + 1}   | "
+              f"{wavelength[s1['wavelength']]} -> node {s1['dst'] + 1}")
+    print(f"  epoch: {schedule.slots_per_epoch} slots = "
+          f"{schedule.epoch_duration_s / 1e-9:.0f} ns; contention-free: yes")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate a small Sirius datacenter end to end.
+
+Builds a 32-rack Sirius network (8-port gratings, 1.5x uplinks, the
+paper's 100 ns slots), offers it the paper's heavy-tailed workload at
+50% load, and prints the headline metrics: goodput, short-flow FCT
+percentiles and queue peaks.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import FlowWorkload, SiriusNetwork, WorkloadConfig
+from repro.units import KILOBYTE, MEGABYTE
+
+N_NODES = 32
+GRATING_PORTS = 8
+LOAD = 0.5
+N_FLOWS = 1_000
+
+
+def main() -> None:
+    net = SiriusNetwork(
+        N_NODES, GRATING_PORTS,
+        uplink_multiplier=1.5,   # the paper's provisioning (Fig 12)
+        track_reorder=True,
+        seed=7,
+    )
+    print(f"topology : {net.topology}")
+    print(f"epoch    : {net.schedule.epoch_duration_s / 1e-6:.2f} us "
+          f"({net.schedule.slots_per_epoch} slots x "
+          f"{net.timing.slot_duration_s / 1e-9:.0f} ns)")
+    print(f"cell     : {net.timing.cell_bytes:.0f} B on the wire, "
+          f"{net.timing.payload_bits // 8} B payload")
+
+    workload = FlowWorkload(WorkloadConfig(
+        n_nodes=N_NODES,
+        load=LOAD,
+        node_bandwidth_bps=net.reference_node_bandwidth_bps,
+        mean_flow_bits=100 * KILOBYTE,
+        truncation_bits=2 * MEGABYTE,
+        seed=11,
+    ))
+    flows = workload.generate(N_FLOWS)
+    print(f"workload : {len(flows)} Pareto flows at load {LOAD:.0%} "
+          f"over {workload.expected_duration(N_FLOWS) / 1e-6:.0f} us")
+
+    result = net.run(flows)
+
+    print()
+    print(f"epochs simulated      : {result.epochs}")
+    print(f"flows completed       : {len(result.completed_flows)}"
+          f"/{len(result.flows)}")
+    print(f"normalized goodput    : {result.normalized_goodput:.3f}")
+    print(f"short-flow FCT p50    : "
+          f"{result.fct_percentile(50) / 1e-6:.1f} us")
+    print(f"short-flow FCT p99    : "
+          f"{result.fct_percentile(99) / 1e-6:.1f} us")
+    print(f"peak forward queue    : {result.peak_fwd_bytes / 1000:.1f} KB "
+          f"({result.peak_fwd_cells} cells)")
+    print(f"peak reorder buffer   : {result.peak_reorder_bytes / 1000:.1f} KB"
+          f" per flow")
+
+
+if __name__ == "__main__":
+    main()

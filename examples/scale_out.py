@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Scaling out with parallel Sirius planes and trace replay (§4.5).
+
+Demonstrates the operator workflow for a post-Moore's-law upgrade:
+generate (or import) a flow trace, replay it against one Sirius plane,
+then against parallel planes ("topology-level parallelism"), and
+compare drain time and goodput.  The trace round-trips through the CSV
+format so the exact workload can be archived and replayed.
+
+Run:  python examples/scale_out.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import ParallelSiriusPlanes, SiriusNetwork
+from repro.workload.empirical import empirical_flows
+from repro.workload.trace_io import read_flows, trace_summary, write_flows
+
+N_NODES = 16
+GRATING_PORTS = 4
+N_FLOWS = 400
+
+
+def main() -> None:
+    reference = SiriusNetwork(
+        N_NODES, GRATING_PORTS, uplink_multiplier=1.0
+    ).reference_node_bandwidth_bps
+
+    # A web-search-like workload (DCTCP [1]) driven well past one
+    # plane's comfort zone.
+    flows = empirical_flows(
+        "web_search", N_FLOWS, n_nodes=N_NODES, load=1.2,
+        node_bandwidth_bps=reference, seed=13,
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_path = Path(tmp) / "web_search.csv"
+        write_flows(trace_path, flows)
+        replayed = read_flows(trace_path)
+    summary = trace_summary(replayed)
+    print(f"trace: {summary['flows']} flows, "
+          f"{summary['total_bits'] / 8e6:.1f} MB total, "
+          f"median {summary['median_size_bits'] / 8:.0f} B, "
+          f"window {summary['span_s'] / 1e-6:.0f} us "
+          "(round-tripped through CSV)\n")
+
+    print(f"{'planes':>7} {'drain time (us)':>16} {'goodput':>8} "
+          f"{'p99 short FCT (us)':>19}")
+    for n_planes in (1, 2, 4):
+        planes = ParallelSiriusPlanes(
+            n_planes, N_NODES, GRATING_PORTS,
+            striping="least_loaded", uplink_multiplier=1.5, seed=1,
+        )
+        # Fresh Flow objects per run (completion state is per-object).
+        from repro.core.cell import Flow
+
+        batch = [Flow(f.flow_id, f.src, f.dst, f.size_bits,
+                      f.arrival_time) for f in replayed]
+        result = planes.run(batch)
+        p99 = max(
+            (r.fct_percentile(99) or 0.0) for r in result.plane_results
+        )
+        print(f"{n_planes:>7} {result.duration_s / 1e-6:>16.1f} "
+              f"{result.normalized_goodput:>8.3f} {p99 / 1e-6:>19.1f}")
+
+    print("\nadding planes soaks up the overload without touching the "
+          "per-plane design — no new hierarchy, no scheduler, no "
+          "reconfiguration coupling (§4.5).")
+
+
+if __name__ == "__main__":
+    main()

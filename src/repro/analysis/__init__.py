@@ -1,0 +1,33 @@
+"""Analytical models behind the paper's motivation and §5 analysis figures.
+
+* :mod:`repro.analysis.capacity` — datacenter traffic vs switch-capacity
+  growth (Fig 1).
+* :mod:`repro.analysis.cmos` — CMOS scaling slowdown (Fig 2b).
+* :mod:`repro.analysis.power` — the scale tax (Fig 2a) and the
+  Sirius-vs-ESN power ratio (Fig 6a).
+* :mod:`repro.analysis.cost` — the Sirius-vs-ESN cost ratio (Fig 6b).
+* :mod:`repro.analysis.stats` — FCT/goodput summary statistics shared by
+  the simulation benchmarks.
+"""
+
+from repro.analysis.capacity import CapacityTrend
+from repro.analysis.cmos import CmosScaling
+from repro.analysis.power import NetworkPowerModel, SiriusPowerModel
+from repro.analysis.cost import NetworkCostModel
+from repro.analysis.energy import EnergyReport, energy_comparison
+from repro.analysis.stats import percentile, summarize_fcts
+from repro.analysis.technologies import SwitchTechnology, survey
+
+__all__ = [
+    "CapacityTrend",
+    "CmosScaling",
+    "NetworkPowerModel",
+    "SiriusPowerModel",
+    "NetworkCostModel",
+    "percentile",
+    "summarize_fcts",
+    "EnergyReport",
+    "energy_comparison",
+    "SwitchTechnology",
+    "survey",
+]

@@ -1,0 +1,71 @@
+"""Datacenter traffic vs switch-capacity growth trends (paper Fig 1).
+
+Fig 1 contrasts two exponentials on a log axis:
+
+* **datacenter network capacity (and traffic)** doubling roughly every
+  year [70], reaching the ideal of ~100 Pbps for a large datacenter
+  around 2020; and
+* **electrical switch capacity** doubling every two years (the
+  "Moore's law for networking"), which is furthermore expected to slow
+  beyond 2024 as CMOS scaling tapers off.
+
+The model exposes both trends and the widening gap between them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.units import TBPS
+
+
+@dataclass(frozen=True)
+class CapacityTrend:
+    """Exponential growth curves anchored at a reference year.
+
+    Defaults anchor on the paper's contemporaries: 25.6 Tb/s switch
+    ASICs shipping in 2020 and a ~100 Pbps ideal datacenter bisection in
+    2020.
+    """
+
+    reference_year: int = 2020
+    switch_capacity_2020_bps: float = 25.6 * TBPS
+    traffic_capacity_2020_bps: float = 100e15
+    switch_doubling_years: float = 2.0
+    traffic_doubling_years: float = 1.0
+    #: Year beyond which electrical switch scaling slows (§1: 2024).
+    slowdown_year: int = 2024
+    #: Doubling period after the slowdown (CMOS taper-off).
+    slowed_doubling_years: float = 4.0
+
+    def switch_capacity_bps(self, year: float) -> float:
+        """Electrical switch ASIC capacity in ``year``."""
+        if year <= self.slowdown_year:
+            exponent = (year - self.reference_year) / self.switch_doubling_years
+            return self.switch_capacity_2020_bps * 2.0 ** exponent
+        at_slowdown = self.switch_capacity_bps(self.slowdown_year)
+        exponent = (year - self.slowdown_year) / self.slowed_doubling_years
+        return at_slowdown * 2.0 ** exponent
+
+    def traffic_bps(self, year: float) -> float:
+        """Datacenter traffic/capacity demand in ``year``."""
+        exponent = (year - self.reference_year) / self.traffic_doubling_years
+        return self.traffic_capacity_2020_bps * 2.0 ** exponent
+
+    def gap_factor(self, year: float) -> float:
+        """How far demand outruns a single switch's capacity."""
+        return self.traffic_bps(year) / self.switch_capacity_bps(year)
+
+    def series(self, years: Sequence[int] = tuple(range(2005, 2026))
+               ) -> List[Dict[str, float]]:
+        """The Fig 1 series (capacities in Pbps, log-plottable)."""
+        return [
+            {
+                "year": year,
+                "traffic_pbps": self.traffic_bps(year) / 1e15,
+                "switch_pbps": self.switch_capacity_bps(year) / 1e15,
+                "gap": self.gap_factor(year),
+            }
+            for year in years
+        ]

@@ -1,0 +1,76 @@
+"""CMOS scaling slowdown (paper Fig 2b).
+
+Fig 2b plots normalized performance-per-area and performance-per-power
+across transistor nodes (16 nm+ in 2014 down to 5 nm in 2022) against
+the "ideal scaling" of doubling every generation.  The published curves
+show gains falling well short of ideal below 7 nm — the reason electrical
+switches (and especially their analog-heavy SERDES) will stop scaling
+for free.
+
+The numbers here digitize the figure's qualitative content: ideal
+scaling doubles per generation; actual perf/area and perf/power track
+ideal early and flatten at the last nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+#: (node label, year, perf/area, perf/power), normalized to the 16nm+ node.
+CMOS_GENERATIONS: Tuple[Tuple[str, int, float, float], ...] = (
+    ("16+", 2014, 1.0, 1.0),
+    ("10", 2016, 1.9, 1.7),
+    ("7", 2018, 3.3, 2.6),
+    ("7+", 2020, 4.4, 3.2),
+    ("5", 2022, 5.6, 3.7),
+)
+
+
+@dataclass(frozen=True)
+class CmosScaling:
+    """Access to the Fig 2b scaling dataset and derived gap metrics."""
+
+    generations: Tuple[Tuple[str, int, float, float], ...] = CMOS_GENERATIONS
+
+    def ideal_scaling(self, generation_index: int) -> float:
+        """Ideal scaling: 2× per generation."""
+        if generation_index < 0:
+            raise ValueError("generation index cannot be negative")
+        return 2.0 ** generation_index
+
+    def series(self) -> List[Dict[str, object]]:
+        """Rows of (node, year, perf/area, perf/power, ideal)."""
+        return [
+            {
+                "node": node,
+                "year": year,
+                "perf_per_area": area,
+                "perf_per_power": power,
+                "ideal": self.ideal_scaling(index),
+            }
+            for index, (node, year, area, power) in enumerate(self.generations)
+        ]
+
+    def shortfall(self, metric: str = "perf_per_power") -> float:
+        """Latest generation's gap below ideal (1 = fully ideal)."""
+        rows = self.series()
+        last = rows[-1]
+        if metric not in ("perf_per_power", "perf_per_area"):
+            raise ValueError(f"unknown metric {metric!r}")
+        return last[metric] / last["ideal"]
+
+    def generation_gains(self, metric: str = "perf_per_power"
+                         ) -> List[float]:
+        """Per-generation multiplicative gains (2.0 would be ideal)."""
+        rows = self.series()
+        gains = []
+        for previous, current in zip(rows, rows[1:]):
+            gains.append(current[metric] / previous[metric])
+        return gains
+
+    def scaling_has_slowed(self, threshold: float = 1.5) -> bool:
+        """True when the newest generations gain less than ``threshold``×
+        per step — the paper's premise that free scaling is ending."""
+        gains = self.generation_gains()
+        return all(g < threshold for g in gains[-2:])

@@ -1,0 +1,175 @@
+"""Network cost model (paper §5, Fig 6b).
+
+The paper's cost comparison for a 4,000-rack datacenter:
+
+* **ESN (non-blocking)** — four switch layers ($5,000 per 25.6 Tb/s
+  switch, "optimistically"), 400 G transceivers at $1/Gbps, up to six
+  transceivers on a path.
+* **ESN-OSUB** — the same with 3:1 oversubscription *at the aggregation
+  tier beyond the racks* (the rack uplink stage stays at full rate).
+* **Sirius** — doubled tunable transceivers, passive gratings fabricated
+  at a fraction of switch cost, lasers shared 8-ways.
+
+Anchors reproduced (Fig 6b): Sirius costs ~28 % of non-blocking ESN
+with gratings at 25 % of switch cost and tunable lasers at 3× fixed
+(5× for the error bars); ~53 % of a 3:1 oversubscribed ESN; and ~55 %
+of an electrically-switched Sirius variant (gratings replaced by
+switches + transceivers).
+
+As with the power model, the paper's exact bill of materials is not
+published; the Sirius transceiver electronics cost is the calibrated
+free parameter (see DESIGN.md §2).  All costs are expressed per 400 G
+of rack uplink bandwidth, which cancels in every reported ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+#: §5 equipment constants.
+SWITCH_COST_USD = 5000.0
+SWITCH_PORTS = 64  # 64 x 400G = 25.6 Tbps
+TRANSCEIVER_COST_PER_GBPS = 1.0  # $/Gbps -> $400 per 400G
+GRATING_PORTS = 100
+
+
+@dataclass(frozen=True)
+class NetworkCostModel:
+    """Cost per 400 G of rack uplink bandwidth for each design.
+
+    Parameters
+    ----------
+    upper_switch_layers:
+        Electrical switch layers above the racks in the ESN (3 for the
+        paper's four-layer network counting the ToR).
+    sirius_electronics_usd:
+        Burst-mode transceiver electronics per 400 G-equivalent of
+        tunable uplinks (calibrated: $165).
+    fixed_laser_cost_usd:
+        Cost of fixed-wavelength lasers per 400 G-equivalent ($40).
+    laser_sharing:
+        Channels sharing one tunable laser (§4.5: 8).
+    lb_multiplier:
+        Uplink doubling for load-balanced routing.
+    """
+
+    upper_switch_layers: int = 3
+    switch_cost_usd: float = SWITCH_COST_USD
+    switch_ports: int = SWITCH_PORTS
+    transceiver_cost_usd: float = 400.0 * TRANSCEIVER_COST_PER_GBPS
+    grating_ports: int = GRATING_PORTS
+    sirius_electronics_usd: float = 165.0
+    fixed_laser_cost_usd: float = 40.0
+    laser_sharing: int = 8
+    lb_multiplier: float = 2.0
+    #: Plain short-reach fixed-wavelength transceiver (no burst-mode
+    #: electronics, no tunability) used by the electrical Sirius variant.
+    fixed_transceiver_cost_usd: float = 136.0
+
+    # -- ESN ------------------------------------------------------------------
+    @property
+    def switch_port_cost(self) -> float:
+        """Cost of one 400 G switch port."""
+        return self.switch_cost_usd / self.switch_ports
+
+    def esn_cost(self, oversubscription: float = 1.0) -> float:
+        """ESN cost per 400 G of rack uplink bandwidth.
+
+        Composition per uplink: the rack-to-aggregation transceiver
+        stage (2 transceivers, never oversubscribed), plus
+        ``upper_switch_layers`` of switching (2 ports each crossing) and
+        the remaining transceiver stages, all divided by the
+        oversubscription ratio.
+        """
+        if oversubscription < 1:
+            raise ValueError("oversubscription must be >= 1")
+        rack_stage = 2 * self.transceiver_cost_usd
+        upper_transceivers = 2 * (self.upper_switch_layers - 1) * (
+            self.transceiver_cost_usd
+        )
+        upper_switching = 2 * self.upper_switch_layers * self.switch_port_cost
+        return rack_stage + (upper_transceivers + upper_switching) / (
+            oversubscription
+        )
+
+    # -- Sirius ------------------------------------------------------------------
+    def sirius_transceiver_cost(self, laser_overhead: float) -> float:
+        """One tunable 400 G-equivalent transceiver at a laser cost factor."""
+        if laser_overhead < 1:
+            raise ValueError("laser overhead must be >= 1")
+        laser_share = (
+            self.fixed_laser_cost_usd * laser_overhead / self.laser_sharing
+        )
+        return self.sirius_electronics_usd + laser_share
+
+    def grating_port_cost(self, grating_cost_fraction: float) -> float:
+        """Cost of one grating port at a given fraction of switch cost."""
+        if not 0 < grating_cost_fraction <= 1:
+            raise ValueError("grating cost fraction must be in (0, 1]")
+        grating_cost = grating_cost_fraction * self.switch_cost_usd
+        return grating_cost / self.grating_ports
+
+    def sirius_cost(self, grating_cost_fraction: float = 0.25,
+                    laser_overhead: float = 3.0) -> float:
+        """Sirius cost per 400 G of (useful) rack uplink bandwidth.
+
+        2 transceivers per path and 2 grating-port uses (input at the
+        source side, output at the destination side), all multiplied by
+        the load-balancing uplink doubling.
+        """
+        per_path = (
+            2 * self.sirius_transceiver_cost(laser_overhead)
+            + 2 * self.grating_port_cost(grating_cost_fraction)
+        )
+        return self.lb_multiplier * per_path
+
+    def sirius_electrical_variant_cost(self) -> float:
+        """Sirius topology with gratings swapped for electrical switches.
+
+        Keeps Sirius' flat routing but replaces each grating with an
+        electrical switch plus a transceiver on every switch port (§5's
+        last comparison).  Transceivers are fixed-wavelength.
+        """
+        fixed_transceiver = self.fixed_transceiver_cost_usd
+        per_path = (
+            2 * fixed_transceiver        # node-side transceivers
+            + 2 * self.switch_port_cost  # switch crossing
+            + 2 * fixed_transceiver      # switch-side transceivers
+        )
+        return self.lb_multiplier * per_path
+
+    # -- figure series ------------------------------------------------------------
+    def ratio_vs_esn(self, grating_cost_fraction: float,
+                     laser_overhead: float = 3.0,
+                     oversubscription: float = 1.0) -> float:
+        return self.sirius_cost(grating_cost_fraction, laser_overhead) / (
+            self.esn_cost(oversubscription)
+        )
+
+    def fig6b_series(self, fractions: Sequence[float] = (
+            0.05, 0.10, 0.25, 0.50, 0.75, 1.0),
+            laser_overhead: float = 3.0) -> List[Dict[str, float]]:
+        """The Fig 6b series: grating cost fraction → cost ratios."""
+        return [
+            {
+                "grating_cost_fraction": g,
+                "vs_nonblocking": self.ratio_vs_esn(g, laser_overhead),
+                "vs_oversubscribed": self.ratio_vs_esn(
+                    g, laser_overhead, oversubscription=3.0
+                ),
+                "vs_nonblocking_5x_laser": self.ratio_vs_esn(g, 5.0),
+            }
+            for g in fractions
+        ]
+
+    def headline_ratios(self) -> Dict[str, float]:
+        """The §5 text anchors: 28 %, 53 % and 55 %."""
+        return {
+            "vs_nonblocking": self.ratio_vs_esn(0.25, 3.0),
+            "vs_oversubscribed": self.ratio_vs_esn(0.25, 3.0, 3.0),
+            "vs_electrical_variant": (
+                self.sirius_cost(0.25, 3.0)
+                / self.sirius_electrical_variant_cost()
+            ),
+        }

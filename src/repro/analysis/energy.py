@@ -1,0 +1,92 @@
+"""Energy-per-bit accounting: simulation results × power models (§5).
+
+Combines a simulation's delivered traffic with the §5 power models to
+report energy per delivered bit — the metric that ultimately decides
+which network an operator builds.  The paper's headline translates to:
+Sirius moves the same bits for roughly a quarter of the energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.analysis.power import NetworkPowerModel, SiriusPowerModel
+from repro.units import TBPS
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy accounting of one simulated run on one network design."""
+
+    delivered_bits: float
+    duration_s: float
+    network_power_w: float
+
+    def __post_init__(self) -> None:
+        if self.delivered_bits < 0 or self.duration_s <= 0:
+            raise ValueError("need non-negative bits and positive duration")
+        if self.network_power_w < 0:
+            raise ValueError("power cannot be negative")
+
+    @property
+    def energy_j(self) -> float:
+        """Total network energy over the run (the network idles at full
+        power — switches and lasers do not sleep per-packet)."""
+        return self.network_power_w * self.duration_s
+
+    @property
+    def picojoules_per_bit(self) -> float:
+        if self.delivered_bits == 0:
+            return float("inf")
+        return self.energy_j / self.delivered_bits * 1e12
+
+
+def sirius_energy(result, laser_overhead: float = 3.0,
+                  model: Optional[SiriusPowerModel] = None) -> EnergyReport:
+    """Energy report of a Sirius :class:`SimulationResult`."""
+    model = model or SiriusPowerModel()
+    aggregate_tbps = (
+        result.n_nodes * result.reference_node_bandwidth_bps / TBPS
+    )
+    # power_per_tbps is per bisection Tbps (= aggregate/2).
+    power = model.power_per_tbps(laser_overhead) * aggregate_tbps / 2.0
+    return EnergyReport(
+        delivered_bits=result.delivered_bits,
+        duration_s=result.duration_s,
+        network_power_w=power,
+    )
+
+
+def esn_energy(result, n_nodes_at_scale: int = 65536,
+               model: Optional[NetworkPowerModel] = None) -> EnergyReport:
+    """Energy report of the same run carried by an ESN of equal bandwidth.
+
+    The scale tax is evaluated at ``n_nodes_at_scale`` (a large
+    datacenter); the simulated cluster inherits that W/Tbps figure.
+    """
+    model = model or NetworkPowerModel()
+    aggregate_tbps = (
+        result.n_nodes * result.reference_node_bandwidth_bps / TBPS
+    )
+    power = model.power_per_tbps(n_nodes_at_scale) * aggregate_tbps / 2.0
+    return EnergyReport(
+        delivered_bits=result.delivered_bits,
+        duration_s=result.duration_s,
+        network_power_w=power,
+    )
+
+
+def energy_comparison(result, laser_overhead: float = 3.0
+                      ) -> Dict[str, float]:
+    """Side-by-side pJ/bit for Sirius vs an equal-bandwidth ESN."""
+    sirius = sirius_energy(result, laser_overhead)
+    esn = esn_energy(result)
+    return {
+        "sirius_pj_per_bit": sirius.picojoules_per_bit,
+        "esn_pj_per_bit": esn.picojoules_per_bit,
+        "ratio": (
+            sirius.picojoules_per_bit / esn.picojoules_per_bit
+            if esn.picojoules_per_bit else float("inf")
+        ),
+    }

@@ -1,0 +1,80 @@
+"""Terminal plotting for benchmark logs.
+
+Renders multi-series line charts as ASCII so the benchmark harness can
+show figure *shapes* (who wins, where curves cross) directly in the
+``bench_output.txt`` log, next to the numeric tables.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_chart(series: Dict[str, Sequence[Tuple[float, float]]], *,
+                width: int = 64, height: int = 16,
+                logy: bool = False,
+                title: Optional[str] = None) -> str:
+    """Render ``{label: [(x, y), ...]}`` as an ASCII line chart.
+
+    Each series gets a marker from a fixed cycle; the legend maps
+    markers to labels.  ``logy`` plots log10(y) (zeros clamped).
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    if width < 8 or height < 4:
+        raise ValueError("chart too small to draw")
+    points_by_label = {
+        label: [(float(x), float(y)) for x, y in points]
+        for label, points in series.items()
+    }
+    if any(not points for points in points_by_label.values()):
+        raise ValueError("every series needs at least one point")
+
+    def transform(y: float) -> float:
+        if not logy:
+            return y
+        return math.log10(max(y, 1e-30))
+
+    xs = [x for pts in points_by_label.values() for x, _y in pts]
+    ys = [transform(y) for pts in points_by_label.values() for _x, y in pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = x_hi - x_lo or 1.0
+    y_span = y_hi - y_lo or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (label, points) in enumerate(points_by_label.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in points:
+            col = int(round((x - x_lo) / x_span * (width - 1)))
+            row = int(round((transform(y) - y_lo) / y_span * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    y_top = f"{(10 ** y_hi if logy else y_hi):.3g}"
+    y_bot = f"{(10 ** y_lo if logy else y_lo):.3g}"
+    label_width = max(len(y_top), len(y_bot))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = y_top.rjust(label_width)
+        elif row_index == height - 1:
+            prefix = y_bot.rjust(label_width)
+        else:
+            prefix = " " * label_width
+        lines.append(f"{prefix} |{''.join(row)}")
+    axis = " " * label_width + " +" + "-" * width
+    lines.append(axis)
+    x_axis = (" " * label_width + "  " + f"{x_lo:.3g}"
+              + f"{x_hi:.3g}".rjust(width - len(f"{x_lo:.3g}")))
+    lines.append(x_axis)
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {label}"
+        for i, label in enumerate(points_by_label)
+    )
+    lines.append(" " * label_width + "  " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,50 @@
+"""Shared statistics helpers for the simulation benchmarks."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Nearest-rank percentile (``pct`` in (0, 100]) of a sequence."""
+    if not values:
+        raise ValueError("cannot take a percentile of no values")
+    if not 0 < pct <= 100:
+        raise ValueError(f"percentile must be in (0, 100], got {pct}")
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, int(math.ceil(pct / 100 * len(ordered))) - 1)
+    return ordered[rank]
+
+
+def summarize_fcts(fcts: Iterable[float]) -> Dict[str, Optional[float]]:
+    """Mean / median / p99 / max of a flow-completion-time population."""
+    values: List[float] = list(fcts)
+    if not values:
+        return {"count": 0, "mean": None, "p50": None, "p99": None,
+                "max": None}
+    return {
+        "count": len(values),
+        "mean": sum(values) / len(values),
+        "p50": percentile(values, 50),
+        "p99": percentile(values, 99),
+        "max": max(values),
+    }
+
+
+def cdf_points(values: Sequence[float]) -> List[tuple]:
+    """Empirical CDF as ``(value, cumulative_fraction)`` points."""
+    if not values:
+        raise ValueError("cannot build a CDF of no values")
+    ordered = sorted(values)
+    n = len(ordered)
+    return [(v, (i + 1) / n) for i, v in enumerate(ordered)]
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (ratio aggregation)."""
+    if not values:
+        raise ValueError("cannot average no values")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

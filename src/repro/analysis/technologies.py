@@ -1,0 +1,120 @@
+"""Optical switching technology survey (paper §2.2, §8).
+
+The paper positions Sirius against the landscape of optical switching
+technologies, which "vary in terms of switching time by almost six
+orders of magnitude".  This module encodes that survey as structured
+data plus the paper's workload-driven feasibility test: a technology
+suits packet-granularity switching only if its reconfiguration time
+keeps the switching overhead below 10 % on small-packet traffic
+(< 9.2 ns for 576 B packets at 50 Gb/s, §2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.units import MICROSECOND, MILLISECOND, NANOSECOND, PICOSECOND
+from repro.workload.packets import max_guardband_for_overhead
+
+
+@dataclass(frozen=True)
+class SwitchTechnology:
+    """One optical switching technology from the paper's survey."""
+
+    name: str
+    reconfiguration_s: float
+    port_count: str
+    maturity: str
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if self.reconfiguration_s <= 0:
+            raise ValueError("reconfiguration time must be positive")
+
+    def supports_packet_switching(self, packet_bytes: int = 576,
+                                  max_overhead: float = 0.1) -> bool:
+        """The §2.2 test: can it switch per small packet at < 10 % cost?"""
+        budget = max_guardband_for_overhead(max_overhead, packet_bytes)
+        return self.reconfiguration_s <= budget
+
+    def overhead_at(self, packet_bytes: int = 576) -> float:
+        """Switching overhead fraction on back-to-back small packets."""
+        from repro.workload.packets import packet_duration_s
+
+        return self.reconfiguration_s / packet_duration_s(packet_bytes)
+
+
+#: The §8 survey, with the paper's cited figures.
+TECHNOLOGIES: Tuple[SwitchTechnology, ...] = (
+    SwitchTechnology(
+        "3D MEMS optical circuit switch [10]", 25 * MILLISECOND,
+        "hundreds", "commercial",
+        "RotorNet/Helios-class; needs a separate packet network",
+    ),
+    SwitchTechnology(
+        "liquid crystal [36]", 10 * MILLISECOND, "hundreds", "commercial",
+    ),
+    SwitchTechnology(
+        "piezo-electric [56]", 1 * MILLISECOND, "hundreds", "commercial",
+    ),
+    SwitchTechnology(
+        "free-space optics (ProjecToR) [29]", 12 * MICROSECOND,
+        "datacenter-wide", "research prototype",
+    ),
+    SwitchTechnology(
+        "Mach-Zehnder interferometer [41]", 10 * NANOSECOND,
+        "2x2 cascaded", "research",
+        "loss and noise accumulate with cascade depth",
+    ),
+    SwitchTechnology(
+        "SOA space switch [9]", 5 * NANOSECOND, "2x2 cascaded", "research",
+        "active core: power and synchronization inside the network",
+    ),
+    SwitchTechnology(
+        "ring resonator [16]", 10 * NANOSECOND, "2x2 cascaded", "research",
+    ),
+    SwitchTechnology(
+        "tunable laser + AWGR, stock driver [51]", 10 * MILLISECOND,
+        "~100 wavelengths", "commercial parts",
+        "wavelength switching with passive core, but slow tuning",
+    ),
+    SwitchTechnology(
+        "tunable laser + AWGR, dampened driver (Sirius v1)",
+        92 * NANOSECOND, "112 wavelengths", "this paper",
+    ),
+    SwitchTechnology(
+        "disaggregated laser + AWGR (Sirius v2)", 912 * PICOSECOND,
+        "scales with laser bank", "this paper",
+        "passive core, span-independent sub-ns tuning",
+    ),
+)
+
+
+def survey(packet_bytes: int = 576) -> List[dict]:
+    """The survey as rows with the feasibility verdict per technology."""
+    return [
+        {
+            "name": tech.name,
+            "reconfiguration_s": tech.reconfiguration_s,
+            "ports": tech.port_count,
+            "maturity": tech.maturity,
+            "packet_switching": tech.supports_packet_switching(packet_bytes),
+            "overhead": tech.overhead_at(packet_bytes),
+        }
+        for tech in TECHNOLOGIES
+    ]
+
+
+def fastest_passive_core() -> SwitchTechnology:
+    """The fastest technology with a passive core (Sirius v2)."""
+    passive = [t for t in TECHNOLOGIES if "AWGR" in t.name]
+    return min(passive, key=lambda t: t.reconfiguration_s)
+
+
+def reconfiguration_spread_orders() -> float:
+    """Orders of magnitude between slowest and fastest (§8: ~six)."""
+    import math
+
+    times = [t.reconfiguration_s for t in TECHNOLOGIES]
+    return math.log10(max(times) / min(times))

@@ -1,0 +1,229 @@
+"""Command-line interface to the Sirius reproduction.
+
+Subcommands::
+
+    python -m repro.cli simulate   --nodes 32 --load 0.5 [--ideal] ...
+    python -m repro.cli compare    --nodes 32 --loads 0.25,0.5,1.0
+    python -m repro.cli prototype  --generation v2
+    python -m repro.cli power      [--laser-overheads 1,3,5,7,10,20]
+    python -m repro.cli cost       [--grating-fractions 0.05,0.25,1.0]
+    python -m repro.cli sync       --nodes 16 --epochs 20000
+
+Each prints a compact text report; the benchmark suite
+(``pytest benchmarks/``) remains the canonical figure regenerator.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import (
+    CongestionConfig,
+    FlowWorkload,
+    FluidNetwork,
+    PrototypeRig,
+    SiriusNetwork,
+    SyncProtocol,
+    WorkloadConfig,
+    pod_map_for,
+)
+from repro.analysis import NetworkCostModel, NetworkPowerModel, SiriusPowerModel
+from repro.core.telemetry import Telemetry, ascii_sparkline
+from repro.sync.protocol import make_clock_ensemble
+from repro.units import KILOBYTE, MEGABYTE
+
+
+def _floats(text: str) -> List[float]:
+    return [float(part) for part in text.split(",") if part]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Sirius (SIGCOMM 2020) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="run one Sirius simulation")
+    sim.add_argument("--nodes", type=int, default=32)
+    sim.add_argument("--grating-ports", type=int, default=8)
+    sim.add_argument("--load", type=float, default=0.5)
+    sim.add_argument("--flows", type=int, default=1000)
+    sim.add_argument("--multiplier", type=float, default=1.5)
+    sim.add_argument("--queue-threshold", type=int, default=4)
+    sim.add_argument("--ideal", action="store_true",
+                     help="SIRIUS (IDEAL) baseline instead of the protocol")
+    sim.add_argument("--mean-flow-kb", type=float, default=100.0)
+    sim.add_argument("--seed", type=int, default=1)
+    sim.add_argument("--telemetry", action="store_true",
+                     help="print a backlog sparkline")
+
+    cmp_ = sub.add_parser("compare", help="Sirius vs ESN baselines")
+    cmp_.add_argument("--nodes", type=int, default=32)
+    cmp_.add_argument("--grating-ports", type=int, default=8)
+    cmp_.add_argument("--loads", type=_floats, default=[0.25, 0.5, 1.0])
+    cmp_.add_argument("--flows", type=int, default=800)
+    cmp_.add_argument("--seed", type=int, default=2)
+
+    proto = sub.add_parser("prototype", help="the §6 four-node testbed")
+    proto.add_argument("--generation", choices=("v1", "v2"), default="v2")
+    proto.add_argument("--epochs", type=int, default=15)
+
+    power = sub.add_parser("power", help="the §5 power analysis (Fig 6a)")
+    power.add_argument("--laser-overheads", type=_floats,
+                       default=[1, 3, 5, 7, 10, 20])
+
+    cost = sub.add_parser("cost", help="the §5 cost analysis (Fig 6b)")
+    cost.add_argument("--grating-fractions", type=_floats,
+                      default=[0.05, 0.10, 0.25, 0.50, 0.75, 1.0])
+
+    sync = sub.add_parser("sync", help="time-synchronization accuracy")
+    sync.add_argument("--nodes", type=int, default=16)
+    sync.add_argument("--epochs", type=int, default=20_000)
+    return parser
+
+
+# -- subcommand implementations ------------------------------------------------
+def _cmd_simulate(args) -> int:
+    config = CongestionConfig(
+        queue_threshold=args.queue_threshold, ideal=args.ideal,
+    )
+    net = SiriusNetwork(
+        args.nodes, args.grating_ports,
+        uplink_multiplier=args.multiplier,
+        config=config, track_reorder=True, seed=args.seed,
+    )
+    workload = FlowWorkload(WorkloadConfig(
+        n_nodes=args.nodes, load=args.load,
+        node_bandwidth_bps=net.reference_node_bandwidth_bps,
+        mean_flow_bits=args.mean_flow_kb * KILOBYTE,
+        truncation_bits=max(2 * MEGABYTE, 4 * args.mean_flow_kb * KILOBYTE),
+        seed=args.seed + 1,
+    ))
+    telemetry = Telemetry(sample_every=4) if args.telemetry else None
+    result = net.run(workload.generate(args.flows), telemetry=telemetry)
+    print(f"system            : "
+          f"{'SIRIUS (IDEAL)' if args.ideal else 'Sirius'} "
+          f"{args.nodes} nodes, {args.multiplier}x uplinks, "
+          f"Q={args.queue_threshold}")
+    print(f"epochs            : {result.epochs} "
+          f"({result.duration_s / 1e-6:.1f} us)")
+    print(f"completed flows   : {len(result.completed_flows)}"
+          f"/{len(result.flows)}")
+    print(f"goodput           : {result.normalized_goodput:.3f}")
+    p50, p99 = result.fct_percentile(50), result.fct_percentile(99)
+    if p99 is not None:
+        print(f"short-flow FCT    : p50 {p50 / 1e-6:.1f} us, "
+              f"p99 {p99 / 1e-6:.1f} us")
+    print(f"peak queues       : fwd {result.peak_fwd_bytes / 1000:.1f} KB, "
+          f"reorder {result.peak_reorder_bytes / 1000:.1f} KB")
+    if telemetry is not None and telemetry.n_samples:
+        print(f"backlog           : "
+              f"{ascii_sparkline(telemetry.backlog_series())}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    reference = SiriusNetwork(
+        args.nodes, args.grating_ports, uplink_multiplier=1.0
+    ).reference_node_bandwidth_bps
+    pod = max(2, args.nodes // 4)
+
+    def workload(load):
+        return FlowWorkload(WorkloadConfig(
+            n_nodes=args.nodes, load=load, node_bandwidth_bps=reference,
+            mean_flow_bits=100 * KILOBYTE, truncation_bits=2 * MEGABYTE,
+            seed=args.seed,
+        )).generate(args.flows)
+
+    print(f"{'load':>6} {'system':>18} {'goodput':>8} {'p99 FCT us':>11}")
+    for load in args.loads:
+        systems = [
+            ("ESN (Ideal)", FluidNetwork(args.nodes, reference)),
+            ("ESN-OSUB (Ideal)", FluidNetwork(
+                args.nodes, reference,
+                pod_map=pod_map_for(args.nodes, pod),
+                pod_bandwidth_bps=pod * reference / 3.0,
+            )),
+        ]
+        for name, net in systems:
+            result = net.run(workload(load))
+            p99 = result.fct_percentile(99)
+            print(f"{load:>6.0%} {name:>18} "
+                  f"{result.normalized_goodput:>8.3f} "
+                  f"{(p99 or 0) / 1e-6:>11.1f}")
+        sirius = SiriusNetwork(
+            args.nodes, args.grating_ports, uplink_multiplier=1.5,
+            seed=args.seed,
+        ).run(workload(load))
+        p99 = sirius.fct_percentile(99)
+        print(f"{load:>6.0%} {'Sirius':>18} "
+              f"{sirius.normalized_goodput:>8.3f} "
+              f"{(p99 or 0) / 1e-6:>11.1f}")
+    return 0
+
+
+def _cmd_prototype(args) -> int:
+    rig = PrototypeRig(args.generation, seed=5)
+    report = rig.run(n_epochs=args.epochs, sync_epochs=4000)
+    print(f"Sirius {report.generation}")
+    print(f"guardband             : {report.guardband_s / 1e-9:.2f} ns")
+    print(f"worst reconfiguration : "
+          f"{report.worst_reconfiguration_s / 1e-9:.3f} ns "
+          f"({'OK' if report.guardband_sufficient else 'EXCEEDED'})")
+    print(f"post-FEC error-free   : {report.error_free} "
+          f"({report.bits_checked:,} bits)")
+    print(f"sync deviation        : "
+          f"±{report.sync_max_offset_s / 1e-12:.2f} ps")
+    return 0
+
+
+def _cmd_power(args) -> int:
+    sirius, esn = SiriusPowerModel(), NetworkPowerModel()
+    print("tunable/fixed laser power -> Sirius/ESN power ratio")
+    for overhead in args.laser_overheads:
+        ratio = sirius.ratio_vs_esn(overhead, esn)
+        print(f"  {overhead:>5.1f}x : {ratio:.1%}  "
+              f"({1 - ratio:.0%} savings)")
+    return 0
+
+
+def _cmd_cost(args) -> int:
+    model = NetworkCostModel()
+    print("grating/switch cost -> Sirius cost ratios")
+    print(f"{'fraction':>9} {'vs non-blocking':>16} {'vs 3:1 oversub':>15}")
+    for fraction in args.grating_fractions:
+        print(f"{fraction:>9.0%} "
+              f"{model.ratio_vs_esn(fraction):>16.1%} "
+              f"{model.ratio_vs_esn(fraction, oversubscription=3.0):>15.1%}")
+    return 0
+
+
+def _cmd_sync(args) -> int:
+    protocol = SyncProtocol(make_clock_ensemble(args.nodes, seed=9))
+    result = protocol.run(args.epochs,
+                          warmup_epochs=min(5000, args.epochs // 3))
+    print(f"{args.nodes} nodes, {args.epochs} epochs: max offset "
+          f"±{result.max_abs_offset_ps:.2f} ps (paper: ±5 ps for 2 nodes)")
+    return 0
+
+
+_COMMANDS = {
+    "simulate": _cmd_simulate,
+    "compare": _cmd_compare,
+    "prototype": _cmd_prototype,
+    "power": _cmd_power,
+    "cost": _cmd_cost,
+    "sync": _cmd_sync,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,56 @@
+"""Sirius' network stack: scheduling, routing, congestion control and the
+epoch-synchronous cell-level simulator (paper §4, §7).
+
+Module map:
+
+* :mod:`repro.core.cell` — fixed-size cells and flows.
+* :mod:`repro.core.schedule` — the static cyclic schedule (Fig 5b) and
+  slot/epoch timing derived from cell size and guardband.
+* :mod:`repro.core.routing` — Valiant load-balanced routing decisions.
+* :mod:`repro.core.congestion` — the request/grant protocol (§4.3).
+* :mod:`repro.core.reorder` — destination-side reorder buffers.
+* :mod:`repro.core.node` — per-node state (LOCAL buffer, virtual
+  queues, forward queues, protocol bookkeeping).
+* :mod:`repro.core.network` — the epoch-synchronous simulator that ties
+  it all together and produces the §7 metrics.
+"""
+
+from repro.core.cell import Cell, Flow
+from repro.core.failures import (
+    AdjustedSchedule,
+    FailureDetector,
+    FailureEvent,
+    FailurePlan,
+)
+from repro.core.schedule import CyclicSchedule, SlotTiming
+from repro.core.routing import ValiantRouter
+from repro.core.congestion import CongestionConfig
+from repro.core.reorder import ReorderBuffer
+from repro.core.node import SiriusNode
+from repro.core.network import SiriusNetwork, SimulationResult
+from repro.core.parallel import ParallelSiriusPlanes
+from repro.core.rack import CreditLink, RackConfig, RackDeployment, RackSwitch
+from repro.core.telemetry import Telemetry
+
+__all__ = [
+    "AdjustedSchedule",
+    "Cell",
+    "FailureDetector",
+    "FailureEvent",
+    "FailurePlan",
+    "Flow",
+    "CyclicSchedule",
+    "SlotTiming",
+    "ValiantRouter",
+    "CongestionConfig",
+    "ReorderBuffer",
+    "SiriusNode",
+    "SiriusNetwork",
+    "ParallelSiriusPlanes",
+    "CreditLink",
+    "RackConfig",
+    "RackDeployment",
+    "RackSwitch",
+    "Telemetry",
+    "SimulationResult",
+]

@@ -1,0 +1,487 @@
+"""Epoch-synchronous cell-level simulator of a Sirius network (paper §7).
+
+The cyclic schedule connects every node pair exactly
+``links_per_block`` times per epoch, so the simulator advances
+epoch-by-epoch rather than slot-by-slot: within an epoch each node may
+hand at most ``capacity(e)`` cells to every other node.  Slot-level
+timing (cell size, guardband) sets the epoch's wall-clock duration, so
+guardband sweeps (Fig 11) lengthen epochs exactly as in the paper.
+
+Per-epoch phase order (see :mod:`repro.core.congestion` for the protocol
+round-trip this implements):
+
+1. **Deliver** cells transmitted in the previous epoch — to the
+   application (final destination) or into forward queues (intermediate).
+2. **Resolve** the request round that completes this epoch: apply
+   arrived grants (LOCAL → virtual queue) and expire denials.
+3. **Admit** new flow arrivals into LOCAL.
+4. **Request** — every node emits this epoch's requests.
+5. **Grant** — every node decides on the requests received last epoch.
+6. **Transmit** — every node fills its slots: forward-queue cells
+   first, then granted virtual-queue cells.
+
+Fractional uplink provisioning (the paper's 1.5× of Fig 9/12) is
+modelled as per-epoch capacity alternation: with multiplier ``m`` the
+per-pair capacity of epoch ``e`` is ``floor((e+1)m) − floor(em)``
+(e.g. 1, 2, 1, 2… for m = 1.5), while the physical topology carries
+``ceil(m)`` uplink replicas.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.cell import Cell, Flow
+from repro.core.congestion import CongestionConfig
+from repro.core.failures import FailurePlan
+from repro.core.node import SiriusNode
+from repro.core.telemetry import Telemetry
+from repro.core.schedule import CyclicSchedule, SlotTiming
+from repro.topology.sirius import SiriusTopology
+from repro.units import KILOBYTE
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one :meth:`SiriusNetwork.run`.
+
+    All byte/bit quantities are application payload (goodput), matching
+    the paper's server-goodput metric.
+    """
+
+    flows: List[Flow]
+    epochs: int
+    duration_s: float
+    delivered_bits: float
+    offered_bits: float
+    #: Node bandwidth used for goodput normalization: the ESN-equivalent
+    #: (multiplier-1) uplink bandwidth, as in Fig 9b.
+    reference_node_bandwidth_bps: float
+    n_nodes: int
+    cell_bytes: float
+    peak_fwd_cells: int
+    peak_local_cells: int
+    peak_reorder_cells: int
+    config: CongestionConfig
+    #: Flows terminated by node failures (source or destination died).
+    failed_flows: int = 0
+    #: Cells lost to failed nodes and retransmitted by their sources.
+    retransmitted_cells: int = 0
+
+    # -- derived metrics -----------------------------------------------------
+    @property
+    def normalized_goodput(self) -> float:
+        """Delivered bits / (duration × nodes × reference bandwidth)."""
+        capacity = self.duration_s * self.n_nodes * (
+            self.reference_node_bandwidth_bps
+        )
+        return self.delivered_bits / capacity if capacity else 0.0
+
+    @property
+    def completed_flows(self) -> List[Flow]:
+        return [f for f in self.flows if f.is_complete]
+
+    def fcts(self, max_size_bits: Optional[float] = None,
+             min_size_bits: Optional[float] = None) -> List[float]:
+        """Completion times of completed flows, optionally size-filtered."""
+        out = []
+        for flow in self.flows:
+            if flow.completion_time is None:
+                continue
+            if max_size_bits is not None and flow.size_bits >= max_size_bits:
+                continue
+            if min_size_bits is not None and flow.size_bits < min_size_bits:
+                continue
+            out.append(flow.fct)
+        return out
+
+    def fct_percentile(self, percentile: float,
+                       max_size_bits: Optional[float] = 100 * KILOBYTE
+                       ) -> Optional[float]:
+        """FCT percentile of "short" flows (default < 100 KB, as Fig 9a)."""
+        fcts = sorted(self.fcts(max_size_bits=max_size_bits))
+        if not fcts:
+            return None
+        if not 0 < percentile <= 100:
+            raise ValueError(f"percentile must be in (0, 100], got {percentile}")
+        index = min(len(fcts) - 1,
+                    int(math.ceil(percentile / 100 * len(fcts))) - 1)
+        return fcts[index]
+
+    @property
+    def completion_fraction(self) -> float:
+        """Fraction of offered flows that completed within the run."""
+        if not self.flows:
+            return 1.0
+        return len(self.completed_flows) / len(self.flows)
+
+    @property
+    def peak_fwd_bytes(self) -> float:
+        """Peak aggregate forward-queue occupancy at any node (Fig 10c)."""
+        return self.peak_fwd_cells * self.cell_bytes
+
+    @property
+    def peak_reorder_bytes(self) -> float:
+        """Peak per-flow reorder buffer at any destination (Fig 10d)."""
+        return self.peak_reorder_cells * self.cell_bytes
+
+
+class SiriusNetwork:
+    """A simulated Sirius deployment: topology + schedule + protocol.
+
+    Parameters
+    ----------
+    n_nodes:
+        Nodes (racks) attached to the optical core.
+    grating_ports:
+        AWGR port count; the epoch is this many timeslots.
+    uplink_multiplier:
+        Uplink over-provisioning relative to the reachability minimum
+        (1.0, 1.5 or 2.0 in the paper's experiments).
+    timing:
+        Slot timing (cell size / guardband); defaults to the paper's
+        100 ns slot with a 10 ns guardband.
+    config:
+        Congestion-control configuration (``Q``, ideal mode).
+    track_reorder:
+        Maintain destination reorder buffers and their peak statistic
+        (costs some simulation speed; needed for Fig 10d).
+    local_capacity_cells:
+        Optional bound on each node's LOCAL buffer (cells).  When set,
+        arrivals beyond the bound wait in a per-node server-side
+        backlog and trickle in as LOCAL drains — the §4.3 one-hop
+        (credit-style) flow control between servers and their rack
+        switch.  ``None`` (default) models an unbounded LOCAL, as a
+        server-based deployment's host memory effectively is.
+    seed:
+        Seed for all protocol randomness (intermediate choice, grant
+        tie-breaks).
+    """
+
+    def __init__(self, n_nodes: int, grating_ports: int, *,
+                 uplink_multiplier: float = 1.5,
+                 timing: Optional[SlotTiming] = None,
+                 config: Optional[CongestionConfig] = None,
+                 track_reorder: bool = False,
+                 local_capacity_cells: Optional[int] = None,
+                 seed: int = 1) -> None:
+        if uplink_multiplier < 1.0:
+            raise ValueError(
+                f"uplink multiplier must be >= 1, got {uplink_multiplier}"
+            )
+        self.multiplier = uplink_multiplier
+        self.topology = SiriusTopology(
+            n_nodes, grating_ports,
+            uplink_multiplier=math.ceil(uplink_multiplier),
+        )
+        self.schedule = CyclicSchedule(self.topology, timing)
+        self.timing = self.schedule.timing
+        self.config = config or CongestionConfig()
+        self.track_reorder = track_reorder
+        if local_capacity_cells is not None and local_capacity_cells < 1:
+            raise ValueError(
+                "local_capacity_cells must be None or >= 1, got "
+                f"{local_capacity_cells}"
+            )
+        self.local_capacity_cells = local_capacity_cells
+        self.rng = random.Random(seed)
+        self.nodes: List[SiriusNode] = [
+            SiriusNode(n, n_nodes, self.config, self.rng)
+            for n in range(n_nodes)
+        ]
+
+    # -- capacity ------------------------------------------------------------
+    def epoch_capacity(self, epoch: int) -> int:
+        """Per-pair cell capacity of ``epoch`` under fractional multipliers."""
+        if epoch < 0:
+            raise ValueError(f"epoch cannot be negative, got {epoch}")
+        m = self.multiplier
+        return int(math.floor((epoch + 1) * m) - math.floor(epoch * m))
+
+    @property
+    def reference_node_bandwidth_bps(self) -> float:
+        """ESN-equivalent node bandwidth (multiplier-1 uplinks)."""
+        return self.topology.n_blocks * self.topology.link_rate_bps
+
+    # -- main loop ------------------------------------------------------------
+    def run(self, flows: Sequence[Flow], *,
+            max_epochs: Optional[int] = None,
+            drain_epochs: int = 200_000,
+            check_invariants: bool = False,
+            failure_plan: Optional[FailurePlan] = None,
+            detection_epochs: int = 3,
+            telemetry: Optional[Telemetry] = None) -> SimulationResult:
+        """Simulate until every flow completes (or an epoch cap is hit).
+
+        ``flows`` must be sorted by arrival time.  Returns the
+        :class:`SimulationResult` with per-flow FCTs and queue peaks.
+
+        ``failure_plan`` scripts node failures and recoveries (§4.5):
+        a failed node freezes; cells in flight to it are lost; after
+        ``detection_epochs`` (the detector's miss threshold) the
+        failure is announced datacenter-wide — survivors purge cells
+        addressed to it, release grant reservations held for it, stop
+        detouring through it, and sources retransmit the transit cells
+        that were stranded at it.  Flows whose source or destination
+        died (with cells still there) are terminated and counted in
+        ``failed_flows``.
+        """
+        epoch_dur = self.schedule.epoch_duration_s
+        payload_bits = self.timing.payload_bits
+        flows = list(flows)
+        for i in range(1, len(flows)):
+            if flows[i].arrival_time < flows[i - 1].arrival_time:
+                raise ValueError("flows must be sorted by arrival time")
+        flow_by_id: Dict[int, Flow] = {}
+        last_cell_bits: Dict[int, int] = {}
+        offered_bits = 0.0
+        for flow in flows:
+            flow.segment(payload_bits)
+            flow_by_id[flow.flow_id] = flow
+            last_cell_bits[flow.flow_id] = (
+                flow.size_bits - (flow.n_cells - 1) * payload_bits
+            )
+            offered_bits += flow.size_bits
+
+        if max_epochs is None:
+            last_arrival = flows[-1].arrival_time if flows else 0.0
+            max_epochs = int(last_arrival / epoch_dur) + drain_epochs
+
+        nodes = self.nodes
+        state = {
+            "pending_flows": len(flows),
+            "delivered_bits": 0.0,
+            "peak_reorder": 0,
+            "failed_flows": 0,
+            "retransmits": 0,
+        }
+        dead_flows: set = set()
+        announcements: List[Tuple[int, int, bool]] = []
+
+        def kill_flow(flow_id: int) -> None:
+            if flow_id in dead_flows:
+                return
+            flow = flow_by_id[flow_id]
+            if flow.is_complete:
+                return
+            dead_flows.add(flow_id)
+            state["pending_flows"] -= 1
+            state["failed_flows"] += 1
+
+        def retransmit(cell: Cell) -> None:
+            """Endpoint retransmission of a cell lost at a failed node."""
+            if cell.flow_id in dead_flows:
+                return
+            if failure_plan and failure_plan.is_failed(cell.src):
+                kill_flow(cell.flow_id)
+                return
+            nodes[cell.src].enqueue_local(cell)
+            state["retransmits"] += 1
+
+        def announce_failure(f_node: int) -> None:
+            """Datacenter-wide failure announcement (§4.5)."""
+            for node in nodes:
+                if node.node == f_node:
+                    continue
+                node.excluded.add(f_node)
+                node.release_grants_for(f_node)
+                node.purge_destination(f_node)
+            transit, own = nodes[f_node].drain_for_failure()
+            for cell in own:
+                kill_flow(cell.flow_id)
+            for flow in flows:
+                if flow.dst == f_node:
+                    kill_flow(flow.flow_id)
+            for cell in transit:
+                retransmit(cell)
+
+        def announce_recovery(f_node: int) -> None:
+            for node in nodes:
+                node.excluded.discard(f_node)
+
+        def deliver(batch: List[Tuple[int, Cell, int]],
+                    arrival_time: float) -> None:
+            for recv, cell, sender in batch:
+                if failure_plan and failure_plan.is_failed(recv):
+                    # Lost at the failed node: transit cells are
+                    # retransmitted by their source; final-destination
+                    # cells die with the flow.
+                    if cell.dst == recv:
+                        kill_flow(cell.flow_id)
+                    else:
+                        retransmit(cell)
+                    continue
+                if cell.flow_id in dead_flows:
+                    continue  # residue of a terminated flow
+                node = nodes[recv]
+                if cell.dst != recv:
+                    node.receive_transit(cell)
+                    continue
+                if sender == cell.src and not self.config.ideal:
+                    # Single-hop (direct-granted) delivery: release one
+                    # slot of the source's direct-grant window.
+                    node.note_direct_arrival(sender)
+                flow = flow_by_id[cell.flow_id]
+                if self.track_reorder:
+                    node.reorder.accept(cell.flow_id, cell.seq)
+                if cell.seq == flow.n_cells - 1:
+                    state["delivered_bits"] += last_cell_bits[cell.flow_id]
+                else:
+                    state["delivered_bits"] += payload_bits
+                if flow.record_delivery(arrival_time):
+                    state["pending_flows"] -= 1
+                    if self.track_reorder:
+                        peak = node.reorder.peak_flow_cells
+                        if peak > state["peak_reorder"]:
+                            state["peak_reorder"] = peak
+                        node.reorder.finish_flow(cell.flow_id)
+
+        next_flow = 0
+        in_flight: List[Tuple[int, Cell, int]] = []
+        from collections import deque as _deque
+
+        server_backlog = [_deque() for _ in nodes]
+        epoch = 0
+        while epoch < max_epochs:
+            # Phase 0: failure events fire; announcements propagate
+            # after the detection delay.
+            if failure_plan is not None:
+                for event in failure_plan.advance_to(epoch):
+                    announcements.append(
+                        (epoch + detection_epochs, event.node, event.fails)
+                    )
+                while announcements and announcements[0][0] <= epoch:
+                    _eff, f_node, fails = announcements.pop(0)
+                    if fails:
+                        announce_failure(f_node)
+                    else:
+                        announce_recovery(f_node)
+
+            # Phase 1: deliver last epoch's transmissions.
+            if in_flight:
+                deliver(in_flight, epoch * epoch_dur)
+                in_flight = []
+
+            # Phase 2: resolve the completed request round.
+            if not self.config.ideal:
+                for node in nodes:
+                    if failure_plan and failure_plan.is_failed(node.node):
+                        continue
+                    node.apply_grants_and_expiries()
+
+            # Phase 3: admit arrivals whose time falls inside this epoch.
+            horizon = (epoch + 1) * epoch_dur
+            while next_flow < len(flows) and (
+                flows[next_flow].arrival_time < horizon
+            ):
+                flow = flows[next_flow]
+                next_flow += 1
+                if failure_plan and (
+                    failure_plan.is_failed(flow.src)
+                    or failure_plan.is_failed(flow.dst)
+                ):
+                    kill_flow(flow.flow_id)
+                    continue
+                if self.local_capacity_cells is None:
+                    src_node = nodes[flow.src]
+                    for seq in range(flow.n_cells):
+                        src_node.enqueue_local(
+                            Cell(flow.flow_id, seq, flow.src, flow.dst)
+                        )
+                else:
+                    server_backlog[flow.src].append((flow, 0))
+            if self.local_capacity_cells is not None:
+                # §4.3 one-hop flow control: servers fill LOCAL only to
+                # its advertised capacity; the rest waits host-side.
+                limit = self.local_capacity_cells
+                for node in nodes:
+                    backlog = server_backlog[node.node]
+                    while backlog and node.local_cells < limit:
+                        flow, start = backlog[0]
+                        if flow.flow_id in dead_flows:
+                            backlog.popleft()
+                            continue
+                        room = limit - node.local_cells
+                        end = min(flow.n_cells, start + room)
+                        for seq in range(start, end):
+                            node.enqueue_local(
+                                Cell(flow.flow_id, seq, flow.src, flow.dst)
+                            )
+                        if end == flow.n_cells:
+                            backlog.popleft()
+                        else:
+                            backlog[0] = (flow, end)
+                            break
+
+            # Phases 4-5: grant round, then request round.  Grants are
+            # decided on the requests received in the *previous* epoch
+            # (§4.3), so the grant phase must run before this epoch's
+            # requests reach the inboxes.
+            capacity = self.epoch_capacity(epoch)
+            # Grant cap per destination per epoch: the Q admission test
+            # is the real bound (max_grants_per_destination=None); an
+            # explicit cap is an ablation.
+            grant_cap = (self.config.max_grants_per_destination
+                         or self.config.queue_threshold)
+            if not self.config.ideal:
+                for node in nodes:
+                    if failure_plan and failure_plan.is_failed(node.node):
+                        continue
+                    for src, dst in node.decide_grants(grant_cap):
+                        if failure_plan and failure_plan.is_failed(src):
+                            continue
+                        nodes[src].grant_inbox.append((node.node, dst))
+                for node in nodes:
+                    if failure_plan and failure_plan.is_failed(node.node):
+                        continue
+                    for intermediate, dst in node.generate_requests():
+                        nodes[intermediate].request_inbox.append(
+                            (node.node, dst)
+                        )
+
+            # Phase 6: transmit on every busy pair slot.
+            for node in nodes:
+                if failure_plan and failure_plan.is_failed(node.node):
+                    continue
+                for dst in node.busy_destinations():
+                    for cell in node.dequeue_for(dst, capacity):
+                        in_flight.append((dst, cell, node.node))
+
+            if check_invariants:
+                for node in nodes:
+                    node.check_invariants()
+
+            if telemetry is not None:
+                telemetry.sample(epoch, nodes, len(in_flight),
+                                 state["delivered_bits"])
+
+            epoch += 1
+            if (state["pending_flows"] == 0 and not in_flight
+                    and next_flow >= len(flows)
+                    and not any(server_backlog)):
+                break
+
+        # Deliver anything sent in the final epoch (epoch-cap exit).
+        if in_flight:
+            deliver(in_flight, epoch * epoch_dur)
+
+        duration = max(epoch, 1) * epoch_dur
+        return SimulationResult(
+            flows=flows,
+            epochs=epoch,
+            duration_s=duration,
+            delivered_bits=state["delivered_bits"],
+            offered_bits=offered_bits,
+            reference_node_bandwidth_bps=self.reference_node_bandwidth_bps,
+            n_nodes=self.topology.n_nodes,
+            cell_bytes=self.timing.cell_bytes,
+            peak_fwd_cells=max(n.peak_fwd_cells for n in nodes),
+            peak_local_cells=max(n.peak_local_cells for n in nodes),
+            peak_reorder_cells=state["peak_reorder"],
+            config=self.config,
+            failed_flows=state["failed_flows"],
+            retransmitted_cells=state["retransmits"],
+        )

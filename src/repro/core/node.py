@@ -1,0 +1,610 @@
+"""Per-node state for the Sirius cell simulator (paper §4.2–4.3).
+
+A node (rack switch or server NIC) owns four kinds of queues:
+
+* ``LOCAL`` — cells generated locally (or received from the rack's
+  servers), awaiting a grant.  Partitioned by final destination.
+* virtual queues ``vq[I]`` — granted cells awaiting their slot to
+  intermediate ``I``.
+* forward queues ``fwd[D]`` — cells received as intermediate, awaiting
+  the node's slot to final destination ``D``.  Bounded by the grant
+  protocol at ``Q`` cells each.
+* the reorder buffers of locally-terminating flows.
+
+The epoch-by-epoch protocol state machine (request → grant → send) is
+driven by :class:`repro.core.network.SiriusNetwork`; this class provides
+the state plus the per-phase operations, so the protocol logic is
+testable in isolation.
+
+One deliberate deviation from the paper's Fig 15 pseudocode: the paper
+scans LOCAL in strict FIFO order when generating requests, whereas this
+implementation round-robins across destinations with backlogged cells.
+The orderings only differ when the LOCAL backlog exceeds the number of
+intermediates (N−1 requests per epoch), where round-robin is at least as
+fair across destinations; throughput and queue bounds are unaffected.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter, deque
+from typing import Deque, Dict, List, Tuple
+
+from repro.core.cell import Cell
+from repro.core.congestion import (
+    REQUEST_ROUND_TRIP_EPOCHS,
+    CongestionConfig,
+    may_grant,
+)
+from repro.core.reorder import ReorderTracker
+
+
+class FairQueue:
+    """A queue of cells served round-robin across flows.
+
+    Implements the per-flow-queue idealization of the paper's
+    SIRIUS (IDEAL) and ESN (Ideal) baselines (§7): short flows are never
+    stuck behind an elephant's burst in the same queue.  Supports the
+    same ``append`` / ``popleft`` / ``len`` surface as
+    :class:`collections.deque` so the transmit path is agnostic.
+    """
+
+    __slots__ = ("_flows", "_order", "_cursor", "_size")
+
+    def __init__(self) -> None:
+        self._flows: Dict[int, Deque[Cell]] = {}
+        self._order: List[int] = []
+        self._cursor = 0
+        self._size = 0
+
+    def append(self, cell: Cell) -> None:
+        queue = self._flows.get(cell.flow_id)
+        if queue is None:
+            queue = deque()
+            self._flows[cell.flow_id] = queue
+            self._order.append(cell.flow_id)
+        queue.append(cell)
+        self._size += 1
+
+    def popleft(self) -> Cell:
+        if not self._size:
+            raise IndexError("pop from an empty FairQueue")
+        while True:
+            self._cursor %= len(self._order)
+            flow_id = self._order[self._cursor]
+            queue = self._flows[flow_id]
+            if queue:
+                cell = queue.popleft()
+                self._size -= 1
+                if not queue:
+                    del self._flows[flow_id]
+                    self._order.pop(self._cursor)
+                else:
+                    self._cursor += 1
+                return cell
+            del self._flows[flow_id]
+            self._order.pop(self._cursor)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def purge(self, predicate) -> List[Cell]:
+        """Remove and return every queued cell matching ``predicate``."""
+        removed: List[Cell] = []
+        for flow_id in list(self._flows):
+            queue = self._flows[flow_id]
+            kept = deque(c for c in queue if not predicate(c))
+            if len(kept) != len(queue):
+                removed.extend(c for c in queue if predicate(c))
+                if kept:
+                    self._flows[flow_id] = kept
+                else:
+                    del self._flows[flow_id]
+                    self._order.remove(flow_id)
+        self._size -= len(removed)
+        self._cursor = 0
+        return removed
+
+
+class SiriusNode:
+    """State and per-phase operations of one Sirius node."""
+
+    def __init__(self, node: int, n_nodes: int, config: CongestionConfig,
+                 rng: random.Random) -> None:
+        self.node = node
+        self.n_nodes = n_nodes
+        self.config = config
+        self.rng = rng
+        self._others = [n for n in range(n_nodes) if n != node]
+
+        # LOCAL buffer, partitioned by destination, plus request bookkeeping.
+        self.local_by_dst: Dict[int, Deque[Cell]] = {}
+        self.local_cells = 0
+        self.requested: Dict[int, int] = {}
+        # Request batches awaiting resolution, oldest first.  A batch
+        # appended during epoch e is popped (resolved) by the apply phase
+        # of epoch e + REQUEST_ROUND_TRIP_EPOCHS, so the deque is primed
+        # with that many empty placeholders.
+        self._sent_request_history: Deque[Counter] = deque(
+            Counter() for _ in range(REQUEST_ROUND_TRIP_EPOCHS)
+        )
+
+        # Granted first-hop cells per intermediate.
+        self.vq: Dict[int, Deque[Cell]] = {}
+        self.vq_cells = 0
+
+        # Second-hop queues per final destination, and grant accounting.
+        self.fwd: Dict[int, Deque[Cell]] = {}
+        self.fwd_cells = 0
+        self.outstanding: Dict[int, int] = {}
+        self.peak_fwd_cells = 0
+        self.peak_local_cells = 0
+
+        # Control-plane inboxes (filled by the network, drained per epoch).
+        self.request_inbox: List[Tuple[int, int]] = []
+        self.grant_inbox: List[Tuple[int, int]] = []
+
+        # DRRM state: rotating request offset (desynchronized across
+        # nodes by seeding with the node id) and per-destination grant
+        # pointers over sources.
+        self._request_offset = node
+        self._grant_pointers: Dict[int, int] = {}
+
+        # Ideal mode: per-flow fair queues (instead of FIFOs) and a
+        # round-robin spreading pointer (instead of request/grant).
+        self._queue_factory = FairQueue if config.ideal else deque
+        self._spread_pointer = node
+        self._slot_parity: Dict[int, int] = {}
+
+        # Failure handling (§4.5): peers announced failed are excluded
+        # from intermediate selection; per-source grant attribution lets
+        # reservations held for a dead source be released.
+        self.excluded: set = set()
+        self._outstanding_by_src: Dict[Tuple[int, int], int] = {}
+
+        # Direct (single-hop) grant window: as the *destination*, this
+        # node bounds in-flight direct grants per source so the
+        # source's shared slot (forward traffic has priority) cannot
+        # accumulate an unbounded virtual-queue backlog.
+        self._direct_outstanding: Dict[int, int] = {}
+
+        self.reorder = ReorderTracker()
+
+    # ------------------------------------------------------------------
+    # Phase: local arrivals
+    # ------------------------------------------------------------------
+    def enqueue_local(self, cell: Cell) -> None:
+        """Add a locally-generated cell to LOCAL (or push it straight to a
+        virtual queue in the ideal, protocol-less variant)."""
+        if self.config.ideal:
+            intermediate = self._pick_intermediate(cell.dst)
+            queue = self.vq.get(intermediate)
+            if queue is None:
+                queue = self._queue_factory()
+                self.vq[intermediate] = queue
+            queue.append(cell)
+            self.vq_cells += 1
+            return
+        self.local_by_dst.setdefault(cell.dst, deque()).append(cell)
+        self.local_cells += 1
+        if self.local_cells > self.peak_local_cells:
+            self.peak_local_cells = self.local_cells
+
+    def _pick_intermediate(self, dst: int) -> int:
+        """Ideal-mode spreading: strict round-robin over the other nodes
+        ("routed uniformly on a packet-by-packet basis", §4.2)."""
+        for _ in range(self.n_nodes):
+            self._spread_pointer = (self._spread_pointer + 1) % self.n_nodes
+            choice = self._spread_pointer
+            if choice == self.node or choice in self.excluded:
+                continue
+            if self.config.exclude_destination_intermediate and choice == dst:
+                continue
+            return choice
+        raise RuntimeError("no legal intermediate available")
+
+    # ------------------------------------------------------------------
+    # Phase: resolve the previous round's requests (grants + expiries)
+    # ------------------------------------------------------------------
+    def apply_grants_and_expiries(self) -> None:
+        """Apply arrived grants, then expire the unanswered requests of
+        the same (oldest) batch so their cells become requestable again."""
+        if self.config.ideal:
+            return
+        resolved = self._sent_request_history.popleft() if (
+            self._sent_request_history
+        ) else Counter()
+        for _intermediate, dst in self.grant_inbox:
+            if dst in self.excluded or _intermediate in self.excluded:
+                # Grant referencing a failed node: the reservation was
+                # (or will be) released by the failure announcement.
+                continue
+            queue = self.local_by_dst.get(dst)
+            if not queue:
+                raise RuntimeError(
+                    f"node {self.node}: grant for destination {dst} but no "
+                    "cell awaits — request accounting is corrupt"
+                )
+            cell = queue.popleft()
+            if not queue:
+                del self.local_by_dst[dst]
+            self.local_cells -= 1
+            intermediate = _intermediate
+            self.vq.setdefault(intermediate, deque()).append(cell)
+            self.vq_cells += 1
+            self.requested[dst] -= 1
+            resolved[dst] -= 1
+        self.grant_inbox.clear()
+        # Whatever remains of the oldest batch was denied: release it.
+        for dst, count in resolved.items():
+            if dst in self.excluded:
+                continue  # purged with the failed destination
+            if count > 0:
+                remaining = self.requested.get(dst, 0) - count
+                if remaining < 0:
+                    raise RuntimeError(
+                        f"node {self.node}: request accounting underflow "
+                        f"for destination {dst}"
+                    )
+                if remaining:
+                    self.requested[dst] = remaining
+                else:
+                    self.requested.pop(dst, None)
+        # Drop zeroed entries created by grant consumption.
+        for dst in [d for d, c in self.requested.items() if c == 0]:
+            del self.requested[dst]
+
+    # ------------------------------------------------------------------
+    # Phase: generate this epoch's requests
+    # ------------------------------------------------------------------
+    def generate_requests(self) -> List[Tuple[int, int]]:
+        """Produce ``(intermediate, dst)`` requests for unrequested cells.
+
+        At most one request per intermediate per epoch; destinations
+        with backlog are served round-robin.  Returns the request list;
+        the network routes each to its intermediate's inbox.
+        """
+        if self.config.ideal:
+            return []
+        backlog = [
+            (dst, len(queue) - self.requested.get(dst, 0))
+            for dst, queue in self.local_by_dst.items()
+            if len(queue) > self.requested.get(dst, 0)
+            and dst not in self.excluded
+        ]
+        if not backlog:
+            self._sent_request_history.append(Counter())
+            return []
+        pending = dict(backlog)
+        total = min(sum(pending.values()), len(self._others))
+
+        # Destination sequence: round-robin across backlogged
+        # destinations so no destination starves.
+        if self.config.selection == "drrm":
+            order = sorted(pending)
+        else:
+            order = list(pending)
+            self.rng.shuffle(order)
+        dst_sequence: List[int] = []
+        idx = 0
+        while len(dst_sequence) < total:
+            dst = order[idx % len(order)]
+            if pending[dst] > 0:
+                dst_sequence.append(dst)
+                pending[dst] -= 1
+                idx += 1
+            else:
+                order.remove(dst)
+
+        # Intermediate pairing: DRRM rotates a deterministic offset so
+        # different sources map the same intermediate to different
+        # destinations (desynchronization); random mode samples.
+        candidates = (
+            [o for o in self._others if o not in self.excluded]
+            if self.excluded else self._others
+        )
+        total = min(total, len(candidates))
+        if self.config.selection == "drrm":
+            m = len(candidates)
+            offset = self._request_offset
+            self._request_offset += 1
+            intermediates = [
+                candidates[(i + offset) % m] for i in range(total)
+            ]
+        else:
+            intermediates = self.rng.sample(candidates, total)
+
+        requests: List[Tuple[int, int]] = []
+        batch: Counter = Counter()
+        forbid_direct = self.config.exclude_destination_intermediate
+        for intermediate, dst in zip(intermediates, dst_sequence):
+            if forbid_direct and intermediate == dst:
+                # Ablation: single-hop routing forbidden — skip this
+                # pairing; the cell stays eligible for the next epoch.
+                continue
+            requests.append((intermediate, dst))
+            batch[dst] += 1
+            self.requested[dst] = self.requested.get(dst, 0) + 1
+        self._sent_request_history.append(batch)
+        return requests
+
+    # ------------------------------------------------------------------
+    # Phase: decide grants for requests received last epoch
+    # ------------------------------------------------------------------
+    def decide_grants(self, grants_per_destination: int,
+                      direct_window: int = 3) -> List[Tuple[int, int]]:
+        """Pick per-destination winners among inbox requests (§4.3).
+
+        Returns ``(source, dst)`` grants.  Requests whose destination is
+        this node bypass the forward-queue test (delivery consumes no
+        queue space) but are bounded at ``direct_window`` in-flight
+        grants per source — the source's slot to this node drains one
+        cell per epoch and is shared with forwarded traffic, so
+        unbounded direct grants would only pile up in its virtual
+        queue.  Other requests pass the ``queued + outstanding < Q``
+        test, up to ``grants_per_destination`` per epoch.
+        """
+        if not self.request_inbox:
+            return []
+        if direct_window < 1:
+            raise ValueError(f"direct window must be >= 1, got {direct_window}")
+        by_dst: Dict[int, List[int]] = {}
+        for src, dst in self.request_inbox:
+            if src in self.excluded or dst in self.excluded:
+                continue  # stale requests referencing a failed node
+            by_dst.setdefault(dst, []).append(src)
+        self.request_inbox.clear()
+        grants: List[Tuple[int, int]] = []
+        threshold = self.config.queue_threshold
+        for dst, sources in by_dst.items():
+            if dst == self.node:
+                for src in sources:
+                    in_flight = self._direct_outstanding.get(src, 0)
+                    if in_flight < direct_window:
+                        self._direct_outstanding[src] = in_flight + 1
+                        grants.append((src, dst))
+                continue
+            if self.config.selection == "drrm":
+                # Round-robin over sources from the per-destination
+                # pointer (iSLIP/DRRM-style desynchronization).
+                pointer = self._grant_pointers.get(dst, 0)
+                sources.sort(key=lambda s: (s - pointer) % self.n_nodes)
+            else:
+                self.rng.shuffle(sources)
+            granted_here = 0
+            for src in sources:
+                if granted_here >= grants_per_destination:
+                    break
+                queued = len(self.fwd.get(dst, ()))
+                outstanding = self.outstanding.get(dst, 0)
+                if may_grant(queued, outstanding, threshold):
+                    self.outstanding[dst] = outstanding + 1
+                    pair = (src, dst)
+                    self._outstanding_by_src[pair] = (
+                        self._outstanding_by_src.get(pair, 0) + 1
+                    )
+                    grants.append((src, dst))
+                    granted_here += 1
+                    if self.config.selection == "drrm":
+                        self._grant_pointers[dst] = (src + 1) % self.n_nodes
+                else:
+                    break
+        return grants
+
+    # ------------------------------------------------------------------
+    # Phase: transmit
+    # ------------------------------------------------------------------
+    def dequeue_for(self, dst: int, capacity: int) -> List[Cell]:
+        """Cells to transmit on this epoch's slot(s) to ``dst``.
+
+        Protocol mode: second-hop (forward-queue) cells take strict
+        priority over first-hop (virtual-queue) cells, which is what
+        keeps the in-network queue bound — the grant pacing guarantees
+        forward queues stay at most Q, so starvation is bounded.
+
+        Ideal mode: the slot alternates fairly between the two queues
+        (per-flow back-pressure idealization — without pacing, strict
+        priority would let one source's unpaced burst starve first-hop
+        traffic on shared slots for arbitrarily long).
+        """
+        if capacity <= 0:
+            return []
+        out: List[Cell] = []
+        fwd_queue = self.fwd.get(dst)
+        vq_queue = self.vq.get(dst)
+        fwd_taken = 0
+        vq_taken = 0
+        if self.config.ideal and fwd_queue and vq_queue:
+            parity = self._slot_parity.get(dst, 0)
+            while len(out) < capacity and (fwd_queue or vq_queue):
+                take_fwd = bool(fwd_queue) and (parity == 0 or not vq_queue)
+                if take_fwd:
+                    out.append(fwd_queue.popleft())
+                    fwd_taken += 1
+                else:
+                    out.append(vq_queue.popleft())
+                    vq_taken += 1
+                parity ^= 1
+            self._slot_parity[dst] = parity
+        else:
+            while fwd_queue and len(out) < capacity:
+                out.append(fwd_queue.popleft())
+                fwd_taken += 1
+            if vq_queue:
+                while vq_queue and len(out) < capacity:
+                    out.append(vq_queue.popleft())
+                    vq_taken += 1
+        if fwd_queue is not None and not fwd_queue:
+            del self.fwd[dst]
+        if vq_queue is not None and not vq_queue:
+            del self.vq[dst]
+        self.fwd_cells -= fwd_taken
+        self.vq_cells -= vq_taken
+        return out
+
+    def busy_destinations(self) -> List[int]:
+        """Destinations with anything to send this epoch."""
+        if not self.fwd and not self.vq:
+            return []
+        return list(self.fwd.keys() | self.vq.keys())
+
+    # ------------------------------------------------------------------
+    # Phase: receive
+    # ------------------------------------------------------------------
+    def note_direct_arrival(self, src: int) -> None:
+        """A granted single-hop cell from ``src`` arrived: release one
+        slot of its direct-grant window."""
+        in_flight = self._direct_outstanding.get(src, 0)
+        if in_flight <= 1:
+            self._direct_outstanding.pop(src, None)
+        else:
+            self._direct_outstanding[src] = in_flight - 1
+
+    def receive_transit(self, cell: Cell) -> None:
+        """Accept a first-hop cell for which this node is the intermediate."""
+        queue = self.fwd.get(cell.dst)
+        if queue is None:
+            queue = self._queue_factory()
+            self.fwd[cell.dst] = queue
+        queue.append(cell)
+        self.fwd_cells += 1
+        if self.fwd_cells > self.peak_fwd_cells:
+            self.peak_fwd_cells = self.fwd_cells
+        if not self.config.ideal:
+            outstanding = self.outstanding.get(cell.dst, 0)
+            if outstanding <= 0:
+                raise RuntimeError(
+                    f"node {self.node}: transit cell for {cell.dst} arrived "
+                    "without an outstanding grant"
+                )
+            if outstanding == 1:
+                del self.outstanding[cell.dst]
+            else:
+                self.outstanding[cell.dst] = outstanding - 1
+            pair = (cell.src, cell.dst)
+            by_src = self._outstanding_by_src.get(pair, 0)
+            if by_src == 1:
+                del self._outstanding_by_src[pair]
+            elif by_src > 1:
+                self._outstanding_by_src[pair] = by_src - 1
+
+    # ------------------------------------------------------------------
+    # Failure handling (§4.5)
+    # ------------------------------------------------------------------
+    def release_grants_for(self, failed_src: int) -> int:
+        """Release outstanding-grant reservations held for a dead source.
+
+        Without this, reservations for cells a failed node will never
+        send would pin forward-queue headroom forever.  Returns the
+        number of reservations released.
+        """
+        released = 0
+        for (src, dst) in list(self._outstanding_by_src):
+            if src != failed_src:
+                continue
+            count = self._outstanding_by_src.pop((src, dst))
+            released += count
+            remaining = self.outstanding.get(dst, 0) - count
+            if remaining > 0:
+                self.outstanding[dst] = remaining
+            else:
+                self.outstanding.pop(dst, None)
+        self._direct_outstanding.pop(failed_src, None)
+        return released
+
+    def purge_destination(self, dead: int) -> int:
+        """Drop every cell addressed to a failed node (§4.5: failure
+        announcements prevent blackholing).  Returns cells dropped."""
+        dropped = 0
+        queue = self.local_by_dst.pop(dead, None)
+        if queue:
+            dropped += len(queue)
+            self.local_cells -= len(queue)
+        self.requested.pop(dead, None)
+        fwd = self.fwd.pop(dead, None)
+        if fwd:
+            dropped += len(fwd)
+            self.fwd_cells -= len(fwd)
+        self.outstanding.pop(dead, None)
+        for pair in [p for p in self._outstanding_by_src if p[1] == dead]:
+            del self._outstanding_by_src[pair]
+        for intermediate in list(self.vq):
+            queue = self.vq[intermediate]
+            if isinstance(queue, FairQueue):
+                removed = queue.purge(lambda c: c.dst == dead)
+            else:
+                removed = [c for c in queue if c.dst == dead]
+                if removed:
+                    kept = deque(c for c in queue if c.dst != dead)
+                    if kept:
+                        self.vq[intermediate] = kept
+                    else:
+                        del self.vq[intermediate]
+            if removed:
+                dropped += len(removed)
+                self.vq_cells -= len(removed)
+        return dropped
+
+    def drain_for_failure(self) -> Tuple[List[Cell], List[Cell]]:
+        """Empty this (failed) node's queues.
+
+        Returns ``(transit_cells, own_cells)``: cells this node held as
+        an intermediate (recoverable — their sources retransmit) and
+        cells of its own flows (lost with the node).  All protocol
+        state is reset so a later recovery starts clean.
+        """
+        transit: List[Cell] = []
+        own: List[Cell] = []
+        for queue in self.fwd.values():
+            while queue:
+                transit.append(queue.popleft())
+        for queue in self.vq.values():
+            while queue:
+                own.append(queue.popleft())
+        for queue in self.local_by_dst.values():
+            own.extend(queue)
+        self.fwd.clear()
+        self.vq.clear()
+        self.local_by_dst.clear()
+        self.fwd_cells = self.vq_cells = self.local_cells = 0
+        self.requested.clear()
+        self.outstanding.clear()
+        self._outstanding_by_src.clear()
+        self._direct_outstanding.clear()
+        self.request_inbox.clear()
+        self.grant_inbox.clear()
+        self._sent_request_history.clear()
+        self._sent_request_history.extend(
+            Counter() for _ in range(REQUEST_ROUND_TRIP_EPOCHS)
+        )
+        return transit, own
+
+    # ------------------------------------------------------------------
+    # Invariants (used by tests and debug runs)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Assert internal accounting consistency and the queue bound."""
+        assert self.local_cells == sum(
+            len(q) for q in self.local_by_dst.values()
+        ), f"node {self.node}: LOCAL count drift"
+        assert self.fwd_cells == sum(len(q) for q in self.fwd.values()), (
+            f"node {self.node}: forward count drift"
+        )
+        assert self.vq_cells == sum(len(q) for q in self.vq.values()), (
+            f"node {self.node}: virtual-queue count drift"
+        )
+        for dst, count in self.requested.items():
+            assert 0 < count <= len(self.local_by_dst.get(dst, ())), (
+                f"node {self.node}: requested[{dst}]={count} exceeds backlog"
+            )
+        if not self.config.ideal:
+            limit = self.config.queue_threshold
+            for dst, queue in self.fwd.items():
+                total = len(queue) + self.outstanding.get(dst, 0)
+                assert total <= limit, (
+                    f"node {self.node}: fwd[{dst}] {len(queue)} + outstanding "
+                    f"{self.outstanding.get(dst, 0)} exceeds Q={limit}"
+                )

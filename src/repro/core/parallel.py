@@ -1,0 +1,142 @@
+"""Topology-level parallelism: parallel Sirius planes (paper §4.5).
+
+When a single network's bandwidth stops scaling ("in such a post-
+Moore's-law world, datacenter operators may even have to resort to
+increasing the levels of hierarchy"), the paper argues the efficient
+alternative is *parallel networks* — and that "Sirius' design is
+particularly amenable to such scaling through topology-level
+parallelism": each plane is an independent single layer of gratings, so
+adding a plane adds bandwidth without adding hierarchy, scheduler state
+or reconfiguration coupling.
+
+:class:`ParallelSiriusPlanes` runs ``n_planes`` independent Sirius
+networks and stripes flows across them.  Striping policies:
+
+* ``"hash"`` — flow id determines the plane (stateless, order-
+  preserving per flow — no cross-plane reordering);
+* ``"round_robin"`` — flows alternate planes;
+* ``"least_loaded"`` — each flow goes to the plane with the least
+  outstanding bytes (greedy load balancing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.core.cell import Flow
+from repro.core.network import SimulationResult, SiriusNetwork
+
+_POLICIES = ("hash", "round_robin", "least_loaded")
+
+
+@dataclass
+class ParallelResult:
+    """Merged outcome of a striped multi-plane run."""
+
+    plane_results: List[SimulationResult]
+    assignments: Dict[int, int]
+
+    @property
+    def n_planes(self) -> int:
+        return len(self.plane_results)
+
+    @property
+    def all_flows(self) -> List[Flow]:
+        return [f for r in self.plane_results for f in r.flows]
+
+    @property
+    def completed_flows(self) -> List[Flow]:
+        return [f for f in self.all_flows if f.is_complete]
+
+    @property
+    def delivered_bits(self) -> float:
+        return sum(r.delivered_bits for r in self.plane_results)
+
+    @property
+    def duration_s(self) -> float:
+        return max((r.duration_s for r in self.plane_results), default=0.0)
+
+    @property
+    def normalized_goodput(self) -> float:
+        """Goodput against the *aggregate* multi-plane capacity."""
+        if not self.plane_results:
+            return 0.0
+        reference = self.plane_results[0]
+        capacity = (
+            self.duration_s * reference.n_nodes * self.n_planes
+            * reference.reference_node_bandwidth_bps
+        )
+        return self.delivered_bits / capacity if capacity else 0.0
+
+    def plane_share(self, plane: int) -> float:
+        """Fraction of flows assigned to ``plane``."""
+        if not self.assignments:
+            return 0.0
+        count = sum(1 for p in self.assignments.values() if p == plane)
+        return count / len(self.assignments)
+
+
+class ParallelSiriusPlanes:
+    """``n_planes`` independent Sirius networks with flow striping."""
+
+    def __init__(self, n_planes: int, n_nodes: int, grating_ports: int,
+                 *, striping: str = "hash", seed: int = 1,
+                 **network_kwargs) -> None:
+        if n_planes < 1:
+            raise ValueError(f"need at least one plane, got {n_planes}")
+        if striping not in _POLICIES:
+            raise ValueError(
+                f"unknown striping {striping!r}; choose from {_POLICIES}"
+            )
+        self.striping = striping
+        self.planes = [
+            SiriusNetwork(n_nodes, grating_ports, seed=seed + k,
+                          **network_kwargs)
+            for k in range(n_planes)
+        ]
+        self.n_nodes = n_nodes
+
+    @property
+    def n_planes(self) -> int:
+        return len(self.planes)
+
+    @property
+    def aggregate_bandwidth_bps(self) -> float:
+        """Total node bandwidth across planes — the scaling knob."""
+        return sum(
+            plane.reference_node_bandwidth_bps for plane in self.planes
+        )
+
+    # -- striping ------------------------------------------------------------
+    def assign(self, flows: Sequence[Flow]) -> Dict[int, int]:
+        """Flow id → plane index under the configured policy."""
+        if self.striping == "hash":
+            return {f.flow_id: f.flow_id % self.n_planes for f in flows}
+        if self.striping == "round_robin":
+            return {
+                f.flow_id: k % self.n_planes
+                for k, f in enumerate(flows)
+            }
+        # least_loaded: greedy on outstanding bytes.
+        loads = [0.0] * self.n_planes
+        assignment: Dict[int, int] = {}
+        for flow in flows:
+            plane = min(range(self.n_planes), key=lambda p: loads[p])
+            assignment[flow.flow_id] = plane
+            loads[plane] += flow.size_bits
+        return assignment
+
+    # -- execution ------------------------------------------------------------
+    def run(self, flows: Sequence[Flow], **run_kwargs) -> ParallelResult:
+        """Stripe and run; planes are independent (no shared queues)."""
+        assignments = self.assign(flows)
+        per_plane: List[List[Flow]] = [[] for _ in self.planes]
+        for flow in flows:
+            per_plane[assignments[flow.flow_id]].append(flow)
+        results = []
+        for plane, plane_flows in zip(self.planes, per_plane):
+            plane_flows.sort(key=lambda f: f.arrival_time)
+            results.append(plane.run(plane_flows, **run_kwargs))
+        return ParallelResult(plane_results=results,
+                              assignments=assignments)

@@ -1,0 +1,144 @@
+"""Per-epoch time-series collection for Sirius simulations.
+
+The §7 figures report end-of-run aggregates; operating a real Sirius
+needs the time dimension — queue growth under bursts, drain behaviour
+after overload, the footprint of a failure.  A :class:`Telemetry`
+object passed to :meth:`repro.core.network.SiriusNetwork.run` samples
+the network once per epoch:
+
+* aggregate LOCAL / virtual-queue / forward-queue occupancy (cells),
+* cells in flight through the passive core,
+* cumulative delivered payload,
+
+at a configurable sampling period so long runs stay cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class Telemetry:
+    """Epoch-sampled counters of one simulation run.
+
+    Parameters
+    ----------
+    sample_every:
+        Sampling period in epochs (1 = every epoch).
+    """
+
+    sample_every: int = 1
+    epochs: List[int] = field(default_factory=list)
+    local_cells: List[int] = field(default_factory=list)
+    vq_cells: List[int] = field(default_factory=list)
+    fwd_cells: List[int] = field(default_factory=list)
+    in_flight_cells: List[int] = field(default_factory=list)
+    delivered_bits: List[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.sample_every < 1:
+            raise ValueError(
+                f"sampling period must be >= 1, got {self.sample_every}"
+            )
+
+    # -- collection (called by the simulator) -----------------------------------
+    def sample(self, epoch: int, nodes: Sequence, in_flight: int,
+               delivered_bits: float) -> None:
+        """Record one epoch's aggregate state (if due for sampling)."""
+        if epoch % self.sample_every:
+            return
+        self.epochs.append(epoch)
+        self.local_cells.append(sum(n.local_cells for n in nodes))
+        self.vq_cells.append(sum(n.vq_cells for n in nodes))
+        self.fwd_cells.append(sum(n.fwd_cells for n in nodes))
+        self.in_flight_cells.append(in_flight)
+        self.delivered_bits.append(delivered_bits)
+
+    # -- analysis ------------------------------------------------------------
+    @property
+    def n_samples(self) -> int:
+        return len(self.epochs)
+
+    def peak(self, series: str) -> int:
+        """Peak of a named series (``local`` / ``vq`` / ``fwd`` /
+        ``in_flight``)."""
+        return max(self._series(series), default=0)
+
+    def time_of_peak(self, series: str) -> Optional[int]:
+        """Epoch index at which a series peaks."""
+        values = self._series(series)
+        if not values:
+            return None
+        peak = max(values)
+        return self.epochs[values.index(peak)]
+
+    def throughput_cells(self, payload_bits: int) -> List[float]:
+        """Delivered cells per sampled interval (discrete derivative)."""
+        if payload_bits <= 0:
+            raise ValueError("payload must be positive")
+        deltas = [self.delivered_bits[0]] if self.delivered_bits else []
+        for previous, current in zip(self.delivered_bits,
+                                     self.delivered_bits[1:]):
+            deltas.append(current - previous)
+        return [d / payload_bits for d in deltas]
+
+    def backlog_series(self) -> List[int]:
+        """Total cells anywhere in the system, per sample."""
+        return [
+            local + vq + fwd + flight
+            for local, vq, fwd, flight in zip(
+                self.local_cells, self.vq_cells, self.fwd_cells,
+                self.in_flight_cells,
+            )
+        ]
+
+    def summary(self) -> Dict[str, float]:
+        """Headline statistics of the run's time series."""
+        backlog = self.backlog_series()
+        return {
+            "samples": self.n_samples,
+            "peak_local": self.peak("local"),
+            "peak_vq": self.peak("vq"),
+            "peak_fwd": self.peak("fwd"),
+            "peak_backlog": max(backlog, default=0),
+            "final_backlog": backlog[-1] if backlog else 0,
+        }
+
+    def _series(self, name: str) -> List[int]:
+        series = {
+            "local": self.local_cells,
+            "vq": self.vq_cells,
+            "fwd": self.fwd_cells,
+            "in_flight": self.in_flight_cells,
+        }
+        if name not in series:
+            raise ValueError(
+                f"unknown series {name!r}; choose from {sorted(series)}"
+            )
+        return series[name]
+
+
+def ascii_sparkline(values: Sequence[float], width: int = 60) -> str:
+    """Compact ASCII rendering of a series (for benchmark logs)."""
+    if not values:
+        raise ValueError("cannot plot an empty series")
+    if width < 1:
+        raise ValueError("width must be positive")
+    glyphs = " .:-=+*#%@"
+    if len(values) > width:
+        # Downsample by taking the max of each bucket (peaks matter).
+        bucket = len(values) / width
+        sampled = [
+            max(values[int(k * bucket):max(int((k + 1) * bucket),
+                                           int(k * bucket) + 1)])
+            for k in range(width)
+        ]
+    else:
+        sampled = list(values)
+    top = max(sampled)
+    if top == 0:
+        return " " * len(sampled)
+    scale = len(glyphs) - 1
+    return "".join(glyphs[int(round(v / top * scale))] for v in sampled)

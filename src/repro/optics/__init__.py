@@ -1,0 +1,47 @@
+"""Optical building blocks of the Sirius network (paper §3).
+
+This subpackage models every optical device the paper relies on:
+
+* :mod:`repro.optics.awgr` — the passive Arrayed Waveguide Grating
+  Router that cyclically routes wavelengths between ports (§3.1).
+* :mod:`repro.optics.laser` — standard electrically-tuned DSDBR lasers,
+  including the ringing effect and the dampened-tuning driver that
+  brings worst-case tuning from 10 ms down to 92 ns (§3.2).
+* :mod:`repro.optics.soa` — semiconductor optical amplifiers used as
+  nanosecond optical gates (§3.3).
+* :mod:`repro.optics.disaggregated` — the three disaggregated tunable
+  laser designs: fixed laser bank, tunable laser bank and comb laser
+  (§3.3, Fig 4).
+* :mod:`repro.optics.link_budget` — insertion loss accounting and the
+  laser-sharing analysis (§4.5).
+* :mod:`repro.optics.ber` — bit-error-rate versus received power and
+  the FEC threshold model used for Fig 8d.
+"""
+
+from repro.optics.awgr import AWGR
+from repro.optics.laser import DampenedTuningDriver, TunableLaser
+from repro.optics.soa import SOA, SOABank
+from repro.optics.disaggregated import (
+    CombLaserSource,
+    DisaggregatedLaser,
+    FixedLaserBank,
+    TunableLaserBank,
+)
+from repro.optics.link_budget import LinkBudget, laser_sharing_degree
+from repro.optics.ber import BERModel, FEC_BER_THRESHOLD
+
+__all__ = [
+    "AWGR",
+    "TunableLaser",
+    "DampenedTuningDriver",
+    "SOA",
+    "SOABank",
+    "DisaggregatedLaser",
+    "FixedLaserBank",
+    "TunableLaserBank",
+    "CombLaserSource",
+    "LinkBudget",
+    "laser_sharing_degree",
+    "BERModel",
+    "FEC_BER_THRESHOLD",
+]

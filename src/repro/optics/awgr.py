@@ -1,0 +1,141 @@
+"""Arrayed Waveguide Grating Router (AWGR) model (paper §3.1, Fig 3a).
+
+An AWGR is a fully passive optical component with ``n`` input and ``n``
+output ports.  Light entering input port ``i`` on wavelength channel
+``w`` is diffracted to a fixed output port determined only by ``(i, w)``
+— the device consumes no power, has no moving parts, and is agnostic to
+the modulation format of the light.
+
+The routing function is *cyclic*: the paper's Fig 3a shows a 4-port
+example in which wavelength ``j`` incident on port ``i`` appears on
+output port ``(i + j) mod n`` (with the paper's 1-based labels,
+``W[i,j]`` lands on output ``((i - 1 + j - 1) mod n) + 1``).  This module
+uses 0-based ports and channels throughout.
+
+Key property exploited by Sirius: for any fixed input port, the map
+wavelength→output-port is a bijection, and for any fixed wavelength, the
+map input-port→output-port is a bijection.  Together these make the
+single layer of AWGRs a contention-free physical-layer switch provided
+no two inputs address the same output at the same instant — which is
+what Sirius' static schedule guarantees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass
+class AWGR:
+    """A cyclic ``n_ports`` × ``n_ports`` arrayed waveguide grating router.
+
+    Parameters
+    ----------
+    n_ports:
+        Number of input (and output) ports.  Commercial devices offer
+        ~100 ports; 512-port prototypes exist (paper §3.1).
+    insertion_loss_db:
+        Optical power lost traversing the device.  The paper quotes a
+        maximum 6 dB insertion loss for 100-port gratings (§4.5).
+    """
+
+    n_ports: int
+    insertion_loss_db: float = 6.0
+    #: Monotonically increasing count of routed signals (diagnostics).
+    routed_count: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.n_ports <= 0:
+            raise ValueError(f"n_ports must be positive, got {self.n_ports}")
+        if self.insertion_loss_db < 0:
+            raise ValueError(
+                f"insertion loss cannot be negative, got {self.insertion_loss_db}"
+            )
+
+    # -- routing ----------------------------------------------------------
+    def output_port(self, input_port: int, channel: int) -> int:
+        """Output port for light on ``channel`` entering ``input_port``.
+
+        Implements the cyclic routing function ``(input + channel) mod n``.
+        """
+        self._check_port(input_port)
+        self._check_channel(channel)
+        return (input_port + channel) % self.n_ports
+
+    def channel_for(self, input_port: int, output_port: int) -> int:
+        """Wavelength channel that routes ``input_port`` → ``output_port``.
+
+        This is the inverse of :meth:`output_port` in its channel
+        argument; Sirius nodes use it to pick the laser wavelength that
+        reaches a desired destination.
+        """
+        self._check_port(input_port)
+        self._check_port(output_port)
+        return (output_port - input_port) % self.n_ports
+
+    def route(self, input_port: int, channel: int, power_mw: float = 1.0
+              ) -> Tuple[int, float]:
+        """Route a signal, returning ``(output_port, output_power_mw)``.
+
+        The output power is the input power attenuated by the device's
+        insertion loss.
+        """
+        if power_mw < 0:
+            raise ValueError(f"power must be non-negative, got {power_mw}")
+        port = self.output_port(input_port, channel)
+        self.routed_count += 1
+        return port, power_mw * 10.0 ** (-self.insertion_loss_db / 10.0)
+
+    # -- matrices (Fig 3a) --------------------------------------------------
+    def routing_matrix(self) -> List[List[int]]:
+        """Full routing table: ``matrix[i][w]`` is the output port.
+
+        Rendering this table for ``n_ports = 4`` reproduces the paper's
+        Fig 3a wavelength-routing illustration.
+        """
+        return [
+            [self.output_port(i, w) for w in range(self.n_ports)]
+            for i in range(self.n_ports)
+        ]
+
+    def output_assignment(self) -> List[List[Tuple[int, int]]]:
+        """For each output port, the ``(input_port, channel)`` pairs landing on it.
+
+        Every output port receives exactly ``n_ports`` wavelengths, one
+        from each input port — the "all-to-all connectivity" property of
+        §3.1.
+        """
+        table: List[List[Tuple[int, int]]] = [[] for _ in range(self.n_ports)]
+        for i in range(self.n_ports):
+            for w in range(self.n_ports):
+                table[self.output_port(i, w)].append((i, w))
+        return table
+
+    # -- properties -----------------------------------------------------------
+    def is_contention_free(self, assignments: Dict[int, int]) -> bool:
+        """Whether a set of simultaneous transmissions avoids output collisions.
+
+        ``assignments`` maps input port → wavelength channel for every
+        concurrently transmitting input.  Returns ``True`` iff no two
+        inputs are routed to the same output port.
+        """
+        outputs = [self.output_port(i, w) for i, w in assignments.items()]
+        return len(set(outputs)) == len(outputs)
+
+    @property
+    def power_consumption_w(self) -> float:
+        """AWGRs are fully passive: they consume no power (§3.1)."""
+        return 0.0
+
+    # -- validation helpers -----------------------------------------------
+    def _check_port(self, port: int) -> None:
+        if not 0 <= port < self.n_ports:
+            raise ValueError(f"port {port} out of range [0, {self.n_ports})")
+
+    def _check_channel(self, channel: int) -> None:
+        if not 0 <= channel < self.n_ports:
+            raise ValueError(
+                f"channel {channel} out of range [0, {self.n_ports}) "
+                "(an n-port AWGR cycles over n wavelength channels)"
+            )

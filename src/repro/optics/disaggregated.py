@@ -1,0 +1,320 @@
+"""Disaggregated tunable laser designs (paper §3.3, Fig 4).
+
+The fundamental limit on a standard tunable laser's speed is the tight
+coupling between wavelength *generation* (gain section) and wavelength
+*selection* (grating section).  The paper's disaggregated design splits
+these into:
+
+1. a **multi-wavelength source** generating many wavelengths at once, and
+2. a **wavelength selector** that gates exactly one of them out,
+
+so selection latency is set by nanosecond-scale SOA gates rather than by
+laser ringing, and is *independent of the wavelength span*.
+
+Three instantiations are modelled, mirroring Fig 4b-d:
+
+* :class:`FixedLaserBank` — one fixed-wavelength laser per channel plus
+  an SOA array selector and an AWG multiplexer.  Fabricated by the
+  authors as a 6 mm × 8 mm InP chip with 19 SOAs achieving worst-case
+  912 ps tuning.
+* :class:`TunableLaserBank` — a small bank of standard tunable lasers
+  operating in a pipeline: while one emits the current wavelength the
+  next is already tuning to the upcoming one, hiding the tuning latency
+  behind the (known, cyclic) schedule.  Needs a coupler (higher
+  insertion loss) because any laser may carry any wavelength.
+* :class:`CombLaserSource` — a frequency comb generates all channels on
+  one chip; the SOA selector gates one out.  Higher power today, but a
+  promising future option.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.optics.laser import TunableLaser
+from repro.optics.soa import SOABank
+
+#: Per-laser electrical power of a fixed-wavelength DFB laser (§5: ~1 W).
+FIXED_LASER_POWER_W = 1.0
+#: Per-SOA drive power when on (model parameter; only one SOA is on at once).
+SOA_DRIVE_POWER_W = 0.3
+#: Insertion loss of an AWG multiplexer combining the bank outputs (dB).
+AWG_MUX_LOSS_DB = 3.0
+#: Insertion loss of a passive N:1 coupler, higher than a multiplexer (§3.3).
+COUPLER_LOSS_DB = 6.0
+
+
+class DisaggregatedLaser:
+    """Base class: a multi-wavelength source + SOA wavelength selector.
+
+    Subclasses define how the source generates the wavelengths; the
+    shared tuning path (gate the new channel on, gate the old one off)
+    lives here.  ``tune`` latency equals the SOA bank switching latency,
+    independent of the span between the source and destination channel —
+    the core property the paper's custom chip demonstrates (Fig 8b).
+    """
+
+    def __init__(self, n_wavelengths: int, *, seed: Optional[int] = 0,
+                 combiner_loss_db: float = AWG_MUX_LOSS_DB) -> None:
+        if n_wavelengths <= 0:
+            raise ValueError(f"n_wavelengths must be positive, got {n_wavelengths}")
+        self.n_wavelengths = n_wavelengths
+        self.selector = SOABank(n_wavelengths, seed=seed)
+        self.combiner_loss_db = combiner_loss_db
+        self.current_channel: Optional[int] = None
+        self.settled_at = 0.0
+
+    # -- tuning -------------------------------------------------------------
+    def tune(self, channel: int, now: float = 0.0) -> float:
+        """Select ``channel``; returns the selection latency in seconds."""
+        if not 0 <= channel < self.n_wavelengths:
+            raise ValueError(
+                f"channel {channel} out of range [0, {self.n_wavelengths})"
+            )
+        latency = self.selector.select(channel, now)
+        self.current_channel = channel
+        self.settled_at = now + latency
+        return latency
+
+    def is_settled(self, now: float) -> bool:
+        """Whether the output has settled by simulation time ``now``."""
+        return now >= self.settled_at
+
+    def tuning_latency(self, from_channel: int, to_channel: int) -> float:
+        """Stateless worst-case latency between two channels.
+
+        Unlike :class:`~repro.optics.laser.TunableLaser`, the result does
+        not depend on the channel span.
+        """
+        for ch in (from_channel, to_channel):
+            if not 0 <= ch < self.n_wavelengths:
+                raise ValueError(f"channel {ch} out of range")
+        if from_channel == to_channel:
+            return 0.0
+        return max(
+            self.selector.soas[to_channel].rise_time_s,
+            self.selector.soas[from_channel].fall_time_s,
+        )
+
+    def worst_case_tuning_latency(self) -> float:
+        """Worst-case selection latency across all channel pairs."""
+        return self.selector.worst_case_latency()
+
+    # -- characteristics ------------------------------------------------------
+    @property
+    def power_consumption_w(self) -> float:
+        raise NotImplementedError
+
+    @property
+    def source_power_dbm(self) -> float:
+        """Optical power of one source channel before the selector."""
+        return 16.0
+
+    @property
+    def output_power_dbm(self) -> float:
+        """Optical power at the laser output, after selector gain and
+        combiner loss."""
+        gain = self.selector.soas[0].gain_db
+        return self.source_power_dbm + gain - self.combiner_loss_db
+
+    # -- Fig 8b-style traces ---------------------------------------------------
+    def switching_trace(self, from_channel: int, to_channel: int,
+                        duration_s: Optional[float] = None,
+                        n_samples: int = 200) -> dict:
+        """Optical intensity traces of the old and new channel during a switch.
+
+        Returns a dict with ``times_s``, ``old_intensity`` and
+        ``new_intensity`` (normalized 0..1) exhibiting the exponential
+        gate fall/rise; used to regenerate Fig 8b and show the latency is
+        span-independent.
+        """
+        import math
+
+        if from_channel == to_channel:
+            raise ValueError("switching trace requires two distinct channels")
+        fall = self.selector.soas[from_channel].fall_time_s
+        rise = self.selector.soas[to_channel].rise_time_s
+        if duration_s is None:
+            duration_s = 2.0 * max(rise, fall)
+        # 10-90% rise/fall corresponds to ~2.2 time constants.
+        tau_rise, tau_fall = rise / 2.2, fall / 2.2
+        times = [duration_s * k / (n_samples - 1) for k in range(n_samples)]
+        return {
+            "times_s": times,
+            "old_intensity": [math.exp(-t / tau_fall) for t in times],
+            "new_intensity": [1.0 - math.exp(-t / tau_rise) for t in times],
+            "latency_s": self.tuning_latency(from_channel, to_channel),
+        }
+
+
+class FixedLaserBank(DisaggregatedLaser):
+    """Fixed laser bank + SOA selector (Fig 4b) — the fabricated design.
+
+    One always-on fixed-wavelength laser per channel feeds the SOA
+    array; an AWG multiplexes the gated outputs onto the fibre.  Simple
+    lasers and drive electronics, but the laser count (and hence source
+    power and cost) scales with the channel count; Sirius amortizes this
+    via laser sharing across a node's transceivers (§4.5).
+    """
+
+    def __init__(self, n_wavelengths: int, *, seed: Optional[int] = 0,
+                 laser_power_w: float = FIXED_LASER_POWER_W) -> None:
+        super().__init__(n_wavelengths, seed=seed,
+                         combiner_loss_db=AWG_MUX_LOSS_DB)
+        self.laser_power_w = laser_power_w
+
+    @property
+    def power_consumption_w(self) -> float:
+        """All bank lasers run continuously; one SOA is driven at a time."""
+        return self.n_wavelengths * self.laser_power_w + SOA_DRIVE_POWER_W
+
+
+class TunableLaserBank(DisaggregatedLaser):
+    """Pipelined bank of standard tunable lasers (Fig 4c).
+
+    With the wavelength sequence known in advance (true under Sirius'
+    static cyclic schedule), laser ``k`` can tune to the *next* needed
+    wavelength while laser ``k±1`` is emitting the current one.  The
+    selector then switches banks in SOA time, hiding the slow tune.
+
+    ``n_lasers`` of 2 suffices when the worst-case tune fits inside one
+    slot; the paper recommends 3 (two active + one spare) for fault
+    tolerance (§4.5).
+    """
+
+    def __init__(self, n_wavelengths: int, *, n_lasers: int = 3,
+                 seed: Optional[int] = 0,
+                 laser_factory=None) -> None:
+        if n_lasers < 2:
+            raise ValueError(
+                "pipelining needs at least 2 lasers (one emitting, one tuning); "
+                f"got {n_lasers}"
+            )
+        # Selector has one SOA per laser, not per wavelength.
+        super().__init__(n_wavelengths, seed=seed,
+                         combiner_loss_db=COUPLER_LOSS_DB)
+        self.selector = SOABank(n_lasers, seed=seed)
+        factory = laser_factory or (lambda: TunableLaser(n_wavelengths))
+        self.lasers: List[TunableLaser] = [factory() for _ in range(n_lasers)]
+        self.n_lasers = n_lasers
+        self._active = 0
+        self._failed = [False] * n_lasers
+
+    def fail_laser(self, index: int) -> None:
+        """Mark a laser as failed; the pipeline skips it (spare takes over)."""
+        if not 0 <= index < self.n_lasers:
+            raise ValueError(f"laser index {index} out of range")
+        self._failed[index] = True
+        if all(self._failed):
+            raise RuntimeError("all lasers in the bank have failed")
+
+    @property
+    def healthy_lasers(self) -> int:
+        return sum(1 for f in self._failed if not f)
+
+    def _next_laser(self) -> int:
+        idx = self._active
+        for _ in range(self.n_lasers):
+            idx = (idx + 1) % self.n_lasers
+            if not self._failed[idx]:
+                return idx
+        raise RuntimeError("all lasers in the bank have failed")
+
+    def tune(self, channel: int, now: float = 0.0) -> float:
+        """Switch the output to ``channel``.
+
+        The *next* laser in the pipeline was pre-tuned to ``channel``
+        (its tuning latency was hidden in the previous slot), so the
+        visible latency is only the SOA bank switch.
+        """
+        if not 0 <= channel < self.n_wavelengths:
+            raise ValueError(f"channel {channel} out of range")
+        nxt = self._next_laser()
+        self.lasers[nxt].tune(channel, now)  # already settled: pre-tuned
+        latency = self.selector.select(nxt, now)
+        self._active = nxt
+        self.current_channel = channel
+        self.settled_at = now + latency
+        return latency
+
+    def pipeline_feasible(self, slot_duration_s: float) -> bool:
+        """Whether pre-tuning hides the tune: worst tune must fit in a slot.
+
+        With two active lasers, laser B has exactly one slot (while
+        laser A emits) to finish tuning (§4.5: a 100 ns slot and <100 ns
+        worst-case tuning make a 2-laser bank sufficient).
+        """
+        worst = max(
+            laser.driver.tuning_latency(laser.n_wavelengths - 1)
+            for laser in self.lasers
+        )
+        return worst <= slot_duration_s
+
+    def tuning_latency(self, from_channel: int, to_channel: int) -> float:
+        if from_channel == to_channel:
+            return 0.0
+        nxt = self._next_laser()
+        return max(
+            self.selector.soas[nxt].rise_time_s,
+            self.selector.soas[self._active].fall_time_s,
+        )
+
+    @property
+    def power_consumption_w(self) -> float:
+        return (
+            sum(laser.power_consumption_w for laser in self.lasers)
+            + SOA_DRIVE_POWER_W
+        )
+
+
+class CombLaserSource(DisaggregatedLaser):
+    """Frequency-comb source + SOA selector (Fig 4d).
+
+    A single chip generates all the (equally spaced) wavelengths; no
+    per-channel temperature control is needed.  Present-day combs draw
+    more power than the other designs, modelled by
+    ``comb_power_w``.
+    """
+
+    def __init__(self, n_wavelengths: int, *, seed: Optional[int] = 0,
+                 comb_power_w: Optional[float] = None) -> None:
+        super().__init__(n_wavelengths, seed=seed,
+                         combiner_loss_db=AWG_MUX_LOSS_DB)
+        # Default: ~1.5x the equivalent fixed bank, reflecting today's
+        # comb efficiency deficit (§3.3).
+        if comb_power_w is None:
+            comb_power_w = 1.5 * n_wavelengths * FIXED_LASER_POWER_W
+        self.comb_power_w = comb_power_w
+
+    @property
+    def power_consumption_w(self) -> float:
+        return self.comb_power_w + SOA_DRIVE_POWER_W
+
+    def channel_spacing_is_uniform(self) -> bool:
+        """Combs guarantee equal channel spacing by construction (§3.3)."""
+        return True
+
+
+def compare_designs(n_wavelengths: int, slot_duration_s: float,
+                    seed: int = 0) -> List[dict]:
+    """Summary comparison of the three designs (power, latency, loss).
+
+    Convenience used by examples and the design-space benchmarks.
+    """
+    designs: Sequence[DisaggregatedLaser] = (
+        FixedLaserBank(n_wavelengths, seed=seed),
+        TunableLaserBank(n_wavelengths, seed=seed),
+        CombLaserSource(n_wavelengths, seed=seed),
+    )
+    rows = []
+    for design in designs:
+        row = {
+            "design": type(design).__name__,
+            "power_w": design.power_consumption_w,
+            "worst_tuning_s": design.worst_case_tuning_latency(),
+            "combiner_loss_db": design.combiner_loss_db,
+        }
+        if isinstance(design, TunableLaserBank):
+            row["pipeline_feasible"] = design.pipeline_feasible(slot_duration_s)
+        rows.append(row)
+    return rows

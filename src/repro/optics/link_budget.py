@@ -1,0 +1,146 @@
+"""Optical link-budget and laser-sharing analysis (paper §4.5).
+
+The lightpath in Sirius is: laser → (optional split across shared
+transceivers) → modulator & coupling → AWGR grating → receiver.  The
+receiver achieves post-FEC error-free operation down to a *sensitivity*
+of −8 dBm (0.16 mW).  The paper's numbers:
+
+* 100-port gratings: ≤ 6 dB insertion loss,
+* fibre coupling + modulator losses: 7 dB,
+* engineering margin: 2 dB,
+
+so a laser must deliver 7 dBm (5 mW) per transceiver.  Since tunable
+lasers emit 16 dBm (40 mW), one laser can be split across 8 transceivers
+— a rack with 256 uplinks needs only 32 tunable laser chips (§4.5).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.units import db_ratio, dbm_to_mw
+
+#: Receiver sensitivity for post-FEC error-free operation (§4.5, Fig 8d).
+RECEIVER_SENSITIVITY_DBM = -8.0
+#: Paper's combined fibre-coupling + modulator loss budget.
+COUPLING_AND_MODULATOR_LOSS_DB = 7.0
+#: Paper's engineering margin.
+DEFAULT_MARGIN_DB = 2.0
+#: Output power of commercial tunable lasers and the paper's prototypes.
+LASER_OUTPUT_DBM = 16.0
+
+
+@dataclass
+class LinkBudget:
+    """End-to-end optical power accounting for one Sirius lightpath.
+
+    Parameters default to the paper's §4.5 budget.
+    """
+
+    laser_output_dbm: float = LASER_OUTPUT_DBM
+    grating_loss_db: float = 6.0
+    coupling_loss_db: float = COUPLING_AND_MODULATOR_LOSS_DB
+    margin_db: float = DEFAULT_MARGIN_DB
+    receiver_sensitivity_dbm: float = RECEIVER_SENSITIVITY_DBM
+
+    def __post_init__(self) -> None:
+        for name in ("grating_loss_db", "coupling_loss_db", "margin_db"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} cannot be negative")
+
+    @property
+    def total_loss_db(self) -> float:
+        """Sum of all losses plus margin along the lightpath."""
+        return self.grating_loss_db + self.coupling_loss_db + self.margin_db
+
+    @property
+    def required_launch_dbm(self) -> float:
+        """Minimum per-transceiver laser power for error-free operation.
+
+        With the paper's defaults this is 7 dBm (5 mW):
+
+        >>> LinkBudget().required_launch_dbm
+        7.0
+        """
+        return self.receiver_sensitivity_dbm + self.total_loss_db
+
+    @property
+    def required_launch_mw(self) -> float:
+        return dbm_to_mw(self.required_launch_dbm)
+
+    def received_power_dbm(self, launch_dbm: float) -> float:
+        """Power reaching the receiver for a given launch power.
+
+        The margin is *not* subtracted here: it models headroom, not a
+        physical loss.
+        """
+        return launch_dbm - self.grating_loss_db - self.coupling_loss_db
+
+    def closes(self, launch_dbm: float) -> bool:
+        """Whether the link closes (including margin) at ``launch_dbm``."""
+        return launch_dbm >= self.required_launch_dbm
+
+    def headroom_db(self, launch_dbm: float) -> float:
+        """Power headroom above the minimum (negative if link fails)."""
+        return launch_dbm - self.required_launch_dbm
+
+    def max_sharing_degree(self, tolerance_db: float = 0.05) -> int:
+        """Transceivers one laser can feed via an ideal power splitter.
+
+        Splitting across ``k`` outputs costs ``10·log10(k)`` dB; the
+        largest ``k`` keeping the per-output power above the required
+        launch power.  ``tolerance_db`` absorbs sub-0.1 dB rounding (the
+        paper quotes round powers: 16 dBm = 40 mW, 7 dBm = 5 mW, hence
+        8-way sharing).  With the paper's defaults: 8.
+        """
+        budget_db = self.laser_output_dbm - self.required_launch_dbm
+        if budget_db < -tolerance_db:
+            return 0
+        return int(10.0 ** ((budget_db + tolerance_db) / 10.0))
+
+
+def laser_sharing_degree(laser_output_dbm: float = LASER_OUTPUT_DBM,
+                         budget: LinkBudget = None) -> int:
+    """Number of transceivers a single laser chip can drive (§4.5).
+
+    >>> laser_sharing_degree()
+    8
+    """
+    if budget is None:
+        budget = LinkBudget(laser_output_dbm=laser_output_dbm)
+    else:
+        budget = LinkBudget(
+            laser_output_dbm=laser_output_dbm,
+            grating_loss_db=budget.grating_loss_db,
+            coupling_loss_db=budget.coupling_loss_db,
+            margin_db=budget.margin_db,
+            receiver_sensitivity_dbm=budget.receiver_sensitivity_dbm,
+        )
+    return budget.max_sharing_degree()
+
+
+def lasers_per_node(n_uplinks: int, sharing_degree: int = None,
+                    n_spares: int = 0) -> int:
+    """Tunable laser chips needed for a node with ``n_uplinks`` uplinks.
+
+    The paper's example: a rack with 256 uplinks and 8-way sharing needs
+    32 chips (plus spares for fault tolerance).
+
+    >>> lasers_per_node(256)
+    32
+    """
+    if n_uplinks <= 0:
+        raise ValueError(f"n_uplinks must be positive, got {n_uplinks}")
+    if sharing_degree is None:
+        sharing_degree = LinkBudget().max_sharing_degree()
+    if sharing_degree <= 0:
+        raise ValueError(f"sharing degree must be positive, got {sharing_degree}")
+    return math.ceil(n_uplinks / sharing_degree) + n_spares
+
+
+def splitter_loss_db(n_way: int) -> float:
+    """Power loss (dB) of an ideal 1:N splitter used for laser sharing."""
+    if n_way <= 0:
+        raise ValueError(f"n_way must be positive, got {n_way}")
+    return db_ratio(n_way)

@@ -1,0 +1,167 @@
+"""Semiconductor Optical Amplifier (SOA) gate model (paper §3.3, Fig 8a).
+
+SOAs act as optical gates: driven with current they amplify (pass)
+light, undriven they absorb (block) it, and they can transition between
+the two states in sub-nanosecond timescales.  The paper's custom InP
+chip integrates an array of 19 SOAs used as the wavelength selector of
+the disaggregated laser; the measured worst-case switching times across
+the chip are **527 ps rise (turn-on)** and **912 ps fall (turn-off)**
+(Fig 8a).
+
+The model draws per-device rise/fall times from a truncated-normal-like
+distribution bounded by those worst cases, so that a CDF over the
+devices of a chip reproduces the shape of Fig 8a.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.units import PICOSECOND
+
+#: Worst-case SOA turn-on (rise) time measured on the paper's chip.
+WORST_CASE_RISE_S = 527.0 * PICOSECOND
+#: Worst-case SOA turn-off (fall) time measured on the paper's chip.
+WORST_CASE_FALL_S = 912.0 * PICOSECOND
+#: Number of SOAs on the fabricated chip (§6: "an array of 19 SOAs").
+CHIP_N_SOAS = 19
+
+
+def _bounded_sample(rng: random.Random, mean: float, sigma: float,
+                    low: float, high: float) -> float:
+    """Gaussian sample clamped by rejection into ``[low, high]``."""
+    for _ in range(64):
+        value = rng.gauss(mean, sigma)
+        if low <= value <= high:
+            return value
+    return min(max(mean, low), high)
+
+
+@dataclass
+class SOA:
+    """A single SOA optical gate.
+
+    The gate is either *on* (amplifying, light passes) or *off*
+    (absorbing, light blocked).  State transitions take
+    :attr:`rise_time_s` / :attr:`fall_time_s`.
+    """
+
+    rise_time_s: float
+    fall_time_s: float
+    gain_db: float = 10.0
+    #: Extinction ratio when off: how strongly blocked light is suppressed.
+    extinction_db: float = 40.0
+    is_on: bool = False
+    #: Simulation time at which the most recent transition completes.
+    transition_done_at: float = field(default=0.0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.rise_time_s <= 0 or self.fall_time_s <= 0:
+            raise ValueError("rise/fall times must be positive")
+
+    def turn_on(self, now: float = 0.0) -> float:
+        """Begin turning the gate on; returns the rise time (seconds)."""
+        if self.is_on:
+            return 0.0
+        self.is_on = True
+        self.transition_done_at = now + self.rise_time_s
+        return self.rise_time_s
+
+    def turn_off(self, now: float = 0.0) -> float:
+        """Begin turning the gate off; returns the fall time (seconds)."""
+        if not self.is_on:
+            return 0.0
+        self.is_on = False
+        self.transition_done_at = now + self.fall_time_s
+        return self.fall_time_s
+
+    def transmission_db(self, now: float) -> float:
+        """Gain (dB, may be negative) applied to light traversing the gate."""
+        if now < self.transition_done_at:
+            raise ValueError(
+                "gate is mid-transition; output is undefined until "
+                f"{self.transition_done_at}"
+            )
+        return self.gain_db if self.is_on else -self.extinction_db
+
+
+class SOABank:
+    """An array of SOA gates forming a wavelength selector (Fig 4b).
+
+    Exactly one gate is on at a time; selecting channel ``j`` turns
+    SOA_j on and the previously selected SOA off.  The switching latency
+    of the bank is the *slower* of the turn-on and turn-off events
+    (§6: "the tuning latency of the laser is thus determined by the
+    slower of the SOA turn-on and turn-off events").
+    """
+
+    def __init__(self, n_soas: int = CHIP_N_SOAS, *,
+                 seed: Optional[int] = 0,
+                 worst_rise_s: float = WORST_CASE_RISE_S,
+                 worst_fall_s: float = WORST_CASE_FALL_S) -> None:
+        if n_soas <= 0:
+            raise ValueError(f"n_soas must be positive, got {n_soas}")
+        rng = random.Random(seed)
+        self.soas: List[SOA] = []
+        for _ in range(n_soas):
+            rise = _bounded_sample(
+                rng, 0.72 * worst_rise_s, 0.15 * worst_rise_s,
+                0.35 * worst_rise_s, worst_rise_s,
+            )
+            fall = _bounded_sample(
+                rng, 0.70 * worst_fall_s, 0.17 * worst_fall_s,
+                0.30 * worst_fall_s, worst_fall_s,
+            )
+            self.soas.append(SOA(rise_time_s=rise, fall_time_s=fall))
+        # Guarantee the worst cases are realised on every chip, matching
+        # the paper's reported per-chip maxima.
+        self.soas[0].rise_time_s = worst_rise_s
+        self.soas[-1].fall_time_s = worst_fall_s
+        self.selected: Optional[int] = None
+
+    def __len__(self) -> int:
+        return len(self.soas)
+
+    def select(self, channel: int, now: float = 0.0) -> float:
+        """Gate channel ``channel`` on (and the previous one off).
+
+        Returns the switching latency: the slower of the new gate's
+        turn-on and the old gate's turn-off.
+        """
+        if not 0 <= channel < len(self.soas):
+            raise ValueError(f"channel {channel} out of range [0, {len(self.soas)})")
+        if channel == self.selected:
+            return 0.0
+        on_latency = self.soas[channel].turn_on(now)
+        off_latency = 0.0
+        if self.selected is not None:
+            off_latency = self.soas[self.selected].turn_off(now)
+        self.selected = channel
+        return max(on_latency, off_latency)
+
+    def worst_case_latency(self) -> float:
+        """Worst possible bank switching latency over all transitions."""
+        worst_on = max(soa.rise_time_s for soa in self.soas)
+        worst_off = max(soa.fall_time_s for soa in self.soas)
+        return max(worst_on, worst_off)
+
+    def rise_times(self) -> List[float]:
+        """Per-gate turn-on times (seconds) — the Fig 8a rise population."""
+        return [soa.rise_time_s for soa in self.soas]
+
+    def fall_times(self) -> List[float]:
+        """Per-gate turn-off times (seconds) — the Fig 8a fall population."""
+        return [soa.fall_time_s for soa in self.soas]
+
+    def transition_cdf(self) -> Tuple[List[float], List[float], List[float]]:
+        """CDF data reproducing Fig 8a.
+
+        Returns ``(sorted_rise_s, sorted_fall_s, cdf_levels)`` where the
+        levels run from 1/n to 1.
+        """
+        rises = sorted(self.rise_times())
+        falls = sorted(self.fall_times())
+        levels = [(k + 1) / len(self.soas) for k in range(len(self.soas))]
+        return rises, falls, levels

@@ -1,0 +1,147 @@
+"""Wavelength stability and temperature control (paper §5).
+
+A laser's emission wavelength drifts with chip temperature — around
+0.1 nm/°C for InP DFB/DSDBR structures.  Wavelength-routed networks
+live or die by this: the AWGR only routes a channel correctly while the
+laser stays inside the grating passband (roughly ±30 % of the channel
+spacing for a standard Gaussian-passband AWG).  That is why "much of
+the power consumption for the tunable laser is due to the need for a
+temperature controller to ensure wavelength stability and could be
+reduced significantly with more efficient cooling" (§5).
+
+This module quantifies the loop: ambient swing → wavelength drift →
+passband margin → required temperature control tightness → TEC power,
+reproducing the §5 argument that cooling, not photonics, dominates the
+tunable laser's power budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import ITU_GRID_SPACING_GHZ, SPEED_OF_LIGHT_VACUUM
+
+#: Typical InP laser wavelength-temperature coefficient (nm per °C).
+WAVELENGTH_DRIFT_NM_PER_C = 0.1
+#: Fraction of the channel spacing usable as passband margin (one side).
+DEFAULT_PASSBAND_FRACTION = 0.3
+
+
+def channel_spacing_nm(spacing_ghz: float = ITU_GRID_SPACING_GHZ,
+                       centre_nm: float = 1550.0) -> float:
+    """Channel spacing in nm at the C-band centre.
+
+    50 GHz at 1550 nm is ~0.4 nm.
+    """
+    if spacing_ghz <= 0:
+        raise ValueError("spacing must be positive")
+    centre_freq_ghz = SPEED_OF_LIGHT_VACUUM / (centre_nm * 1e-9) / 1e9
+    lo = SPEED_OF_LIGHT_VACUUM / (
+        (centre_freq_ghz + spacing_ghz / 2) * 1e9
+    ) / 1e-9
+    hi = SPEED_OF_LIGHT_VACUUM / (
+        (centre_freq_ghz - spacing_ghz / 2) * 1e9
+    ) / 1e-9
+    return hi - lo
+
+
+@dataclass(frozen=True)
+class StabilityBudget:
+    """Wavelength stability requirement for AWGR routing.
+
+    Parameters
+    ----------
+    spacing_ghz:
+        Grid spacing (50 GHz default).
+    passband_fraction:
+        Usable single-sided passband as a fraction of the spacing.
+    drift_nm_per_c:
+        Laser wavelength-temperature coefficient.
+    """
+
+    spacing_ghz: float = ITU_GRID_SPACING_GHZ
+    passband_fraction: float = DEFAULT_PASSBAND_FRACTION
+    drift_nm_per_c: float = WAVELENGTH_DRIFT_NM_PER_C
+
+    def __post_init__(self) -> None:
+        if self.spacing_ghz <= 0:
+            raise ValueError("spacing must be positive")
+        if not 0 < self.passband_fraction < 0.5:
+            raise ValueError("passband fraction must be in (0, 0.5)")
+        if self.drift_nm_per_c <= 0:
+            raise ValueError("drift coefficient must be positive")
+
+    @property
+    def passband_margin_nm(self) -> float:
+        """Single-sided wavelength margin before routing errors."""
+        return self.passband_fraction * channel_spacing_nm(self.spacing_ghz)
+
+    @property
+    def max_temperature_error_c(self) -> float:
+        """Tightest temperature excursion the laser may experience.
+
+        With 50 GHz spacing and 0.1 nm/°C this is ~1.2 °C — why every
+        tunable laser ships with an active temperature controller.
+        """
+        return self.passband_margin_nm / self.drift_nm_per_c
+
+    def stays_in_passband(self, temperature_error_c: float) -> bool:
+        """Whether a given temperature excursion keeps routing correct."""
+        if temperature_error_c < 0:
+            raise ValueError("temperature error is a magnitude (>= 0)")
+        return temperature_error_c <= self.max_temperature_error_c
+
+    def drift_nm(self, temperature_error_c: float) -> float:
+        """Wavelength drift at a given temperature excursion."""
+        if temperature_error_c < 0:
+            raise ValueError("temperature error is a magnitude (>= 0)")
+        return temperature_error_c * self.drift_nm_per_c
+
+
+@dataclass(frozen=True)
+class TecPowerModel:
+    """Thermo-electric cooler power vs control tightness.
+
+    A TEC pumping heat across ``delta_t_c`` with a Peltier efficiency
+    penalty draws roughly ``base + k·ΔT`` watts; tighter setpoint
+    control (smaller allowed error) also raises the duty cycle.  The
+    §5 observation encoded: at datacenter ambients the TEC accounts for
+    the bulk of the tunable laser's 3.8 W.
+    """
+
+    base_power_w: float = 0.4
+    watts_per_degree: float = 0.08
+    #: Control overhead: scales inversely with the allowed error.
+    control_constant_w_c: float = 0.5
+
+    def power_w(self, ambient_swing_c: float,
+                allowed_error_c: float) -> float:
+        """TEC power for a given ambient swing and control tightness."""
+        if ambient_swing_c < 0:
+            raise ValueError("ambient swing must be non-negative")
+        if allowed_error_c <= 0:
+            raise ValueError("allowed error must be positive")
+        return (
+            self.base_power_w
+            + self.watts_per_degree * ambient_swing_c
+            + self.control_constant_w_c / allowed_error_c
+        )
+
+    def laser_power_breakdown(self, ambient_swing_c: float = 25.0,
+                              budget: StabilityBudget = None,
+                              photonics_w: float = 1.0) -> dict:
+        """The §5 story: cooling dominates the tunable laser's power.
+
+        Returns the photonics/cooling split; with defaults the total
+        lands near the 3.8 W of off-the-shelf tunable lasers.
+        """
+        budget = budget or StabilityBudget()
+        cooling = self.power_w(ambient_swing_c,
+                               budget.max_temperature_error_c)
+        total = photonics_w + cooling
+        return {
+            "photonics_w": photonics_w,
+            "cooling_w": cooling,
+            "total_w": total,
+            "cooling_fraction": cooling / total,
+        }

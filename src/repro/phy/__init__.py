@@ -1,0 +1,30 @@
+"""Physical-layer mechanisms for nanosecond end-to-end reconfiguration.
+
+* :mod:`repro.phy.cdr` — burst-mode clock-and-data recovery with the
+  paper's *phase caching* (and amplitude caching) techniques (§4.5,
+  §A.1, [20, 21]).
+* :mod:`repro.phy.guardband` — the end-to-end reconfiguration budget:
+  laser tuning + CDR lock + synchronization error, and the resulting
+  guardband/slot arithmetic (§4.5, Fig 8c).
+* :mod:`repro.phy.pam4` — PAM-4 modulation, Gray mapping and the
+  AWGN/ISI burst channel of the 50 Gb/s prototype links (§6).
+* :mod:`repro.phy.equalizer` — LMS feed-forward equalization with
+  per-sender tap caching ("fast equalization", §6, [68]).
+"""
+
+from repro.phy.burst_receiver import BurstReceiver, BurstTransmitter
+from repro.phy.cdr import PhaseCachingCDR, AmplitudeCache
+from repro.phy.equalizer import LMSEqualizer, TapCache
+from repro.phy.guardband import GuardbandBudget
+from repro.phy.pam4 import PAM4Channel
+
+__all__ = [
+    "BurstReceiver",
+    "BurstTransmitter",
+    "PhaseCachingCDR",
+    "AmplitudeCache",
+    "GuardbandBudget",
+    "LMSEqualizer",
+    "TapCache",
+    "PAM4Channel",
+]

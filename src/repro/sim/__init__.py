@@ -1,0 +1,22 @@
+"""Simulation substrates.
+
+* :mod:`repro.sim.engine` — a minimal discrete-event simulation core
+  (priority-queue event loop) used by the fluid simulator and the
+  time-synchronization experiments.
+* :mod:`repro.sim.fluid` — an event-driven max-min-fair fluid simulator
+  implementing the paper's idealized electrical baselines, ESN (Ideal)
+  and ESN-OSUB (Ideal) (§7).
+"""
+
+from repro.sim.engine import EventLoop, Event
+from repro.sim.fluid import FluidNetwork, FluidResult, pod_map_for
+from repro.sim.slotsim import SlotLevelSirius
+
+__all__ = [
+    "EventLoop",
+    "Event",
+    "FluidNetwork",
+    "FluidResult",
+    "pod_map_for",
+    "SlotLevelSirius",
+]

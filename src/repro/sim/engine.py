@@ -1,0 +1,105 @@
+"""A minimal discrete-event simulation engine.
+
+A classic priority-queue event loop: events are ``(time, seq, callback,
+payload)`` entries; callbacks may schedule further events and may cancel
+previously scheduled ones.  The ``seq`` tiebreaker makes simultaneous
+events fire in scheduling order, keeping runs deterministic.
+
+This is deliberately small — the heavy lifting in this repository is
+done by the epoch-synchronous Sirius simulator
+(:mod:`repro.core.network`) and the fluid baseline
+(:mod:`repro.sim.fluid`); the event loop serves the time-sync
+experiments and any user code that needs ad-hoc event-driven models.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled event.  Ordered by (time, seq)."""
+
+    time: float
+    seq: int
+    callback: Callable[["EventLoop", Any], None] = field(compare=False)
+    payload: Any = field(compare=False, default=None)
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the loop skips it."""
+        self.cancelled = True
+
+
+class EventLoop:
+    """Priority-queue discrete-event loop."""
+
+    def __init__(self) -> None:
+        self._queue: list = []
+        self._counter = itertools.count()
+        self.now = 0.0
+        self._running = False
+        self.events_processed = 0
+
+    def schedule(self, delay: float,
+                 callback: Callable[["EventLoop", Any], None],
+                 payload: Any = None) -> Event:
+        """Schedule ``callback(loop, payload)`` after ``delay`` seconds."""
+        if delay < 0:
+            raise ValueError(f"delay cannot be negative, got {delay}")
+        return self.schedule_at(self.now + delay, callback, payload)
+
+    def schedule_at(self, time: float,
+                    callback: Callable[["EventLoop", Any], None],
+                    payload: Any = None) -> Event:
+        """Schedule ``callback`` at an absolute time (>= now)."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule in the past (now={self.now}, time={time})"
+            )
+        event = Event(time, next(self._counter), callback, payload)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> float:
+        """Run until the queue drains, ``until`` is reached, or the
+        event budget is spent.  Returns the final simulation time."""
+        if self._running:
+            raise RuntimeError("event loop is already running")
+        self._running = True
+        try:
+            processed = 0
+            while self._queue:
+                event = self._queue[0]
+                if until is not None and event.time > until:
+                    self.now = until
+                    break
+                heapq.heappop(self._queue)
+                if event.cancelled:
+                    continue
+                self.now = event.time
+                event.callback(self, event.payload)
+                processed += 1
+                self.events_processed += 1
+                if max_events is not None and processed >= max_events:
+                    break
+            else:
+                if until is not None:
+                    self.now = max(self.now, until)
+        finally:
+            self._running = False
+        return self.now
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next non-cancelled event, or None if empty."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._queue if not e.cancelled)

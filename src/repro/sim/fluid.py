@@ -1,0 +1,280 @@
+"""Event-driven max-min-fair fluid simulator: the ESN (Ideal) baselines (§7).
+
+The paper compares Sirius against *idealized* electrically-switched
+networks: per-flow queues, back-pressure at every switch and packet
+spraying over all paths of a folded Clos.  That idealization is
+throughput-equivalent to max-min fair bandwidth sharing constrained
+only by
+
+* each node's transmit capacity,
+* each node's receive capacity, and
+* (for the oversubscribed variant) each pod's uplink/downlink capacity,
+
+because a non-blocking fabric with perfect load balancing and lossless
+back-pressure delivers exactly the max-min allocation over those edge
+resources ("an upper bound on the performance achievable by any rate
+control and routing protocol").  ESN-OSUB (Ideal) adds the pod
+constraints with the 3:1 oversubscription factor.
+
+The simulation is event-driven: flow rates are recomputed by
+progressive filling (exact max-min) at every arrival/completion, and
+time advances to the earlier of the next arrival and the earliest
+completion under current rates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.cell import Flow
+from repro.units import KILOBYTE
+
+
+def pod_map_for(n_nodes: int, pod_size: int) -> List[int]:
+    """Assign nodes to pods of ``pod_size`` consecutive nodes."""
+    if pod_size <= 0:
+        raise ValueError(f"pod size must be positive, got {pod_size}")
+    if n_nodes % pod_size:
+        raise ValueError(
+            f"pod size {pod_size} must divide node count {n_nodes}"
+        )
+    return [node // pod_size for node in range(n_nodes)]
+
+
+@dataclass
+class FluidResult:
+    """Outcome of a fluid simulation, mirroring
+    :class:`repro.core.network.SimulationResult` where metrics overlap."""
+
+    flows: List[Flow]
+    duration_s: float
+    delivered_bits: float
+    offered_bits: float
+    reference_node_bandwidth_bps: float
+    n_nodes: int
+
+    @property
+    def normalized_goodput(self) -> float:
+        capacity = self.duration_s * self.n_nodes * (
+            self.reference_node_bandwidth_bps
+        )
+        return self.delivered_bits / capacity if capacity else 0.0
+
+    @property
+    def completed_flows(self) -> List[Flow]:
+        return [f for f in self.flows if f.is_complete]
+
+    def fcts(self, max_size_bits: Optional[float] = None,
+             min_size_bits: Optional[float] = None) -> List[float]:
+        out = []
+        for flow in self.flows:
+            if flow.completion_time is None:
+                continue
+            if max_size_bits is not None and flow.size_bits >= max_size_bits:
+                continue
+            if min_size_bits is not None and flow.size_bits < min_size_bits:
+                continue
+            out.append(flow.fct)
+        return out
+
+    def fct_percentile(self, percentile: float,
+                       max_size_bits: Optional[float] = 100 * KILOBYTE
+                       ) -> Optional[float]:
+        fcts = sorted(self.fcts(max_size_bits=max_size_bits))
+        if not fcts:
+            return None
+        if not 0 < percentile <= 100:
+            raise ValueError(f"percentile must be in (0, 100], got {percentile}")
+        index = min(len(fcts) - 1,
+                    int(math.ceil(percentile / 100 * len(fcts))) - 1)
+        return fcts[index]
+
+
+class FluidNetwork:
+    """Max-min fair fluid network over node (and optional pod) capacities.
+
+    Parameters
+    ----------
+    n_nodes:
+        Attached nodes.
+    node_bandwidth_bps:
+        Per-node transmit = receive capacity (``R``).
+    pod_map:
+        Optional node → pod assignment; with ``pod_bandwidth_bps`` this
+        models aggregation-tier oversubscription (inter-pod flows also
+        consume pod uplink/downlink capacity).
+    pod_bandwidth_bps:
+        Aggregate inter-pod capacity per pod in each direction.
+    base_rtt_s:
+        Fixed latency added to every flow's completion (propagation +
+        store-and-forward through the hierarchy); keeps FCTs of tiny
+        flows non-zero, as in any real Clos.  Default 2 us, matching
+        the low-load 99p FCT of the paper's ESN (Ideal) in Fig 9a.
+    """
+
+    def __init__(self, n_nodes: int, node_bandwidth_bps: float, *,
+                 pod_map: Optional[Sequence[int]] = None,
+                 pod_bandwidth_bps: Optional[float] = None,
+                 base_rtt_s: float = 2e-6) -> None:
+        if n_nodes < 2:
+            raise ValueError(f"need at least 2 nodes, got {n_nodes}")
+        if node_bandwidth_bps <= 0:
+            raise ValueError("node bandwidth must be positive")
+        if (pod_map is None) != (pod_bandwidth_bps is None):
+            raise ValueError(
+                "pod_map and pod_bandwidth_bps must be given together"
+            )
+        if pod_map is not None and len(pod_map) != n_nodes:
+            raise ValueError("pod_map must assign every node")
+        if base_rtt_s < 0:
+            raise ValueError("base RTT cannot be negative")
+        self.n_nodes = n_nodes
+        self.node_bandwidth_bps = node_bandwidth_bps
+        self.pod_map = list(pod_map) if pod_map is not None else None
+        self.pod_bandwidth_bps = pod_bandwidth_bps
+        self.base_rtt_s = base_rtt_s
+
+    # -- resource vocabulary -------------------------------------------------
+    def _flow_resources(self, flow: Flow) -> Tuple:
+        resources = [("tx", flow.src), ("rx", flow.dst)]
+        if self.pod_map is not None:
+            src_pod, dst_pod = self.pod_map[flow.src], self.pod_map[flow.dst]
+            if src_pod != dst_pod:
+                resources.append(("up", src_pod))
+                resources.append(("down", dst_pod))
+        return tuple(resources)
+
+    def _capacity(self, resource: Tuple[str, int]) -> float:
+        if resource[0] in ("tx", "rx"):
+            return self.node_bandwidth_bps
+        return float(self.pod_bandwidth_bps)
+
+    # -- max-min allocation ------------------------------------------------------
+    def maxmin_rates(self, active: Dict[int, Tuple],
+                     ) -> Dict[int, float]:
+        """Progressive-filling max-min rates for the active flow set.
+
+        ``active`` maps flow id → resource tuple.  Returns flow id →
+        rate (bits/second).
+        """
+        if not active:
+            return {}
+        unfrozen = set(active)
+        members: Dict[Tuple, set] = {}
+        for fid, resources in active.items():
+            for res in resources:
+                members.setdefault(res, set()).add(fid)
+        cap_left = {res: self._capacity(res) for res in members}
+        rates = {fid: 0.0 for fid in active}
+        while unfrozen:
+            delta = min(
+                cap_left[res] / len(flows)
+                for res, flows in members.items() if flows
+            )
+            saturated = []
+            for res, flows in members.items():
+                if not flows:
+                    continue
+                cap_left[res] -= delta * len(flows)
+                if cap_left[res] <= 1e-9 * self._capacity(res):
+                    saturated.append(res)
+            for fid in unfrozen:
+                rates[fid] += delta
+            frozen = set()
+            for res in saturated:
+                frozen |= members[res]
+            if not frozen:
+                # Numerical corner: freeze everything touching the min.
+                frozen = set(unfrozen)
+            for fid in frozen & unfrozen:
+                for res in active[fid]:
+                    members[res].discard(fid)
+            unfrozen -= frozen
+        return rates
+
+    # -- simulation ----------------------------------------------------------
+    def run(self, flows: Sequence[Flow], *,
+            max_duration_s: Optional[float] = None) -> FluidResult:
+        """Simulate the flow list (sorted by arrival) to completion."""
+        flows = list(flows)
+        for i in range(1, len(flows)):
+            if flows[i].arrival_time < flows[i - 1].arrival_time:
+                raise ValueError("flows must be sorted by arrival time")
+        offered = sum(f.size_bits for f in flows)
+        remaining: Dict[int, float] = {}
+        resources_of: Dict[int, Tuple] = {}
+        flow_by_id = {f.flow_id: f for f in flows}
+        delivered = 0.0
+        now = 0.0
+        next_arrival_idx = 0
+        rates: Dict[int, float] = {}
+
+        def recompute() -> None:
+            nonlocal rates
+            rates = self.maxmin_rates(resources_of)
+
+        while True:
+            # Next events: arrival vs earliest completion at current rates.
+            next_arrival = (
+                flows[next_arrival_idx].arrival_time
+                if next_arrival_idx < len(flows) else None
+            )
+            next_completion = None
+            completing = None
+            for fid, rate in rates.items():
+                if rate <= 0:
+                    continue
+                t = now + remaining[fid] / rate
+                if next_completion is None or t < next_completion:
+                    next_completion, completing = t, fid
+            if next_arrival is None and next_completion is None:
+                break
+            if next_completion is None or (
+                next_arrival is not None and next_arrival <= next_completion
+            ):
+                event_time, event = next_arrival, "arrival"
+            else:
+                event_time, event = next_completion, "completion"
+            if max_duration_s is not None and event_time > max_duration_s:
+                dt = max_duration_s - now
+                for fid, rate in rates.items():
+                    drained = min(remaining[fid], rate * dt)
+                    remaining[fid] -= drained
+                    delivered += drained
+                now = max_duration_s
+                break
+
+            # Advance fluid state to the event time.
+            dt = event_time - now
+            if dt > 0:
+                for fid, rate in rates.items():
+                    if rate > 0:
+                        drained = min(remaining[fid], rate * dt)
+                        remaining[fid] -= drained
+                        delivered += drained
+            now = event_time
+
+            if event == "arrival":
+                flow = flows[next_arrival_idx]
+                next_arrival_idx += 1
+                remaining[flow.flow_id] = float(flow.size_bits)
+                resources_of[flow.flow_id] = self._flow_resources(flow)
+            else:
+                remaining.pop(completing, None)
+                resources_of.pop(completing, None)
+                flow = flow_by_id[completing]
+                flow.n_cells = 1
+                flow.record_delivery(now + self.base_rtt_s)
+            recompute()
+
+        duration = max(now, 1e-12)
+        return FluidResult(
+            flows=flows,
+            duration_s=duration,
+            delivered_bits=delivered,
+            offered_bits=offered,
+            reference_node_bandwidth_bps=self.node_bandwidth_bps,
+            n_nodes=self.n_nodes,
+        )

@@ -1,0 +1,201 @@
+"""Slot-granularity Sirius simulator (validation of the epoch abstraction).
+
+The main simulator (:mod:`repro.core.network`) advances epoch-by-epoch,
+exploiting the schedule's guarantee that every pair connects once per
+epoch.  This module simulates the *same* node state machine at
+timeslot granularity instead: each slot, each uplink transmits to the
+single destination the cyclic schedule (and hence AWGR physics) assigns
+it, and deliveries land one slot later.  Protocol phases (grant
+decisions, request generation) still run at epoch boundaries, as they
+do in hardware — the piggybacked control plane completes once per
+epoch.
+
+Uses:
+
+* **validation** — throughput and delivery totals must match the epoch
+  simulator on identical workloads (asserted in the test suite), which
+  justifies the epoch abstraction the benchmarks rely on;
+* **resolution** — FCTs resolve to a slot rather than an epoch, which
+  matters for flows of a few cells at low load.
+
+The price is simulation cost: O(slots) instead of O(epochs) outer
+iterations, so keep node counts small.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.cell import Cell, Flow
+from repro.core.network import SimulationResult, SiriusNetwork
+from repro.core.schedule import SlotTiming
+
+
+class SlotLevelSirius(SiriusNetwork):
+    """Timeslot-granularity variant of :class:`SiriusNetwork`.
+
+    Accepts the same construction parameters; only integer uplink
+    multipliers are supported (fractional capacity alternation is an
+    epoch-level modelling device).
+    """
+
+    def __init__(self, n_nodes: int, grating_ports: int, *,
+                 uplink_multiplier: float = 1.0,
+                 timing: Optional[SlotTiming] = None,
+                 config=None, track_reorder: bool = False,
+                 seed: int = 1) -> None:
+        if abs(uplink_multiplier - round(uplink_multiplier)) > 1e-9:
+            raise ValueError(
+                "the slot-level simulator needs an integer uplink "
+                f"multiplier, got {uplink_multiplier}"
+            )
+        super().__init__(
+            n_nodes, grating_ports, uplink_multiplier=uplink_multiplier,
+            timing=timing, config=config, track_reorder=track_reorder,
+            seed=seed,
+        )
+        # Precompute per-slot connectivity: slot -> [(src, dst), ...].
+        self._slot_pairs: List[List[Tuple[int, int]]] = []
+        for slot in range(self.schedule.slots_per_epoch):
+            pairs = [
+                (uplink.node, self.schedule.destination(uplink, slot))
+                for uplink in self.topology.iter_uplinks()
+            ]
+            self._slot_pairs.append(
+                [(src, dst) for src, dst in pairs if src != dst]
+            )
+
+    # -- main loop -------------------------------------------------------------
+    def run(self, flows: Sequence[Flow], *,
+            max_epochs: Optional[int] = None,
+            drain_epochs: int = 50_000,
+            check_invariants: bool = False) -> SimulationResult:
+        slots_per_epoch = self.schedule.slots_per_epoch
+        slot_dur = self.timing.slot_duration_s
+        epoch_dur = self.schedule.epoch_duration_s
+        payload_bits = self.timing.payload_bits
+        flows = list(flows)
+        for i in range(1, len(flows)):
+            if flows[i].arrival_time < flows[i - 1].arrival_time:
+                raise ValueError("flows must be sorted by arrival time")
+        flow_by_id: Dict[int, Flow] = {}
+        last_cell_bits: Dict[int, int] = {}
+        offered = 0.0
+        for flow in flows:
+            flow.segment(payload_bits)
+            flow_by_id[flow.flow_id] = flow
+            last_cell_bits[flow.flow_id] = (
+                flow.size_bits - (flow.n_cells - 1) * payload_bits
+            )
+            offered += flow.size_bits
+        if max_epochs is None:
+            last_arrival = flows[-1].arrival_time if flows else 0.0
+            max_epochs = int(last_arrival / epoch_dur) + drain_epochs
+
+        nodes = self.nodes
+        pending = len(flows)
+        delivered_bits = 0.0
+        peak_reorder = 0
+        next_flow = 0
+        in_flight: List[Tuple[int, Cell, int]] = []
+        epoch = 0
+        grant_cap = (self.config.max_grants_per_destination
+                     or self.config.queue_threshold)
+
+        while epoch < max_epochs:
+            # Epoch-boundary protocol phases (identical to the epoch sim).
+            if not self.config.ideal:
+                for node in nodes:
+                    node.apply_grants_and_expiries()
+            horizon = (epoch + 1) * epoch_dur
+            while next_flow < len(flows) and (
+                flows[next_flow].arrival_time < horizon
+            ):
+                flow = flows[next_flow]
+                src_node = nodes[flow.src]
+                for seq in range(flow.n_cells):
+                    src_node.enqueue_local(
+                        Cell(flow.flow_id, seq, flow.src, flow.dst)
+                    )
+                next_flow += 1
+            if not self.config.ideal:
+                for node in nodes:
+                    for src, dst in node.decide_grants(grant_cap):
+                        nodes[src].grant_inbox.append((node.node, dst))
+                for node in nodes:
+                    for intermediate, dst in node.generate_requests():
+                        nodes[intermediate].request_inbox.append(
+                            (node.node, dst)
+                        )
+
+            # Slot-by-slot transmission within the epoch.
+            for slot in range(slots_per_epoch):
+                now = epoch * epoch_dur + (slot + 1) * slot_dur
+                # Deliver the previous slot's cells.
+                if in_flight:
+                    for recv, cell, sender in in_flight:
+                        node = nodes[recv]
+                        if cell.dst != recv:
+                            node.receive_transit(cell)
+                            continue
+                        if sender == cell.src and not self.config.ideal:
+                            node.note_direct_arrival(sender)
+                        flow = flow_by_id[cell.flow_id]
+                        if self.track_reorder:
+                            node.reorder.accept(cell.flow_id, cell.seq)
+                        if cell.seq == flow.n_cells - 1:
+                            delivered_bits += last_cell_bits[cell.flow_id]
+                        else:
+                            delivered_bits += payload_bits
+                        if flow.record_delivery(now - slot_dur):
+                            pending -= 1
+                            if self.track_reorder:
+                                peak = node.reorder.peak_flow_cells
+                                peak_reorder = max(peak_reorder, peak)
+                                node.reorder.finish_flow(cell.flow_id)
+                    in_flight = []
+                # Transmit on this slot's physical connectivity.
+                for src, dst in self._slot_pairs[slot]:
+                    for cell in nodes[src].dequeue_for(dst, 1):
+                        in_flight.append((dst, cell, src))
+
+            if check_invariants:
+                for node in nodes:
+                    node.check_invariants()
+            epoch += 1
+            if pending == 0 and not in_flight and next_flow >= len(flows):
+                break
+
+        # Final delivery pass.
+        if in_flight:
+            now = epoch * epoch_dur
+            for recv, cell, sender in in_flight:
+                node = nodes[recv]
+                if cell.dst != recv:
+                    node.receive_transit(cell)
+                    continue
+                flow = flow_by_id[cell.flow_id]
+                if self.track_reorder:
+                    node.reorder.accept(cell.flow_id, cell.seq)
+                if cell.seq == flow.n_cells - 1:
+                    delivered_bits += last_cell_bits[cell.flow_id]
+                else:
+                    delivered_bits += payload_bits
+                if flow.record_delivery(now):
+                    pending -= 1
+
+        duration = max(epoch, 1) * epoch_dur
+        return SimulationResult(
+            flows=flows,
+            epochs=epoch,
+            duration_s=duration,
+            delivered_bits=delivered_bits,
+            offered_bits=offered,
+            reference_node_bandwidth_bps=self.reference_node_bandwidth_bps,
+            n_nodes=self.topology.n_nodes,
+            cell_bytes=self.timing.cell_bytes,
+            peak_fwd_cells=max(n.peak_fwd_cells for n in nodes),
+            peak_local_cells=max(n.peak_local_cells for n in nodes),
+            peak_reorder_cells=peak_reorder,
+            config=self.config,
+        )

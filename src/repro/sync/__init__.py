@@ -1,0 +1,33 @@
+"""Decentralized time synchronization (paper §4.4, §A.2, §6).
+
+Nanosecond optical switching needs sub-100 ps synchronization between
+nodes.  Sirius exploits two properties of its own design instead of an
+external protocol: the core is passive (no retiming — a receiver can
+recover the sender's clock directly from the bit stream) and the cyclic
+schedule connects every node pair once per epoch (a rotating leader's
+clock reaches everyone periodically, with no extra messages).
+
+* :mod:`repro.sync.clock` — drifting local-oscillator model.
+* :mod:`repro.sync.protocol` — leader-rotation frequency synchronization
+  with PLL/DLL discipline; reproduces the ±5 ps accuracy of §6.
+* :mod:`repro.sync.delay` — propagation-delay estimation and the
+  per-node epoch start offsets that align slots at the AWGR (§A.2).
+"""
+
+from repro.sync.clock import DriftingClock
+from repro.sync.protocol import SyncProtocol, SyncConfig, SyncResult
+from repro.sync.delay import (
+    DelayEstimator,
+    epoch_start_offsets,
+    verify_slot_alignment,
+)
+
+__all__ = [
+    "DriftingClock",
+    "SyncProtocol",
+    "SyncConfig",
+    "SyncResult",
+    "DelayEstimator",
+    "epoch_start_offsets",
+    "verify_slot_alignment",
+]

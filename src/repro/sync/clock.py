@@ -1,0 +1,92 @@
+"""Local-oscillator clock model with frequency error and random drift.
+
+Commodity oscillators are specified in parts-per-million (ppm): a
+±10 ppm oscillator gains or loses up to 10 us every second.  On top of
+the static frequency error, real oscillators wander slowly (temperature,
+aging); the model adds a bounded random walk on the frequency error.
+
+Sirius does not need the clocks to be *correct*, only *mutually
+synchronized* (§4.4: "even if the clocks drift over time it does not
+matter as long as they remain synchronized among each other"), which is
+what the protocol in :mod:`repro.sync.protocol` achieves by disciplining
+every clock to a rotating leader.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+
+class DriftingClock:
+    """A clock with static ppm offset plus a bounded frequency random walk.
+
+    Parameters
+    ----------
+    ppm_error:
+        Initial fractional frequency error in parts per million.
+    wander_ppm_per_s:
+        Standard deviation of the per-second frequency random walk.
+    max_abs_ppm:
+        Hard bound on the wandering frequency error (oscillator spec).
+    phase_s:
+        Initial phase offset (seconds) from ideal time.
+    """
+
+    def __init__(self, ppm_error: float = 0.0, *,
+                 wander_ppm_per_s: float = 0.01,
+                 max_abs_ppm: float = 100.0,
+                 phase_s: float = 0.0,
+                 rng: Optional[random.Random] = None) -> None:
+        if max_abs_ppm <= 0:
+            raise ValueError("max_abs_ppm must be positive")
+        if abs(ppm_error) > max_abs_ppm:
+            raise ValueError(
+                f"ppm_error {ppm_error} exceeds the bound {max_abs_ppm}"
+            )
+        self.ppm_error = ppm_error
+        self.wander_ppm_per_s = wander_ppm_per_s
+        self.max_abs_ppm = max_abs_ppm
+        self.phase_s = phase_s
+        self.rng = rng or random.Random()
+        #: Cumulative discipline applied by the sync protocol (ppm).
+        self.discipline_ppm = 0.0
+
+    # -- evolution -------------------------------------------------------------
+    @property
+    def effective_ppm(self) -> float:
+        """Frequency error after protocol discipline."""
+        return self.ppm_error + self.discipline_ppm
+
+    def advance(self, dt_s: float) -> None:
+        """Advance real time by ``dt_s``: accumulate phase and wander."""
+        if dt_s < 0:
+            raise ValueError(f"dt cannot be negative, got {dt_s}")
+        self.phase_s += self.effective_ppm * 1e-6 * dt_s
+        if self.wander_ppm_per_s:
+            step = self.rng.gauss(0.0, self.wander_ppm_per_s * dt_s)
+            self.ppm_error = max(
+                -self.max_abs_ppm, min(self.max_abs_ppm, self.ppm_error + step)
+            )
+
+    # -- discipline (applied by the sync protocol) -------------------------------
+    def slew_phase(self, delta_s: float) -> None:
+        """Apply a phase correction (positive delta advances the clock)."""
+        self.phase_s += delta_s
+
+    def adjust_frequency(self, delta_ppm: float,
+                         max_step_ppm: Optional[float] = None) -> float:
+        """Apply a frequency correction, optionally clamped.
+
+        The clamp implements the paper's DLL-based filtering of "too
+        large frequency variations", which partially defends against
+        byzantine clock failures (§4.4).  Returns the applied step.
+        """
+        if max_step_ppm is not None:
+            delta_ppm = max(-max_step_ppm, min(max_step_ppm, delta_ppm))
+        self.discipline_ppm += delta_ppm
+        return delta_ppm
+
+    def offset_from(self, other: "DriftingClock") -> float:
+        """Instantaneous phase difference (seconds) to another clock."""
+        return self.phase_s - other.phase_s

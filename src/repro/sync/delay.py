@@ -1,0 +1,107 @@
+"""Propagation-delay estimation and slot alignment (paper §4.4, §A.2).
+
+Frequency synchronization alone is not enough: nodes sit at different
+fibre distances from the grating layer, so "timeslot t" must *start
+earlier* at far nodes for their cells to reach the AWGR simultaneously
+with everyone else's.  The passive core makes the distance measurable:
+a node can time a reflection off the grating (or compare arrival phases
+of a known peer) with picosecond resolution, because nothing in the core
+adds variable latency.
+
+This module provides the estimator and the per-node epoch-start offsets,
+plus a verifier that the offsets align all slots at the grating to
+within the guardband budget.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.units import fibre_delay
+
+
+class DelayEstimator:
+    """Round-trip-time estimation of a node's fibre distance to the core.
+
+    ``measure`` simulates ``n_probes`` timestamped round trips with
+    Gaussian timestamp noise and returns the averaged one-way delay.
+    Averaging drives the error down by ``sqrt(n_probes)``, giving
+    picosecond-level estimates from tens of probes.
+    """
+
+    def __init__(self, timestamp_noise_s: float = 2e-12, *,
+                 rng: Optional[random.Random] = None) -> None:
+        if timestamp_noise_s < 0:
+            raise ValueError("noise cannot be negative")
+        self.timestamp_noise_s = timestamp_noise_s
+        self.rng = rng or random.Random(31)
+
+    def measure(self, fibre_length_m: float, n_probes: int = 64) -> float:
+        """Estimated one-way delay (seconds) to the grating layer."""
+        if n_probes <= 0:
+            raise ValueError("need at least one probe")
+        true_one_way = fibre_delay(fibre_length_m)
+        total = 0.0
+        for _ in range(n_probes):
+            rtt = 2 * true_one_way + self.rng.gauss(0, self.timestamp_noise_s)
+            total += rtt / 2.0
+        return total / n_probes
+
+    def estimation_error(self, fibre_length_m: float,
+                         n_probes: int = 64) -> float:
+        """Absolute error of one measurement run (for accuracy tests)."""
+        return abs(
+            self.measure(fibre_length_m, n_probes)
+            - fibre_delay(fibre_length_m)
+        )
+
+
+def epoch_start_offsets(fibre_lengths_m: Sequence[float],
+                        estimator: Optional[DelayEstimator] = None,
+                        n_probes: int = 64) -> List[float]:
+    """Per-node epoch start offsets (seconds before the reference start).
+
+    The farther a node is from the grating layer, the earlier it starts
+    its epoch, so that cells of the same slot arrive at the AWGR
+    simultaneously (§A.2).  Offsets are normalized so the farthest node
+    starts at 0 and nearer nodes start later (all offsets >= 0 relative
+    to the earliest).
+    """
+    if not fibre_lengths_m:
+        raise ValueError("need at least one node")
+    if estimator is None:
+        delays = [fibre_delay(length) for length in fibre_lengths_m]
+    else:
+        delays = [
+            estimator.measure(length, n_probes) for length in fibre_lengths_m
+        ]
+    latest = max(delays)
+    # Node i transmits at (latest - delay_i) after the earliest start, so
+    # every slot lands at the grating at time `latest`.
+    return [latest - d for d in delays]
+
+
+def verify_slot_alignment(fibre_lengths_m: Sequence[float],
+                          offsets_s: Sequence[float],
+                          tolerance_s: float) -> float:
+    """Check offsets align slot arrivals at the grating.
+
+    Returns the worst-case arrival spread (seconds); raises
+    ``AssertionError`` if it exceeds ``tolerance_s`` (the share of the
+    guardband budgeted for synchronization error).
+    """
+    if len(fibre_lengths_m) != len(offsets_s):
+        raise ValueError("one offset per node required")
+    if tolerance_s <= 0:
+        raise ValueError("tolerance must be positive")
+    arrivals = [
+        offset + fibre_delay(length)
+        for offset, length in zip(offsets_s, fibre_lengths_m)
+    ]
+    spread = max(arrivals) - min(arrivals)
+    assert spread <= tolerance_s, (
+        f"slot arrival spread {spread:.3e}s exceeds tolerance "
+        f"{tolerance_s:.3e}s"
+    )
+    return spread

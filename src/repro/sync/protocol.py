@@ -1,0 +1,183 @@
+"""Leader-rotation clock synchronization (paper §4.4, measured in §6).
+
+Every epoch the cyclic schedule connects each node to the current
+*leader*; the passive core does no retiming, so the receiver extracts
+the leader's clock from the incoming bit stream (standard PLL/DLL) and
+disciplines its local oscillator toward it.  The leader role rotates
+round-robin every few epochs, so a failed leader is replaced within
+microseconds — fast enough that no noticeable drift accumulates.
+
+The control law per observation is a second-order loop:
+
+* phase: slew a fraction ``phase_gain`` of the measured offset,
+* frequency: integrate ``freq_gain × offset / interval`` (clamped by
+  the DLL filter against byzantine frequency jumps).
+
+With picosecond-scale measurement noise (limited by the clock-phase
+caching resolution of [21]) the steady-state pairwise offset settles in
+the low single-digit picoseconds; the paper measures ±5 ps between two
+FPGAs over 24 hours.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set
+
+from repro.sync.clock import DriftingClock
+from repro.units import MICROSECOND, PICOSECOND
+
+
+@dataclass(frozen=True)
+class SyncConfig:
+    """Parameters of the synchronization loop.
+
+    Defaults reflect the prototype: 1.6 us epochs (16-slot schedule at
+    100 ns), leader rotation every 8 epochs, ~0.5 ps of phase
+    measurement noise (25 GBaud symbol-time / caching resolution).
+    """
+
+    epoch_s: float = 1.6 * MICROSECOND
+    rotation_epochs: int = 8
+    phase_gain: float = 0.7
+    freq_gain: float = 0.05
+    max_freq_step_ppm: float = 5.0
+    measurement_noise_s: float = 0.5 * PICOSECOND
+    seed: int = 17
+
+    def __post_init__(self) -> None:
+        if self.epoch_s <= 0:
+            raise ValueError("epoch duration must be positive")
+        if self.rotation_epochs < 1:
+            raise ValueError("rotation period must be >= 1 epoch")
+        if not 0 < self.phase_gain <= 1:
+            raise ValueError("phase gain must be in (0, 1]")
+        if self.freq_gain < 0:
+            raise ValueError("frequency gain cannot be negative")
+
+
+@dataclass
+class SyncResult:
+    """Synchronization accuracy over a simulated run."""
+
+    epochs: int
+    max_abs_offset_s: float
+    final_max_abs_offset_s: float
+    offsets_trace_s: List[float] = field(repr=False, default_factory=list)
+
+    @property
+    def max_abs_offset_ps(self) -> float:
+        return self.max_abs_offset_s / PICOSECOND
+
+
+class SyncProtocol:
+    """Simulates the leader-rotation discipline over a set of clocks."""
+
+    def __init__(self, clocks: Sequence[DriftingClock],
+                 config: Optional[SyncConfig] = None) -> None:
+        if len(clocks) < 2:
+            raise ValueError("synchronization needs at least 2 clocks")
+        self.clocks = list(clocks)
+        self.config = config or SyncConfig()
+        self.rng = random.Random(self.config.seed)
+        self.failed: Set[int] = set()
+
+    # -- membership -------------------------------------------------------------
+    def fail_node(self, node: int) -> None:
+        """Mark a node failed: it stops serving as leader (its clock
+        free-runs)."""
+        self._check_node(node)
+        self.failed.add(node)
+        if len(self.failed) >= len(self.clocks):
+            raise RuntimeError("all nodes have failed")
+
+    def recover_node(self, node: int) -> None:
+        self._check_node(node)
+        self.failed.discard(node)
+
+    def leader_at(self, epoch: int) -> int:
+        """Round-robin leader for ``epoch``, skipping failed nodes (§4.4)."""
+        if epoch < 0:
+            raise ValueError("epoch cannot be negative")
+        n = len(self.clocks)
+        candidate = (epoch // self.config.rotation_epochs) % n
+        for _ in range(n):
+            if candidate not in self.failed:
+                return candidate
+            candidate = (candidate + 1) % n
+        raise RuntimeError("no live leader available")
+
+    # -- main loop ------------------------------------------------------------
+    def run(self, n_epochs: int, *, warmup_epochs: int = 2_000,
+            trace: bool = False) -> SyncResult:
+        """Simulate ``n_epochs`` of the discipline loop.
+
+        ``warmup_epochs`` are excluded from the reported maximum (the
+        loop needs a settling period after a cold start, exactly like
+        the prototype).  The reported metric is the maximum absolute
+        pairwise clock offset across all live node pairs — the quantity
+        the paper bounds at ±5 ps.
+        """
+        if n_epochs <= 0:
+            raise ValueError("n_epochs must be positive")
+        cfg = self.config
+        max_offset = 0.0
+        final_offset = 0.0
+        offsets_trace: List[float] = []
+        for epoch in range(n_epochs):
+            for clock in self.clocks:
+                clock.advance(cfg.epoch_s)
+            leader_idx = self.leader_at(epoch)
+            leader = self.clocks[leader_idx]
+            for idx, clock in enumerate(self.clocks):
+                if idx == leader_idx or idx in self.failed:
+                    continue
+                measured = clock.offset_from(leader) + self.rng.gauss(
+                    0.0, cfg.measurement_noise_s
+                )
+                clock.slew_phase(-cfg.phase_gain * measured)
+                clock.adjust_frequency(
+                    -cfg.freq_gain * measured / cfg.epoch_s * 1e6,
+                    max_step_ppm=cfg.max_freq_step_ppm,
+                )
+            spread = self._max_pairwise_offset()
+            if epoch >= warmup_epochs:
+                max_offset = max(max_offset, spread)
+            final_offset = spread
+            if trace:
+                offsets_trace.append(spread)
+        return SyncResult(
+            epochs=n_epochs,
+            max_abs_offset_s=max_offset,
+            final_max_abs_offset_s=final_offset,
+            offsets_trace_s=offsets_trace,
+        )
+
+    # -- helpers ------------------------------------------------------------
+    def _max_pairwise_offset(self) -> float:
+        live = [
+            c.phase_s for i, c in enumerate(self.clocks)
+            if i not in self.failed
+        ]
+        return max(live) - min(live)
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < len(self.clocks):
+            raise ValueError(f"node {node} out of range")
+
+
+def make_clock_ensemble(n: int, *, ppm_spread: float = 20.0,
+                        seed: int = 23) -> List[DriftingClock]:
+    """``n`` clocks with frequency errors uniform in ±``ppm_spread``."""
+    if n < 1:
+        raise ValueError("need at least one clock")
+    rng = random.Random(seed)
+    return [
+        DriftingClock(
+            ppm_error=rng.uniform(-ppm_spread, ppm_spread),
+            phase_s=rng.uniform(0, 100) * PICOSECOND,
+            rng=random.Random(rng.randrange(2 ** 30)),
+        )
+        for _ in range(n)
+    ]

@@ -1,0 +1,89 @@
+"""Pseudo-random binary sequences (PRBS) for link testing (paper §6).
+
+The prototype FPGAs transmit PRBS patterns and compare the received
+stream against the locally regenerated expected sequence to count bit
+errors.  This module implements the standard ITU-T PRBS polynomials as
+Fibonacci LFSRs; PRBS-7 (x^7 + x^6 + 1) and PRBS-31 (x^31 + x^28 + 1)
+are the ones commonly used in transceiver bring-up.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+#: Supported polynomials: order -> feedback tap (second tap besides the MSB).
+_TAPS = {7: 6, 9: 5, 15: 14, 23: 18, 31: 28}
+
+
+class PRBSGenerator:
+    """Fibonacci LFSR producing a PRBS-``order`` bit stream."""
+
+    def __init__(self, order: int = 7, seed: int = 1) -> None:
+        if order not in _TAPS:
+            raise ValueError(
+                f"unsupported PRBS order {order}; choose from {sorted(_TAPS)}"
+            )
+        if not 0 < seed < (1 << order):
+            raise ValueError(
+                f"seed must be a non-zero {order}-bit value, got {seed}"
+            )
+        self.order = order
+        self._tap = _TAPS[order]
+        self._state = seed
+        self._seed = seed
+
+    @property
+    def period(self) -> int:
+        """Sequence period: 2^order - 1."""
+        return (1 << self.order) - 1
+
+    def next_bit(self) -> int:
+        """Advance the LFSR one step and return the output bit."""
+        msb = (self._state >> (self.order - 1)) & 1
+        tap = (self._state >> (self._tap - 1)) & 1
+        bit = msb ^ tap
+        self._state = ((self._state << 1) | bit) & ((1 << self.order) - 1)
+        return msb
+
+    def bits(self, n: int) -> List[int]:
+        """The next ``n`` bits of the sequence."""
+        if n < 0:
+            raise ValueError(f"n cannot be negative, got {n}")
+        return [self.next_bit() for _ in range(n)]
+
+    def reset(self) -> None:
+        """Rewind to the initial seed state."""
+        self._state = self._seed
+
+
+class PRBSChecker:
+    """Receiver-side checker: regenerates the expected PRBS and counts
+    mismatches, exactly as the prototype FPGAs do."""
+
+    def __init__(self, order: int = 7, seed: int = 1) -> None:
+        self.reference = PRBSGenerator(order, seed)
+        self.bits_checked = 0
+        self.bit_errors = 0
+
+    def check(self, received: Iterable[int]) -> int:
+        """Compare a received chunk; returns the errors in this chunk."""
+        errors = 0
+        for bit in received:
+            if bit not in (0, 1):
+                raise ValueError(f"received stream must be bits, got {bit!r}")
+            if bit != self.reference.next_bit():
+                errors += 1
+            self.bits_checked += 1
+        self.bit_errors += errors
+        return errors
+
+    @property
+    def ber(self) -> float:
+        """Measured bit-error rate so far."""
+        if self.bits_checked == 0:
+            return 0.0
+        return self.bit_errors / self.bits_checked
+
+    def error_free(self, threshold: float = 1e-12) -> bool:
+        """Post-FEC error-free criterion used in §6 (BER < 1e-12)."""
+        return self.ber < threshold

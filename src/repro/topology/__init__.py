@@ -1,0 +1,13 @@
+"""Physical topologies: the Sirius flat optical core and Clos baselines.
+
+* :mod:`repro.topology.sirius` — nodes × uplinks × single layer of
+  passive AWGR gratings (paper §4.1, Fig 5a).
+* :mod:`repro.topology.clos` — hierarchical folded-Clos electrical
+  networks used as the paper's ESN baselines (§2, §7) and for the
+  scale-tax analysis (Fig 2a).
+"""
+
+from repro.topology.sirius import SiriusTopology, Uplink
+from repro.topology.clos import ClosTopology
+
+__all__ = ["SiriusTopology", "Uplink", "ClosTopology"]

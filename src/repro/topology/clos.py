@@ -1,0 +1,203 @@
+"""Folded-Clos electrical network topologies (paper §2, §7 baselines).
+
+Models the hierarchical, electrically-switched networks (ESN) Sirius is
+compared against:
+
+* the *scale tax* of Fig 2a — how many switch layers (and hence how much
+  power per unit bisection bandwidth) a given node count requires;
+* the non-blocking and 3:1-oversubscribed three-tier folded Clos used as
+  simulation baselines in §7;
+* device counts (switches, transceivers) feeding the power/cost models
+  of §5.
+
+A folded Clos built from ``radix``-port switches supports up to
+``2 · (radix/2)^L`` end-points with ``L`` switch layers (each layer
+halves its ports down/up, except the top layer which uses all ports
+down).  An end-to-end path traverses up to ``2L − 1`` switches and
+``2L`` transceiver hops (Fig 2a counts up to six transceivers across a
+path of a four-layer network).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.units import GBPS
+
+
+def layers_required(n_nodes: int, radix: int) -> int:
+    """Switch layers a folded Clos needs to connect ``n_nodes``.
+
+    Layer counts follow Fig 2a's scale axis: 2 nodes need 0 layers
+    (direct fibre), up to ``radix`` nodes need 1 (a single switch), then
+    each extra layer multiplies reach by ``radix/2``.
+
+    >>> layers_required(2, 64), layers_required(64, 64)
+    (0, 1)
+    >>> layers_required(2048, 64), layers_required(65536, 64)
+    (2, 3)
+    >>> layers_required(2_000_000, 64)
+    4
+    """
+    if n_nodes < 2:
+        raise ValueError(f"need at least 2 nodes, got {n_nodes}")
+    if radix < 2 or radix % 2:
+        raise ValueError(f"radix must be a positive even integer, got {radix}")
+    if n_nodes == 2:
+        return 0
+    layers = 1
+    reach = radix
+    while reach < n_nodes:
+        layers += 1
+        reach *= radix // 2
+    return layers
+
+
+@dataclass
+class ClosTopology:
+    """A folded-Clos (fat-tree-style) network of electrical switches.
+
+    Parameters
+    ----------
+    n_nodes:
+        End-points (servers or racks) attached at the bottom tier.
+    radix:
+        Ports per switch (paper: 64 × 400 Gb/s, i.e. 25.6 Tb/s ASICs).
+    port_rate_bps:
+        Rate of each switch port / transceiver.
+    oversubscription:
+        Ratio of downlink to uplink capacity at the aggregation tier;
+        1.0 is non-blocking, 3.0 is the paper's ESN-OSUB baseline.
+    """
+
+    n_nodes: int
+    radix: int = 64
+    port_rate_bps: float = 400 * GBPS
+    oversubscription: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 2:
+            raise ValueError(f"need at least 2 nodes, got {self.n_nodes}")
+        if self.radix < 2 or self.radix % 2:
+            raise ValueError(f"radix must be even and >= 2, got {self.radix}")
+        if self.oversubscription < 1.0:
+            raise ValueError(
+                f"oversubscription must be >= 1, got {self.oversubscription}"
+            )
+
+    # -- structure -----------------------------------------------------------
+    @property
+    def n_layers(self) -> int:
+        """Switch layers needed for this scale."""
+        return layers_required(self.n_nodes, self.radix)
+
+    @property
+    def max_switches_on_path(self) -> int:
+        """Switches traversed by a worst-case end-to-end path."""
+        if self.n_layers == 0:
+            return 0
+        return 2 * self.n_layers - 1
+
+    @property
+    def max_transceivers_on_path(self) -> int:
+        """Transceivers traversed end-to-end (2 per switch-to-switch hop).
+
+        For the paper's four-layer datacenter: "up to six transceivers
+        across an end-to-end path" — two at the ends plus two per
+        inter-switch crossing when traffic stays within the lower
+        tiers; worst case is ``2 · n_layers``.
+        """
+        if self.n_layers == 0:
+            return 2
+        return 2 * self.n_layers
+
+    def switch_count(self) -> int:
+        """Total number of switches across all tiers.
+
+        Non-blocking folded Clos: the bottom tier uses half its ports
+        down; each node consumes one bottom-tier port.  Tier ``t``
+        (0-based from bottom) needs ``n_nodes / (radix/2)^(t+1)``
+        switches, except the top tier which uses all ports downward and
+        so needs half as many.  Oversubscription divides the uplink
+        capacity — and thus every tier above the bottom — by the
+        oversubscription ratio.
+        """
+        if self.n_layers == 0:
+            return 0
+        half = self.radix // 2
+        if self.n_layers == 1:
+            self._tier_counts = [1]
+            return 1
+        # Tier t (bottom first) must provide enough downward ports for the
+        # uplinks of the tier below (or for the nodes, at t = 0); the top
+        # tier uses all its ports downward, others reserve half for uplinks.
+        counts: List[int] = []
+        downward_ports_needed = float(self.n_nodes)
+        for tier in range(self.n_layers):
+            is_top = tier == self.n_layers - 1
+            if tier > 0 and tier == 1:
+                downward_ports_needed /= self.oversubscription
+            ports_down = self.radix if is_top else half
+            counts.append(max(1, math.ceil(downward_ports_needed / ports_down)))
+            downward_ports_needed = counts[-1] * (0 if is_top else half)
+        self._tier_counts = counts
+        return sum(counts)
+
+    def tier_switch_counts(self) -> List[int]:
+        """Per-tier switch counts, bottom tier first."""
+        self.switch_count()
+        return list(getattr(self, "_tier_counts", []))
+
+    def transceiver_count(self) -> int:
+        """Total optical transceivers in the network.
+
+        Every inter-switch link needs a transceiver at both ends; node
+        attachments need one at the node and one at the switch.
+        """
+        if self.n_layers == 0:
+            return 2  # direct node-to-node fibre
+        counts = self.tier_switch_counts()
+        half = self.radix // 2
+        transceivers = 2 * self.n_nodes  # node <-> bottom tier
+        for tier in range(self.n_layers - 1):
+            uplinks = counts[tier] * half
+            transceivers += 2 * uplinks
+        return transceivers
+
+    # -- capacity -----------------------------------------------------------
+    @property
+    def bisection_bandwidth_bps(self) -> float:
+        """Bisection bandwidth delivered to the nodes."""
+        return (
+            self.n_nodes * self.port_rate_bps / 2.0 / self.oversubscription
+        )
+
+    def pods(self) -> Dict[int, range]:
+        """Partition of nodes into aggregation pods.
+
+        A pod is the set of nodes under one aggregation subtree; traffic
+        leaving a pod shares the (possibly oversubscribed) uplink
+        capacity.  Used by the fluid simulator to model ESN-OSUB.
+        """
+        if self.n_layers <= 1:
+            return {0: range(self.n_nodes)}
+        half = self.radix // 2
+        pod_size = half * half if self.n_layers >= 3 else half
+        pod_size = min(pod_size, self.n_nodes)
+        return {
+            p: range(p * pod_size, min((p + 1) * pod_size, self.n_nodes))
+            for p in range(math.ceil(self.n_nodes / pod_size))
+        }
+
+    def pod_uplink_bandwidth_bps(self) -> float:
+        """Aggregate uplink capacity of one pod toward the core."""
+        pod_size = len(self.pods()[0])
+        return pod_size * self.port_rate_bps / self.oversubscription
+
+    def __repr__(self) -> str:
+        return (
+            f"ClosTopology(n_nodes={self.n_nodes}, radix={self.radix}, "
+            f"layers={self.n_layers}, oversub={self.oversubscription})"
+        )

@@ -1,0 +1,131 @@
+"""Physical-unit constants and conversion helpers.
+
+All internal quantities in the library use SI base units: seconds for
+time, bits for data, bits-per-second for rates, watts for power and
+metres for distance.  The constants here let calling code express
+parameters in the units the paper uses (nanoseconds, gigabits, dBm)
+without sprinkling magic powers of ten everywhere.
+"""
+
+from __future__ import annotations
+
+import math
+
+# --- time ---------------------------------------------------------------
+SECOND = 1.0
+MILLISECOND = 1e-3
+MICROSECOND = 1e-6
+NANOSECOND = 1e-9
+PICOSECOND = 1e-12
+
+MS = MILLISECOND
+US = MICROSECOND
+NS = NANOSECOND
+PS = PICOSECOND
+
+# --- data ---------------------------------------------------------------
+BIT = 1
+BYTE = 8
+KILOBYTE = 1000 * BYTE
+KIB = 1024 * BYTE
+MEGABYTE = 1000 * KILOBYTE
+MIB = 1024 * KIB
+
+# --- rates --------------------------------------------------------------
+BPS = 1.0
+KBPS = 1e3
+MBPS = 1e6
+GBPS = 1e9
+TBPS = 1e12
+PBPS = 1e15
+
+# --- power --------------------------------------------------------------
+WATT = 1.0
+MILLIWATT = 1e-3
+
+# --- distance / light ---------------------------------------------------
+METRE = 1.0
+KILOMETRE = 1000.0
+#: Speed of light in standard single-mode fibre (refractive index ~1.468).
+SPEED_OF_LIGHT_VACUUM = 299_792_458.0
+FIBRE_REFRACTIVE_INDEX = 1.468
+SPEED_OF_LIGHT_FIBRE = SPEED_OF_LIGHT_VACUUM / FIBRE_REFRACTIVE_INDEX
+
+# --- optical C-band -----------------------------------------------------
+#: Centre of the optical C-band used by the paper's lasers (nanometres).
+C_BAND_CENTRE_NM = 1550.0
+#: ITU grid spacing used by the paper's DSDBR lasers (GHz).
+ITU_GRID_SPACING_GHZ = 50.0
+
+
+def dbm_to_mw(dbm: float) -> float:
+    """Convert optical power from dBm to milliwatts.
+
+    >>> round(dbm_to_mw(0.0), 6)
+    1.0
+    >>> round(dbm_to_mw(-8.0), 3)   # paper's receiver sensitivity, 0.16 mW
+    0.158
+    """
+    return 10.0 ** (dbm / 10.0)
+
+
+def mw_to_dbm(mw: float) -> float:
+    """Convert optical power from milliwatts to dBm.
+
+    Raises ``ValueError`` for non-positive power, which has no dBm
+    representation.
+    """
+    if mw <= 0:
+        raise ValueError(f"optical power must be positive, got {mw} mW")
+    return 10.0 * math.log10(mw)
+
+
+def db_ratio(ratio: float) -> float:
+    """Express a linear power ratio in decibels."""
+    if ratio <= 0:
+        raise ValueError(f"power ratio must be positive, got {ratio}")
+    return 10.0 * math.log10(ratio)
+
+
+def db_to_ratio(db: float) -> float:
+    """Convert decibels to a linear power ratio."""
+    return 10.0 ** (db / 10.0)
+
+
+def fibre_delay(distance_m: float) -> float:
+    """Propagation delay (seconds) of light over ``distance_m`` of fibre.
+
+    The paper (§4.2) notes a 500 m detour adds up to 2.5 us of
+    propagation latency, i.e. ~5 ns/m, which this reproduces:
+
+    >>> round(fibre_delay(500.0) / 1e-6, 2)
+    2.45
+    """
+    if distance_m < 0:
+        raise ValueError(f"distance must be non-negative, got {distance_m}")
+    return distance_m / SPEED_OF_LIGHT_FIBRE
+
+
+def transmission_time(size_bits: float, rate_bps: float) -> float:
+    """Time (seconds) to serialize ``size_bits`` at ``rate_bps``."""
+    if rate_bps <= 0:
+        raise ValueError(f"rate must be positive, got {rate_bps}")
+    if size_bits < 0:
+        raise ValueError(f"size must be non-negative, got {size_bits}")
+    return size_bits / rate_bps
+
+
+def wavelength_nm(channel: int, n_channels: int, *, centre_nm: float = C_BAND_CENTRE_NM,
+                  spacing_ghz: float = ITU_GRID_SPACING_GHZ) -> float:
+    """Wavelength (nm) of ITU-grid ``channel`` out of ``n_channels``.
+
+    Channels are laid out symmetrically around ``centre_nm`` with
+    ``spacing_ghz`` frequency spacing, matching the C-band grid the
+    paper's 112-wavelength DSDBR laser tunes across.
+    """
+    if not 0 <= channel < n_channels:
+        raise ValueError(f"channel {channel} out of range [0, {n_channels})")
+    centre_freq_ghz = SPEED_OF_LIGHT_VACUUM / (centre_nm * 1e-9) / 1e9
+    offset = channel - (n_channels - 1) / 2.0
+    freq_ghz = centre_freq_ghz - offset * spacing_ghz
+    return SPEED_OF_LIGHT_VACUUM / (freq_ghz * 1e9) / 1e-9

@@ -1,0 +1,30 @@
+"""Synthetic workloads modelled after the paper's evaluation (§2.2, §7).
+
+* :mod:`repro.workload.flows` — heavy-tailed (Pareto) flow sizes with
+  Poisson arrivals and uniform endpoints, the §7 workload.
+* :mod:`repro.workload.traffic_matrix` — non-uniform endpoint patterns
+  (hotspot, permutation, all-to-all) for the ablation studies.
+* :mod:`repro.workload.packets` — the §2.2 production packet-size
+  mixture (34 % of packets < 128 B; 97.8 % ≤ 576 B).
+"""
+
+from repro.workload.empirical import (
+    EmpiricalSizeSampler,
+    empirical_flows,
+)
+from repro.workload.flows import FlowWorkload, WorkloadConfig, load_to_rate
+from repro.workload.trace_io import read_flows, write_flows
+from repro.workload.traffic_matrix import TrafficPattern
+from repro.workload.packets import PacketTraceModel
+
+__all__ = [
+    "EmpiricalSizeSampler",
+    "empirical_flows",
+    "read_flows",
+    "write_flows",
+    "FlowWorkload",
+    "WorkloadConfig",
+    "load_to_rate",
+    "TrafficPattern",
+    "PacketTraceModel",
+]

@@ -1,0 +1,157 @@
+"""Empirical datacenter flow-size distributions (paper §7, refs [1, 31]).
+
+The paper's synthetic workload is "modeled after published datacenter
+traces [1, 31]" — DCTCP's web-search cluster and VL2's data-mining
+cluster.  Alongside the Pareto model of :mod:`repro.workload.flows`,
+this module provides the two classic empirical CDFs themselves (as
+commonly digitized in the datacenter-transport literature) with an
+inverse-CDF sampler using log-linear interpolation between knots.
+
+Both distributions share the paper's qualitative premise: most flows
+are small, most bytes live in a heavy tail.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import random
+from typing import List, Sequence, Tuple
+
+from repro.core.cell import Flow
+from repro.units import BYTE
+
+#: DCTCP web-search workload [1]: (flow size in bytes, CDF).
+WEB_SEARCH_CDF: Tuple[Tuple[float, float], ...] = (
+    (6_000, 0.15),
+    (13_000, 0.30),
+    (19_000, 0.45),
+    (33_000, 0.60),
+    (53_000, 0.70),
+    (133_000, 0.80),
+    (667_000, 0.90),
+    (1_333_000, 0.95),
+    (3_333_000, 0.98),
+    (6_667_000, 0.99),
+    (20_000_000, 1.00),
+)
+
+#: VL2 data-mining workload [31]: (flow size in bytes, CDF).
+DATA_MINING_CDF: Tuple[Tuple[float, float], ...] = (
+    (100, 0.50),
+    (1_000, 0.60),
+    (10_000, 0.70),
+    (30_000, 0.80),
+    (100_000, 0.90),
+    (1_000_000, 0.95),
+    (10_000_000, 0.98),
+    (100_000_000, 1.00),
+)
+
+_MIN_FLOW_BYTES = 40.0
+
+
+class EmpiricalSizeSampler:
+    """Inverse-CDF sampler over a knotted size distribution.
+
+    Between knots, sizes interpolate log-linearly (flow sizes span
+    many decades, so linear interpolation would concentrate mass at
+    the large end of each segment).
+    """
+
+    def __init__(self, cdf: Sequence[Tuple[float, float]],
+                 seed: int = 19) -> None:
+        if len(cdf) < 2:
+            raise ValueError("CDF needs at least two knots")
+        sizes = [s for s, _p in cdf]
+        probs = [p for _s, p in cdf]
+        if sizes != sorted(sizes) or probs != sorted(probs):
+            raise ValueError("CDF knots must be non-decreasing")
+        if any(s <= 0 for s in sizes):
+            raise ValueError("flow sizes must be positive")
+        if probs[0] <= 0 or probs[-1] > 1:
+            raise ValueError("CDF values must be in (0, 1]")
+        if abs(probs[-1] - 1.0) > 1e-9:
+            raise ValueError("last CDF value must be 1.0")
+        self._sizes = [_MIN_FLOW_BYTES] + list(map(float, sizes))
+        self._probs = [0.0] + list(map(float, probs))
+        self.rng = random.Random(seed)
+
+    def sample_bytes(self) -> int:
+        """One flow size in bytes."""
+        u = self.rng.random()
+        index = bisect.bisect_left(self._probs, u)
+        index = min(max(index, 1), len(self._probs) - 1)
+        p_lo, p_hi = self._probs[index - 1], self._probs[index]
+        s_lo, s_hi = self._sizes[index - 1], self._sizes[index]
+        if p_hi == p_lo:
+            return int(s_hi)
+        fraction = (u - p_lo) / (p_hi - p_lo)
+        log_size = math.log(s_lo) + fraction * (
+            math.log(s_hi) - math.log(s_lo)
+        )
+        return max(int(_MIN_FLOW_BYTES), int(round(math.exp(log_size))))
+
+    def mean_bytes(self, n_samples: int = 100_000) -> float:
+        """Monte-Carlo mean (used for load calibration)."""
+        state = self.rng.getstate()
+        total = sum(self.sample_bytes() for _ in range(n_samples))
+        self.rng.setstate(state)
+        return total / n_samples
+
+    def analytic_mean_bytes(self) -> float:
+        """Closed-form mean under the log-linear interpolation."""
+        total = 0.0
+        for k in range(1, len(self._probs)):
+            p_lo, p_hi = self._probs[k - 1], self._probs[k]
+            s_lo, s_hi = self._sizes[k - 1], self._sizes[k]
+            mass = p_hi - p_lo
+            if mass <= 0:
+                continue
+            ratio = math.log(s_hi / s_lo)
+            if abs(ratio) < 1e-12:
+                segment_mean = s_lo
+            else:
+                # E[s] over u~U(0,1) of s_lo * (s_hi/s_lo)^u.
+                segment_mean = (s_hi - s_lo) / ratio
+            total += mass * segment_mean
+        return total
+
+
+def empirical_flows(kind: str, n_flows: int, n_nodes: int, load: float,
+                    node_bandwidth_bps: float, *,
+                    seed: int = 21) -> List[Flow]:
+    """Generate Poisson-arrival flows from an empirical distribution.
+
+    ``kind`` is ``"web_search"`` [1] or ``"data_mining"`` [31].  The
+    arrival rate follows the paper's load definition with the
+    distribution's analytic mean.
+    """
+    cdfs = {"web_search": WEB_SEARCH_CDF, "data_mining": DATA_MINING_CDF}
+    if kind not in cdfs:
+        raise ValueError(f"unknown workload {kind!r}; choose from "
+                         f"{sorted(cdfs)}")
+    if n_flows <= 0:
+        raise ValueError("n_flows must be positive")
+    if n_nodes < 2:
+        raise ValueError("need at least 2 nodes")
+    if load <= 0 or node_bandwidth_bps <= 0:
+        raise ValueError("load and bandwidth must be positive")
+    sampler = EmpiricalSizeSampler(cdfs[kind], seed=seed)
+    mean_bits = sampler.analytic_mean_bytes() * BYTE
+    rate = load * n_nodes * node_bandwidth_bps / mean_bits
+    rng = random.Random(seed + 1)
+    flows: List[Flow] = []
+    time = 0.0
+    for fid in range(n_flows):
+        time += rng.expovariate(rate)
+        src = rng.randrange(n_nodes)
+        dst = rng.randrange(n_nodes - 1)
+        if dst >= src:
+            dst += 1
+        flows.append(Flow(
+            fid, src, dst,
+            size_bits=max(8, sampler.sample_bytes() * BYTE),
+            arrival_time=time,
+        ))
+    return flows

@@ -1,0 +1,133 @@
+"""Endpoint-selection patterns beyond uniform random (ablation workloads).
+
+The paper's headline simulations use uniformly random endpoints (§7),
+but two of its design arguments depend on skewed patterns:
+
+* load-balanced routing guarantees worst-case throughput within 2× of
+  non-blocking for *any* traffic pattern (§4.2, Chang et al.);
+* the DRRM-style request/grant protocol "achieves 100 % throughput for
+  hot-spot traffic" (§4.3).
+
+This module provides those patterns as pluggable endpoint samplers for
+:class:`repro.workload.flows.FlowWorkload`-style generation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.cell import Flow
+
+
+@dataclass(frozen=True)
+class TrafficPattern:
+    """A named endpoint-pair sampler over ``n_nodes`` nodes.
+
+    ``kind`` is one of:
+
+    * ``"uniform"`` — uniformly random src ≠ dst (the paper's default).
+    * ``"hotspot"`` — a fraction ``hotspot_fraction`` of flows target
+      the single node ``hotspot_node``; the rest are uniform.
+    * ``"permutation"`` — a fixed random permutation: node ``i`` always
+      sends to ``perm[i]`` (the worst case for direct routing, served
+      perfectly by VLB).
+    * ``"incast"`` — every source sends to ``hotspot_node``.
+    * ``"neighbour"`` — node ``i`` sends to ``(i+1) mod n`` (an
+      adversarial pattern for any static direct topology).
+    """
+
+    kind: str
+    n_nodes: int
+    hotspot_node: int = 0
+    hotspot_fraction: float = 0.5
+    seed: int = 7
+
+    _KINDS = ("uniform", "hotspot", "permutation", "incast", "neighbour")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self._KINDS:
+            raise ValueError(
+                f"unknown pattern {self.kind!r}; choose from {self._KINDS}"
+            )
+        if self.n_nodes < 2:
+            raise ValueError(f"need at least 2 nodes, got {self.n_nodes}")
+        if not 0 <= self.hotspot_node < self.n_nodes:
+            raise ValueError("hotspot node out of range")
+        if not 0.0 <= self.hotspot_fraction <= 1.0:
+            raise ValueError("hotspot fraction must be in [0, 1]")
+
+    def sampler(self) -> "EndpointSampler":
+        return EndpointSampler(self)
+
+
+class EndpointSampler:
+    """Stateful sampler for a :class:`TrafficPattern`."""
+
+    def __init__(self, pattern: TrafficPattern) -> None:
+        self.pattern = pattern
+        self.rng = random.Random(pattern.seed)
+        n = pattern.n_nodes
+        if pattern.kind == "permutation":
+            # A fixed-point-free permutation (derangement by rotation of
+            # a random shuffle).
+            order = list(range(n))
+            self.rng.shuffle(order)
+            self._perm = {order[i]: order[(i + 1) % n] for i in range(n)}
+        else:
+            self._perm = None
+
+    def sample(self) -> Tuple[int, int]:
+        """One (src, dst) pair, src ≠ dst."""
+        p = self.pattern
+        n = p.n_nodes
+        kind = p.kind
+        if kind == "permutation":
+            src = self.rng.randrange(n)
+            return src, self._perm[src]
+        if kind == "incast":
+            src = self._uniform_excluding(p.hotspot_node)
+            return src, p.hotspot_node
+        if kind == "neighbour":
+            src = self.rng.randrange(n)
+            return src, (src + 1) % n
+        if kind == "hotspot" and self.rng.random() < p.hotspot_fraction:
+            src = self._uniform_excluding(p.hotspot_node)
+            return src, p.hotspot_node
+        # uniform (also the non-hotspot share of "hotspot")
+        src = self.rng.randrange(n)
+        dst = self.rng.randrange(n - 1)
+        if dst >= src:
+            dst += 1
+        return src, dst
+
+    def _uniform_excluding(self, excluded: int) -> int:
+        value = self.rng.randrange(self.pattern.n_nodes - 1)
+        if value >= excluded:
+            value += 1
+        return value
+
+
+def patterned_flows(pattern: TrafficPattern, sizes_bits: List[int],
+                    arrival_rate: float, *,
+                    seed: Optional[int] = None) -> List[Flow]:
+    """Build a flow list from a pattern, explicit sizes and Poisson arrivals.
+
+    Convenience for the ablation benchmarks: ``sizes_bits`` fixes the
+    per-flow sizes (e.g. all equal for a pure-pattern stress test).
+    """
+    if arrival_rate <= 0:
+        raise ValueError(f"arrival rate must be positive, got {arrival_rate}")
+    sampler = pattern.sampler()
+    rng = random.Random(pattern.seed if seed is None else seed)
+    flows: List[Flow] = []
+    time = 0.0
+    for flow_id, size in enumerate(sizes_bits):
+        time += rng.expovariate(arrival_rate)
+        src, dst = sampler.sample()
+        flows.append(Flow(
+            flow_id=flow_id, src=src, dst=dst,
+            size_bits=size, arrival_time=time,
+        ))
+    return flows

@@ -1,0 +1,45 @@
+"""Capacity/traffic growth trends (paper Fig 1)."""
+
+import pytest
+
+from repro.analysis import CapacityTrend
+
+
+class TestTrends:
+    def test_anchors_at_2020(self):
+        trend = CapacityTrend()
+        assert trend.traffic_bps(2020) == pytest.approx(100e15)
+        assert trend.switch_capacity_bps(2020) == pytest.approx(25.6e12)
+
+    def test_traffic_doubles_yearly(self):
+        trend = CapacityTrend()
+        assert trend.traffic_bps(2021) == pytest.approx(
+            2 * trend.traffic_bps(2020)
+        )
+
+    def test_switches_double_every_two_years(self):
+        trend = CapacityTrend()
+        assert trend.switch_capacity_bps(2022) == pytest.approx(
+            2 * trend.switch_capacity_bps(2020)
+        )
+
+    def test_gap_widens_over_time(self):
+        trend = CapacityTrend()
+        gaps = [trend.gap_factor(y) for y in range(2010, 2026)]
+        assert gaps == sorted(gaps)
+
+    def test_slowdown_after_2024(self):
+        trend = CapacityTrend()
+        growth_before = (trend.switch_capacity_bps(2024)
+                         / trend.switch_capacity_bps(2022))
+        growth_after = (trend.switch_capacity_bps(2027)
+                        / trend.switch_capacity_bps(2025))
+        assert growth_after < growth_before
+
+    def test_series_covers_fig1_years(self):
+        rows = CapacityTrend().series()
+        assert rows[0]["year"] == 2005
+        assert rows[-1]["year"] == 2025
+        for row in rows:
+            assert row["traffic_pbps"] > 0
+            assert row["switch_pbps"] > 0

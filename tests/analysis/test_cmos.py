@@ -1,0 +1,49 @@
+"""CMOS scaling slowdown dataset (paper Fig 2b)."""
+
+import pytest
+
+from repro.analysis import CmosScaling
+
+
+class TestScaling:
+    def test_five_generations(self):
+        rows = CmosScaling().series()
+        assert len(rows) == 5
+        assert rows[0]["node"] == "16+"
+        assert rows[-1]["node"] == "5"
+
+    def test_normalized_to_first_generation(self):
+        first = CmosScaling().series()[0]
+        assert first["perf_per_area"] == 1.0
+        assert first["perf_per_power"] == 1.0
+        assert first["ideal"] == 1.0
+
+    def test_actual_falls_short_of_ideal(self):
+        rows = CmosScaling().series()
+        # By the last generations the gap below ideal is large (Fig 2b).
+        assert rows[-1]["ideal"] == 16.0
+        assert rows[-1]["perf_per_power"] < rows[-1]["ideal"] / 2
+
+    def test_shortfall_metric(self):
+        scaling = CmosScaling()
+        assert scaling.shortfall("perf_per_power") < 0.5
+        assert scaling.shortfall("perf_per_area") < 0.5
+        with pytest.raises(ValueError):
+            scaling.shortfall("transistors")
+
+    def test_power_scales_worse_than_area(self):
+        # The paper: SERDES/analog scaling (power) is the harder wall.
+        scaling = CmosScaling()
+        assert (scaling.shortfall("perf_per_power")
+                < scaling.shortfall("perf_per_area"))
+
+    def test_generation_gains_decline(self):
+        gains = CmosScaling().generation_gains()
+        assert gains[0] > gains[-1]
+
+    def test_scaling_has_slowed(self):
+        assert CmosScaling().scaling_has_slowed()
+
+    def test_ideal_validation(self):
+        with pytest.raises(ValueError):
+            CmosScaling().ideal_scaling(-1)

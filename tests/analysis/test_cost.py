@@ -1,0 +1,80 @@
+"""Cost model (paper §5, Fig 6b)."""
+
+import pytest
+
+from repro.analysis import NetworkCostModel
+
+
+class TestHeadlineAnchors:
+    def test_28_percent_of_nonblocking_esn(self):
+        ratios = NetworkCostModel().headline_ratios()
+        assert ratios["vs_nonblocking"] == pytest.approx(0.28, abs=0.03)
+
+    def test_53_percent_of_oversubscribed_esn(self):
+        ratios = NetworkCostModel().headline_ratios()
+        assert ratios["vs_oversubscribed"] == pytest.approx(0.53, abs=0.04)
+
+    def test_55_percent_of_electrical_variant(self):
+        ratios = NetworkCostModel().headline_ratios()
+        assert ratios["vs_electrical_variant"] == pytest.approx(0.55,
+                                                                abs=0.04)
+
+
+class TestFig6bShape:
+    def test_ratio_monotone_in_grating_cost(self):
+        series = NetworkCostModel().fig6b_series()
+        ratios = [row["vs_nonblocking"] for row in series]
+        assert ratios == sorted(ratios)
+
+    def test_5x_laser_error_bar_above_3x(self):
+        for row in NetworkCostModel().fig6b_series():
+            assert row["vs_nonblocking_5x_laser"] > row["vs_nonblocking"]
+
+    def test_sirius_always_cheaper_than_nonblocking(self):
+        for row in NetworkCostModel().fig6b_series():
+            assert row["vs_nonblocking"] < 0.5
+
+    def test_sirius_cheaper_than_oversubscribed_despite_nonblocking(self):
+        # §5's punchline: Sirius costs ~half of even an oversubscribed
+        # ESN while delivering non-blocking connectivity.
+        for row in NetworkCostModel().fig6b_series():
+            assert row["vs_oversubscribed"] < 1.0
+
+
+class TestComponents:
+    def test_oversubscription_reduces_esn_cost(self):
+        model = NetworkCostModel()
+        assert model.esn_cost(3.0) < model.esn_cost(1.0)
+
+    def test_rack_stage_never_oversubscribed(self):
+        model = NetworkCostModel()
+        # At infinite oversubscription only the rack stage remains.
+        assert model.esn_cost(1e9) == pytest.approx(
+            2 * model.transceiver_cost_usd, rel=1e-6
+        )
+
+    def test_tunable_laser_overhead_raises_cost(self):
+        model = NetworkCostModel()
+        assert (model.sirius_transceiver_cost(5.0)
+                > model.sirius_transceiver_cost(3.0))
+
+    def test_grating_port_cost_linear(self):
+        model = NetworkCostModel()
+        assert model.grating_port_cost(0.5) == pytest.approx(
+            2 * model.grating_port_cost(0.25)
+        )
+
+    def test_switch_port_cost(self):
+        # $5000 / 64 ports.
+        assert NetworkCostModel().switch_port_cost == pytest.approx(78.125)
+
+    def test_validation(self):
+        model = NetworkCostModel()
+        with pytest.raises(ValueError):
+            model.esn_cost(0.5)
+        with pytest.raises(ValueError):
+            model.sirius_transceiver_cost(0.0)
+        with pytest.raises(ValueError):
+            model.grating_port_cost(0.0)
+        with pytest.raises(ValueError):
+            model.grating_port_cost(1.5)

@@ -1,0 +1,64 @@
+"""Energy-per-bit accounting (§5 applied to simulation results)."""
+
+import pytest
+
+from repro import FlowWorkload, SiriusNetwork, WorkloadConfig
+from repro.analysis.energy import (
+    EnergyReport,
+    energy_comparison,
+    esn_energy,
+    sirius_energy,
+)
+
+
+@pytest.fixture(scope="module")
+def sim_result():
+    net = SiriusNetwork(8, 4, uplink_multiplier=1.0, seed=1)
+    workload = FlowWorkload(WorkloadConfig(
+        n_nodes=8, load=0.5,
+        node_bandwidth_bps=net.reference_node_bandwidth_bps,
+        mean_flow_bits=100_000, truncation_bits=1_000_000, seed=3,
+    ))
+    return net.run(workload.generate(100))
+
+
+class TestEnergyReport:
+    def test_energy_is_power_times_time(self):
+        report = EnergyReport(delivered_bits=1e9, duration_s=2.0,
+                              network_power_w=100.0)
+        assert report.energy_j == pytest.approx(200.0)
+        # 200 J over 1e9 bits = 2e-7 J/bit = 200,000 pJ/bit.
+        assert report.picojoules_per_bit == pytest.approx(2e5)
+
+    def test_zero_bits_is_infinite_energy_per_bit(self):
+        report = EnergyReport(delivered_bits=0, duration_s=1.0,
+                              network_power_w=10.0)
+        assert report.picojoules_per_bit == float("inf")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnergyReport(delivered_bits=-1, duration_s=1.0,
+                         network_power_w=1.0)
+        with pytest.raises(ValueError):
+            EnergyReport(delivered_bits=1, duration_s=0.0,
+                         network_power_w=1.0)
+        with pytest.raises(ValueError):
+            EnergyReport(delivered_bits=1, duration_s=1.0,
+                         network_power_w=-1.0)
+
+
+class TestComparison:
+    def test_sirius_uses_about_a_quarter_of_the_energy(self, sim_result):
+        comparison = energy_comparison(sim_result, laser_overhead=3.0)
+        # The §5 headline, restated in pJ/bit.
+        assert comparison["ratio"] == pytest.approx(0.23, abs=0.03)
+
+    def test_higher_laser_overhead_costs_more(self, sim_result):
+        low = sirius_energy(sim_result, laser_overhead=3.0)
+        high = sirius_energy(sim_result, laser_overhead=10.0)
+        assert high.picojoules_per_bit > low.picojoules_per_bit
+
+    def test_esn_energy_positive(self, sim_result):
+        report = esn_energy(sim_result)
+        assert report.network_power_w > 0
+        assert report.picojoules_per_bit > 0

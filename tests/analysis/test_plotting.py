@@ -1,0 +1,50 @@
+"""ASCII chart rendering."""
+
+import pytest
+
+from repro.analysis.plotting import ascii_chart
+
+
+class TestChart:
+    def test_single_series_renders(self):
+        chart = ascii_chart({"a": [(0, 0), (1, 1), (2, 4)]},
+                            width=20, height=6)
+        assert "o" in chart
+        assert "o a" in chart  # legend
+
+    def test_multiple_series_get_distinct_markers(self):
+        chart = ascii_chart({
+            "one": [(0, 1), (1, 2)],
+            "two": [(0, 2), (1, 1)],
+        }, width=20, height=6)
+        assert "o one" in chart
+        assert "x two" in chart
+
+    def test_title_included(self):
+        chart = ascii_chart({"a": [(0, 1)]}, title="Fig 9b", width=10,
+                            height=4)
+        assert chart.splitlines()[0] == "Fig 9b"
+
+    def test_log_scale_compresses_decades(self):
+        chart = ascii_chart({"a": [(0, 1), (1, 1000)]}, logy=True,
+                            width=16, height=8)
+        # y-axis labels show the original values.
+        assert "1e+03" in chart or "1000" in chart
+
+    def test_axis_labels_span_data(self):
+        chart = ascii_chart({"a": [(10, 5), (20, 9)]}, width=20, height=5)
+        assert "10" in chart
+        assert "20" in chart
+        assert "9" in chart
+
+    def test_flat_series_ok(self):
+        chart = ascii_chart({"a": [(0, 3), (1, 3)]}, width=12, height=4)
+        assert "o" in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_chart({})
+        with pytest.raises(ValueError):
+            ascii_chart({"a": []})
+        with pytest.raises(ValueError):
+            ascii_chart({"a": [(0, 1)]}, width=2, height=2)

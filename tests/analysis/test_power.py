@@ -1,0 +1,67 @@
+"""Power models (paper Fig 2a, Fig 6a, §1/§2/§5 anchors)."""
+
+import pytest
+
+from repro.analysis import NetworkPowerModel, SiriusPowerModel
+
+
+class TestScaleTax:
+    def test_direct_fibre_is_50w_per_tbps(self):
+        assert NetworkPowerModel().power_per_tbps(2) == pytest.approx(50.0)
+
+    def test_65k_nodes_near_487w(self):
+        # Fig 2a's headline: ~487 W/Tbps for a large (65K-node) DC.
+        value = NetworkPowerModel().power_per_tbps(65536)
+        assert value == pytest.approx(487.0, rel=0.1)
+
+    def test_power_grows_with_each_layer(self):
+        model = NetworkPowerModel()
+        series = model.scale_tax_series()
+        values = [row["watts_per_tbps"] for row in series]
+        assert values == sorted(values)
+        assert [row["layers"] for row in series] == [0, 1, 2, 3, 4]
+
+    def test_100pbps_network_needs_about_48mw(self):
+        # §1: "a prohibitive 48.7 MW".
+        power = NetworkPowerModel().datacenter_power_mw(100.0)
+        assert power == pytest.approx(48.7, rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkPowerModel().power_per_tbps(1)
+        with pytest.raises(ValueError):
+            NetworkPowerModel().datacenter_power_mw(0.0)
+
+
+class TestFig6a:
+    def test_ratio_23_percent_at_3x(self):
+        model = SiriusPowerModel()
+        assert model.ratio_vs_esn(3.0) == pytest.approx(0.23, abs=0.02)
+
+    def test_ratio_26_percent_at_5x(self):
+        model = SiriusPowerModel()
+        assert model.ratio_vs_esn(5.0) == pytest.approx(0.26, abs=0.03)
+
+    def test_headline_74_to_77_percent_savings(self):
+        savings = SiriusPowerModel().headline_power_savings()
+        assert 0.70 <= savings["savings_at_5x"] <= savings["savings_at_3x"]
+        assert savings["savings_at_3x"] == pytest.approx(0.77, abs=0.02)
+
+    def test_ratio_monotone_in_laser_overhead(self):
+        model = SiriusPowerModel()
+        series = model.fig6a_series()
+        ratios = [row["power_ratio"] for row in series]
+        assert ratios == sorted(ratios)
+        assert [row["laser_overhead"] for row in series] == [1, 3, 5, 7, 10, 20]
+
+    def test_sirius_stays_below_esn_even_at_20x(self):
+        assert SiriusPowerModel().ratio_vs_esn(20.0) < 1.0
+
+    def test_laser_sharing_reduces_power(self):
+        shared = SiriusPowerModel(laser_sharing=8)
+        unshared = SiriusPowerModel(laser_sharing=1)
+        assert shared.power_per_tbps(5.0) < unshared.power_per_tbps(5.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SiriusPowerModel().channel_power_w(0.5)

@@ -1,0 +1,63 @@
+"""Statistics helpers."""
+
+import pytest
+
+from repro.analysis import percentile, summarize_fcts
+from repro.analysis.stats import cdf_points, geometric_mean
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3
+
+    def test_p99_of_100(self):
+        values = list(range(1, 101))
+        assert percentile(values, 99) == 99
+
+    def test_max(self):
+        assert percentile([5, 1, 9], 100) == 9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1], 0)
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+
+class TestSummaries:
+    def test_summary_fields(self):
+        summary = summarize_fcts([1.0, 2.0, 3.0, 4.0])
+        assert summary["count"] == 4
+        assert summary["mean"] == pytest.approx(2.5)
+        assert summary["p50"] == 2.0
+        assert summary["max"] == 4.0
+
+    def test_empty_summary(self):
+        summary = summarize_fcts([])
+        assert summary["count"] == 0
+        assert summary["mean"] is None
+
+
+class TestCdf:
+    def test_points(self):
+        points = cdf_points([3.0, 1.0, 2.0])
+        assert points == [(1.0, pytest.approx(1 / 3)),
+                          (2.0, pytest.approx(2 / 3)),
+                          (3.0, pytest.approx(1.0))]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            cdf_points([])
+
+
+class TestGeometricMean:
+    def test_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -1.0])

@@ -1,0 +1,50 @@
+"""Optical switching technology survey (§2.2, §8)."""
+
+import pytest
+
+from repro.analysis.technologies import (
+    TECHNOLOGIES,
+    SwitchTechnology,
+    fastest_passive_core,
+    reconfiguration_spread_orders,
+    survey,
+)
+
+
+class TestSurvey:
+    def test_packet_switching_feasibility(self):
+        # Device-level, only the nanosecond technologies pass the §2.2
+        # test: SOA space switches (whose §8 problem is cascading loss,
+        # not speed) and Sirius v2.  Sirius v2 is the only *passive-
+        # core* option that passes.
+        rows = survey()
+        feasible = {r["name"] for r in rows if r["packet_switching"]}
+        assert feasible == {
+            "SOA space switch [9]",
+            "disaggregated laser + AWGR (Sirius v2)",
+        }
+
+    def test_mems_needs_a_separate_packet_network(self):
+        mems = next(t for t in TECHNOLOGIES if "MEMS" in t.name)
+        # Overhead far above 1: switching dwarfs the packet itself.
+        assert mems.overhead_at() > 1000
+        assert not mems.supports_packet_switching()
+
+    def test_six_orders_of_magnitude_spread(self):
+        # §8: switching times vary "by almost six orders of magnitude";
+        # including Sirius v2 the span exceeds seven.
+        assert reconfiguration_spread_orders() >= 6.0
+
+    def test_fastest_passive_core_is_sirius_v2(self):
+        assert "Sirius v2" in fastest_passive_core().name
+        assert fastest_passive_core().reconfiguration_s < 1e-9
+
+    def test_overhead_scales_with_packet_size(self):
+        v1 = next(t for t in TECHNOLOGIES if "Sirius v1" in t.name)
+        # Large packets amortize the 92 ns guardband; tiny ones don't.
+        assert v1.overhead_at(packet_bytes=9000) < 0.1
+        assert v1.overhead_at(packet_bytes=576) > 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SwitchTechnology("broken", 0.0, "-", "-")

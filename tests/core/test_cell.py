@@ -1,0 +1,70 @@
+"""Cells and flows (paper §4.2)."""
+
+import pytest
+
+from repro.core import Cell, Flow
+
+
+class TestCell:
+    def test_cells_are_immutable(self):
+        cell = Cell(flow_id=1, seq=0, src=2, dst=3)
+        with pytest.raises(AttributeError):
+            cell.dst = 4
+
+    def test_equality(self):
+        assert Cell(1, 0, 2, 3) == Cell(1, 0, 2, 3)
+        assert Cell(1, 0, 2, 3) != Cell(1, 1, 2, 3)
+
+
+class TestFlowSegmentation:
+    def test_exact_multiple(self):
+        flow = Flow(1, 0, 1, size_bits=8200, arrival_time=0.0)
+        assert flow.segment(4100) == 2
+
+    def test_remainder_needs_extra_cell(self):
+        flow = Flow(1, 0, 1, size_bits=8201, arrival_time=0.0)
+        assert flow.segment(4100) == 3
+
+    def test_tiny_flow_is_one_cell(self):
+        flow = Flow(1, 0, 1, size_bits=8, arrival_time=0.0)
+        assert flow.segment(4100) == 1
+
+    def test_invalid_payload(self):
+        flow = Flow(1, 0, 1, size_bits=100, arrival_time=0.0)
+        with pytest.raises(ValueError):
+            flow.segment(0)
+
+
+class TestFlowLifecycle:
+    def test_completion_and_fct(self):
+        flow = Flow(1, 0, 1, size_bits=8200, arrival_time=2.0)
+        flow.segment(4100)
+        assert not flow.record_delivery(3.0)
+        assert flow.record_delivery(5.0)
+        assert flow.is_complete
+        assert flow.fct == pytest.approx(3.0)
+
+    def test_fct_none_while_in_flight(self):
+        flow = Flow(1, 0, 1, size_bits=100, arrival_time=0.0)
+        flow.segment(50)
+        assert flow.fct is None
+
+    def test_delivery_before_segmentation_rejected(self):
+        flow = Flow(1, 0, 1, size_bits=100, arrival_time=0.0)
+        with pytest.raises(RuntimeError):
+            flow.record_delivery(1.0)
+
+    def test_over_delivery_rejected(self):
+        flow = Flow(1, 0, 1, size_bits=100, arrival_time=0.0)
+        flow.segment(200)
+        flow.record_delivery(1.0)
+        with pytest.raises(RuntimeError):
+            flow.record_delivery(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Flow(1, 0, 0, size_bits=10, arrival_time=0.0)  # src == dst
+        with pytest.raises(ValueError):
+            Flow(1, 0, 1, size_bits=0, arrival_time=0.0)
+        with pytest.raises(ValueError):
+            Flow(1, 0, 1, size_bits=10, arrival_time=-1.0)

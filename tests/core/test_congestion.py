@@ -1,0 +1,62 @@
+"""Congestion-control protocol parameters and grant test (paper §4.3)."""
+
+import pytest
+
+from repro.core import CongestionConfig
+from repro.core.congestion import (
+    REQUEST_ROUND_TRIP_EPOCHS,
+    may_grant,
+    max_queue_delay_epochs,
+)
+
+
+class TestConfig:
+    def test_paper_default_q_is_4(self):
+        assert CongestionConfig().queue_threshold == 4
+
+    def test_minimum_feasible_q_is_2(self):
+        assert CongestionConfig(queue_threshold=2).queue_threshold == 2
+        with pytest.raises(ValueError):
+            CongestionConfig(queue_threshold=1)
+
+    def test_ideal_mode_ignores_threshold(self):
+        # SIRIUS (IDEAL) uses unbounded queues; Q is irrelevant.
+        config = CongestionConfig(queue_threshold=0, ideal=True)
+        assert config.ideal
+
+    def test_round_trip_is_two_epochs(self):
+        # request rides epoch e, grant rides e+1, applied at e+2.
+        assert REQUEST_ROUND_TRIP_EPOCHS == 2
+
+
+class TestMayGrant:
+    def test_grants_below_threshold(self):
+        assert may_grant(queued=0, outstanding=0, threshold=4)
+        assert may_grant(queued=2, outstanding=1, threshold=4)
+
+    def test_denies_at_threshold(self):
+        assert not may_grant(queued=3, outstanding=1, threshold=4)
+        assert not may_grant(queued=4, outstanding=0, threshold=4)
+
+    def test_outstanding_grants_count_against_queue(self):
+        # §4.3: "the sum of the packets queued for D and the number of
+        # outstanding grants for D is lower than Q".
+        assert not may_grant(queued=0, outstanding=4, threshold=4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            may_grant(-1, 0, 4)
+        with pytest.raises(ValueError):
+            may_grant(0, -1, 4)
+        with pytest.raises(ValueError):
+            may_grant(0, 0, 0)
+
+
+class TestDelayBound:
+    def test_bound_equals_threshold(self):
+        assert max_queue_delay_epochs(4) == 4
+        assert max_queue_delay_epochs(2) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            max_queue_delay_epochs(0)

@@ -1,0 +1,132 @@
+"""On-demand scheduling baseline (§4.2's rejected alternative)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.demand_scheduler import (
+    ControlPlaneModel,
+    cyclic_slots_for_demand,
+    decompose_demand,
+    greedy_matching,
+    verify_matchings_contention_free,
+    vlb_slots_for_demand,
+)
+
+
+def uniform_demand(n, value=1.0):
+    return [[0.0 if i == j else value for j in range(n)] for i in range(n)]
+
+
+class TestGreedyMatching:
+    def test_prefers_largest_demands(self):
+        demand = [[0, 5, 1], [1, 0, 9], [2, 1, 0]]
+        matching = greedy_matching(demand)
+        assert matching[1] == 2  # the 9
+        assert matching[0] == 1  # the 5
+
+    def test_is_a_partial_permutation(self):
+        demand = uniform_demand(6)
+        matching = greedy_matching(demand)
+        assert len(set(matching.values())) == len(matching)
+
+    def test_empty_demand(self):
+        assert greedy_matching(uniform_demand(4, 0.0)) == {}
+
+
+class TestDecomposition:
+    def test_uniform_demand_within_greedy_bound(self):
+        # Optimal is N-1 permutation slots; greedy maximal matching is
+        # within the classic 2x bound.
+        slots = decompose_demand(uniform_demand(5))
+        verify_matchings_contention_free(slots)
+        assert 4 <= len(slots) <= 8
+
+    def test_all_demand_served(self):
+        demand = [[0, 3, 0, 1], [2, 0, 1, 0], [0, 0, 0, 4], [1, 1, 1, 0]]
+        slots = decompose_demand(demand)
+        verify_matchings_contention_free(slots)
+        served = [[0.0] * 4 for _ in range(4)]
+        for matching in slots:
+            for src, dst in matching.items():
+                served[src][dst] += 1.0
+        for i in range(4):
+            for j in range(4):
+                assert served[i][j] >= demand[i][j]
+
+    def test_skewed_demand_beats_cyclic_on_slots(self):
+        # A single hot pair: demand-aware serves it every slot; the
+        # cyclic schedule gives it only 1/(N-1) of slots.
+        n = 8
+        demand = uniform_demand(n, 0.0)
+        demand[0][1] = 20.0
+        aware = len(decompose_demand(demand))
+        cyclic = cyclic_slots_for_demand(demand)
+        assert aware == 20
+        assert cyclic == 20 * (n - 1)
+
+    def test_vlb_uniformizes_the_skew(self):
+        n = 8
+        demand = uniform_demand(n, 0.0)
+        demand[0][1] = 20.0
+        vlb = vlb_slots_for_demand(demand)
+        cyclic_direct = cyclic_slots_for_demand(demand)
+        # Load balancing reclaims most of the cyclic schedule's loss.
+        assert vlb < cyclic_direct / 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            decompose_demand(uniform_demand(3), cell_quantum=0)
+        with pytest.raises(ValueError):
+            decompose_demand([[1.0, 0.0], [0.0, 0.0]])  # self-demand
+        with pytest.raises(ValueError):
+            decompose_demand([[0.0, 1.0]])  # not square
+        with pytest.raises(ValueError):
+            cyclic_slots_for_demand(uniform_demand(3), cell_quantum=0)
+        with pytest.raises(ValueError):
+            vlb_slots_for_demand(uniform_demand(3), cell_quantum=0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(n=st.integers(2, 6), data=st.data())
+    def test_decomposition_contention_free_property(self, n, data):
+        demand = [
+            [
+                0.0 if i == j else data.draw(st.integers(0, 4))
+                for j in range(n)
+            ]
+            for i in range(n)
+        ]
+        slots = decompose_demand(demand)
+        verify_matchings_contention_free(slots)
+
+
+class TestControlPlane:
+    def test_round_latency_dwarfs_the_slot(self):
+        # §4.2: on-demand scheduling is impractical at nanosecond
+        # timescales — one round is thousands of 100 ns slots stale.
+        model = ControlPlaneModel()
+        staleness = model.staleness_slots(4096, slot_duration_s=100e-9)
+        assert staleness > 100
+
+    def test_latency_grows_with_scale(self):
+        model = ControlPlaneModel()
+        assert (model.round_latency_s(4096)
+                > model.round_latency_s(64))
+
+    def test_components_positive(self):
+        model = ControlPlaneModel()
+        assert model.collection_latency_s(128) > 0
+        assert model.compute_latency_s(128) > 0
+        assert model.distribution_latency_s(128) > 0
+
+    def test_propagation_floor(self):
+        # Even with infinite compute, two datacenter crossings bound
+        # the round at ~5 us for a 500 m span.
+        model = ControlPlaneModel(matching_time_per_node_ns=0.0)
+        assert model.round_latency_s(2) > 4e-6
+
+    def test_validation(self):
+        model = ControlPlaneModel()
+        with pytest.raises(ValueError):
+            model.round_latency_s(1)
+        with pytest.raises(ValueError):
+            model.staleness_slots(64, slot_duration_s=0.0)

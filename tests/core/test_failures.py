@@ -1,0 +1,208 @@
+"""Fault tolerance: detection, blast radius, schedule adjustment (§4.5)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import FailureDetector, FailurePlan, SiriusNetwork
+from repro.core.failures import (
+    AdjustedSchedule,
+    FailureEvent,
+    blast_radius,
+    surviving_bandwidth_fraction,
+)
+from repro.workload import FlowWorkload, WorkloadConfig
+from repro.units import KILOBYTE, MEGABYTE
+
+
+class TestFailurePlan:
+    def test_events_apply_in_order(self):
+        plan = FailurePlan([
+            FailureEvent(10, 2),
+            FailureEvent(20, 2, fails=False),
+            FailureEvent(15, 3),
+        ])
+        plan.advance_to(9)
+        assert not plan.failed
+        plan.advance_to(16)
+        assert plan.failed == {2, 3}
+        plan.advance_to(25)
+        assert plan.failed == {3}
+
+    def test_single_failure_helper(self):
+        plan = FailurePlan.single_failure(4, at_epoch=5, recover_at=9)
+        plan.advance_to(5)
+        assert plan.is_failed(4)
+        plan.advance_to(9)
+        assert not plan.is_failed(4)
+
+    def test_recovery_must_follow_failure(self):
+        with pytest.raises(ValueError):
+            FailurePlan.single_failure(1, at_epoch=5, recover_at=5)
+
+    def test_event_validation(self):
+        with pytest.raises(ValueError):
+            FailureEvent(-1, 0)
+        with pytest.raises(ValueError):
+            FailureEvent(0, -1)
+
+
+class TestDetector:
+    def test_detects_after_threshold_misses(self):
+        detector = FailureDetector(4, node=0, threshold=3)
+        heard = {1, 2}  # node 3 silent
+        assert detector.observe_epoch(heard) == []
+        assert detector.observe_epoch(heard) == []
+        assert detector.observe_epoch(heard) == [3]
+        assert detector.suspected == {3}
+
+    def test_single_visit_clears_suspicion(self):
+        detector = FailureDetector(4, node=0, threshold=2)
+        detector.observe_epoch(set())
+        detector.observe_epoch(set())
+        assert detector.suspected == {1, 2, 3}
+        detector.observe_epoch({2})
+        assert detector.suspected == {1, 3}
+
+    def test_grey_failure_needs_consecutive_misses(self):
+        detector = FailureDetector(4, node=0, threshold=3)
+        # Sporadic: miss, hear, miss, hear ... never suspected.
+        for _ in range(5):
+            detector.observe_epoch(set())
+            detector.observe_epoch({1, 2, 3})
+        assert not detector.suspected
+
+    def test_detection_latency_microseconds(self):
+        # §4.5: interconnection every few microseconds -> fast detection.
+        detector = FailureDetector(128, node=0, threshold=3)
+        latency = detector.detection_latency_s(1.6e-6)
+        assert latency < 10e-6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FailureDetector(1, node=0)
+        with pytest.raises(ValueError):
+            FailureDetector(4, node=9)
+        with pytest.raises(ValueError):
+            FailureDetector(4, node=0, threshold=0)
+        with pytest.raises(ValueError):
+            FailureDetector(4, node=0).detection_latency_s(0.0)
+
+
+class TestBandwidthImpact:
+    def test_one_failure_costs_one_over_n_minus_one(self):
+        # §4.5: effective uplink bandwidth reduced proportionally.
+        fraction = surviving_bandwidth_fraction(32, 1)
+        assert fraction == pytest.approx(30 / 31)
+
+    def test_adjustment_recovers_everything(self):
+        assert surviving_bandwidth_fraction(32, 5,
+                                            schedule_adjusted=True) == 1.0
+
+    def test_blast_radius_is_whole_network(self):
+        affected, description = blast_radius(128)
+        assert affected == 128
+        assert "1/N" in description
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            surviving_bandwidth_fraction(1, 0)
+        with pytest.raises(ValueError):
+            surviving_bandwidth_fraction(4, 4)
+        with pytest.raises(ValueError):
+            blast_radius(4, "mesh")
+
+
+class TestAdjustedSchedule:
+    def test_survivors_meet_round_robin(self):
+        adjusted = AdjustedSchedule(8, failed={2, 5})
+        adjusted.verify_round_robin()
+        assert adjusted.epoch_slots == 6
+
+    def test_failed_nodes_never_scheduled(self):
+        adjusted = AdjustedSchedule(8, failed={3})
+        for node in adjusted.survivors:
+            for slot in range(adjusted.epoch_slots):
+                assert adjusted.peer_at(node, slot) != 3
+
+    def test_failed_node_cannot_query(self):
+        adjusted = AdjustedSchedule(8, failed={3})
+        with pytest.raises(ValueError):
+            adjusted.peer_at(3, 0)
+
+    def test_needs_two_survivors(self):
+        with pytest.raises(ValueError):
+            AdjustedSchedule(3, failed={0, 1})
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(3, 16), data=st.data())
+    def test_round_robin_property(self, n, data):
+        n_failed = data.draw(st.integers(0, n - 2))
+        failed = set(data.draw(st.permutations(list(range(n))))[:n_failed])
+        adjusted = AdjustedSchedule(n, failed=failed)
+        adjusted.verify_round_robin()
+
+
+class TestSimulationWithFailures:
+    def _workload(self, n, seed=3):
+        net = SiriusNetwork(n, 4, uplink_multiplier=1.0)
+        return FlowWorkload(WorkloadConfig(
+            n_nodes=n, load=0.4,
+            node_bandwidth_bps=net.reference_node_bandwidth_bps,
+            mean_flow_bits=50 * KILOBYTE, truncation_bits=1 * MEGABYTE,
+            seed=seed,
+        ))
+
+    def test_unaffected_flows_complete(self):
+        n = 16
+        net = SiriusNetwork(n, 4, uplink_multiplier=1.0, seed=1)
+        flows = self._workload(n).generate(400)
+        plan = FailurePlan.single_failure(node=5, at_epoch=50)
+        result = net.run(flows, failure_plan=plan, check_invariants=True)
+        for flow in flows:
+            if flow.src != 5 and flow.dst != 5:
+                assert flow.is_complete, flow.flow_id
+
+    def test_flows_to_failed_node_terminated(self):
+        n = 16
+        net = SiriusNetwork(n, 4, uplink_multiplier=1.0, seed=1)
+        flows = self._workload(n).generate(400)
+        plan = FailurePlan.single_failure(node=5, at_epoch=50)
+        result = net.run(flows, failure_plan=plan)
+        assert result.failed_flows > 0
+        late_to_5 = [f for f in flows
+                     if f.dst == 5 and f.arrival_time > 100e-6]
+        for flow in late_to_5:
+            assert not flow.is_complete
+
+    def test_transit_cells_retransmitted(self):
+        n = 16
+        net = SiriusNetwork(n, 4, uplink_multiplier=1.0, seed=1)
+        flows = self._workload(n).generate(400)
+        plan = FailurePlan.single_failure(node=5, at_epoch=50)
+        result = net.run(flows, failure_plan=plan)
+        assert result.retransmitted_cells > 0
+
+    def test_recovery_restores_connectivity(self):
+        n = 16
+        flows = self._workload(n).generate(400)
+        net = SiriusNetwork(n, 4, uplink_multiplier=1.0, seed=1)
+        without_recovery = net.run(
+            [f for f in flows],
+            failure_plan=FailurePlan.single_failure(5, at_epoch=50),
+        )
+        flows2 = self._workload(n).generate(400)
+        net2 = SiriusNetwork(n, 4, uplink_multiplier=1.0, seed=1)
+        with_recovery = net2.run(
+            flows2,
+            failure_plan=FailurePlan.single_failure(5, at_epoch=50,
+                                                    recover_at=120),
+        )
+        assert with_recovery.failed_flows < without_recovery.failed_flows
+
+    def test_no_failures_is_baseline_behaviour(self):
+        n = 8
+        flows = self._workload(n).generate(100)
+        net = SiriusNetwork(n, 4, uplink_multiplier=1.0, seed=2)
+        result = net.run(flows, failure_plan=FailurePlan())
+        assert result.failed_flows == 0
+        assert result.completion_fraction == 1.0

@@ -1,0 +1,76 @@
+"""Property-based tests of the full Sirius simulator.
+
+Invariants checked on randomly generated workloads:
+
+* lossless delivery — every offered bit is delivered, every flow
+  completes (the core is bufferless but the protocol is lossless, §4.3);
+* queue bounds hold throughout (via ``check_invariants``);
+* FCTs are causal (completion after arrival).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import CongestionConfig, Flow, SiriusNetwork
+
+
+@st.composite
+def workloads(draw):
+    n_nodes = draw(st.sampled_from([4, 8, 12]))
+    n_flows = draw(st.integers(1, 12))
+    flows = []
+    time = 0.0
+    for flow_id in range(n_flows):
+        time += draw(st.floats(0.0, 5e-6))
+        src = draw(st.integers(0, n_nodes - 1))
+        dst_offset = draw(st.integers(1, n_nodes - 1))
+        size = draw(st.integers(8, 60_000))
+        flows.append(Flow(flow_id, src, (src + dst_offset) % n_nodes,
+                          size_bits=size, arrival_time=time))
+    return n_nodes, flows
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(data=workloads(), q=st.sampled_from([2, 4]),
+       seed=st.integers(0, 10))
+def test_lossless_complete_delivery(data, q, seed):
+    n_nodes, flows = data
+    net = SiriusNetwork(
+        n_nodes, n_nodes // 2 if n_nodes % (n_nodes // 2) == 0 else n_nodes,
+        uplink_multiplier=1.0, seed=seed, track_reorder=True,
+        config=CongestionConfig(queue_threshold=q),
+    )
+    result = net.run(flows, check_invariants=True)
+    assert len(result.completed_flows) == len(flows)
+    assert result.delivered_bits == pytest.approx(result.offered_bits)
+    for flow in result.flows:
+        assert flow.completion_time > flow.arrival_time
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(data=workloads(), seed=st.integers(0, 5))
+def test_ideal_mode_also_lossless(data, seed):
+    n_nodes, flows = data
+    net = SiriusNetwork(
+        n_nodes, n_nodes // 2 if n_nodes % (n_nodes // 2) == 0 else n_nodes,
+        uplink_multiplier=1.0, seed=seed, track_reorder=True,
+        config=CongestionConfig(ideal=True),
+    )
+    result = net.run(flows)
+    assert len(result.completed_flows) == len(flows)
+    assert result.delivered_bits == pytest.approx(result.offered_bits)
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(data=workloads())
+def test_multiplier_two_lossless(data):
+    n_nodes, flows = data
+    net = SiriusNetwork(
+        n_nodes, n_nodes // 2 if n_nodes % (n_nodes // 2) == 0 else n_nodes,
+        uplink_multiplier=2.0, seed=1,
+    )
+    result = net.run(flows, check_invariants=True)
+    assert len(result.completed_flows) == len(flows)

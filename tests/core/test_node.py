@@ -1,0 +1,213 @@
+"""Per-node protocol state machine (paper §4.3)."""
+
+import random
+
+import pytest
+
+from repro.core import Cell, CongestionConfig, SiriusNode
+
+
+def make_node(node=0, n_nodes=8, q=4, ideal=False, seed=1):
+    return SiriusNode(
+        node, n_nodes, CongestionConfig(queue_threshold=q, ideal=ideal),
+        random.Random(seed),
+    )
+
+
+def cell(flow=1, seq=0, src=0, dst=1):
+    return Cell(flow, seq, src, dst)
+
+
+class TestLocalBuffer:
+    def test_enqueue_partitions_by_destination(self):
+        node = make_node()
+        node.enqueue_local(cell(dst=1))
+        node.enqueue_local(cell(seq=1, dst=1))
+        node.enqueue_local(cell(flow=2, dst=3))
+        assert node.local_cells == 3
+        assert len(node.local_by_dst[1]) == 2
+        assert len(node.local_by_dst[3]) == 1
+
+    def test_ideal_mode_bypasses_local(self):
+        node = make_node(ideal=True)
+        node.enqueue_local(cell(dst=1))
+        assert node.local_cells == 0
+        assert node.vq_cells == 1
+
+    def test_peak_local_tracked(self):
+        node = make_node()
+        for seq in range(5):
+            node.enqueue_local(cell(seq=seq))
+        assert node.peak_local_cells == 5
+
+
+class TestRequestGeneration:
+    def test_one_request_per_cell(self):
+        node = make_node()
+        node.enqueue_local(cell(seq=0, dst=1))
+        node.enqueue_local(cell(seq=1, dst=2))
+        requests = node.generate_requests()
+        assert len(requests) == 2
+        assert sorted(dst for _i, dst in requests) == [1, 2]
+
+    def test_at_most_one_request_per_intermediate(self):
+        node = make_node(n_nodes=4)
+        for seq in range(10):
+            node.enqueue_local(cell(seq=seq, dst=1))
+        requests = node.generate_requests()
+        intermediates = [i for i, _d in requests]
+        assert len(intermediates) == len(set(intermediates)) == 3  # n-1
+
+    def test_requested_cells_not_rerequested(self):
+        node = make_node()
+        node.enqueue_local(cell(dst=1))
+        assert len(node.generate_requests()) == 1
+        # The same cell is pending; no new request next epoch.
+        assert node.generate_requests() == []
+
+    def test_ideal_mode_never_requests(self):
+        node = make_node(ideal=True)
+        node.enqueue_local(cell(dst=1))
+        assert node.generate_requests() == []
+
+    def test_requests_never_target_self(self):
+        node = make_node(node=3)
+        for seq in range(20):
+            node.enqueue_local(cell(seq=seq, dst=1))
+        requests = node.generate_requests()
+        assert all(i != 3 for i, _d in requests)
+
+
+class TestGrantDecision:
+    def test_grants_one_request_per_destination(self):
+        node = make_node(node=5)
+        node.request_inbox = [(0, 2), (1, 2), (3, 2)]
+        grants = node.decide_grants(grants_per_destination=1)
+        assert len(grants) == 1
+        assert grants[0][1] == 2
+        assert node.outstanding[2] == 1
+
+    def test_respects_queue_threshold(self):
+        node = make_node(node=5, q=2)
+        node.outstanding[2] = 2  # already at threshold
+        node.request_inbox = [(0, 2)]
+        assert node.decide_grants(1) == []
+
+    def test_requests_to_self_destination_always_granted(self):
+        node = make_node(node=5)
+        node.request_inbox = [(0, 5), (1, 5), (2, 5)]
+        grants = node.decide_grants(1)
+        assert len(grants) == 3  # delivery consumes no queue space
+        assert 5 not in node.outstanding
+
+    def test_inbox_cleared_after_decision(self):
+        node = make_node(node=5)
+        node.request_inbox = [(0, 2)]
+        node.decide_grants(1)
+        assert node.request_inbox == []
+
+    def test_capacity_scales_grants(self):
+        node = make_node(node=5, q=4)
+        node.request_inbox = [(0, 2), (1, 2), (3, 2)]
+        grants = node.decide_grants(grants_per_destination=2)
+        assert len(grants) == 2
+
+
+class TestGrantApplication:
+    def test_grant_moves_cell_to_virtual_queue(self):
+        node = make_node()
+        node.enqueue_local(cell(dst=1))
+        node.generate_requests()
+        node.grant_inbox = [(4, 1)]  # intermediate 4 granted dest 1
+        node.apply_grants_and_expiries()
+        assert node.local_cells == 0
+        assert len(node.vq[4]) == 1
+        assert node.requested.get(1, 0) == 0
+
+    def test_denied_request_expires_and_cell_re_eligible(self):
+        # Phases follow the network loop's order: apply, then generate.
+        node = make_node()
+        node.apply_grants_and_expiries()               # epoch 0
+        node.enqueue_local(cell(dst=1))
+        assert len(node.generate_requests()) == 1
+        node.apply_grants_and_expiries()               # epoch 1
+        assert node.generate_requests() == []          # still pending
+        node.apply_grants_and_expiries()               # epoch 2: expires
+        assert len(node.generate_requests()) == 1      # re-requested
+
+    def test_grant_without_cell_is_an_error(self):
+        node = make_node()
+        node.grant_inbox = [(4, 1)]
+        with pytest.raises(RuntimeError):
+            node.apply_grants_and_expiries()
+
+
+class TestTransmitReceive:
+    def test_forward_queue_has_priority_over_virtual_queue(self):
+        node = make_node(node=2)
+        transit = cell(flow=9, src=7, dst=3)
+        node.outstanding[3] = 1
+        node.receive_transit(transit)
+        node.vq.setdefault(3, __import__("collections").deque()).append(
+            cell(flow=1, src=2, dst=3)
+        )
+        node.vq_cells += 1
+        out = node.dequeue_for(3, capacity=1)
+        assert out == [transit]
+
+    def test_capacity_drains_both_queues(self):
+        from collections import deque
+
+        node = make_node(node=2)
+        node.outstanding[3] = 1
+        node.receive_transit(cell(flow=9, src=7, dst=3))
+        node.vq[3] = deque([cell(flow=1, src=2, dst=3)])
+        node.vq_cells = 1
+        out = node.dequeue_for(3, capacity=2)
+        assert len(out) == 2
+        assert node.fwd_cells == 0 and node.vq_cells == 0
+
+    def test_transit_arrival_consumes_outstanding_grant(self):
+        node = make_node(node=2)
+        node.outstanding[3] = 2
+        node.receive_transit(cell(src=7, dst=3))
+        assert node.outstanding[3] == 1
+        node.receive_transit(cell(seq=1, src=6, dst=3))
+        assert 3 not in node.outstanding
+
+    def test_transit_without_grant_is_an_error(self):
+        node = make_node(node=2)
+        with pytest.raises(RuntimeError):
+            node.receive_transit(cell(src=7, dst=3))
+
+    def test_ideal_mode_accepts_ungranted_transit(self):
+        node = make_node(node=2, ideal=True)
+        node.receive_transit(cell(src=7, dst=3))
+        assert node.fwd_cells == 1
+
+    def test_busy_destinations(self):
+        from collections import deque
+
+        node = make_node(node=2)
+        assert node.busy_destinations() == []
+        node.vq[5] = deque([cell(dst=5)])
+        assert node.busy_destinations() == [5]
+
+    def test_zero_capacity_sends_nothing(self):
+        node = make_node()
+        assert node.dequeue_for(1, capacity=0) == []
+
+
+class TestInvariants:
+    def test_fresh_node_passes(self):
+        make_node().check_invariants()
+
+    def test_protocol_sequence_preserves_invariants(self):
+        node = make_node()
+        for seq in range(6):
+            node.enqueue_local(cell(seq=seq, dst=1))
+        node.generate_requests()
+        node.check_invariants()
+        node.grant_inbox = [(3, 1)]
+        node.apply_grants_and_expiries()
+        node.check_invariants()

@@ -1,0 +1,146 @@
+"""Node-level failure operations: purge, grant release, drain (§4.5)."""
+
+import random
+from collections import deque
+
+import pytest
+
+from repro.core import Cell, CongestionConfig, SiriusNode
+from repro.core.node import FairQueue
+
+
+def make_node(node=0, n_nodes=8, ideal=False, seed=1):
+    return SiriusNode(node, n_nodes,
+                      CongestionConfig(ideal=ideal), random.Random(seed))
+
+
+class TestReleaseGrants:
+    def test_releases_only_the_failed_sources_reservations(self):
+        node = make_node(node=7)
+        node.request_inbox = [(1, 3), (2, 3), (1, 4)]
+        node.decide_grants(grants_per_destination=4)
+        before = sum(node.outstanding.values())
+        released = node.release_grants_for(1)
+        assert released >= 1
+        assert sum(node.outstanding.values()) == before - released
+        # Source 2's reservation survives.
+        assert node.outstanding.get(3, 0) >= 1
+
+    def test_noop_for_unknown_source(self):
+        node = make_node()
+        assert node.release_grants_for(5) == 0
+
+    def test_direct_window_cleared(self):
+        node = make_node(node=7)
+        node.request_inbox = [(1, 7)]
+        node.decide_grants(1)
+        assert node._direct_outstanding.get(1) == 1
+        node.release_grants_for(1)
+        assert 1 not in node._direct_outstanding
+
+
+class TestPurgeDestination:
+    def test_local_cells_to_dead_destination_dropped(self):
+        node = make_node()
+        for seq in range(3):
+            node.enqueue_local(Cell(1, seq, 0, 5))
+        node.enqueue_local(Cell(2, 0, 0, 3))
+        dropped = node.purge_destination(5)
+        assert dropped == 3
+        assert node.local_cells == 1
+        assert 5 not in node.local_by_dst
+
+    def test_forward_queue_dropped(self):
+        node = make_node(node=2)
+        node.outstanding[5] = 1
+        node.receive_transit(Cell(9, 0, 7, 5))
+        dropped = node.purge_destination(5)
+        assert dropped == 1
+        assert node.fwd_cells == 0
+        assert 5 not in node.outstanding
+
+    def test_virtual_queue_cells_for_dead_destination_dropped(self):
+        node = make_node()
+        node.vq[3] = deque([Cell(1, 0, 0, 5), Cell(2, 0, 0, 6)])
+        node.vq_cells = 2
+        dropped = node.purge_destination(5)
+        assert dropped == 1
+        assert node.vq_cells == 1
+        assert [c.dst for c in node.vq[3]] == [6]
+
+    def test_fairqueue_purge_in_ideal_mode(self):
+        node = make_node(ideal=True)
+        node.enqueue_local(Cell(1, 0, 0, 5))
+        node.enqueue_local(Cell(2, 0, 0, 6))
+        dropped = node.purge_destination(5)
+        assert dropped == 1
+        assert node.vq_cells == 1
+
+    def test_requests_for_dead_destination_forgotten(self):
+        node = make_node()
+        node.apply_grants_and_expiries()
+        node.enqueue_local(Cell(1, 0, 0, 5))
+        node.generate_requests()
+        node.purge_destination(5)
+        node.excluded.add(5)
+        # Expiry of the stale request batch must not underflow.
+        node.apply_grants_and_expiries()
+        node.apply_grants_and_expiries()
+        node.check_invariants()
+
+
+class TestDrainForFailure:
+    def test_separates_transit_from_own_cells(self):
+        node = make_node(node=2)
+        node.outstanding[5] = 1
+        node.receive_transit(Cell(9, 0, 7, 5))       # transit
+        node.enqueue_local(Cell(1, 0, 2, 4))          # own
+        node.vq[4] = deque([Cell(1, 1, 2, 4)])        # own, granted
+        node.vq_cells = 1
+        transit, own = node.drain_for_failure()
+        assert [c.flow_id for c in transit] == [9]
+        assert sorted(c.seq for c in own) == [0, 1]
+        assert node.fwd_cells == node.vq_cells == node.local_cells == 0
+        node.check_invariants()
+
+    def test_state_reset_supports_clean_rejoin(self):
+        node = make_node()
+        node.apply_grants_and_expiries()
+        node.enqueue_local(Cell(1, 0, 0, 5))
+        node.generate_requests()
+        node.drain_for_failure()
+        # A fresh protocol cycle works without residue.
+        node.apply_grants_and_expiries()
+        node.enqueue_local(Cell(2, 0, 0, 3))
+        assert len(node.generate_requests()) == 1
+        node.check_invariants()
+
+
+class TestFairQueuePurge:
+    def test_purge_by_predicate(self):
+        queue = FairQueue()
+        for seq in range(3):
+            queue.append(Cell(1, seq, 0, 5))
+        queue.append(Cell(2, 0, 0, 6))
+        removed = queue.purge(lambda c: c.dst == 5)
+        assert len(removed) == 3
+        assert len(queue) == 1
+        assert queue.popleft().dst == 6
+
+    def test_purge_nothing(self):
+        queue = FairQueue()
+        queue.append(Cell(1, 0, 0, 5))
+        assert queue.purge(lambda c: False) == []
+        assert len(queue) == 1
+
+    def test_queue_usable_after_purge(self):
+        queue = FairQueue()
+        for flow in (1, 2, 3):
+            for seq in range(2):
+                queue.append(Cell(flow, seq, 0, flow))
+        queue.purge(lambda c: c.flow_id == 2)
+        drained = []
+        while queue:
+            drained.append(queue.popleft())
+        assert len(drained) == 4
+        assert all(c.flow_id in (1, 3) for c in drained)

@@ -1,0 +1,104 @@
+"""Parallel Sirius planes (§4.5 topology-level parallelism)."""
+
+import random
+
+import pytest
+
+from repro.core.cell import Flow
+from repro.core.parallel import ParallelSiriusPlanes
+
+
+def make_flows(n_nodes, n_flows, seed=5, size=50_000):
+    rng = random.Random(seed)
+    flows = []
+    time = 0.0
+    for fid in range(n_flows):
+        time += rng.expovariate(5e5)
+        src = rng.randrange(n_nodes)
+        dst = rng.randrange(n_nodes - 1)
+        if dst >= src:
+            dst += 1
+        flows.append(Flow(fid, src, dst, size_bits=size, arrival_time=time))
+    return flows
+
+
+class TestStriping:
+    def test_hash_is_stateless_and_deterministic(self):
+        planes = ParallelSiriusPlanes(3, 8, 4, striping="hash",
+                                      uplink_multiplier=1.0)
+        flows = make_flows(8, 30)
+        a = planes.assign(flows)
+        b = planes.assign(flows)
+        assert a == b
+        assert set(a.values()) <= {0, 1, 2}
+
+    def test_round_robin_balances_counts(self):
+        planes = ParallelSiriusPlanes(4, 8, 4, striping="round_robin",
+                                      uplink_multiplier=1.0)
+        flows = make_flows(8, 40)
+        assignment = planes.assign(flows)
+        counts = [list(assignment.values()).count(p) for p in range(4)]
+        assert counts == [10, 10, 10, 10]
+
+    def test_least_loaded_balances_bytes(self):
+        planes = ParallelSiriusPlanes(2, 8, 4, striping="least_loaded",
+                                      uplink_multiplier=1.0)
+        # One elephant plus many mice: bytes must split, not counts.
+        flows = [Flow(0, 0, 1, size_bits=1_000_000, arrival_time=0.0)]
+        flows += [
+            Flow(fid, 2, 3, size_bits=100_000, arrival_time=1e-9 * fid)
+            for fid in range(1, 11)
+        ]
+        assignment = planes.assign(flows)
+        bytes_per_plane = [0, 0]
+        for flow in flows:
+            bytes_per_plane[assignment[flow.flow_id]] += flow.size_bits
+        assert max(bytes_per_plane) / sum(bytes_per_plane) < 0.6
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelSiriusPlanes(2, 8, 4, striping="rainbow")
+
+    def test_need_at_least_one_plane(self):
+        with pytest.raises(ValueError):
+            ParallelSiriusPlanes(0, 8, 4)
+
+
+class TestExecution:
+    def test_all_flows_complete_across_planes(self):
+        planes = ParallelSiriusPlanes(2, 8, 4, uplink_multiplier=1.0)
+        flows = make_flows(8, 40)
+        result = planes.run(flows)
+        assert len(result.completed_flows) == 40
+        assert result.delivered_bits == pytest.approx(
+            sum(f.size_bits for f in flows)
+        )
+
+    def test_aggregate_bandwidth_scales_with_planes(self):
+        one = ParallelSiriusPlanes(1, 8, 4, uplink_multiplier=1.0)
+        three = ParallelSiriusPlanes(3, 8, 4, uplink_multiplier=1.0)
+        assert three.aggregate_bandwidth_bps == pytest.approx(
+            3 * one.aggregate_bandwidth_bps
+        )
+
+    def test_parallelism_shortens_heavy_runs(self):
+        # A saturating burst (all flows at t=0) drains faster over two
+        # planes than one.
+        flows = [
+            Flow(f.flow_id, f.src, f.dst, f.size_bits, 0.0)
+            for f in make_flows(8, 120, size=200_000)
+        ]
+        single = ParallelSiriusPlanes(1, 8, 4, uplink_multiplier=1.0)
+        double = ParallelSiriusPlanes(2, 8, 4, uplink_multiplier=1.0)
+        t_single = single.run([Flow(f.flow_id, f.src, f.dst, f.size_bits,
+                                    f.arrival_time) for f in flows])
+        t_double = double.run(flows)
+        assert t_double.duration_s < t_single.duration_s
+
+    def test_plane_share_accounting(self):
+        planes = ParallelSiriusPlanes(2, 8, 4, striping="round_robin",
+                                      uplink_multiplier=1.0)
+        result = planes.run(make_flows(8, 20))
+        assert result.plane_share(0) == pytest.approx(0.5)
+        assert result.plane_share(1) == pytest.approx(0.5)
+        assert result.n_planes == 2

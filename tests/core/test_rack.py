@@ -1,0 +1,213 @@
+"""Rack deployment: credit flow control and server-level workloads (§4.3)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cell import Flow
+from repro.core.rack import (
+    CreditLink,
+    RackConfig,
+    RackDeployment,
+    RackSwitch,
+    simulate_credit_hop,
+)
+
+
+class TestCreditLink:
+    def test_sender_stalls_at_zero_credits(self):
+        link = CreditLink(2)
+        assert link.try_send()
+        assert link.try_send()
+        assert not link.try_send()
+        assert link.stalled_attempts == 1
+
+    def test_drain_returns_credits(self):
+        link = CreditLink(2)
+        link.try_send()
+        link.try_send()
+        assert link.drain(1) == 1
+        assert link.try_send()
+
+    def test_drain_capped_at_buffer(self):
+        link = CreditLink(4)
+        link.try_send()
+        assert link.drain(10) == 1
+        assert link.available == 4
+
+    def test_lossless_invariant(self):
+        link = CreditLink(3)
+        for _ in range(10):
+            link.try_send()
+            assert link.is_lossless
+        link.drain(10)
+        assert link.is_lossless
+
+    def test_utilization(self):
+        link = CreditLink(4)
+        link.try_send()
+        link.try_send()
+        assert link.utilization() == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CreditLink(0)
+        with pytest.raises(ValueError):
+            CreditLink(2).drain(-1)
+
+    @given(ops=st.lists(st.tuples(st.booleans(), st.integers(0, 5)),
+                        max_size=100))
+    def test_never_overruns_property(self, ops):
+        link = CreditLink(4)
+        for send, drain in ops:
+            if send:
+                link.try_send()
+            link.drain(drain)
+            assert link.is_lossless
+
+
+class TestRackSwitch:
+    def test_admission_consumes_local_space(self):
+        switch = RackSwitch(0, RackConfig(servers_per_rack=2,
+                                          credits_per_server=8),
+                            local_capacity_cells=4)
+        admitted = switch.offer(0, 10)
+        assert admitted == 4  # LOCAL full before credits run out
+        assert switch.local_occupancy == 4
+
+    def test_credit_limit_binds_per_server(self):
+        switch = RackSwitch(0, RackConfig(servers_per_rack=2,
+                                          credits_per_server=2),
+                            local_capacity_cells=100)
+        assert switch.offer(0, 10) == 2
+        assert switch.backpressure_active
+        # The other server still has credits.
+        assert switch.offer(1, 1) == 1
+
+    def test_uplink_drain_returns_credits(self):
+        switch = RackSwitch(0, RackConfig(servers_per_rack=1,
+                                          credits_per_server=2),
+                            local_capacity_cells=100)
+        switch.offer(0, 2)
+        assert switch.uplink_drain(2) == 2
+        assert switch.offer(0, 2) == 2  # credits came back
+
+    def test_peak_tracking(self):
+        switch = RackSwitch(0, RackConfig(servers_per_rack=1,
+                                          credits_per_server=8),
+                            local_capacity_cells=100)
+        switch.offer(0, 5)
+        switch.uplink_drain(5)
+        switch.offer(0, 3)
+        assert switch.peak_local == 5
+
+    def test_validation(self):
+        config = RackConfig(servers_per_rack=4)
+        with pytest.raises(ValueError):
+            RackSwitch(0, config, local_capacity_cells=2)
+        switch = RackSwitch(0, config)
+        with pytest.raises(ValueError):
+            switch.offer(9, 1)
+        with pytest.raises(ValueError):
+            switch.offer(0, -1)
+        with pytest.raises(ValueError):
+            switch.uplink_drain(-1)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            RackConfig(servers_per_rack=0)
+        with pytest.raises(ValueError):
+            RackConfig(server_link_bps=0)
+        with pytest.raises(ValueError):
+            RackConfig(credits_per_server=0)
+
+
+class TestCreditHopSimulation:
+    def test_underloaded_hop_rarely_stalls(self):
+        stats = simulate_credit_hop(
+            offered_cells_per_slot=0.5, drain_cells_per_slot=1.0,
+            credits=16,
+        )
+        assert stats["stall_fraction"] < 0.01
+        assert stats["delivered"] + stats["in_buffer"] == pytest.approx(
+            stats["offered"] - stats["stall_fraction"] * stats["offered"],
+            rel=0.02,
+        )
+
+    def test_overloaded_hop_backpressures_losslessly(self):
+        stats = simulate_credit_hop(
+            offered_cells_per_slot=2.0, drain_cells_per_slot=1.0,
+            credits=8,
+        )
+        assert stats["stall_fraction"] > 0.3  # heavy stalling
+        assert stats["peak_buffer_cells"] <= 8  # never overruns
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_credit_hop(0.0, 1.0, 4)
+
+
+class TestRackDeployment:
+    def _flows(self, deployment, n=60, seed=5):
+        import random
+
+        rng = random.Random(seed)
+        flows = []
+        time = 0.0
+        for fid in range(n):
+            time += rng.expovariate(2e5)
+            src = rng.randrange(deployment.n_servers)
+            dst = rng.randrange(deployment.n_servers - 1)
+            if dst >= src:
+                dst += 1
+            flows.append(Flow(fid, src, dst, size_bits=40_000,
+                              arrival_time=time))
+        return flows
+
+    def test_server_addressing(self):
+        deployment = RackDeployment(
+            8, 4, rack_config=RackConfig(servers_per_rack=4),
+        )
+        assert deployment.n_servers == 32
+        assert deployment.rack_of(0) == 0
+        assert deployment.rack_of(5) == 1
+        with pytest.raises(ValueError):
+            deployment.rack_of(32)
+
+    def test_intra_rack_flows_bypass_the_optical_core(self):
+        deployment = RackDeployment(
+            4, 2, rack_config=RackConfig(servers_per_rack=8),
+            uplink_multiplier=1.0,
+        )
+        flows = [
+            Flow(0, 0, 1, size_bits=10_000, arrival_time=0.0),   # same rack
+            Flow(1, 0, 9, size_bits=10_000, arrival_time=0.0),   # cross rack
+        ]
+        result = deployment.run(flows)
+        assert result.intra_rack is not None
+        assert len(result.intra_rack.flows) == 1
+        assert result.intra_rack.flows[0].flow_id == 0
+        # Only the cross-rack flow consumed optical-core resources, and
+        # it was remapped to rack endpoints (0 -> rack 1).
+        assert len(result.inter_rack.flows) == 1
+        remapped = result.inter_rack.flows[0]
+        assert (remapped.src, remapped.dst) == (0, 1)
+        assert result.intra_rack_fraction == pytest.approx(0.5)
+        for flow in result.all_flows:
+            assert flow.is_complete
+
+    def test_mixed_workload_all_complete(self):
+        deployment = RackDeployment(
+            8, 4, rack_config=RackConfig(servers_per_rack=4),
+            uplink_multiplier=1.0, seed=2,
+        )
+        flows = self._flows(deployment)
+        result = deployment.run(flows)
+        assert len(result.completed_flows) == len(flows)
+        assert 0 <= result.intra_rack_fraction < 0.5
+
+    def test_expected_intra_fraction(self):
+        deployment = RackDeployment(
+            8, 4, rack_config=RackConfig(servers_per_rack=24),
+        )
+        expected = deployment.expected_intra_fraction()
+        assert expected == pytest.approx(23 / 191)

@@ -1,0 +1,74 @@
+"""Destination reorder buffers (paper §4.2, Fig 10d)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import ReorderBuffer
+from repro.core.reorder import ReorderTracker
+
+
+class TestReorderBuffer:
+    def test_in_order_passthrough(self):
+        buf = ReorderBuffer(1)
+        assert buf.accept(0) == [0]
+        assert buf.accept(1) == [1]
+        assert buf.peak_cells == 0
+
+    def test_out_of_order_held_then_released(self):
+        buf = ReorderBuffer(1)
+        assert buf.accept(2) == []
+        assert buf.accept(1) == []
+        assert buf.buffered_cells == 2
+        assert buf.accept(0) == [0, 1, 2]
+        assert buf.buffered_cells == 0
+        assert buf.peak_cells == 2
+
+    def test_duplicate_rejected(self):
+        buf = ReorderBuffer(1)
+        buf.accept(0)
+        with pytest.raises(ValueError):
+            buf.accept(0)
+
+    def test_duplicate_early_rejected(self):
+        buf = ReorderBuffer(1)
+        buf.accept(3)
+        with pytest.raises(ValueError):
+            buf.accept(3)
+
+    def test_peak_bytes(self):
+        buf = ReorderBuffer(1)
+        buf.accept(5)
+        buf.accept(6)
+        assert buf.peak_bytes(562.5) == pytest.approx(2 * 562.5)
+        with pytest.raises(ValueError):
+            buf.peak_bytes(0)
+
+    @given(st.permutations(list(range(12))))
+    def test_any_permutation_releases_in_order(self, order):
+        buf = ReorderBuffer(1)
+        released = []
+        for seq in order:
+            released.extend(buf.accept(seq))
+        assert released == list(range(12))
+        assert buf.buffered_cells == 0
+
+
+class TestTracker:
+    def test_tracks_global_peak(self):
+        tracker = ReorderTracker()
+        tracker.accept(1, 1)   # held
+        tracker.accept(2, 2)   # held (2 cells would be wrong: new flow)
+        tracker.accept(2, 3)   # held
+        assert tracker.peak_flow_cells == 2  # flow 2 held {2, 3}
+
+    def test_finish_flow_requires_empty_buffer(self):
+        tracker = ReorderTracker()
+        tracker.accept(1, 0)
+        tracker.finish_flow(1)
+        assert tracker.active_flows == 0
+        tracker.accept(2, 1)
+        with pytest.raises(RuntimeError):
+            tracker.finish_flow(2)
+
+    def test_finish_unknown_flow_is_noop(self):
+        ReorderTracker().finish_flow(99)

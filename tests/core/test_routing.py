@@ -1,0 +1,81 @@
+"""Valiant load-balanced routing (paper §4.2)."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.core import ValiantRouter
+
+
+class TestIntermediateChoice:
+    def test_never_picks_source(self):
+        router = ValiantRouter(8, node=3, rng=random.Random(1))
+        for _ in range(500):
+            assert router.pick_intermediate(dst=5) != 3
+
+    def test_roughly_uniform_over_candidates(self):
+        router = ValiantRouter(8, node=0, rng=random.Random(2))
+        counts = Counter(router.pick_intermediate(dst=4) for _ in range(7000))
+        assert set(counts) == set(range(1, 8))
+        for node in range(1, 8):
+            assert 700 <= counts[node] <= 1300  # 1000 +/- 30%
+
+    def test_destination_is_legal_intermediate_by_default(self):
+        router = ValiantRouter(4, node=0, rng=random.Random(3))
+        picks = {router.pick_intermediate(dst=2) for _ in range(200)}
+        assert 2 in picks
+
+    def test_exclude_destination_mode(self):
+        router = ValiantRouter(4, node=0, rng=random.Random(4),
+                               exclude_destination=True)
+        for _ in range(200):
+            assert router.pick_intermediate(dst=2) != 2
+
+    def test_exclude_destination_impossible_with_two_nodes(self):
+        router = ValiantRouter(2, node=0, exclude_destination=True)
+        with pytest.raises(ValueError):
+            router.pick_intermediate(dst=1)
+
+
+class TestSampling:
+    def test_samples_are_distinct(self):
+        router = ValiantRouter(16, node=0, rng=random.Random(5))
+        sample = router.sample_intermediates(10)
+        assert len(sample) == len(set(sample)) == 10
+        assert 0 not in sample
+
+    def test_sample_capped_at_candidates(self):
+        router = ValiantRouter(4, node=1)
+        assert len(router.sample_intermediates(99)) == 3
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            ValiantRouter(4, node=0).sample_intermediates(-1)
+
+
+class TestHops:
+    def test_via_destination_is_single_hop(self):
+        router = ValiantRouter(8, node=0)
+        assert router.hops_for(intermediate=5, dst=5) == 1
+
+    def test_detour_is_two_hops(self):
+        router = ValiantRouter(8, node=0)
+        assert router.hops_for(intermediate=3, dst=5) == 2
+
+
+class TestValidation:
+    def test_destination_must_differ_from_source(self):
+        router = ValiantRouter(8, node=2)
+        with pytest.raises(ValueError):
+            router.pick_intermediate(dst=2)
+
+    def test_construction(self):
+        with pytest.raises(ValueError):
+            ValiantRouter(1, node=0)
+        with pytest.raises(ValueError):
+            ValiantRouter(4, node=4)
+
+    def test_candidates_exclude_self(self):
+        router = ValiantRouter(5, node=2)
+        assert router.candidates == (0, 1, 3, 4)

@@ -1,0 +1,103 @@
+"""DRRM vs random request/grant selection (paper §4.3, [13])."""
+
+import random
+
+import pytest
+
+from repro.core import CongestionConfig, Flow, SiriusNetwork, SiriusNode
+
+
+def make_node(selection, node=0, n_nodes=8, seed=1):
+    return SiriusNode(
+        node, n_nodes, CongestionConfig(selection=selection),
+        random.Random(seed),
+    )
+
+
+class TestConfig:
+    def test_default_is_drrm(self):
+        assert CongestionConfig().selection == "drrm"
+
+    def test_unknown_selection_rejected(self):
+        with pytest.raises(ValueError):
+            CongestionConfig(selection="fifo")
+
+
+class TestDrrmRequests:
+    def test_request_offset_rotates_between_epochs(self):
+        node = make_node("drrm")
+        from repro.core.cell import Cell
+
+        node.apply_grants_and_expiries()
+        node.enqueue_local(Cell(1, 0, 0, 3))
+        first = node.generate_requests()
+        # Expire and re-request: the intermediate advances.
+        node.apply_grants_and_expiries()
+        node.generate_requests()
+        node.apply_grants_and_expiries()
+        second = node.generate_requests()
+        assert first[0][1] == second[0][1] == 3
+        assert first[0][0] != second[0][0]
+
+    def test_different_nodes_desynchronized(self):
+        from repro.core.cell import Cell
+
+        requests = {}
+        for node_id in (1, 2):
+            node = make_node("drrm", node=node_id)
+            node.enqueue_local(Cell(1, 0, node_id, 5))
+            requests[node_id] = node.generate_requests()[0][0]
+        assert requests[1] != requests[2]
+
+    def test_deterministic(self):
+        from repro.core.cell import Cell
+
+        def run():
+            node = make_node("drrm")
+            for seq in range(5):
+                node.enqueue_local(Cell(1, seq, 0, 3))
+            return node.generate_requests()
+
+        assert run() == run()
+
+
+class TestDrrmGrants:
+    def test_grant_pointer_rotates_across_sources(self):
+        node = make_node("drrm", node=7)
+        node.request_inbox = [(1, 3), (2, 3), (4, 3)]
+        first = node.decide_grants(1)[0][0]
+        # Drain the queue bound so the next grant is admissible.
+        node.outstanding.clear()
+        node.request_inbox = [(1, 3), (2, 3), (4, 3)]
+        second = node.decide_grants(1)[0][0]
+        assert first != second
+        assert second > first or second < first  # rotated
+
+
+class TestThroughputComparison:
+    def _saturation_goodput(self, selection):
+        n = 16
+        net = SiriusNetwork(
+            n, 4, uplink_multiplier=1.0, seed=3,
+            config=CongestionConfig(selection=selection),
+        )
+        rng = random.Random(0)
+        flows = []
+        fid = 0
+        for src in range(n):
+            for _ in range(60):
+                dst = rng.randrange(n - 1)
+                if dst >= src:
+                    dst += 1
+                flows.append(Flow(fid, src, dst, size_bits=20_000,
+                                  arrival_time=0.0))
+                fid += 1
+        result = net.run(flows)
+        return result.normalized_goodput
+
+    def test_both_selections_sustain_saturation(self):
+        drrm = self._saturation_goodput("drrm")
+        rand = self._saturation_goodput("random")
+        # Both within a sane band of each other; neither collapses.
+        assert drrm > 0.15 and rand > 0.15
+        assert abs(drrm - rand) / max(drrm, rand) < 0.25

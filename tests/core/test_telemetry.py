@@ -1,0 +1,99 @@
+"""Per-epoch telemetry collection."""
+
+import pytest
+
+from repro import FlowWorkload, SiriusNetwork, WorkloadConfig
+from repro.core.telemetry import Telemetry, ascii_sparkline
+
+
+def run_with_telemetry(sample_every=1, load=0.5, flows=150):
+    net = SiriusNetwork(8, 4, uplink_multiplier=1.0, seed=1)
+    workload = FlowWorkload(WorkloadConfig(
+        n_nodes=8, load=load,
+        node_bandwidth_bps=net.reference_node_bandwidth_bps,
+        mean_flow_bits=200_000, truncation_bits=2_000_000, seed=3,
+    ))
+    telemetry = Telemetry(sample_every=sample_every)
+    result = net.run(workload.generate(flows), telemetry=telemetry)
+    return net, result, telemetry
+
+
+class TestCollection:
+    def test_samples_every_epoch_by_default(self):
+        _net, result, telemetry = run_with_telemetry()
+        assert telemetry.n_samples == result.epochs
+
+    def test_sampling_period_thins_series(self):
+        _net, result, telemetry = run_with_telemetry(sample_every=4)
+        assert telemetry.n_samples == pytest.approx(result.epochs / 4,
+                                                    abs=1.0)
+
+    def test_series_lengths_consistent(self):
+        _net, _result, telemetry = run_with_telemetry()
+        n = telemetry.n_samples
+        assert len(telemetry.local_cells) == n
+        assert len(telemetry.vq_cells) == n
+        assert len(telemetry.fwd_cells) == n
+        assert len(telemetry.in_flight_cells) == n
+        assert len(telemetry.delivered_bits) == n
+
+    def test_delivered_bits_monotone(self):
+        _net, _result, telemetry = run_with_telemetry()
+        series = telemetry.delivered_bits
+        assert all(a <= b for a, b in zip(series, series[1:]))
+
+    def test_backlog_drains_to_zeroish(self):
+        _net, _result, telemetry = run_with_telemetry()
+        backlog = telemetry.backlog_series()
+        assert backlog[-1] <= 2  # final in-flight residue at most
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Telemetry(sample_every=0)
+
+
+class TestAnalysis:
+    def test_summary_and_peaks(self):
+        _net, result, telemetry = run_with_telemetry()
+        summary = telemetry.summary()
+        assert summary["samples"] == telemetry.n_samples
+        # Telemetry's peak is a system-wide (summed) sample; it is
+        # bounded by per-node peak x node count.
+        assert summary["peak_fwd"] <= result.peak_fwd_cells * result.n_nodes
+        assert summary["peak_backlog"] >= summary["peak_fwd"]
+        assert telemetry.time_of_peak("local") is not None
+
+    def test_unknown_series_rejected(self):
+        _net, _result, telemetry = run_with_telemetry()
+        with pytest.raises(ValueError):
+            telemetry.peak("queue-of-dreams")
+
+    def test_throughput_derivative(self):
+        net, _result, telemetry = run_with_telemetry()
+        cells = telemetry.throughput_cells(net.timing.payload_bits)
+        assert len(cells) == telemetry.n_samples
+        assert all(c >= 0 for c in cells)
+        with pytest.raises(ValueError):
+            telemetry.throughput_cells(0)
+
+
+class TestSparkline:
+    def test_length_capped_at_width(self):
+        line = ascii_sparkline(list(range(1000)), width=40)
+        assert len(line) == 40
+
+    def test_short_series_kept_whole(self):
+        assert len(ascii_sparkline([1, 2, 3])) == 3
+
+    def test_flat_zero_series(self):
+        assert ascii_sparkline([0, 0, 0]).strip() == ""
+
+    def test_peak_maps_to_densest_glyph(self):
+        line = ascii_sparkline([0.0, 1.0])
+        assert line[-1] == "@"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_sparkline([])
+        with pytest.raises(ValueError):
+            ascii_sparkline([1.0], width=0)

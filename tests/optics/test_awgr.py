@@ -1,0 +1,97 @@
+"""AWGR cyclic wavelength routing (paper §3.1, Fig 3a)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.optics import AWGR
+
+
+class TestRouting:
+    def test_fig3a_four_port_matrix(self):
+        # Fig 3a: wavelength j on port i lands on output (i + j) mod 4.
+        awgr = AWGR(4)
+        assert awgr.routing_matrix() == [
+            [0, 1, 2, 3],
+            [1, 2, 3, 0],
+            [2, 3, 0, 1],
+            [3, 0, 1, 2],
+        ]
+
+    def test_channel_for_inverts_output_port(self):
+        awgr = AWGR(8)
+        for i in range(8):
+            for out in range(8):
+                ch = awgr.channel_for(i, out)
+                assert awgr.output_port(i, ch) == out
+
+    def test_route_applies_insertion_loss(self):
+        awgr = AWGR(4, insertion_loss_db=6.0)
+        port, power = awgr.route(1, 2, power_mw=10.0)
+        assert port == 3
+        assert power == pytest.approx(10.0 * 10 ** -0.6)
+
+    def test_route_counts_signals(self):
+        awgr = AWGR(4)
+        awgr.route(0, 1)
+        awgr.route(2, 3)
+        assert awgr.routed_count == 2
+
+    def test_passive_device_draws_no_power(self):
+        assert AWGR(100).power_consumption_w == 0.0
+
+    def test_invalid_ports_rejected(self):
+        awgr = AWGR(4)
+        with pytest.raises(ValueError):
+            awgr.output_port(4, 0)
+        with pytest.raises(ValueError):
+            awgr.output_port(0, 4)
+        with pytest.raises(ValueError):
+            awgr.output_port(-1, 0)
+        with pytest.raises(ValueError):
+            awgr.route(0, 0, power_mw=-1.0)
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ValueError):
+            AWGR(0)
+        with pytest.raises(ValueError):
+            AWGR(4, insertion_loss_db=-1.0)
+
+
+class TestAllToAllProperty:
+    def test_every_output_hears_every_input_once(self):
+        awgr = AWGR(16)
+        for port_sources in awgr.output_assignment():
+            inputs = [src for src, _wl in port_sources]
+            assert sorted(inputs) == list(range(16))
+
+    @given(n=st.integers(min_value=1, max_value=64),
+           channel=st.integers(min_value=0, max_value=63))
+    def test_fixed_channel_is_permutation(self, n, channel):
+        awgr = AWGR(n)
+        channel %= n
+        outputs = [awgr.output_port(i, channel) for i in range(n)]
+        assert sorted(outputs) == list(range(n))
+
+    @given(n=st.integers(min_value=1, max_value=64),
+           port=st.integers(min_value=0, max_value=63))
+    def test_fixed_input_is_permutation_over_channels(self, n, port):
+        awgr = AWGR(n)
+        port %= n
+        outputs = [awgr.output_port(port, w) for w in range(n)]
+        assert sorted(outputs) == list(range(n))
+
+
+class TestContentionCheck:
+    def test_same_channel_everywhere_is_contention_free(self):
+        awgr = AWGR(8)
+        assignments = {i: 3 for i in range(8)}
+        assert awgr.is_contention_free(assignments)
+
+    def test_collision_detected(self):
+        awgr = AWGR(4)
+        # inputs 0 and 1 both aiming at output 2.
+        assert not awgr.is_contention_free({0: 2, 1: 1})
+
+    def test_distinct_channels_from_one_input_cannot_collide(self):
+        awgr = AWGR(4)
+        assert awgr.is_contention_free({0: 1, 1: 1, 2: 1})

@@ -1,0 +1,106 @@
+"""BER vs received power and FEC (paper §6, Fig 8d)."""
+
+import math
+
+import pytest
+
+from repro.optics.ber import (
+    BERModel,
+    ERROR_FREE_BER,
+    FEC_BER_THRESHOLD,
+    expected_bit_errors,
+)
+
+
+class TestCalibration:
+    def test_threshold_crossing_at_sensitivity(self):
+        model = BERModel(channel_offsets_db=(0.0,))
+        assert model.pre_fec_ber(-8.0) == pytest.approx(
+            FEC_BER_THRESHOLD, rel=1e-3
+        )
+
+    def test_ber_monotone_decreasing_in_power(self):
+        model = BERModel(channel_offsets_db=(0.0,))
+        powers = [-10 + 0.5 * k for k in range(16)]
+        bers = [model.pre_fec_ber(p) for p in powers]
+        assert bers == sorted(bers, reverse=True)
+
+    def test_steep_waterfall(self):
+        model = BERModel(channel_offsets_db=(0.0,))
+        # 1 dB above sensitivity the BER collapses by over an order of
+        # magnitude; 2 dB above, by several orders (Fig 8d's steepness).
+        assert model.pre_fec_ber(-7.0) < model.pre_fec_ber(-8.0) / 5
+        assert model.pre_fec_ber(-6.0) < model.pre_fec_ber(-8.0) / 100
+        assert model.pre_fec_ber(-4.0) < model.pre_fec_ber(-8.0) / 1e6
+
+
+class TestPostFec:
+    def test_error_free_at_sensitivity(self):
+        model = BERModel(channel_offsets_db=(0.0,))
+        assert model.error_free(-8.0)
+        assert model.post_fec_ber(-8.0) == ERROR_FREE_BER
+
+    def test_errors_below_sensitivity(self):
+        model = BERModel(channel_offsets_db=(0.0,))
+        assert not model.error_free(-9.5)
+        assert model.post_fec_ber(-9.5) > 1e-12
+
+    def test_fig8d_all_four_channels_error_free_at_minus_8(self):
+        model = BERModel()
+        # Channel offsets are within ±0.25 dB; at -7.75 dBm all channels
+        # must be error-free (the paper's -8 dBm claim modulo the small
+        # per-channel spread visible in Fig 8d).
+        for channel in range(4):
+            assert model.error_free(-7.75 + 0.01, channel)
+
+    def test_per_channel_sensitivities_differ(self):
+        model = BERModel()
+        sens = {model.sensitivity_for_channel(c) for c in range(4)}
+        assert len(sens) == 4
+
+
+class TestCurve:
+    def test_curve_shape(self):
+        model = BERModel()
+        curve = model.ber_curve(0, power_range_dbm=(-10, -2), n_points=17)
+        assert len(curve["received_dbm"]) == 17
+        logs = curve["log10_ber"]
+        assert logs == sorted(logs, reverse=True)
+        assert logs[0] > -4          # bad at low power
+        assert logs[-1] < -10        # excellent at high power
+
+    def test_curve_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            BERModel().ber_curve(0, power_range_dbm=(-2, -10))
+
+    def test_negative_channel_rejected(self):
+        with pytest.raises(ValueError):
+            BERModel().pre_fec_ber(-8.0, channel=-1)
+
+
+class TestExpectedErrors:
+    def test_counts(self):
+        assert expected_bit_errors(1e-12, 1e12) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_bit_errors(1.5, 100)
+        with pytest.raises(ValueError):
+            expected_bit_errors(0.1, -1)
+
+    def test_24h_at_50g_error_free(self):
+        # §6's error-free criterion is BER < 1e-12; the model's post-FEC
+        # floor sits three orders of magnitude below it.
+        bits = 50e9 * 86_400
+        assert (expected_bit_errors(ERROR_FREE_BER, bits)
+                < expected_bit_errors(1e-12, bits) / 100)
+
+
+def test_q_inversion_roundtrip():
+    # The internal calibration solves erfc for Q; verify the round trip.
+    from repro.optics.ber import _q_from_ber, _PAM4_PREFACTOR
+
+    for ber in (1e-3, 3.8e-3, 1e-5):
+        q = _q_from_ber(ber)
+        back = _PAM4_PREFACTOR * 0.5 * math.erfc(q / math.sqrt(2))
+        assert back == pytest.approx(ber, rel=1e-6)

@@ -1,0 +1,139 @@
+"""Disaggregated tunable laser designs (paper §3.3, Fig 4, Fig 8b)."""
+
+import pytest
+
+from repro.optics.disaggregated import (
+    CombLaserSource,
+    FixedLaserBank,
+    TunableLaserBank,
+    compare_designs,
+)
+from repro.units import NANOSECOND
+
+
+class TestFixedLaserBank:
+    def test_tuning_is_subnanosecond(self):
+        bank = FixedLaserBank(19)
+        assert bank.worst_case_tuning_latency() < 1 * NANOSECOND
+
+    def test_latency_independent_of_span(self):
+        # Fig 8b: adjacent and distant switches take the same sub-ns time.
+        bank = FixedLaserBank(19)
+        adjacent = bank.tuning_latency(9, 10)
+        distant = bank.tuning_latency(0, 18)
+        assert adjacent < 1 * NANOSECOND
+        assert distant < 1 * NANOSECOND
+        # Both are bounded by the same per-gate transition times - no
+        # span-proportional term.
+        assert abs(adjacent - distant) < 1 * NANOSECOND
+
+    def test_tune_state(self):
+        bank = FixedLaserBank(19)
+        latency = bank.tune(7, now=0.0)
+        assert bank.current_channel == 7
+        assert latency > 0
+        assert bank.is_settled(latency)
+        assert not bank.is_settled(latency / 2)
+
+    def test_retune_same_channel_free(self):
+        bank = FixedLaserBank(19)
+        bank.tune(3)
+        assert bank.tune(3) == 0.0
+
+    def test_power_scales_with_channel_count(self):
+        small, large = FixedLaserBank(19), FixedLaserBank(100)
+        assert large.power_consumption_w > small.power_consumption_w
+        # The laser bank dominates: ~1 W per channel.
+        assert small.power_consumption_w == pytest.approx(19.3, abs=0.5)
+
+    def test_invalid_channel(self):
+        with pytest.raises(ValueError):
+            FixedLaserBank(19).tune(19)
+        with pytest.raises(ValueError):
+            FixedLaserBank(0)
+
+
+class TestSwitchingTrace:
+    def test_trace_shows_crossover(self):
+        bank = FixedLaserBank(19)
+        trace = bank.switching_trace(0, 18)
+        assert trace["old_intensity"][0] == pytest.approx(1.0)
+        assert trace["new_intensity"][0] == pytest.approx(0.0)
+        assert trace["old_intensity"][-1] < 0.2
+        assert trace["new_intensity"][-1] > 0.8
+
+    def test_trace_requires_distinct_channels(self):
+        with pytest.raises(ValueError):
+            FixedLaserBank(19).switching_trace(4, 4)
+
+
+class TestTunableLaserBank:
+    def test_pipelining_hides_tuning_latency(self):
+        bank = TunableLaserBank(112)
+        # Visible switch latency is SOA-scale despite ms/ns-scale lasers.
+        assert bank.tune(5) < 1 * NANOSECOND
+        assert bank.tune(100) < 1 * NANOSECOND
+
+    def test_pipeline_feasibility_at_100ns_slots(self):
+        # §4.5: worst-case <100 ns tuning + 100 ns slots -> 2 lasers enough.
+        bank = TunableLaserBank(112, n_lasers=2)
+        assert bank.pipeline_feasible(100 * NANOSECOND)
+        assert not bank.pipeline_feasible(10 * NANOSECOND)
+
+    def test_three_lasers_tolerate_one_failure(self):
+        bank = TunableLaserBank(112, n_lasers=3)
+        bank.fail_laser(1)
+        assert bank.healthy_lasers == 2
+        # Still switches fine.
+        assert bank.tune(50) < 1 * NANOSECOND
+        assert bank.tune(60) < 1 * NANOSECOND
+
+    def test_all_failures_raise(self):
+        bank = TunableLaserBank(112, n_lasers=2)
+        bank.fail_laser(0)
+        with pytest.raises(RuntimeError):
+            bank.fail_laser(1)
+
+    def test_needs_at_least_two_lasers(self):
+        with pytest.raises(ValueError):
+            TunableLaserBank(112, n_lasers=1)
+
+    def test_fewer_lasers_than_fixed_bank(self):
+        fixed = FixedLaserBank(112)
+        bank = TunableLaserBank(112, n_lasers=3)
+        assert bank.power_consumption_w < fixed.power_consumption_w
+
+    def test_coupler_loss_higher_than_mux(self):
+        # §3.3: the coupler adds more insertion loss than the AWG mux.
+        fixed = FixedLaserBank(19)
+        bank = TunableLaserBank(19)
+        assert bank.combiner_loss_db > fixed.combiner_loss_db
+
+    def test_invalid_failure_index(self):
+        with pytest.raises(ValueError):
+            TunableLaserBank(19).fail_laser(5)
+
+
+class TestCombLaser:
+    def test_single_chip_uniform_spacing(self):
+        assert CombLaserSource(19).channel_spacing_is_uniform()
+
+    def test_higher_power_than_fixed_bank_today(self):
+        assert (CombLaserSource(19).power_consumption_w
+                > FixedLaserBank(19).power_consumption_w)
+
+    def test_subnanosecond_switching(self):
+        comb = CombLaserSource(19)
+        assert comb.tune(10) < 1e-9
+
+
+class TestComparison:
+    def test_compare_covers_all_designs(self):
+        rows = compare_designs(19, slot_duration_s=100e-9)
+        names = {row["design"] for row in rows}
+        assert names == {
+            "FixedLaserBank", "TunableLaserBank", "CombLaserSource"
+        }
+        for row in rows:
+            assert row["worst_tuning_s"] < 1e-9
+            assert row["power_w"] > 0

@@ -1,0 +1,136 @@
+"""Tunable laser and dampened-tuning driver (paper §3.2)."""
+
+import statistics
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.optics.laser import (
+    DSDBR_N_WAVELENGTHS,
+    DampenedTuningDriver,
+    NaiveTuningDriver,
+    TunableLaser,
+)
+from repro.units import MILLISECOND, NANOSECOND
+
+
+class TestDampenedDriverCalibration:
+    def test_all_pair_population_size(self):
+        # 112 wavelengths -> 12,432 ordered pairs (§3.2).
+        laser = TunableLaser()
+        assert len(laser.all_pair_latencies()) == 12_432
+
+    def test_median_is_14ns(self):
+        laser = TunableLaser()
+        median = statistics.median(laser.all_pair_latencies())
+        assert median == pytest.approx(14 * NANOSECOND, rel=1e-6)
+
+    def test_worst_case_is_92ns(self):
+        laser = TunableLaser()
+        assert max(laser.all_pair_latencies()) == pytest.approx(
+            92 * NANOSECOND, rel=1e-6
+        )
+
+    def test_latency_grows_with_span(self):
+        driver = DampenedTuningDriver()
+        latencies = [driver.tuning_latency(d) for d in range(1, 112)]
+        assert latencies == sorted(latencies)
+
+    def test_zero_span_is_free(self):
+        assert DampenedTuningDriver().tuning_latency(0) == 0.0
+
+    def test_negative_span_rejected(self):
+        with pytest.raises(ValueError):
+            DampenedTuningDriver().tuning_latency(-1)
+
+    def test_current_steps_overshoot_then_undershoot(self):
+        driver = DampenedTuningDriver()
+        steps = driver.current_steps(10.0, 20.0)
+        assert len(steps) == 3
+        assert steps[0] > 20.0    # overshoot past the target
+        assert steps[1] < 20.0    # corrective undershoot
+        assert steps[2] == 20.0   # settle
+
+
+class TestNaiveDriver:
+    def test_millisecond_settling_regardless_of_span(self):
+        driver = NaiveTuningDriver()
+        assert driver.tuning_latency(1) == pytest.approx(10 * MILLISECOND)
+        assert driver.tuning_latency(111) == pytest.approx(10 * MILLISECOND)
+
+    def test_single_current_step(self):
+        assert NaiveTuningDriver().current_steps(1.0, 5.0) == [5.0]
+
+    def test_rejects_bad_settle_time(self):
+        with pytest.raises(ValueError):
+            NaiveTuningDriver(settle_time_s=0.0)
+
+
+class TestTunableLaserState:
+    def test_tune_updates_channel_and_settle_time(self):
+        laser = TunableLaser()
+        latency = laser.tune(50, now=1.0)
+        assert laser.current_channel == 50
+        assert laser.settled_at == pytest.approx(1.0 + latency)
+        assert not laser.is_settled(1.0)
+        assert laser.is_settled(1.0 + latency)
+
+    def test_tuning_to_same_channel_is_free(self):
+        laser = TunableLaser(current_channel=5)
+        assert laser.tune(5, now=0.0) == 0.0
+
+    def test_stateless_latency_matches_driver(self):
+        laser = TunableLaser()
+        assert laser.tuning_latency(0, 111) == pytest.approx(92 * NANOSECOND)
+
+    def test_default_power_characteristics(self):
+        laser = TunableLaser()
+        assert laser.output_power_dbm == 16.0
+        assert laser.power_consumption_w == pytest.approx(3.8)
+
+    def test_out_of_range_channel_rejected(self):
+        laser = TunableLaser(n_wavelengths=4)
+        with pytest.raises(ValueError):
+            laser.tune(4)
+        with pytest.raises(ValueError):
+            laser.tuning_latency(0, 7)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            TunableLaser(n_wavelengths=0)
+        with pytest.raises(ValueError):
+            TunableLaser(n_wavelengths=4, current_channel=9)
+
+    @given(a=st.integers(0, DSDBR_N_WAVELENGTHS - 1),
+           b=st.integers(0, DSDBR_N_WAVELENGTHS - 1))
+    def test_latency_symmetric_in_direction(self, a, b):
+        laser = TunableLaser()
+        assert laser.tuning_latency(a, b) == laser.tuning_latency(b, a)
+
+
+class TestRingWaveform:
+    def test_settles_within_driver_latency(self):
+        laser = TunableLaser()
+        times, deviation = laser.ring_waveform(10, 60)
+        latency = laser.tuning_latency(10, 60)
+        settled = [d for t, d in zip(times, deviation) if t >= latency]
+        assert settled, "waveform must extend past the settle time"
+        assert all(abs(d) < 0.5 for d in settled)
+
+    def test_initial_deviation_is_full_span(self):
+        laser = TunableLaser()
+        _times, deviation = laser.ring_waveform(10, 60)
+        assert deviation[0] == pytest.approx(-(60 - 10))
+
+    def test_same_channel_waveform_is_flat(self):
+        laser = TunableLaser()
+        _times, deviation = laser.ring_waveform(7, 7)
+        assert all(d == 0.0 for d in deviation)
+
+    def test_waveform_oscillates(self):
+        laser = TunableLaser()
+        _times, deviation = laser.ring_waveform(0, 40)
+        signs = [d > 0 for d in deviation if abs(d) > 1e-6]
+        # Ringing crosses zero at least twice.
+        changes = sum(1 for a, b in zip(signs, signs[1:]) if a != b)
+        assert changes >= 2

@@ -1,0 +1,76 @@
+"""Link budget and laser sharing (paper §4.5)."""
+
+import pytest
+
+from repro.optics.link_budget import (
+    LinkBudget,
+    laser_sharing_degree,
+    lasers_per_node,
+    splitter_loss_db,
+)
+
+
+class TestPaperBudget:
+    def test_required_launch_is_7dbm(self):
+        # -8 dBm sensitivity + 6 dB grating + 7 dB coupling + 2 dB margin.
+        assert LinkBudget().required_launch_dbm == pytest.approx(7.0)
+
+    def test_required_launch_is_5mw(self):
+        assert LinkBudget().required_launch_mw == pytest.approx(5.0, abs=0.02)
+
+    def test_16dbm_laser_closes_the_link(self):
+        assert LinkBudget().closes(16.0)
+        assert LinkBudget().headroom_db(16.0) == pytest.approx(9.0)
+
+    def test_weak_laser_fails(self):
+        assert not LinkBudget().closes(5.0)
+        assert LinkBudget().headroom_db(5.0) < 0
+
+    def test_received_power_excludes_margin(self):
+        budget = LinkBudget()
+        # 7 dBm launch - 6 dB grating - 7 dB coupling = -6 dBm received.
+        assert budget.received_power_dbm(7.0) == pytest.approx(-6.0)
+
+    def test_negative_losses_rejected(self):
+        with pytest.raises(ValueError):
+            LinkBudget(grating_loss_db=-1.0)
+
+
+class TestLaserSharing:
+    def test_paper_anchor_8_way_sharing(self):
+        assert laser_sharing_degree() == 8
+
+    def test_256_uplinks_need_32_chips(self):
+        assert lasers_per_node(256) == 32
+
+    def test_spares_are_added(self):
+        assert lasers_per_node(256, n_spares=4) == 36
+
+    def test_sharing_zero_when_laser_too_weak(self):
+        assert LinkBudget(laser_output_dbm=5.0).max_sharing_degree() == 0
+
+    def test_higher_power_laser_shares_more(self):
+        # §4.5: higher output power allows a higher degree of sharing.
+        assert (LinkBudget(laser_output_dbm=19.0).max_sharing_degree()
+                > LinkBudget(laser_output_dbm=16.0).max_sharing_degree())
+
+    def test_uplinks_not_divisible_round_up(self):
+        assert lasers_per_node(9, sharing_degree=8) == 2
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            lasers_per_node(0)
+        with pytest.raises(ValueError):
+            lasers_per_node(8, sharing_degree=0)
+
+
+class TestSplitter:
+    def test_8_way_split_costs_9db(self):
+        assert splitter_loss_db(8) == pytest.approx(9.03, abs=0.01)
+
+    def test_no_split_no_loss(self):
+        assert splitter_loss_db(1) == 0.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            splitter_loss_db(0)

@@ -1,0 +1,99 @@
+"""SOA gate and selector bank (paper §3.3, Fig 8a)."""
+
+import pytest
+
+from repro.optics.soa import (
+    CHIP_N_SOAS,
+    SOA,
+    SOABank,
+    WORST_CASE_FALL_S,
+    WORST_CASE_RISE_S,
+)
+
+
+class TestSingleSOA:
+    def test_turn_on_off_latencies(self):
+        soa = SOA(rise_time_s=500e-12, fall_time_s=900e-12)
+        assert soa.turn_on(now=0.0) == 500e-12
+        assert soa.is_on
+        assert soa.turn_off(now=1.0) == 900e-12
+        assert not soa.is_on
+
+    def test_redundant_transitions_are_free(self):
+        soa = SOA(rise_time_s=500e-12, fall_time_s=900e-12)
+        assert soa.turn_off() == 0.0
+        soa.turn_on()
+        assert soa.turn_on() == 0.0
+
+    def test_transmission_gain_vs_blocking(self):
+        soa = SOA(rise_time_s=1e-12, fall_time_s=1e-12, gain_db=10,
+                  extinction_db=40)
+        soa.turn_on(now=0.0)
+        assert soa.transmission_db(now=1.0) == 10
+        soa.turn_off(now=1.0)
+        assert soa.transmission_db(now=2.0) == -40
+
+    def test_mid_transition_output_undefined(self):
+        soa = SOA(rise_time_s=1e-9, fall_time_s=1e-9)
+        soa.turn_on(now=0.0)
+        with pytest.raises(ValueError):
+            soa.transmission_db(now=0.5e-9)
+
+    def test_invalid_times_rejected(self):
+        with pytest.raises(ValueError):
+            SOA(rise_time_s=0.0, fall_time_s=1e-12)
+
+
+class TestBank:
+    def test_chip_has_19_soas(self):
+        assert len(SOABank()) == CHIP_N_SOAS
+
+    def test_worst_cases_match_paper(self):
+        bank = SOABank()
+        assert max(bank.rise_times()) == pytest.approx(WORST_CASE_RISE_S)
+        assert max(bank.fall_times()) == pytest.approx(WORST_CASE_FALL_S)
+        # §6: 527 ps / 912 ps.
+        assert WORST_CASE_RISE_S == pytest.approx(527e-12)
+        assert WORST_CASE_FALL_S == pytest.approx(912e-12)
+
+    def test_all_transitions_subnanosecond(self):
+        bank = SOABank()
+        assert bank.worst_case_latency() < 1e-9
+
+    def test_select_turns_exactly_one_gate_on(self):
+        bank = SOABank(8)
+        bank.select(3, now=0.0)
+        bank.select(5, now=1.0)
+        states = [soa.is_on for soa in bank.soas]
+        assert states == [i == 5 for i in range(8)]
+
+    def test_select_latency_is_slower_of_on_off(self):
+        bank = SOABank(4)
+        bank.select(0, now=0.0)
+        latency = bank.select(1, now=1.0)
+        expected = max(bank.soas[1].rise_time_s, bank.soas[0].fall_time_s)
+        assert latency == pytest.approx(expected)
+
+    def test_reselect_is_free(self):
+        bank = SOABank(4)
+        bank.select(2)
+        assert bank.select(2) == 0.0
+
+    def test_out_of_range_channel(self):
+        with pytest.raises(ValueError):
+            SOABank(4).select(4)
+
+    def test_deterministic_with_seed(self):
+        assert SOABank(seed=3).rise_times() == SOABank(seed=3).rise_times()
+        assert SOABank(seed=3).rise_times() != SOABank(seed=4).rise_times()
+
+    def test_cdf_levels(self):
+        rises, falls, levels = SOABank().transition_cdf()
+        assert rises == sorted(rises)
+        assert falls == sorted(falls)
+        assert levels[0] == pytest.approx(1 / CHIP_N_SOAS)
+        assert levels[-1] == pytest.approx(1.0)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            SOABank(0)

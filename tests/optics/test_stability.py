@@ -1,0 +1,85 @@
+"""Wavelength stability and temperature control (§5)."""
+
+import pytest
+
+from repro.optics.stability import (
+    StabilityBudget,
+    TecPowerModel,
+    channel_spacing_nm,
+)
+
+
+class TestSpacing:
+    def test_50ghz_is_0_4nm_at_1550(self):
+        assert channel_spacing_nm(50.0) == pytest.approx(0.4, abs=0.01)
+
+    def test_100ghz_doubles_it(self):
+        assert channel_spacing_nm(100.0) == pytest.approx(
+            2 * channel_spacing_nm(50.0), rel=1e-3
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            channel_spacing_nm(0.0)
+
+
+class TestStabilityBudget:
+    def test_margin_is_fraction_of_spacing(self):
+        budget = StabilityBudget()
+        assert budget.passband_margin_nm == pytest.approx(0.12, abs=0.01)
+
+    def test_temperature_tolerance_near_one_degree(self):
+        # 0.12 nm margin at 0.1 nm/°C: ~1.2 °C — uncontrolled lasers
+        # (tens of °C ambient swings) cannot hold an AWGR channel.
+        budget = StabilityBudget()
+        assert budget.max_temperature_error_c == pytest.approx(1.2,
+                                                               abs=0.1)
+        assert budget.stays_in_passband(1.0)
+        assert not budget.stays_in_passband(25.0)
+
+    def test_drift_linear(self):
+        budget = StabilityBudget()
+        assert budget.drift_nm(10.0) == pytest.approx(1.0)
+
+    def test_wider_grid_relaxes_control(self):
+        tight = StabilityBudget(spacing_ghz=50.0)
+        loose = StabilityBudget(spacing_ghz=100.0)
+        assert (loose.max_temperature_error_c
+                > tight.max_temperature_error_c)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StabilityBudget(passband_fraction=0.7)
+        with pytest.raises(ValueError):
+            StabilityBudget(drift_nm_per_c=0.0)
+        with pytest.raises(ValueError):
+            StabilityBudget().stays_in_passband(-1.0)
+        with pytest.raises(ValueError):
+            StabilityBudget().drift_nm(-1.0)
+
+
+class TestTecPower:
+    def test_cooling_dominates_the_tunable_laser(self):
+        # §5: "much of the power consumption for the tunable laser is
+        # due to the need for a temperature controller"; totals land
+        # near the 3.8 W of off-the-shelf parts.
+        breakdown = TecPowerModel().laser_power_breakdown()
+        assert breakdown["cooling_fraction"] > 0.6
+        assert breakdown["total_w"] == pytest.approx(3.8, abs=0.6)
+
+    def test_better_cooling_cuts_power(self):
+        model = TecPowerModel()
+        datacenter = model.power_w(ambient_swing_c=25.0,
+                                   allowed_error_c=1.2)
+        chilled = model.power_w(ambient_swing_c=5.0, allowed_error_c=1.2)
+        assert chilled < datacenter
+
+    def test_tighter_control_costs_more(self):
+        model = TecPowerModel()
+        assert (model.power_w(25.0, 0.5) > model.power_w(25.0, 2.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TecPowerModel().power_w(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            TecPowerModel().power_w(1.0, 0.0)

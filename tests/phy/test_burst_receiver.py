@@ -1,0 +1,117 @@
+"""The composed burst-mode receive pipeline (§6, §A.1)."""
+
+import numpy as np
+import pytest
+
+from repro.phy.burst_receiver import (
+    BurstReceiver,
+    BurstTransmitter,
+    make_preamble,
+)
+from repro.phy.pam4 import PAM4Channel, random_bits
+
+ISI = (1.0, 0.35, 0.12)
+
+
+def make_link(seed=3, snr_db=26.0, amplitude=1.0):
+    channel = PAM4Channel(snr_db=snr_db, impulse_response=ISI, seed=seed)
+    return BurstTransmitter(channel, amplitude=amplitude)
+
+
+class TestPipeline:
+    def test_first_burst_cold_then_cached(self):
+        rx = BurstReceiver()
+        tx = make_link()
+        bits = random_bits(1000, seed=1)
+        first = rx.receive(7, tx.transmit(bits), bits, now=0.0)
+        assert not first.cached_lock
+        bits2 = random_bits(1000, seed=2)
+        second = rx.receive(7, tx.transmit(bits2), bits2, now=1.6e-6)
+        assert second.cached_lock
+        assert second.lock_latency_s < 1e-9
+
+    def test_payload_error_free_over_dispersive_channel(self):
+        rx = BurstReceiver()
+        tx = make_link()
+        for visit in range(4):
+            bits = random_bits(2000, seed=10 + visit)
+            report = rx.receive(1, tx.transmit(bits), bits,
+                                now=visit * 1.6e-6)
+        assert report.payload_ber == 0.0
+        assert rx.worst_ber(1) < 1e-3
+
+    def test_training_shrinks_with_cache(self):
+        rx = BurstReceiver()
+        tx = make_link()
+        lengths = []
+        for visit in range(4):
+            bits = random_bits(1500, seed=20 + visit)
+            lengths.append(rx.receive(2, tx.transmit(bits), bits,
+                                      now=visit * 1.6e-6).training_symbols)
+        assert lengths[0] > max(lengths[1:])
+
+    def test_amplitude_cache_normalizes_per_sender_power(self):
+        rx = BurstReceiver()
+        quiet = make_link(seed=4, amplitude=0.5)
+        loud = make_link(seed=5, amplitude=1.4)
+        for visit in range(3):
+            bits = random_bits(2000, seed=30 + visit)
+            report_q = rx.receive(3, quiet.transmit(bits), bits,
+                                  now=visit * 1.6e-6)
+            bits = random_bits(2000, seed=40 + visit)
+            report_l = rx.receive(4, loud.transmit(bits), bits,
+                                  now=visit * 1.6e-6 + 1e-7)
+        # Cached gains diverge to match the senders' power spread...
+        assert report_q.gain_applied > report_l.gain_applied
+        # ...and both end up error-free.
+        assert report_q.payload_ber == 0.0
+        assert report_l.payload_ber == 0.0
+
+    def test_invalidate_forces_cold_reacquisition(self):
+        rx = BurstReceiver()
+        tx = make_link()
+        bits = random_bits(1000, seed=50)
+        rx.receive(5, tx.transmit(bits), bits, now=0.0)
+        rx.invalidate(5)
+        bits = random_bits(1000, seed=51)
+        report = rx.receive(5, tx.transmit(bits), bits, now=1.6e-6)
+        assert not report.cached_lock
+
+    def test_burst_must_exceed_preamble(self):
+        rx = BurstReceiver()
+        with pytest.raises(ValueError):
+            rx.receive(0, np.zeros(10), np.zeros(4, dtype=int), now=0.0)
+
+    def test_worst_ber_empty(self):
+        assert BurstReceiver().worst_ber() == 0.0
+
+
+class TestComponents:
+    def test_preamble_validation(self):
+        with pytest.raises(ValueError):
+            make_preamble(4)
+
+    def test_preamble_uses_all_levels(self):
+        preamble = make_preamble(64)
+        assert len(set(preamble.tolist())) == 4
+
+    def test_transmitter_validation(self):
+        with pytest.raises(ValueError):
+            BurstTransmitter(PAM4Channel(), amplitude=0.0)
+
+
+class TestSignalLevelRig:
+    def test_signal_rig_matches_model_rig_conclusions(self):
+        from repro.testbed import PrototypeRig
+
+        report = PrototypeRig("v2", signal_level=True, bits_per_burst=400,
+                              seed=5).run(n_epochs=6, sync_epochs=500)
+        assert report.guardband_sufficient
+        assert report.error_free
+        assert report.bits_checked > 10_000
+
+    def test_signal_rig_odd_bits_rejected(self):
+        from repro.testbed import PrototypeRig
+
+        with pytest.raises(ValueError):
+            PrototypeRig("v2", signal_level=True, bits_per_burst=401)

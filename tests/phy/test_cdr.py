@@ -1,0 +1,100 @@
+"""Phase-caching CDR and amplitude caching (paper §4.5, §A.1)."""
+
+import random
+
+import pytest
+
+from repro.phy import PhaseCachingCDR
+from repro.phy.cdr import (
+    AmplitudeCache,
+    CACHED_LOCK_TIME,
+    COLD_ACQUISITION_TIME,
+    SYMBOL_TIME_25GBAUD,
+)
+from repro.units import MICROSECOND, NANOSECOND
+
+
+class TestPhaseCaching:
+    def test_first_contact_is_cold(self):
+        cdr = PhaseCachingCDR(rng=random.Random(1))
+        assert cdr.lock(sender=3, now=0.0) == COLD_ACQUISITION_TIME
+        assert cdr.cold_acquisitions == 1
+
+    def test_revisit_within_epoch_is_subnanosecond(self):
+        cdr = PhaseCachingCDR(rng=random.Random(1))
+        cdr.lock(3, now=0.0)
+        latency = cdr.lock(3, now=1.6 * MICROSECOND)
+        assert latency == CACHED_LOCK_TIME
+        assert latency < 1 * NANOSECOND
+
+    def test_stale_cache_forces_cold_acquisition(self):
+        cdr = PhaseCachingCDR(max_cache_age_s=100 * MICROSECOND,
+                              rng=random.Random(1))
+        cdr.lock(3, now=0.0)
+        assert cdr.lock(3, now=1.0) == COLD_ACQUISITION_TIME
+
+    def test_excess_drift_forces_cold_acquisition(self):
+        cdr = PhaseCachingCDR(drift_ppm=1000.0, max_cache_age_s=1.0,
+                              rng=random.Random(1))
+        cdr.lock(3, now=0.0)
+        # 1000 ppm x 1 ms >> quarter symbol.
+        assert cdr.lock(3, now=1e-3) == COLD_ACQUISITION_TIME
+
+    def test_per_sender_caches_are_independent(self):
+        cdr = PhaseCachingCDR(rng=random.Random(1))
+        cdr.lock(1, now=0.0)
+        assert cdr.lock(2, now=1e-6) == COLD_ACQUISITION_TIME
+        assert cdr.cache_size == 2
+
+    def test_invalidate_drops_entry(self):
+        cdr = PhaseCachingCDR(rng=random.Random(1))
+        cdr.lock(1, now=0.0)
+        cdr.invalidate(1)
+        assert cdr.lock(1, now=1e-6) == COLD_ACQUISITION_TIME
+
+    def test_cyclic_schedule_enables_caching(self):
+        # The key design property: the max revisit interval compatible
+        # with cached locking far exceeds a realistic epoch.
+        cdr = PhaseCachingCDR(drift_ppm=0.01)
+        assert cdr.max_epoch_for_cached_lock() > 100 * MICROSECOND
+
+    def test_residual_drift_linear_in_age(self):
+        cdr = PhaseCachingCDR(drift_ppm=1.0)
+        assert cdr.residual_drift(2.0) == pytest.approx(
+            2 * cdr.residual_drift(1.0)
+        )
+        with pytest.raises(ValueError):
+            cdr.residual_drift(-1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PhaseCachingCDR(symbol_time_s=0.0)
+        with pytest.raises(ValueError):
+            PhaseCachingCDR(lock_fraction=1.5)
+
+    def test_symbol_time_constant(self):
+        # 25 GBaud -> 40 ps symbols (§6).
+        assert SYMBOL_TIME_25GBAUD == pytest.approx(40e-12)
+
+
+class TestAmplitudeCache:
+    def test_unknown_sender_gets_nominal_gain(self):
+        cache = AmplitudeCache(nominal_gain=2.0)
+        assert cache.gain_for(7) == 2.0
+
+    def test_update_then_reuse(self):
+        cache = AmplitudeCache()
+        gain = cache.update(7, received_power_mw=0.5, target_power_mw=1.0)
+        assert gain == pytest.approx(2.0)
+        assert cache.gain_for(7) == pytest.approx(2.0)
+        assert cache.known_senders() == 1
+
+    def test_different_senders_different_gains(self):
+        cache = AmplitudeCache()
+        cache.update(1, 0.5, 1.0)
+        cache.update(2, 0.25, 1.0)
+        assert cache.gain_for(1) != cache.gain_for(2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AmplitudeCache().update(1, 0.0, 1.0)

@@ -1,0 +1,114 @@
+"""LMS equalization and tap caching (paper §6)."""
+
+import numpy as np
+import pytest
+
+from repro.phy.equalizer import LMSEqualizer, TapCache
+from repro.phy.pam4 import (
+    PAM4Channel,
+    bits_to_symbols,
+    measure_ber,
+    random_bits,
+    symbols_to_bits,
+)
+
+ISI = (1.0, 0.45, 0.2)
+
+
+def burst(seed, n_bits=8_000, snr_db=26.0, channel_seed=4):
+    bits = random_bits(n_bits, seed=seed)
+    symbols = bits_to_symbols(bits)
+    channel = PAM4Channel(snr_db=snr_db, impulse_response=ISI,
+                          seed=channel_seed)
+    return bits, symbols, channel.transmit(symbols)
+
+
+class TestLMS:
+    def test_equalizer_opens_the_eye(self):
+        bits, symbols, received = burst(seed=1)
+        raw_ber = measure_ber(bits, symbols_to_bits(received))
+        eq = LMSEqualizer(n_taps=9)
+        eq.train(received, symbols)
+        eq_ber = measure_ber(bits, symbols_to_bits(eq.equalize(received)))
+        assert raw_ber > 0.05
+        assert eq_ber < raw_ber / 50
+
+    def test_training_reduces_mse(self):
+        _bits, symbols, received = burst(seed=2)
+        eq = LMSEqualizer(n_taps=9)
+        before = eq.output_mse(received, symbols)
+        eq.train(received, symbols)
+        after = eq.output_mse(received, symbols)
+        assert after < before / 5
+
+    def test_training_reports_convergence_length(self):
+        _bits, symbols, received = burst(seed=3)
+        eq = LMSEqualizer(n_taps=9)
+        used = eq.train(received, symbols, target_mse=0.05)
+        assert 16 <= used < len(symbols)
+
+    def test_decision_directed_tracking(self):
+        bits, symbols, received = burst(seed=4)
+        eq = LMSEqualizer(n_taps=9)
+        eq.train(received[:2000], symbols[:2000])
+        out = eq.decision_directed(received[2000:])
+        ber = measure_ber(bits[4000:], symbols_to_bits(out))
+        assert ber < 0.01
+
+    def test_identity_on_clean_channel(self):
+        _bits, symbols, _ = burst(seed=5)
+        eq = LMSEqualizer(n_taps=5)
+        # Centre-spike initialisation passes a clean signal unchanged.
+        assert np.allclose(eq.equalize(symbols), symbols)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LMSEqualizer(n_taps=0)
+        with pytest.raises(ValueError):
+            LMSEqualizer(step=2.0)
+        with pytest.raises(ValueError):
+            LMSEqualizer(n_taps=3, taps=np.zeros(5))
+        eq = LMSEqualizer(n_taps=5)
+        with pytest.raises(ValueError):
+            eq.train(np.zeros(10), np.zeros(9))
+
+
+class TestTapCache:
+    def test_warm_start_trains_faster(self):
+        cache = TapCache(n_taps=9)
+        lengths = []
+        for visit in range(5):
+            _bits, symbols, received = burst(seed=10 + visit)
+            lengths.append(cache.train_burst(3, received, symbols))
+        # First visit is the cold outlier; subsequent warm starts are
+        # much shorter (the §6 fast-equalization property).
+        assert lengths[0] > 1.5 * max(lengths[1:])
+        assert cache.stats.speedup > 1.5
+        assert cache.stats.cold_trainings == 1
+        assert cache.stats.warm_trainings == 4
+
+    def test_per_sender_caches(self):
+        cache = TapCache(n_taps=9)
+        _b, symbols, received = burst(seed=20)
+        cache.train_burst(1, received, symbols)
+        assert cache.known_senders() == 1
+        _b, symbols2, received2 = burst(seed=21)
+        cache.train_burst(2, received2, symbols2)
+        assert cache.known_senders() == 2
+        assert cache.stats.cold_trainings == 2
+
+    def test_invalidate_forces_cold_training(self):
+        cache = TapCache(n_taps=9)
+        _b, symbols, received = burst(seed=22)
+        cache.train_burst(1, received, symbols)
+        cache.invalidate(1)
+        _b, symbols2, received2 = burst(seed=23)
+        cache.train_burst(1, received2, symbols2)
+        assert cache.stats.cold_trainings == 2
+
+    def test_empty_stats(self):
+        cache = TapCache()
+        assert cache.stats.mean_cold_symbols == 0.0
+        assert cache.stats.speedup == float("inf") or (
+            cache.stats.mean_cold_symbols == 0.0
+        )

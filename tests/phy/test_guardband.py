@@ -1,0 +1,79 @@
+"""Guardband budget (paper §4.5, §6, Fig 8c)."""
+
+import pytest
+
+from repro.phy import GuardbandBudget
+from repro.phy.guardband import RECONFIGURATION_TARGET_S
+from repro.units import NANOSECOND
+
+
+class TestSiriusV2Budget:
+    def test_total_is_3_84ns(self):
+        assert GuardbandBudget().total_s == pytest.approx(3.84 * NANOSECOND)
+
+    def test_meets_10ns_target(self):
+        assert GuardbandBudget().meets_target
+        assert RECONFIGURATION_TARGET_S == pytest.approx(10 * NANOSECOND)
+
+    def test_laser_component_is_912ps(self):
+        assert GuardbandBudget().laser_tuning_s == pytest.approx(912e-12)
+
+    def test_min_slot_is_38_4ns(self):
+        # §4.5: "allowing for a slot as low as 38 ns".
+        assert GuardbandBudget().min_slot_s() == pytest.approx(
+            38.4 * NANOSECOND
+        )
+
+
+class TestSiriusV1Budget:
+    def test_total_is_100ns(self):
+        assert GuardbandBudget.sirius_v1().total_s == pytest.approx(
+            100 * NANOSECOND
+        )
+
+    def test_v1_misses_the_target(self):
+        assert not GuardbandBudget.sirius_v1().meets_target
+
+
+class TestValidation:
+    def test_negative_components_rejected(self):
+        with pytest.raises(ValueError):
+            GuardbandBudget(laser_tuning_s=-1.0)
+
+    def test_min_slot_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            GuardbandBudget().min_slot_s(guard_fraction=0.0)
+
+
+class TestBurstWaveform:
+    def test_waveform_shape(self):
+        budget = GuardbandBudget()
+        wave = budget.burst_waveform(slot_duration_s=38.4 * NANOSECOND,
+                                     n_slots=3)
+        assert len(wave["times_s"]) == len(wave["intensity"]) == 600
+        assert wave["guardband_s"] == pytest.approx(budget.total_s)
+        # Plateau near 1 mid-slot, dip near 0 in the guardband.
+        assert max(wave["intensity"]) > 0.95
+        assert min(wave["intensity"]) < 0.1
+
+    def test_guardband_dips_repeat_per_slot(self):
+        budget = GuardbandBudget()
+        slot = 38.4 * NANOSECOND
+        wave = budget.burst_waveform(slot_duration_s=slot, n_slots=3,
+                                     samples_per_slot=400)
+        dips = [
+            t for t, level in zip(wave["times_s"], wave["intensity"])
+            if level < 0.1
+        ]
+        assert dips, "no guardband dip found"
+        # Dips clustered around the end of each slot.
+        assert any(t < slot for t in dips)
+        assert any(slot < t < 2 * slot for t in dips)
+
+    def test_slot_must_exceed_guardband(self):
+        with pytest.raises(ValueError):
+            GuardbandBudget().burst_waveform(slot_duration_s=1 * NANOSECOND)
+
+    def test_sample_validation(self):
+        with pytest.raises(ValueError):
+            GuardbandBudget().burst_waveform(100e-9, n_slots=0)

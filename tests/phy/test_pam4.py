@@ -1,0 +1,110 @@
+"""PAM-4 modulation and channel model (paper §6)."""
+
+import numpy as np
+import pytest
+
+from repro.phy.pam4 import (
+    LEVELS,
+    PAM4Channel,
+    bits_to_symbols,
+    measure_ber,
+    random_bits,
+    slice_to_indices,
+    symbols_to_bits,
+    theoretical_awgn_ber,
+)
+
+
+class TestMapping:
+    def test_roundtrip(self):
+        bits = random_bits(1000, seed=1)
+        assert np.array_equal(symbols_to_bits(bits_to_symbols(bits)), bits)
+
+    def test_levels(self):
+        symbols = bits_to_symbols([0, 0, 0, 1, 1, 1, 1, 0])
+        assert list(symbols) == [-3.0, -1.0, 1.0, 3.0]
+
+    def test_gray_adjacent_levels_differ_in_one_bit(self):
+        # The whole point of Gray coding: a one-level slicer error
+        # flips exactly one bit.
+        maps = {}
+        for msb in (0, 1):
+            for lsb in (0, 1):
+                level = bits_to_symbols([msb, lsb])[0]
+                maps[level] = (msb, lsb)
+        ordered = sorted(maps)
+        for a, b in zip(ordered, ordered[1:]):
+            diff = sum(x != y for x, y in zip(maps[a], maps[b]))
+            assert diff == 1
+
+    def test_slicer_thresholds(self):
+        samples = np.array([-5.0, -2.5, -0.5, 0.5, 2.5, 9.0])
+        assert list(slice_to_indices(samples)) == [0, 0, 1, 2, 3, 3]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bits_to_symbols([0, 1, 1])  # odd length
+        with pytest.raises(ValueError):
+            bits_to_symbols([0, 2])
+        with pytest.raises(ValueError):
+            random_bits(3)
+
+
+class TestChannel:
+    def test_noiseless_isi_free_channel_is_transparent(self):
+        channel = PAM4Channel(snr_db=200.0, seed=1)
+        symbols = bits_to_symbols(random_bits(200, seed=2))
+        received = channel.transmit(symbols)
+        assert np.allclose(received, symbols, atol=1e-6)
+
+    def test_awgn_ber_matches_theory(self):
+        # SNR chosen so ~1500 errors land in the sample: tight stats.
+        bits = random_bits(400_000, seed=3)
+        channel = PAM4Channel(snr_db=15.0, seed=4)
+        received = channel.transmit(bits_to_symbols(bits))
+        measured = measure_ber(bits, symbols_to_bits(received))
+        assert measured == pytest.approx(theoretical_awgn_ber(15.0),
+                                         rel=0.15)
+
+    def test_ber_decreases_with_snr(self):
+        bers = []
+        for snr in (14.0, 17.0, 20.0):
+            bits = random_bits(100_000, seed=5)
+            channel = PAM4Channel(snr_db=snr, seed=6)
+            received = channel.transmit(bits_to_symbols(bits))
+            bers.append(measure_ber(bits, symbols_to_bits(received)))
+        assert bers[0] > bers[1] > bers[2]
+
+    def test_isi_degrades_the_eye(self):
+        bits = random_bits(20_000, seed=7)
+        symbols = bits_to_symbols(bits)
+        clean = PAM4Channel(snr_db=26.0, seed=8)
+        dispersive = PAM4Channel(snr_db=26.0,
+                                 impulse_response=(1.0, 0.45, 0.2), seed=8)
+        ber_clean = measure_ber(bits, symbols_to_bits(clean.transmit(symbols)))
+        ber_isi = measure_ber(
+            bits, symbols_to_bits(dispersive.transmit(symbols))
+        )
+        assert ber_isi > 100 * max(ber_clean, 1e-9)
+
+    def test_noise_sigma_formula(self):
+        channel = PAM4Channel(snr_db=10.0)
+        assert channel.noise_sigma == pytest.approx(np.sqrt(0.5))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PAM4Channel(impulse_response=())
+        with pytest.raises(ValueError):
+            PAM4Channel(impulse_response=(0.0, 1.0))
+        with pytest.raises(ValueError):
+            measure_ber([0, 1], [0])
+        with pytest.raises(ValueError):
+            measure_ber([], [])
+
+
+class TestTheory:
+    def test_mean_symbol_power_is_five(self):
+        assert float(np.mean(LEVELS ** 2)) == 5.0
+
+    def test_theory_monotone(self):
+        assert theoretical_awgn_ber(15) > theoretical_awgn_ber(20)

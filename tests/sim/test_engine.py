@@ -1,0 +1,101 @@
+"""Discrete-event engine."""
+
+import pytest
+
+from repro.sim import EventLoop
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(3.0, lambda l, p: fired.append(p), "c")
+        loop.schedule(1.0, lambda l, p: fired.append(p), "a")
+        loop.schedule(2.0, lambda l, p: fired.append(p), "b")
+        loop.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_simultaneous_events_fire_in_schedule_order(self):
+        loop = EventLoop()
+        fired = []
+        for tag in ("first", "second", "third"):
+            loop.schedule(1.0, lambda l, p: fired.append(p), tag)
+        loop.run()
+        assert fired == ["first", "second", "third"]
+
+    def test_callbacks_can_schedule_more_events(self):
+        loop = EventLoop()
+        fired = []
+
+        def chain(l, depth):
+            fired.append(depth)
+            if depth < 3:
+                l.schedule(1.0, chain, depth + 1)
+
+        loop.schedule(0.0, chain, 0)
+        loop.run()
+        assert fired == [0, 1, 2, 3]
+        assert loop.now == pytest.approx(3.0)
+
+    def test_cannot_schedule_in_the_past(self):
+        loop = EventLoop()
+        loop.schedule(5.0, lambda l, p: None)
+        loop.run()
+        with pytest.raises(ValueError):
+            loop.schedule_at(1.0, lambda l, p: None)
+        with pytest.raises(ValueError):
+            loop.schedule(-1.0, lambda l, p: None)
+
+
+class TestControl:
+    def test_cancelled_events_are_skipped(self):
+        loop = EventLoop()
+        fired = []
+        event = loop.schedule(1.0, lambda l, p: fired.append("cancelled"))
+        loop.schedule(2.0, lambda l, p: fired.append("kept"))
+        event.cancel()
+        loop.run()
+        assert fired == ["kept"]
+
+    def test_run_until_stops_the_clock(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(1.0, lambda l, p: fired.append(1))
+        loop.schedule(10.0, lambda l, p: fired.append(2))
+        loop.run(until=5.0)
+        assert fired == [1]
+        assert loop.now == pytest.approx(5.0)
+        loop.run()
+        assert fired == [1, 2]
+
+    def test_max_events_budget(self):
+        loop = EventLoop()
+        fired = []
+        for k in range(5):
+            loop.schedule(float(k), lambda l, p: fired.append(p), k)
+        loop.run(max_events=2)
+        assert fired == [0, 1]
+
+    def test_len_counts_live_events(self):
+        loop = EventLoop()
+        e1 = loop.schedule(1.0, lambda l, p: None)
+        loop.schedule(2.0, lambda l, p: None)
+        e1.cancel()
+        assert len(loop) == 1
+
+    def test_peek_time_skips_cancelled(self):
+        loop = EventLoop()
+        e1 = loop.schedule(1.0, lambda l, p: None)
+        loop.schedule(2.0, lambda l, p: None)
+        e1.cancel()
+        assert loop.peek_time() == pytest.approx(2.0)
+
+    def test_reentrant_run_rejected(self):
+        loop = EventLoop()
+
+        def reenter(l, p):
+            with pytest.raises(RuntimeError):
+                l.run()
+
+        loop.schedule(0.0, reenter)
+        loop.run()

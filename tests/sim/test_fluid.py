@@ -1,0 +1,157 @@
+"""Max-min-fair fluid simulator: the ESN (Ideal) baselines (paper §7)."""
+
+import pytest
+
+from repro.core import Flow
+from repro.sim import FluidNetwork, pod_map_for
+
+
+def flow(fid, src, dst, size, arrival=0.0):
+    return Flow(fid, src, dst, size_bits=size, arrival_time=arrival)
+
+
+class TestAnalyticCases:
+    def test_lone_flow_gets_full_nic_rate(self):
+        net = FluidNetwork(4, 100e9, base_rtt_s=0.0)
+        result = net.run([flow(0, 0, 1, size=100e9)])
+        # 100 Gbit at 100 Gb/s: exactly one second.
+        assert result.completed_flows[0].fct == pytest.approx(1.0, rel=1e-6)
+
+    def test_two_flows_share_a_transmit_nic(self):
+        net = FluidNetwork(4, 100e9, base_rtt_s=0.0)
+        flows = [flow(0, 0, 1, size=100e9), flow(1, 0, 2, size=100e9)]
+        result = net.run(flows)
+        for f in result.completed_flows:
+            assert f.fct == pytest.approx(2.0, rel=1e-6)
+
+    def test_two_flows_share_a_receive_nic(self):
+        net = FluidNetwork(4, 100e9, base_rtt_s=0.0)
+        flows = [flow(0, 0, 2, size=100e9), flow(1, 1, 2, size=100e9)]
+        result = net.run(flows)
+        for f in result.completed_flows:
+            assert f.fct == pytest.approx(2.0, rel=1e-6)
+
+    def test_disjoint_flows_do_not_interact(self):
+        net = FluidNetwork(4, 100e9, base_rtt_s=0.0)
+        flows = [flow(0, 0, 1, size=100e9), flow(1, 2, 3, size=100e9)]
+        result = net.run(flows)
+        for f in result.completed_flows:
+            assert f.fct == pytest.approx(1.0, rel=1e-6)
+
+    def test_maxmin_not_just_equal_split(self):
+        # Flows: A: 0->1, B: 0->2, C: 3->2.  TX(0) is shared by A,B;
+        # RX(2) by B,C.  Max-min: B gets 50, then A and C top up to 50
+        # each... all equal here; use asymmetric: add D: 3->2 making
+        # RX(2) the tighter bottleneck for B.
+        net = FluidNetwork(6, 90e9, base_rtt_s=0.0)
+        flows = [
+            flow(0, 0, 1, size=90e9),   # A
+            flow(1, 0, 2, size=90e9),   # B
+            flow(2, 3, 2, size=90e9),   # C
+            flow(3, 4, 2, size=90e9),   # D
+        ]
+        result = net.run(flows)
+        fcts = {f.flow_id: f.fct for f in result.completed_flows}
+        # RX(2) splits 3 ways -> B, C, D at 30; A then gets 60 on TX(0).
+        assert fcts[2] == pytest.approx(3.0, rel=1e-6)
+        assert fcts[3] == pytest.approx(3.0, rel=1e-6)
+        assert fcts[0] < fcts[1]
+
+    def test_completion_releases_bandwidth(self):
+        net = FluidNetwork(4, 100e9, base_rtt_s=0.0)
+        flows = [flow(0, 0, 1, size=50e9), flow(1, 0, 2, size=100e9)]
+        result = net.run(flows)
+        fcts = {f.flow_id: f.fct for f in result.completed_flows}
+        # Both run at 50 until flow 0 finishes at t=1; flow 1 then runs
+        # at 100 for its remaining 50 Gbit: done at t=1.5.
+        assert fcts[0] == pytest.approx(1.0, rel=1e-6)
+        assert fcts[1] == pytest.approx(1.5, rel=1e-6)
+
+
+class TestPodConstraints:
+    def test_interpod_flows_squeeze_through_pod_uplink(self):
+        pods = pod_map_for(4, 2)
+        net = FluidNetwork(4, 100e9, pod_map=pods,
+                           pod_bandwidth_bps=50e9, base_rtt_s=0.0)
+        result = net.run([flow(0, 0, 2, size=50e9)])
+        # Pod uplink (50) binds before the NIC (100).
+        assert result.completed_flows[0].fct == pytest.approx(1.0, rel=1e-6)
+
+    def test_intrapod_flows_bypass_the_uplink(self):
+        pods = pod_map_for(4, 2)
+        net = FluidNetwork(4, 100e9, pod_map=pods,
+                           pod_bandwidth_bps=50e9, base_rtt_s=0.0)
+        result = net.run([flow(0, 0, 1, size=100e9)])  # same pod
+        assert result.completed_flows[0].fct == pytest.approx(1.0, rel=1e-6)
+
+    def test_pod_map_validation(self):
+        with pytest.raises(ValueError):
+            pod_map_for(10, 3)
+        with pytest.raises(ValueError):
+            FluidNetwork(4, 1e9, pod_map=[0, 0], pod_bandwidth_bps=1e9)
+        with pytest.raises(ValueError):
+            FluidNetwork(4, 1e9, pod_map=[0, 0, 1, 1])  # missing bandwidth
+
+
+class TestConservationAndMetrics:
+    def test_all_bits_delivered(self):
+        net = FluidNetwork(8, 10e9)
+        flows = [
+            flow(i, i % 8, (i + 3) % 8, size=1e6, arrival=i * 1e-5)
+            for i in range(20)
+        ]
+        result = net.run(flows)
+        assert result.delivered_bits == pytest.approx(result.offered_bits)
+        assert len(result.completed_flows) == 20
+
+    def test_base_rtt_added_to_fct(self):
+        fast = FluidNetwork(4, 100e9, base_rtt_s=0.0)
+        slow = FluidNetwork(4, 100e9, base_rtt_s=1e-3)
+        f1 = slow.run([flow(0, 0, 1, size=1e9)]).completed_flows[0].fct
+        f2 = fast.run([flow(0, 0, 1, size=1e9)]).completed_flows[0].fct
+        assert f1 - f2 == pytest.approx(1e-3, rel=1e-6)
+
+    def test_max_duration_truncates(self):
+        net = FluidNetwork(4, 1e9, base_rtt_s=0.0)
+        result = net.run([flow(0, 0, 1, size=1e9)], max_duration_s=0.5)
+        assert result.completed_flows == []
+        assert result.delivered_bits == pytest.approx(0.5e9)
+
+    def test_unsorted_arrivals_rejected(self):
+        net = FluidNetwork(4, 1e9)
+        flows = [flow(0, 0, 1, 100, arrival=1.0),
+                 flow(1, 0, 1, 100, arrival=0.0)]
+        with pytest.raises(ValueError):
+            net.run(flows)
+
+    def test_fct_percentile(self):
+        net = FluidNetwork(4, 1e9, base_rtt_s=0.0)
+        flows = [flow(i, 0, 1, size=1000 * (i + 1), arrival=float(i))
+                 for i in range(5)]
+        result = net.run(flows)
+        assert result.fct_percentile(99, max_size_bits=None) is not None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FluidNetwork(1, 1e9)
+        with pytest.raises(ValueError):
+            FluidNetwork(4, 0.0)
+        with pytest.raises(ValueError):
+            FluidNetwork(4, 1e9, base_rtt_s=-1.0)
+
+
+class TestOversubscriptionHurts:
+    def test_osub_has_lower_goodput_under_interpod_load(self):
+        flows = [
+            flow(i, i % 4, 4 + (i % 4), size=5e8, arrival=0.0)
+            for i in range(8)
+        ]
+        ideal = FluidNetwork(8, 1e9).run([
+            flow(i, i % 4, 4 + (i % 4), size=5e8, arrival=0.0)
+            for i in range(8)
+        ])
+        osub = FluidNetwork(
+            8, 1e9, pod_map=pod_map_for(8, 4), pod_bandwidth_bps=4e9 / 3,
+        ).run(flows)
+        assert osub.duration_s > ideal.duration_s
+        assert osub.normalized_goodput < ideal.normalized_goodput

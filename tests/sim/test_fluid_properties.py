@@ -1,0 +1,101 @@
+"""Property-based tests of the max-min fluid allocator.
+
+Invariants of any correct max-min fair allocation:
+
+* feasibility — no resource is oversubscribed;
+* non-starvation — every active flow gets a positive rate;
+* max-min optimality — a flow's rate can only be below another's if
+  the smaller flow is bottlenecked (shares a saturated resource with
+  no slack);
+* work conservation — every flow is bottlenecked somewhere.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cell import Flow
+from repro.sim.fluid import FluidNetwork
+
+CAPACITY = 100.0
+
+
+@st.composite
+def flow_sets(draw):
+    n_nodes = draw(st.integers(2, 8))
+    n_flows = draw(st.integers(1, 14))
+    flows = {}
+    for fid in range(n_flows):
+        src = draw(st.integers(0, n_nodes - 1))
+        offset = draw(st.integers(1, n_nodes - 1))
+        flows[fid] = Flow(fid, src, (src + offset) % n_nodes,
+                          size_bits=1000, arrival_time=0.0)
+    return n_nodes, flows
+
+
+def allocate(n_nodes, flows):
+    net = FluidNetwork(n_nodes, CAPACITY)
+    active = {
+        fid: net._flow_resources(flow) for fid, flow in flows.items()
+    }
+    return net, active, net.maxmin_rates(active)
+
+
+@settings(max_examples=80, deadline=None)
+@given(data=flow_sets())
+def test_feasible_and_non_starving(data):
+    n_nodes, flows = data
+    _net, active, rates = allocate(n_nodes, flows)
+    usage = {}
+    for fid, resources in active.items():
+        assert rates[fid] > 0.0, "max-min never starves a flow"
+        for resource in resources:
+            usage[resource] = usage.get(resource, 0.0) + rates[fid]
+    for resource, used in usage.items():
+        assert used <= CAPACITY * (1 + 1e-6), resource
+
+
+@settings(max_examples=80, deadline=None)
+@given(data=flow_sets())
+def test_every_flow_is_bottlenecked(data):
+    """Work conservation: each flow touches at least one saturated
+    resource (otherwise its rate could be raised)."""
+    n_nodes, flows = data
+    _net, active, rates = allocate(n_nodes, flows)
+    usage = {}
+    for fid, resources in active.items():
+        for resource in resources:
+            usage[resource] = usage.get(resource, 0.0) + rates[fid]
+    for fid, resources in active.items():
+        saturated = any(
+            usage[resource] >= CAPACITY * (1 - 1e-6)
+            for resource in resources
+        )
+        assert saturated, f"flow {fid} has slack everywhere"
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=flow_sets())
+def test_maxmin_ordering(data):
+    """If flow A's rate < flow B's rate, A must share a saturated
+    resource with flows of rate <= A's (A is genuinely bottlenecked,
+    not merely unlucky)."""
+    n_nodes, flows = data
+    _net, active, rates = allocate(n_nodes, flows)
+    usage = {}
+    members = {}
+    for fid, resources in active.items():
+        for resource in resources:
+            usage[resource] = usage.get(resource, 0.0) + rates[fid]
+            members.setdefault(resource, []).append(fid)
+    for fid, resources in active.items():
+        bottlenecks = [
+            resource for resource in resources
+            if usage[resource] >= CAPACITY * (1 - 1e-6)
+        ]
+        assert bottlenecks
+        # On some bottleneck, this flow is among the maximum-rate flows
+        # (the defining property of max-min fairness).
+        assert any(
+            rates[fid] >= max(rates[other] for other in members[resource])
+            - 1e-6
+            for resource in bottlenecks
+        ), f"flow {fid} could steal from a larger flow"

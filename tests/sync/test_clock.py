@@ -1,0 +1,59 @@
+"""Drifting clock model."""
+
+import random
+
+import pytest
+
+from repro.sync import DriftingClock
+
+
+class TestDrift:
+    def test_phase_accumulates_with_frequency_error(self):
+        clock = DriftingClock(ppm_error=10.0, wander_ppm_per_s=0.0)
+        clock.advance(1.0)
+        assert clock.phase_s == pytest.approx(10e-6)
+
+    def test_perfect_clock_stays_put(self):
+        clock = DriftingClock(0.0, wander_ppm_per_s=0.0)
+        clock.advance(100.0)
+        assert clock.phase_s == 0.0
+
+    def test_wander_stays_within_bound(self):
+        clock = DriftingClock(0.0, wander_ppm_per_s=50.0, max_abs_ppm=10.0,
+                              rng=random.Random(1))
+        for _ in range(1000):
+            clock.advance(1.0)
+            assert abs(clock.ppm_error) <= 10.0
+
+    def test_negative_dt_rejected(self):
+        with pytest.raises(ValueError):
+            DriftingClock().advance(-1.0)
+
+    def test_initial_error_must_respect_bound(self):
+        with pytest.raises(ValueError):
+            DriftingClock(ppm_error=200.0, max_abs_ppm=100.0)
+
+
+class TestDiscipline:
+    def test_slew_adjusts_phase(self):
+        clock = DriftingClock(0.0, wander_ppm_per_s=0.0, phase_s=5e-12)
+        clock.slew_phase(-5e-12)
+        assert clock.phase_s == 0.0
+
+    def test_frequency_discipline_counteracts_error(self):
+        clock = DriftingClock(10.0, wander_ppm_per_s=0.0)
+        clock.adjust_frequency(-10.0)
+        assert clock.effective_ppm == pytest.approx(0.0)
+        clock.advance(1.0)
+        assert clock.phase_s == pytest.approx(0.0)
+
+    def test_dll_clamp_limits_byzantine_steps(self):
+        clock = DriftingClock(0.0, wander_ppm_per_s=0.0)
+        applied = clock.adjust_frequency(1000.0, max_step_ppm=5.0)
+        assert applied == 5.0
+        assert clock.discipline_ppm == 5.0
+
+    def test_offset_from(self):
+        a = DriftingClock(phase_s=7e-12)
+        b = DriftingClock(phase_s=2e-12)
+        assert a.offset_from(b) == pytest.approx(5e-12)

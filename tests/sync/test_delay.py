@@ -1,0 +1,74 @@
+"""Propagation-delay estimation and slot alignment (paper §A.2)."""
+
+import random
+
+import pytest
+
+from repro.sync import DelayEstimator, epoch_start_offsets, verify_slot_alignment
+from repro.units import PICOSECOND, fibre_delay
+
+
+class TestEstimation:
+    def test_estimate_close_to_truth(self):
+        estimator = DelayEstimator(timestamp_noise_s=2e-12,
+                                   rng=random.Random(1))
+        error = estimator.estimation_error(250.0, n_probes=64)
+        assert error < 2 * PICOSECOND
+
+    def test_averaging_reduces_error(self):
+        few = DelayEstimator(timestamp_noise_s=20e-12, rng=random.Random(2))
+        many = DelayEstimator(timestamp_noise_s=20e-12, rng=random.Random(2))
+        few_err = sum(few.estimation_error(100.0, 4) for _ in range(50))
+        many_err = sum(many.estimation_error(100.0, 256) for _ in range(50))
+        assert many_err < few_err
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DelayEstimator(timestamp_noise_s=-1.0)
+        with pytest.raises(ValueError):
+            DelayEstimator().measure(100.0, n_probes=0)
+
+
+class TestOffsets:
+    def test_far_nodes_start_earlier(self):
+        lengths = [10.0, 500.0]
+        offsets = epoch_start_offsets(lengths)
+        # offset is the wait after the earliest start: the far node (500m)
+        # waits 0, the near node waits the delay difference.
+        assert offsets[1] == 0.0
+        assert offsets[0] == pytest.approx(
+            fibre_delay(500.0) - fibre_delay(10.0)
+        )
+
+    def test_equal_lengths_zero_offsets(self):
+        offsets = epoch_start_offsets([100.0, 100.0, 100.0])
+        assert offsets == [0.0, 0.0, 0.0]
+
+    def test_alignment_exact_without_noise(self):
+        lengths = [5.0, 123.0, 456.0, 321.0]
+        offsets = epoch_start_offsets(lengths)
+        spread = verify_slot_alignment(lengths, offsets, tolerance_s=1e-15)
+        assert spread == pytest.approx(0.0, abs=1e-18)
+
+    def test_alignment_within_guard_budget_with_noise(self):
+        # §4.5 budgets tens of ps of sync error inside the guardband.
+        lengths = [random.Random(3).uniform(10, 500) for _ in range(16)]
+        estimator = DelayEstimator(timestamp_noise_s=2e-12,
+                                   rng=random.Random(4))
+        offsets = epoch_start_offsets(lengths, estimator, n_probes=128)
+        spread = verify_slot_alignment(lengths, offsets,
+                                       tolerance_s=10 * PICOSECOND)
+        assert spread < 10 * PICOSECOND
+
+    def test_misalignment_detected(self):
+        lengths = [10.0, 500.0]
+        with pytest.raises(AssertionError):
+            verify_slot_alignment(lengths, [0.0, 0.0], tolerance_s=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            epoch_start_offsets([])
+        with pytest.raises(ValueError):
+            verify_slot_alignment([1.0], [0.0, 0.0], 1e-9)
+        with pytest.raises(ValueError):
+            verify_slot_alignment([1.0], [0.0], 0.0)

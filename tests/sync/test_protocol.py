@@ -1,0 +1,97 @@
+"""Leader-rotation time synchronization (paper §4.4, §6)."""
+
+import pytest
+
+from repro.sync import SyncConfig, SyncProtocol
+from repro.sync.protocol import make_clock_ensemble
+from repro.units import PICOSECOND
+
+
+class TestAccuracy:
+    def test_two_nodes_within_5ps(self):
+        # §6: ±5 ps between two FPGAs over 24 h.
+        proto = SyncProtocol(make_clock_ensemble(2, seed=9))
+        result = proto.run(20_000, warmup_epochs=4_000)
+        assert result.max_abs_offset_s < 5 * PICOSECOND
+
+    def test_many_nodes_within_100ps(self):
+        # §4.4's requirement: sub-100 ps across all nodes.
+        proto = SyncProtocol(make_clock_ensemble(16, seed=2))
+        result = proto.run(10_000, warmup_epochs=3_000)
+        assert result.max_abs_offset_s < 100 * PICOSECOND
+
+    def test_undisciplined_clocks_drift_far_past_5ps(self):
+        clocks = make_clock_ensemble(2, seed=9)
+        for _ in range(10_000):
+            for clock in clocks:
+                clock.advance(1.6e-6)
+        assert abs(clocks[0].offset_from(clocks[1])) > 100 * PICOSECOND
+
+    def test_trace_collection(self):
+        proto = SyncProtocol(make_clock_ensemble(2, seed=1))
+        result = proto.run(500, warmup_epochs=100, trace=True)
+        assert len(result.offsets_trace_s) == 500
+        assert result.max_abs_offset_ps > 0
+
+
+class TestLeaderRotation:
+    def test_round_robin(self):
+        proto = SyncProtocol(make_clock_ensemble(4),
+                             SyncConfig(rotation_epochs=2))
+        leaders = [proto.leader_at(e) for e in range(8)]
+        assert leaders == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_failed_leader_skipped(self):
+        proto = SyncProtocol(make_clock_ensemble(4),
+                             SyncConfig(rotation_epochs=1))
+        proto.fail_node(1)
+        assert proto.leader_at(1) == 2
+
+    def test_sync_survives_leader_failure(self):
+        # §4.4: a failed leader is replaced within microseconds with no
+        # noticeable drift.
+        proto = SyncProtocol(make_clock_ensemble(4, seed=3))
+        proto.run(5_000, warmup_epochs=2_000)
+        proto.fail_node(0)
+        result = proto.run(5_000, warmup_epochs=0)
+        assert result.max_abs_offset_s < 20 * PICOSECOND
+
+    def test_recovery(self):
+        proto = SyncProtocol(make_clock_ensemble(4))
+        proto.fail_node(2)
+        proto.recover_node(2)
+        assert proto.leader_at(2 * proto.config.rotation_epochs) == 2
+
+    def test_all_failed_raises(self):
+        proto = SyncProtocol(make_clock_ensemble(2))
+        proto.fail_node(0)
+        with pytest.raises(RuntimeError):
+            proto.fail_node(1)
+
+
+class TestValidation:
+    def test_config_bounds(self):
+        with pytest.raises(ValueError):
+            SyncConfig(epoch_s=0.0)
+        with pytest.raises(ValueError):
+            SyncConfig(rotation_epochs=0)
+        with pytest.raises(ValueError):
+            SyncConfig(phase_gain=0.0)
+        with pytest.raises(ValueError):
+            SyncConfig(freq_gain=-1.0)
+
+    def test_needs_two_clocks(self):
+        with pytest.raises(ValueError):
+            SyncProtocol(make_clock_ensemble(1))
+
+    def test_run_validation(self):
+        proto = SyncProtocol(make_clock_ensemble(2))
+        with pytest.raises(ValueError):
+            proto.run(0)
+        with pytest.raises(ValueError):
+            proto.leader_at(-1)
+
+    def test_node_bounds(self):
+        proto = SyncProtocol(make_clock_ensemble(2))
+        with pytest.raises(ValueError):
+            proto.fail_node(5)

@@ -1,0 +1,74 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestSimulate:
+    def test_basic_run(self, capsys):
+        assert main([
+            "simulate", "--nodes", "8", "--grating-ports", "4",
+            "--flows", "50", "--load", "0.3", "--seed", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "completed flows   : 50/50" in out
+        assert "goodput" in out
+
+    def test_ideal_flag(self, capsys):
+        assert main([
+            "simulate", "--nodes", "8", "--grating-ports", "4",
+            "--flows", "30", "--ideal",
+        ]) == 0
+        assert "SIRIUS (IDEAL)" in capsys.readouterr().out
+
+    def test_telemetry_sparkline(self, capsys):
+        assert main([
+            "simulate", "--nodes", "8", "--grating-ports", "4",
+            "--flows", "30", "--telemetry",
+        ]) == 0
+        assert "backlog" in capsys.readouterr().out
+
+
+class TestCompare:
+    def test_all_systems_reported(self, capsys):
+        assert main([
+            "compare", "--nodes", "8", "--grating-ports", "4",
+            "--flows", "40", "--loads", "0.5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "ESN (Ideal)" in out
+        assert "ESN-OSUB (Ideal)" in out
+        assert "Sirius" in out
+
+
+class TestAnalyses:
+    def test_power(self, capsys):
+        assert main(["power", "--laser-overheads", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "23.0%" in out
+
+    def test_cost(self, capsys):
+        assert main(["cost", "--grating-fractions", "0.25"]) == 0
+        assert "26.8%" in capsys.readouterr().out
+
+    def test_sync(self, capsys):
+        assert main(["sync", "--nodes", "4", "--epochs", "3000"]) == 0
+        assert "ps" in capsys.readouterr().out
+
+    def test_prototype(self, capsys):
+        assert main(["prototype", "--generation", "v1",
+                     "--epochs", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Sirius v1" in out
+        assert "error-free   : True" in out
+
+
+class TestParser:
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["teleport"])

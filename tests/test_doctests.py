@@ -1,0 +1,35 @@
+"""Run the doctest examples embedded in docstrings.
+
+Docstring examples double as micro-specifications of the paper's
+published numbers (7 dBm launch power, 92 ns cells, 3.84 ns guardband,
+Fig 2a layer counts); this keeps them honest.
+"""
+
+import doctest
+
+import pytest
+
+import repro.core.schedule
+import repro.optics.link_budget
+import repro.phy.guardband
+import repro.topology.clos
+import repro.units
+import repro.workload.packets
+
+MODULES = (
+    repro.units,
+    repro.optics.link_budget,
+    repro.topology.clos,
+    repro.workload.packets,
+    repro.phy.guardband,
+    repro.core.schedule,
+)
+
+
+@pytest.mark.parametrize("module", MODULES,
+                         ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, (
+        f"{module.__name__}: {results.failed} doctest failures"
+    )

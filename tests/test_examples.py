@@ -1,0 +1,45 @@
+"""Smoke-run the example scripts (they must never rot).
+
+The two heavyweight examples (datacenter_comparison, scale_out) are
+exercised by the benchmark suite; the fast ones run here.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = (
+    "quickstart.py",
+    "prototype_demo.py",
+    "design_space.py",
+    "failure_resilience.py",
+)
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs_clean(script, capsys):
+    path = EXAMPLES / script
+    assert path.exists(), f"missing example {script}"
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+
+
+def test_quickstart_reports_core_metrics(capsys):
+    runpy.run_path(str(EXAMPLES / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "normalized goodput" in out
+    assert "short-flow FCT p99" in out
+    assert "1000/1000" in out
+
+
+def test_failure_example_reports_no_blackholing(capsys):
+    runpy.run_path(str(EXAMPLES / "failure_resilience.py"),
+                   run_name="__main__")
+    out = capsys.readouterr().out
+    assert "retransmitted by their sources" in out
+    assert "100%" in out  # schedule adjustment regains full bandwidth

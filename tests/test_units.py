@@ -1,0 +1,96 @@
+"""Unit-conversion helpers."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestPowerConversions:
+    def test_zero_dbm_is_one_milliwatt(self):
+        assert units.dbm_to_mw(0.0) == pytest.approx(1.0)
+
+    def test_receiver_sensitivity_anchor(self):
+        # -8 dBm is 0.16 mW, the paper's receiver sensitivity.
+        assert units.dbm_to_mw(-8.0) == pytest.approx(0.158, abs=0.002)
+
+    def test_sixteen_dbm_is_forty_milliwatts(self):
+        assert units.dbm_to_mw(16.0) == pytest.approx(39.8, abs=0.2)
+
+    def test_roundtrip(self):
+        for dbm in (-20.0, -8.0, 0.0, 7.0, 16.0):
+            assert units.mw_to_dbm(units.dbm_to_mw(dbm)) == pytest.approx(dbm)
+
+    def test_mw_to_dbm_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.mw_to_dbm(0.0)
+        with pytest.raises(ValueError):
+            units.mw_to_dbm(-1.0)
+
+    def test_db_ratio(self):
+        assert units.db_ratio(10.0) == pytest.approx(10.0)
+        assert units.db_ratio(2.0) == pytest.approx(3.0103, abs=1e-3)
+
+    def test_db_ratio_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.db_ratio(0.0)
+
+    def test_db_to_ratio_inverts(self):
+        assert units.db_to_ratio(units.db_ratio(7.0)) == pytest.approx(7.0)
+
+
+class TestFibreDelay:
+    def test_500m_detour_is_about_2_5_us(self):
+        # §4.2: a 500 m detour adds up to ~2.5 us of propagation latency.
+        assert units.fibre_delay(500.0) == pytest.approx(2.5e-6, rel=0.03)
+
+    def test_zero_distance(self):
+        assert units.fibre_delay(0.0) == 0.0
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            units.fibre_delay(-1.0)
+
+
+class TestTransmissionTime:
+    def test_cell_on_50g(self):
+        # 4500 bits at 50 Gb/s is the paper's 90 ns cell transmission.
+        assert units.transmission_time(4500, 50e9) == pytest.approx(90e-9)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            units.transmission_time(100, 0.0)
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            units.transmission_time(-1, 1e9)
+
+
+class TestWavelengthGrid:
+    def test_centre_channel_near_1550(self):
+        wl = units.wavelength_nm(56, 112)
+        assert abs(wl - 1550.0) < 1.0
+
+    def test_channels_strictly_increasing_in_wavelength(self):
+        wavelengths = [units.wavelength_nm(ch, 112) for ch in range(112)]
+        assert wavelengths == sorted(wavelengths)
+        assert len(set(wavelengths)) == 112
+
+    def test_span_covers_c_band(self):
+        # 112 channels at 50 GHz span ~44 nm around 1550 nm (C-band-ish).
+        lo = units.wavelength_nm(0, 112)
+        hi = units.wavelength_nm(111, 112)
+        assert 30 < hi - lo < 60
+
+    def test_adjacent_spacing_near_0_4_nm(self):
+        # 50 GHz at 1550 nm is ~0.4 nm.
+        a = units.wavelength_nm(50, 112)
+        b = units.wavelength_nm(51, 112)
+        assert b - a == pytest.approx(0.4, abs=0.05)
+
+    def test_out_of_range_channel_rejected(self):
+        with pytest.raises(ValueError):
+            units.wavelength_nm(112, 112)
+        with pytest.raises(ValueError):
+            units.wavelength_nm(-1, 112)

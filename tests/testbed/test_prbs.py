@@ -1,0 +1,78 @@
+"""PRBS generation and checking."""
+
+import pytest
+
+from repro.testbed import PRBSChecker, PRBSGenerator
+
+
+class TestGenerator:
+    def test_prbs7_period_is_127(self):
+        gen = PRBSGenerator(7)
+        sequence = gen.bits(127)
+        assert gen.bits(127) == sequence  # repeats exactly
+        assert gen.period == 127
+
+    def test_sequence_is_balanced(self):
+        # A maximal-length LFSR emits 2^(n-1) ones per period.
+        ones = sum(PRBSGenerator(7).bits(127))
+        assert ones == 64
+
+    def test_all_nonzero_states_visited(self):
+        gen = PRBSGenerator(7)
+        states = set()
+        for _ in range(127):
+            gen.next_bit()
+            states.add(gen._state)
+        assert len(states) == 127
+
+    def test_reset(self):
+        gen = PRBSGenerator(7, seed=3)
+        first = gen.bits(32)
+        gen.reset()
+        assert gen.bits(32) == first
+
+    def test_different_seeds_shift_sequence(self):
+        a = PRBSGenerator(7, seed=1).bits(20)
+        b = PRBSGenerator(7, seed=2).bits(20)
+        assert a != b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PRBSGenerator(8)  # unsupported order
+        with pytest.raises(ValueError):
+            PRBSGenerator(7, seed=0)
+        with pytest.raises(ValueError):
+            PRBSGenerator(7, seed=1 << 7)
+        with pytest.raises(ValueError):
+            PRBSGenerator(7).bits(-1)
+
+
+class TestChecker:
+    def test_clean_channel_no_errors(self):
+        gen = PRBSGenerator(7, seed=5)
+        checker = PRBSChecker(7, seed=5)
+        assert checker.check(gen.bits(500)) == 0
+        assert checker.ber == 0.0
+        assert checker.error_free()
+
+    def test_detects_every_flip(self):
+        gen = PRBSGenerator(7, seed=5)
+        checker = PRBSChecker(7, seed=5)
+        bits = gen.bits(100)
+        bits[10] ^= 1
+        bits[90] ^= 1
+        assert checker.check(bits) == 2
+        assert checker.ber == pytest.approx(0.02)
+        assert not checker.error_free()
+
+    def test_accumulates_across_chunks(self):
+        gen = PRBSGenerator(7, seed=5)
+        checker = PRBSChecker(7, seed=5)
+        checker.check(gen.bits(50))
+        checker.check(gen.bits(50))
+        assert checker.bits_checked == 100
+
+    def test_rejects_non_bits(self):
+        checker = PRBSChecker(7)
+        with pytest.raises(ValueError):
+            checker.check([0, 1, 2])

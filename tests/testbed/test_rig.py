@@ -1,0 +1,65 @@
+"""Four-node prototype rig (paper §6)."""
+
+import pytest
+
+from repro.testbed import PrototypeRig
+from repro.units import NANOSECOND, PICOSECOND
+
+
+class TestSiriusV2:
+    def setup_method(self):
+        self.report = PrototypeRig("v2", seed=5).run(
+            n_epochs=10, sync_epochs=3000
+        )
+
+    def test_guardband_is_3_84ns(self):
+        assert self.report.guardband_s == pytest.approx(3.84 * NANOSECOND)
+
+    def test_reconfiguration_fits_guardband(self):
+        assert self.report.guardband_sufficient
+        assert self.report.worst_reconfiguration_s < self.report.guardband_s
+
+    def test_worst_tuning_below_912ps(self):
+        assert self.report.worst_tuning_s <= 912 * PICOSECOND + 1e-15
+
+    def test_error_free_operation(self):
+        assert self.report.error_free
+        assert self.report.bits_checked > 10_000
+
+    def test_sync_within_5ps(self):
+        assert self.report.sync_max_offset_s < 5 * PICOSECOND
+
+
+class TestSiriusV1:
+    def setup_method(self):
+        self.report = PrototypeRig("v1", seed=5).run(
+            n_epochs=10, sync_epochs=2000
+        )
+
+    def test_guardband_is_100ns(self):
+        assert self.report.guardband_s == pytest.approx(100 * NANOSECOND)
+
+    def test_reconfiguration_fits_guardband(self):
+        assert self.report.guardband_sufficient
+
+    def test_error_free_operation(self):
+        assert self.report.error_free
+
+    def test_v2_reconfigures_faster_than_v1(self):
+        v2 = PrototypeRig("v2", seed=5).run(n_epochs=5, sync_epochs=500)
+        assert (v2.worst_reconfiguration_s
+                < self.report.worst_reconfiguration_s)
+
+
+class TestValidation:
+    def test_unknown_generation(self):
+        with pytest.raises(ValueError):
+            PrototypeRig("v3")
+
+    def test_too_few_nodes(self):
+        with pytest.raises(ValueError):
+            PrototypeRig("v2", n_nodes=1)
+
+    def test_epoch_validation(self):
+        with pytest.raises(ValueError):
+            PrototypeRig("v2").run(n_epochs=0)

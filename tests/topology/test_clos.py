@@ -1,0 +1,103 @@
+"""Folded-Clos ESN baseline topology (paper §2, §7)."""
+
+import pytest
+
+from repro.topology import ClosTopology
+from repro.topology.clos import layers_required
+from repro.units import GBPS
+
+
+class TestLayersRequired:
+    def test_fig2a_scale_axis(self):
+        # Fig 2a: 2(0), 64(1), 2K(2), 65K(3), 2M(4) with 64-port switches.
+        assert layers_required(2, 64) == 0
+        assert layers_required(64, 64) == 1
+        assert layers_required(2048, 64) == 2
+        assert layers_required(65536, 64) == 3
+        assert layers_required(2_097_152, 64) == 4
+
+    def test_boundaries(self):
+        assert layers_required(65, 64) == 2
+        assert layers_required(2049, 64) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            layers_required(1, 64)
+        with pytest.raises(ValueError):
+            layers_required(100, 63)  # odd radix
+
+
+class TestStructure:
+    def test_path_lengths(self):
+        topo = ClosTopology(4096, radix=64)
+        assert topo.n_layers == 3
+        assert topo.max_switches_on_path == 5
+        assert topo.max_transceivers_on_path == 6  # the paper's "up to six"
+
+    def test_direct_connection(self):
+        topo = ClosTopology(2, radix=64)
+        assert topo.n_layers == 0
+        assert topo.switch_count() == 0
+        assert topo.transceiver_count() == 2
+
+    def test_single_switch_network(self):
+        topo = ClosTopology(64, radix=64)
+        assert topo.switch_count() == 1
+        assert topo.transceiver_count() == 2 * 64
+
+    def test_switch_counts_consistent(self):
+        topo = ClosTopology(4096, radix=64)
+        counts = topo.tier_switch_counts()
+        assert len(counts) == 3
+        assert sum(counts) == topo.switch_count()
+        # Bottom tier: 4096 nodes / 32 down-ports.
+        assert counts[0] == 128
+        # Top tier uses all 64 ports downward.
+        assert counts[-1] == 64
+
+    def test_oversubscription_reduces_upper_tiers(self):
+        full = ClosTopology(4096, radix=64)
+        osub = ClosTopology(4096, radix=64, oversubscription=3.0)
+        assert osub.switch_count() < full.switch_count()
+        assert osub.tier_switch_counts()[0] == full.tier_switch_counts()[0]
+        assert osub.transceiver_count() < full.transceiver_count()
+
+    def test_oversubscription_reduces_bisection(self):
+        full = ClosTopology(4096, radix=64)
+        osub = ClosTopology(4096, radix=64, oversubscription=3.0)
+        assert osub.bisection_bandwidth_bps == pytest.approx(
+            full.bisection_bandwidth_bps / 3.0
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClosTopology(1)
+        with pytest.raises(ValueError):
+            ClosTopology(100, radix=7)
+        with pytest.raises(ValueError):
+            ClosTopology(100, oversubscription=0.5)
+
+
+class TestPods:
+    def test_small_network_single_pod(self):
+        topo = ClosTopology(64, radix=64)
+        pods = topo.pods()
+        assert len(pods) == 1
+        assert list(pods[0]) == list(range(64))
+
+    def test_three_tier_pod_size(self):
+        topo = ClosTopology(4096, radix=64)
+        pods = topo.pods()
+        # Pod = 32 x 32 nodes under one aggregation subtree.
+        assert len(pods[0]) == 1024
+        assert len(pods) == 4
+        covered = sorted(n for pod in pods.values() for n in pod)
+        assert covered == list(range(4096))
+
+    def test_pod_uplink_bandwidth_shrinks_with_oversubscription(self):
+        full = ClosTopology(4096, radix=64, port_rate_bps=400 * GBPS)
+        osub = ClosTopology(4096, radix=64, port_rate_bps=400 * GBPS,
+                            oversubscription=3.0)
+        assert osub.pod_uplink_bandwidth_bps() == pytest.approx(
+            full.pod_uplink_bandwidth_bps() / 3.0
+        )

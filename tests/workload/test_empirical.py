@@ -1,0 +1,99 @@
+"""Empirical flow-size distributions ([1] web search, [31] data mining)."""
+
+import statistics
+
+import pytest
+
+from repro.workload.empirical import (
+    DATA_MINING_CDF,
+    WEB_SEARCH_CDF,
+    EmpiricalSizeSampler,
+    empirical_flows,
+)
+
+
+class TestSampler:
+    def test_samples_respect_cdf_knots(self):
+        sampler = EmpiricalSizeSampler(WEB_SEARCH_CDF, seed=1)
+        sizes = [sampler.sample_bytes() for _ in range(20_000)]
+        below_6k = sum(1 for s in sizes if s <= 6_000) / len(sizes)
+        below_133k = sum(1 for s in sizes if s <= 133_000) / len(sizes)
+        assert below_6k == pytest.approx(0.15, abs=0.02)
+        assert below_133k == pytest.approx(0.80, abs=0.02)
+
+    def test_data_mining_is_mice_heavy(self):
+        # VL2: half the flows are ~100 B mice.
+        sampler = EmpiricalSizeSampler(DATA_MINING_CDF, seed=2)
+        sizes = [sampler.sample_bytes() for _ in range(20_000)]
+        median = statistics.median(sizes)
+        assert median <= 150
+
+    def test_heavy_tail_carries_most_bytes(self):
+        sampler = EmpiricalSizeSampler(DATA_MINING_CDF, seed=3)
+        sizes = sorted((sampler.sample_bytes() for _ in range(20_000)),
+                       reverse=True)
+        top_5pct = sum(sizes[: len(sizes) // 20])
+        assert top_5pct / sum(sizes) > 0.5
+
+    def test_analytic_mean_matches_monte_carlo(self):
+        for cdf in (WEB_SEARCH_CDF, DATA_MINING_CDF):
+            sampler = EmpiricalSizeSampler(cdf, seed=4)
+            assert sampler.mean_bytes(60_000) == pytest.approx(
+                sampler.analytic_mean_bytes(), rel=0.15
+            )
+
+    def test_sizes_bounded_by_distribution_extremes(self):
+        sampler = EmpiricalSizeSampler(WEB_SEARCH_CDF, seed=5)
+        for _ in range(5_000):
+            size = sampler.sample_bytes()
+            assert 40 <= size <= 20_000_000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EmpiricalSizeSampler([(100, 1.0)])  # one knot
+        with pytest.raises(ValueError):
+            EmpiricalSizeSampler([(100, 0.5), (50, 1.0)])  # unsorted sizes
+        with pytest.raises(ValueError):
+            EmpiricalSizeSampler([(100, 0.5), (200, 0.9)])  # ends < 1
+        with pytest.raises(ValueError):
+            EmpiricalSizeSampler([(0, 0.5), (200, 1.0)])  # zero size
+
+
+class TestFlowGeneration:
+    def test_flows_sorted_and_valid(self):
+        flows = empirical_flows("web_search", 500, n_nodes=16, load=0.5,
+                                node_bandwidth_bps=100e9)
+        arrivals = [f.arrival_time for f in flows]
+        assert arrivals == sorted(arrivals)
+        for flow in flows:
+            assert flow.src != flow.dst
+            assert flow.size_bits >= 8
+
+    def test_load_calibration(self):
+        flows = empirical_flows("data_mining", 20_000, n_nodes=16,
+                                load=0.5, node_bandwidth_bps=100e9,
+                                seed=7)
+        window = flows[-1].arrival_time - flows[0].arrival_time
+        offered = sum(f.size_bits for f in flows) / window
+        assert offered == pytest.approx(0.5 * 16 * 100e9, rel=0.25)
+
+    def test_runs_through_the_simulator(self):
+        from repro import SiriusNetwork
+
+        net = SiriusNetwork(16, 4, uplink_multiplier=1.0, seed=1)
+        flows = empirical_flows(
+            "web_search", 60, n_nodes=16, load=0.3,
+            node_bandwidth_bps=net.reference_node_bandwidth_bps,
+        )
+        result = net.run(flows)
+        assert result.completion_fraction == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            empirical_flows("ad_serving", 10, 8, 0.5, 1e9)
+        with pytest.raises(ValueError):
+            empirical_flows("web_search", 0, 8, 0.5, 1e9)
+        with pytest.raises(ValueError):
+            empirical_flows("web_search", 10, 1, 0.5, 1e9)
+        with pytest.raises(ValueError):
+            empirical_flows("web_search", 10, 8, 0.0, 1e9)

@@ -1,0 +1,141 @@
+"""Pareto/Poisson flow workload (paper §7)."""
+
+import statistics
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.units import BYTE, KILOBYTE
+from repro.workload import FlowWorkload, WorkloadConfig, load_to_rate
+from repro.workload.flows import pareto_scale_for_mean
+
+
+class TestParetoCalibration:
+    def test_untruncated_scale_formula(self):
+        # mean = shape * xm / (shape - 1).
+        xm = pareto_scale_for_mean(100.0, 1.05)
+        assert xm == pytest.approx(100.0 * 0.05 / 1.05)
+
+    def test_empirical_mean_close_to_target(self):
+        config = WorkloadConfig(
+            n_nodes=8, load=0.5, node_bandwidth_bps=1e9,
+            mean_flow_bits=100 * KILOBYTE, truncation_bits=10 * 8e6,
+            seed=3,
+        )
+        workload = FlowWorkload(config)
+        mean = workload.empirical_mean_bits(50_000)
+        assert mean == pytest.approx(100 * KILOBYTE, rel=0.15)
+
+    def test_paper_median_anchor_46_bytes(self):
+        # §7 (Fig 13): mean 512 B Pareto(1.05) has a ~46 B median.
+        config = WorkloadConfig(
+            n_nodes=8, load=0.5, node_bandwidth_bps=1e9,
+            mean_flow_bits=512 * BYTE, min_flow_bits=1, seed=4,
+        )
+        workload = FlowWorkload(config)
+        sizes = [workload.sample_size_bits() for _ in range(40_000)]
+        median_bytes = statistics.median(sizes) / 8
+        assert median_bytes == pytest.approx(46.0, rel=0.12)
+
+    def test_heavy_tail_most_bytes_in_few_flows(self):
+        config = WorkloadConfig(n_nodes=8, load=0.5,
+                                node_bandwidth_bps=1e9, seed=5)
+        workload = FlowWorkload(config)
+        sizes = sorted(
+            (workload.sample_size_bits() for _ in range(20_000)),
+            reverse=True,
+        )
+        top_decile = sum(sizes[: len(sizes) // 10])
+        assert top_decile / sum(sizes) > 0.5
+
+    @settings(max_examples=30, deadline=None)
+    @given(mean=st.floats(1e3, 1e7), factor=st.floats(2.0, 100.0))
+    def test_truncated_solver_hits_target(self, mean, factor):
+        from math import isclose
+
+        truncation = mean * factor
+        xm = pareto_scale_for_mean(mean, 1.05, truncation)
+        # Recompute the truncated mean at the solved xm.
+        shape = 1.05
+        z = 1.0 - (xm / truncation) ** shape
+        numerator = shape * xm ** shape * (
+            truncation ** (1 - shape) - xm ** (1 - shape)
+        ) / (1 - shape)
+        assert isclose(numerator / z, mean, rel_tol=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pareto_scale_for_mean(-1.0, 1.05)
+        with pytest.raises(ValueError):
+            pareto_scale_for_mean(100.0, 1.0)
+        with pytest.raises(ValueError):
+            pareto_scale_for_mean(100.0, 1.05, truncation=50.0)
+
+
+class TestLoadDefinition:
+    def test_load_to_rate_inverts_definition(self):
+        # L = F / (R N tau); rate = 1/tau.
+        rate = load_to_rate(0.5, n_nodes=16, node_bandwidth_bps=200e9,
+                            mean_flow_bits=800_000)
+        load = 800_000 * rate / (200e9 * 16)
+        assert load == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            load_to_rate(0.0, 16, 1e9, 1e5)
+        with pytest.raises(ValueError):
+            load_to_rate(0.5, 1, 1e9, 1e5)
+        with pytest.raises(ValueError):
+            load_to_rate(0.5, 16, 0.0, 1e5)
+
+
+class TestGeneration:
+    def make(self, **kwargs):
+        defaults = dict(n_nodes=16, load=0.5, node_bandwidth_bps=1e9,
+                        seed=1)
+        defaults.update(kwargs)
+        return FlowWorkload(WorkloadConfig(**defaults))
+
+    def test_flows_sorted_by_arrival(self):
+        flows = self.make().generate(500)
+        arrivals = [f.arrival_time for f in flows]
+        assert arrivals == sorted(arrivals)
+
+    def test_endpoints_valid_and_distinct(self):
+        flows = self.make().generate(500)
+        for flow in flows:
+            assert 0 <= flow.src < 16
+            assert 0 <= flow.dst < 16
+            assert flow.src != flow.dst
+
+    def test_endpoints_cover_all_nodes(self):
+        flows = self.make().generate(2000)
+        assert {f.src for f in flows} == set(range(16))
+        assert {f.dst for f in flows} == set(range(16))
+
+    def test_mean_interarrival_matches_load(self):
+        workload = self.make(load=1.0, mean_flow_bits=1e6)
+        flows = workload.generate(20_000)
+        window = flows[-1].arrival_time - flows[0].arrival_time
+        empirical_rate = (len(flows) - 1) / window
+        assert empirical_rate == pytest.approx(workload.arrival_rate,
+                                               rel=0.05)
+
+    def test_deterministic_given_seed(self):
+        a = self.make(seed=9).generate(100)
+        b = self.make(seed=9).generate(100)
+        assert [(f.src, f.dst, f.size_bits) for f in a] == (
+            [(f.src, f.dst, f.size_bits) for f in b]
+        )
+
+    def test_expected_duration(self):
+        workload = self.make()
+        assert workload.expected_duration(1000) == pytest.approx(
+            1000 / workload.arrival_rate
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self.make().generate(0)
+        with pytest.raises(ValueError):
+            self.make().expected_duration(-1)

@@ -1,0 +1,72 @@
+"""Production packet-size trace model (paper §2.2)."""
+
+import pytest
+
+from repro.workload import PacketTraceModel
+from repro.workload.packets import (
+    CACHE_MARGINALS,
+    max_guardband_for_overhead,
+    packet_duration_s,
+    switching_overhead,
+)
+
+
+class TestPublishedMarginals:
+    def test_34_percent_below_128B(self):
+        model = PacketTraceModel(seed=1)
+        assert model.fraction_below(128) == pytest.approx(0.34, abs=0.01)
+
+    def test_97_8_percent_at_most_576B(self):
+        model = PacketTraceModel(seed=1)
+        assert model.fraction_at_most(576) == pytest.approx(0.978, abs=0.005)
+
+    def test_cache_trace_91_percent_at_most_576B(self):
+        model = PacketTraceModel(marginals=CACHE_MARGINALS, seed=2)
+        assert model.fraction_at_most(576) == pytest.approx(0.91, abs=0.01)
+
+    def test_sizes_within_ethernet_bounds(self):
+        model = PacketTraceModel(seed=3)
+        sizes = model.sample_many(5_000)
+        assert all(64 <= s <= 1500 for s in sizes)
+
+    def test_deterministic_by_seed(self):
+        assert (PacketTraceModel(seed=4).sample_many(100)
+                == PacketTraceModel(seed=4).sample_many(100))
+
+    def test_marginal_validation(self):
+        with pytest.raises(ValueError):
+            PacketTraceModel(marginals=((128, 0.5), (100, 0.9), (1500, 1.0)))
+        with pytest.raises(ValueError):
+            PacketTraceModel(marginals=((128, 0.5), (1500, 0.9)))
+        with pytest.raises(ValueError):
+            PacketTraceModel(marginals=((32, 0.5), (1500, 1.0)))
+
+    def test_sample_many_validation(self):
+        with pytest.raises(ValueError):
+            PacketTraceModel().sample_many(0)
+
+
+class TestSwitchingArithmetic:
+    def test_576B_lasts_92ns_at_50g(self):
+        assert packet_duration_s(576) == pytest.approx(92.16e-9, rel=1e-3)
+
+    def test_10ns_reconfig_is_about_10_percent_overhead(self):
+        overhead = switching_overhead(9.2e-9)
+        assert overhead == pytest.approx(0.0998, abs=0.001)
+
+    def test_guardband_budget_is_9_2ns(self):
+        # §2.2: <10% overhead requires reconfiguration below 9.2 ns.
+        assert max_guardband_for_overhead(0.1) == pytest.approx(
+            9.216e-9, rel=1e-3
+        )
+
+    def test_3_84ns_prototype_overhead_is_low(self):
+        assert switching_overhead(3.84e-9) < 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            packet_duration_s(0)
+        with pytest.raises(ValueError):
+            switching_overhead(-1.0)
+        with pytest.raises(ValueError):
+            max_guardband_for_overhead(1.5)

@@ -1,0 +1,94 @@
+"""Flow-trace CSV import/export."""
+
+import pytest
+
+from repro.core.cell import Flow
+from repro.workload.trace_io import read_flows, trace_summary, write_flows
+
+
+def sample_flows():
+    return [
+        Flow(0, 1, 2, size_bits=1000, arrival_time=0.5),
+        Flow(1, 3, 4, size_bits=2_000_000, arrival_time=0.1),
+        Flow(2, 0, 5, size_bits=42, arrival_time=0.3),
+    ]
+
+
+class TestRoundTrip:
+    def test_write_read_lossless(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        flows = sample_flows()
+        assert write_flows(path, flows) == 3
+        loaded = read_flows(path)
+        by_id = {f.flow_id: f for f in loaded}
+        for original in flows:
+            restored = by_id[original.flow_id]
+            assert restored.src == original.src
+            assert restored.dst == original.dst
+            assert restored.size_bits == original.size_bits
+            assert restored.arrival_time == original.arrival_time
+
+    def test_reader_sorts_by_arrival(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        write_flows(path, sample_flows())
+        loaded = read_flows(path)
+        arrivals = [f.arrival_time for f in loaded]
+        assert arrivals == sorted(arrivals)
+
+    def test_loaded_trace_runs_in_the_simulator(self, tmp_path):
+        from repro import SiriusNetwork
+
+        path = tmp_path / "trace.csv"
+        write_flows(path, sample_flows())
+        net = SiriusNetwork(8, 4, uplink_multiplier=1.0, seed=1)
+        result = net.run(read_flows(path))
+        assert result.completion_fraction == 1.0
+
+
+class TestValidation:
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            read_flows(path)
+
+    def test_wrong_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(ValueError):
+            read_flows(path)
+
+    def test_wrong_column_count(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("flow_id,src,dst,size_bits,arrival_time\n1,2,3\n")
+        with pytest.raises(ValueError):
+            read_flows(path)
+
+    def test_invalid_row_reports_line(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "flow_id,src,dst,size_bits,arrival_time\n0,1,1,100,0.0\n"
+        )
+        with pytest.raises(ValueError, match=":2:"):
+            read_flows(path)  # src == dst is rejected by Flow
+
+    def test_duplicate_ids_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "flow_id,src,dst,size_bits,arrival_time\n"
+            "0,1,2,100,0.0\n0,2,3,100,0.1\n"
+        )
+        with pytest.raises(ValueError, match="duplicate"):
+            read_flows(path)
+
+
+class TestSummary:
+    def test_statistics(self):
+        summary = trace_summary(sample_flows())
+        assert summary["flows"] == 3
+        assert summary["nodes"] == 6
+        assert summary["total_bits"] == 2_001_042
+        assert summary["span_s"] == pytest.approx(0.4)
+
+    def test_empty(self):
+        assert trace_summary([]) == {"flows": 0}

@@ -1,0 +1,84 @@
+"""Traffic-matrix patterns (ablation workloads)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.workload import TrafficPattern
+from repro.workload.traffic_matrix import patterned_flows
+
+
+class TestPatterns:
+    def test_uniform_never_self(self):
+        sampler = TrafficPattern("uniform", 8).sampler()
+        for _ in range(500):
+            src, dst = sampler.sample()
+            assert src != dst
+
+    def test_permutation_is_fixed_point_free_and_consistent(self):
+        pattern = TrafficPattern("permutation", 16)
+        sampler = pattern.sampler()
+        mapping = {}
+        for _ in range(2000):
+            src, dst = sampler.sample()
+            assert src != dst
+            if src in mapping:
+                assert mapping[src] == dst
+            mapping[src] = dst
+        # A permutation: distinct destinations.
+        assert len(set(mapping.values())) == len(mapping)
+
+    def test_incast_targets_hotspot(self):
+        sampler = TrafficPattern("incast", 8, hotspot_node=5).sampler()
+        for _ in range(200):
+            src, dst = sampler.sample()
+            assert dst == 5
+            assert src != 5
+
+    def test_neighbour_ring(self):
+        sampler = TrafficPattern("neighbour", 8).sampler()
+        for _ in range(200):
+            src, dst = sampler.sample()
+            assert dst == (src + 1) % 8
+
+    def test_hotspot_fraction_respected(self):
+        pattern = TrafficPattern("hotspot", 8, hotspot_node=0,
+                                 hotspot_fraction=0.5, seed=5)
+        sampler = pattern.sampler()
+        hits = sum(1 for _ in range(4000) if sampler.sample()[1] == 0)
+        assert 0.45 < hits / 4000 < 0.65  # 0.5 hotspot + uniform residue
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            TrafficPattern("mesh", 8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrafficPattern("uniform", 1)
+        with pytest.raises(ValueError):
+            TrafficPattern("incast", 8, hotspot_node=8)
+        with pytest.raises(ValueError):
+            TrafficPattern("hotspot", 8, hotspot_fraction=1.5)
+
+
+class TestPatternedFlows:
+    def test_flow_list_shape(self):
+        flows = patterned_flows(
+            TrafficPattern("incast", 8, hotspot_node=2),
+            sizes_bits=[1000] * 10, arrival_rate=1e6,
+        )
+        assert len(flows) == 10
+        assert all(f.dst == 2 for f in flows)
+        arrivals = [f.arrival_time for f in flows]
+        assert arrivals == sorted(arrivals)
+
+    def test_ids_sequential(self):
+        flows = patterned_flows(TrafficPattern("uniform", 4),
+                                sizes_bits=[10, 20, 30], arrival_rate=1.0)
+        assert [f.flow_id for f in flows] == [0, 1, 2]
+        assert [f.size_bits for f in flows] == [10, 20, 30]
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            patterned_flows(TrafficPattern("uniform", 4), [10],
+                            arrival_rate=0.0)
