@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
-from repro.units import TBPS
+from repro.units import PBPS, TBPS
 
 
 @dataclass(frozen=True)
@@ -31,7 +31,7 @@ class CapacityTrend:
 
     reference_year: int = 2020
     switch_capacity_2020_bps: float = 25.6 * TBPS
-    traffic_capacity_2020_bps: float = 100e15
+    traffic_capacity_2020_bps: float = 100 * PBPS
     switch_doubling_years: float = 2.0
     traffic_doubling_years: float = 1.0
     #: Year beyond which electrical switch scaling slows (§1: 2024).
@@ -63,8 +63,8 @@ class CapacityTrend:
         return [
             {
                 "year": year,
-                "traffic_pbps": self.traffic_bps(year) / 1e15,
-                "switch_pbps": self.switch_capacity_bps(year) / 1e15,
+                "traffic_pbps": self.traffic_bps(year) / PBPS,
+                "switch_pbps": self.switch_capacity_bps(year) / PBPS,
                 "gap": self.gap_factor(year),
             }
             for year in years

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.analysis.power import NetworkPowerModel, SiriusPowerModel
-from repro.units import TBPS
+from repro.units import PICOJOULE, TBPS
 
 
 @dataclass(frozen=True)
@@ -39,7 +39,7 @@ class EnergyReport:
     def picojoules_per_bit(self) -> float:
         if self.delivered_bits == 0:
             return float("inf")
-        return self.energy_j / self.delivered_bits * 1e12
+        return self.energy_j / self.delivered_bits / PICOJOULE
 
 
 def sirius_energy(result, laser_overhead: float = 3.0,

@@ -25,7 +25,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
 from repro.topology.clos import ClosTopology
-from repro.units import GBPS, TBPS
+from repro.units import GBPS, MEGAWATT, TBPS
 
 #: §2 device constants.
 SWITCH_POWER_W = 500.0
@@ -97,7 +97,7 @@ class NetworkPowerModel:
         """
         if bisection_pbps <= 0:
             raise ValueError("bisection bandwidth must be positive")
-        return self.power_per_tbps(n_nodes) * bisection_pbps * 1000.0 / 1e6
+        return self.power_per_tbps(n_nodes) * bisection_pbps * 1000.0 / MEGAWATT
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,81 @@
+"""Baseline file support for :mod:`repro.checks`.
+
+The baseline (``checks_baseline.json``, committed at the repo root)
+records the fingerprints of accepted pre-existing findings so they do
+not block CI while anything *new* does.  Fingerprints are keyed on
+(path, rule, normalized source line) — see
+:attr:`repro.checks.engine.Finding.fingerprint` — so edits that merely
+shift line numbers do not invalidate the baseline.  Each fingerprint
+carries a count, so introducing a *second* identical violation on an
+already-baselined line pattern is still caught.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.checks.engine import Finding
+
+__all__ = [
+    "load_baseline",
+    "write_baseline",
+    "diff_against_baseline",
+    "DEFAULT_BASELINE_NAME",
+]
+
+DEFAULT_BASELINE_NAME = "checks_baseline.json"
+_FORMAT_VERSION = 1
+
+
+def load_baseline(path: Path) -> Dict[str, int]:
+    """Fingerprint -> accepted count.  A missing file is an empty baseline."""
+    if not path.exists():
+        return {}
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or "fingerprints" not in data:
+        raise ValueError(f"malformed baseline file {path}")
+    fingerprints = data["fingerprints"]
+    if not isinstance(fingerprints, dict):
+        raise ValueError(f"malformed baseline fingerprints in {path}")
+    return {str(key): int(value) for key, value in fingerprints.items()}
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    """Persist ``findings`` as the new accepted baseline."""
+    counts = Counter(finding.fingerprint for finding in findings)
+    payload = {
+        "version": _FORMAT_VERSION,
+        "comment": (
+            "Accepted pre-existing sirius-lint findings. Regenerate with "
+            "`python -m repro.checks src/repro --write-baseline` after "
+            "reviewing that every entry is intentional."
+        ),
+        "count": sum(counts.values()),
+        "fingerprints": dict(sorted(counts.items())),
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n",
+                    encoding="utf-8")
+
+
+def diff_against_baseline(
+    findings: Sequence[Finding], baseline: Dict[str, int],
+) -> Tuple[List[Finding], List[str]]:
+    """Split findings into (new, stale-baseline-entries).
+
+    A finding is *new* when its fingerprint occurs more times than the
+    baseline accepts.  A baseline entry is *stale* when the code no
+    longer produces it (the fix should be celebrated by shrinking the
+    baseline, not letting it rot).
+    """
+    remaining = Counter(baseline)
+    new: List[Finding] = []
+    for finding in findings:
+        if remaining.get(finding.fingerprint, 0) > 0:
+            remaining[finding.fingerprint] -= 1
+        else:
+            new.append(finding)
+    stale = sorted(key for key, count in remaining.items() if count > 0)
+    return new, stale

@@ -1,0 +1,210 @@
+"""Command-line front end for :mod:`repro.checks` (``sirius-lint``).
+
+Usage::
+
+    sirius-lint src/repro                      # lint against the baseline
+    sirius-lint src/repro --format json        # machine-readable output
+    sirius-lint src/repro --select D,U101      # only these rules/families
+    sirius-lint src/repro --ignore I302        # everything but these
+    sirius-lint src/repro --no-baseline        # report *all* findings
+    sirius-lint src/repro --write-baseline     # accept current findings
+
+Exit status: 0 when no *new* findings relative to the baseline (and no
+stale baseline entries), 1 otherwise, 2 on usage errors.
+
+Defaults (paths, baseline location, select/ignore) can be set in
+``pyproject.toml``::
+
+    [tool.repro.checks]
+    paths = ["src/repro"]
+    baseline = "checks_baseline.json"
+    ignore = []
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.checks.baseline import (
+    DEFAULT_BASELINE_NAME,
+    diff_against_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.checks.engine import (
+    Finding,
+    filter_rules,
+    format_json,
+    format_text,
+    run_checks,
+)
+from repro.checks.registry import ALL_RULES
+
+try:  # Python >= 3.11
+    import tomllib
+except ImportError:  # pragma: no cover - 3.9/3.10 fall back to defaults
+    tomllib = None
+
+__all__ = ["main", "load_config", "find_project_root"]
+
+
+def find_project_root(start: Optional[Path] = None) -> Optional[Path]:
+    """Nearest ancestor of ``start`` containing ``pyproject.toml``."""
+    current = (start or Path.cwd()).resolve()
+    for candidate in (current, *current.parents):
+        if (candidate / "pyproject.toml").is_file():
+            return candidate
+    return None
+
+
+def load_config(root: Optional[Path]) -> Dict[str, object]:
+    """The ``[tool.repro.checks]`` table of ``pyproject.toml`` (or {})."""
+    if root is None or tomllib is None:
+        return {}
+    pyproject = root / "pyproject.toml"
+    if not pyproject.is_file():
+        return {}
+    try:
+        data = tomllib.loads(pyproject.read_text(encoding="utf-8"))
+    except (OSError, tomllib.TOMLDecodeError):
+        return {}
+    table = data.get("tool", {}).get("repro", {}).get("checks", {})
+    return table if isinstance(table, dict) else {}
+
+
+def _split_idents(value: Optional[str]) -> Optional[List[str]]:
+    if value is None:
+        return None
+    return [part.strip() for part in value.split(",") if part.strip()]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="sirius-lint",
+        description="Simulator-aware static analysis for the Sirius "
+                    "reproduction (unit-dimension, determinism and "
+                    "invariant lints).",
+    )
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help="files or directories to lint "
+                             "(default: [tool.repro.checks] paths, else "
+                             "src/repro)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="output format (default: text)")
+    parser.add_argument("--select", type=str, default=None, metavar="IDS",
+                        help="comma-separated rule codes/names/families "
+                             "to run (e.g. 'U101,determinism' or 'D')")
+    parser.add_argument("--ignore", type=str, default=None, metavar="IDS",
+                        help="comma-separated rule codes/names/families "
+                             "to skip")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help=f"baseline file (default: {DEFAULT_BASELINE_NAME} "
+                             "at the project root)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore the baseline: report every finding")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="accept all current findings into the baseline "
+                             "and exit 0")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list available rules and exit")
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule in ALL_RULES:
+        lines.append(f"{rule.code}  {rule.name:<20} {rule.description}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    root = find_project_root()
+    config = load_config(root)
+
+    select = _split_idents(args.select)
+    ignore = _split_idents(args.ignore)
+    if select is None and isinstance(config.get("select"), list):
+        select = [str(item) for item in config["select"]] or None
+    if ignore is None and isinstance(config.get("ignore"), list):
+        ignore = [str(item) for item in config["ignore"]] or None
+
+    paths = list(args.paths)
+    if not paths:
+        configured = config.get("paths")
+        if isinstance(configured, list) and configured:
+            base = root or Path.cwd()
+            paths = [base / str(item) for item in configured]
+        else:
+            base = root or Path.cwd()
+            paths = [base / "src" / "repro"]
+    missing = [path for path in paths if not path.exists()]
+    if missing:
+        print(f"sirius-lint: no such path: "
+              f"{', '.join(str(p) for p in missing)}", file=sys.stderr)
+        return 2
+
+    rules = filter_rules(ALL_RULES, select=select, ignore=ignore)
+    if not rules:
+        print("sirius-lint: --select matched no rules", file=sys.stderr)
+        return 2
+
+    findings = run_checks(paths, rules, root=root)
+
+    baseline_path = args.baseline
+    if baseline_path is None:
+        configured = config.get("baseline")
+        base = root or Path.cwd()
+        baseline_path = base / (str(configured) if isinstance(configured, str)
+                                else DEFAULT_BASELINE_NAME)
+
+    if args.write_baseline:
+        write_baseline(baseline_path, findings)
+        print(f"sirius-lint: wrote {len(findings)} finding(s) to "
+              f"{baseline_path}")
+        return 0
+
+    if args.no_baseline:
+        new, stale = list(findings), []
+    else:
+        try:
+            baseline = load_baseline(baseline_path)
+        except ValueError as exc:
+            print(f"sirius-lint: malformed baseline {baseline_path}: {exc}",
+                  file=sys.stderr)
+            return 2
+        new, stale = diff_against_baseline(findings, baseline)
+
+    _report(args.format, new, stale, total=len(findings))
+    return 1 if (new or stale) else 0
+
+
+def _report(fmt: str, new: List[Finding], stale: List[str],
+            total: int) -> None:
+    if fmt == "json":
+        import json
+
+        payload = json.loads(format_json(new))
+        payload["stale_baseline_entries"] = stale
+        payload["total_findings"] = total
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return
+    print(format_text(new) if new else
+          f"no new findings ({total} baselined)" if total else "no findings")
+    if stale:
+        print(f"\n{len(stale)} stale baseline entr"
+              f"{'ies' if len(stale) != 1 else 'y'} (fixed findings — "
+              "regenerate with --write-baseline):")
+        for fingerprint in stale:
+            print(f"  {fingerprint}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,240 @@
+"""Determinism lint rules (family ``D``).
+
+The Fig 9–13 benchmark sweeps must be bit-for-bit reproducible across
+runs: every random draw has to come from an explicitly seeded generator
+that is threaded through the simulation (the ``phy/pam4.py`` /
+``optics/soa.py`` pattern).  These rules catch the three ways hidden
+nondeterminism slips in:
+
+* ``D201 global-rng`` — sampling from the module-level ``random.*`` or
+  ``np.random.*`` globals, whose state is shared and unseeded;
+* ``D202 unseeded-rng`` — constructing ``random.Random()`` /
+  ``np.random.default_rng()`` without a seed (or any
+  ``random.SystemRandom``, which cannot be seeded at all);
+* ``D203 set-iteration`` — iterating a ``set`` whose order depends on
+  ``PYTHONHASHSEED``; wrap in ``sorted(...)`` before feeding
+  simulation state.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Set
+
+from repro.checks.engine import FileContext, Finding, Rule
+
+__all__ = [
+    "GlobalRngRule",
+    "UnseededRngRule",
+    "SetIterationRule",
+    "DETERMINISM_RULES",
+]
+
+#: ``random`` module functions that draw from (or reseed) global state.
+_RANDOM_FNS = frozenset({
+    "random", "randint", "randrange", "getrandbits", "choice", "choices",
+    "shuffle", "sample", "uniform", "triangular", "gauss", "normalvariate",
+    "lognormvariate", "expovariate", "betavariate", "gammavariate",
+    "paretovariate", "vonmisesvariate", "weibullvariate", "binomialvariate",
+    "seed", "setstate", "getstate", "randbytes",
+})
+
+#: ``numpy.random`` legacy global-state functions.
+_NP_RANDOM_FNS = frozenset({
+    "rand", "randn", "randint", "random", "random_sample", "ranf",
+    "sample", "choice", "shuffle", "permutation", "normal", "uniform",
+    "poisson", "exponential", "pareto", "binomial", "seed", "standard_normal",
+    "bytes",
+})
+
+
+def _import_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Map local alias -> canonical module for imports the rules care about."""
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                if item.name in ("random", "numpy", "numpy.random"):
+                    aliases[item.asname or item.name.split(".")[0]] = item.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "numpy":
+                for item in node.names:
+                    if item.name == "random":
+                        aliases[item.asname or "random"] = "numpy.random"
+            elif node.module == "numpy.random":
+                for item in node.names:
+                    if item.name == "default_rng":
+                        aliases[item.asname or "default_rng"] = "default_rng"
+    return aliases
+
+
+def _global_rng_target(node: ast.Call,
+                       aliases: Dict[str, str]) -> Optional[str]:
+    """Dotted name of a global-RNG call, or None."""
+    func = node.func
+    if not isinstance(func, ast.Attribute):
+        return None
+    owner = func.value
+    # random.<fn>(...) via "import random [as r]"
+    if isinstance(owner, ast.Name):
+        module = aliases.get(owner.id)
+        if module == "random" and func.attr in _RANDOM_FNS:
+            return f"random.{func.attr}"
+        if module == "numpy.random" and func.attr in _NP_RANDOM_FNS:
+            return f"numpy.random.{func.attr}"
+    # np.random.<fn>(...) via "import numpy [as np]"
+    if (isinstance(owner, ast.Attribute) and owner.attr == "random"
+            and isinstance(owner.value, ast.Name)
+            and aliases.get(owner.value.id, "").startswith("numpy")
+            and func.attr in _NP_RANDOM_FNS):
+        return f"numpy.random.{func.attr}"
+    return None
+
+
+class GlobalRngRule(Rule):
+    """Flag draws from the shared module-level RNG."""
+
+    code = "D201"
+    name = "global-rng"
+    description = "call samples the module-level random/np.random global state"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        aliases = _import_aliases(ctx.tree)
+        if not aliases:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = _global_rng_target(node, aliases)
+            if target is not None:
+                yield self.finding(
+                    ctx, node,
+                    f"{target}() draws from the global RNG; inject a seeded "
+                    "random.Random/np.random.default_rng instead",
+                )
+
+
+class UnseededRngRule(Rule):
+    """Flag RNG construction that produces run-to-run different streams."""
+
+    code = "D202"
+    name = "unseeded-rng"
+    description = "RNG constructed without an explicit seed"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        aliases = _import_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            ctor = self._rng_constructor(node, aliases)
+            if ctor is None:
+                continue
+            if ctor == "random.SystemRandom":
+                yield self.finding(
+                    ctx, node,
+                    "SystemRandom is entropy-backed and can never be seeded; "
+                    "simulations must use random.Random(seed)",
+                )
+            elif not node.args and not node.keywords:
+                yield self.finding(
+                    ctx, node,
+                    f"{ctor}() without a seed gives a different stream every "
+                    "run; pass an explicit seed",
+                )
+
+    @staticmethod
+    def _rng_constructor(node: ast.Call,
+                         aliases: Dict[str, str]) -> Optional[str]:
+        func = node.func
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            module = aliases.get(func.value.id)
+            if module == "random" and func.attr in ("Random", "SystemRandom"):
+                return f"random.{func.attr}"
+            if module == "numpy.random" and func.attr == "default_rng":
+                return "numpy.random.default_rng"
+        if (isinstance(func, ast.Attribute) and func.attr == "default_rng"
+                and isinstance(func.value, ast.Attribute)
+                and func.value.attr == "random"
+                and isinstance(func.value.value, ast.Name)
+                and aliases.get(func.value.value.id, "").startswith("numpy")):
+            return "numpy.random.default_rng"
+        if (isinstance(func, ast.Name)
+                and aliases.get(func.id) == "default_rng"):
+            return "numpy.random.default_rng"
+        return None
+
+
+class SetIterationRule(Rule):
+    """Flag iteration over sets, whose order follows ``PYTHONHASHSEED``.
+
+    Iterating a set into simulation state (queue service order, node
+    visit order, …) silently breaks reproducibility.  ``sorted(...)``
+    around the set is the fix and is recognized as such (the iterable is
+    then a ``sorted`` call, not a set expression).
+    """
+
+    code = "D203"
+    name = "set-iteration"
+    description = "iteration over a set has hash-seed-dependent order"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        set_names = self._set_bound_names(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            iterables = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iterables.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                iterables.extend(gen.iter for gen in node.generators)
+            for iterable in iterables:
+                reason = self._set_expression(iterable, set_names)
+                if reason is not None:
+                    yield self.finding(
+                        ctx, iterable,
+                        f"iterating {reason} has PYTHONHASHSEED-dependent "
+                        "order; wrap in sorted(...) before it feeds "
+                        "simulation state",
+                    )
+
+    # -- helpers ---------------------------------------------------------
+    @staticmethod
+    def _is_set_expr(node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+                and node.func.id in ("set", "frozenset")):
+            return True
+        if (isinstance(node, ast.BinOp)
+                and isinstance(node.op, (ast.BitAnd, ast.BitOr, ast.Sub,
+                                         ast.BitXor))):
+            # set algebra keeps set-ness; either side proves it
+            return (SetIterationRule._is_set_expr(node.left)
+                    or SetIterationRule._is_set_expr(node.right))
+        return False
+
+    @classmethod
+    def _set_bound_names(cls, tree: ast.Module) -> Set[str]:
+        """Names assigned a set expression anywhere in the file."""
+        names: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign) and cls._is_set_expr(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+            elif (isinstance(node, ast.AnnAssign) and node.value is not None
+                  and isinstance(node.target, ast.Name)
+                  and cls._is_set_expr(node.value)):
+                names.add(node.target.id)
+        return names
+
+    @classmethod
+    def _set_expression(cls, node: ast.AST,
+                        set_names: Set[str]) -> Optional[str]:
+        if cls._is_set_expr(node):
+            return "a set expression"
+        if isinstance(node, ast.Name) and node.id in set_names:
+            return f"set-valued name {node.id!r}"
+        return None
+
+
+DETERMINISM_RULES = [GlobalRngRule(), UnseededRngRule(), SetIterationRule()]

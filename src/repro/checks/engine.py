@@ -1,0 +1,396 @@
+"""Core of the ``repro.checks`` static-analysis pass.
+
+The simulator's correctness rests on invariants Python cannot enforce at
+runtime without cost: SI base units everywhere (:mod:`repro.units`), a
+contention-free cyclic schedule (paper §4.2), and bit-for-bit
+reproducible benchmark sweeps.  This module provides the shared lint
+machinery — :class:`Finding`, the :class:`Rule` protocol, per-file
+parsing with parent links, ``# lint: ignore[rule]`` suppression, and the
+file walker — on top of which the three rule families
+(:mod:`repro.checks.units_rules`, :mod:`repro.checks.determinism_rules`,
+:mod:`repro.checks.invariant_rules`) are built.
+
+Everything here is stdlib-only (``ast``, ``tokenize``); the engine adds
+no dependencies to the simulator.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "FileContext",
+    "iter_python_files",
+    "parse_file",
+    "run_checks",
+    "format_text",
+    "format_json",
+]
+
+
+# --------------------------------------------------------------------------
+# findings
+# --------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding: a rule violation at a source location."""
+
+    rule: str      #: short code, e.g. ``U101``
+    name: str      #: kebab-case rule name, e.g. ``unit-literal``
+    path: str      #: posix-style path as given to the walker
+    line: int      #: 1-based line number
+    col: int       #: 0-based column
+    message: str   #: human-readable description of the violation
+    snippet: str = ""  #: stripped source line, for fingerprints/reports
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-number-independent identity used by the baseline.
+
+        Keyed on (path, rule, normalized source line) so unrelated edits
+        that shift line numbers do not invalidate baseline entries.
+        """
+        normalized = re.sub(r"\s+", " ", self.snippet.strip())
+        return f"{self.path}::{self.rule}::{normalized}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "name": self.name,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint,
+        }
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col + 1}: "
+                f"{self.rule} [{self.name}] {self.message}")
+
+
+# --------------------------------------------------------------------------
+# rules
+# --------------------------------------------------------------------------
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set :attr:`code`, :attr:`name` and :attr:`description`
+    and implement :meth:`check`, yielding findings for one parsed file.
+    Suppression and select/ignore filtering are handled by the engine —
+    rules simply report everything they see.
+    """
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+
+    def check(self, ctx: "FileContext") -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: "FileContext", node: ast.AST, message: str) -> Finding:
+        """Build a :class:`Finding` anchored at ``node``."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            rule=self.code,
+            name=self.name,
+            path=ctx.relpath,
+            line=line,
+            col=col,
+            message=message,
+            snippet=ctx.line(line),
+        )
+
+
+# --------------------------------------------------------------------------
+# per-file context
+# --------------------------------------------------------------------------
+_IGNORE_RE = re.compile(
+    r"#\s*lint:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_,\s-]+)\])?"
+)
+_SKIP_FILE_RE = re.compile(r"#\s*lint:\s*skip-file\b")
+
+
+@dataclass
+class FileContext:
+    """A parsed source file plus everything rules need to inspect it."""
+
+    path: Path
+    relpath: str
+    source: str
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+    #: line -> set of suppressed rule identifiers ("*" = all rules)
+    suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+    skip_file: bool = False
+
+    def line(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].rstrip("\n")
+        return ""
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        """True when a ``# lint: ignore`` comment covers ``finding``.
+
+        A suppression comment applies to its own line, and — when it is
+        a standalone comment line — to the next code line as well.
+        """
+        for lineno in (finding.line,):
+            rules = self.suppressions.get(lineno)
+            if rules and ("*" in rules
+                          or finding.rule in rules
+                          or finding.name in rules):
+                return True
+        return False
+
+    def module_dotted(self) -> str:
+        """Best-effort dotted module path (``repro.core.rack``)."""
+        parts = Path(self.relpath).with_suffix("").parts
+        if "repro" in parts:
+            parts = parts[parts.index("repro"):]
+        return ".".join(parts)
+
+
+def _collect_suppressions(source: str) -> Tuple[Dict[int, Set[str]], bool]:
+    """Map line numbers to suppressed rule sets from lint comments.
+
+    Standalone ``# lint: ignore[...]`` comment lines also cover the next
+    non-blank line, so suppressions can precede long statements.
+    """
+    suppressions: Dict[int, Set[str]] = {}
+    skip_file = False
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return suppressions, skip_file
+    lines = source.splitlines()
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        if _SKIP_FILE_RE.search(tok.string):
+            skip_file = True
+            continue
+        match = _IGNORE_RE.search(tok.string)
+        if not match:
+            continue
+        listed = match.group("rules")
+        rules = ({"*"} if listed is None else
+                 {part.strip() for part in listed.split(",") if part.strip()})
+        lineno = tok.start[0]
+        targets = [lineno]
+        # A comment-only line extends its suppression to the next code line.
+        stripped = lines[lineno - 1].strip() if lineno <= len(lines) else ""
+        if stripped.startswith("#"):
+            for nxt in range(lineno + 1, len(lines) + 1):
+                if lines[nxt - 1].strip():
+                    targets.append(nxt)
+                    break
+        for target in targets:
+            suppressions.setdefault(target, set()).update(rules)
+    return suppressions, skip_file
+
+
+def attach_parents(tree: ast.AST) -> None:
+    """Annotate every node with a ``_lint_parent`` backlink."""
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            child._lint_parent = parent  # type: ignore[attr-defined]
+
+
+def parent_of(node: ast.AST) -> Optional[ast.AST]:
+    return getattr(node, "_lint_parent", None)
+
+
+def _relative_to_root(path: Path, root: Optional[Path]) -> str:
+    if root is not None:
+        try:
+            return path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            pass
+    return path.as_posix()
+
+
+def parse_file(path: Path, root: Optional[Path] = None) -> Optional[FileContext]:
+    """Parse ``path`` into a :class:`FileContext` (None on syntax error)."""
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError):
+        return None
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError:
+        return None
+    attach_parents(tree)
+    relpath = _relative_to_root(path, root)
+    suppressions, skip_file = _collect_suppressions(source)
+    return FileContext(
+        path=path,
+        relpath=relpath,
+        source=source,
+        tree=tree,
+        lines=source.splitlines(),
+        suppressions=suppressions,
+        skip_file=skip_file,
+    )
+
+
+# --------------------------------------------------------------------------
+# walking and running
+# --------------------------------------------------------------------------
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Yield ``.py`` files under ``paths`` (files or directories), sorted."""
+    seen: Set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            candidates = [path]
+        else:
+            candidates = []
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen and "__pycache__" not in candidate.parts:
+                seen.add(resolved)
+                yield candidate
+
+
+def _rule_matches(rule: Rule, identifiers: Set[str]) -> bool:
+    """True when ``identifiers`` names this rule by code, name or family.
+
+    Family prefixes work too: ``U`` selects every ``U…`` rule.
+    """
+    return bool(
+        {rule.code, rule.name} & identifiers
+        or any(rule.code.startswith(ident) for ident in identifiers
+               if ident and ident.isalpha())
+    )
+
+
+def filter_rules(rules: Sequence[Rule],
+                 select: Optional[Iterable[str]] = None,
+                 ignore: Optional[Iterable[str]] = None) -> List[Rule]:
+    """Apply ``--select`` / ``--ignore`` identifier sets to ``rules``."""
+    active = list(rules)
+    if select:
+        wanted = {ident.strip() for ident in select if ident.strip()}
+        active = [rule for rule in active if _rule_matches(rule, wanted)]
+    if ignore:
+        unwanted = {ident.strip() for ident in ignore if ident.strip()}
+        active = [rule for rule in active if not _rule_matches(rule, unwanted)]
+    return active
+
+
+def _parse_failure(path: Path, root: Optional[Path]) -> Optional[Finding]:
+    """A synthetic ``E001 parse-error`` finding for an unparseable file.
+
+    A file the lint cannot parse must not read as "clean" — it gets a
+    finding anchored at the syntax error instead.  Unreadable files
+    (binary, permission errors) are still skipped: they are not source.
+    """
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError):
+        return None
+    try:
+        ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        lines = source.splitlines()
+        line = exc.lineno or 1
+        return Finding(
+            rule="E001",
+            name="parse-error",
+            path=_relative_to_root(path, root),
+            line=line,
+            col=max((exc.offset or 1) - 1, 0),
+            message=f"file could not be parsed: {exc.msg}",
+            snippet=lines[line - 1].strip() if 0 < line <= len(lines) else "",
+        )
+    return None
+
+
+def run_checks(paths: Sequence[Path], rules: Sequence[Rule],
+               root: Optional[Path] = None) -> List[Finding]:
+    """Run ``rules`` over every Python file under ``paths``.
+
+    Returns surviving findings (suppressions already applied), sorted by
+    location for stable output.  Files that fail to parse contribute an
+    ``E001 parse-error`` finding regardless of rule selection.
+    """
+    findings: List[Finding] = []
+    for file_path in iter_python_files(paths):
+        ctx = parse_file(file_path, root=root)
+        if ctx is None:
+            failure = _parse_failure(file_path, root)
+            if failure is not None:
+                findings.append(failure)
+            continue
+        if ctx.skip_file:
+            continue
+        for rule in rules:
+            for finding in rule.check(ctx):
+                if not ctx.is_suppressed(finding):
+                    findings.append(finding)
+    findings.sort(key=Finding.sort_key)
+    return findings
+
+
+def check_source(source: str, rules: Sequence[Rule],
+                 relpath: str = "<string>") -> List[Finding]:
+    """Lint a source string — the primary hook for fixture tests."""
+    tree = ast.parse(source)
+    attach_parents(tree)
+    suppressions, skip_file = _collect_suppressions(source)
+    ctx = FileContext(
+        path=Path(relpath),
+        relpath=relpath,
+        source=source,
+        tree=tree,
+        lines=source.splitlines(),
+        suppressions=suppressions,
+        skip_file=skip_file,
+    )
+    if ctx.skip_file:
+        return []
+    findings = [
+        finding
+        for rule in rules
+        for finding in rule.check(ctx)
+        if not ctx.is_suppressed(finding)
+    ]
+    findings.sort(key=Finding.sort_key)
+    return findings
+
+
+# --------------------------------------------------------------------------
+# output formatting
+# --------------------------------------------------------------------------
+def format_text(findings: Sequence[Finding]) -> str:
+    if not findings:
+        return "no findings"
+    lines = [finding.render() for finding in findings]
+    lines.append(f"{len(findings)} finding{'s' if len(findings) != 1 else ''}")
+    return "\n".join(lines)
+
+
+def format_json(findings: Sequence[Finding]) -> str:
+    import json
+
+    return json.dumps(
+        {"findings": [finding.to_dict() for finding in findings],
+         "count": len(findings)},
+        indent=2,
+        sort_keys=True,
+    )

@@ -1,0 +1,229 @@
+"""Invariant lint rules (family ``I``).
+
+The simulator's structural invariants — immutable configuration,
+validated parameters, a contention-free schedule (paper §4.2, Fig 5b) —
+are stated in docstrings but not enforceable by Python alone.  These
+rules police the code patterns that would erode them:
+
+* ``I301 frozen-mutation`` — assigning to fields of a
+  ``@dataclass(frozen=True)`` (or reaching around it with
+  ``object.__setattr__`` outside ``__post_init__``);
+* ``I302 missing-validator`` — a ``*Config`` dataclass without a
+  ``__post_init__`` validator, so bad parameters propagate silently;
+* ``I303 schedule-bypass`` — constructing a ``CyclicSchedule`` without
+  calling ``verify_contention_free()`` in the same scope, bypassing the
+  permutation check that keeps the static schedule collision-free.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional
+
+from repro.checks.engine import FileContext, Finding, Rule, parent_of
+
+__all__ = [
+    "FrozenMutationRule",
+    "MissingValidatorRule",
+    "ScheduleBypassRule",
+    "INVARIANT_RULES",
+]
+
+
+def _is_dataclass_decorator(node: ast.AST) -> bool:
+    """True for ``@dataclass`` / ``@dataclasses.dataclass`` (w/ or w/o args)."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Name):
+        return node.id == "dataclass"
+    if isinstance(node, ast.Attribute):
+        return node.attr == "dataclass"
+    return False
+
+
+def _dataclass_decorator(cls: ast.ClassDef) -> Optional[ast.AST]:
+    for decorator in cls.decorator_list:
+        if _is_dataclass_decorator(decorator):
+            return decorator
+    return None
+
+
+def _is_frozen_dataclass(cls: ast.ClassDef) -> bool:
+    decorator = _dataclass_decorator(cls)
+    if not isinstance(decorator, ast.Call):
+        return False
+    return any(
+        kw.arg == "frozen" and isinstance(kw.value, ast.Constant)
+        and kw.value.value is True
+        for kw in decorator.keywords
+    )
+
+
+def _enclosing_function(node: ast.AST) -> Optional[ast.AST]:
+    current = parent_of(node)
+    while current is not None:
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return current
+        current = parent_of(current)
+    return None
+
+
+def _enclosing_class(node: ast.AST) -> Optional[ast.ClassDef]:
+    current = parent_of(node)
+    while current is not None:
+        if isinstance(current, ast.ClassDef):
+            return current
+        current = parent_of(current)
+    return None
+
+
+class FrozenMutationRule(Rule):
+    """Flag writes to frozen-dataclass fields.
+
+    Direct ``self.x = ...`` inside a frozen dataclass raises
+    ``FrozenInstanceError`` at runtime, but only on the code path that
+    executes it; the lint catches it statically.  The
+    ``object.__setattr__`` escape hatch is legitimate only inside
+    ``__post_init__`` (to store derived fields); anywhere else it
+    silently mutates state every consumer assumes immutable.
+    """
+
+    code = "I301"
+    name = "frozen-mutation"
+    description = "mutation of a frozen dataclass field"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        yield from self._direct_assignments(ctx)
+        yield from self._setattr_bypasses(ctx)
+
+    def _direct_assignments(self, ctx: FileContext) -> Iterator[Finding]:
+        for cls in ast.walk(ctx.tree):
+            if not (isinstance(cls, ast.ClassDef) and _is_frozen_dataclass(cls)):
+                continue
+            for node in ast.walk(cls):
+                targets: List[ast.AST] = []
+                if isinstance(node, ast.Assign):
+                    targets = node.targets
+                elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                    targets = [node.target]
+                for target in targets:
+                    if (isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"):
+                        yield self.finding(
+                            ctx, target,
+                            f"assignment to 'self.{target.attr}' inside frozen "
+                            f"dataclass {cls.name!r} raises FrozenInstanceError; "
+                            "frozen fields are immutable after construction",
+                        )
+
+    def _setattr_bypasses(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "__setattr__"
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == "object"):
+                continue
+            function = _enclosing_function(node)
+            if function is not None and function.name == "__post_init__":
+                continue
+            yield self.finding(
+                ctx, node,
+                "object.__setattr__ bypasses frozen-dataclass immutability "
+                "outside __post_init__",
+            )
+
+
+class MissingValidatorRule(Rule):
+    """Flag ``*Config`` dataclasses without a ``__post_init__`` validator.
+
+    Every configuration dataclass in the simulator validates its
+    parameters on construction (``SlotTiming``, ``CongestionConfig``,
+    ``RackConfig``, …); one without a validator lets a negative load or
+    zero bandwidth corrupt a whole benchmark sweep downstream.
+    """
+
+    code = "I302"
+    name = "missing-validator"
+    description = "config dataclass lacks a __post_init__ validator"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for cls in ast.walk(ctx.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            if not cls.name.endswith("Config"):
+                continue
+            if _dataclass_decorator(cls) is None:
+                continue
+            has_validator = any(
+                isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and item.name == "__post_init__"
+                for item in cls.body
+            )
+            if not has_validator:
+                yield self.finding(
+                    ctx, cls,
+                    f"config dataclass {cls.name!r} has no __post_init__ "
+                    "validator; invalid parameters will propagate silently",
+                )
+
+
+class ScheduleBypassRule(Rule):
+    """Flag schedule construction that skips the permutation check.
+
+    The static cyclic schedule is only contention-free if every
+    (grating, output-port) pair receives at most one transmission per
+    slot — ``CyclicSchedule.verify_contention_free()`` asserts exactly
+    that.  Building a schedule without verifying it in the same scope
+    means a mis-parameterized topology silently double-books receivers.
+    """
+
+    code = "I303"
+    name = "schedule-bypass"
+    description = "CyclicSchedule built without verify_contention_free()"
+
+    #: class names whose construction must be paired with verification.
+    schedule_classes = ("CyclicSchedule",)
+    verifier = "verify_contention_free"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call)
+                    and self._is_schedule_ctor(node)):
+                continue
+            scope = _enclosing_function(node) or ctx.tree
+            if isinstance(scope, ast.Module):
+                scope_cls = _enclosing_class(node)
+                if scope_cls is not None:
+                    # a bare constructor call in a class body (e.g. a
+                    # default field value) is checked against the class
+                    scope = scope_cls
+            if not self._scope_verifies(scope):
+                yield self.finding(
+                    ctx, node,
+                    "CyclicSchedule constructed without a "
+                    "verify_contention_free() call in the same scope; the "
+                    "schedule's permutation invariant (§4.2) goes unchecked",
+                )
+
+    def _is_schedule_ctor(self, node: ast.Call) -> bool:
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        return name in self.schedule_classes
+
+    def _scope_verifies(self, scope: ast.AST) -> bool:
+        for node in ast.walk(scope):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == self.verifier):
+                return True
+        return False
+
+
+INVARIANT_RULES = [FrozenMutationRule(), MissingValidatorRule(),
+                   ScheduleBypassRule()]

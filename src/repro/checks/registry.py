@@ -1,0 +1,25 @@
+"""The canonical rule registry for :mod:`repro.checks`.
+
+Adding a rule: subclass :class:`repro.checks.engine.Rule` in the
+appropriate family module (or a new one), give it a unique ``code``
+(family letter + number) and kebab-case ``name``, and append an instance
+to that family's list — the CLI, suppression comments and
+``--select``/``--ignore`` pick it up from here.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.checks.determinism_rules import DETERMINISM_RULES
+from repro.checks.engine import Rule
+from repro.checks.invariant_rules import INVARIANT_RULES
+from repro.checks.units_rules import UNITS_RULES
+
+__all__ = ["ALL_RULES", "rules_by_code"]
+
+ALL_RULES: List[Rule] = [*UNITS_RULES, *DETERMINISM_RULES, *INVARIANT_RULES]
+
+
+def rules_by_code() -> dict:
+    return {rule.code: rule for rule in ALL_RULES}

@@ -1,0 +1,292 @@
+"""Unit-dimension lint rules (family ``U``).
+
+The library's contract (:mod:`repro.units`) is that every internal
+quantity is an SI base unit: seconds, bits, bits-per-second, watts,
+metres.  These rules catch the three ways that contract silently breaks:
+
+* ``U101 unit-literal`` — a raw power-of-ten literal (``1e-9``,
+  ``50e9``) used as a unit conversion where a named constant (``NS``,
+  ``GBPS``, …) should be;
+* ``U102 db-linear-mix`` — adding or subtracting a decibel quantity
+  (``*_db`` / ``*_dbm``) and a linear power quantity (``*_mw`` /
+  ``*_w``), which is meaningless without a log/linear conversion;
+* ``U103 dimension-mismatch`` — adding, subtracting or comparing names
+  whose suffixes declare different dimensions (``*_s`` vs ``*_bits``).
+
+The dimension tracker is deliberately lightweight: it reads the
+trailing ``_suffix`` naming convention the codebase already uses and
+stays silent whenever either side's dimension is unknown.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.checks.engine import FileContext, Finding, Rule, parent_of
+
+__all__ = [
+    "UnitLiteralRule",
+    "DbLinearMixRule",
+    "DimensionMismatchRule",
+    "dimension_of",
+    "UNITS_RULES",
+]
+
+
+# --------------------------------------------------------------------------
+# the suffix -> dimension convention
+# --------------------------------------------------------------------------
+#: Trailing name tokens and the physical dimension they declare.
+_SUFFIX_DIMENSION: Dict[str, str] = {
+    # time
+    "s": "time", "ms": "time", "us": "time", "ns": "time", "ps": "time",
+    "sec": "time", "secs": "time", "seconds": "time",
+    # data
+    "bit": "data", "bits": "data", "byte": "data", "bytes": "data",
+    # rates
+    "bps": "rate", "kbps": "rate", "mbps": "rate", "gbps": "rate",
+    "tbps": "rate", "pbps": "rate",
+    # linear power
+    "w": "power", "mw": "power", "uw": "power",
+    "watt": "power", "watts": "power",
+    # logarithmic power / ratios
+    "db": "level", "dbm": "level",
+    # distance
+    "m": "length", "km": "length", "nm": "length", "metres": "length",
+    # frequency
+    "hz": "frequency", "khz": "frequency", "mhz": "frequency",
+    "ghz": "frequency", "thz": "frequency",
+    # energy
+    "j": "energy", "pj": "energy", "joules": "energy",
+}
+
+
+def dimension_of(name: Optional[str]) -> Optional[str]:
+    """Dimension declared by ``name``'s trailing ``_suffix`` token."""
+    if not name or "_" not in name:
+        return None
+    return _SUFFIX_DIMENSION.get(name.rsplit("_", 1)[-1].lower())
+
+
+def _trailing_name(node: ast.AST) -> Optional[str]:
+    """The identifier a dimension suffix would live on, if any."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+# --------------------------------------------------------------------------
+# U101 — raw power-of-ten literals
+# --------------------------------------------------------------------------
+#: exponent -> repro.units constants that encode the same scale.
+_EXPONENT_SUGGESTIONS: Dict[int, str] = {
+    -12: "PS / PICOSECOND / PICOJOULE",
+    -9: "NS / NANOSECOND / NANOMETRE",
+    -6: "US / MICROSECOND / PPM / MICROWATT",
+    -3: "MS / MILLISECOND / MILLIWATT",
+    3: "KBPS / KILOBYTE / KILOMETRE / KILOWATT",
+    6: "MBPS / MEGAWATT",
+    9: "GBPS / GIGAHERTZ",
+    12: "TBPS",
+    15: "PBPS",
+}
+
+#: dimension -> exponent -> the one constant that fits.
+_DIMENSIONED_SUGGESTIONS: Dict[Tuple[str, int], str] = {
+    ("time", -3): "MS", ("time", -6): "US", ("time", -9): "NS",
+    ("time", -12): "PS",
+    ("rate", 3): "KBPS", ("rate", 6): "MBPS", ("rate", 9): "GBPS",
+    ("rate", 12): "TBPS", ("rate", 15): "PBPS",
+    ("power", -3): "MILLIWATT", ("power", -6): "MICROWATT",
+    ("power", 6): "MEGAWATT", ("power", 3): "KILOWATT",
+    ("length", -9): "NANOMETRE", ("length", 3): "KILOMETRE",
+    ("frequency", 9): "GIGAHERTZ",
+    ("energy", -12): "PICOJOULE",
+}
+
+_SCI_LITERAL_RE = re.compile(
+    r"^(?P<mantissa>\d+(?:\.\d*)?|\.\d+)[eE](?P<exponent>[+-]?\d+)$"
+)
+
+
+def _sci_exponent(ctx: FileContext, node: ast.Constant) -> Optional[int]:
+    """Exponent of ``node`` when written in scientific notation, else None."""
+    if not isinstance(node.value, (int, float)) or isinstance(node.value, bool):
+        return None
+    segment = ast.get_source_segment(ctx.source, node)
+    if segment is None:
+        return None
+    match = _SCI_LITERAL_RE.match(segment.strip())
+    if match is None:
+        return None
+    return int(match.group("exponent"))
+
+
+class UnitLiteralRule(Rule):
+    """Flag raw power-of-ten conversion factors.
+
+    A scientific-notation literal whose exponent matches one of the
+    :mod:`repro.units` scales is flagged when it is
+
+    * an operand of a multiplication or division (the classic
+      ``duration / 1e-6`` conversion), or
+    * the value given to a name that declares a dimension suffix
+      (``base_rtt_s=2e-6``, ``control_link_bps: float = 100e9``).
+
+    Comparison tolerances (``abs(x) < 1e-9``) and function-call epsilons
+    are deliberately not flagged.
+    """
+
+    code = "U101"
+    name = "unit-literal"
+    description = "raw power-of-ten literal where a repro.units constant fits"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Constant):
+                continue
+            exponent = _sci_exponent(ctx, node)
+            if exponent is None or exponent not in _EXPONENT_SUGGESTIONS:
+                continue
+            context = self._literal_context(node)
+            if context is None:
+                continue
+            kind, name = context
+            suggestion = self._suggest(name, exponent)
+            segment = ast.get_source_segment(ctx.source, node) or str(node.value)
+            if kind == "binop":
+                message = (f"raw unit literal {segment} in arithmetic; "
+                           f"use {suggestion} from repro.units")
+            else:
+                message = (f"raw unit literal {segment} assigned to "
+                           f"dimensioned name {name!r}; "
+                           f"use {suggestion} from repro.units")
+            yield self.finding(ctx, node, message)
+
+    # -- helpers ---------------------------------------------------------
+    @staticmethod
+    def _suggest(name: Optional[str], exponent: int) -> str:
+        dim = dimension_of(name)
+        if dim is not None:
+            specific = _DIMENSIONED_SUGGESTIONS.get((dim, exponent))
+            if specific:
+                return specific
+        return _EXPONENT_SUGGESTIONS[exponent]
+
+    @staticmethod
+    def _literal_context(node: ast.Constant) -> Optional[Tuple[str, Optional[str]]]:
+        """(kind, dimensioned-name) when the literal is in a flaggable spot."""
+        parent = parent_of(node)
+        if isinstance(parent, ast.BinOp) and isinstance(parent.op, (ast.Mult, ast.Div)):
+            other = parent.right if parent.left is node else parent.left
+            return "binop", _trailing_name(other)
+        if isinstance(parent, ast.keyword) and dimension_of(parent.arg):
+            return "named", parent.arg
+        if isinstance(parent, ast.AnnAssign):
+            target = _trailing_name(parent.target)
+            if parent.value is node and dimension_of(target):
+                return "named", target
+        if isinstance(parent, ast.Assign) and parent.value is node:
+            for target in parent.targets:
+                name = _trailing_name(target)
+                if dimension_of(name):
+                    return "named", name
+        if isinstance(parent, ast.arguments):
+            name = UnitLiteralRule._default_param_name(parent, node)
+            if dimension_of(name):
+                return "named", name
+        return None
+
+    @staticmethod
+    def _default_param_name(args: ast.arguments,
+                            default: ast.Constant) -> Optional[str]:
+        """Parameter name whose default value is ``default``."""
+        positional: List[ast.arg] = list(args.posonlyargs) + list(args.args)
+        for arg, value in zip(positional[len(positional) - len(args.defaults):],
+                              args.defaults):
+            if value is default:
+                return arg.arg
+        for arg, value in zip(args.kwonlyargs, args.kw_defaults):
+            if value is default:
+                return arg.arg
+        return None
+
+
+# --------------------------------------------------------------------------
+# U102 — decibel / linear mixing
+# --------------------------------------------------------------------------
+class DbLinearMixRule(Rule):
+    """Flag ``x_db + y_mw``-style sums of log and linear power.
+
+    Decibels add where linear powers multiply; summing the two without a
+    :func:`repro.units.dbm_to_mw`-style conversion is always a bug.
+    """
+
+    code = "U102"
+    name = "db-linear-mix"
+    description = "decibel quantity added to / subtracted from linear power"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.BinOp)
+                    and isinstance(node.op, (ast.Add, ast.Sub))):
+                continue
+            left = _trailing_name(node.left)
+            right = _trailing_name(node.right)
+            dims = {dimension_of(left), dimension_of(right)}
+            if dims == {"level", "power"}:
+                yield self.finding(
+                    ctx, node,
+                    f"mixing decibel and linear power: {left!r} "
+                    f"{'+' if isinstance(node.op, ast.Add) else '-'} {right!r} "
+                    "(convert with dbm_to_mw/mw_to_dbm first)",
+                )
+
+
+# --------------------------------------------------------------------------
+# U103 — cross-dimension arithmetic
+# --------------------------------------------------------------------------
+class DimensionMismatchRule(Rule):
+    """Flag additive arithmetic/comparison across different dimensions.
+
+    Multiplication and division legitimately combine dimensions
+    (``bits / bps -> seconds``), so only ``+``, ``-`` and comparisons
+    are checked, and only when *both* sides carry a known suffix.
+    The log/linear power pair is left to ``U102``.
+    """
+
+    code = "U103"
+    name = "dimension-mismatch"
+    description = "add/sub/compare between names of different dimensions"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if (isinstance(node, ast.BinOp)
+                    and isinstance(node.op, (ast.Add, ast.Sub))):
+                pairs = [(node.left, node.right)]
+            elif isinstance(node, ast.Compare):
+                operands = [node.left] + list(node.comparators)
+                pairs = list(zip(operands, operands[1:]))
+            else:
+                continue
+            for left_node, right_node in pairs:
+                left = _trailing_name(left_node)
+                right = _trailing_name(right_node)
+                left_dim, right_dim = dimension_of(left), dimension_of(right)
+                if (left_dim is None or right_dim is None
+                        or left_dim == right_dim):
+                    continue
+                if {left_dim, right_dim} == {"level", "power"}:
+                    continue  # U102's finding
+                yield self.finding(
+                    ctx, node,
+                    f"dimension mismatch: {left!r} is {left_dim} but "
+                    f"{right!r} is {right_dim}",
+                )
+
+
+UNITS_RULES = [UnitLiteralRule(), DbLinearMixRule(), DimensionMismatchRule()]

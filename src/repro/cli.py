@@ -32,7 +32,7 @@ from repro import (
 from repro.analysis import NetworkCostModel, NetworkPowerModel, SiriusPowerModel
 from repro.core.telemetry import Telemetry, ascii_sparkline
 from repro.sync.protocol import make_clock_ensemble
-from repro.units import KILOBYTE, MEGABYTE
+from repro.units import KILOBYTE, MEGABYTE, NS, PS, US
 
 
 def _floats(text: str) -> List[float]:
@@ -82,6 +82,12 @@ def _build_parser() -> argparse.ArgumentParser:
     sync = sub.add_parser("sync", help="time-synchronization accuracy")
     sync.add_argument("--nodes", type=int, default=16)
     sync.add_argument("--epochs", type=int, default=20_000)
+
+    sub.add_parser(
+        "lint",
+        help="run the repro.checks static analysis (see sirius-lint)",
+        add_help=False,
+    )
     return parser
 
 
@@ -109,14 +115,14 @@ def _cmd_simulate(args) -> int:
           f"{args.nodes} nodes, {args.multiplier}x uplinks, "
           f"Q={args.queue_threshold}")
     print(f"epochs            : {result.epochs} "
-          f"({result.duration_s / 1e-6:.1f} us)")
+          f"({result.duration_s / US:.1f} us)")
     print(f"completed flows   : {len(result.completed_flows)}"
           f"/{len(result.flows)}")
     print(f"goodput           : {result.normalized_goodput:.3f}")
     p50, p99 = result.fct_percentile(50), result.fct_percentile(99)
     if p99 is not None:
-        print(f"short-flow FCT    : p50 {p50 / 1e-6:.1f} us, "
-              f"p99 {p99 / 1e-6:.1f} us")
+        print(f"short-flow FCT    : p50 {p50 / US:.1f} us, "
+              f"p99 {p99 / US:.1f} us")
     print(f"peak queues       : fwd {result.peak_fwd_bytes / 1000:.1f} KB, "
           f"reorder {result.peak_reorder_bytes / 1000:.1f} KB")
     if telemetry is not None and telemetry.n_samples:
@@ -153,7 +159,7 @@ def _cmd_compare(args) -> int:
             p99 = result.fct_percentile(99)
             print(f"{load:>6.0%} {name:>18} "
                   f"{result.normalized_goodput:>8.3f} "
-                  f"{(p99 or 0) / 1e-6:>11.1f}")
+                  f"{(p99 or 0) / US:>11.1f}")
         sirius = SiriusNetwork(
             args.nodes, args.grating_ports, uplink_multiplier=1.5,
             seed=args.seed,
@@ -161,7 +167,7 @@ def _cmd_compare(args) -> int:
         p99 = sirius.fct_percentile(99)
         print(f"{load:>6.0%} {'Sirius':>18} "
               f"{sirius.normalized_goodput:>8.3f} "
-              f"{(p99 or 0) / 1e-6:>11.1f}")
+              f"{(p99 or 0) / US:>11.1f}")
     return 0
 
 
@@ -169,14 +175,14 @@ def _cmd_prototype(args) -> int:
     rig = PrototypeRig(args.generation, seed=5)
     report = rig.run(n_epochs=args.epochs, sync_epochs=4000)
     print(f"Sirius {report.generation}")
-    print(f"guardband             : {report.guardband_s / 1e-9:.2f} ns")
+    print(f"guardband             : {report.guardband_s / NS:.2f} ns")
     print(f"worst reconfiguration : "
-          f"{report.worst_reconfiguration_s / 1e-9:.3f} ns "
+          f"{report.worst_reconfiguration_s / NS:.3f} ns "
           f"({'OK' if report.guardband_sufficient else 'EXCEEDED'})")
     print(f"post-FEC error-free   : {report.error_free} "
           f"({report.bits_checked:,} bits)")
     print(f"sync deviation        : "
-          f"±{report.sync_max_offset_s / 1e-12:.2f} ps")
+          f"±{report.sync_max_offset_s / PS:.2f} ps")
     return 0
 
 
@@ -221,6 +227,14 @@ _COMMANDS = {
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        # Forwarded wholesale so `sirius-repro lint` and `sirius-lint`
+        # accept identical options.
+        from repro.checks.cli import main as lint_main
+
+        return lint_main(argv[1:])
     args = _build_parser().parse_args(argv)
     return _COMMANDS[args.command](args)
 

@@ -26,7 +26,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
-from repro.units import NANOSECOND, fibre_delay
+from repro.units import GBPS, NANOSECOND, fibre_delay
 
 
 def greedy_matching(demand: Sequence[Sequence[float]]) -> Dict[int, int]:
@@ -144,7 +144,7 @@ class ControlPlaneModel:
 
     datacenter_span_m: float = 500.0
     demand_vector_bits: int = 1024
-    control_link_bps: float = 100e9
+    control_link_bps: float = 100 * GBPS
     matching_time_per_node_ns: float = 2.0
 
     def collection_latency_s(self, n_nodes: int) -> float:

@@ -178,6 +178,7 @@ class SiriusNetwork:
             uplink_multiplier=math.ceil(uplink_multiplier),
         )
         self.schedule = CyclicSchedule(self.topology, timing)
+        self.schedule.verify_contention_free()
         self.timing = self.schedule.timing
         self.config = config or CongestionConfig()
         self.track_reorder = track_reorder

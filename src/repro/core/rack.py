@@ -23,13 +23,14 @@ part.
 from __future__ import annotations
 
 import math
+import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.cell import Flow
 from repro.core.network import SimulationResult, SiriusNetwork
 from repro.sim.fluid import FluidNetwork, FluidResult
-from repro.units import GBPS
+from repro.units import GBPS, US
 
 
 class CreditLink:
@@ -262,7 +263,7 @@ class RackDeployment:
             # per-rack fluid networks (no flow crosses racks here).
             fluid = FluidNetwork(
                 self.n_servers, self.rack_config.server_link_bps,
-                base_rtt_s=2e-6,
+                base_rtt_s=2 * US,
             )
             intra.sort(key=lambda f: f.arrival_time)
             intra_result = fluid.run(intra)
@@ -290,8 +291,6 @@ def simulate_credit_hop(offered_cells_per_slot: float, drain_cells_per_slot: flo
     the §4.3 claim that a simple one-hop credit protocol suffices once
     the core is congestion-free.
     """
-    import random
-
     if offered_cells_per_slot <= 0 or drain_cells_per_slot <= 0:
         raise ValueError("rates must be positive")
     rng = random.Random(seed)

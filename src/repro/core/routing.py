@@ -54,7 +54,7 @@ class ValiantRouter:
             raise ValueError(f"node {node} out of range [0, {n_nodes})")
         self.n_nodes = n_nodes
         self.node = node
-        self.rng = rng or random.Random()
+        self.rng = rng or random.Random(node)
         self.exclude_destination = exclude_destination
         self._others: List[int] = [n for n in range(n_nodes) if n != node]
 

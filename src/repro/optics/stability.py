@@ -19,7 +19,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.units import ITU_GRID_SPACING_GHZ, SPEED_OF_LIGHT_VACUUM
+from repro.units import (
+    GIGAHERTZ,
+    ITU_GRID_SPACING_GHZ,
+    NANOMETRE,
+    SPEED_OF_LIGHT_VACUUM,
+)
 
 #: Typical InP laser wavelength-temperature coefficient (nm per °C).
 WAVELENGTH_DRIFT_NM_PER_C = 0.1
@@ -35,13 +40,13 @@ def channel_spacing_nm(spacing_ghz: float = ITU_GRID_SPACING_GHZ,
     """
     if spacing_ghz <= 0:
         raise ValueError("spacing must be positive")
-    centre_freq_ghz = SPEED_OF_LIGHT_VACUUM / (centre_nm * 1e-9) / 1e9
+    centre_freq_ghz = SPEED_OF_LIGHT_VACUUM / (centre_nm * NANOMETRE) / GIGAHERTZ
     lo = SPEED_OF_LIGHT_VACUUM / (
-        (centre_freq_ghz + spacing_ghz / 2) * 1e9
-    ) / 1e-9
+        (centre_freq_ghz + spacing_ghz / 2) * GIGAHERTZ
+    ) / NANOMETRE
     hi = SPEED_OF_LIGHT_VACUUM / (
-        (centre_freq_ghz - spacing_ghz / 2) * 1e9
-    ) / 1e-9
+        (centre_freq_ghz - spacing_ghz / 2) * GIGAHERTZ
+    ) / NANOMETRE
     return hi - lo
 
 

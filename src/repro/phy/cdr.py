@@ -24,7 +24,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-from repro.units import MICROSECOND, NANOSECOND, PICOSECOND
+from repro.units import MICROSECOND, NANOSECOND, PICOSECOND, PPM
 
 #: Symbol duration at 25 GBaud (PAM-4 at 50 Gb/s): 40 ps (§6).
 SYMBOL_TIME_25GBAUD = 40 * PICOSECOND
@@ -91,7 +91,7 @@ class PhaseCachingCDR:
         residual = None
         if entry is not None and now - entry.refreshed_at <= self.max_cache_age_s:
             age = now - entry.refreshed_at
-            drift = self.drift_ppm * 1e-6 * age
+            drift = self.drift_ppm * PPM * age
             residual = abs(drift) + abs(self.rng.gauss(0.0, self.noise_s))
         if residual is not None and (
             residual < self.lock_fraction * self.symbol_time_s
@@ -109,7 +109,7 @@ class PhaseCachingCDR:
         """Phase drift accumulated over a cache age (seconds)."""
         if age_s < 0:
             raise ValueError("age cannot be negative")
-        return self.drift_ppm * 1e-6 * age_s
+        return self.drift_ppm * PPM * age_s
 
     def max_epoch_for_cached_lock(self) -> float:
         """Longest revisit interval that still permits cached locking.
@@ -119,7 +119,7 @@ class PhaseCachingCDR:
         window.
         """
         window = self.lock_fraction * self.symbol_time_s
-        return window / (self.drift_ppm * 1e-6)
+        return window / (self.drift_ppm * PPM)
 
     def invalidate(self, sender: int) -> None:
         """Drop a sender's cache entry (e.g. on detected failure)."""

@@ -29,7 +29,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.cell import Flow
-from repro.units import KILOBYTE
+from repro.units import KILOBYTE, US
 
 
 def pod_map_for(n_nodes: int, pod_size: int) -> List[int]:
@@ -117,7 +117,7 @@ class FluidNetwork:
     def __init__(self, n_nodes: int, node_bandwidth_bps: float, *,
                  pod_map: Optional[Sequence[int]] = None,
                  pod_bandwidth_bps: Optional[float] = None,
-                 base_rtt_s: float = 2e-6) -> None:
+                 base_rtt_s: float = 2 * US) -> None:
         if n_nodes < 2:
             raise ValueError(f"need at least 2 nodes, got {n_nodes}")
         if node_bandwidth_bps <= 0:
@@ -178,8 +178,11 @@ class FluidNetwork:
                 if not flows:
                     continue
                 cap_left[res] -= delta * len(flows)
+                # relative epsilon, not a unit  # lint: ignore[unit-literal]
                 if cap_left[res] <= 1e-9 * self._capacity(res):
                     saturated.append(res)
+            # every member gets the same delta: order cannot
+            # affect the result  # lint: ignore[set-iteration]
             for fid in unfrozen:
                 rates[fid] += delta
             frozen = set()

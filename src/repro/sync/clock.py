@@ -17,6 +17,8 @@ from __future__ import annotations
 import random
 from typing import Optional
 
+from repro.units import PPM
+
 
 class DriftingClock:
     """A clock with static ppm offset plus a bounded frequency random walk.
@@ -48,7 +50,7 @@ class DriftingClock:
         self.wander_ppm_per_s = wander_ppm_per_s
         self.max_abs_ppm = max_abs_ppm
         self.phase_s = phase_s
-        self.rng = rng or random.Random()
+        self.rng = rng or random.Random(37)
         #: Cumulative discipline applied by the sync protocol (ppm).
         self.discipline_ppm = 0.0
 
@@ -62,7 +64,7 @@ class DriftingClock:
         """Advance real time by ``dt_s``: accumulate phase and wander."""
         if dt_s < 0:
             raise ValueError(f"dt cannot be negative, got {dt_s}")
-        self.phase_s += self.effective_ppm * 1e-6 * dt_s
+        self.phase_s += self.effective_ppm * PPM * dt_s
         if self.wander_ppm_per_s:
             step = self.rng.gauss(0.0, self.wander_ppm_per_s * dt_s)
             self.ppm_error = max(

@@ -18,7 +18,7 @@ from __future__ import annotations
 import random
 from typing import List, Optional, Sequence
 
-from repro.units import fibre_delay
+from repro.units import PS, fibre_delay
 
 
 class DelayEstimator:
@@ -30,7 +30,7 @@ class DelayEstimator:
     picosecond-level estimates from tens of probes.
     """
 
-    def __init__(self, timestamp_noise_s: float = 2e-12, *,
+    def __init__(self, timestamp_noise_s: float = 2 * PS, *,
                  rng: Optional[random.Random] = None) -> None:
         if timestamp_noise_s < 0:
             raise ValueError("noise cannot be negative")

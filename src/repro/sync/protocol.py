@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Set
 
 from repro.sync.clock import DriftingClock
-from repro.units import MICROSECOND, PICOSECOND
+from repro.units import MICROSECOND, PICOSECOND, PPM
 
 
 @dataclass(frozen=True)
@@ -138,7 +138,7 @@ class SyncProtocol:
                 )
                 clock.slew_phase(-cfg.phase_gain * measured)
                 clock.adjust_frequency(
-                    -cfg.freq_gain * measured / cfg.epoch_s * 1e6,
+                    -cfg.freq_gain * measured / cfg.epoch_s / PPM,
                     max_step_ppm=cfg.max_freq_step_ppm,
                 )
             spread = self._max_pairwise_offset()

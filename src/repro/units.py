@@ -42,10 +42,26 @@ PBPS = 1e15
 # --- power --------------------------------------------------------------
 WATT = 1.0
 MILLIWATT = 1e-3
+MICROWATT = 1e-6
+KILOWATT = 1e3
+MEGAWATT = 1e6
+
+# --- energy -------------------------------------------------------------
+JOULE = 1.0
+PICOJOULE = 1e-12
+
+# --- dimensionless ------------------------------------------------------
+#: Parts-per-million, the unit of oscillator frequency error (§4.4).
+PPM = 1e-6
 
 # --- distance / light ---------------------------------------------------
 METRE = 1.0
 KILOMETRE = 1000.0
+NANOMETRE = 1e-9
+
+# --- frequency ----------------------------------------------------------
+HERTZ = 1.0
+GIGAHERTZ = 1e9
 #: Speed of light in standard single-mode fibre (refractive index ~1.468).
 SPEED_OF_LIGHT_VACUUM = 299_792_458.0
 FIBRE_REFRACTIVE_INDEX = 1.468
@@ -78,6 +94,27 @@ def mw_to_dbm(mw: float) -> float:
     if mw <= 0:
         raise ValueError(f"optical power must be positive, got {mw} mW")
     return 10.0 * math.log10(mw)
+
+
+def dbm_to_w(dbm: float) -> float:
+    """Convert optical power from dBm to watts (SI base unit).
+
+    >>> round(dbm_to_w(0.0), 6)
+    0.001
+    """
+    return dbm_to_mw(dbm) * MILLIWATT
+
+
+def w_to_dbm(w: float) -> float:
+    """Convert optical power from watts to dBm.
+
+    Raises ``ValueError`` for non-positive power, which has no dBm
+    representation.
+
+    >>> round(w_to_dbm(0.001), 6)
+    0.0
+    """
+    return mw_to_dbm(w / MILLIWATT)
 
 
 def db_ratio(ratio: float) -> float:
@@ -125,7 +162,7 @@ def wavelength_nm(channel: int, n_channels: int, *, centre_nm: float = C_BAND_CE
     """
     if not 0 <= channel < n_channels:
         raise ValueError(f"channel {channel} out of range [0, {n_channels})")
-    centre_freq_ghz = SPEED_OF_LIGHT_VACUUM / (centre_nm * 1e-9) / 1e9
+    centre_freq_ghz = SPEED_OF_LIGHT_VACUUM / (centre_nm * NANOMETRE) / GIGAHERTZ
     offset = channel - (n_channels - 1) / 2.0
     freq_ghz = centre_freq_ghz - offset * spacing_ghz
-    return SPEED_OF_LIGHT_VACUUM / (freq_ghz * 1e9) / 1e-9
+    return SPEED_OF_LIGHT_VACUUM / (freq_ghz * GIGAHERTZ) / NANOMETRE

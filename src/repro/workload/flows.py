@@ -101,6 +101,35 @@ class WorkloadConfig:
     min_flow_bits: float = 1 * BYTE
     seed: int = 42
 
+    def __post_init__(self) -> None:
+        if self.n_nodes < 2:
+            raise ValueError(f"need at least 2 nodes, got {self.n_nodes}")
+        if self.load <= 0:
+            raise ValueError(f"load must be positive, got {self.load}")
+        if self.node_bandwidth_bps <= 0:
+            raise ValueError(
+                f"bandwidth must be positive, got {self.node_bandwidth_bps}"
+            )
+        if self.mean_flow_bits <= 0:
+            raise ValueError(
+                f"mean flow size must be positive, got {self.mean_flow_bits}"
+            )
+        if self.pareto_shape <= 1:
+            raise ValueError(
+                "shape must exceed 1 for a finite untruncated mean, got "
+                f"{self.pareto_shape}"
+            )
+        if (self.truncation_bits is not None
+                and self.truncation_bits <= self.mean_flow_bits):
+            raise ValueError(
+                f"truncation {self.truncation_bits} must exceed the mean "
+                f"flow size {self.mean_flow_bits}"
+            )
+        if self.min_flow_bits <= 0:
+            raise ValueError(
+                f"minimum flow size must be positive, got {self.min_flow_bits}"
+            )
+
 
 class FlowWorkload:
     """Generates the paper's Poisson/Pareto/uniform flow mix."""

@@ -1,0 +1,87 @@
+"""Baseline persistence and diffing semantics."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.checks import (
+    check_source,
+    diff_against_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.checks.registry import ALL_RULES
+
+BAD = textwrap.dedent("""\
+def to_us(duration_s):
+    return duration_s / 1e-6
+""")
+
+
+def findings_for(source):
+    return check_source(source, ALL_RULES)
+
+
+class TestRoundtrip:
+    def test_write_then_load(self, tmp_path):
+        findings = findings_for(BAD)
+        path = tmp_path / "baseline.json"
+        write_baseline(path, findings)
+        baseline = load_baseline(path)
+        assert baseline == {findings[0].fingerprint: 1}
+
+    def test_missing_file_is_empty_baseline(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.json") == {}
+
+    def test_malformed_file_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(["not", "a", "baseline"]))
+        with pytest.raises(ValueError):
+            load_baseline(path)
+
+    def test_duplicate_fingerprints_counted(self, tmp_path):
+        # The same violation pattern twice -> count 2.
+        source = BAD + BAD.replace("to_us", "to_us_again")
+        findings = findings_for(source)
+        assert len(findings) == 2
+        path = tmp_path / "baseline.json"
+        write_baseline(path, findings)
+        baseline = load_baseline(path)
+        assert sum(baseline.values()) == 2
+
+
+class TestDiff:
+    def test_baselined_findings_are_not_new(self):
+        findings = findings_for(BAD)
+        baseline = {findings[0].fingerprint: 1}
+        new, stale = diff_against_baseline(findings, baseline)
+        assert new == [] and stale == []
+
+    def test_fresh_finding_is_new(self):
+        findings = findings_for(BAD)
+        new, stale = diff_against_baseline(findings, {})
+        assert new == findings and stale == []
+
+    def test_line_shift_does_not_break_baseline(self):
+        baseline_findings = findings_for(BAD)
+        shifted = findings_for("import math\n\n" + BAD)
+        assert shifted[0].line != baseline_findings[0].line
+        new, stale = diff_against_baseline(
+            shifted, {baseline_findings[0].fingerprint: 1}
+        )
+        assert new == [] and stale == []
+
+    def test_second_identical_violation_is_new(self):
+        source = BAD + BAD
+        findings = findings_for(source)
+        baseline = {findings[0].fingerprint: 1}
+        new, _stale = diff_against_baseline(findings, baseline)
+        assert len(new) == 1
+
+    def test_fixed_finding_reported_stale(self):
+        findings = findings_for(BAD)
+        baseline = {findings[0].fingerprint: 1, "gone::U101::x / 1e-9": 1}
+        new, stale = diff_against_baseline(findings, baseline)
+        assert new == []
+        assert stale == ["gone::U101::x / 1e-9"]

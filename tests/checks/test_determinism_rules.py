@@ -1,0 +1,181 @@
+"""Determinism rule family: good/bad fixture pairs per rule."""
+
+import textwrap
+
+from repro.checks import check_source
+from repro.checks.determinism_rules import DETERMINISM_RULES
+
+
+def lint(source):
+    return check_source(textwrap.dedent(source), DETERMINISM_RULES)
+
+
+def codes(source):
+    return [f.rule for f in lint(source)]
+
+
+class TestGlobalRng:
+    """D201 — module-level random.*/np.random.* draws."""
+
+    def test_bad_module_level_random(self):
+        assert codes("""\
+        import random
+
+        def jitter():
+            return random.random()
+        """) == ["D201"]
+
+    def test_bad_aliased_import(self):
+        assert codes("""\
+        import random as rnd
+
+        def pick(items):
+            return rnd.choice(items)
+        """) == ["D201"]
+
+    def test_bad_numpy_global(self):
+        assert codes("""\
+        import numpy as np
+
+        def noise(n):
+            return np.random.normal(size=n)
+        """) == ["D201"]
+
+    def test_bad_global_seed_call(self):
+        assert codes("""\
+        import random
+
+        random.seed(0)
+        """) == ["D201"]
+
+    def test_good_injected_rng(self):
+        assert codes("""\
+        import random
+
+        def jitter(rng: random.Random):
+            return rng.random()
+        """) == []
+
+    def test_good_unrelated_module_attribute(self):
+        assert codes("""\
+        import math
+
+        def jitter():
+            return math.sin(1.0)
+        """) == []
+
+    def test_good_local_name_shadowing_without_import(self):
+        # No `import random` in the file: `random.x()` is someone
+        # else's object, not the stdlib global.
+        assert codes("""\
+        def jitter(random):
+            return random.random()
+        """) == []
+
+
+class TestUnseededRng:
+    """D202 — RNG constructed without a seed."""
+
+    def test_bad_unseeded_random(self):
+        assert codes("""\
+        import random
+
+        rng = random.Random()
+        """) == ["D202"]
+
+    def test_bad_unseeded_default_rng(self):
+        assert codes("""\
+        import numpy as np
+
+        rng = np.random.default_rng()
+        """) == ["D202"]
+
+    def test_bad_system_random_even_with_args(self):
+        assert codes("""\
+        import random
+
+        rng = random.SystemRandom()
+        """) == ["D202"]
+
+    def test_good_seeded_random(self):
+        assert codes("""\
+        import random
+
+        rng = random.Random(42)
+        """) == []
+
+    def test_good_seeded_default_rng(self):
+        assert codes("""\
+        import numpy as np
+
+        def make(seed):
+            return np.random.default_rng(seed)
+        """) == []
+
+    def test_good_fallback_pattern(self):
+        # The codebase's canonical constructor-injection pattern.
+        assert codes("""\
+        import random
+
+        class Model:
+            def __init__(self, rng=None):
+                self.rng = rng or random.Random(41)
+        """) == []
+
+
+class TestSetIteration:
+    """D203 — hash-seed-dependent iteration order."""
+
+    def test_bad_for_over_set_call(self):
+        assert codes("""\
+        def drain(queues):
+            for q in set(queues):
+                q.pop()
+        """) == ["D203"]
+
+    def test_bad_for_over_set_literal(self):
+        assert codes("""\
+        def visit():
+            for node in {"a", "b", "c"}:
+                print(node)
+        """) == ["D203"]
+
+    def test_bad_for_over_set_bound_name(self):
+        assert codes("""\
+        def drain(active):
+            pending = set(active)
+            for item in pending:
+                item.step()
+        """) == ["D203"]
+
+    def test_bad_comprehension_over_set(self):
+        assert codes("""\
+        def ids(nodes):
+            return [n.id for n in set(nodes)]
+        """) == ["D203"]
+
+    def test_good_sorted_wrapper(self):
+        assert codes("""\
+        def drain(queues):
+            for q in sorted(set(queues)):
+                q.pop()
+        """) == []
+
+    def test_good_list_iteration(self):
+        assert codes("""\
+        def drain(queues):
+            for q in list(queues):
+                q.pop()
+        """) == []
+
+    def test_good_membership_only(self):
+        assert codes("""\
+        def seen_filter(items):
+            seen = set()
+            out = []
+            for item in items:
+                if item not in seen:
+                    seen.add(item)
+                    out.append(item)
+            return out
+        """) == []

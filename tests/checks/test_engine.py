@@ -1,0 +1,152 @@
+"""Shared engine behavior: suppressions, filtering, output formats."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.checks import check_source, filter_rules, format_json, format_text
+from repro.checks.engine import run_checks
+from repro.checks.registry import ALL_RULES
+from repro.checks.units_rules import UNITS_RULES, UnitLiteralRule
+
+
+def lint(source, rules=None):
+    return check_source(textwrap.dedent(source), rules or ALL_RULES)
+
+
+BAD_LITERAL = """\
+def to_us(duration_s):
+    return duration_s / 1e-6
+"""
+
+
+class TestSuppression:
+    def test_trailing_comment_suppresses(self):
+        findings = lint("""\
+        def to_us(duration_s):
+            return duration_s / 1e-6  # lint: ignore[U101]
+        """)
+        assert findings == []
+
+    def test_rule_name_works_too(self):
+        findings = lint("""\
+        def to_us(duration_s):
+            return duration_s / 1e-6  # lint: ignore[unit-literal]
+        """)
+        assert findings == []
+
+    def test_bare_ignore_suppresses_all_rules(self):
+        findings = lint("""\
+        def to_us(duration_s):
+            return duration_s / 1e-6  # lint: ignore
+        """)
+        assert findings == []
+
+    def test_preceding_comment_line_covers_next_code_line(self):
+        findings = lint("""\
+        def to_us(duration_s):
+            # conversion for display only  # lint: ignore[U101]
+            return duration_s / 1e-6
+        """)
+        assert findings == []
+
+    def test_unrelated_rule_id_does_not_suppress(self):
+        findings = lint("""\
+        def to_us(duration_s):
+            return duration_s / 1e-6  # lint: ignore[D201]
+        """)
+        assert [f.rule for f in findings] == ["U101"]
+
+    def test_skip_file_pragma(self):
+        findings = lint("# lint: skip-file\n" + BAD_LITERAL)
+        assert findings == []
+
+    def test_unsuppressed_finding_reported(self):
+        findings = lint(BAD_LITERAL)
+        assert [f.rule for f in findings] == ["U101"]
+        assert findings[0].line == 2
+
+
+class TestFiltering:
+    def test_select_by_code(self):
+        rules = filter_rules(ALL_RULES, select=["U101"])
+        assert [r.code for r in rules] == ["U101"]
+
+    def test_select_by_name(self):
+        rules = filter_rules(ALL_RULES, select=["set-iteration"])
+        assert [r.code for r in rules] == ["D203"]
+
+    def test_select_family_prefix(self):
+        rules = filter_rules(ALL_RULES, select=["D"])
+        assert {r.code for r in rules} == {"D201", "D202", "D203"}
+
+    def test_ignore_removes(self):
+        rules = filter_rules(ALL_RULES, ignore=["I"])
+        assert all(not r.code.startswith("I") for r in rules)
+
+    def test_select_then_ignore(self):
+        rules = filter_rules(ALL_RULES, select=["U"], ignore=["U103"])
+        assert {r.code for r in rules} == {"U101", "U102"}
+
+
+class TestFindings:
+    def test_fingerprint_is_line_number_independent(self):
+        a = lint(BAD_LITERAL)[0]
+        b = lint("\n\n\n" + BAD_LITERAL)[0]
+        assert a.line != b.line
+        assert a.fingerprint == b.fingerprint
+
+    def test_render_mentions_location_rule_and_name(self):
+        finding = lint(BAD_LITERAL)[0]
+        text = finding.render()
+        assert "U101" in text and "unit-literal" in text
+        assert ":2:" in text
+
+    def test_format_text_counts(self):
+        findings = lint(BAD_LITERAL)
+        assert "1 finding" in format_text(findings)
+        assert format_text([]) == "no findings"
+
+    def test_format_json_roundtrips(self):
+        findings = lint(BAD_LITERAL)
+        payload = json.loads(format_json(findings))
+        assert payload["count"] == 1
+        (entry,) = payload["findings"]
+        assert entry["rule"] == "U101"
+        assert entry["name"] == "unit-literal"
+        assert entry["fingerprint"] == findings[0].fingerprint
+
+
+class TestRegistry:
+    def test_codes_are_unique(self):
+        codes = [rule.code for rule in ALL_RULES]
+        assert len(codes) == len(set(codes))
+
+    def test_names_are_unique_and_kebab(self):
+        names = [rule.name for rule in ALL_RULES]
+        assert len(names) == len(set(names))
+        assert all(name == name.lower() and " " not in name for name in names)
+
+    def test_three_families_present(self):
+        families = {rule.code[0] for rule in ALL_RULES}
+        assert families == {"U", "D", "I"}
+
+    def test_unit_rules_exported(self):
+        assert any(isinstance(rule, UnitLiteralRule) for rule in UNITS_RULES)
+
+
+class TestRobustness:
+    def test_syntactically_invalid_source_raises_cleanly(self):
+        with pytest.raises(SyntaxError):
+            check_source("def broken(:\n", ALL_RULES)
+
+    def test_run_checks_reports_unparseable_file(self, tmp_path):
+        (tmp_path / "broken.py").write_text("def broken(:\n")
+        (tmp_path / "ok.py").write_text(BAD_LITERAL)
+        findings = run_checks([tmp_path], ALL_RULES, root=tmp_path)
+        assert [f.rule for f in findings] == ["E001", "U101"]
+        parse_error = findings[0]
+        assert parse_error.name == "parse-error"
+        assert parse_error.path == "broken.py"
+        assert parse_error.line == 1

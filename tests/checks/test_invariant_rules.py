@@ -1,0 +1,164 @@
+"""Invariant rule family: good/bad fixture pairs per rule."""
+
+import textwrap
+
+from repro.checks import check_source
+from repro.checks.invariant_rules import INVARIANT_RULES
+
+
+def lint(source):
+    return check_source(textwrap.dedent(source), INVARIANT_RULES)
+
+
+def codes(source):
+    return [f.rule for f in lint(source)]
+
+
+class TestFrozenMutation:
+    """I301 — writes to frozen-dataclass fields."""
+
+    def test_bad_direct_assignment_in_method(self):
+        assert codes("""\
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class SlotTiming:
+            guardband_s: float = 1.0
+
+            def stretch(self, factor):
+                self.guardband_s = self.guardband_s * factor
+        """) == ["I301"]
+
+    def test_bad_augmented_assignment(self):
+        assert codes("""\
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class Counter:
+            n: int = 0
+
+            def bump(self):
+                self.n += 1
+        """) == ["I301"]
+
+    def test_bad_setattr_bypass_outside_post_init(self):
+        assert codes("""\
+        def hack(timing):
+            object.__setattr__(timing, "guardband_s", 0.0)
+        """) == ["I301"]
+
+    def test_good_setattr_inside_post_init(self):
+        assert codes("""\
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class Derived:
+            a: float
+
+            def __post_init__(self):
+                object.__setattr__(self, "b", self.a * 2)
+        """) == []
+
+    def test_good_mutation_in_unfrozen_dataclass(self):
+        assert codes("""\
+        from dataclasses import dataclass
+
+        @dataclass
+        class Mutable:
+            n: int = 0
+
+            def bump(self):
+                self.n += 1
+        """) == []
+
+    def test_good_reading_fields(self):
+        assert codes("""\
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class SlotTiming:
+            guardband_s: float = 1.0
+
+            def doubled(self):
+                return self.guardband_s * 2
+        """) == []
+
+
+class TestMissingValidator:
+    """I302 — *Config dataclasses without __post_init__."""
+
+    def test_bad_config_without_validator(self):
+        assert codes("""\
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class SweepConfig:
+            load: float = 0.5
+        """) == ["I302"]
+
+    def test_good_config_with_validator(self):
+        assert codes("""\
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class SweepConfig:
+            load: float = 0.5
+
+            def __post_init__(self):
+                if self.load <= 0:
+                    raise ValueError("load must be positive")
+        """) == []
+
+    def test_good_non_config_class_exempt(self):
+        assert codes("""\
+        from dataclasses import dataclass
+
+        @dataclass
+        class Result:
+            value: float = 0.0
+        """) == []
+
+    def test_good_config_that_is_not_a_dataclass(self):
+        assert codes("""\
+        class LegacyConfig:
+            pass
+        """) == []
+
+
+class TestScheduleBypass:
+    """I303 — CyclicSchedule built without the permutation check."""
+
+    def test_bad_unverified_construction(self):
+        assert codes("""\
+        from repro.core.schedule import CyclicSchedule
+
+        def build(topo):
+            return CyclicSchedule(topo)
+        """) == ["I303"]
+
+    def test_good_verified_in_same_scope(self):
+        assert codes("""\
+        from repro.core.schedule import CyclicSchedule
+
+        def build(topo):
+            schedule = CyclicSchedule(topo)
+            schedule.verify_contention_free()
+            return schedule
+        """) == []
+
+    def test_bad_verify_in_other_function_does_not_count(self):
+        assert codes("""\
+        from repro.core.schedule import CyclicSchedule
+
+        def build(topo):
+            return CyclicSchedule(topo)
+
+        def check(schedule):
+            schedule.verify_contention_free()
+        """) == ["I303"]
+
+    def test_good_unrelated_constructor(self):
+        assert codes("""\
+        def build(topo):
+            return Schedule(topo)
+        """) == []

@@ -1,0 +1,132 @@
+"""The gate itself: ``src/repro`` must lint clean against the baseline.
+
+This is the tier-1 CI hook the ISSUE asks for — any new unit-literal,
+nondeterminism or invariant violation introduced into the library fails
+the ordinary ``python -m pytest`` run, with the committed
+``checks_baseline.json`` grandfathering accepted findings.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.checks import diff_against_baseline, load_baseline, run_checks
+from repro.checks.baseline import DEFAULT_BASELINE_NAME
+from repro.checks.cli import main
+from repro.checks.registry import ALL_RULES
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src" / "repro"
+BASELINE = REPO_ROOT / DEFAULT_BASELINE_NAME
+
+
+def run_cli(*argv):
+    """Run a lint subprocess with src/ importable regardless of install."""
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (src + os.pathsep + env["PYTHONPATH"]
+                         if env.get("PYTHONPATH") else src)
+    return subprocess.run([sys.executable, *argv], capture_output=True,
+                          text=True, cwd=REPO_ROOT, env=env)
+
+
+class TestSelfCheck:
+    def test_src_repro_clean_against_committed_baseline(self):
+        findings = run_checks([SRC], ALL_RULES, root=REPO_ROOT)
+        baseline = load_baseline(BASELINE)
+        new, stale = diff_against_baseline(findings, baseline)
+        assert not new, "new lint findings:\n" + "\n".join(
+            f.render() for f in new
+        )
+        assert not stale, (
+            "stale baseline entries (regenerate checks_baseline.json):\n"
+            + "\n".join(stale)
+        )
+
+    def test_baseline_file_is_committed(self):
+        assert BASELINE.is_file(), (
+            f"{DEFAULT_BASELINE_NAME} must be committed at the repo root"
+        )
+
+    def test_cli_exits_zero_on_clean_tree(self, capsys):
+        exit_code = main([str(SRC)])
+        capsys.readouterr()
+        assert exit_code == 0
+
+
+class TestCliContract:
+    def test_module_entry_point(self):
+        result = run_cli("-m", "repro.checks", str(SRC))
+        assert result.returncode == 0, result.stdout + result.stderr
+
+    def test_json_format(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(t_s):\n    return t_s / 1e-6\n")
+        result = run_cli("-m", "repro.checks", str(bad),
+             "--no-baseline", "--format", "json")
+        assert result.returncode == 1
+        payload = json.loads(result.stdout)
+        assert payload["count"] == 1
+        assert payload["findings"][0]["rule"] == "U101"
+
+    def test_select_limits_rules(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "import random\n"
+            "def f(t_s):\n"
+            "    random.seed(0)\n"
+            "    return t_s / 1e-6\n"
+        )
+        result = run_cli("-m", "repro.checks", str(bad),
+             "--no-baseline", "--select", "D", "--format", "json")
+        payload = json.loads(result.stdout)
+        assert [f["rule"] for f in payload["findings"]] == ["D201"]
+
+    def test_ignore_drops_rules(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(t_s):\n    return t_s / 1e-6\n")
+        result = run_cli("-m", "repro.checks", str(bad),
+             "--no-baseline", "--ignore", "U101")
+        assert result.returncode == 0
+
+    def test_write_baseline_then_clean(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(t_s):\n    return t_s / 1e-6\n")
+        baseline = tmp_path / "baseline.json"
+        wrote = run_cli("-m", "repro.checks", str(bad),
+             "--baseline", str(baseline), "--write-baseline")
+        assert wrote.returncode == 0 and baseline.is_file()
+        rerun = run_cli("-m", "repro.checks", str(bad),
+             "--baseline", str(baseline))
+        assert rerun.returncode == 0, rerun.stdout + rerun.stderr
+
+    def test_malformed_baseline_is_a_clean_usage_error(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(t_s):\n    return t_s / 1e-6\n")
+        corrupt = tmp_path / "corrupt.json"
+        corrupt.write_text("{broken")
+        result = run_cli("-m", "repro.checks", str(bad),
+             "--baseline", str(corrupt))
+        assert result.returncode == 2
+        assert "malformed baseline" in result.stderr
+        assert "Traceback" not in result.stderr
+
+    def test_unparseable_file_is_a_finding_not_clean(self, tmp_path):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def broken(:\n")
+        result = run_cli("-m", "repro.checks", str(broken), "--no-baseline")
+        assert result.returncode == 1
+        assert "E001" in result.stdout
+
+    def test_list_rules(self):
+        result = run_cli("-m", "repro.checks", "--list-rules")
+        assert result.returncode == 0
+        for code in ("U101", "U102", "U103", "D201", "D202", "D203",
+                     "I301", "I302", "I303"):
+            assert code in result.stdout
+
+    def test_repro_cli_lint_subcommand_forwards(self):
+        result = run_cli("-m", "repro.cli", "lint", str(SRC))
+        assert result.returncode == 0, result.stdout + result.stderr

@@ -1,0 +1,166 @@
+"""Unit-dimension rule family: good/bad fixture pairs per rule."""
+
+import textwrap
+
+from repro.checks import check_source
+from repro.checks.units_rules import UNITS_RULES, dimension_of
+
+
+def lint(source):
+    return check_source(textwrap.dedent(source), UNITS_RULES)
+
+
+def codes(source):
+    return [f.rule for f in lint(source)]
+
+
+class TestUnitLiteral:
+    """U101 — raw power-of-ten literals."""
+
+    def test_bad_division_conversion(self):
+        assert codes("""\
+        def report(duration_s):
+            return duration_s / 1e-6
+        """) == ["U101"]
+
+    def test_bad_mantissa_literal_in_arithmetic(self):
+        assert codes("""\
+        def capacity(n):
+            return n * 50e9
+        """) == ["U101"]
+
+    def test_bad_keyword_with_dimension_suffix(self):
+        assert codes("""\
+        def build(make):
+            return make(base_rtt_s=2e-6)
+        """) == ["U101"]
+
+    def test_bad_default_with_dimension_suffix(self):
+        assert codes("""\
+        def probe(timestamp_noise_s=2e-12):
+            return timestamp_noise_s
+        """) == ["U101"]
+
+    def test_bad_annotated_assignment(self):
+        assert codes("""\
+        control_link_bps: float = 100e9
+        """) == ["U101"]
+
+    def test_good_units_constant(self):
+        assert codes("""\
+        from repro.units import US
+
+        def report(duration_s):
+            return duration_s / US
+        """) == []
+
+    def test_good_comparison_tolerance_not_flagged(self):
+        assert codes("""\
+        def close(a, b):
+            return abs(a - b) < 1e-9
+        """) == []
+
+    def test_good_call_argument_epsilon_not_flagged(self):
+        assert codes("""\
+        def floor(ber):
+            return max(ber, 1e-300)
+        """) == []
+
+    def test_good_plain_decimal_not_flagged(self):
+        assert codes("""\
+        def scale(x):
+            return x * 1000.0
+        """) == []
+
+    def test_suggestion_uses_dimension_suffix(self):
+        (finding,) = lint("""\
+        def report(duration_s):
+            return duration_s / 1e-6
+        """)
+        assert "US" in finding.message
+
+
+class TestDbLinearMix:
+    """U102 — decibel/linear power mixing."""
+
+    def test_bad_add(self):
+        assert codes("""\
+        def total(gain_db, power_mw):
+            return gain_db + power_mw
+        """) == ["U102"]
+
+    def test_bad_sub_with_attributes(self):
+        assert codes("""\
+        def margin(link):
+            return link.budget_dbm - link.noise_w
+        """) == ["U102"]
+
+    def test_good_db_plus_db(self):
+        assert codes("""\
+        def total(gain_db, loss_db):
+            return gain_db + loss_db
+        """) == []
+
+    def test_good_converted_first(self):
+        assert codes("""\
+        from repro.units import dbm_to_mw
+
+        def total(gain_dbm, power_mw):
+            return dbm_to_mw(gain_dbm) + power_mw
+        """) == []
+
+
+class TestDimensionMismatch:
+    """U103 — cross-dimension arithmetic and comparisons."""
+
+    def test_bad_time_plus_data(self):
+        assert codes("""\
+        def wat(duration_s, size_bits):
+            return duration_s + size_bits
+        """) == ["U103"]
+
+    def test_bad_comparison(self):
+        assert codes("""\
+        def wat(deadline_s, size_bytes):
+            return deadline_s < size_bytes
+        """) == ["U103"]
+
+    def test_good_division_changes_dimension(self):
+        assert codes("""\
+        def serialize(size_bits, rate_bps):
+            return size_bits / rate_bps
+        """) == []
+
+    def test_good_same_dimension(self):
+        assert codes("""\
+        def slack(slot_s, guard_s):
+            return slot_s - guard_s
+        """) == []
+
+    def test_good_unknown_side_is_silent(self):
+        assert codes("""\
+        def mystery(duration_s, x):
+            return duration_s + x
+        """) == []
+
+    def test_db_power_pair_left_to_u102(self):
+        findings = lint("""\
+        def total(gain_db, power_mw):
+            return gain_db + power_mw
+        """)
+        assert [f.rule for f in findings] == ["U102"]
+
+
+class TestDimensionOf:
+    def test_known_suffixes(self):
+        assert dimension_of("duration_s") == "time"
+        assert dimension_of("size_bits") == "data"
+        assert dimension_of("link_rate_bps") == "rate"
+        assert dimension_of("power_mw") == "power"
+        assert dimension_of("budget_dbm") == "level"
+        assert dimension_of("span_m") == "length"
+
+    def test_unknown(self):
+        assert dimension_of("load") is None
+        assert dimension_of("queue_threshold") is None
+        assert dimension_of(None) is None
