@@ -51,6 +51,12 @@ from repro.core import (
     SlotTiming,
     ValiantRouter,
 )
+from repro.obs import (
+    EventTracer,
+    MetricsRegistry,
+    Observation,
+    PhaseProfiler,
+)
 from repro.optics import (
     AWGR,
     BERModel,
@@ -89,14 +95,18 @@ __all__ = [
     "CongestionConfig",
     "CyclicSchedule",
     "DriftingClock",
+    "EventTracer",
     "FixedLaserBank",
     "Flow",
     "FlowWorkload",
     "FluidNetwork",
     "GuardbandBudget",
     "LinkBudget",
+    "MetricsRegistry",
+    "Observation",
     "PacketTraceModel",
     "PhaseCachingCDR",
+    "PhaseProfiler",
     "PrototypeRig",
     "ReorderBuffer",
     "SOABank",

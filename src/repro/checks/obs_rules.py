@@ -1,0 +1,95 @@
+"""Observability lint rules (family ``O``).
+
+With :mod:`repro.obs` in place, the simulator's hot paths
+(:mod:`repro.core`, :mod:`repro.sim`) have structured channels for
+everything they might want to say: metrics for counts, trace events for
+occurrences, the profiler for timing.  Ad-hoc ``print()`` calls in
+those packages bypass all of it — they are invisible to exporters,
+unlabelled, and cost wall-clock inside the epoch loop.  These rules
+keep the hot path quiet:
+
+* ``O401 print-in-hot-path`` — a direct ``print(...)`` call inside
+  ``repro.core`` or ``repro.sim``;
+* ``O402 stream-write-in-hot-path`` — writing to ``sys.stdout`` /
+  ``sys.stderr`` there (the same bypass with extra steps).
+
+Presentation layers (``repro.cli``, ``repro.obs.report``, benchmarks,
+tests) are out of scope — printing is their job.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.checks.engine import FileContext, Finding, Rule
+
+__all__ = [
+    "PrintInHotPathRule",
+    "StreamWriteInHotPathRule",
+    "OBS_RULES",
+]
+
+#: Dotted-module prefixes where simulator hot paths live.
+_HOT_PACKAGES = ("repro.core", "repro.sim")
+
+
+def _in_hot_path(ctx: FileContext) -> bool:
+    module = ctx.module_dotted()
+    return any(
+        module == package or module.startswith(package + ".")
+        for package in _HOT_PACKAGES
+    )
+
+
+class PrintInHotPathRule(Rule):
+    """Flag ``print()`` in the simulator packages."""
+
+    code = "O401"
+    name = "print-in-hot-path"
+    description = "print() call inside repro.core/repro.sim"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not _in_hot_path(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "print"):
+                yield self.finding(
+                    ctx, node,
+                    "print() in a simulator package bypasses repro.obs; "
+                    "publish a metric, emit a trace event, or move the "
+                    "output to the presentation layer",
+                )
+
+
+class StreamWriteInHotPathRule(Rule):
+    """Flag direct stdout/stderr writes in the simulator packages."""
+
+    code = "O402"
+    name = "stream-write-in-hot-path"
+    description = "sys.stdout/sys.stderr write inside repro.core/repro.sim"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not _in_hot_path(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in ("write", "writelines")):
+                continue
+            stream = node.func.value
+            if (isinstance(stream, ast.Attribute)
+                    and stream.attr in ("stdout", "stderr")
+                    and isinstance(stream.value, ast.Name)
+                    and stream.value.id == "sys"):
+                yield self.finding(
+                    ctx, node,
+                    f"sys.{stream.attr}.{node.func.attr}() in a simulator "
+                    "package bypasses repro.obs; use the metrics registry "
+                    "or event tracer instead",
+                )
+
+
+OBS_RULES = [PrintInHotPathRule(), StreamWriteInHotPathRule()]

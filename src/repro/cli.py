@@ -8,6 +8,13 @@ Subcommands::
     python -m repro.cli power      [--laser-overheads 1,3,5,7,10,20]
     python -m repro.cli cost       [--grating-fractions 0.05,0.25,1.0]
     python -m repro.cli sync       --nodes 16 --epochs 20000
+    python -m repro.cli report     run.jsonl
+    python -m repro.cli trace      run.jsonl -o run.trace.json
+
+``simulate --trace-out run.jsonl`` records a full :mod:`repro.obs`
+trace; ``report`` renders a run summary from a JSONL or Chrome trace
+file and ``trace`` converts a JSONL log to Chrome ``trace_event`` JSON
+(open it in ``chrome://tracing`` or https://ui.perfetto.dev).
 
 Each prints a compact text report; the benchmark suite
 (``pytest benchmarks/``) remains the canonical figure regenerator.
@@ -31,6 +38,15 @@ from repro import (
 )
 from repro.analysis import NetworkCostModel, NetworkPowerModel, SiriusPowerModel
 from repro.core.telemetry import Telemetry, ascii_sparkline
+from repro.obs import (
+    Observation,
+    format_table,
+    load_any,
+    render_report,
+    run_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
 from repro.sync.protocol import make_clock_ensemble
 from repro.units import KILOBYTE, MEGABYTE, NS, PS, US
 
@@ -59,6 +75,14 @@ def _build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--seed", type=int, default=1)
     sim.add_argument("--telemetry", action="store_true",
                      help="print a backlog sparkline")
+    sim.add_argument("--trace-out", metavar="PATH",
+                     help="record a repro.obs trace to this JSONL file")
+    sim.add_argument("--chrome-out", metavar="PATH",
+                     help="also write a Chrome trace_event JSON file")
+    sim.add_argument("--profile", action="store_true",
+                     help="print the per-phase wall-clock breakdown")
+    sim.add_argument("--sample-every", type=int, default=4,
+                     help="epochs between queue-gauge samples (default 4)")
 
     cmp_ = sub.add_parser("compare", help="Sirius vs ESN baselines")
     cmp_.add_argument("--nodes", type=int, default=32)
@@ -82,6 +106,18 @@ def _build_parser() -> argparse.ArgumentParser:
     sync = sub.add_parser("sync", help="time-synchronization accuracy")
     sync.add_argument("--nodes", type=int, default=16)
     sync.add_argument("--epochs", type=int, default=20_000)
+
+    report = sub.add_parser(
+        "report", help="summarize a recorded run trace"
+    )
+    report.add_argument("file", help="JSONL run log or Chrome trace JSON")
+
+    trace = sub.add_parser(
+        "trace", help="convert a JSONL run log to Chrome trace_event JSON"
+    )
+    trace.add_argument("file", help="JSONL run log (from simulate --trace-out)")
+    trace.add_argument("-o", "--output", required=True,
+                       help="output path for the Chrome trace JSON")
 
     sub.add_parser(
         "lint",
@@ -109,7 +145,11 @@ def _cmd_simulate(args) -> int:
         seed=args.seed + 1,
     ))
     telemetry = Telemetry(sample_every=4) if args.telemetry else None
-    result = net.run(workload.generate(args.flows), telemetry=telemetry)
+    observing = bool(args.trace_out or args.chrome_out or args.profile)
+    obs = (Observation.recording(sample_every=args.sample_every)
+           if observing else None)
+    result = net.run(workload.generate(args.flows), telemetry=telemetry,
+                     obs=obs)
     print(f"system            : "
           f"{'SIRIUS (IDEAL)' if args.ideal else 'Sirius'} "
           f"{args.nodes} nodes, {args.multiplier}x uplinks, "
@@ -128,6 +168,34 @@ def _cmd_simulate(args) -> int:
     if telemetry is not None and telemetry.n_samples:
         print(f"backlog           : "
               f"{ascii_sparkline(telemetry.backlog_series())}")
+    if observing:
+        meta = {
+            "system": "SIRIUS (IDEAL)" if args.ideal else "Sirius",
+            "nodes": args.nodes,
+            "epochs": result.epochs,
+            "epoch_duration_s": net.schedule.epoch_duration_s,
+            "seed": args.seed,
+        }
+        if args.trace_out:
+            path = write_jsonl(args.trace_out, obs, meta=meta)
+            print(f"trace             : {path}")
+        if args.chrome_out or args.profile:
+            trace = run_trace(obs, meta=meta)
+            if args.chrome_out:
+                path = write_chrome_trace(args.chrome_out, trace)
+                print(f"chrome trace      : {path}")
+            if args.profile and trace.profile is not None:
+                rows = [
+                    [row["phase"], f"{row['seconds'] / US:.0f}",
+                     f"{row['share']:.1%}", row["laps"]]
+                    for row in trace.profile.breakdown()
+                ]
+                print(format_table(
+                    ["phase", "wall us", "share", "laps"], rows
+                ))
+                print(f"profiler coverage : "
+                      f"{trace.profile.coverage():.1%} of "
+                      f"{trace.profile.total_run_s / US:.0f} us measured")
     return 0
 
 
@@ -216,6 +284,17 @@ def _cmd_sync(args) -> int:
     return 0
 
 
+def _cmd_report(args) -> int:
+    print(render_report(load_any(args.file), title=args.file))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    path = write_chrome_trace(args.output, load_any(args.file))
+    print(f"wrote {path} (open in chrome://tracing or ui.perfetto.dev)")
+    return 0
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "compare": _cmd_compare,
@@ -223,6 +302,8 @@ _COMMANDS = {
     "power": _cmd_power,
     "cost": _cmd_cost,
     "sync": _cmd_sync,
+    "report": _cmd_report,
+    "trace": _cmd_trace,
 }
 
 

@@ -126,6 +126,39 @@ def may_grant(queued: int, outstanding: int, threshold: int) -> bool:
     return queued + outstanding < threshold
 
 
+def record_grant_decision(registry, tracer, intermediate: int,
+                          src: int, dst: int, *, granted: bool,
+                          direct: bool = False,
+                          reason: Optional[str] = None) -> None:
+    """Publish one grant decision into the observability planes.
+
+    The protocol's visible behaviour — how often the ``Q`` admission
+    test or the direct-grant window refuses a request — lives here in
+    the congestion layer, next to :func:`may_grant` whose verdict it
+    reports.  Counters: ``grants_issued_total{src,dst}`` (the paper's
+    per-pair grant rate) and ``grants_denied_total{reason}``; matching
+    ``grant.issued`` / ``grant.denied`` trace events carry the same
+    fields.  Call sites gate on the planes' ``enabled`` flags, so the
+    un-observed cost is zero.
+    """
+    if granted:
+        if registry.enabled:
+            registry.counter(
+                "grants_issued_total", "grants issued per (src, dst) pair",
+            ).inc(src=src, dst=dst)
+        if tracer.enabled:
+            tracer.emit("grant.issued", node=intermediate,
+                        src=src, dst=dst, direct=direct)
+    else:
+        if registry.enabled:
+            registry.counter(
+                "grants_denied_total", "requests refused, by reason",
+            ).inc(reason=reason or "unknown")
+        if tracer.enabled:
+            tracer.emit("grant.denied", node=intermediate,
+                        src=src, dst=dst, reason=reason or "unknown")
+
+
 def max_queue_delay_epochs(threshold: int) -> int:
     """Upper bound on epochs a cell waits at an intermediate.
 

@@ -25,6 +25,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.obs.metrics import NULL_REGISTRY
+
 
 @dataclass(frozen=True)
 class FailureEvent:
@@ -49,6 +51,12 @@ class FailurePlan:
         self.events = sorted(events, key=lambda e: e.epoch)
         self._index = 0
         self.failed: Set[int] = set()
+        self._registry = NULL_REGISTRY
+
+    def observe_with(self, obs) -> None:
+        """Publish fired events into an :class:`repro.obs.Observation`'s
+        registry (``failure_events_total{kind}``)."""
+        self._registry = obs.registry
 
     def advance_to(self, epoch: int) -> List[FailureEvent]:
         """Apply all events up to and including ``epoch``.
@@ -66,6 +74,12 @@ class FailurePlan:
                 self.failed.discard(event.node)
             fired.append(event)
             self._index += 1
+        if fired and self._registry.enabled:
+            counter = self._registry.counter(
+                "failure_events_total", "scripted failures/recoveries fired",
+            )
+            for event in fired:
+                counter.inc(kind="fail" if event.fails else "recover")
         return fired
 
     def is_failed(self, node: int) -> bool:
@@ -93,7 +107,8 @@ class FailureDetector:
     flapping requires a few misses in a row).
     """
 
-    def __init__(self, n_nodes: int, node: int, *, threshold: int = 3) -> None:
+    def __init__(self, n_nodes: int, node: int, *, threshold: int = 3,
+                 registry=None) -> None:
         if n_nodes < 2:
             raise ValueError("need at least 2 nodes")
         if not 0 <= node < n_nodes:
@@ -105,10 +120,14 @@ class FailureDetector:
         self.threshold = threshold
         self._misses: Dict[int, int] = {}
         self.suspected: Set[int] = set()
+        #: Optional repro.obs metrics registry: publishes per-peer miss
+        #: counts and suspicion transitions.
+        self._registry = registry if registry is not None else NULL_REGISTRY
 
     def observe_epoch(self, heard_from: Set[int]) -> List[int]:
         """Record one epoch of visits; returns peers newly suspected."""
         newly = []
+        publishing = self._registry.enabled
         for peer in range(self.n_nodes):
             if peer == self.node:
                 continue
@@ -118,9 +137,17 @@ class FailureDetector:
                 continue
             misses = self._misses.get(peer, 0) + 1
             self._misses[peer] = misses
+            if publishing:
+                self._registry.counter(
+                    "detector_misses_total", "scheduled visits missed",
+                ).inc(node=self.node, peer=peer)
             if misses >= self.threshold and peer not in self.suspected:
                 self.suspected.add(peer)
                 newly.append(peer)
+                if publishing:
+                    self._registry.counter(
+                        "detector_suspected_total", "peers declared failed",
+                    ).inc(node=self.node)
         return newly
 
     def detection_latency_epochs(self) -> int:

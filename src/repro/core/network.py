@@ -40,6 +40,7 @@ from repro.core.failures import FailurePlan
 from repro.core.node import SiriusNode
 from repro.core.telemetry import Telemetry
 from repro.core.schedule import CyclicSchedule, SlotTiming
+from repro.obs.observation import NULL_OBS, Observation
 from repro.topology.sirius import SiriusTopology
 from repro.units import KILOBYTE
 
@@ -214,7 +215,8 @@ class SiriusNetwork:
             check_invariants: bool = False,
             failure_plan: Optional[FailurePlan] = None,
             detection_epochs: int = 3,
-            telemetry: Optional[Telemetry] = None) -> SimulationResult:
+            telemetry: Optional[Telemetry] = None,
+            obs: Optional[Observation] = None) -> SimulationResult:
         """Simulate until every flow completes (or an epoch cap is hit).
 
         ``flows`` must be sorted by arrival time.  Returns the
@@ -229,7 +231,45 @@ class SiriusNetwork:
         that were stranded at it.  Flows whose source or destination
         died (with cells still there) are terminated and counted in
         ``failed_flows``.
+
+        ``obs`` attaches a :class:`repro.obs.Observation`: its metrics
+        registry receives run counters and queue-occupancy gauges, its
+        tracer structured events (cell movements, grants, failures,
+        epoch boundaries) and its profiler a wall-clock breakdown of
+        the phase loop.  The default is a shared no-op bundle whose
+        per-site cost is one attribute load and branch.
         """
+        if obs is None:
+            obs = NULL_OBS
+        tracer = obs.tracer
+        registry = obs.registry
+        profiler = obs.profiler
+        tracing = tracer.enabled
+        metering = registry.enabled
+        profiling = profiler.enabled
+        for node in self.nodes:
+            node.observe_with(obs)
+        if failure_plan is not None:
+            failure_plan.observe_with(obs)
+        if metering:
+            delivered_counter = registry.counter(
+                "delivered_bits_total", "application payload delivered"
+            )
+            transmitted_counter = registry.counter(
+                "cells_transmitted_total", "cells placed on schedule slots"
+            )
+            retransmit_counter = registry.counter(
+                "retransmitted_cells_total",
+                "cells resent after loss at a failed node",
+            )
+            failed_flow_counter = registry.counter(
+                "failed_flows_total", "flows terminated by node failures"
+            )
+            dropped_counter = registry.counter(
+                "cells_dropped_total", "cells purged or lost to failures"
+            )
+
+        t_mark = profiler.start_run()
         epoch_dur = self.schedule.epoch_duration_s
         payload_bits = self.timing.payload_bits
         flows = list(flows)
@@ -271,6 +311,8 @@ class SiriusNetwork:
             dead_flows.add(flow_id)
             state["pending_flows"] -= 1
             state["failed_flows"] += 1
+            if metering:
+                failed_flow_counter.inc()
 
         def retransmit(cell: Cell) -> None:
             """Endpoint retransmission of a cell lost at a failed node."""
@@ -281,9 +323,13 @@ class SiriusNetwork:
                 return
             nodes[cell.src].enqueue_local(cell)
             state["retransmits"] += 1
+            if metering:
+                retransmit_counter.inc()
 
         def announce_failure(f_node: int) -> None:
             """Datacenter-wide failure announcement (§4.5)."""
+            if tracing:
+                tracer.emit("failure.announce", node=f_node)
             for node in nodes:
                 if node.node == f_node:
                     continue
@@ -300,16 +346,25 @@ class SiriusNetwork:
                 retransmit(cell)
 
         def announce_recovery(f_node: int) -> None:
+            if tracing:
+                tracer.emit("failure.recover", node=f_node)
             for node in nodes:
                 node.excluded.discard(f_node)
 
         def deliver(batch: List[Tuple[int, Cell, int]],
                     arrival_time: float) -> None:
+            batch_bits = 0.0
             for recv, cell, sender in batch:
                 if failure_plan and failure_plan.is_failed(recv):
                     # Lost at the failed node: transit cells are
                     # retransmitted by their source; final-destination
                     # cells die with the flow.
+                    if tracing:
+                        tracer.emit("cell.drop", node=recv, count=1,
+                                    flow=cell.flow_id,
+                                    reason="lost-in-flight")
+                    if metering:
+                        dropped_counter.inc(reason="lost-in-flight")
                     if cell.dst == recv:
                         kill_flow(cell.flow_id)
                     else:
@@ -329,16 +384,23 @@ class SiriusNetwork:
                 if self.track_reorder:
                     node.reorder.accept(cell.flow_id, cell.seq)
                 if cell.seq == flow.n_cells - 1:
-                    state["delivered_bits"] += last_cell_bits[cell.flow_id]
+                    cell_bits = last_cell_bits[cell.flow_id]
                 else:
-                    state["delivered_bits"] += payload_bits
+                    cell_bits = payload_bits
+                state["delivered_bits"] += cell_bits
+                batch_bits += cell_bits
                 if flow.record_delivery(arrival_time):
                     state["pending_flows"] -= 1
+                    if tracing:
+                        tracer.emit("flow.completion", node=recv,
+                                    flow=cell.flow_id)
                     if self.track_reorder:
                         peak = node.reorder.peak_flow_cells
                         if peak > state["peak_reorder"]:
                             state["peak_reorder"] = peak
                         node.reorder.finish_flow(cell.flow_id)
+            if metering and batch_bits:
+                delivered_counter.inc(batch_bits)
 
         next_flow = 0
         in_flight: List[Tuple[int, Cell, int]] = []
@@ -346,7 +408,15 @@ class SiriusNetwork:
 
         server_backlog = [_deque() for _ in nodes]
         epoch = 0
+        if profiling:
+            t_mark = profiler.lap("setup", t_mark)
         while epoch < max_epochs:
+            if tracing:
+                tracer.at(epoch, epoch * epoch_dur)
+                tracer.emit("epoch", in_flight=len(in_flight))
+            if profiling:
+                profiler.set_epoch(epoch)
+
             # Phase 0: failure events fire; announcements propagate
             # after the detection delay.
             if failure_plan is not None:
@@ -360,11 +430,15 @@ class SiriusNetwork:
                         announce_failure(f_node)
                     else:
                         announce_recovery(f_node)
+            if profiling:
+                t_mark = profiler.lap("failures", t_mark)
 
             # Phase 1: deliver last epoch's transmissions.
             if in_flight:
                 deliver(in_flight, epoch * epoch_dur)
                 in_flight = []
+            if profiling:
+                t_mark = profiler.lap("deliver", t_mark)
 
             # Phase 2: resolve the completed request round.
             if not self.config.ideal:
@@ -372,6 +446,8 @@ class SiriusNetwork:
                     if failure_plan and failure_plan.is_failed(node.node):
                         continue
                     node.apply_grants_and_expiries()
+            if profiling:
+                t_mark = profiler.lap("resolve", t_mark)
 
             # Phase 3: admit arrivals whose time falls inside this epoch.
             horizon = (epoch + 1) * epoch_dur
@@ -380,6 +456,10 @@ class SiriusNetwork:
             ):
                 flow = flows[next_flow]
                 next_flow += 1
+                if tracing:
+                    tracer.emit("flow.arrival", node=flow.src,
+                                flow=flow.flow_id, dst=flow.dst,
+                                cells=flow.n_cells)
                 if failure_plan and (
                     failure_plan.is_failed(flow.src)
                     or failure_plan.is_failed(flow.dst)
@@ -416,6 +496,8 @@ class SiriusNetwork:
                         else:
                             backlog[0] = (flow, end)
                             break
+            if profiling:
+                t_mark = profiler.lap("admit", t_mark)
 
             # Phases 4-5: grant round, then request round.  Grants are
             # decided on the requests received in the *previous* epoch
@@ -442,6 +524,8 @@ class SiriusNetwork:
                         nodes[intermediate].request_inbox.append(
                             (node.node, dst)
                         )
+            if profiling:
+                t_mark = profiler.lap("control", t_mark)
 
             # Phase 6: transmit on every busy pair slot.
             for node in nodes:
@@ -450,6 +534,14 @@ class SiriusNetwork:
                 for dst in node.busy_destinations():
                     for cell in node.dequeue_for(dst, capacity):
                         in_flight.append((dst, cell, node.node))
+                        if tracing:
+                            tracer.emit("cell.dequeue", node=node.node,
+                                        to=dst, flow=cell.flow_id,
+                                        dst=cell.dst)
+            if metering and in_flight:
+                transmitted_counter.inc(len(in_flight))
+            if profiling:
+                t_mark = profiler.lap("transmit", t_mark)
 
             if check_invariants:
                 for node in nodes:
@@ -458,6 +550,11 @@ class SiriusNetwork:
             if telemetry is not None:
                 telemetry.sample(epoch, nodes, len(in_flight),
                                  state["delivered_bits"])
+            if metering and epoch % obs.sample_every == 0:
+                obs.sample_network(epoch, nodes, len(in_flight),
+                                   state["delivered_bits"])
+            if profiling:
+                t_mark = profiler.lap("observe", t_mark)
 
             epoch += 1
             if (state["pending_flows"] == 0 and not in_flight
@@ -466,10 +563,15 @@ class SiriusNetwork:
                 break
 
         # Deliver anything sent in the final epoch (epoch-cap exit).
+        if tracing:
+            tracer.at(epoch, epoch * epoch_dur)
         if in_flight:
             deliver(in_flight, epoch * epoch_dur)
 
         duration = max(epoch, 1) * epoch_dur
+        if profiling:
+            profiler.lap("finalize", t_mark)
+            profiler.end_run()
         return SimulationResult(
             flows=flows,
             epochs=epoch,

@@ -35,8 +35,11 @@ from repro.core.congestion import (
     REQUEST_ROUND_TRIP_EPOCHS,
     CongestionConfig,
     may_grant,
+    record_grant_decision,
 )
 from repro.core.reorder import ReorderTracker
+from repro.obs.events import NULL_TRACER
+from repro.obs.metrics import NULL_REGISTRY
 
 
 class FairQueue:
@@ -173,6 +176,18 @@ class SiriusNode:
 
         self.reorder = ReorderTracker()
 
+        # Observability (repro.obs): no-op by default; the network's
+        # run() swaps these for live instruments via observe_with().
+        # Hot paths gate on `.enabled`, so the disabled cost is one
+        # attribute load and branch per operation.
+        self._tracer = NULL_TRACER
+        self._registry = NULL_REGISTRY
+
+    def observe_with(self, obs) -> None:
+        """Attach an :class:`repro.obs.Observation`'s planes."""
+        self._tracer = obs.tracer
+        self._registry = obs.registry
+
     # ------------------------------------------------------------------
     # Phase: local arrivals
     # ------------------------------------------------------------------
@@ -187,11 +202,18 @@ class SiriusNode:
                 self.vq[intermediate] = queue
             queue.append(cell)
             self.vq_cells += 1
+            if self._tracer.enabled:
+                self._tracer.emit("cell.enqueue", node=self.node,
+                                  queue="vq", flow=cell.flow_id,
+                                  dst=cell.dst, intermediate=intermediate)
             return
         self.local_by_dst.setdefault(cell.dst, deque()).append(cell)
         self.local_cells += 1
         if self.local_cells > self.peak_local_cells:
             self.peak_local_cells = self.local_cells
+        if self._tracer.enabled:
+            self._tracer.emit("cell.enqueue", node=self.node, queue="local",
+                              flow=cell.flow_id, dst=cell.dst)
 
     def _pick_intermediate(self, dst: int) -> int:
         """Ideal-mode spreading: strict round-robin over the other nodes
@@ -237,6 +259,10 @@ class SiriusNode:
             self.vq_cells += 1
             self.requested[dst] -= 1
             resolved[dst] -= 1
+            if self._tracer.enabled:
+                self._tracer.emit("cell.enqueue", node=self.node,
+                                  queue="vq", flow=cell.flow_id, dst=dst,
+                                  intermediate=intermediate)
         self.grant_inbox.clear()
         # Whatever remains of the oldest batch was denied: release it.
         for dst, count in resolved.items():
@@ -359,6 +385,7 @@ class SiriusNode:
         self.request_inbox.clear()
         grants: List[Tuple[int, int]] = []
         threshold = self.config.queue_threshold
+        observing = self._tracer.enabled or self._registry.enabled
         for dst, sources in by_dst.items():
             if dst == self.node:
                 for src in sources:
@@ -366,6 +393,17 @@ class SiriusNode:
                     if in_flight < direct_window:
                         self._direct_outstanding[src] = in_flight + 1
                         grants.append((src, dst))
+                        if observing:
+                            record_grant_decision(
+                                self._registry, self._tracer, self.node,
+                                src, dst, granted=True, direct=True,
+                            )
+                    elif observing:
+                        record_grant_decision(
+                            self._registry, self._tracer, self.node,
+                            src, dst, granted=False,
+                            reason="direct-window-full",
+                        )
                 continue
             if self.config.selection == "drrm":
                 # Round-robin over sources from the per-destination
@@ -375,8 +413,15 @@ class SiriusNode:
             else:
                 self.rng.shuffle(sources)
             granted_here = 0
-            for src in sources:
+            for index, src in enumerate(sources):
                 if granted_here >= grants_per_destination:
+                    if observing:
+                        for denied in sources[index:]:
+                            record_grant_decision(
+                                self._registry, self._tracer, self.node,
+                                denied, dst, granted=False,
+                                reason="grant-cap",
+                            )
                     break
                 queued = len(self.fwd.get(dst, ()))
                 outstanding = self.outstanding.get(dst, 0)
@@ -390,7 +435,19 @@ class SiriusNode:
                     granted_here += 1
                     if self.config.selection == "drrm":
                         self._grant_pointers[dst] = (src + 1) % self.n_nodes
+                    if observing:
+                        record_grant_decision(
+                            self._registry, self._tracer, self.node,
+                            src, dst, granted=True,
+                        )
                 else:
+                    if observing:
+                        for denied in sources[index:]:
+                            record_grant_decision(
+                                self._registry, self._tracer, self.node,
+                                denied, dst, granted=False,
+                                reason="queue-threshold",
+                            )
                     break
         return grants
 
@@ -473,6 +530,9 @@ class SiriusNode:
         self.fwd_cells += 1
         if self.fwd_cells > self.peak_fwd_cells:
             self.peak_fwd_cells = self.fwd_cells
+        if self._tracer.enabled:
+            self._tracer.emit("cell.enqueue", node=self.node, queue="fwd",
+                              flow=cell.flow_id, dst=cell.dst)
         if not self.config.ideal:
             outstanding = self.outstanding.get(cell.dst, 0)
             if outstanding <= 0:
@@ -546,6 +606,16 @@ class SiriusNode:
             if removed:
                 dropped += len(removed)
                 self.vq_cells -= len(removed)
+        if dropped:
+            if self._tracer.enabled:
+                self._tracer.emit("cell.drop", node=self.node,
+                                  count=dropped, dst=dead,
+                                  reason="destination-failed")
+            if self._registry.enabled:
+                self._registry.counter(
+                    "cells_dropped_total",
+                    "cells purged or lost to failures",
+                ).inc(dropped, reason="destination-failed")
         return dropped
 
     def drain_for_failure(self) -> Tuple[List[Cell], List[Cell]]:

@@ -11,15 +11,29 @@ the network once per epoch:
 * cumulative delivered payload,
 
 at a configurable sampling period so long runs stay cheap.
+
+Since the :mod:`repro.obs` subsystem landed, ``Telemetry`` is a thin
+compatibility view over a :class:`repro.obs.metrics.MetricsRegistry`:
+each series is a tracked gauge, so a run sampled through ``Telemetry``
+is exportable through the same trace machinery as everything else
+(pass your own ``registry=`` to share it with an
+:class:`repro.obs.Observation`).  The public surface — the series
+attributes, ``peak``/``summary``/``throughput_cells`` — is unchanged.
+
+:func:`ascii_sparkline` is re-exported from :mod:`repro.obs.report`,
+its canonical home.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import ascii_sparkline  # noqa: F401  (compat re-export)
 
-@dataclass
+__all__ = ["Telemetry", "ascii_sparkline"]
+
+
 class Telemetry:
     """Epoch-sampled counters of one simulation run.
 
@@ -27,39 +41,91 @@ class Telemetry:
     ----------
     sample_every:
         Sampling period in epochs (1 = every epoch).
+    registry:
+        Metrics registry backing the series; a private one by default.
+
+    Mid-run attachment: the first :meth:`sample` call (stored or not)
+    rebases the delivered-bits baseline, so
+    :meth:`throughput_cells`'s first delta covers only the first
+    sampled interval rather than the whole run so far.
     """
 
-    sample_every: int = 1
-    epochs: List[int] = field(default_factory=list)
-    local_cells: List[int] = field(default_factory=list)
-    vq_cells: List[int] = field(default_factory=list)
-    fwd_cells: List[int] = field(default_factory=list)
-    in_flight_cells: List[int] = field(default_factory=list)
-    delivered_bits: List[float] = field(default_factory=list)
+    #: Gauge names backing each series, in sample() order.
+    _SERIES_GAUGES = {
+        "local": "telemetry_local_cells",
+        "vq": "telemetry_vq_cells",
+        "fwd": "telemetry_fwd_cells",
+        "in_flight": "telemetry_in_flight_cells",
+        "delivered": "telemetry_delivered_bits",
+    }
 
-    def __post_init__(self) -> None:
-        if self.sample_every < 1:
+    def __init__(self, sample_every: int = 1,
+                 registry: Optional[MetricsRegistry] = None) -> None:
+        if sample_every < 1:
             raise ValueError(
-                f"sampling period must be >= 1, got {self.sample_every}"
+                f"sampling period must be >= 1, got {sample_every}"
             )
+        self.sample_every = sample_every
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._gauges = {
+            series: self.registry.gauge(name, track=True)
+            for series, name in self._SERIES_GAUGES.items()
+        }
+        #: Cumulative delivered bits at the first observed epoch — the
+        #: reference point for the first throughput delta.  None until
+        #: the first sample() call.
+        self.baseline_delivered_bits: Optional[float] = None
 
     # -- collection (called by the simulator) -----------------------------------
     def sample(self, epoch: int, nodes: Sequence, in_flight: int,
                delivered_bits: float) -> None:
         """Record one epoch's aggregate state (if due for sampling)."""
+        if self.baseline_delivered_bits is None:
+            # First observation: if sampling starts mid-run (epoch > 0)
+            # the cumulative count so far predates the series and must
+            # not be charged to the first sampled interval.
+            self.baseline_delivered_bits = (
+                delivered_bits if epoch > 0 else 0.0
+            )
         if epoch % self.sample_every:
             return
-        self.epochs.append(epoch)
-        self.local_cells.append(sum(n.local_cells for n in nodes))
-        self.vq_cells.append(sum(n.vq_cells for n in nodes))
-        self.fwd_cells.append(sum(n.fwd_cells for n in nodes))
-        self.in_flight_cells.append(in_flight)
-        self.delivered_bits.append(delivered_bits)
+        self._gauges["local"].set(
+            sum(n.local_cells for n in nodes), at=epoch
+        )
+        self._gauges["vq"].set(sum(n.vq_cells for n in nodes), at=epoch)
+        self._gauges["fwd"].set(sum(n.fwd_cells for n in nodes), at=epoch)
+        self._gauges["in_flight"].set(in_flight, at=epoch)
+        self._gauges["delivered"].set(delivered_bits, at=epoch)
+
+    # -- series views (compatibility surface) ----------------------------------
+    @property
+    def epochs(self) -> List[int]:
+        return [int(at) for at, _value in self._gauges["local"].series()]
+
+    @property
+    def local_cells(self) -> List[int]:
+        return [value for _at, value in self._gauges["local"].series()]
+
+    @property
+    def vq_cells(self) -> List[int]:
+        return [value for _at, value in self._gauges["vq"].series()]
+
+    @property
+    def fwd_cells(self) -> List[int]:
+        return [value for _at, value in self._gauges["fwd"].series()]
+
+    @property
+    def in_flight_cells(self) -> List[int]:
+        return [value for _at, value in self._gauges["in_flight"].series()]
+
+    @property
+    def delivered_bits(self) -> List[float]:
+        return [value for _at, value in self._gauges["delivered"].series()]
 
     # -- analysis ------------------------------------------------------------
     @property
     def n_samples(self) -> int:
-        return len(self.epochs)
+        return len(self._gauges["local"].series())
 
     def peak(self, series: str) -> int:
         """Peak of a named series (``local`` / ``vq`` / ``fwd`` /
@@ -75,12 +141,19 @@ class Telemetry:
         return self.epochs[values.index(peak)]
 
     def throughput_cells(self, payload_bits: int) -> List[float]:
-        """Delivered cells per sampled interval (discrete derivative)."""
+        """Delivered cells per sampled interval (discrete derivative).
+
+        The first delta is relative to the delivered count at the first
+        *observed* epoch (see the class docstring), so attaching
+        telemetry mid-run does not report the whole run's cumulative
+        delivery as one interval's throughput.
+        """
         if payload_bits <= 0:
             raise ValueError("payload must be positive")
-        deltas = [self.delivered_bits[0]] if self.delivered_bits else []
-        for previous, current in zip(self.delivered_bits,
-                                     self.delivered_bits[1:]):
+        delivered = self.delivered_bits
+        baseline = self.baseline_delivered_bits or 0.0
+        deltas = [delivered[0] - baseline] if delivered else []
+        for previous, current in zip(delivered, delivered[1:]):
             deltas.append(current - previous)
         return [d / payload_bits for d in deltas]
 
@@ -118,27 +191,3 @@ class Telemetry:
                 f"unknown series {name!r}; choose from {sorted(series)}"
             )
         return series[name]
-
-
-def ascii_sparkline(values: Sequence[float], width: int = 60) -> str:
-    """Compact ASCII rendering of a series (for benchmark logs)."""
-    if not values:
-        raise ValueError("cannot plot an empty series")
-    if width < 1:
-        raise ValueError("width must be positive")
-    glyphs = " .:-=+*#%@"
-    if len(values) > width:
-        # Downsample by taking the max of each bucket (peaks matter).
-        bucket = len(values) / width
-        sampled = [
-            max(values[int(k * bucket):max(int((k + 1) * bucket),
-                                           int(k * bucket) + 1)])
-            for k in range(width)
-        ]
-    else:
-        sampled = list(values)
-    top = max(sampled)
-    if top == 0:
-        return " " * len(sampled)
-    scale = len(glyphs) - 1
-    return "".join(glyphs[int(round(v / top * scale))] for v in sampled)

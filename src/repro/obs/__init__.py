@@ -1,0 +1,89 @@
+"""repro.obs — observability for the Sirius reproduction.
+
+Sirius' §7 evaluation reports end-of-run aggregates; *operating* an
+epoch-synchronous network (and optimizing its simulator) needs to see
+inside a run.  This package provides the three instrument planes and
+their exporters:
+
+* :mod:`repro.obs.metrics` — a labelled metrics registry (counters /
+  gauges / histograms, e.g. ``vq_cells{node=12}``) with a no-op default
+  whose overhead the tier-1 suite bounds at < 5 %;
+* :mod:`repro.obs.events` — a structured event tracer emitting typed
+  records (cell enqueue/dequeue/drop, grant issued/denied, failure
+  announce/recover, epoch boundaries);
+* :mod:`repro.obs.profiling` — wall-clock phase timing of the simulator
+  loop, whose per-phase totals sum to the measured run time;
+* :mod:`repro.obs.trace_io` — JSONL run logs and Chrome ``trace_event``
+  export (opens in ``chrome://tracing`` / Perfetto);
+* :mod:`repro.obs.report` — run-summary rendering (tables + ASCII
+  sparklines) behind ``sirius-repro report`` / ``sirius-repro trace``.
+
+Quickstart::
+
+    from repro import SiriusNetwork
+    from repro.obs import Observation, write_jsonl
+
+    obs = Observation.recording()
+    net = SiriusNetwork(8, 4)
+    result = net.run(flows, obs=obs)
+    write_jsonl("run.jsonl", obs, meta={"epochs": result.epochs})
+    # sirius-repro report run.jsonl
+    # sirius-repro trace run.jsonl -o run.trace.json
+"""
+
+from repro.obs.events import (
+    EVENT_TYPES,
+    Event,
+    EventTracer,
+    NULL_TRACER,
+    NullTracer,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullMetricsRegistry,
+)
+from repro.obs.observation import NULL_OBS, Observation
+from repro.obs.profiling import NULL_PROFILER, NullProfiler, PhaseProfiler
+from repro.obs.report import ascii_sparkline, format_table, render_report
+from repro.obs.trace_io import (
+    RunTrace,
+    chrome_trace,
+    load_any,
+    read_trace,
+    run_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+__all__ = [
+    "EVENT_TYPES",
+    "Event",
+    "EventTracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NULL_REGISTRY",
+    "Observation",
+    "NULL_OBS",
+    "PhaseProfiler",
+    "NullProfiler",
+    "NULL_PROFILER",
+    "RunTrace",
+    "run_trace",
+    "ascii_sparkline",
+    "format_table",
+    "render_report",
+    "chrome_trace",
+    "load_any",
+    "read_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+]

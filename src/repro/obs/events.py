@@ -1,0 +1,164 @@
+"""Structured event tracing for the cell-level simulator.
+
+A :class:`EventTracer` collects typed :class:`Event` records as a run
+executes — cell movements, grant decisions, failure announcements,
+epoch boundaries — that the exporters in :mod:`repro.obs.trace_io`
+write to JSONL and Chrome ``trace_event`` files.
+
+The simulator stamps the tracer's *position* (epoch, simulated time)
+once per epoch with :meth:`EventTracer.at`; hot paths then emit events
+without threading timestamps through every call.  The no-op default
+(:data:`NULL_TRACER`) has ``enabled = False`` so instrumented hot paths
+skip record construction entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = [
+    "EVENT_TYPES",
+    "Event",
+    "EventTracer",
+    "NullTracer",
+    "NULL_TRACER",
+]
+
+#: The closed vocabulary of trace record types.  A closed set (rather
+#: than free-form strings) keeps traces machine-readable: exporters and
+#: the report renderer can switch on type without defensive parsing.
+EVENT_TYPES = frozenset({
+    # data plane
+    "cell.enqueue",     # a cell entered a queue (queue=local|vq|fwd)
+    "cell.dequeue",     # a cell left a node on a scheduled slot
+    "cell.drop",        # cells lost/purged (count, reason)
+    # control plane
+    "grant.issued",     # an intermediate granted a request
+    "grant.denied",     # the Q admission test / direct window refused
+    # failures (§4.5)
+    "failure.announce",  # datacenter-wide failure announcement
+    "failure.recover",   # recovery announcement
+    # run structure
+    "epoch",             # epoch boundary
+    "flow.arrival",      # a flow entered the system
+    "flow.completion",   # a flow finished
+    "phase",             # wall-clock profiling span (dur_s field)
+})
+
+
+@dataclass(frozen=True)
+class Event:
+    """One structured trace record.
+
+    ``epoch``/``ts_s`` are simulated time; ``fields`` carries the
+    type-specific payload (queue name, flow id, drop reason, …).
+    """
+
+    type: str
+    epoch: int
+    ts_s: float
+    node: Optional[int] = None
+    fields: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        record: Dict[str, object] = {
+            "type": self.type, "epoch": self.epoch, "ts_s": self.ts_s,
+        }
+        if self.node is not None:
+            record["node"] = self.node
+        if self.fields:
+            record["fields"] = self.fields
+        return record
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, object]) -> "Event":
+        return cls(
+            type=str(record["type"]),
+            epoch=int(record.get("epoch", 0)),
+            ts_s=float(record.get("ts_s", 0.0)),
+            node=record.get("node"),  # type: ignore[arg-type]
+            fields=dict(record.get("fields", {})),  # type: ignore[arg-type]
+        )
+
+
+class EventTracer:
+    """Collects typed events, stamped with the current sim position.
+
+    Parameters
+    ----------
+    max_events:
+        Hard cap on retained events; once reached, further emits are
+        counted in :attr:`dropped` but not stored, so tracing a long
+        run degrades gracefully instead of exhausting memory.
+    """
+
+    enabled = True
+
+    def __init__(self, max_events: int = 1_000_000) -> None:
+        if max_events < 1:
+            raise ValueError(f"max_events must be >= 1, got {max_events}")
+        self.max_events = max_events
+        self.events: List[Event] = []
+        self.dropped = 0
+        self._epoch = 0
+        self._ts_s = 0.0
+
+    # -- position ----------------------------------------------------------
+    def at(self, epoch: int, ts_s: float) -> None:
+        """Set the (epoch, simulated-time) stamp for subsequent emits."""
+        self._epoch = epoch
+        self._ts_s = ts_s
+
+    # -- emission ----------------------------------------------------------
+    def emit(self, type: str, node: Optional[int] = None, **fields) -> None:
+        if type not in EVENT_TYPES:
+            raise ValueError(
+                f"unknown event type {type!r}; known: {sorted(EVENT_TYPES)}"
+            )
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(
+            Event(type=type, epoch=self._epoch, ts_s=self._ts_s,
+                  node=node, fields=fields)
+        )
+
+    # -- inspection --------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def select(self, type: str) -> List[Event]:
+        return [event for event in self.events if event.type == type]
+
+    def counts_by_type(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event.type] = counts.get(event.type, 0) + 1
+        return counts
+
+
+class NullTracer:
+    """The no-op default; ``enabled`` is False so hot paths skip emits."""
+
+    enabled = False
+    events: List[Event] = []
+    dropped = 0
+
+    def at(self, epoch: int, ts_s: float) -> None:
+        pass
+
+    def emit(self, type: str, node: Optional[int] = None, **fields) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+    def select(self, type: str) -> List[Event]:
+        return []
+
+    def counts_by_type(self) -> Dict[str, int]:
+        return {}
+
+
+NULL_TRACER = NullTracer()

@@ -1,0 +1,356 @@
+"""Labelled metrics registry for the simulator stack.
+
+Prometheus-shaped vocabulary (counters, gauges, histograms, each with
+optional key=value labels) scaled down to a single-process simulator:
+no wire format, no scrape loop, just in-memory instruments that
+:meth:`repro.core.network.SiriusNetwork.run`, :mod:`repro.core.node`,
+:mod:`repro.core.congestion`, :mod:`repro.core.failures` and
+:mod:`repro.sim.fluid` publish into.
+
+Two registries exist:
+
+* :class:`MetricsRegistry` — records everything; ``snapshot()`` /
+  ``collect()`` feed the exporters in :mod:`repro.obs.trace_io`.
+* :class:`NullMetricsRegistry` — the near-zero-overhead default.  Its
+  ``enabled`` flag is False, so instrumented hot paths skip metric
+  construction entirely; the null instruments it hands out ignore
+  every update, so un-gated call sites stay correct, just slower.
+
+Gauges may be created with ``track=True``: every ``set(value, at=...)``
+is then also appended to a per-labelset series, which is how the
+:class:`repro.core.telemetry.Telemetry` compatibility view stores its
+per-epoch samples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NULL_REGISTRY",
+]
+
+#: Label sets are stored as sorted (key, value) tuples so that
+#: ``inc(node=1, dst=2)`` and ``inc(dst=2, node=1)`` hit the same child.
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, object]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class _Instrument:
+    """Shared machinery: name, help text and per-labelset storage."""
+
+    kind = "instrument"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        if not name:
+            raise ValueError("metric name cannot be empty")
+        self.name = name
+        self.help = help
+
+    def label_sets(self) -> List[LabelKey]:
+        raise NotImplementedError
+
+    def collect(self) -> List[Dict[str, object]]:
+        """Flat sample dicts for export (one per labelset)."""
+        raise NotImplementedError
+
+
+class Counter(_Instrument):
+    """A monotonically-increasing count (cells sent, grants issued)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._values: Dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1, **labels) -> None:
+        if amount < 0:
+            raise ValueError(
+                f"counter {self.name} cannot decrease (amount={amount})"
+            )
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0) + amount
+
+    def value(self, **labels) -> float:
+        return self._values.get(_label_key(labels), 0)
+
+    def label_sets(self) -> List[LabelKey]:
+        return sorted(self._values)
+
+    def collect(self) -> List[Dict[str, object]]:
+        return [
+            {"name": self.name, "type": self.kind,
+             "labels": dict(key), "value": self._values[key]}
+            for key in sorted(self._values)
+        ]
+
+
+class Gauge(_Instrument):
+    """A value that can go up and down (queue occupancy, active flows).
+
+    With ``track=True`` every ``set`` also appends to a per-labelset
+    series of ``(at, value)`` points, turning the gauge into a sampled
+    time series (the substrate of :class:`repro.core.telemetry.Telemetry`).
+    """
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "", *, track: bool = False) -> None:
+        super().__init__(name, help)
+        self.track = track
+        self._values: Dict[LabelKey, float] = {}
+        self._series: Dict[LabelKey, List[Tuple[float, float]]] = {}
+
+    def set(self, value: float, at: Optional[float] = None, **labels) -> None:
+        key = _label_key(labels)
+        self._values[key] = value
+        if self.track:
+            self._series.setdefault(key, []).append(
+                (at if at is not None else len(self._series.get(key, ())),
+                 value)
+            )
+
+    def add(self, amount: float, **labels) -> None:
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0) + amount
+
+    def value(self, **labels) -> float:
+        return self._values.get(_label_key(labels), 0)
+
+    def series(self, **labels) -> List[Tuple[float, float]]:
+        """The tracked ``(at, value)`` points of one labelset."""
+        return list(self._series.get(_label_key(labels), ()))
+
+    def label_sets(self) -> List[LabelKey]:
+        return sorted(self._values)
+
+    def collect(self) -> List[Dict[str, object]]:
+        out: List[Dict[str, object]] = []
+        for key in sorted(self._values):
+            sample: Dict[str, object] = {
+                "name": self.name, "type": self.kind,
+                "labels": dict(key), "value": self._values[key],
+            }
+            if self.track:
+                sample["points"] = [list(p) for p in self._series.get(key, ())]
+            out.append(sample)
+        return out
+
+
+#: Default histogram buckets: powers of two, apt for cell/queue counts.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024,
+)
+
+
+class Histogram(_Instrument):
+    """Bucketed distribution (per-epoch queue depth, grant latency)."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "",
+                 buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        super().__init__(name, help)
+        if not buckets:
+            raise ValueError("histogram needs at least one bucket bound")
+        ordered = list(buckets)
+        if ordered != sorted(ordered):
+            raise ValueError(f"bucket bounds must be sorted, got {buckets}")
+        self.buckets: Tuple[float, ...] = tuple(ordered)
+        # per labelset: [bucket counts..., +Inf count], total, sum
+        self._counts: Dict[LabelKey, List[int]] = {}
+        self._sums: Dict[LabelKey, float] = {}
+
+    def observe(self, value: float, **labels) -> None:
+        key = _label_key(labels)
+        counts = self._counts.get(key)
+        if counts is None:
+            counts = [0] * (len(self.buckets) + 1)
+            self._counts[key] = counts
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                counts[index] += 1
+                break
+        else:
+            counts[-1] += 1
+        self._sums[key] = self._sums.get(key, 0.0) + value
+
+    def count(self, **labels) -> int:
+        return sum(self._counts.get(_label_key(labels), ()))
+
+    def sum(self, **labels) -> float:
+        return self._sums.get(_label_key(labels), 0.0)
+
+    def quantile(self, q: float, **labels) -> Optional[float]:
+        """Bucket-resolution quantile estimate (upper bound of the
+        bucket holding the q-th observation); None when empty."""
+        if not 0 <= q <= 1:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        counts = self._counts.get(_label_key(labels))
+        if not counts or not sum(counts):
+            return None
+        target = q * sum(counts)
+        running = 0
+        for index, count in enumerate(counts):
+            running += count
+            if running >= target and count:
+                if index < len(self.buckets):
+                    return self.buckets[index]
+                return float("inf")
+        return float("inf")
+
+    def label_sets(self) -> List[LabelKey]:
+        return sorted(self._counts)
+
+    def collect(self) -> List[Dict[str, object]]:
+        return [
+            {"name": self.name, "type": self.kind,
+             "labels": dict(key),
+             "buckets": list(self.buckets),
+             "counts": list(self._counts[key]),
+             "sum": self._sums.get(key, 0.0),
+             "count": sum(self._counts[key])}
+            for key in sorted(self._counts)
+        ]
+
+
+class MetricsRegistry:
+    """Get-or-create home of every instrument in a run."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, _Instrument] = {}
+
+    # -- instrument factories (get-or-create, kind-checked) ----------------
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "", *, track: bool = False) -> Gauge:
+        gauge = self._get_or_create(Gauge, name, help, track=track)
+        if track and not gauge.track:
+            raise ValueError(
+                f"gauge {name!r} already registered without track=True"
+            )
+        return gauge
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    def _get_or_create(self, cls, name: str, help: str, **kwargs):
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{existing.kind}, cannot re-register as "
+                    f"{cls.kind}"
+                )
+            return existing
+        instrument = cls(name, help, **kwargs)
+        self._instruments[name] = instrument
+        return instrument
+
+    # -- introspection / export --------------------------------------------
+    def get(self, name: str) -> Optional[_Instrument]:
+        return self._instruments.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._instruments)
+
+    def __iter__(self) -> Iterator[_Instrument]:
+        for name in sorted(self._instruments):
+            yield self._instruments[name]
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def collect(self) -> List[Dict[str, object]]:
+        """Every sample of every instrument, sorted by metric name."""
+        samples: List[Dict[str, object]] = []
+        for instrument in self:
+            samples.extend(instrument.collect())
+        return samples
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready view of the whole registry."""
+        return {"metrics": self.collect()}
+
+
+class _NullInstrument:
+    """Accepts every update and records nothing."""
+
+    def inc(self, amount: float = 1, **labels) -> None:
+        pass
+
+    def set(self, value: float, at: Optional[float] = None, **labels) -> None:
+        pass
+
+    def add(self, amount: float, **labels) -> None:
+        pass
+
+    def observe(self, value: float, **labels) -> None:
+        pass
+
+    def value(self, **labels) -> float:
+        return 0
+
+    def series(self, **labels) -> List[Tuple[float, float]]:
+        return []
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetricsRegistry:
+    """The no-op default: hands out inert instruments, records nothing.
+
+    Instrumented code gates on :attr:`enabled` before building labels,
+    so the disabled cost is one attribute load and branch; call sites
+    that skip the gate still work — the null instrument swallows the
+    update.
+    """
+
+    enabled = False
+
+    def counter(self, name: str, help: str = "") -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, help: str = "",
+              *, track: bool = False) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def get(self, name: str) -> None:
+        return None
+
+    def names(self) -> List[str]:
+        return []
+
+    def __iter__(self) -> Iterator[_Instrument]:
+        return iter(())
+
+    def __len__(self) -> int:
+        return 0
+
+    def collect(self) -> List[Dict[str, object]]:
+        return []
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"metrics": []}
+
+
+NULL_REGISTRY = NullMetricsRegistry()

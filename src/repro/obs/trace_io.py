@@ -1,0 +1,328 @@
+"""Trace persistence: JSONL run logs and Chrome ``trace_event`` export.
+
+Two on-disk formats, both stdlib-JSON only:
+
+* **JSONL** (canonical) — one record per line: a ``meta`` header, then
+  ``event`` / ``metric`` / ``profile`` records.  Streams, greps and
+  diffs well; :func:`read_trace` reconstructs a :class:`RunTrace`.
+* **Chrome trace_event** — the ``{"traceEvents": [...]}`` JSON that
+  ``chrome://tracing`` and `Perfetto <https://ui.perfetto.dev>`_ open
+  directly: simulator events as instants on per-node tracks, tracked
+  gauges as counter tracks, and profiler laps as duration slices.
+
+:func:`load_any` sniffs the format so ``sirius-repro report`` accepts
+either file.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.obs.events import Event
+from repro.obs.observation import Observation
+from repro.obs.profiling import PhaseProfiler
+from repro.units import US
+
+__all__ = [
+    "RunTrace",
+    "run_trace",
+    "write_jsonl",
+    "read_trace",
+    "chrome_trace",
+    "write_chrome_trace",
+    "load_any",
+]
+
+#: JSONL header constants.
+TRACE_FORMAT = "sirius-trace"
+TRACE_VERSION = 1
+
+#: Chrome pid lanes: simulated time vs simulator wall-clock.
+_SIM_PID = 1
+_PROFILE_PID = 2
+
+
+@dataclass
+class RunTrace:
+    """Everything one run recorded, reconstructed from disk."""
+
+    meta: Dict[str, object] = field(default_factory=dict)
+    events: List[Event] = field(default_factory=list)
+    metrics: List[Dict[str, object]] = field(default_factory=list)
+    profile: Optional[PhaseProfiler] = None
+
+    def metric(self, name: str,
+               **labels) -> Optional[Dict[str, object]]:
+        """The first sample of metric ``name`` matching ``labels``."""
+        wanted = {k: str(v) for k, v in labels.items()}
+        for sample in self.metrics:
+            if sample.get("name") != name:
+                continue
+            have = dict(sample.get("labels", {}))
+            if all(have.get(k) == v for k, v in wanted.items()):
+                return sample
+        return None
+
+    def series(self, name: str) -> List[List[float]]:
+        """Tracked points of gauge ``name`` (empty when untracked)."""
+        sample = self.metric(name)
+        if sample is None:
+            return []
+        return [list(point) for point in sample.get("points", ())]
+
+    def event_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event.type] = counts.get(event.type, 0) + 1
+        return counts
+
+
+def run_trace(obs: Observation,
+              meta: Optional[Dict[str, object]] = None) -> RunTrace:
+    """An in-memory :class:`RunTrace` of what ``obs`` recorded.
+
+    The same view :func:`write_jsonl` + :func:`read_trace` round-trip
+    through disk, without the round-trip — for rendering a report or a
+    Chrome trace straight after a run.
+    """
+    header: Dict[str, object] = {}
+    if meta:
+        header.update(meta)
+    if obs.tracer.dropped:
+        header["events_dropped"] = obs.tracer.dropped
+    return RunTrace(
+        meta=header,
+        events=list(obs.tracer.events),
+        metrics=[dict(sample) for sample in obs.registry.collect()],
+        profile=obs.profiler if obs.profiler.enabled else None,
+    )
+
+
+# --------------------------------------------------------------------------
+# JSONL
+# --------------------------------------------------------------------------
+def write_jsonl(path: Union[str, Path], obs: Observation,
+                meta: Optional[Dict[str, object]] = None) -> Path:
+    """Write everything ``obs`` recorded as one JSONL file."""
+    path = Path(path)
+    header: Dict[str, object] = {
+        "record": "meta",
+        "format": TRACE_FORMAT,
+        "version": TRACE_VERSION,
+    }
+    if meta:
+        header.update(meta)
+    if obs.tracer.dropped:
+        header["events_dropped"] = obs.tracer.dropped
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write(json.dumps(header) + "\n")
+        for event in obs.tracer.events:
+            record = event.to_dict()
+            record["record"] = "event"
+            handle.write(json.dumps(record) + "\n")
+        for sample in obs.registry.collect():
+            record = dict(sample)
+            record["record"] = "metric"
+            handle.write(json.dumps(record) + "\n")
+        if obs.profiler.enabled:
+            record = obs.profiler.to_dict()
+            record["record"] = "profile"
+            handle.write(json.dumps(record) + "\n")
+    return path
+
+
+def read_trace(path: Union[str, Path]) -> RunTrace:
+    """Reconstruct a :class:`RunTrace` from a JSONL run log."""
+    trace = RunTrace()
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: not a JSONL trace record: {exc}"
+                ) from exc
+            kind = record.pop("record", None)
+            if kind == "meta":
+                if record.get("format") not in (None, TRACE_FORMAT):
+                    raise ValueError(
+                        f"{path}: unknown trace format {record.get('format')!r}"
+                    )
+                trace.meta = record
+            elif kind == "event":
+                trace.events.append(Event.from_dict(record))
+            elif kind == "metric":
+                trace.metrics.append(record)
+            elif kind == "profile":
+                trace.profile = PhaseProfiler.from_dict(record)
+            else:
+                raise ValueError(
+                    f"{path}:{lineno}: unknown record kind {kind!r}"
+                )
+    return trace
+
+
+# --------------------------------------------------------------------------
+# Chrome trace_event
+# --------------------------------------------------------------------------
+def _label_suffix(labels: Dict[str, object]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def chrome_trace(trace: RunTrace) -> Dict[str, object]:
+    """Convert a :class:`RunTrace` to the Chrome ``trace_event`` dict.
+
+    Timestamps are microseconds (the format's unit): simulated time for
+    protocol events and counter tracks, wall-clock for profiler laps.
+    """
+    records: List[Dict[str, object]] = [
+        {"name": "process_name", "ph": "M", "pid": _SIM_PID,
+         "args": {"name": "simulated time"}},
+        {"name": "process_name", "ph": "M", "pid": _PROFILE_PID,
+         "args": {"name": "simulator wall-clock"}},
+    ]
+    for event in trace.events:
+        if event.type == "phase":
+            continue  # wall-clock spans live on the profiler lane
+        tid = event.node if event.node is not None else 0
+        records.append({
+            "name": event.type,
+            "ph": "i",
+            "s": "t",
+            "ts": event.ts_s / US,
+            "pid": _SIM_PID,
+            "tid": tid,
+            "args": {"epoch": event.epoch, **event.fields},
+        })
+    epoch_dur_s = float(trace.meta.get("epoch_duration_s", 0.0) or 0.0)
+    for sample in trace.metrics:
+        points = sample.get("points")
+        if not points:
+            continue
+        name = str(sample["name"]) + _label_suffix(
+            dict(sample.get("labels", {}))
+        )
+        for at, value in points:
+            ts_s = at * epoch_dur_s if epoch_dur_s else at
+            records.append({
+                "name": name,
+                "ph": "C",
+                "ts": ts_s / US if epoch_dur_s else at,
+                "pid": _SIM_PID,
+                "tid": 0,
+                "args": {"value": value},
+            })
+    if trace.profile is not None:
+        records.extend(_profile_records(trace.profile))
+    return {
+        "traceEvents": records,
+        "displayTimeUnit": "ns",
+        "otherData": dict(trace.meta),
+    }
+
+
+def _profile_records(profile: PhaseProfiler) -> List[Dict[str, object]]:
+    """Profiler laps as ``X`` (complete) events on the wall-clock lane."""
+    records: List[Dict[str, object]] = []
+    if profile.epoch_rows:
+        cursor_s = 0.0
+        for epoch, phase, seconds in profile.epoch_rows:
+            records.append({
+                "name": phase,
+                "ph": "X",
+                "ts": cursor_s / US,
+                "dur": seconds / US,
+                "pid": _PROFILE_PID,
+                "tid": 0,
+                "args": {"epoch": epoch},
+            })
+            cursor_s += seconds
+    else:
+        # Totals only: one slice per phase, laid end to end.
+        cursor_s = 0.0
+        for phase in sorted(profile.totals_s):
+            seconds = profile.totals_s[phase]
+            records.append({
+                "name": phase,
+                "ph": "X",
+                "ts": cursor_s / US,
+                "dur": seconds / US,
+                "pid": _PROFILE_PID,
+                "tid": 0,
+                "args": {"laps": profile.counts.get(phase, 0)},
+            })
+            cursor_s += seconds
+    return records
+
+
+def write_chrome_trace(path: Union[str, Path], trace: RunTrace) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(chrome_trace(trace)), encoding="utf-8")
+    return path
+
+
+# --------------------------------------------------------------------------
+# format sniffing (for the report CLI)
+# --------------------------------------------------------------------------
+def load_any(path: Union[str, Path]) -> RunTrace:
+    """Load a JSONL run log *or* a Chrome trace_event file."""
+    path = Path(path)
+    text = path.read_text(encoding="utf-8")
+    stripped = text.lstrip()
+    if stripped.startswith("{"):
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError:
+            payload = None
+        if isinstance(payload, dict) and "traceEvents" in payload:
+            return _from_chrome(payload)
+    return read_trace(path)
+
+
+def _from_chrome(payload: Dict[str, object]) -> RunTrace:
+    """Partial inverse of :func:`chrome_trace` (enough for reports)."""
+    trace = RunTrace(meta=dict(payload.get("otherData", {})))
+    totals: Dict[str, float] = {}
+    counter_points: Dict[str, List[List[float]]] = {}
+    for record in payload.get("traceEvents", ()):  # type: ignore[union-attr]
+        ph = record.get("ph")
+        if ph == "i":
+            trace.events.append(Event(
+                type=str(record["name"]),
+                epoch=int(record.get("args", {}).get("epoch", 0)),
+                ts_s=float(record.get("ts", 0.0)) * US,
+                node=(record.get("tid")
+                      if record.get("tid", 0) != 0 else None),
+                fields=dict(record.get("args", {})),
+            ))
+        elif ph == "X":
+            name = str(record["name"])
+            totals[name] = (totals.get(name, 0.0)
+                            + float(record.get("dur", 0.0)) * US)
+        elif ph == "C":
+            name = str(record["name"])
+            value = float(record.get("args", {}).get("value", 0.0))
+            counter_points.setdefault(name, []).append(
+                [float(record.get("ts", 0.0)) * US, value]
+            )
+    for name in sorted(counter_points):
+        trace.metrics.append({
+            "name": name, "type": "gauge", "labels": {},
+            "points": counter_points[name],
+            "value": counter_points[name][-1][1],
+        })
+    if totals:
+        profile = PhaseProfiler()
+        profile.totals_s = totals
+        profile.total_run_s = sum(totals.values())
+        trace.profile = profile
+    return trace

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.cell import Flow
+from repro.obs.observation import NULL_OBS, Observation
 from repro.units import KILOBYTE, US
 
 
@@ -199,8 +200,34 @@ class FluidNetwork:
 
     # -- simulation ----------------------------------------------------------
     def run(self, flows: Sequence[Flow], *,
-            max_duration_s: Optional[float] = None) -> FluidResult:
-        """Simulate the flow list (sorted by arrival) to completion."""
+            max_duration_s: Optional[float] = None,
+            obs: Optional[Observation] = None) -> FluidResult:
+        """Simulate the flow list (sorted by arrival) to completion.
+
+        ``obs`` attaches a :class:`repro.obs.Observation`: flow
+        arrival/completion trace events (the fluid simulator has no
+        epochs, so events are stamped with the event index), a tracked
+        ``fluid_active_flows`` gauge, the shared ``delivered_bits_total``
+        counter and an ``advance``/``recompute`` wall-clock breakdown.
+        """
+        if obs is None:
+            obs = NULL_OBS
+        tracer = obs.tracer
+        registry = obs.registry
+        profiler = obs.profiler
+        tracing = tracer.enabled
+        metering = registry.enabled
+        profiling = profiler.enabled
+        if metering:
+            delivered_counter = registry.counter(
+                "delivered_bits_total", "application payload delivered"
+            )
+            event_counter = registry.counter(
+                "fluid_events_total", "fluid events processed, by kind"
+            )
+            active_gauge = registry.gauge("fluid_active_flows", track=True)
+        t_mark = profiler.start_run()
+
         flows = list(flows)
         for i in range(1, len(flows)):
             if flows[i].arrival_time < flows[i - 1].arrival_time:
@@ -212,12 +239,15 @@ class FluidNetwork:
         delivered = 0.0
         now = 0.0
         next_arrival_idx = 0
+        event_index = 0
         rates: Dict[int, float] = {}
 
         def recompute() -> None:
             nonlocal rates
             rates = self.maxmin_rates(resources_of)
 
+        if profiling:
+            t_mark = profiler.lap("setup", t_mark)
         while True:
             # Next events: arrival vs earliest completion at current rates.
             next_arrival = (
@@ -242,37 +272,64 @@ class FluidNetwork:
                 event_time, event = next_completion, "completion"
             if max_duration_s is not None and event_time > max_duration_s:
                 dt = max_duration_s - now
+                truncated = 0.0
                 for fid, rate in rates.items():
                     drained = min(remaining[fid], rate * dt)
                     remaining[fid] -= drained
-                    delivered += drained
+                    truncated += drained
+                delivered += truncated
+                if metering and truncated:
+                    delivered_counter.inc(truncated)
                 now = max_duration_s
                 break
 
             # Advance fluid state to the event time.
             dt = event_time - now
             if dt > 0:
+                advanced = 0.0
                 for fid, rate in rates.items():
                     if rate > 0:
                         drained = min(remaining[fid], rate * dt)
                         remaining[fid] -= drained
-                        delivered += drained
+                        advanced += drained
+                delivered += advanced
+                if metering and advanced:
+                    delivered_counter.inc(advanced)
             now = event_time
+            if profiling:
+                t_mark = profiler.lap("advance", t_mark)
 
+            if tracing:
+                tracer.at(event_index, now)
             if event == "arrival":
                 flow = flows[next_arrival_idx]
                 next_arrival_idx += 1
                 remaining[flow.flow_id] = float(flow.size_bits)
                 resources_of[flow.flow_id] = self._flow_resources(flow)
+                if tracing:
+                    tracer.emit("flow.arrival", node=flow.src,
+                                flow=flow.flow_id, dst=flow.dst)
             else:
                 remaining.pop(completing, None)
                 resources_of.pop(completing, None)
                 flow = flow_by_id[completing]
                 flow.n_cells = 1
                 flow.record_delivery(now + self.base_rtt_s)
+                if tracing:
+                    tracer.emit("flow.completion", node=flow.dst,
+                                flow=flow.flow_id)
+            if metering:
+                event_counter.inc(kind=event)
+                active_gauge.set(len(resources_of), at=event_index)
+            event_index += 1
             recompute()
+            if profiling:
+                t_mark = profiler.lap("recompute", t_mark)
 
         duration = max(now, 1e-12)
+        if profiling:
+            profiler.lap("finalize", t_mark)
+            profiler.end_run()
         return FluidResult(
             flows=flows,
             duration_s=duration,

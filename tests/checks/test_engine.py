@@ -128,9 +128,9 @@ class TestRegistry:
         assert len(names) == len(set(names))
         assert all(name == name.lower() and " " not in name for name in names)
 
-    def test_three_families_present(self):
+    def test_rule_families_present(self):
         families = {rule.code[0] for rule in ALL_RULES}
-        assert families == {"U", "D", "I"}
+        assert families == {"U", "D", "I", "O"}
 
     def test_unit_rules_exported(self):
         assert any(isinstance(rule, UnitLiteralRule) for rule in UNITS_RULES)

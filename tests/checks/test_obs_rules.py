@@ -1,0 +1,70 @@
+"""Fixture tests for the observability rule family (O4xx)."""
+
+from repro.checks.engine import check_source
+from repro.checks.obs_rules import OBS_RULES
+
+CORE = "src/repro/core/fake.py"
+SIM = "src/repro/sim/fake.py"
+CLI = "src/repro/cli.py"
+
+
+def codes(source, relpath):
+    return [f.rule for f in check_source(source, OBS_RULES, relpath=relpath)]
+
+
+class TestPrintInHotPath:
+    def test_print_in_core_flagged(self):
+        assert codes("print('queue depth', depth)\n", CORE) == ["O401"]
+
+    def test_print_in_sim_flagged(self):
+        assert codes("print(x)\n", SIM) == ["O401"]
+
+    def test_print_in_cli_allowed(self):
+        assert codes("print('report')\n", CLI) == []
+
+    def test_print_in_obs_report_allowed(self):
+        assert codes("print('table')\n", "src/repro/obs/report.py") == []
+
+    def test_print_in_tests_allowed(self):
+        assert codes("print(x)\n", "tests/core/test_node.py") == []
+
+    def test_shadowed_name_not_a_builtin_call_still_flagged(self):
+        # The rule is syntactic: any bare print(...) call counts.
+        source = "def log(print):\n    print('x')\n"
+        assert codes(source, CORE) == ["O401"]
+
+    def test_method_named_print_not_flagged(self):
+        assert codes("logger.print('x')\n", CORE) == []
+
+    def test_suppression_comment_respected(self):
+        source = "print('x')  # lint: ignore[O401]\n"
+        assert codes(source, CORE) == []
+
+
+class TestStreamWriteInHotPath:
+    def test_sys_stdout_write_flagged(self):
+        source = "import sys\nsys.stdout.write('hot')\n"
+        assert codes(source, CORE) == ["O402"]
+
+    def test_sys_stderr_writelines_flagged(self):
+        source = "import sys\nsys.stderr.writelines(lines)\n"
+        assert codes(source, SIM) == ["O402"]
+
+    def test_file_write_not_flagged(self):
+        source = "handle.write(data)\n"
+        assert codes(source, CORE) == []
+
+    def test_stream_write_outside_hot_path_allowed(self):
+        source = "import sys\nsys.stdout.write('fine')\n"
+        assert codes(source, "src/repro/checks/cli.py") == []
+
+
+class TestScoping:
+    def test_prefix_match_is_exact_package_boundary(self):
+        # repro.corelib is NOT repro.core.
+        assert codes("print(x)\n", "src/repro/corelib/fake.py") == []
+
+    def test_rule_metadata(self):
+        by_code = {rule.code: rule for rule in OBS_RULES}
+        assert by_code["O401"].name == "print-in-hot-path"
+        assert by_code["O402"].name == "stream-write-in-hot-path"

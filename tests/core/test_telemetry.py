@@ -97,3 +97,78 @@ class TestSparkline:
             ascii_sparkline([])
         with pytest.raises(ValueError):
             ascii_sparkline([1.0], width=0)
+
+
+class _FakeNode:
+    local_cells = 0
+    vq_cells = 0
+    fwd_cells = 0
+
+
+class TestThroughputBaseline:
+    """Regression: the first throughput delta must cover only the first
+    sampled interval, even when telemetry attaches mid-run."""
+
+    def test_fresh_run_first_delta_counts_from_zero(self):
+        telemetry = Telemetry()
+        telemetry.sample(0, [_FakeNode()], 0, 1000.0)
+        telemetry.sample(1, [_FakeNode()], 0, 3000.0)
+        assert telemetry.throughput_cells(1000) == [1.0, 2.0]
+
+    def test_mid_run_attachment_rebases_baseline(self):
+        # 5000 bits were delivered before telemetry attached at epoch
+        # 10; that pre-history must not appear as one interval's burst.
+        telemetry = Telemetry()
+        telemetry.sample(10, [_FakeNode()], 0, 5000.0)
+        telemetry.sample(11, [_FakeNode()], 0, 6000.0)
+        assert telemetry.throughput_cells(1000) == [0.0, 1.0]
+
+    def test_baseline_set_even_when_first_epoch_not_stored(self):
+        # sample_every=4 skips epoch 5's datapoint, but the baseline
+        # still rebases there so epoch 8's delta is pre-history-free.
+        telemetry = Telemetry(sample_every=4)
+        telemetry.sample(5, [_FakeNode()], 0, 9000.0)  # observed, not stored
+        telemetry.sample(8, [_FakeNode()], 0, 9500.0)
+        assert telemetry.n_samples == 1
+        assert telemetry.throughput_cells(1000) == [0.5]
+
+    def test_full_run_throughput_sums_to_delivered(self):
+        net, result, telemetry = run_with_telemetry()
+        payload = net.timing.payload_bits
+        total = sum(telemetry.throughput_cells(payload)) * payload
+        assert total == pytest.approx(result.delivered_bits)
+
+
+class TestEdgeCases:
+    def test_sampling_period_longer_than_run(self):
+        _net, result, telemetry = run_with_telemetry(sample_every=10**6)
+        assert result.epochs < 10**6
+        assert telemetry.n_samples == 1  # epoch 0 only
+        assert telemetry.epochs == [0]
+        summary = telemetry.summary()
+        assert summary["samples"] == 1
+
+    def test_empty_run(self):
+        net = SiriusNetwork(8, 4, seed=1)
+        telemetry = Telemetry()
+        result = net.run([], telemetry=telemetry)
+        assert result.delivered_bits == 0
+        assert telemetry.throughput_cells(1) in ([], [0.0])
+        assert telemetry.summary()["peak_backlog"] == 0
+
+    def test_summary_on_fresh_object(self):
+        telemetry = Telemetry()
+        summary = telemetry.summary()
+        assert summary == {
+            "samples": 0, "peak_local": 0, "peak_vq": 0, "peak_fwd": 0,
+            "peak_backlog": 0, "final_backlog": 0,
+        }
+        assert telemetry.throughput_cells(1000) == []
+        assert telemetry.time_of_peak("vq") is None
+        assert telemetry.backlog_series() == []
+
+
+class TestSparklineGuards:
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            ascii_sparkline([1.0, -0.5, 2.0])

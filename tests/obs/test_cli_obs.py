@@ -1,0 +1,80 @@
+"""The observability CLI surface: simulate --trace-out / report / trace.
+
+Acceptance (ISSUE): a traced run produces a JSONL log and a Chrome
+trace that both round-trip through ``sirius-repro report``.
+"""
+
+import json
+
+from repro.cli import main
+from repro.obs import load_any
+
+
+def _simulate(tmp_path, *extra):
+    args = [
+        "simulate", "--nodes", "8", "--grating-ports", "4",
+        "--flows", "40", "--load", "0.4", "--seed", "7", *extra,
+    ]
+    assert main(args) == 0
+
+
+class TestSimulateTracing:
+    def test_trace_out_writes_jsonl(self, tmp_path, capsys):
+        out = tmp_path / "run.jsonl"
+        _simulate(tmp_path, "--trace-out", str(out))
+        assert "trace" in capsys.readouterr().out
+        trace = load_any(out)
+        assert trace.meta["format"] == "sirius-trace"
+        assert trace.meta["nodes"] == 8
+        assert trace.event_counts()["epoch"] == trace.meta["epochs"]
+        assert trace.metric("delivered_bits_total")["value"] > 0
+
+    def test_chrome_out_writes_trace_event_json(self, tmp_path, capsys):
+        out = tmp_path / "run.trace.json"
+        _simulate(tmp_path, "--chrome-out", str(out))
+        payload = json.loads(out.read_text())
+        assert payload["traceEvents"]
+        assert capsys.readouterr().out  # progress lines printed
+
+    def test_profile_prints_phase_breakdown(self, tmp_path, capsys):
+        _simulate(tmp_path, "--profile")
+        out = capsys.readouterr().out
+        assert "phase" in out
+        assert "transmit" in out
+        assert "profiler coverage" in out
+
+
+class TestReportCommand:
+    def test_report_from_jsonl(self, tmp_path, capsys):
+        out = tmp_path / "run.jsonl"
+        _simulate(tmp_path, "--trace-out", str(out))
+        capsys.readouterr()
+        assert main(["report", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "events" in text
+        assert "delivered_bits_total" in text
+        assert "wall-clock phases" in text
+
+    def test_report_from_chrome_trace(self, tmp_path, capsys):
+        out = tmp_path / "run.trace.json"
+        _simulate(tmp_path, "--chrome-out", str(out))
+        capsys.readouterr()
+        assert main(["report", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "events" in text
+        assert "cell.dequeue" in text
+
+
+class TestTraceCommand:
+    def test_jsonl_to_chrome_conversion(self, tmp_path, capsys):
+        jsonl = tmp_path / "run.jsonl"
+        chrome = tmp_path / "run.trace.json"
+        _simulate(tmp_path, "--trace-out", str(jsonl))
+        capsys.readouterr()
+        assert main(["trace", str(jsonl), "-o", str(chrome)]) == 0
+        assert "perfetto" in capsys.readouterr().out
+        payload = json.loads(chrome.read_text())
+        names = {record["name"] for record in payload["traceEvents"]}
+        assert "cell.dequeue" in names
+        # Converted file still renders a report (full round-trip).
+        assert load_any(chrome).event_counts()["cell.dequeue"] > 0

@@ -1,0 +1,66 @@
+"""Unit tests for the structured event tracer (repro.obs.events)."""
+
+import pytest
+
+from repro.obs.events import EVENT_TYPES, Event, EventTracer, NULL_TRACER
+
+
+class TestEvent:
+    def test_round_trips_through_dict(self):
+        event = Event(type="cell.enqueue", epoch=4, ts_s=1.6e-6,
+                      node=2, fields={"queue": "local", "flow": 7})
+        assert Event.from_dict(event.to_dict()) == event
+
+    def test_nodeless_event_omits_node_key(self):
+        event = Event(type="epoch", epoch=0, ts_s=0.0)
+        assert "node" not in event.to_dict()
+
+
+class TestEventTracer:
+    def test_emit_stamps_current_position(self):
+        tracer = EventTracer()
+        tracer.at(12, 4.8e-6)
+        tracer.emit("grant.issued", node=3, src=1, dst=2)
+        (event,) = tracer.events
+        assert event.epoch == 12
+        assert event.ts_s == 4.8e-6
+        assert event.node == 3
+        assert event.fields == {"src": 1, "dst": 2}
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError):
+            EventTracer().emit("cell.teleport")
+
+    def test_vocabulary_covers_the_simulator(self):
+        required = {
+            "cell.enqueue", "cell.dequeue", "cell.drop",
+            "grant.issued", "grant.denied",
+            "failure.announce", "failure.recover",
+            "epoch", "flow.arrival", "flow.completion",
+        }
+        assert required <= EVENT_TYPES
+
+    def test_cap_counts_dropped_events(self):
+        tracer = EventTracer(max_events=2)
+        for _ in range(5):
+            tracer.emit("epoch")
+        assert len(tracer) == 2
+        assert tracer.dropped == 3
+
+    def test_select_and_counts(self):
+        tracer = EventTracer()
+        tracer.emit("epoch")
+        tracer.emit("cell.drop", count=3)
+        tracer.emit("epoch")
+        assert len(tracer.select("epoch")) == 2
+        assert tracer.counts_by_type() == {"epoch": 2, "cell.drop": 1}
+
+
+class TestNullTracer:
+    def test_disabled_and_inert(self):
+        assert not NULL_TRACER.enabled
+        NULL_TRACER.at(5, 1.0)
+        NULL_TRACER.emit("epoch")
+        assert len(NULL_TRACER) == 0
+        assert NULL_TRACER.select("epoch") == []
+        assert NULL_TRACER.counts_by_type() == {}

@@ -1,0 +1,142 @@
+"""Unit tests for the labelled metrics registry (repro.obs.metrics)."""
+
+import pytest
+
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("cells_total")
+        assert counter.value() == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value() == 5
+
+    def test_labelled_children_are_independent(self):
+        counter = Counter("grant_rate")
+        counter.inc(src=1, dst=2)
+        counter.inc(3, src=2, dst=1)
+        assert counter.value(src=1, dst=2) == 1
+        assert counter.value(src=2, dst=1) == 3
+        assert counter.value(src=9, dst=9) == 0
+
+    def test_label_order_is_irrelevant(self):
+        counter = Counter("grant_rate")
+        counter.inc(src=1, dst=2)
+        counter.inc(dst=2, src=1)
+        assert counter.value(src=1, dst=2) == 2
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+    def test_collect_shape(self):
+        counter = Counter("c", "help text")
+        counter.inc(node=3)
+        (sample,) = counter.collect()
+        assert sample["name"] == "c"
+        assert sample["type"] == "counter"
+        assert sample["labels"] == {"node": "3"}
+        assert sample["value"] == 1
+
+
+class TestGauge:
+    def test_set_and_read(self):
+        gauge = Gauge("vq_cells")
+        gauge.set(7, node=12)
+        assert gauge.value(node=12) == 7
+        gauge.set(3, node=12)
+        assert gauge.value(node=12) == 3
+
+    def test_add(self):
+        gauge = Gauge("depth")
+        gauge.add(5)
+        gauge.add(-2)
+        assert gauge.value() == 3
+
+    def test_tracked_series_records_points(self):
+        gauge = Gauge("backlog", track=True)
+        gauge.set(10, at=0)
+        gauge.set(12, at=4)
+        assert gauge.series() == [(0, 10), (4, 12)]
+
+    def test_untracked_gauge_keeps_no_series(self):
+        gauge = Gauge("backlog")
+        gauge.set(10, at=0)
+        assert gauge.series() == []
+
+
+class TestHistogram:
+    def test_observe_count_sum(self):
+        hist = Histogram("fct")
+        for value in (1, 2, 3):
+            hist.observe(value)
+        assert hist.count() == 3
+        assert hist.sum() == 6
+
+    def test_quantile_is_bucket_upper_bound(self):
+        hist = Histogram("fct", buckets=(1, 10, 100))
+        for value in (0.5, 5, 5, 50):
+            hist.observe(value)
+        assert hist.quantile(0.5) == 10
+        assert hist.quantile(1.0) == 100
+
+    def test_quantile_of_empty_histogram(self):
+        assert Histogram("fct").quantile(0.5) is None
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        first = registry.counter("cells_total")
+        second = registry.counter("cells_total")
+        assert first is second
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+    def test_gauge_cannot_gain_tracking_after_creation(self):
+        registry = MetricsRegistry()
+        registry.gauge("g")  # untracked: series were never recorded
+        with pytest.raises(ValueError):
+            registry.gauge("g", track=True)
+
+    def test_tracked_gauge_serves_untracked_requests(self):
+        registry = MetricsRegistry()
+        tracked = registry.gauge("g", track=True)
+        assert registry.gauge("g") is tracked
+
+    def test_collect_spans_all_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.gauge("b").set(2)
+        names = {sample["name"] for sample in registry.collect()}
+        assert names == {"a", "b"}
+
+    def test_enabled_flag(self):
+        assert MetricsRegistry().enabled
+        assert not NULL_REGISTRY.enabled
+
+
+class TestNullRegistry:
+    def test_all_updates_are_swallowed(self):
+        registry = NullMetricsRegistry()
+        counter = registry.counter("c")
+        counter.inc(100, node=1)
+        assert counter.value(node=1) == 0
+        gauge = registry.gauge("g", track=True)
+        gauge.set(5, at=0)
+        assert gauge.series() == []
+        assert registry.collect() == []
+        assert len(registry) == 0

@@ -1,0 +1,55 @@
+"""Tier-1 guard: the no-op Observation must be (nearly) free.
+
+The whole design of repro.obs rests on hot paths gating on cached
+``enabled`` flags, so that passing ``obs=Observation()`` (all planes
+null) costs the same as passing nothing at all.  This benchmark-style
+test times both and bounds the difference at < 5 % wall-clock
+(best-of-N timing with retries, so scheduler noise does not flake CI).
+"""
+
+import time
+
+from repro import FlowWorkload, Observation, SiriusNetwork, WorkloadConfig
+
+#: Best-of-N repetitions per arm; retries if the bound is missed once.
+_REPS = 3
+_ATTEMPTS = 3
+_MAX_OVERHEAD = 0.05
+
+
+def _flows():
+    net = SiriusNetwork(16, 4, seed=11)
+    workload = FlowWorkload(WorkloadConfig(
+        n_nodes=16, load=0.7,
+        node_bandwidth_bps=net.reference_node_bandwidth_bps, seed=12,
+    ))
+    return workload.generate(300)
+
+
+def _time_run(obs):
+    """Best-of-_REPS wall-clock for one simulation arm."""
+    best = None
+    for _ in range(_REPS):
+        net = SiriusNetwork(16, 4, seed=11)
+        flows = _flows()
+        t0 = time.perf_counter()
+        net.run(flows, obs=obs)
+        elapsed = time.perf_counter() - t0
+        if best is None or elapsed < best:
+            best = elapsed
+    return best
+
+
+def test_noop_observation_overhead_below_five_percent():
+    ratios = []
+    for _ in range(_ATTEMPTS):
+        baseline = _time_run(None)
+        nooped = _time_run(Observation())
+        ratio = nooped / baseline
+        ratios.append(ratio)
+        if ratio <= 1 + _MAX_OVERHEAD:
+            return
+    raise AssertionError(
+        f"no-op Observation overhead above {_MAX_OVERHEAD:.0%} in all "
+        f"{_ATTEMPTS} attempts: ratios {[f'{r:.3f}' for r in ratios]}"
+    )

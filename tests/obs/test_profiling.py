@@ -1,0 +1,91 @@
+"""Unit tests for the phase profiler (repro.obs.profiling)."""
+
+import pytest
+
+from repro.obs.profiling import NULL_PROFILER, PhaseProfiler
+
+
+class FakeClock:
+    """Deterministic clock: returns queued times, advancing one per call."""
+
+    def __init__(self, *times):
+        self.times = list(times)
+
+    def __call__(self):
+        return self.times.pop(0)
+
+
+class TestLapChain:
+    def test_consecutive_laps_cover_the_run(self):
+        # start=0, lap a @1, lap b @3, lap c @6, end @6
+        profiler = PhaseProfiler(clock=FakeClock(0.0, 1.0, 3.0, 6.0, 6.0))
+        t = profiler.start_run()
+        t = profiler.lap("a", t)
+        t = profiler.lap("b", t)
+        profiler.lap("c", t)
+        profiler.end_run()
+        assert profiler.totals_s == {"a": 1.0, "b": 2.0, "c": 3.0}
+        assert profiler.total_run_s == 6.0
+        assert profiler.coverage() == 1.0
+
+    def test_laps_accumulate_across_epochs(self):
+        profiler = PhaseProfiler(clock=FakeClock(0.0, 1.0, 2.0, 4.0, 4.0))
+        t = profiler.start_run()
+        t = profiler.lap("deliver", t)
+        t = profiler.lap("deliver", t)
+        profiler.lap("deliver", t)
+        profiler.end_run()
+        assert profiler.totals_s == {"deliver": 4.0}
+        assert profiler.counts == {"deliver": 3}
+
+    def test_per_epoch_rows(self):
+        profiler = PhaseProfiler(
+            per_epoch=True, clock=FakeClock(0.0, 1.0, 3.0, 3.0)
+        )
+        t = profiler.start_run()
+        profiler.set_epoch(0)
+        t = profiler.lap("deliver", t)
+        profiler.set_epoch(1)
+        profiler.lap("deliver", t)
+        profiler.end_run()
+        assert profiler.epoch_rows == [(0, "deliver", 1.0), (1, "deliver", 2.0)]
+
+    def test_end_run_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            PhaseProfiler().end_run()
+
+
+class TestAnalysis:
+    def test_breakdown_sorted_by_share(self):
+        profiler = PhaseProfiler(clock=FakeClock(0.0, 1.0, 4.0, 4.0))
+        t = profiler.start_run()
+        t = profiler.lap("small", t)
+        profiler.lap("big", t)
+        profiler.end_run()
+        rows = profiler.breakdown()
+        assert [row["phase"] for row in rows] == ["big", "small"]
+        assert rows[0]["share"] == pytest.approx(0.75)
+
+    def test_dict_round_trip(self):
+        profiler = PhaseProfiler(
+            per_epoch=True, clock=FakeClock(0.0, 2.0, 2.0)
+        )
+        t = profiler.start_run()
+        profiler.lap("deliver", t)
+        profiler.end_run()
+        restored = PhaseProfiler.from_dict(profiler.to_dict())
+        assert restored.totals_s == profiler.totals_s
+        assert restored.counts == profiler.counts
+        assert restored.total_run_s == profiler.total_run_s
+        assert restored.epoch_rows == profiler.epoch_rows
+
+
+class TestNullProfiler:
+    def test_disabled_and_inert(self):
+        assert not NULL_PROFILER.enabled
+        t = NULL_PROFILER.start_run()
+        assert NULL_PROFILER.lap("deliver", t) == t
+        NULL_PROFILER.end_run()
+        assert NULL_PROFILER.totals_s == {}
+        assert NULL_PROFILER.coverage() == 0.0
+        assert NULL_PROFILER.breakdown() == []
