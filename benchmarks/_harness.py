@@ -8,13 +8,19 @@ controlled here and recorded in EXPERIMENTS.md.
 Output is written through :func:`emit` (bypassing pytest's capture) so
 ``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` records
 the series.
+
+Sweep-shaped benchmarks (several independent loads per figure) fan
+their points over worker processes via :func:`parallel_points`, which
+wraps :class:`repro.perf.ParallelSweepRunner` — results come back in
+submission order, and ``REPRO_SWEEP_WORKERS=1`` forces the serial
+path.
 """
 
 from __future__ import annotations
 
 import os
 import sys
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro import (
     CongestionConfig,
@@ -25,6 +31,7 @@ from repro import (
     WorkloadConfig,
     pod_map_for,
 )
+from repro.perf import ParallelSweepRunner
 from repro.units import KILOBYTE, MEGABYTE, NANOSECOND
 
 # --- simulation scale ------------------------------------------------------
@@ -106,6 +113,27 @@ def run_esn(load: float, *, oversubscription: Optional[float] = None,
         )
     workload = make_workload(load, mean_flow_bits=mean_flow_bits)
     return net.run(workload.generate(n_flows or N_FLOWS))
+
+
+# --- parallel sweeps -------------------------------------------------------
+def _run_entry(entry: Tuple) -> object:
+    """Trampoline for :func:`parallel_points` (module-level: picklable)."""
+    fn, kwargs = entry
+    return fn(**kwargs)
+
+
+def parallel_points(entries: Sequence[Tuple], *,
+                    workers: Optional[int] = None) -> List[object]:
+    """Run ``(fn, kwargs)`` sweep entries over worker processes.
+
+    ``fn`` must be module-level (typically :func:`run_sirius` or
+    :func:`run_esn`); each entry is an independent, fully-seeded
+    simulation, so the fan-out cannot perturb results.  Returns one
+    result per entry, in submission order — positionally identical to
+    ``[fn(**kwargs) for fn, kwargs in entries]``.
+    """
+    runner = ParallelSweepRunner(workers)
+    return runner.map(_run_entry, list(entries))
 
 
 # --- reporting ------------------------------------------------------------

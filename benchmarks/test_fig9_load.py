@@ -10,24 +10,45 @@ Reduced scale here (see EXPERIMENTS.md): the orderings and crossovers
 are the reproduction target, not absolute values.
 """
 
-from _harness import N_FLOWS, N_NODES, emit, emit_table, run_esn, run_sirius, us
+from _harness import (
+    N_FLOWS,
+    N_NODES,
+    emit,
+    emit_table,
+    parallel_points,
+    run_esn,
+    run_sirius,
+    us,
+)
 
 from repro.analysis.plotting import ascii_chart
 
 LOADS = (0.10, 0.25, 0.50, 0.75, 1.00)
 
+#: Per-load system variants, in row order.
+_SYSTEMS = (
+    ("esn", run_esn, {}),
+    ("osub", run_esn, {"oversubscription": 3.0}),
+    ("sirius", run_sirius, {"multiplier": 1.5}),
+    ("ideal", run_sirius, {"multiplier": 1.5, "ideal": True}),
+)
+
 
 def _sweep():
+    # All 20 points are independent seeded runs; fan them over worker
+    # processes (results return in submission order).
+    entries = [
+        (fn, {"load": load, **kwargs})
+        for load in LOADS
+        for _name, fn, kwargs in _SYSTEMS
+    ]
+    results = parallel_points(entries)
     rows = []
-    for load in LOADS:
-        esn = run_esn(load)
-        osub = run_esn(load, oversubscription=3.0)
-        sirius = run_sirius(load, multiplier=1.5)
-        ideal = run_sirius(load, multiplier=1.5, ideal=True)
-        rows.append({
-            "load": load,
-            "esn": esn, "osub": osub, "sirius": sirius, "ideal": ideal,
-        })
+    for i, load in enumerate(LOADS):
+        row = {"load": load}
+        for j, (name, _fn, _kwargs) in enumerate(_SYSTEMS):
+            row[name] = results[i * len(_SYSTEMS) + j]
+        rows.append(row)
     return rows
 
 

@@ -1,0 +1,128 @@
+"""Performance lint rules (family ``P``).
+
+The fast-path work in :mod:`repro.core` exists because a handful of
+accidentally-quadratic idioms dominated the epoch loop's profile:
+``list.pop(0)`` shifting every element on each call, and fresh
+``list(...)`` snapshots of containers taken inside per-epoch loops.
+These rules keep those idioms from creeping back into the simulator's
+hot packages (``repro.core``, ``repro.sim``):
+
+* ``P501 pop-zero-in-loop`` — ``something.pop(0)`` inside a loop body;
+  a :class:`collections.deque` with ``popleft()`` is O(1).
+* ``P502 list-copy-in-loop`` — ``list(name)`` / ``list(obj.attr)``
+  inside a loop body; hoist the snapshot out of the loop or iterate
+  the container directly.
+
+Both rules look only at loop *bodies* (and ``else`` clauses): a
+``for x in list(d):`` header at function top level is the standard
+snapshot-before-mutation idiom and is evaluated once, so it does not
+fire.  Presentation layers and tests are out of scope, as with the
+``O4xx`` family.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.checks.engine import FileContext, Finding, Rule, parent_of
+
+__all__ = [
+    "PopZeroInLoopRule",
+    "ListCopyInLoopRule",
+    "PERF_RULES",
+]
+
+#: Dotted-module prefixes where simulator hot paths live.
+_HOT_PACKAGES = ("repro.core", "repro.sim")
+
+_LOOPS = (ast.For, ast.AsyncFor, ast.While)
+
+
+def _in_hot_path(ctx: FileContext) -> bool:
+    module = ctx.module_dotted()
+    return any(
+        module == package or module.startswith(package + ".")
+        for package in _HOT_PACKAGES
+    )
+
+
+def _in_loop_body(node: ast.AST) -> bool:
+    """True when ``node`` sits in the body of some enclosing loop.
+
+    Climbs the ``_lint_parent`` chain; at each enclosing loop, the node
+    counts only if the chain enters through ``body``/``orelse`` — an
+    expression in a loop *header* (``iter`` of a ``for``, ``test`` of a
+    ``while``) is evaluated once (``for``) or is the loop condition
+    itself, not per-iteration body work.
+    """
+    child: ast.AST = node
+    parent = parent_of(child)
+    while parent is not None:
+        if isinstance(parent, _LOOPS):
+            for stmt in (*parent.body, *parent.orelse):
+                if stmt is child:
+                    return True
+        child, parent = parent, parent_of(parent)
+    return False
+
+
+class PopZeroInLoopRule(Rule):
+    """Flag ``.pop(0)`` inside loop bodies in the simulator packages."""
+
+    code = "P501"
+    name = "pop-zero-in-loop"
+    description = ".pop(0) inside a loop body in repro.core/repro.sim"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not _in_hot_path(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "pop"
+                    and len(node.args) == 1
+                    and not node.keywords
+                    and isinstance(node.args[0], ast.Constant)
+                    and node.args[0].value == 0):
+                continue
+            if _in_loop_body(node):
+                yield self.finding(
+                    ctx, node,
+                    ".pop(0) shifts the whole list on every call; use "
+                    "collections.deque with popleft() for O(1) head "
+                    "removal",
+                )
+
+
+class ListCopyInLoopRule(Rule):
+    """Flag ``list(container)`` copies inside loop bodies there."""
+
+    code = "P502"
+    name = "list-copy-in-loop"
+    description = "list(...) container copy inside a loop body in repro.core/repro.sim"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not _in_hot_path(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            # Only list(name) / list(obj.attr): a copy of an existing
+            # container.  list(map(...)) etc. builds a new sequence and
+            # is not a redundant snapshot.
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "list"
+                    and len(node.args) == 1
+                    and not node.keywords
+                    and isinstance(node.args[0], (ast.Name, ast.Attribute))):
+                continue
+            if _in_loop_body(node):
+                yield self.finding(
+                    ctx, node,
+                    "list(...) copies the container on every iteration; "
+                    "hoist the snapshot out of the loop or iterate the "
+                    "container directly",
+                )
+
+
+PERF_RULES = [PopZeroInLoopRule(), ListCopyInLoopRule()]

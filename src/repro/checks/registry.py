@@ -15,12 +15,14 @@ from repro.checks.determinism_rules import DETERMINISM_RULES
 from repro.checks.engine import Rule
 from repro.checks.invariant_rules import INVARIANT_RULES
 from repro.checks.obs_rules import OBS_RULES
+from repro.checks.perf_rules import PERF_RULES
 from repro.checks.units_rules import UNITS_RULES
 
 __all__ = ["ALL_RULES", "rules_by_code"]
 
 ALL_RULES: List[Rule] = [
-    *UNITS_RULES, *DETERMINISM_RULES, *INVARIANT_RULES, *OBS_RULES
+    *UNITS_RULES, *DETERMINISM_RULES, *INVARIANT_RULES, *OBS_RULES,
+    *PERF_RULES,
 ]
 
 

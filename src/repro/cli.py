@@ -8,8 +8,15 @@ Subcommands::
     python -m repro.cli power      [--laser-overheads 1,3,5,7,10,20]
     python -m repro.cli cost       [--grating-fractions 0.05,0.25,1.0]
     python -m repro.cli sync       --nodes 16 --epochs 20000
+    python -m repro.cli sweep      --nodes 32 --loads 0.1,0.5,1.0
+    python -m repro.cli bench      [--quick] [--out BENCH.json]
     python -m repro.cli report     run.jsonl
     python -m repro.cli trace      run.jsonl -o run.trace.json
+
+``sweep`` fans a Sirius-vs-ESN load sweep over worker processes
+(:class:`repro.perf.ParallelSweepRunner`); ``bench`` runs the pinned
+perf-regression scenario matrix and snapshots it to
+``BENCH_<date>.json`` (see EXPERIMENTS.md for the schema).
 
 ``simulate --trace-out run.jsonl`` records a full :mod:`repro.obs`
 trace; ``report`` renders a run summary from a JSONL or Chrome trace
@@ -118,6 +125,32 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument("file", help="JSONL run log (from simulate --trace-out)")
     trace.add_argument("-o", "--output", required=True,
                        help="output path for the Chrome trace JSON")
+
+    sweep = sub.add_parser(
+        "sweep", help="parallel load sweep: Sirius vs the ESN baselines"
+    )
+    sweep.add_argument("--nodes", type=int, default=32)
+    sweep.add_argument("--grating-ports", type=int, default=8)
+    sweep.add_argument("--loads", type=_floats,
+                       default=[0.10, 0.25, 0.50, 0.75, 1.00])
+    sweep.add_argument("--flows", type=int, default=800)
+    sweep.add_argument("--seed", type=int, default=1)
+    sweep.add_argument("--workers", type=int, default=None,
+                       help="worker processes (default: REPRO_SWEEP_WORKERS "
+                            "or the CPU count)")
+
+    bench = sub.add_parser(
+        "bench", help="perf-regression scenario matrix -> BENCH_<date>.json"
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="reduced scale (smoke test; not comparable "
+                            "to full-scale snapshots)")
+    bench.add_argument("--out", metavar="PATH", default=None,
+                       help="output JSON path (default BENCH_<date>.json)")
+    bench.add_argument("--no-write", action="store_true",
+                       help="print the summary without writing JSON")
+    bench.add_argument("--workers", type=int, default=None,
+                       help="worker processes for the sweep scenario")
 
     sub.add_parser(
         "lint",
@@ -284,6 +317,65 @@ def _cmd_sync(args) -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    from repro.perf import (
+        FluidSweepJob,
+        ParallelSweepRunner,
+        SiriusSweepJob,
+        run_fluid_job,
+        run_sirius_job,
+    )
+
+    reference = SiriusNetwork(
+        args.nodes, args.grating_ports, uplink_multiplier=1.0
+    ).reference_node_bandwidth_bps
+    jobs = []
+    for load in args.loads:
+        jobs.append(("ESN (Ideal)", run_fluid_job, FluidSweepJob(
+            n_nodes=args.nodes, load=load, n_flows=args.flows,
+            node_bandwidth_bps=reference, workload_seed=args.seed + 1,
+            label=f"esn@{load}",
+        )))
+        jobs.append(("Sirius", run_sirius_job, SiriusSweepJob(
+            n_nodes=args.nodes, grating_ports=args.grating_ports,
+            load=load, n_flows=args.flows, seed=args.seed,
+            workload_seed=args.seed + 1, label=f"sirius@{load}",
+        )))
+    runner = ParallelSweepRunner(args.workers)
+    # One heterogeneous fan-out: each entry already binds its job
+    # function, so a single map() call covers both simulators.
+    points = runner.map(_run_sweep_entry, [(fn, job) for _n, fn, job in jobs])
+    print(f"{len(jobs)} jobs on {runner.workers} workers")
+    print(f"{'load':>6} {'system':>12} {'goodput':>8} {'p99 FCT us':>11}")
+    for (name, _fn, _job), point in zip(jobs, points):
+        p99 = point.fct_p99_s or 0.0
+        print(f"{point.load:>6.0%} {name:>12} "
+              f"{point.normalized_goodput:>8.3f} {p99 / US:>11.1f}")
+    return 0
+
+
+def _run_sweep_entry(entry):
+    """Top-level trampoline so heterogeneous jobs stay picklable."""
+    fn, job = entry
+    return fn(job)
+
+
+def _cmd_bench(args) -> int:
+    import datetime
+
+    from repro.perf import run_bench, write_payload
+    from repro.perf.bench import main_text
+
+    payload = run_bench(quick=args.quick, workers=args.workers)
+    print(main_text(payload))
+    if not args.no_write:
+        out = args.out or (
+            f"BENCH_{datetime.date.today().isoformat()}.json"
+        )
+        print(f"wrote {write_payload(payload, out)}")
+    return 0
+
+
 def _cmd_report(args) -> int:
     print(render_report(load_any(args.file), title=args.file))
     return 0
@@ -302,6 +394,8 @@ _COMMANDS = {
     "power": _cmd_power,
     "cost": _cmd_cost,
     "sync": _cmd_sync,
+    "sweep": _cmd_sweep,
+    "bench": _cmd_bench,
     "report": _cmd_report,
     "trace": _cmd_trace,
 }

@@ -111,6 +111,17 @@ class CongestionConfig:
                 f"{self.max_grants_per_destination}"
             )
 
+    @property
+    def effective_grant_cap(self) -> int:
+        """Grants one intermediate may issue per destination per epoch.
+
+        The ``Q`` admission test is the real bound when
+        ``max_grants_per_destination`` is unset (the default); an
+        explicit cap is an ablation.  The network hoists this out of
+        its epoch loop — it is configuration, not per-epoch state.
+        """
+        return self.max_grants_per_destination or self.queue_threshold
+
 
 def may_grant(queued: int, outstanding: int, threshold: int) -> bool:
     """Grant-side admission test (§4.3).

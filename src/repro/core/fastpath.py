@@ -1,0 +1,51 @@
+"""The simulator fast-path toggle.
+
+The cell-level and fluid simulators each keep two execution strategies
+for their main loop:
+
+* the **fast path** (default) — sparse active-set iteration, slab cell
+  construction and cached per-epoch lookups, making one epoch cost
+  proportional to *active* state rather than topology size;
+* the **reference path** — the straightforward all-pairs loop the fast
+  path is validated against.
+
+Both paths are maintained bit-identical: seeded runs produce the same
+``SimulationResult`` field-for-field (``tests/core/
+test_fast_path_equivalence.py`` proves it across congestion configs and
+failure scenarios), and ``sirius-repro bench`` records the speed gap
+between them so regressions in either direction are visible.
+
+Resolution order for which path a network uses:
+
+1. an explicit ``fast_path=`` constructor argument;
+2. the ``REPRO_FAST_PATH`` environment variable (``0``/``false``/
+   ``off`` select the reference path);
+3. the fast path.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+__all__ = ["FAST_PATH_ENV", "resolve_fast_path"]
+
+#: Environment variable consulted when no explicit ``fast_path=`` is given.
+FAST_PATH_ENV = "REPRO_FAST_PATH"
+
+_OFF_VALUES = frozenset({"0", "false", "off", "no", "reference"})
+
+
+def resolve_fast_path(explicit: Optional[bool] = None) -> bool:
+    """Resolve the effective fast-path setting for one simulator.
+
+    ``explicit`` (a constructor argument) wins; otherwise the
+    ``REPRO_FAST_PATH`` environment variable decides, defaulting to the
+    fast path.
+    """
+    if explicit is not None:
+        return bool(explicit)
+    value = os.environ.get(FAST_PATH_ENV)
+    if value is None:
+        return True
+    return value.strip().lower() not in _OFF_VALUES

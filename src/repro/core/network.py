@@ -25,18 +25,31 @@ modelled as per-epoch capacity alternation: with multiplier ``m`` the
 per-pair capacity of epoch ``e`` is ``floor((e+1)m) − floor(em)``
 (e.g. 1, 2, 1, 2… for m = 1.5), while the physical topology carries
 ``ceil(m)`` uplink replicas.
+
+The epoch loop keeps two execution strategies (see
+:mod:`repro.core.fastpath`): the default **fast path** iterates only
+the nodes with live state — active sets track who has control-plane
+work, pending grants, queued cells or server-side backlog — and admits
+cells in slabs, so an epoch costs time proportional to activity rather
+than to ``n_nodes``.  The **reference path** is the straightforward
+all-nodes loop it is validated against; both produce bit-identical
+seeded results because a skipped node performs no work and consumes no
+randomness (every per-node phase operation early-returns before its
+first RNG draw when the node is idle).
 """
 
 from __future__ import annotations
 
 import math
 import random
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.core.cell import Cell, Flow
+from repro.core.cell import Cell, Flow, cell_range
 from repro.core.congestion import CongestionConfig
 from repro.core.failures import FailurePlan
+from repro.core.fastpath import resolve_fast_path
 from repro.core.node import SiriusNode
 from repro.core.telemetry import Telemetry
 from repro.core.schedule import CyclicSchedule, SlotTiming
@@ -160,6 +173,12 @@ class SiriusNetwork:
     seed:
         Seed for all protocol randomness (intermediate choice, grant
         tie-breaks).
+    fast_path:
+        Select the epoch loop's execution strategy: ``True`` for the
+        sparse active-set fast path, ``False`` for the all-nodes
+        reference loop.  ``None`` (default) defers to the
+        ``REPRO_FAST_PATH`` environment variable, falling back to the
+        fast path.  Both strategies are bit-identical on seeded runs.
     """
 
     def __init__(self, n_nodes: int, grating_ports: int, *,
@@ -168,7 +187,8 @@ class SiriusNetwork:
                  config: Optional[CongestionConfig] = None,
                  track_reorder: bool = False,
                  local_capacity_cells: Optional[int] = None,
-                 seed: int = 1) -> None:
+                 seed: int = 1,
+                 fast_path: Optional[bool] = None) -> None:
         if uplink_multiplier < 1.0:
             raise ValueError(
                 f"uplink multiplier must be >= 1, got {uplink_multiplier}"
@@ -189,6 +209,7 @@ class SiriusNetwork:
                 f"{local_capacity_cells}"
             )
         self.local_capacity_cells = local_capacity_cells
+        self.fast_path = resolve_fast_path(fast_path)
         self.rng = random.Random(seed)
         self.nodes: List[SiriusNode] = [
             SiriusNode(n, n_nodes, self.config, self.rng)
@@ -202,6 +223,28 @@ class SiriusNetwork:
             raise ValueError(f"epoch cannot be negative, got {epoch}")
         m = self.multiplier
         return int(math.floor((epoch + 1) * m) - math.floor(epoch * m))
+
+    def _capacity_table(self) -> Optional[List[int]]:
+        """Per-epoch capacity pattern, when the multiplier is periodic.
+
+        The floor-difference sequence of a rational multiplier ``p/q``
+        repeats with period ``q``; for every multiplier the paper uses
+        (1.0, 1.5, 2.0) the period is 1 or 2.  The fast path replaces
+        the two-``floor`` computation per epoch with a table lookup —
+        but only after verifying the table reproduces the exact formula
+        over several extra periods, so float-representation surprises
+        fall back to the formula rather than diverge from it.
+        """
+        m = self.multiplier
+        for period in range(1, 65):
+            if not float(period * m).is_integer():
+                continue
+            table = [self.epoch_capacity(e) for e in range(period)]
+            if all(self.epoch_capacity(e) == table[e % period]
+                   for e in range(period, 4 * period)):
+                return table
+            return None
+        return None
 
     @property
     def reference_node_bandwidth_bps(self) -> float:
@@ -272,6 +315,16 @@ class SiriusNetwork:
         t_mark = profiler.start_run()
         epoch_dur = self.schedule.epoch_duration_s
         payload_bits = self.timing.payload_bits
+        # Loop-invariant configuration, hoisted out of the epoch loop.
+        ideal = self.config.ideal
+        track_reorder = self.track_reorder
+        fast = self.fast_path
+        is_failed = (failure_plan.is_failed if failure_plan is not None
+                     else None)
+        epoch_capacity = self.epoch_capacity
+        cap_table = self._capacity_table() if fast else None
+        cap_period = len(cap_table) if cap_table else 1
+        grant_cap = self.config.effective_grant_cap
         flows = list(flows)
         for i in range(1, len(flows)):
             if flows[i].arrival_time < flows[i - 1].arrival_time:
@@ -292,37 +345,70 @@ class SiriusNetwork:
             max_epochs = int(last_arrival / epoch_dur) + drain_epochs
 
         nodes = self.nodes
-        state = {
-            "pending_flows": len(flows),
-            "delivered_bits": 0.0,
-            "peak_reorder": 0,
-            "failed_flows": 0,
-            "retransmits": 0,
-        }
+        n_flows = len(flows)
+        pending_flows = n_flows
+        delivered_bits = 0.0
+        peak_reorder = 0
+        failed_flows = 0
+        retransmits = 0
         dead_flows: set = set()
-        announcements: List[Tuple[int, int, bool]] = []
+        announcements: Deque[Tuple[int, int, bool]] = deque()
+
+        # Fast-path active sets: which nodes have work in which phase.
+        # Maintained incrementally at every state transition (admit,
+        # grant receipt, transit receipt, queue drain) and rebuilt from
+        # a full scan after the rare failure announcements; iterated in
+        # sorted order so the shared RNG sees the active nodes in the
+        # same order the reference all-nodes loop visits them.
+        # ``popped`` tracks whose request-history deque rotated this
+        # epoch, so nodes activated after the resolve phase can replay
+        # the rotation they missed (SiriusNode.catch_up_history).
+        control_active: Set[int] = set()
+        grant_active: Set[int] = set()
+        transmit_active: Set[int] = set()
+        backlog_active: Set[int] = set()
+        popped: Set[int] = set()
+
+        def rebuild_active_sets() -> None:
+            control_active.clear()
+            grant_active.clear()
+            transmit_active.clear()
+            for node in nodes:
+                if not node.control_idle:
+                    control_active.add(node.node)
+                if node.request_inbox:
+                    grant_active.add(node.node)
+                if node.fwd or node.vq:
+                    transmit_active.add(node.node)
 
         def kill_flow(flow_id: int) -> None:
+            nonlocal pending_flows, failed_flows
             if flow_id in dead_flows:
                 return
             flow = flow_by_id[flow_id]
             if flow.is_complete:
                 return
             dead_flows.add(flow_id)
-            state["pending_flows"] -= 1
-            state["failed_flows"] += 1
+            pending_flows -= 1
+            failed_flows += 1
             if metering:
                 failed_flow_counter.inc()
 
         def retransmit(cell: Cell) -> None:
             """Endpoint retransmission of a cell lost at a failed node."""
+            nonlocal retransmits
             if cell.flow_id in dead_flows:
                 return
-            if failure_plan and failure_plan.is_failed(cell.src):
+            if is_failed is not None and is_failed(cell.src):
                 kill_flow(cell.flow_id)
                 return
             nodes[cell.src].enqueue_local(cell)
-            state["retransmits"] += 1
+            if fast:
+                if ideal:
+                    transmit_active.add(cell.src)
+                else:
+                    control_active.add(cell.src)
+            retransmits += 1
             if metering:
                 retransmit_counter.inc()
 
@@ -353,9 +439,10 @@ class SiriusNetwork:
 
         def deliver(batch: List[Tuple[int, Cell, int]],
                     arrival_time: float) -> None:
+            nonlocal pending_flows, delivered_bits, peak_reorder
             batch_bits = 0.0
             for recv, cell, sender in batch:
-                if failure_plan and failure_plan.is_failed(recv):
+                if is_failed is not None and is_failed(recv):
                     # Lost at the failed node: transit cells are
                     # retransmitted by their source; final-destination
                     # cells die with the flow.
@@ -375,38 +462,41 @@ class SiriusNetwork:
                 node = nodes[recv]
                 if cell.dst != recv:
                     node.receive_transit(cell)
+                    if fast:
+                        transmit_active.add(recv)
                     continue
-                if sender == cell.src and not self.config.ideal:
+                if sender == cell.src and not ideal:
                     # Single-hop (direct-granted) delivery: release one
                     # slot of the source's direct-grant window.
                     node.note_direct_arrival(sender)
                 flow = flow_by_id[cell.flow_id]
-                if self.track_reorder:
+                if track_reorder:
                     node.reorder.accept(cell.flow_id, cell.seq)
                 if cell.seq == flow.n_cells - 1:
                     cell_bits = last_cell_bits[cell.flow_id]
                 else:
                     cell_bits = payload_bits
-                state["delivered_bits"] += cell_bits
+                delivered_bits += cell_bits
                 batch_bits += cell_bits
                 if flow.record_delivery(arrival_time):
-                    state["pending_flows"] -= 1
+                    pending_flows -= 1
                     if tracing:
                         tracer.emit("flow.completion", node=recv,
                                     flow=cell.flow_id)
-                    if self.track_reorder:
+                    if track_reorder:
                         peak = node.reorder.peak_flow_cells
-                        if peak > state["peak_reorder"]:
-                            state["peak_reorder"] = peak
+                        if peak > peak_reorder:
+                            peak_reorder = peak
                         node.reorder.finish_flow(cell.flow_id)
             if metering and batch_bits:
                 delivered_counter.inc(batch_bits)
 
         next_flow = 0
         in_flight: List[Tuple[int, Cell, int]] = []
-        from collections import deque as _deque
-
-        server_backlog = [_deque() for _ in nodes]
+        server_backlog: List[Deque[Tuple[Flow, int]]] = [
+            deque() for _ in nodes
+        ]
+        local_capacity = self.local_capacity_cells
         epoch = 0
         if profiling:
             t_mark = profiler.lap("setup", t_mark)
@@ -424,12 +514,20 @@ class SiriusNetwork:
                     announcements.append(
                         (epoch + detection_epochs, event.node, event.fails)
                     )
+                announced = False
                 while announcements and announcements[0][0] <= epoch:
-                    _eff, f_node, fails = announcements.pop(0)
+                    _eff, f_node, fails = announcements.popleft()
                     if fails:
                         announce_failure(f_node)
                     else:
                         announce_recovery(f_node)
+                    announced = True
+                if announced and fast:
+                    # Purges, drains and retransmissions touch queues
+                    # across the whole network; a full rescan is cheap
+                    # at announcement frequency and keeps the
+                    # incremental bookkeeping simple.
+                    rebuild_active_sets()
             if profiling:
                 t_mark = profiler.lap("failures", t_mark)
 
@@ -441,17 +539,31 @@ class SiriusNetwork:
                 t_mark = profiler.lap("deliver", t_mark)
 
             # Phase 2: resolve the completed request round.
-            if not self.config.ideal:
-                for node in nodes:
-                    if failure_plan and failure_plan.is_failed(node.node):
-                        continue
-                    node.apply_grants_and_expiries()
+            if not ideal:
+                if fast:
+                    popped.clear()
+                    for idx in sorted(control_active):
+                        if is_failed is not None and is_failed(idx):
+                            continue
+                        node = nodes[idx]
+                        if node.control_idle:
+                            control_active.discard(idx)
+                            continue
+                        node.apply_grants_and_expiries()
+                        popped.add(idx)
+                        if node.vq_cells:
+                            transmit_active.add(idx)
+                else:
+                    for node in nodes:
+                        if is_failed is not None and is_failed(node.node):
+                            continue
+                        node.apply_grants_and_expiries()
             if profiling:
                 t_mark = profiler.lap("resolve", t_mark)
 
             # Phase 3: admit arrivals whose time falls inside this epoch.
             horizon = (epoch + 1) * epoch_dur
-            while next_flow < len(flows) and (
+            while next_flow < n_flows and (
                 flows[next_flow].arrival_time < horizon
             ):
                 flow = flows[next_flow]
@@ -460,26 +572,36 @@ class SiriusNetwork:
                     tracer.emit("flow.arrival", node=flow.src,
                                 flow=flow.flow_id, dst=flow.dst,
                                 cells=flow.n_cells)
-                if failure_plan and (
-                    failure_plan.is_failed(flow.src)
-                    or failure_plan.is_failed(flow.dst)
+                if is_failed is not None and (
+                    is_failed(flow.src) or is_failed(flow.dst)
                 ):
                     kill_flow(flow.flow_id)
                     continue
-                if self.local_capacity_cells is None:
-                    src_node = nodes[flow.src]
-                    for seq in range(flow.n_cells):
-                        src_node.enqueue_local(
-                            Cell(flow.flow_id, seq, flow.src, flow.dst)
-                        )
+                if local_capacity is None:
+                    src = flow.src
+                    nodes[src].enqueue_local_cells(
+                        cell_range(flow, 0, flow.n_cells)
+                    )
+                    if fast:
+                        if ideal:
+                            transmit_active.add(src)
+                        else:
+                            if src not in popped:
+                                nodes[src].catch_up_history()
+                                popped.add(src)
+                            control_active.add(src)
                 else:
                     server_backlog[flow.src].append((flow, 0))
-            if self.local_capacity_cells is not None:
+                    if fast:
+                        backlog_active.add(flow.src)
+            if local_capacity is not None:
                 # §4.3 one-hop flow control: servers fill LOCAL only to
                 # its advertised capacity; the rest waits host-side.
-                limit = self.local_capacity_cells
-                for node in nodes:
-                    backlog = server_backlog[node.node]
+                limit = local_capacity
+                for idx in (sorted(backlog_active) if fast
+                            else range(len(nodes))):
+                    node = nodes[idx]
+                    backlog = server_backlog[idx]
                     while backlog and node.local_cells < limit:
                         flow, start = backlog[0]
                         if flow.flow_id in dead_flows:
@@ -487,15 +609,22 @@ class SiriusNetwork:
                             continue
                         room = limit - node.local_cells
                         end = min(flow.n_cells, start + room)
-                        for seq in range(start, end):
-                            node.enqueue_local(
-                                Cell(flow.flow_id, seq, flow.src, flow.dst)
-                            )
+                        node.enqueue_local_cells(cell_range(flow, start, end))
+                        if fast:
+                            if ideal:
+                                transmit_active.add(idx)
+                            else:
+                                if idx not in popped:
+                                    node.catch_up_history()
+                                    popped.add(idx)
+                                control_active.add(idx)
                         if end == flow.n_cells:
                             backlog.popleft()
                         else:
                             backlog[0] = (flow, end)
                             break
+                    if fast and not backlog:
+                        backlog_active.discard(idx)
             if profiling:
                 t_mark = profiler.lap("admit", t_mark)
 
@@ -503,41 +632,79 @@ class SiriusNetwork:
             # decided on the requests received in the *previous* epoch
             # (§4.3), so the grant phase must run before this epoch's
             # requests reach the inboxes.
-            capacity = self.epoch_capacity(epoch)
-            # Grant cap per destination per epoch: the Q admission test
-            # is the real bound (max_grants_per_destination=None); an
-            # explicit cap is an ablation.
-            grant_cap = (self.config.max_grants_per_destination
-                         or self.config.queue_threshold)
-            if not self.config.ideal:
-                for node in nodes:
-                    if failure_plan and failure_plan.is_failed(node.node):
-                        continue
-                    for src, dst in node.decide_grants(grant_cap):
-                        if failure_plan and failure_plan.is_failed(src):
+            capacity = (cap_table[epoch % cap_period] if cap_table
+                        else epoch_capacity(epoch))
+            if not ideal:
+                if fast:
+                    for idx in sorted(grant_active):
+                        if is_failed is not None and is_failed(idx):
+                            # A silently-failed node keeps its stale
+                            # inbox until the announcement drains it.
                             continue
-                        nodes[src].grant_inbox.append((node.node, dst))
-                for node in nodes:
-                    if failure_plan and failure_plan.is_failed(node.node):
-                        continue
-                    for intermediate, dst in node.generate_requests():
-                        nodes[intermediate].request_inbox.append(
-                            (node.node, dst)
-                        )
+                        grant_active.discard(idx)
+                        for src, dst in nodes[idx].decide_grants(grant_cap):
+                            if is_failed is not None and is_failed(src):
+                                continue
+                            nodes[src].grant_inbox.append((idx, dst))
+                            if src not in popped:
+                                nodes[src].catch_up_history()
+                                popped.add(src)
+                            control_active.add(src)
+                    for idx in sorted(control_active):
+                        if is_failed is not None and is_failed(idx):
+                            continue
+                        node = nodes[idx]
+                        for intermediate, dst in node.generate_requests():
+                            nodes[intermediate].request_inbox.append(
+                                (idx, dst)
+                            )
+                            grant_active.add(intermediate)
+                        if node.control_idle:
+                            control_active.discard(idx)
+                else:
+                    for node in nodes:
+                        if is_failed is not None and is_failed(node.node):
+                            continue
+                        for src, dst in node.decide_grants(grant_cap):
+                            if is_failed is not None and is_failed(src):
+                                continue
+                            nodes[src].grant_inbox.append((node.node, dst))
+                    for node in nodes:
+                        if is_failed is not None and is_failed(node.node):
+                            continue
+                        for intermediate, dst in node.generate_requests():
+                            nodes[intermediate].request_inbox.append(
+                                (node.node, dst)
+                            )
             if profiling:
                 t_mark = profiler.lap("control", t_mark)
 
             # Phase 6: transmit on every busy pair slot.
-            for node in nodes:
-                if failure_plan and failure_plan.is_failed(node.node):
-                    continue
-                for dst in node.busy_destinations():
-                    for cell in node.dequeue_for(dst, capacity):
-                        in_flight.append((dst, cell, node.node))
-                        if tracing:
-                            tracer.emit("cell.dequeue", node=node.node,
-                                        to=dst, flow=cell.flow_id,
-                                        dst=cell.dst)
+            if fast:
+                for idx in sorted(transmit_active):
+                    if is_failed is not None and is_failed(idx):
+                        continue
+                    node = nodes[idx]
+                    for dst in node.busy_destinations():
+                        for cell in node.dequeue_for(dst, capacity):
+                            in_flight.append((dst, cell, idx))
+                            if tracing:
+                                tracer.emit("cell.dequeue", node=idx,
+                                            to=dst, flow=cell.flow_id,
+                                            dst=cell.dst)
+                    if not node.fwd and not node.vq:
+                        transmit_active.discard(idx)
+            else:
+                for node in nodes:
+                    if is_failed is not None and is_failed(node.node):
+                        continue
+                    for dst in node.busy_destinations():
+                        for cell in node.dequeue_for(dst, capacity):
+                            in_flight.append((dst, cell, node.node))
+                            if tracing:
+                                tracer.emit("cell.dequeue", node=node.node,
+                                            to=dst, flow=cell.flow_id,
+                                            dst=cell.dst)
             if metering and in_flight:
                 transmitted_counter.inc(len(in_flight))
             if profiling:
@@ -549,17 +716,18 @@ class SiriusNetwork:
 
             if telemetry is not None:
                 telemetry.sample(epoch, nodes, len(in_flight),
-                                 state["delivered_bits"])
+                                 delivered_bits)
             if metering and epoch % obs.sample_every == 0:
                 obs.sample_network(epoch, nodes, len(in_flight),
-                                   state["delivered_bits"])
+                                   delivered_bits)
             if profiling:
                 t_mark = profiler.lap("observe", t_mark)
 
             epoch += 1
-            if (state["pending_flows"] == 0 and not in_flight
-                    and next_flow >= len(flows)
-                    and not any(server_backlog)):
+            if (pending_flows == 0 and not in_flight
+                    and next_flow >= n_flows
+                    and (not backlog_active if fast
+                         else not any(server_backlog))):
                 break
 
         # Deliver anything sent in the final epoch (epoch-cap exit).
@@ -576,15 +744,15 @@ class SiriusNetwork:
             flows=flows,
             epochs=epoch,
             duration_s=duration,
-            delivered_bits=state["delivered_bits"],
+            delivered_bits=delivered_bits,
             offered_bits=offered_bits,
             reference_node_bandwidth_bps=self.reference_node_bandwidth_bps,
             n_nodes=self.topology.n_nodes,
             cell_bytes=self.timing.cell_bytes,
             peak_fwd_cells=max(n.peak_fwd_cells for n in nodes),
             peak_local_cells=max(n.peak_local_cells for n in nodes),
-            peak_reorder_cells=state["peak_reorder"],
+            peak_reorder_cells=peak_reorder,
             config=self.config,
-            failed_flows=state["failed_flows"],
-            retransmitted_cells=state["retransmits"],
+            failed_flows=failed_flows,
+            retransmitted_cells=retransmits,
         )

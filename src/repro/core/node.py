@@ -95,18 +95,28 @@ class FairQueue:
         return self._size > 0
 
     def purge(self, predicate) -> List[Cell]:
-        """Remove and return every queued cell matching ``predicate``."""
+        """Remove and return every queued cell matching ``predicate``.
+
+        Partitions each flow's queue in a single pass — the predicate
+        runs exactly once per queued cell.
+        """
         removed: List[Cell] = []
         for flow_id in list(self._flows):
             queue = self._flows[flow_id]
-            kept = deque(c for c in queue if not predicate(c))
-            if len(kept) != len(queue):
-                removed.extend(c for c in queue if predicate(c))
-                if kept:
-                    self._flows[flow_id] = kept
+            kept: Deque[Cell] = deque()
+            before = len(removed)
+            for cell in queue:
+                if predicate(cell):
+                    removed.append(cell)
                 else:
-                    del self._flows[flow_id]
-                    self._order.remove(flow_id)
+                    kept.append(cell)
+            if len(removed) == before:
+                continue
+            if kept:
+                self._flows[flow_id] = kept
+            else:
+                del self._flows[flow_id]
+                self._order.remove(flow_id)
         self._size -= len(removed)
         self._cursor = 0
         return removed
@@ -215,6 +225,31 @@ class SiriusNode:
             self._tracer.emit("cell.enqueue", node=self.node, queue="local",
                               flow=cell.flow_id, dst=cell.dst)
 
+    def enqueue_local_cells(self, cells: List[Cell]) -> None:
+        """Admit a slab of locally-generated cells of one flow.
+
+        All cells of a flow share the same destination, so protocol
+        mode extends the destination's LOCAL deque in one C-level call
+        — the order is exactly that of per-cell :meth:`enqueue_local`.
+        Ideal mode must advance the spreading pointer per cell, so it
+        falls back to the per-cell path.
+        """
+        if not cells:
+            return
+        if self.config.ideal:
+            for cell in cells:
+                self.enqueue_local(cell)
+            return
+        self.local_by_dst.setdefault(cells[0].dst, deque()).extend(cells)
+        self.local_cells += len(cells)
+        if self.local_cells > self.peak_local_cells:
+            self.peak_local_cells = self.local_cells
+        if self._tracer.enabled:
+            for cell in cells:
+                self._tracer.emit("cell.enqueue", node=self.node,
+                                  queue="local", flow=cell.flow_id,
+                                  dst=cell.dst)
+
     def _pick_intermediate(self, dst: int) -> int:
         """Ideal-mode spreading: strict round-robin over the other nodes
         ("routed uniformly on a packet-by-packet basis", §4.2)."""
@@ -227,6 +262,41 @@ class SiriusNode:
                 continue
             return choice
         raise RuntimeError("no legal intermediate available")
+
+    # ------------------------------------------------------------------
+    # Fast-path bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def control_idle(self) -> bool:
+        """True when this epoch's control phases would all be no-ops.
+
+        An idle node has no LOCAL backlog (nothing to request: with
+        ``requested[dst] <= len(local_by_dst[dst])`` by invariant, an
+        empty LOCAL implies nothing outstanding either), no arrived
+        grants to apply, and an all-empty request history (every
+        pending batch resolves to an empty :class:`Counter`).  For such
+        a node ``apply_grants_and_expiries`` + ``generate_requests``
+        reduce to popping one empty batch and appending another — and,
+        crucially, consume **no** RNG draws, so the network's fast path
+        may skip it without perturbing the shared seeded stream
+        (:meth:`catch_up_history` replays the pop/append pair lazily).
+        """
+        return (not self.local_cells and not self.grant_inbox
+                and not self.requested
+                and not any(self._sent_request_history))
+
+    def catch_up_history(self) -> None:
+        """Replay the history rotation skipped while control-idle.
+
+        The reference path pops one request batch and appends one per
+        epoch; a skipped idle epoch leaves both sides empty, so popping
+        a single empty placeholder per missed epoch restores the exact
+        deque the reference path would hold.  The network calls this
+        when an idle node re-activates mid-epoch (cells admitted after
+        the resolve phase already ran).
+        """
+        if self._sent_request_history:
+            self._sent_request_history.popleft()
 
     # ------------------------------------------------------------------
     # Phase: resolve the previous round's requests (grants + expiries)

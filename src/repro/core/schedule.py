@@ -117,16 +117,15 @@ class CyclicSchedule:
         self.topology = topology
         self.timing = timing
         self.slots_per_epoch = topology.grating_ports
-
-    # -- timing ---------------------------------------------------------------
-    @property
-    def epoch_duration_s(self) -> float:
-        """Wall-clock duration of one epoch.
-
-        The paper's example (§4.2): 16 nodes per grating and 100 ns
-        slots give a 1.6 us epoch.
-        """
-        return self.slots_per_epoch * self.timing.slot_duration_s
+        #: Wall-clock duration of one epoch, cached at construction (the
+        #: schedule is static, so the value never changes; the paper's
+        #: §4.2 example — 16 nodes per grating, 100 ns slots — gives a
+        #: 1.6 us epoch).  The simulator's epoch loop reads this every
+        #: epoch, which is why it is a plain attribute, not a property
+        #: recomputing two divisions per access.
+        self.epoch_duration_s: float = (
+            self.slots_per_epoch * timing.slot_duration_s
+        )
 
     def epoch_of(self, time_s: float) -> int:
         """Epoch index containing absolute time ``time_s``."""

@@ -1,0 +1,41 @@
+"""Performance tooling: parallel sweeps and the perf-regression bench.
+
+* :mod:`repro.perf.sweep` — :class:`ParallelSweepRunner` fans
+  independent, seeded simulator configurations over worker processes
+  and merges results in submission order (deterministic by
+  construction; see the module docstring for the guarantees).
+* :mod:`repro.perf.bench` — the ``sirius-repro bench`` harness: a
+  pinned scenario matrix timing the cell simulator's fast and
+  reference paths, the fluid simulator and an end-to-end sweep,
+  snapshotted to ``BENCH_<date>.json``.
+"""
+
+from repro.perf.bench import (
+    BENCH_SCHEMA,
+    run_bench,
+    validate_payload,
+    write_payload,
+)
+from repro.perf.sweep import (
+    WORKERS_ENV,
+    FluidSweepJob,
+    ParallelSweepRunner,
+    SiriusSweepJob,
+    SweepPoint,
+    run_fluid_job,
+    run_sirius_job,
+)
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "FluidSweepJob",
+    "ParallelSweepRunner",
+    "SiriusSweepJob",
+    "SweepPoint",
+    "WORKERS_ENV",
+    "run_bench",
+    "run_fluid_job",
+    "run_sirius_job",
+    "validate_payload",
+    "write_payload",
+]

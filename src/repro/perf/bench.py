@@ -1,0 +1,270 @@
+"""The perf-regression harness behind ``sirius-repro bench``.
+
+Runs a pinned scenario matrix and writes a ``BENCH_<date>.json``
+snapshot, so "did the simulator get slower?" is a diff between two
+committed files rather than a guess:
+
+* ``micro_epoch_loop`` — the cell simulator's epoch loop on a
+  light all-to-all workload (many epochs, sparse per-epoch activity:
+  the regime the active-set fast path targets), measured twice — fast
+  path and reference path — so the recorded ratio tracks the speedup
+  the fast path is worth.
+* ``fluid_events`` — the max-min fluid simulator's event loop.
+* ``sweep_e2e`` — an end-to-end load sweep through
+  :class:`repro.perf.ParallelSweepRunner`, the shape the benchmark
+  suite runs all day.
+
+Each record carries ``scenario``, ``nodes``, ``epochs``, ``wall_s``,
+``cells_per_s`` and ``peak_rss_kb`` (``ru_maxrss``, kilobytes on
+Linux).  The headline timing comes from an *unprofiled* run; a second,
+profiled run of the micro scenario contributes the per-phase
+wall-clock split (``repro.obs.profiling``) without polluting the
+headline number.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import resource
+import sys
+import time
+from typing import Dict, List, Optional
+
+from repro.core.congestion import CongestionConfig
+from repro.core.network import SiriusNetwork
+from repro.obs.observation import Observation
+from repro.obs.profiling import PhaseProfiler
+from repro.perf.sweep import (
+    FluidSweepJob,
+    ParallelSweepRunner,
+    SiriusSweepJob,
+    run_fluid_job,
+    run_sirius_job,
+)
+from repro.sim.fluid import FluidNetwork
+from repro.units import KILOBYTE, MEGABYTE
+from repro.workload import FlowWorkload, WorkloadConfig
+
+__all__ = ["BENCH_SCHEMA", "run_bench", "validate_payload", "write_payload"]
+
+#: Schema tag of the emitted JSON; bump on incompatible layout changes.
+BENCH_SCHEMA = "sirius-bench/1"
+
+#: Pinned scenario scale (full / --quick).
+MICRO_NODES, MICRO_NODES_QUICK = 64, 16
+MICRO_GRATING, MICRO_GRATING_QUICK = 8, 4
+MICRO_FLOWS, MICRO_FLOWS_QUICK = 300, 80
+#: Sparse regime: arrivals far apart, so most epochs touch a handful of
+#: nodes — the all-pairs reference loop pays the full O(n) scan per
+#: epoch while the active-set fast path pays only for live state.
+MICRO_LOAD = 0.002
+MICRO_MEAN_FLOW_BITS = 20 * KILOBYTE
+FLUID_NODES, FLUID_FLOWS = 64, 2000
+SWEEP_LOADS = (0.1, 0.25, 0.5)
+SWEEP_FLOWS, SWEEP_FLOWS_QUICK = 400, 80
+
+
+def _peak_rss_kb() -> int:
+    """Peak resident set size of this process, in kilobytes (Linux)."""
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+def _micro_workload(n_nodes: int, n_flows: int, bandwidth: float):
+    return FlowWorkload(WorkloadConfig(
+        n_nodes=n_nodes,
+        load=MICRO_LOAD,
+        node_bandwidth_bps=bandwidth,
+        mean_flow_bits=MICRO_MEAN_FLOW_BITS,
+        truncation_bits=max(2 * MEGABYTE, 4 * MICRO_MEAN_FLOW_BITS),
+        seed=7,
+    )).generate(n_flows)
+
+
+def _record(scenario: str, nodes: int, epochs: int, wall_s: float,
+            cells: int, **extra) -> Dict[str, object]:
+    record: Dict[str, object] = {
+        "scenario": scenario,
+        "nodes": nodes,
+        "epochs": epochs,
+        "wall_s": wall_s,
+        "cells_per_s": (cells / wall_s) if wall_s > 0 else 0.0,
+        "peak_rss_kb": _peak_rss_kb(),
+    }
+    record.update(extra)
+    return record
+
+
+def _bench_micro(quick: bool) -> List[Dict[str, object]]:
+    nodes = MICRO_NODES_QUICK if quick else MICRO_NODES
+    grating = MICRO_GRATING_QUICK if quick else MICRO_GRATING
+    n_flows = MICRO_FLOWS_QUICK if quick else MICRO_FLOWS
+
+    records = []
+    for variant, fast in (("fast", True), ("reference", False)):
+        net = SiriusNetwork(nodes, grating, uplink_multiplier=1.5,
+                            config=CongestionConfig(), seed=1,
+                            fast_path=fast)
+        flows = _micro_workload(nodes, n_flows,
+                                net.reference_node_bandwidth_bps)
+        t0 = time.perf_counter()
+        result = net.run(flows)
+        wall = time.perf_counter() - t0
+        cells = sum(f.delivered_cells for f in result.flows)
+        records.append(_record(
+            f"micro_epoch_loop[{variant}]", nodes, result.epochs, wall,
+            cells, fast_path=fast,
+        ))
+
+    # Separate profiled pass (fast path): phase totals without
+    # contaminating the headline wall-clock above.
+    profiler = PhaseProfiler()
+    net = SiriusNetwork(nodes, grating, uplink_multiplier=1.5,
+                        config=CongestionConfig(), seed=1, fast_path=True)
+    flows = _micro_workload(nodes, n_flows,
+                            net.reference_node_bandwidth_bps)
+    net.run(flows, obs=Observation(profiler=profiler))
+    records[0]["phase_totals_s"] = {
+        phase: round(seconds, 6)
+        for phase, seconds in sorted(profiler.totals_s.items())
+    }
+    return records
+
+
+def _bench_fluid(quick: bool) -> Dict[str, object]:
+    nodes = MICRO_NODES_QUICK if quick else FLUID_NODES
+    n_flows = MICRO_FLOWS_QUICK if quick else FLUID_FLOWS
+    bandwidth = 4e11
+    net = FluidNetwork(nodes, bandwidth)
+    flows = FlowWorkload(WorkloadConfig(
+        n_nodes=nodes, load=0.5, node_bandwidth_bps=bandwidth,
+        mean_flow_bits=100 * KILOBYTE, truncation_bits=2 * MEGABYTE,
+        seed=7,
+    )).generate(n_flows)
+    t0 = time.perf_counter()
+    result = net.run(flows)
+    wall = time.perf_counter() - t0
+    # The fluid model has no cells; count completed flows per second in
+    # the same field so the schema stays uniform (documented in
+    # EXPERIMENTS.md).
+    completed = len(result.completed_flows)
+    return _record("fluid_events", nodes, 0, wall, completed,
+                   events=completed)
+
+
+def _bench_sweep(quick: bool, workers: Optional[int]) -> Dict[str, object]:
+    nodes = MICRO_NODES_QUICK if quick else MICRO_NODES
+    grating = MICRO_GRATING_QUICK if quick else MICRO_GRATING
+    n_flows = SWEEP_FLOWS_QUICK if quick else SWEEP_FLOWS
+    jobs = [
+        SiriusSweepJob(
+            n_nodes=nodes, grating_ports=grating, load=load,
+            n_flows=n_flows, label=f"load={load}",
+        )
+        for load in SWEEP_LOADS
+    ]
+    runner = ParallelSweepRunner(workers)
+    t0 = time.perf_counter()
+    points = runner.run_sirius(jobs)
+    wall = time.perf_counter() - t0
+    epochs = sum(p.epochs for p in points)
+    # delivered_bits / payload is not tracked per point; approximate
+    # throughput by total epochs simulated per second across the sweep.
+    return _record("sweep_e2e", nodes, epochs, wall, 0,
+                   jobs=len(jobs), workers=runner.workers,
+                   goodputs=[round(p.normalized_goodput, 4) for p in points])
+
+
+def run_bench(*, quick: bool = False,
+              workers: Optional[int] = None) -> Dict[str, object]:
+    """Run the pinned scenario matrix; returns the JSON-ready payload."""
+    records: List[Dict[str, object]] = []
+    records.extend(_bench_micro(quick))
+    records.append(_bench_fluid(quick))
+    records.append(_bench_sweep(quick, workers))
+    fast = next(r for r in records
+                if r["scenario"] == "micro_epoch_loop[fast]")
+    ref = next(r for r in records
+               if r["scenario"] == "micro_epoch_loop[reference]")
+    payload: Dict[str, object] = {
+        "schema": BENCH_SCHEMA,
+        "quick": quick,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "micro_speedup": (
+            round(fast["cells_per_s"] / ref["cells_per_s"], 3)
+            if ref["cells_per_s"] else 0.0
+        ),
+        "records": records,
+    }
+    validate_payload(payload)
+    return payload
+
+
+_RECORD_FIELDS = ("scenario", "nodes", "epochs", "wall_s", "cells_per_s",
+                  "peak_rss_kb")
+
+
+def validate_payload(payload: Dict[str, object]) -> None:
+    """Raise ``ValueError`` unless ``payload`` matches the bench schema.
+
+    Shared by the CLI (before writing) and the tier-1 smoke test
+    (on both a fresh ``--quick`` run and the committed baseline).
+    """
+    if payload.get("schema") != BENCH_SCHEMA:
+        raise ValueError(
+            f"schema mismatch: {payload.get('schema')!r} != {BENCH_SCHEMA!r}"
+        )
+    records = payload.get("records")
+    if not isinstance(records, list) or not records:
+        raise ValueError("payload has no records")
+    for record in records:
+        for key in _RECORD_FIELDS:
+            if key not in record:
+                raise ValueError(
+                    f"record {record.get('scenario')!r} missing {key!r}"
+                )
+        if record["wall_s"] < 0 or record["cells_per_s"] < 0:
+            raise ValueError(
+                f"record {record['scenario']!r} has negative timings"
+            )
+        if record["peak_rss_kb"] <= 0:
+            raise ValueError(
+                f"record {record['scenario']!r} has no peak RSS"
+            )
+    scenarios = [r["scenario"] for r in records]
+    for required in ("micro_epoch_loop[fast]", "micro_epoch_loop[reference]",
+                     "fluid_events", "sweep_e2e"):
+        if required not in scenarios:
+            raise ValueError(f"missing scenario {required!r}")
+    if "micro_speedup" not in payload:
+        raise ValueError("payload missing micro_speedup")
+
+
+def write_payload(payload: Dict[str, object], path: str) -> str:
+    """Write the payload as pretty JSON; returns the path."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    return path
+
+
+def main_text(payload: Dict[str, object]) -> str:
+    """Human-readable summary printed by the CLI."""
+    lines = [f"bench schema {payload['schema']} "
+             f"(python {payload['python']})"]
+    for record in payload["records"]:
+        lines.append(
+            f"  {record['scenario']:<28} nodes={record['nodes']:<4} "
+            f"epochs={record['epochs']:<6} wall={record['wall_s']:.3f}s "
+            f"cells/s={record['cells_per_s']:,.0f} "
+            f"rss={record['peak_rss_kb']}KB"
+        )
+    lines.append(f"  micro speedup (fast/reference): "
+                 f"{payload['micro_speedup']}x")
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    out = run_bench(quick="--quick" in sys.argv)
+    print(main_text(out))

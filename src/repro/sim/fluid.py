@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.cell import Flow
+from repro.core.fastpath import resolve_fast_path
 from repro.obs.observation import NULL_OBS, Observation
 from repro.units import KILOBYTE, US
 
@@ -113,12 +114,19 @@ class FluidNetwork:
         store-and-forward through the hierarchy); keeps FCTs of tiny
         flows non-zero, as in any real Clos.  Default 2 us, matching
         the low-load 99p FCT of the paper's ESN (Ideal) in Fig 9a.
+    fast_path:
+        Select the event loop's execution strategy (see
+        :mod:`repro.core.fastpath`): the fast path precomputes every
+        flow's resource tuple and scans for the earliest completion
+        with a keyed ``min``; the reference path recomputes per event.
+        Both are bit-identical on any input.
     """
 
     def __init__(self, n_nodes: int, node_bandwidth_bps: float, *,
                  pod_map: Optional[Sequence[int]] = None,
                  pod_bandwidth_bps: Optional[float] = None,
-                 base_rtt_s: float = 2 * US) -> None:
+                 base_rtt_s: float = 2 * US,
+                 fast_path: Optional[bool] = None) -> None:
         if n_nodes < 2:
             raise ValueError(f"need at least 2 nodes, got {n_nodes}")
         if node_bandwidth_bps <= 0:
@@ -136,6 +144,7 @@ class FluidNetwork:
         self.pod_map = list(pod_map) if pod_map is not None else None
         self.pod_bandwidth_bps = pod_bandwidth_bps
         self.base_rtt_s = base_rtt_s
+        self.fast_path = resolve_fast_path(fast_path)
 
     # -- resource vocabulary -------------------------------------------------
     def _flow_resources(self, flow: Flow) -> Tuple:
@@ -233,18 +242,36 @@ class FluidNetwork:
             if flows[i].arrival_time < flows[i - 1].arrival_time:
                 raise ValueError("flows must be sorted by arrival time")
         offered = sum(f.size_bits for f in flows)
+        fast = self.fast_path
+        n_flows = len(flows)
         remaining: Dict[int, float] = {}
         resources_of: Dict[int, Tuple] = {}
         flow_by_id = {f.flow_id: f for f in flows}
+        # Fast path: the resource tuple of a flow depends only on its
+        # endpoints, so compute them all up-front instead of per arrival.
+        precomputed = (
+            {f.flow_id: self._flow_resources(f) for f in flows}
+            if fast else None
+        )
         delivered = 0.0
         now = 0.0
         next_arrival_idx = 0
         event_index = 0
         rates: Dict[int, float] = {}
+        inf = math.inf
 
         def recompute() -> None:
             nonlocal rates
             rates = self.maxmin_rates(resources_of)
+
+        def completion_key(fid: int) -> float:
+            # Keyed on the absolute completion instant (now + time to
+            # drain), exactly the quantity the reference scan compares:
+            # IEEE addition is monotonic but can collapse strict order
+            # into ties, so keying on the drain time alone could pick a
+            # different flow than the reference's first-minimum scan.
+            rate = rates[fid]
+            return now + remaining[fid] / rate if rate > 0 else inf
 
         if profiling:
             t_mark = profiler.lap("setup", t_mark)
@@ -252,16 +279,26 @@ class FluidNetwork:
             # Next events: arrival vs earliest completion at current rates.
             next_arrival = (
                 flows[next_arrival_idx].arrival_time
-                if next_arrival_idx < len(flows) else None
+                if next_arrival_idx < n_flows else None
             )
             next_completion = None
             completing = None
-            for fid, rate in rates.items():
-                if rate <= 0:
-                    continue
-                t = now + remaining[fid] / rate
-                if next_completion is None or t < next_completion:
-                    next_completion, completing = t, fid
+            if fast:
+                if rates:
+                    # min() keeps the first minimum in insertion order —
+                    # the same tie-break as the reference's strict-<
+                    # scan over the same dict.
+                    fid = min(rates, key=completion_key)
+                    t = completion_key(fid)
+                    if t != inf:
+                        next_completion, completing = t, fid
+            else:
+                for fid, rate in rates.items():
+                    if rate <= 0:
+                        continue
+                    t = now + remaining[fid] / rate
+                    if next_completion is None or t < next_completion:
+                        next_completion, completing = t, fid
             if next_arrival is None and next_completion is None:
                 break
             if next_completion is None or (
@@ -305,7 +342,10 @@ class FluidNetwork:
                 flow = flows[next_arrival_idx]
                 next_arrival_idx += 1
                 remaining[flow.flow_id] = float(flow.size_bits)
-                resources_of[flow.flow_id] = self._flow_resources(flow)
+                resources_of[flow.flow_id] = (
+                    precomputed[flow.flow_id] if fast
+                    else self._flow_resources(flow)
+                )
                 if tracing:
                     tracer.emit("flow.arrival", node=flow.src,
                                 flow=flow.flow_id, dst=flow.dst)

@@ -130,7 +130,7 @@ class TestRegistry:
 
     def test_rule_families_present(self):
         families = {rule.code[0] for rule in ALL_RULES}
-        assert families == {"U", "D", "I", "O"}
+        assert families == {"U", "D", "I", "O", "P"}
 
     def test_unit_rules_exported(self):
         assert any(isinstance(rule, UnitLiteralRule) for rule in UNITS_RULES)

@@ -1,0 +1,157 @@
+"""Fixture tests for the performance rule family (P5xx)."""
+
+from repro.checks.engine import check_source
+from repro.checks.perf_rules import PERF_RULES
+
+CORE = "src/repro/core/fake.py"
+SIM = "src/repro/sim/fake.py"
+CLI = "src/repro/cli.py"
+
+
+def codes(source, relpath):
+    return [f.rule for f in check_source(source, PERF_RULES, relpath=relpath)]
+
+
+class TestPopZeroInLoop:
+    def test_pop_zero_in_for_body_flagged(self):
+        source = (
+            "while pending:\n"
+            "    item = queue.pop(0)\n"
+        )
+        assert codes(source, CORE) == ["P501"]
+
+    def test_pop_zero_in_sim_flagged(self):
+        source = (
+            "for _ in range(n):\n"
+            "    events.pop(0)\n"
+        )
+        assert codes(source, SIM) == ["P501"]
+
+    def test_pop_zero_outside_loop_allowed(self):
+        assert codes("first = queue.pop(0)\n", CORE) == []
+
+    def test_pop_without_index_allowed(self):
+        # .pop() from the tail is O(1); only head pops shift the list.
+        source = (
+            "while stack:\n"
+            "    item = stack.pop()\n"
+        )
+        assert codes(source, CORE) == []
+
+    def test_pop_nonzero_index_allowed(self):
+        source = (
+            "while items:\n"
+            "    items.pop(-1)\n"
+        )
+        assert codes(source, CORE) == []
+
+    def test_dict_style_pop_with_default_allowed(self):
+        # Two-argument pop is dict.pop(key, default) — a hash lookup.
+        source = (
+            "for key in keys:\n"
+            "    table.pop(0, None)\n"
+        )
+        assert codes(source, CORE) == []
+
+    def test_pop_zero_in_loop_else_flagged(self):
+        source = (
+            "for item in items:\n"
+            "    work(item)\n"
+            "else:\n"
+            "    tail.pop(0)\n"
+        )
+        assert codes(source, CORE) == ["P501"]
+
+    def test_pop_zero_in_cli_allowed(self):
+        source = (
+            "while pending:\n"
+            "    pending.pop(0)\n"
+        )
+        assert codes(source, CLI) == []
+
+    def test_suppression_comment_respected(self):
+        source = (
+            "while pending:\n"
+            "    pending.pop(0)  # lint: ignore[P501]\n"
+        )
+        assert codes(source, CORE) == []
+
+
+class TestListCopyInLoop:
+    def test_list_of_name_in_loop_flagged(self):
+        source = (
+            "for epoch in range(n):\n"
+            "    snapshot = list(queues)\n"
+        )
+        assert codes(source, CORE) == ["P502"]
+
+    def test_list_of_attribute_in_loop_flagged(self):
+        source = (
+            "while running:\n"
+            "    dsts = list(node.fwd)\n"
+        )
+        assert codes(source, SIM) == ["P502"]
+
+    def test_snapshot_in_for_header_allowed(self):
+        # `for x in list(d):` at top level is the snapshot-before-
+        # mutation idiom, evaluated once — not per-iteration work.
+        source = (
+            "for key in list(table):\n"
+            "    del table[key]\n"
+        )
+        assert codes(source, CORE) == []
+
+    def test_snapshot_header_of_nested_loop_flagged(self):
+        # ...but the same header inside an outer loop's body runs per
+        # outer iteration.
+        source = (
+            "for epoch in range(n):\n"
+            "    for key in list(table):\n"
+            "        del table[key]\n"
+        )
+        assert codes(source, CORE) == ["P502"]
+
+    def test_list_of_call_in_loop_allowed(self):
+        # list(map(...)) builds a new sequence; not a container copy.
+        source = (
+            "for epoch in range(n):\n"
+            "    cells = list(map(make, ids))\n"
+        )
+        assert codes(source, CORE) == []
+
+    def test_list_of_comprehension_allowed(self):
+        source = (
+            "for epoch in range(n):\n"
+            "    out = [f(x) for x in xs]\n"
+        )
+        assert codes(source, CORE) == []
+
+    def test_list_outside_loop_allowed(self):
+        assert codes("snapshot = list(queues)\n", CORE) == []
+
+    def test_list_copy_in_cli_allowed(self):
+        source = (
+            "for row in rows:\n"
+            "    cells = list(row)\n"
+        )
+        assert codes(source, CLI) == []
+
+    def test_while_test_not_a_body(self):
+        # The loop condition is not body work for P502's purposes.
+        source = "while list(pending):\n    step()\n"
+        assert codes(source, CORE) == []
+
+
+class TestScoping:
+    def test_prefix_match_is_exact_package_boundary(self):
+        # repro.corelib is NOT repro.core.
+        source = (
+            "while pending:\n"
+            "    pending.pop(0)\n"
+        )
+        assert codes(source, "src/repro/corelib/fake.py") == []
+
+    def test_rule_metadata(self):
+        by_code = {rule.code: rule for rule in PERF_RULES}
+        assert by_code["P501"].name == "pop-zero-in-loop"
+        assert by_code["P502"].name == "list-copy-in-loop"

@@ -1,0 +1,171 @@
+"""The active-set fast path is bit-identical to the reference path.
+
+The fast path (``SiriusNetwork(fast_path=True)``, the default) replaces
+the reference's all-nodes scans with sparse active-set iteration, table
+lookups and slab cell construction — but shares the reference's single
+RNG stream and visit order, so a seeded run must produce *exactly* the
+same ``SimulationResult``, not merely a statistically similar one.
+These tests pin that contract across every scheduling mode the
+simulator supports, plus a failure/recovery scenario; the fluid
+simulator's precomputed-resources fast path gets the same treatment.
+"""
+
+import pytest
+
+from repro import (
+    CongestionConfig,
+    FailurePlan,
+    FlowWorkload,
+    FluidNetwork,
+    SiriusNetwork,
+    WorkloadConfig,
+    pod_map_for,
+)
+from repro.core.fastpath import FAST_PATH_ENV, resolve_fast_path
+from repro.units import KILOBYTE, MEGABYTE
+
+N_NODES, GRATING = 12, 4
+
+
+def _workload(bandwidth, *, n_flows=60, load=0.4, seed=5,
+              n_nodes=N_NODES):
+    return FlowWorkload(WorkloadConfig(
+        n_nodes=n_nodes,
+        load=load,
+        node_bandwidth_bps=bandwidth,
+        mean_flow_bits=20 * KILOBYTE,
+        truncation_bits=MEGABYTE,
+        seed=seed,
+    )).generate(n_flows)
+
+
+def _fingerprint(result):
+    """Everything a SimulationResult observably says about a run."""
+    return (
+        result.epochs,
+        result.duration_s,
+        result.delivered_bits,
+        result.offered_bits,
+        result.peak_fwd_cells,
+        result.peak_local_cells,
+        result.peak_reorder_cells,
+        result.failed_flows,
+        result.retransmitted_cells,
+        tuple(
+            (f.flow_id, f.delivered_cells, f.completion_time)
+            for f in result.flows
+        ),
+    )
+
+
+def _run_pair(*, seed=1, workload_seed=5, make_plan=None, **net_kwargs):
+    """One seeded run per path; returns (fast, reference) fingerprints.
+
+    ``make_plan`` is a factory, not a plan: a ``FailurePlan`` is
+    stateful (it tracks fired events and the failed set), so each run
+    needs its own instance.
+    """
+    results = []
+    for fast in (True, False):
+        net = SiriusNetwork(N_NODES, GRATING, uplink_multiplier=1.5,
+                            seed=seed, fast_path=fast, **net_kwargs)
+        flows = _workload(net.reference_node_bandwidth_bps,
+                          seed=workload_seed)
+        plan = make_plan() if make_plan is not None else None
+        results.append(net.run(flows, failure_plan=plan,
+                               check_invariants=True))
+    return tuple(_fingerprint(r) for r in results)
+
+
+CONFIG_CASES = {
+    "drrm": dict(config=CongestionConfig(selection="drrm")),
+    "random-selection": dict(config=CongestionConfig(selection="random")),
+    "ideal": dict(config=CongestionConfig(ideal=True)),
+    "single-grant": dict(
+        config=CongestionConfig(max_grants_per_destination=1)
+    ),
+    "bounded-local": dict(local_capacity_cells=32),
+    "track-reorder": dict(track_reorder=True),
+}
+
+
+class TestSiriusEquivalence:
+    @pytest.mark.parametrize("case", sorted(CONFIG_CASES))
+    def test_identical_results_per_config(self, case):
+        fast, reference = _run_pair(**CONFIG_CASES[case])
+        assert fast == reference
+
+    @pytest.mark.parametrize("seed", [1, 7])
+    def test_identical_results_across_seeds(self, seed):
+        fast, reference = _run_pair(seed=seed, workload_seed=seed + 4)
+        assert fast == reference
+
+    def test_identical_results_under_failure_and_recovery(self):
+        fast, reference = _run_pair(make_plan=lambda: (
+            FailurePlan.single_failure(3, at_epoch=30, recover_at=60)
+        ))
+        assert fast == reference
+
+    def test_fast_path_on_by_default(self):
+        assert SiriusNetwork(8, 4).fast_path is resolve_fast_path(None)
+
+
+class TestFluidEquivalence:
+    def _pair(self, **net_kwargs):
+        bandwidth = 4e11
+        results = []
+        for fast in (True, False):
+            net = FluidNetwork(N_NODES, bandwidth, fast_path=fast,
+                               **net_kwargs)
+            flows = _workload(bandwidth, n_flows=120, load=0.6)
+            results.append(net.run(flows))
+        return results
+
+    @staticmethod
+    def _fluid_fingerprint(result):
+        return (
+            result.duration_s,
+            result.delivered_bits,
+            tuple(
+                (f.flow_id, f.completion_time) for f in result.flows
+            ),
+        )
+
+    def test_flat_network_identical(self):
+        fast, reference = self._pair()
+        assert (self._fluid_fingerprint(fast)
+                == self._fluid_fingerprint(reference))
+
+    def test_oversubscribed_pods_identical(self):
+        bandwidth = 4e11
+        pod_kwargs = dict(
+            pod_map=pod_map_for(N_NODES, 4),
+            pod_bandwidth_bps=4 * bandwidth / 3.0,
+        )
+        fast, reference = self._pair(**pod_kwargs)
+        assert (self._fluid_fingerprint(fast)
+                == self._fluid_fingerprint(reference))
+
+
+class TestFastPathResolution:
+    def test_explicit_argument_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(FAST_PATH_ENV, "0")
+        assert resolve_fast_path(True) is True
+        monkeypatch.setenv(FAST_PATH_ENV, "1")
+        assert resolve_fast_path(False) is False
+
+    def test_env_off_values(self, monkeypatch):
+        for value in ("0", "false", "off", "no", "reference", "FALSE"):
+            monkeypatch.setenv(FAST_PATH_ENV, value)
+            assert resolve_fast_path(None) is False, value
+
+    def test_env_on_values_and_default(self, monkeypatch):
+        monkeypatch.delenv(FAST_PATH_ENV, raising=False)
+        assert resolve_fast_path(None) is True
+        monkeypatch.setenv(FAST_PATH_ENV, "1")
+        assert resolve_fast_path(None) is True
+
+    def test_env_reaches_network_constructor(self, monkeypatch):
+        monkeypatch.setenv(FAST_PATH_ENV, "reference")
+        assert SiriusNetwork(8, 4).fast_path is False
+        assert FluidNetwork(8, 4e11).fast_path is False

@@ -1,0 +1,89 @@
+"""The bench harness emits schema-valid, self-consistent payloads."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.perf import BENCH_SCHEMA, run_bench, validate_payload, write_payload
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def quick_payload():
+    return run_bench(quick=True, workers=2)
+
+
+class TestQuickRun:
+    def test_schema_and_validation(self, quick_payload):
+        assert quick_payload["schema"] == BENCH_SCHEMA
+        assert quick_payload["quick"] is True
+        validate_payload(quick_payload)
+
+    def test_all_scenarios_present(self, quick_payload):
+        scenarios = {r["scenario"] for r in quick_payload["records"]}
+        assert scenarios == {
+            "micro_epoch_loop[fast]",
+            "micro_epoch_loop[reference]",
+            "fluid_events",
+            "sweep_e2e",
+        }
+
+    def test_phase_totals_attached_to_micro(self, quick_payload):
+        fast = next(r for r in quick_payload["records"]
+                    if r["scenario"] == "micro_epoch_loop[fast]")
+        totals = fast["phase_totals_s"]
+        # The profiled pass must cover the epoch loop's phases.
+        assert {"deliver", "control", "transmit"} <= set(totals)
+        assert all(v >= 0 for v in totals.values())
+
+    def test_payload_is_json_round_trippable(self, quick_payload, tmp_path):
+        path = write_payload(quick_payload, str(tmp_path / "bench.json"))
+        reloaded = json.loads(Path(path).read_text())
+        validate_payload(reloaded)
+        assert reloaded["micro_speedup"] == quick_payload["micro_speedup"]
+
+
+class TestValidation:
+    def test_rejects_wrong_schema(self, quick_payload):
+        bad = dict(quick_payload, schema="sirius-bench/0")
+        with pytest.raises(ValueError, match="schema"):
+            validate_payload(bad)
+
+    def test_rejects_empty_records(self, quick_payload):
+        with pytest.raises(ValueError, match="records"):
+            validate_payload(dict(quick_payload, records=[]))
+
+    def test_rejects_missing_field(self, quick_payload):
+        records = [dict(r) for r in quick_payload["records"]]
+        del records[0]["wall_s"]
+        with pytest.raises(ValueError, match="wall_s"):
+            validate_payload(dict(quick_payload, records=records))
+
+    def test_rejects_missing_scenario(self, quick_payload):
+        records = [r for r in quick_payload["records"]
+                   if r["scenario"] != "fluid_events"]
+        with pytest.raises(ValueError, match="fluid_events"):
+            validate_payload(dict(quick_payload, records=records))
+
+
+class TestCommittedBaseline:
+    def test_baseline_exists_and_validates(self):
+        baselines = sorted(REPO_ROOT.glob("BENCH_*.json"))
+        assert baselines, "no committed BENCH_<date>.json baseline"
+        for path in baselines:
+            payload = json.loads(path.read_text())
+            validate_payload(payload)
+
+    def test_baseline_records_fast_path_win(self):
+        # The acceptance bar for the fast path: >= 2x cells/s over the
+        # reference on the pinned (non-quick) micro scenario.
+        full = [
+            json.loads(path.read_text())
+            for path in REPO_ROOT.glob("BENCH_*.json")
+        ]
+        full = [p for p in full if not p["quick"]]
+        assert full, "no full-scale committed baseline"
+        for payload in full:
+            assert payload["micro_speedup"] >= 2.0

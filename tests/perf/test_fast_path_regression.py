@@ -1,0 +1,50 @@
+"""Tier-1 guard: the fast path must actually be faster.
+
+Equivalence tests prove the fast path computes the same results; this
+test proves it still pays for its complexity.  Both paths run live,
+in-process, on the bench harness's quick micro scenario (sparse
+activity — the regime the active-set rework targets, where the gap is
+several-fold).  The assertion bar is deliberately far below the
+recorded speedup (see the committed ``BENCH_<date>.json``, which
+documents the >= 2x acceptance measurement at full scale) so CI noise
+and slow machines cannot flake it — but a regression that makes the
+fast path pointless still fails.
+"""
+
+import time
+
+from repro.core.congestion import CongestionConfig
+from repro.core.network import SiriusNetwork
+from repro.perf.bench import (
+    MICRO_FLOWS_QUICK,
+    MICRO_GRATING_QUICK,
+    MICRO_NODES_QUICK,
+    _micro_workload,
+)
+
+#: Far below the measured gap (several-fold on this scenario).
+MIN_SPEEDUP = 1.3
+
+
+def _timed_run(fast: bool) -> float:
+    net = SiriusNetwork(MICRO_NODES_QUICK, MICRO_GRATING_QUICK,
+                        uplink_multiplier=1.5, config=CongestionConfig(),
+                        seed=1, fast_path=fast)
+    flows = _micro_workload(MICRO_NODES_QUICK, MICRO_FLOWS_QUICK,
+                            net.reference_node_bandwidth_bps)
+    start = time.perf_counter()
+    net.run(flows)
+    return time.perf_counter() - start
+
+
+def test_fast_path_beats_reference():
+    # Warm-up pass absorbs first-call costs (imports, allocator growth),
+    # then best-of-3 per path damps scheduler noise.
+    _timed_run(True)
+    fast = min(_timed_run(True) for _ in range(3))
+    reference = min(_timed_run(False) for _ in range(3))
+    speedup = reference / fast
+    assert speedup >= MIN_SPEEDUP, (
+        f"fast path only {speedup:.2f}x over reference "
+        f"(required {MIN_SPEEDUP}x)"
+    )

@@ -1,0 +1,108 @@
+"""ParallelSweepRunner: determinism, ordering and worker resolution."""
+
+import pytest
+
+from repro.perf import (
+    WORKERS_ENV,
+    FluidSweepJob,
+    ParallelSweepRunner,
+    SiriusSweepJob,
+    run_fluid_job,
+    run_sirius_job,
+)
+from repro.perf.sweep import resolve_workers
+
+
+def _sirius_jobs(loads=(0.2, 0.4)):
+    return [
+        SiriusSweepJob(n_nodes=8, grating_ports=4, load=load, n_flows=40,
+                       label=f"s@{load}")
+        for load in loads
+    ]
+
+
+def _fluid_jobs(loads=(0.2, 0.4)):
+    return [
+        FluidSweepJob(n_nodes=8, load=load, n_flows=40,
+                      node_bandwidth_bps=4e11, label=f"f@{load}")
+        for load in loads
+    ]
+
+
+class TestDeterminism:
+    def test_parallel_equals_serial_sirius(self):
+        jobs = _sirius_jobs()
+        serial = ParallelSweepRunner(1).run_sirius(jobs)
+        parallel = ParallelSweepRunner(2).run_sirius(jobs)
+        assert serial == parallel
+
+    def test_parallel_equals_serial_fluid(self):
+        jobs = _fluid_jobs()
+        serial = ParallelSweepRunner(1).run_fluid(jobs)
+        parallel = ParallelSweepRunner(2).run_fluid(jobs)
+        assert serial == parallel
+
+    def test_results_in_submission_order(self):
+        loads = (0.5, 0.1, 0.3)
+        points = ParallelSweepRunner(2).run_sirius(_sirius_jobs(loads))
+        assert [p.load for p in points] == list(loads)
+        assert [p.label for p in points] == [f"s@{load}" for load in loads]
+
+    def test_job_reruns_are_reproducible(self):
+        job = _sirius_jobs((0.3,))[0]
+        assert run_sirius_job(job) == run_sirius_job(job)
+        fluid = _fluid_jobs((0.3,))[0]
+        assert run_fluid_job(fluid) == run_fluid_job(fluid)
+
+
+class TestJobValidation:
+    def test_sirius_job_rejects_bad_load(self):
+        with pytest.raises(ValueError):
+            SiriusSweepJob(n_nodes=8, grating_ports=4, load=0.0, n_flows=10)
+
+    def test_sirius_job_rejects_no_flows(self):
+        with pytest.raises(ValueError):
+            SiriusSweepJob(n_nodes=8, grating_ports=4, load=0.5, n_flows=0)
+
+    def test_fluid_job_rejects_bad_bandwidth(self):
+        with pytest.raises(ValueError):
+            FluidSweepJob(n_nodes=8, load=0.5, n_flows=10,
+                          node_bandwidth_bps=0.0)
+
+    def test_fluid_job_rejects_bad_oversubscription(self):
+        with pytest.raises(ValueError):
+            FluidSweepJob(n_nodes=8, load=0.5, n_flows=10,
+                          node_bandwidth_bps=4e11, oversubscription=-1.0)
+
+
+class TestWorkerResolution:
+    def test_explicit_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "7")
+        assert resolve_workers(3) == 3
+
+    def test_env_consulted(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "5")
+        assert resolve_workers(None) == 5
+
+    def test_default_is_cpu_count(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert resolve_workers(None) >= 1
+
+    def test_rejects_nonpositive(self, monkeypatch):
+        with pytest.raises(ValueError):
+            resolve_workers(0)
+        monkeypatch.setenv(WORKERS_ENV, "0")
+        with pytest.raises(ValueError):
+            resolve_workers(None)
+
+    def test_single_job_runs_serially(self):
+        # A one-job sweep must not pay pool startup; same results either
+        # way, so just confirm it executes on a multi-worker runner.
+        points = ParallelSweepRunner(4).run_sirius(_sirius_jobs((0.3,)))
+        assert len(points) == 1 and points[0].kind == "sirius"
+
+    def test_map_is_generic(self):
+        # map() accepts any picklable callable + items, not just the
+        # built-in job runners (the CLI uses this for mixed sweeps).
+        runner = ParallelSweepRunner(2)
+        assert runner.map(abs, [-2, 3, -4]) == [2, 3, 4]
