@@ -12,6 +12,11 @@ An AST-based lint engine (stdlib only) with three rule families:
   validators, schedule construction that bypasses the contention-free
   permutation check (paper §4.2).
 
+On top of the per-file families, :mod:`repro.checks.flow` adds
+project-wide dataflow analyses (symbol table + call graph + CFGs):
+**dimensional flow** (``F6xx``), **determinism taint** (``T7xx``) and
+the **fast-path parity audit** (``S8xx``).
+
 Run as ``python -m repro.checks src/repro`` or via the ``sirius-lint``
 console script; suppress an intentional finding with a trailing
 ``# lint: ignore[rule-id]`` comment; accepted pre-existing findings
@@ -27,10 +32,13 @@ from repro.checks.cli import main
 from repro.checks.engine import (
     FileContext,
     Finding,
+    ProjectRule,
     Rule,
+    check_project_source,
     check_source,
     filter_rules,
     format_json,
+    format_sarif,
     format_text,
     iter_python_files,
     parse_file,
@@ -42,11 +50,14 @@ __all__ = [
     "ALL_RULES",
     "FileContext",
     "Finding",
+    "ProjectRule",
     "Rule",
+    "check_project_source",
     "check_source",
     "diff_against_baseline",
     "filter_rules",
     "format_json",
+    "format_sarif",
     "format_text",
     "iter_python_files",
     "load_baseline",

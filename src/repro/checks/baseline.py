@@ -44,7 +44,15 @@ def load_baseline(path: Path) -> Dict[str, int]:
 
 
 def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
-    """Persist ``findings`` as the new accepted baseline."""
+    """Persist ``findings`` as the new accepted baseline.
+
+    The output is byte-deterministic for a given finding *set*:
+    fingerprints (``path::rule::snippet``) are sorted, so entries appear
+    ordered by path then rule code regardless of the order rules ran or
+    files were walked, and ``sort_keys`` fixes the envelope key order.
+    Re-running ``--write-baseline`` on an unchanged tree produces an
+    unchanged file — no spurious diffs in review.
+    """
     counts = Counter(finding.fingerprint for finding in findings)
     payload = {
         "version": _FORMAT_VERSION,
@@ -54,9 +62,9 @@ def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
             "reviewing that every entry is intentional."
         ),
         "count": sum(counts.values()),
-        "fingerprints": dict(sorted(counts.items())),
+        "fingerprints": {key: counts[key] for key in sorted(counts)},
     }
-    path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n",
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
                     encoding="utf-8")
 
 

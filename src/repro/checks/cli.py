@@ -38,6 +38,7 @@ from repro.checks.engine import (
     Finding,
     filter_rules,
     format_json,
+    format_sarif,
     format_text,
     run_checks,
 )
@@ -92,8 +93,10 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="files or directories to lint "
                              "(default: [tool.repro.checks] paths, else "
                              "src/repro)")
-    parser.add_argument("--format", choices=("text", "json"), default="text",
-                        help="output format (default: text)")
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text",
+                        help="output format (default: text; sarif emits a "
+                             "minimal SARIF 2.1.0 log of the new findings)")
     parser.add_argument("--select", type=str, default=None, metavar="IDS",
                         help="comma-separated rule codes/names/families "
                              "to run (e.g. 'U101,determinism' or 'D')")
@@ -188,6 +191,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
 def _report(fmt: str, new: List[Finding], stale: List[str],
             total: int) -> None:
+    if fmt == "sarif":
+        print(format_sarif(new, rules=ALL_RULES))
+        return
     if fmt == "json":
         import json
 

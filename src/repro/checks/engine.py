@@ -27,12 +27,16 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tupl
 __all__ = [
     "Finding",
     "Rule",
+    "ProjectRule",
     "FileContext",
     "iter_python_files",
     "parse_file",
     "run_checks",
+    "check_source",
+    "check_project_source",
     "format_text",
     "format_json",
+    "format_sarif",
 ]
 
 
@@ -113,6 +117,28 @@ class Rule:
             message=message,
             snippet=ctx.line(line),
         )
+
+
+class ProjectRule(Rule):
+    """Base class for whole-project (cross-file) rules.
+
+    Unlike per-file :class:`Rule` subclasses, a project rule sees every
+    parsed file at once through a ``repro.checks.flow.Project`` — symbol
+    table, call graph and shared analyses — and may anchor findings in
+    any file.  Suppression still works per anchoring line: a ``# lint:
+    ignore[T701]`` next to the *source* suppresses an interprocedural
+    finding whose sink lives in another file.
+
+    Subclasses implement :meth:`check_project`; :meth:`check` is a
+    no-op so a project rule can sit in the same registry list as the
+    per-file rules.
+    """
+
+    def check(self, ctx: "FileContext") -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, project) -> Iterator[Finding]:
+        raise NotImplementedError
 
 
 # --------------------------------------------------------------------------
@@ -267,15 +293,21 @@ def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
                 yield candidate
 
 
+#: A family identifier: letters, optionally followed by leading digits
+#: of a code — ``U``, ``F6``, ``T70`` — but never a rule *name*.
+_FAMILY_RE = re.compile(r"^[A-Za-z]+\d*$")
+
+
 def _rule_matches(rule: Rule, identifiers: Set[str]) -> bool:
     """True when ``identifiers`` names this rule by code, name or family.
 
-    Family prefixes work too: ``U`` selects every ``U…`` rule.
+    Family prefixes work too: ``U`` selects every ``U…`` rule and
+    ``F6`` every rule whose code starts with ``F6``.
     """
     return bool(
         {rule.code, rule.name} & identifiers
         or any(rule.code.startswith(ident) for ident in identifiers
-               if ident and ident.isalpha())
+               if ident and _FAMILY_RE.match(ident))
     )
 
 
@@ -321,15 +353,46 @@ def _parse_failure(path: Path, root: Optional[Path]) -> Optional[Finding]:
     return None
 
 
+def _run_project_rules(contexts: Sequence[FileContext],
+                       rules: Sequence["ProjectRule"]) -> List[Finding]:
+    """Build one ``flow.Project`` over ``contexts`` and run ``rules``.
+
+    Suppressions apply at each finding's anchoring file/line, so a
+    cross-file flow finding is silenced where it is reported.
+    """
+    if not rules or not contexts:
+        return []
+    # Imported here: flow builds on this module's FileContext/Rule.
+    from repro.checks.flow.project import Project
+
+    project = Project(contexts)
+    by_path = {ctx.relpath: ctx for ctx in contexts}
+    findings: List[Finding] = []
+    for rule in rules:
+        for finding in rule.check_project(project):
+            ctx = by_path.get(finding.path)
+            if ctx is None or not ctx.is_suppressed(finding):
+                findings.append(finding)
+    return findings
+
+
 def run_checks(paths: Sequence[Path], rules: Sequence[Rule],
                root: Optional[Path] = None) -> List[Finding]:
     """Run ``rules`` over every Python file under ``paths``.
 
-    Returns surviving findings (suppressions already applied), sorted by
-    location for stable output.  Files that fail to parse contribute an
-    ``E001 parse-error`` finding regardless of rule selection.
+    Per-file rules run file by file; :class:`ProjectRule` instances run
+    once over a project built from every file that parsed (so the call
+    graph spans all configured paths).  Returns surviving findings
+    (suppressions already applied), sorted by location for stable
+    output.  Files that fail to parse contribute an ``E001
+    parse-error`` finding regardless of rule selection.
     """
+    file_rules = [rule for rule in rules
+                  if not isinstance(rule, ProjectRule)]
+    project_rules = [rule for rule in rules
+                     if isinstance(rule, ProjectRule)]
     findings: List[Finding] = []
+    contexts: List[FileContext] = []
     for file_path in iter_python_files(paths):
         ctx = parse_file(file_path, root=root)
         if ctx is None:
@@ -339,21 +402,21 @@ def run_checks(paths: Sequence[Path], rules: Sequence[Rule],
             continue
         if ctx.skip_file:
             continue
-        for rule in rules:
+        contexts.append(ctx)
+        for rule in file_rules:
             for finding in rule.check(ctx):
                 if not ctx.is_suppressed(finding):
                     findings.append(finding)
+    findings.extend(_run_project_rules(contexts, project_rules))
     findings.sort(key=Finding.sort_key)
     return findings
 
 
-def check_source(source: str, rules: Sequence[Rule],
-                 relpath: str = "<string>") -> List[Finding]:
-    """Lint a source string — the primary hook for fixture tests."""
+def _context_from_source(source: str, relpath: str) -> FileContext:
     tree = ast.parse(source)
     attach_parents(tree)
     suppressions, skip_file = _collect_suppressions(source)
-    ctx = FileContext(
+    return FileContext(
         path=Path(relpath),
         relpath=relpath,
         source=source,
@@ -362,14 +425,41 @@ def check_source(source: str, rules: Sequence[Rule],
         suppressions=suppressions,
         skip_file=skip_file,
     )
-    if ctx.skip_file:
-        return []
-    findings = [
-        finding
-        for rule in rules
-        for finding in rule.check(ctx)
-        if not ctx.is_suppressed(finding)
-    ]
+
+
+def check_source(source: str, rules: Sequence[Rule],
+                 relpath: str = "<string>") -> List[Finding]:
+    """Lint a source string — the primary hook for fixture tests.
+
+    :class:`ProjectRule` instances run over a one-file project; use
+    :func:`check_project_source` when a fixture needs several files.
+    """
+    return check_project_source({relpath: source}, rules)
+
+
+def check_project_source(files: Dict[str, str],
+                         rules: Sequence[Rule]) -> List[Finding]:
+    """Lint a relpath → source mapping as one project.
+
+    The multi-file twin of :func:`check_source`: every file is parsed
+    into the same project, so cross-module flow rules see imports and
+    call edges between fixture files.  Dotted module names derive from
+    the relpaths (``src/repro/core/x.py`` → ``repro.core.x``), so
+    fixtures should use realistic paths when resolution matters.
+    """
+    contexts = [_context_from_source(source, relpath)
+                for relpath, source in files.items()]
+    active = [ctx for ctx in contexts if not ctx.skip_file]
+    findings: List[Finding] = []
+    for ctx in active:
+        for rule in rules:
+            if isinstance(rule, ProjectRule):
+                continue
+            for finding in rule.check(ctx):
+                if not ctx.is_suppressed(finding):
+                    findings.append(finding)
+    findings.extend(_run_project_rules(
+        active, [rule for rule in rules if isinstance(rule, ProjectRule)]))
     findings.sort(key=Finding.sort_key)
     return findings
 
@@ -394,3 +484,60 @@ def format_json(findings: Sequence[Finding]) -> str:
         indent=2,
         sort_keys=True,
     )
+
+
+def format_sarif(findings: Sequence[Finding],
+                 rules: Sequence[Rule] = ()) -> str:
+    """Minimal SARIF 2.1.0 log, consumable by code-scanning uploaders.
+
+    One run, one ``sirius-lint`` driver; each finding becomes a result
+    with the baseline fingerprint under ``partialFingerprints`` so
+    SARIF consumers track findings across line-number churn the same
+    way the committed baseline does.
+    """
+    import json
+
+    described = {rule.code: rule for rule in rules}
+    seen_codes = sorted({finding.rule for finding in findings})
+    sarif_rules = []
+    for code in seen_codes:
+        entry: Dict[str, object] = {"id": code}
+        rule = described.get(code)
+        if rule is not None:
+            entry["name"] = rule.name
+            entry["shortDescription"] = {"text": rule.description}
+        sarif_rules.append(entry)
+    results = [
+        {
+            "ruleId": finding.rule,
+            "level": "warning",
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path},
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col + 1,
+                    },
+                },
+            }],
+            "partialFingerprints": {
+                "siriusLint/v1": finding.fingerprint,
+            },
+        }
+        for finding in findings
+    ]
+    log = {
+        "version": "2.1.0",
+        "$schema": ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json"),
+        "runs": [{
+            "tool": {"driver": {
+                "name": "sirius-lint",
+                "informationUri": "https://example.invalid/sirius-repro",
+                "rules": sarif_rules,
+            }},
+            "results": results,
+        }],
+    }
+    return json.dumps(log, indent=2, sort_keys=True)

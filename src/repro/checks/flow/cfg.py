@@ -1,0 +1,199 @@
+"""Per-function control-flow graphs for :mod:`repro.checks.flow`.
+
+A :class:`CFG` is a set of basic blocks (straight-line statement lists)
+connected by successor edges, built from one ``ast.FunctionDef``.  The
+builder covers the statement forms the simulator code uses — ``if``,
+``while``, ``for``, ``try``, ``with``, ``return``, ``raise``, ``break``,
+``continue`` — and is deliberately conservative where exact semantics
+would cost complexity:
+
+* loops get both the back edge and the fall-through exit edge (a
+  ``while True`` still gets the exit edge — harmless over-approximation
+  for a forward may-analysis);
+* every ``try`` body statement may jump to every handler (exceptions
+  can occur anywhere), and the ``finally`` block dominates the exit;
+* nested function definitions are opaque single statements; they get
+  their own CFGs when analyzed as functions in their own right.
+
+The dataflow framework (:mod:`repro.checks.flow.dataflow`) runs a
+worklist to fixpoint over these blocks, which is what lets dimension
+and taint facts survive joins at ``if``/``else`` merges and loop heads.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["Block", "CFG", "build_cfg"]
+
+
+@dataclass
+class Block:
+    """A basic block: statements executed in order, then a branch."""
+
+    block_id: int
+    statements: List[ast.stmt] = field(default_factory=list)
+    successors: List[int] = field(default_factory=list)
+
+    def add_successor(self, block_id: int) -> None:
+        if block_id not in self.successors:
+            self.successors.append(block_id)
+
+
+@dataclass
+class CFG:
+    """Blocks of one function; block 0 is the entry, ``exit_id`` the exit."""
+
+    blocks: Dict[int, Block]
+    entry_id: int
+    exit_id: int
+
+    def predecessors(self) -> Dict[int, List[int]]:
+        preds: Dict[int, List[int]] = {bid: [] for bid in self.blocks}
+        for block in self.blocks.values():
+            for succ in block.successors:
+                preds[succ].append(block.block_id)
+        return preds
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.blocks: Dict[int, Block] = {}
+        self.entry = self._new_block()
+        self.exit = self._new_block()
+
+    def _new_block(self) -> Block:
+        block = Block(block_id=len(self.blocks))
+        self.blocks[block.block_id] = block
+        return block
+
+    def build(self, body: Sequence[ast.stmt]) -> CFG:
+        end = self._emit_body(body, self.entry, break_to=None,
+                              continue_to=None)
+        if end is not None:
+            end.add_successor(self.exit.block_id)
+        return CFG(blocks=self.blocks, entry_id=self.entry.block_id,
+                   exit_id=self.exit.block_id)
+
+    def _emit_body(self, body: Sequence[ast.stmt], current: Optional[Block],
+                   break_to: Optional[Block],
+                   continue_to: Optional[Block]) -> Optional[Block]:
+        """Emit ``body`` starting in ``current``; return the open end block.
+
+        ``None`` means control cannot fall through (return/raise/...).
+        """
+        for stmt in body:
+            if current is None:
+                # Unreachable code after a terminator still gets a block
+                # so rules can inspect it, but no edges in.
+                current = self._new_block()
+            current = self._emit_stmt(stmt, current, break_to, continue_to)
+        return current
+
+    def _emit_stmt(self, stmt: ast.stmt, current: Block,
+                   break_to: Optional[Block],
+                   continue_to: Optional[Block]) -> Optional[Block]:
+        if isinstance(stmt, ast.If):
+            current.statements.append(stmt)
+            after = self._new_block()
+            for branch in (stmt.body, stmt.orelse):
+                if branch:
+                    head = self._new_block()
+                    current.add_successor(head.block_id)
+                    end = self._emit_body(branch, head, break_to, continue_to)
+                    if end is not None:
+                        end.add_successor(after.block_id)
+                else:
+                    current.add_successor(after.block_id)
+            return after
+
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            current.statements.append(stmt)  # header: test / iter + target
+            head = self._new_block()
+            after = self._new_block()
+            current.add_successor(head.block_id)
+            current.add_successor(after.block_id)
+            end = self._emit_body(stmt.body, head, break_to=after,
+                                  continue_to=head)
+            if end is not None:
+                end.add_successor(head.block_id)  # loop back edge
+                end.add_successor(after.block_id)
+            if stmt.orelse:
+                orelse_end = self._emit_body(stmt.orelse, after, break_to,
+                                             continue_to)
+                return orelse_end
+            return after
+
+        if isinstance(stmt, (ast.Try, getattr(ast, "TryStar", ast.Try))):
+            current.statements.append(stmt)
+            after = self._new_block()
+            body_end = self._emit_body(stmt.body, self._linked(current),
+                                       break_to, continue_to)
+            handler_targets: List[Optional[Block]] = []
+            for handler in stmt.handlers:
+                head = self._new_block()
+                # Any body statement may raise into any handler.
+                current.add_successor(head.block_id)
+                handler_targets.append(
+                    self._emit_body(handler.body, head, break_to, continue_to)
+                )
+            ends = [end for end in (body_end, *handler_targets)
+                    if end is not None]
+            if stmt.orelse and body_end is not None:
+                ends.remove(body_end)
+                orelse_end = self._emit_body(stmt.orelse, body_end, break_to,
+                                             continue_to)
+                if orelse_end is not None:
+                    ends.append(orelse_end)
+            if stmt.finalbody:
+                final_head = self._new_block()
+                for end in ends:
+                    end.add_successor(final_head.block_id)
+                if not ends:
+                    current.add_successor(final_head.block_id)
+                final_end = self._emit_body(stmt.finalbody, final_head,
+                                            break_to, continue_to)
+                if final_end is not None:
+                    final_end.add_successor(after.block_id)
+                return after
+            for end in ends:
+                end.add_successor(after.block_id)
+            return after if ends else None
+
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            current.statements.append(stmt)  # context expressions
+            return self._emit_body(stmt.body, self._linked(current),
+                                   break_to, continue_to)
+
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            current.statements.append(stmt)
+            current.add_successor(self.exit.block_id)
+            return None
+
+        if isinstance(stmt, ast.Break):
+            current.statements.append(stmt)
+            if break_to is not None:
+                current.add_successor(break_to.block_id)
+            return None
+
+        if isinstance(stmt, ast.Continue):
+            current.statements.append(stmt)
+            if continue_to is not None:
+                current.add_successor(continue_to.block_id)
+            return None
+
+        current.statements.append(stmt)
+        return current
+
+    def _linked(self, current: Block) -> Block:
+        head = self._new_block()
+        current.add_successor(head.block_id)
+        return head
+
+
+def build_cfg(fn: ast.AST) -> CFG:
+    """Build the CFG of one ``FunctionDef``/``AsyncFunctionDef``/module."""
+    body = fn.body if hasattr(fn, "body") else [fn]
+    return _Builder().build(body)

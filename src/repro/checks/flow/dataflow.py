@@ -1,0 +1,164 @@
+"""A small forward-dataflow framework over :mod:`repro.checks.flow.cfg`.
+
+Analyses subclass :class:`ForwardAnalysis`, choosing the abstract value
+attached to each variable and a ``transfer`` that interprets one
+statement *shallowly* — compound statements (``if``/``while``/``for``)
+appear in their block as headers, so a transfer only models the part
+evaluated there (the loop target binding, the context-manager ``as``
+name), never the nested bodies, which live in successor blocks.
+
+The engine is the classic worklist algorithm: propagate each block's
+output environment to its successors, joining environments pointwise,
+until nothing changes.  Joins are forced to a fixpoint by the analysis'
+``join_values`` (which must be idempotent/commutative/associative and
+eventually stabilize — the provided analyses use small finite domains).
+
+:class:`ReachingDefinitions` is the reference instance — variable → set
+of line numbers whose assignment may reach this point — used by the
+tests to pin the framework's semantics and available to future rules.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Generic, Iterator, List, Optional, Set, TypeVar
+
+from repro.checks.flow.cfg import CFG, build_cfg
+
+__all__ = [
+    "ForwardAnalysis",
+    "ReachingDefinitions",
+    "assigned_names",
+    "statement_envs",
+]
+
+V = TypeVar("V")
+Env = Dict[str, V]
+
+
+def assigned_names(target: ast.AST) -> Iterator[str]:
+    """Plain names bound by an assignment target (tuples unpacked)."""
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from assigned_names(element)
+    elif isinstance(target, ast.Starred):
+        yield from assigned_names(target.value)
+
+
+class ForwardAnalysis(Generic[V]):
+    """Worklist forward dataflow; subclasses define the value domain."""
+
+    def initial_env(self, fn: ast.AST) -> Env:
+        """Environment at function entry (usually parameter seeds)."""
+        return {}
+
+    def join_values(self, left: V, right: V) -> V:
+        raise NotImplementedError
+
+    def transfer(self, env: Env, stmt: ast.stmt) -> Env:
+        """Return the environment after ``stmt`` (header-shallow)."""
+        raise NotImplementedError
+
+    # -- driver ----------------------------------------------------------
+    def join_envs(self, envs: List[Env]) -> Env:
+        if not envs:
+            return {}
+        merged: Env = dict(envs[0])
+        for env in envs[1:]:
+            for name, value in env.items():
+                if name in merged:
+                    merged[name] = self.join_values(merged[name], value)
+                else:
+                    merged[name] = value
+        return merged
+
+    def run(self, fn: ast.AST, cfg: Optional[CFG] = None) -> Dict[int, Env]:
+        """Fixpoint block-input environments, keyed by block id."""
+        if cfg is None:
+            cfg = build_cfg(fn)
+        preds = cfg.predecessors()
+        env_in: Dict[int, Env] = {cfg.entry_id: self.initial_env(fn)}
+        env_out: Dict[int, Env] = {}
+        worklist = [cfg.entry_id]
+        iterations = 0
+        limit = 50 * max(len(cfg.blocks), 1)
+        while worklist and iterations < limit:
+            iterations += 1
+            block_id = worklist.pop(0)
+            block = cfg.blocks[block_id]
+            incoming = [env_out[p] for p in preds[block_id] if p in env_out]
+            if block_id == cfg.entry_id:
+                incoming.append(self.initial_env(fn))
+            env = self.join_envs(incoming) if incoming else {}
+            env_in[block_id] = env
+            out = dict(env)
+            for stmt in block.statements:
+                out = self.transfer(out, stmt)
+            if env_out.get(block_id) != out:
+                env_out[block_id] = out
+                for succ in block.successors:
+                    if succ not in worklist:
+                        worklist.append(succ)
+        return env_in
+
+
+def statement_envs(analysis: ForwardAnalysis, fn: ast.AST,
+                   cfg: Optional[CFG] = None) -> Dict[int, Dict]:
+    """Environment *before* each statement, keyed by ``id(stmt)``.
+
+    Replays each block's transfers from the fixpoint block inputs, so a
+    rule can ask "what is known where this expression sits?".
+    """
+    if cfg is None:
+        cfg = build_cfg(fn)
+    env_in = analysis.run(fn, cfg)
+    at_stmt: Dict[int, Dict] = {}
+    for block_id, block in cfg.blocks.items():
+        env = dict(env_in.get(block_id, {}))
+        for stmt in block.statements:
+            at_stmt[id(stmt)] = env
+            env = analysis.transfer(env, stmt)
+    return at_stmt
+
+
+class ReachingDefinitions(ForwardAnalysis[Set[int]]):
+    """Variable → set of assignment line numbers that may reach here."""
+
+    def join_values(self, left: Set[int], right: Set[int]) -> Set[int]:
+        return left | right
+
+    def initial_env(self, fn: ast.AST) -> Dict[str, Set[int]]:
+        env: Dict[str, Set[int]] = {}
+        args = getattr(fn, "args", None)
+        if args is not None:
+            lineno = getattr(fn, "lineno", 0)
+            for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+                env[arg.arg] = {lineno}
+            for extra in (args.vararg, args.kwarg):
+                if extra is not None:
+                    env[extra.arg] = {lineno}
+        return env
+
+    def transfer(self, env: Dict[str, Set[int]],
+                 stmt: ast.stmt) -> Dict[str, Set[int]]:
+        out = dict(env)
+        line = getattr(stmt, "lineno", 0)
+
+        def define(target: ast.AST) -> None:
+            for name in assigned_names(target):
+                out[name] = {line}
+
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                define(target)
+        elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+            define(stmt.target)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            define(stmt.target)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                if item.optional_vars is not None:
+                    define(item.optional_vars)
+        return out

@@ -1,0 +1,495 @@
+"""Dimensional-flow rules (family ``F6``) for :mod:`repro.checks.flow`.
+
+The per-file ``U1xx`` family reads dimensions off the trailing
+``_suffix`` naming convention, literal by literal; these rules *infer*
+dimensions and propagate them through assignments, arithmetic, returns
+and call sites, so a dB-vs-linear or seconds-vs-bits slip is caught even
+when it crosses a function (or file) boundary:
+
+* ``F601 flow-dimension-mismatch`` — additive arithmetic or comparison
+  between values whose *inferred* dimensions differ (the syntactic
+  both-sides-suffixed case stays with ``U103``);
+* ``F602 flow-db-linear-mix`` — inferred decibel (level) and linear
+  power meeting in ``+``/``-`` (the syntactic case stays with ``U102``);
+* ``F603 call-dimension-mismatch`` — an argument whose inferred
+  dimension contradicts the dimension the callee's parameter name
+  declares (``fibre_delay(distance_m=duration_s)``).
+
+Dimension facts come from three sources, then flow through the forward
+dataflow of :mod:`repro.checks.flow.dataflow`:
+
+1. the ``_suffix`` convention on names, parameters and attributes;
+2. :mod:`repro.units` — its constants (``NS``, ``GBPS``, ``MILLIWATT``)
+   carry the dimension they scale, and its conversion helpers
+   (``dbm_to_w``, ``mw_to_dbm``, ``fibre_delay``, …) have pinned return
+   dimensions;
+3. inferred per-function return summaries, iterated to a fixpoint over
+   the project call graph, so ``detour_delay()`` is known to be time
+   wherever it is called.
+
+Multiplication and division combine dimensions through a small algebra
+(``rate × time → data``, ``data / rate → time``, ``energy / time →
+power``); anything outside the table degrades to *unknown*, and every
+rule stays silent whenever either side is unknown — the analyses are
+tuned to miss rather than cry wolf.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+from repro.checks.engine import FileContext, Finding, ProjectRule
+from repro.checks.flow.cfg import CFG, build_cfg
+from repro.checks.flow.dataflow import (
+    ForwardAnalysis,
+    assigned_names,
+    statement_envs,
+)
+from repro.checks.flow.project import FunctionInfo, Project
+from repro.checks.units_rules import _trailing_name, dimension_of
+
+__all__ = [
+    "DIMENSION_FLOW_RULES",
+    "DimensionInference",
+    "FlowDimensionMismatchRule",
+    "FlowDbLinearMixRule",
+    "CallDimensionMismatchRule",
+    "UNIT_CONSTANT_DIMS",
+    "CONVERSION_RETURNS",
+]
+
+
+#: repro.units constants → the dimension of the quantity they scale.
+UNIT_CONSTANT_DIMS: Dict[str, str] = {
+    "SECOND": "time", "MILLISECOND": "time", "MICROSECOND": "time",
+    "NANOSECOND": "time", "PICOSECOND": "time",
+    "MS": "time", "US": "time", "NS": "time", "PS": "time",
+    "BIT": "data", "BYTE": "data", "KILOBYTE": "data", "KIB": "data",
+    "MEGABYTE": "data", "MIB": "data",
+    "BPS": "rate", "KBPS": "rate", "MBPS": "rate", "GBPS": "rate",
+    "TBPS": "rate", "PBPS": "rate",
+    "WATT": "power", "MILLIWATT": "power", "MICROWATT": "power",
+    "KILOWATT": "power", "MEGAWATT": "power",
+    "JOULE": "energy", "PICOJOULE": "energy",
+    "METRE": "length", "KILOMETRE": "length", "NANOMETRE": "length",
+    "HERTZ": "frequency", "GIGAHERTZ": "frequency",
+    "C_BAND_CENTRE_NM": "length", "ITU_GRID_SPACING_GHZ": "frequency",
+}
+
+#: repro.units conversion helpers → return dimension (by bare name, so
+#: fixtures and aliased imports resolve the same way).
+CONVERSION_RETURNS: Dict[str, Optional[str]] = {
+    "dbm_to_mw": "power", "dbm_to_w": "power",
+    "mw_to_dbm": "level", "w_to_dbm": "level",
+    "db_ratio": "level", "db_to_ratio": None,
+    "fibre_delay": "time", "transmission_time": "time",
+    "wavelength_nm": "length",
+}
+
+#: Dimension algebra for multiplication (symmetric).
+_MUL_TABLE: Dict[FrozenSet[str], str] = {
+    frozenset(("rate", "time")): "data",
+    frozenset(("power", "time")): "energy",
+    frozenset(("frequency", "time")): "",  # dimensionless count
+}
+
+#: Dimension algebra for division: (numerator, denominator) → result.
+_DIV_TABLE: Dict[Tuple[str, str], Optional[str]] = {
+    ("data", "rate"): "time",
+    ("data", "time"): "rate",
+    ("energy", "time"): "power",
+    ("energy", "power"): "time",
+    ("time", "time"): None,
+    ("length", "time"): None,  # a speed; not in the suffix vocabulary
+}
+
+#: Builtins whose result keeps their (first) argument's dimension.
+_PASSTHROUGH_BUILTINS = frozenset({"abs", "float", "round", "min", "max"})
+
+
+class _DimensionAnalysis(ForwardAnalysis[Optional[str]]):
+    """Variable → inferred dimension, joined to unknown on conflict."""
+
+    def __init__(self, inference: "DimensionInference",
+                 info: FunctionInfo) -> None:
+        self.inference = inference
+        self.info = info
+
+    def initial_env(self, fn: ast.AST) -> Dict[str, Optional[str]]:
+        env: Dict[str, Optional[str]] = {}
+        args = getattr(fn, "args", None)
+        if args is not None:
+            for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+                dim = dimension_of(arg.arg)
+                if dim is not None:
+                    env[arg.arg] = dim
+        return env
+
+    def join_values(self, left: Optional[str],
+                    right: Optional[str]) -> Optional[str]:
+        return left if left == right else None
+
+    def transfer(self, env: Dict[str, Optional[str]],
+                 stmt: ast.stmt) -> Dict[str, Optional[str]]:
+        out = dict(env)
+        infer = self.inference
+
+        def bind(target: ast.AST, dim: Optional[str]) -> None:
+            names = list(assigned_names(target))
+            if isinstance(target, ast.Name) and dim is not None:
+                out[target.id] = dim
+            else:
+                for name in names:
+                    out.pop(name, None)
+
+        if isinstance(stmt, ast.Assign):
+            dim = infer.dim_of(stmt.value, out, self.info)
+            for target in stmt.targets:
+                bind(target, dim)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            bind(stmt.target, infer.dim_of(stmt.value, out, self.info))
+        elif isinstance(stmt, ast.AugAssign):
+            if isinstance(stmt.target, ast.Name):
+                current = infer.dim_of(stmt.target, out, self.info)
+                if isinstance(stmt.op, (ast.Add, ast.Sub)):
+                    bind(stmt.target, current)
+                else:
+                    combined = infer.combine(
+                        stmt.op, current,
+                        infer.dim_of(stmt.value, out, self.info))
+                    bind(stmt.target, combined)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            # ``for d in delays_s:`` — the element inherits the
+            # container's declared dimension.
+            bind(stmt.target, infer.dim_of(stmt.iter, out, self.info))
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                if item.optional_vars is not None:
+                    bind(item.optional_vars, None)
+        return out
+
+
+class DimensionInference:
+    """Shared dimension facts for one :class:`Project`.
+
+    Holds the per-function return summaries (iterated to a fixpoint)
+    and per-function statement environments, computed once and shared
+    by the three ``F6xx`` rules.
+    """
+
+    #: Fixpoint passes over the call graph; dimension summaries are
+    #: monotone over a finite domain, so this small bound suffices.
+    MAX_PASSES = 3
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        self.summaries: Dict[str, Optional[str]] = {}
+        self._cfgs: Dict[str, CFG] = {}
+        self._envs: Dict[str, Dict[int, Dict[str, Optional[str]]]] = {}
+        self._infer_summaries()
+
+    # -- summaries -----------------------------------------------------------
+    def _infer_summaries(self) -> None:
+        for qualname, info in self.project.functions.items():
+            named = dimension_of(info.name)
+            if info.name in CONVERSION_RETURNS:
+                self.summaries[qualname] = CONVERSION_RETURNS[info.name]
+            elif named is not None:
+                self.summaries[qualname] = named
+        for _ in range(self.MAX_PASSES):
+            changed = False
+            for qualname, info in self.project.functions.items():
+                if info.name in CONVERSION_RETURNS:
+                    continue
+                inferred = self._return_dim(info)
+                if inferred is not None and (
+                        self.summaries.get(qualname) != inferred):
+                    self.summaries[qualname] = inferred
+                    changed = True
+            self._envs.clear()
+            if not changed:
+                break
+
+    def _return_dim(self, info: FunctionInfo) -> Optional[str]:
+        envs = self.envs_for(info)
+        dims: List[Optional[str]] = []
+        for stmt, env in self._statements(info, envs):
+            if isinstance(stmt, ast.Return) and stmt.value is not None:
+                dims.append(self.dim_of(stmt.value, env, info))
+        if not dims or any(dim is None for dim in dims):
+            return None
+        return dims[0] if len(set(dims)) == 1 else None
+
+    # -- per-function environments ------------------------------------------
+    def cfg_for(self, info: FunctionInfo) -> CFG:
+        cfg = self._cfgs.get(info.qualname)
+        if cfg is None:
+            cfg = self._cfgs[info.qualname] = build_cfg(info.node)
+        return cfg
+
+    def envs_for(self, info: FunctionInfo,
+                 ) -> Dict[int, Dict[str, Optional[str]]]:
+        envs = self._envs.get(info.qualname)
+        if envs is None:
+            analysis = _DimensionAnalysis(self, info)
+            envs = statement_envs(analysis, info.node, self.cfg_for(info))
+            self._envs[info.qualname] = envs
+        return envs
+
+    def _statements(self, info: FunctionInfo,
+                    envs: Dict[int, Dict]) -> Iterator[Tuple[ast.stmt, Dict]]:
+        for block in self.cfg_for(info).blocks.values():
+            for stmt in block.statements:
+                yield stmt, envs.get(id(stmt), {})
+
+    # -- expression dimensions -----------------------------------------------
+    def dim_of(self, expr: ast.AST, env: Dict[str, Optional[str]],
+               info: FunctionInfo) -> Optional[str]:
+        if isinstance(expr, ast.Name):
+            if expr.id in env:
+                return env[expr.id]
+            if expr.id in UNIT_CONSTANT_DIMS:
+                return UNIT_CONSTANT_DIMS[expr.id]
+            return dimension_of(expr.id)
+        if isinstance(expr, ast.Attribute):
+            if expr.attr in UNIT_CONSTANT_DIMS and self._is_units_module(
+                    expr.value, info):
+                return UNIT_CONSTANT_DIMS[expr.attr]
+            return dimension_of(expr.attr)
+        if isinstance(expr, ast.Subscript):
+            return self.dim_of(expr.value, env, info)
+        if isinstance(expr, ast.UnaryOp):
+            return self.dim_of(expr.operand, env, info)
+        if isinstance(expr, ast.BinOp):
+            left = self.dim_of(expr.left, env, info)
+            right = self.dim_of(expr.right, env, info)
+            return self.combine(expr.op, left, right)
+        if isinstance(expr, ast.IfExp):
+            body = self.dim_of(expr.body, env, info)
+            orelse = self.dim_of(expr.orelse, env, info)
+            return body if body == orelse else None
+        if isinstance(expr, ast.Call):
+            return self._call_dim(expr, env, info)
+        return None
+
+    def combine(self, op: ast.operator, left: Optional[str],
+                right: Optional[str]) -> Optional[str]:
+        if isinstance(op, (ast.Add, ast.Sub)):
+            return left if left == right else None
+        if isinstance(op, ast.Mult):
+            if left is not None and right is not None:
+                return _MUL_TABLE.get(frozenset((left, right))) or None
+            return left if right is None else right
+        if isinstance(op, (ast.Div, ast.FloorDiv)):
+            if left is not None and right is not None:
+                return _DIV_TABLE.get((left, right))
+            return left if right is None else None
+        if isinstance(op, ast.Mod):
+            return left
+        return None
+
+    def _call_dim(self, call: ast.Call, env: Dict[str, Optional[str]],
+                  info: FunctionInfo) -> Optional[str]:
+        func = call.func
+        callee_name = (func.id if isinstance(func, ast.Name)
+                       else func.attr if isinstance(func, ast.Attribute)
+                       else None)
+        if callee_name in CONVERSION_RETURNS:
+            return CONVERSION_RETURNS[callee_name]
+        if callee_name in _PASSTHROUGH_BUILTINS and call.args:
+            candidates = {self.dim_of(arg, env, info) for arg in call.args}
+            return candidates.pop() if len(candidates) == 1 else None
+        resolved = self.project.resolve_call(call, info)
+        if resolved:
+            candidates = {self.summaries.get(callee) for callee in resolved}
+            if len(candidates) == 1:
+                return candidates.pop()
+            return None
+        if callee_name is not None:
+            return dimension_of(callee_name)
+        return None
+
+    def _is_units_module(self, owner: ast.AST, info: FunctionInfo) -> bool:
+        if not isinstance(owner, ast.Name):
+            return False
+        target = self.project.imports.get(info.module, {}).get(owner.id, "")
+        return target.endswith("units")
+
+    # -- shared traversal helpers for the rules ------------------------------
+    def own_expressions(self, stmt: ast.stmt) -> Iterator[ast.AST]:
+        """Expression trees evaluated *at* ``stmt`` (headers shallow)."""
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                yield from self._walk_expr(child)
+
+    @staticmethod
+    def _walk_expr(expr: ast.AST) -> Iterator[ast.AST]:
+        stack = [expr]
+        while stack:
+            node = stack.pop()
+            yield node
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.expr, ast.keyword,
+                                      ast.comprehension)):
+                    stack.append(child)
+
+
+def _syntactic_dims_conflict(left: ast.AST, right: ast.AST) -> bool:
+    """True when the per-file U102/U103 rules already cover this pair."""
+    left_dim = dimension_of(_trailing_name(left))
+    right_dim = dimension_of(_trailing_name(right))
+    return (left_dim is not None and right_dim is not None
+            and left_dim != right_dim)
+
+
+class _DimensionFlowRule(ProjectRule):
+    """Shared machinery: iterate functions with their inferred envs."""
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        inference = project.shared(DimensionInference)
+        for info in project.functions.values():
+            envs = inference.envs_for(info)
+            for stmt, env in inference._statements(info, envs):
+                yield from self.check_statement(inference, info, stmt, env)
+
+    def check_statement(self, inference: DimensionInference,
+                        info: FunctionInfo, stmt: ast.stmt,
+                        env: Dict[str, Optional[str]]) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding_at(self, ctx: FileContext, node: ast.AST,
+                   message: str) -> Finding:
+        return self.finding(ctx, node, message)
+
+
+def _describe(node: ast.AST, ctx: FileContext) -> str:
+    segment = ast.get_source_segment(ctx.source, node)
+    if segment is None:
+        return "<expr>"
+    segment = " ".join(segment.split())
+    return segment if len(segment) <= 40 else segment[:37] + "..."
+
+
+class FlowDimensionMismatchRule(_DimensionFlowRule):
+    """Flag additive arithmetic/comparison over conflicting inferred dims."""
+
+    code = "F601"
+    name = "flow-dimension-mismatch"
+    description = ("add/sub/compare between values whose inferred "
+                   "dimensions differ (cross-assignment/function)")
+
+    #: The dB/linear pair belongs to F602.
+    _excluded_pair = frozenset(("level", "power"))
+
+    def check_statement(self, inference: DimensionInference,
+                        info: FunctionInfo, stmt: ast.stmt,
+                        env: Dict[str, Optional[str]]) -> Iterator[Finding]:
+        for expr in inference.own_expressions(stmt):
+            pairs: List[Tuple[ast.AST, ast.AST, ast.AST]] = []
+            if isinstance(expr, ast.BinOp) and isinstance(
+                    expr.op, (ast.Add, ast.Sub)):
+                pairs.append((expr, expr.left, expr.right))
+            elif isinstance(expr, ast.Compare):
+                operands = [expr.left, *expr.comparators]
+                pairs.extend((expr, a, b)
+                             for a, b in zip(operands, operands[1:]))
+            for anchor, left, right in pairs:
+                left_dim = inference.dim_of(left, env, info)
+                right_dim = inference.dim_of(right, env, info)
+                if (left_dim is None or right_dim is None
+                        or left_dim == right_dim):
+                    continue
+                if {left_dim, right_dim} == self._excluded_pair:
+                    continue
+                if _syntactic_dims_conflict(left, right):
+                    continue  # U102/U103 already report this pair
+                yield self.finding_at(
+                    info.ctx, anchor,
+                    f"inferred dimension mismatch in {info.short}: "
+                    f"{_describe(left, info.ctx)!r} is {left_dim} but "
+                    f"{_describe(right, info.ctx)!r} is {right_dim}",
+                )
+
+
+class FlowDbLinearMixRule(_DimensionFlowRule):
+    """Flag inferred decibel/linear power meeting in ``+``/``-``."""
+
+    code = "F602"
+    name = "flow-db-linear-mix"
+    description = ("inferred decibel (level) and linear power mixed in "
+                   "additive arithmetic across assignments/functions")
+
+    def check_statement(self, inference: DimensionInference,
+                        info: FunctionInfo, stmt: ast.stmt,
+                        env: Dict[str, Optional[str]]) -> Iterator[Finding]:
+        for expr in inference.own_expressions(stmt):
+            if not (isinstance(expr, ast.BinOp)
+                    and isinstance(expr.op, (ast.Add, ast.Sub))):
+                continue
+            left_dim = inference.dim_of(expr.left, env, info)
+            right_dim = inference.dim_of(expr.right, env, info)
+            if {left_dim, right_dim} != {"level", "power"}:
+                continue
+            if _syntactic_dims_conflict(expr.left, expr.right):
+                continue  # U102 already reports this pair
+            yield self.finding_at(
+                info.ctx, expr,
+                f"inferred dB/linear mix in {info.short}: "
+                f"{_describe(expr.left, info.ctx)!r} is {left_dim} but "
+                f"{_describe(expr.right, info.ctx)!r} is {right_dim} "
+                "(convert with dbm_to_w/w_to_dbm first)",
+            )
+
+
+class CallDimensionMismatchRule(_DimensionFlowRule):
+    """Flag arguments contradicting the callee parameter's dimension."""
+
+    code = "F603"
+    name = "call-dimension-mismatch"
+    description = ("argument's inferred dimension contradicts the "
+                   "dimension the parameter name declares")
+
+    def check_statement(self, inference: DimensionInference,
+                        info: FunctionInfo, stmt: ast.stmt,
+                        env: Dict[str, Optional[str]]) -> Iterator[Finding]:
+        project = inference.project
+        for expr in inference.own_expressions(stmt):
+            if not isinstance(expr, ast.Call):
+                continue
+            resolved = project.resolve_call(expr, info)
+            if len(resolved) != 1:
+                continue  # ambiguous targets: stay silent
+            callee = project.functions[resolved[0]]
+            for param, arg in self._bind(callee, expr):
+                param_dim = dimension_of(param)
+                if param_dim is None:
+                    continue
+                arg_dim = inference.dim_of(arg, env, info)
+                if arg_dim is None or arg_dim == param_dim:
+                    continue
+                yield self.finding_at(
+                    info.ctx, arg,
+                    f"argument {_describe(arg, info.ctx)!r} to "
+                    f"{callee.short}(...) is {arg_dim} but parameter "
+                    f"{param!r} declares {param_dim}",
+                )
+
+    @staticmethod
+    def _bind(callee: FunctionInfo,
+              call: ast.Call) -> Iterator[Tuple[str, ast.AST]]:
+        if not callee.has_vararg:
+            for param, arg in zip(callee.params, call.args):
+                if not isinstance(arg, ast.Starred):
+                    yield param, arg
+        accepted = set(callee.params) | set(callee.kwonly)
+        for keyword in call.keywords:
+            if keyword.arg is not None and keyword.arg in accepted:
+                yield keyword.arg, keyword.value
+
+
+DIMENSION_FLOW_RULES = [
+    FlowDimensionMismatchRule(),
+    FlowDbLinearMixRule(),
+    CallDimensionMismatchRule(),
+]

@@ -1,0 +1,329 @@
+"""Determinism-taint rules (family ``T7``) for :mod:`repro.checks.flow`.
+
+The benchmark sweeps (Figs 9-13) are bit-for-bit reproducible only if no
+value that feeds simulation state depends on wall-clock time, OS
+entropy, unseeded randomness or hash-seed-dependent iteration order.
+The per-file ``D2xx`` family flags those *sources* wherever they occur;
+this family follows the call graph to answer the question that actually
+matters: **can a nondeterministic value reach a simulation run?**
+
+* ``T701 nondet-reaches-run`` — a taint source lexically inside a
+  function reachable (via the project call graph, closures included)
+  from a simulation entry point (``SiriusNetwork.run``,
+  ``FluidNetwork.run``, the ``ParallelSweepRunner`` job functions).
+  The finding is anchored at the source and its message shows the call
+  chain from the entry point.
+* ``T702 tainted-return`` — a function in a simulation-critical package
+  returns a value *derived* from a taint source (via the intra-function
+  forward taint dataflow, plus one level of return-taint summaries, so
+  ``def jitter(): return scaled(now())`` is caught through the helper).
+
+Taint sources: ``time.time``/``monotonic``/``perf_counter``/… calls,
+``os.urandom``, ``datetime.now``/``utcnow``/``today``, ``uuid.uuid1``/
+``uuid4``, draws from the global ``random``/``np.random`` state,
+unseeded ``random.Random()``/``default_rng()`` construction, and
+iteration over set expressions (``PYTHONHASHSEED`` order).
+
+Observability modules (``repro.obs``) are exempt: the profiler's whole
+job is to read the wall clock, and its readings never feed simulation
+state.  A set-iteration source already suppressed for ``D203`` is not
+re-reported — the justification that the order cannot matter covers the
+interprocedural finding too.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.checks.determinism_rules import (
+    _global_rng_target,
+    _import_aliases,
+)
+from repro.checks.determinism_rules import (
+    SetIterationRule,
+    UnseededRngRule,
+)
+from repro.checks.engine import Finding, ProjectRule
+from repro.checks.flow.dataflow import (
+    ForwardAnalysis,
+    assigned_names,
+    statement_envs,
+)
+from repro.checks.flow.project import FunctionInfo, Project
+
+__all__ = [
+    "TAINT_FLOW_RULES",
+    "TaintAnalysis",
+    "NondetReachesRunRule",
+    "TaintedReturnRule",
+    "ENTRY_POINT_SUFFIXES",
+    "EXEMPT_MODULE_PREFIXES",
+]
+
+#: Functions whose qualname ends with one of these are simulation entry
+#: points: anything they (transitively) call must be deterministic.
+ENTRY_POINT_SUFFIXES: Tuple[str, ...] = (
+    "SiriusNetwork.run",
+    "FluidNetwork.run",
+    "ParallelSweepRunner.map",
+    "run_sirius_job",
+    "run_fluid_job",
+)
+
+#: Modules where wall-clock reads are the point (profiling/observability).
+EXEMPT_MODULE_PREFIXES: Tuple[str, ...] = ("repro.obs",)
+
+#: Packages whose functions must not *return* tainted values (T702).
+SIM_CRITICAL_PREFIXES: Tuple[str, ...] = (
+    "repro.core", "repro.sim", "repro.phy", "repro.optics",
+    "repro.workload", "repro.sync", "repro.topology", "repro.units",
+    "repro.analysis",
+)
+
+_TIME_FNS = frozenset({
+    "time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+    "perf_counter_ns", "process_time", "process_time_ns", "localtime",
+    "gmtime",
+})
+_DATETIME_FNS = frozenset({"now", "utcnow", "today"})
+_UUID_FNS = frozenset({"uuid1", "uuid4"})
+
+
+def _source_in_call(call: ast.Call,
+                    aliases: Dict[str, str]) -> Optional[str]:
+    """Describe the taint source a call represents, or None."""
+    func = call.func
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        owner, attr = func.value.id, func.attr
+        target = aliases.get(owner, owner)
+        if target == "time" and attr in _TIME_FNS:
+            return f"time.{attr}() reads the wall clock"
+        if target == "os" and attr == "urandom":
+            return "os.urandom() draws OS entropy"
+        if target in ("datetime", "datetime.datetime", "date") and (
+                attr in _DATETIME_FNS):
+            return f"datetime.{attr}() reads the wall clock"
+        if target == "uuid" and attr in _UUID_FNS:
+            return f"uuid.{attr}() is entropy/clock-derived"
+    rng = _global_rng_target(call, aliases)
+    if rng is not None:
+        return f"{rng}() draws from the unseeded global RNG"
+    ctor = UnseededRngRule._rng_constructor(call, aliases)
+    if ctor == "random.SystemRandom":
+        return "random.SystemRandom() can never be seeded"
+    if ctor is not None and not call.args and not call.keywords:
+        return f"{ctor}() constructed without a seed"
+    return None
+
+
+class TaintAnalysis:
+    """Shared taint facts for one :class:`Project`.
+
+    Computes, per function: the lexical taint sources it contains, and
+    a return-taint summary (does it return a source-derived value?),
+    iterated once so single-level helper indirection is covered.
+    """
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        self._aliases: Dict[str, Dict[str, str]] = {}
+        #: qualname -> [(source node, description)]
+        self.sources: Dict[str, List[Tuple[ast.AST, str]]] = {}
+        #: qualnames whose return value derives from a source
+        self.tainted_returns: Dict[str, Tuple[ast.AST, str]] = {}
+        for info in project.functions.values():
+            if self._exempt(info.module):
+                continue
+            self.sources[info.qualname] = list(self._collect_sources(info))
+        # Two passes: the second sees helper summaries from the first.
+        for _ in range(2):
+            changed = False
+            for info in project.functions.values():
+                if self._exempt(info.module):
+                    continue
+                if info.qualname in self.tainted_returns:
+                    continue
+                found = self._tainted_return(info)
+                if found is not None:
+                    self.tainted_returns[info.qualname] = found
+                    changed = True
+            if not changed:
+                break
+
+    @staticmethod
+    def _exempt(module: str) -> bool:
+        return any(module == prefix or module.startswith(prefix + ".")
+                   for prefix in EXEMPT_MODULE_PREFIXES)
+
+    def aliases_for(self, info: FunctionInfo) -> Dict[str, str]:
+        aliases = self._aliases.get(info.module)
+        if aliases is None:
+            aliases = dict(_import_aliases(info.ctx.tree))
+            for node in ast.walk(info.ctx.tree):
+                if isinstance(node, ast.Import):
+                    for item in node.names:
+                        aliases.setdefault(item.asname
+                                           or item.name.split(".")[0],
+                                           item.name)
+                elif isinstance(node, ast.ImportFrom) and node.module:
+                    for item in node.names:
+                        if item.name != "*":
+                            aliases.setdefault(
+                                item.asname or item.name,
+                                f"{node.module}.{item.name}")
+            self._aliases[info.module] = aliases
+        return aliases
+
+    # -- lexical sources -----------------------------------------------------
+    def _collect_sources(self, info: FunctionInfo,
+                         ) -> Iterator[Tuple[ast.AST, str]]:
+        aliases = self.aliases_for(info)
+        suppressions = info.ctx.suppressions
+        for node in self.project._own_nodes(info):
+            if isinstance(node, ast.Call):
+                described = _source_in_call(node, aliases)
+                if described is not None:
+                    yield node, described
+            elif isinstance(node, (ast.For, ast.ListComp, ast.SetComp,
+                                   ast.DictComp, ast.GeneratorExp)):
+                iterables = ([node.iter] if isinstance(node, ast.For) else
+                             [gen.iter for gen in node.generators])
+                for iterable in iterables:
+                    if not SetIterationRule._is_set_expr(iterable):
+                        continue
+                    line_rules = suppressions.get(
+                        getattr(iterable, "lineno", 0), set())
+                    if {"D203", "set-iteration"} & line_rules:
+                        continue  # the D203 justification covers us
+                    yield (iterable,
+                           "set iteration has PYTHONHASHSEED-dependent "
+                           "order")
+
+    # -- return taint --------------------------------------------------------
+    def _tainted_return(self, info: FunctionInfo,
+                        ) -> Optional[Tuple[ast.AST, str]]:
+        analysis = _TaintDataflow(self, info)
+        envs = statement_envs(analysis, info.node)
+        for stmt in self.project._own_nodes(info):
+            if not isinstance(stmt, ast.Return) or stmt.value is None:
+                continue
+            env = envs.get(id(stmt))
+            if env is None:
+                continue
+            reason = analysis.expr_taint(env, stmt.value)
+            if reason is not None:
+                return stmt, reason
+        return None
+
+
+class _TaintDataflow(ForwardAnalysis[str]):
+    """Variable → taint reason (absent = clean)."""
+
+    def __init__(self, analysis: TaintAnalysis, info: FunctionInfo) -> None:
+        self.analysis = analysis
+        self.info = info
+        self.aliases = analysis.aliases_for(info)
+
+    def join_values(self, left: str, right: str) -> str:
+        return left
+
+    def expr_taint(self, env: Dict[str, str],
+                   expr: ast.AST) -> Optional[str]:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Name) and node.id in env:
+                return env[node.id]
+            if isinstance(node, ast.Call):
+                described = _source_in_call(node, self.aliases)
+                if described is not None:
+                    return described
+                for callee in self.analysis.project.resolve_call(
+                        node, self.info):
+                    summary = self.analysis.tainted_returns.get(callee)
+                    if summary is not None:
+                        short = self.analysis.project.functions[callee].short
+                        return f"{short}() returns a tainted value"
+        return None
+
+    def transfer(self, env: Dict[str, str], stmt: ast.stmt) -> Dict[str, str]:
+        out = dict(env)
+
+        def bind(target: ast.AST, reason: Optional[str]) -> None:
+            for name in assigned_names(target):
+                if reason is not None:
+                    out[name] = reason
+                else:
+                    out.pop(name, None)
+
+        if isinstance(stmt, ast.Assign):
+            reason = self.expr_taint(out, stmt.value)
+            for target in stmt.targets:
+                bind(target, reason)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            bind(stmt.target, self.expr_taint(out, stmt.value))
+        elif isinstance(stmt, ast.AugAssign):
+            reason = self.expr_taint(out, stmt.value)
+            if reason is not None:
+                bind(stmt.target, reason)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            bind(stmt.target, self.expr_taint(out, stmt.iter))
+        return out
+
+
+class NondetReachesRunRule(ProjectRule):
+    """Flag taint sources reachable from a simulation entry point."""
+
+    code = "T701"
+    name = "nondet-reaches-run"
+    description = ("nondeterminism source reachable from SiriusNetwork/"
+                   "FluidNetwork.run or a sweep job via the call graph")
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        taint = project.shared(TaintAnalysis)
+        entries = [
+            qualname for qualname in project.functions
+            if any(qualname == suffix or qualname.endswith("." + suffix)
+                   for suffix in ENTRY_POINT_SUFFIXES)
+        ]
+        if not entries:
+            return
+        reached = project.reachable_from(entries)
+        for qualname in sorted(reached):
+            info = project.functions[qualname]
+            for node, described in taint.sources.get(qualname, ()):
+                chain = [project.functions[q].short
+                         for q in project.call_path(reached, qualname)]
+                yield self.finding(
+                    info.ctx, node,
+                    f"{described}; reachable from simulation entry point "
+                    f"via {' -> '.join(chain)}",
+                )
+
+
+class TaintedReturnRule(ProjectRule):
+    """Flag sim-critical functions returning source-derived values."""
+
+    code = "T702"
+    name = "tainted-return"
+    description = ("function in a simulation-critical package returns a "
+                   "value derived from a nondeterminism source")
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        taint = project.shared(TaintAnalysis)
+        for qualname, (stmt, reason) in sorted(
+                taint.tainted_returns.items()):
+            info = project.functions[qualname]
+            if not self._sim_critical(info.module):
+                continue
+            yield self.finding(
+                info.ctx, stmt,
+                f"{info.short} returns a nondeterministic value: {reason}",
+            )
+
+    @staticmethod
+    def _sim_critical(module: str) -> bool:
+        return any(module == prefix or module.startswith(prefix + ".")
+                   for prefix in SIM_CRITICAL_PREFIXES)
+
+
+TAINT_FLOW_RULES = [NondetReachesRunRule(), TaintedReturnRule()]

@@ -113,11 +113,31 @@ _SCI_LITERAL_RE = re.compile(
 )
 
 
+def _literal_segment(ctx: FileContext, node: ast.AST) -> Optional[str]:
+    """Single-line source text of ``node`` via the cached line table.
+
+    ``ast.get_source_segment`` re-splits the whole file per call, which
+    dominated lint runtime; numeric literals never span lines, so a
+    line/column slice is equivalent and O(segment).
+    """
+    line = getattr(node, "lineno", None)
+    if line is None or getattr(node, "end_lineno", line) != line:
+        return None
+    # ast column offsets count UTF-8 bytes, not code points.
+    raw = ctx.line(line).encode("utf-8")
+    start = getattr(node, "col_offset", 0)
+    end = getattr(node, "end_col_offset", len(raw))
+    try:
+        return raw[start:end].decode("utf-8")
+    except UnicodeDecodeError:
+        return None
+
+
 def _sci_exponent(ctx: FileContext, node: ast.Constant) -> Optional[int]:
     """Exponent of ``node`` when written in scientific notation, else None."""
     if not isinstance(node.value, (int, float)) or isinstance(node.value, bool):
         return None
-    segment = ast.get_source_segment(ctx.source, node)
+    segment = _literal_segment(ctx, node)
     if segment is None:
         return None
     match = _SCI_LITERAL_RE.match(segment.strip())
@@ -157,7 +177,7 @@ class UnitLiteralRule(Rule):
                 continue
             kind, name = context
             suggestion = self._suggest(name, exponent)
-            segment = ast.get_source_segment(ctx.source, node) or str(node.value)
+            segment = _literal_segment(ctx, node) or str(node.value)
             if kind == "binop":
                 message = (f"raw unit literal {segment} in arithmetic; "
                            f"use {suggestion} from repro.units")

@@ -587,6 +587,12 @@ class SiriusNetwork:
                             transmit_active.add(src)
                         else:
                             if src not in popped:
+                                # Deliberate fast-path asymmetry: a node
+                                # joining the sparse active set replays the
+                                # history rotations it slept through; the
+                                # reference path rotates every node every
+                                # epoch, so it has nothing to catch up.
+                                # lint: ignore[S801]
                                 nodes[src].catch_up_history()
                                 popped.add(src)
                             control_active.add(src)
@@ -615,6 +621,9 @@ class SiriusNetwork:
                                 transmit_active.add(idx)
                             else:
                                 if idx not in popped:
+                                    # Deliberate fast-path asymmetry: see
+                                    # the admission-time catch-up above.
+                                    # lint: ignore[S801]
                                     node.catch_up_history()
                                     popped.add(idx)
                                 control_active.add(idx)
@@ -647,6 +656,9 @@ class SiriusNetwork:
                                 continue
                             nodes[src].grant_inbox.append((idx, dst))
                             if src not in popped:
+                                # Deliberate fast-path asymmetry: see the
+                                # admission-time catch-up above.
+                                # lint: ignore[S801]
                                 nodes[src].catch_up_history()
                                 popped.add(src)
                             control_active.add(src)

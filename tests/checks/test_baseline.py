@@ -85,3 +85,42 @@ class TestDiff:
         new, stale = diff_against_baseline(findings, baseline)
         assert new == []
         assert stale == ["gone::U101::x / 1e-9"]
+
+
+class TestDeterministicWrites:
+    def _findings(self):
+        from repro.checks.engine import Finding
+
+        return [
+            Finding(rule="U101", name="unit-literal", path="src/b.py",
+                    line=9, col=4, message="m", snippet="x / 1e-6"),
+            Finding(rule="T701", name="nondet-reaches-run", path="src/a.py",
+                    line=3, col=0, message="m", snippet="time.time()"),
+            Finding(rule="F601", name="flow-dimension-mismatch",
+                    path="src/a.py", line=7, col=2, message="m",
+                    snippet="a_s + b_bits"),
+        ]
+
+    def test_byte_identical_regardless_of_finding_order(self, tmp_path):
+        findings = self._findings()
+        forward = tmp_path / "forward.json"
+        backward = tmp_path / "backward.json"
+        write_baseline(forward, findings)
+        write_baseline(backward, list(reversed(findings)))
+        assert forward.read_bytes() == backward.read_bytes()
+
+    def test_fingerprints_sorted_by_path_then_rule(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, self._findings())
+        keys = list(json.loads(path.read_text())["fingerprints"])
+        assert keys == sorted(keys)
+        assert keys[0].startswith("src/a.py::F601")
+        assert keys[1].startswith("src/a.py::T701")
+        assert keys[2].startswith("src/b.py::U101")
+
+    def test_rewrite_of_unchanged_tree_is_a_no_op(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, self._findings())
+        first = path.read_bytes()
+        write_baseline(path, self._findings())
+        assert path.read_bytes() == first

@@ -5,7 +5,13 @@ import textwrap
 
 import pytest
 
-from repro.checks import check_source, filter_rules, format_json, format_text
+from repro.checks import (
+    check_source,
+    filter_rules,
+    format_json,
+    format_sarif,
+    format_text,
+)
 from repro.checks.engine import run_checks
 from repro.checks.registry import ALL_RULES
 from repro.checks.units_rules import UNITS_RULES, UnitLiteralRule
@@ -130,7 +136,7 @@ class TestRegistry:
 
     def test_rule_families_present(self):
         families = {rule.code[0] for rule in ALL_RULES}
-        assert families == {"U", "D", "I", "O", "P"}
+        assert families == {"U", "D", "I", "O", "P", "F", "T", "S"}
 
     def test_unit_rules_exported(self):
         assert any(isinstance(rule, UnitLiteralRule) for rule in UNITS_RULES)
@@ -150,3 +156,74 @@ class TestRobustness:
         assert parse_error.name == "parse-error"
         assert parse_error.path == "broken.py"
         assert parse_error.line == 1
+
+
+class TestSuppressionEdgeCases:
+    def test_multiple_codes_on_one_line_suppress_both(self):
+        findings = lint("""\
+        import random
+        def f(duration_s):
+            return random.random() * duration_s / 1e-6  # lint: ignore[U101, D201]
+        """)
+        assert findings == []
+
+    def test_multiple_codes_only_listed_rules_suppressed(self):
+        findings = lint("""\
+        import random
+        def f(duration_s):
+            return random.random() * duration_s / 1e-6  # lint: ignore[U101, D203]
+        """)
+        assert [f.rule for f in findings] == ["D201"]
+
+    def test_code_and_name_mixed_in_one_comment(self):
+        findings = lint("""\
+        import random
+        def f(duration_s):
+            return random.random() * duration_s / 1e-6  # lint: ignore[unit-literal, D201]
+        """)
+        assert findings == []
+
+
+class TestFamilyPrefixFiltering:
+    def test_select_letter_digit_family(self):
+        rules = filter_rules(ALL_RULES, select=["F6"])
+        assert {r.code for r in rules} == {"F601", "F602", "F603"}
+
+    def test_ignore_letter_digit_family(self):
+        rules = filter_rules(ALL_RULES, ignore=["T7"])
+        codes = {r.code for r in rules}
+        assert "T701" not in codes and "T702" not in codes
+        assert "U101" in codes
+
+    def test_family_prefix_combines_with_exact_code(self):
+        rules = filter_rules(ALL_RULES, select=["S8", "D201"])
+        assert {r.code for r in rules} == {"S801", "S802", "D201"}
+
+    def test_rule_names_are_not_treated_as_prefixes(self):
+        # "unit-literal" must match only its own rule, never act as a
+        # prefix; and a bogus family selects nothing.
+        assert filter_rules(ALL_RULES, select=["Z9"]) == []
+
+
+class TestSarifFormat:
+    def test_minimal_sarif_log_shape(self):
+        findings = lint(BAD_LITERAL)
+        log = json.loads(format_sarif(findings, rules=ALL_RULES))
+        assert log["version"] == "2.1.0"
+        (run,) = log["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "sirius-lint"
+        (rule_entry,) = driver["rules"]
+        assert rule_entry["id"] == "U101"
+        assert rule_entry["name"] == "unit-literal"
+        (result,) = run["results"]
+        assert result["ruleId"] == "U101"
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == 2
+        assert (result["partialFingerprints"]["siriusLint/v1"]
+                == findings[0].fingerprint)
+
+    def test_empty_findings_still_a_valid_log(self):
+        log = json.loads(format_sarif([]))
+        assert log["runs"][0]["results"] == []
+        assert log["runs"][0]["tool"]["driver"]["rules"] == []

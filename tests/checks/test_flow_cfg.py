@@ -1,0 +1,136 @@
+"""CFG and dataflow-framework tests for ``repro.checks.flow``."""
+
+import ast
+
+from repro.checks.flow.cfg import build_cfg
+from repro.checks.flow.dataflow import (
+    ReachingDefinitions,
+    assigned_names,
+    statement_envs,
+)
+
+
+def _fn(source):
+    tree = ast.parse(source)
+    return tree.body[0]
+
+
+def _env_at(source, marker):
+    """Reaching-definitions environment before the statement whose
+    source line contains ``marker``."""
+    fn = _fn(source)
+    envs = statement_envs(ReachingDefinitions(), fn)
+    lines = source.splitlines()
+    target_line = next(i + 1 for i, text in enumerate(lines)
+                       if marker in text)
+    for node in ast.walk(fn):
+        if getattr(node, "lineno", None) == target_line and id(node) in envs:
+            return envs[id(node)]
+    raise AssertionError(f"no statement on marker line {target_line}")
+
+
+class TestCfgShape:
+    def test_if_else_produces_branch_and_join_blocks(self):
+        cfg = build_cfg(_fn(
+            "def f(x):\n"
+            "    if x:\n"
+            "        a = 1\n"
+            "    else:\n"
+            "        a = 2\n"
+            "    return a\n"
+        ))
+        preds = cfg.predecessors()
+        join_blocks = [bid for bid, ps in preds.items() if len(ps) >= 2]
+        assert join_blocks, "if/else must rejoin somewhere"
+
+    def test_while_has_back_edge(self):
+        cfg = build_cfg(_fn(
+            "def f(n):\n"
+            "    while n:\n"
+            "        n -= 1\n"
+            "    return n\n"
+        ))
+        # Some block's successor set must include an earlier block.
+        assert any(succ <= bid for bid, block in cfg.blocks.items()
+                   for succ in block.successors if block.statements)
+
+    def test_return_routes_to_exit(self):
+        cfg = build_cfg(_fn(
+            "def f(x):\n"
+            "    if x:\n"
+            "        return 1\n"
+            "    return 2\n"
+        ))
+        return_blocks = [
+            b for b in cfg.blocks.values()
+            if any(isinstance(s, ast.Return) for s in b.statements)
+        ]
+        assert return_blocks
+        for block in return_blocks:
+            assert cfg.exit_id in block.successors
+
+    def test_try_handlers_are_reachable(self):
+        cfg = build_cfg(_fn(
+            "def f(x):\n"
+            "    try:\n"
+            "        y = risky(x)\n"
+            "    except ValueError:\n"
+            "        y = 0\n"
+            "    return y\n"
+        ))
+        handler_stmts = sum(
+            1 for b in cfg.blocks.values() for s in b.statements
+            if isinstance(s, ast.Assign)
+        )
+        assert handler_stmts == 2  # both assignments present in blocks
+
+
+class TestAssignedNames:
+    def test_tuple_and_starred_targets_unpack(self):
+        target = ast.parse("a, (b, *c) = x").body[0].targets[0]
+        assert set(assigned_names(target)) == {"a", "b", "c"}
+
+
+class TestReachingDefinitions:
+    def test_branch_join_merges_definitions(self):
+        env = _env_at(
+            "def f(x):\n"
+            "    if x:\n"
+            "        a = 1\n"
+            "    else:\n"
+            "        a = 2\n"
+            "    return a\n",
+            "return a",
+        )
+        assert env["a"] == {3, 5}
+
+    def test_straight_line_kills_prior_definition(self):
+        env = _env_at(
+            "def f(x):\n"
+            "    a = 1\n"
+            "    a = 2\n"
+            "    return a\n",
+            "return a",
+        )
+        assert env["a"] == {3}
+
+    def test_loop_body_definition_reaches_after_loop(self):
+        env = _env_at(
+            "def f(n):\n"
+            "    a = 0\n"
+            "    while n:\n"
+            "        a = a + 1\n"
+            "    return a\n",
+            "return a",
+        )
+        assert env["a"] == {2, 4}
+
+    def test_parameters_seed_the_entry_environment(self):
+        env = _env_at(
+            "def f(x, *rest, flag=False):\n"
+            "    return x\n",
+            "return x",
+        )
+        assert env["x"] == {1}
+        assert env["rest"] == {1}
+        assert env["flag"] == {1}

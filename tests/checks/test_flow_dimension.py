@@ -1,0 +1,171 @@
+"""Fixture tests for the ``F6xx`` dimensional-flow rules.
+
+Each rule gets a buggy fixture it must catch and a clean twin it must
+stay silent on — the acceptance contract for the flow analyses.
+"""
+
+from repro.checks.engine import check_project_source, check_source
+from repro.checks.flow.dimension_rules import DIMENSION_FLOW_RULES
+
+
+def _codes(findings):
+    return [f.rule for f in findings]
+
+
+class TestF601DimensionMismatch:
+    def test_catches_mismatch_through_assignment_and_call(self):
+        findings = check_source(
+            "from repro.units import NS\n"
+            "def detour_delay():\n"
+            "    return 5 * NS\n"
+            "def total(size_bits):\n"
+            "    d = detour_delay()\n"
+            "    return size_bits + d\n",
+            DIMENSION_FLOW_RULES,
+            relpath="src/repro/core/sched.py",
+        )
+        assert _codes(findings) == ["F601"]
+        assert "time" in findings[0].message
+        assert "data" in findings[0].message
+
+    def test_clean_twin_same_dimension_is_silent(self):
+        findings = check_source(
+            "from repro.units import NS\n"
+            "def detour_delay():\n"
+            "    return 5 * NS\n"
+            "def total(guard_s):\n"
+            "    d = detour_delay()\n"
+            "    return guard_s + d\n",
+            DIMENSION_FLOW_RULES,
+            relpath="src/repro/core/sched.py",
+        )
+        assert findings == []
+
+    def test_catches_mismatch_across_files(self):
+        findings = check_project_source({
+            "src/repro/phy/delays.py": (
+                "from repro.units import US\n"
+                "def settle_time():\n"
+                "    return 3 * US\n"
+            ),
+            "src/repro/core/plan.py": (
+                "from repro.phy.delays import settle_time\n"
+                "def budget(window_bits):\n"
+                "    return window_bits - settle_time()\n"
+            ),
+        }, DIMENSION_FLOW_RULES)
+        assert _codes(findings) == ["F601"]
+        assert findings[0].path == "src/repro/core/plan.py"
+
+    def test_comparison_between_inferred_dimensions_is_flagged(self):
+        # The left side's dimension is only known via the assignment —
+        # no suffix at the comparison itself, so U103 cannot see it.
+        findings = check_source(
+            "def check(deadline_s, queue_bits):\n"
+            "    limit = deadline_s\n"
+            "    return limit < queue_bits\n",
+            DIMENSION_FLOW_RULES,
+            relpath="src/repro/core/sched.py",
+        )
+        assert _codes(findings) == ["F601"]
+
+    def test_syntactic_suffix_conflict_left_to_u103(self):
+        # Both operands carry explicit suffixes: the per-file U103 rule
+        # owns that report, so the flow rule must not double-report.
+        findings = check_source(
+            "def f(a_s, b_bits):\n"
+            "    return a_s + b_bits\n",
+            DIMENSION_FLOW_RULES,
+            relpath="src/repro/core/sched.py",
+        )
+        assert findings == []
+
+    def test_rate_times_time_is_data(self):
+        findings = check_source(
+            "def window(link_bps, epoch_s, budget_bits):\n"
+            "    moved = link_bps * epoch_s\n"
+            "    return budget_bits - moved\n",
+            DIMENSION_FLOW_RULES,
+            relpath="src/repro/core/sched.py",
+        )
+        assert findings == []  # data - data: the algebra must line up
+
+
+class TestF602DbLinearMix:
+    def test_catches_inferred_db_plus_linear(self):
+        findings = check_source(
+            "from repro.units import dbm_to_w\n"
+            "def link_budget(tx_power_dbm):\n"
+            "    p = dbm_to_w(tx_power_dbm)\n"
+            "    return tx_power_dbm + p\n",
+            DIMENSION_FLOW_RULES,
+            relpath="src/repro/optics/budget.py",
+        )
+        assert _codes(findings) == ["F602"]
+        assert "dbm_to_w" in findings[0].message
+
+    def test_clean_twin_converts_before_adding(self):
+        findings = check_source(
+            "from repro.units import dbm_to_w\n"
+            "def link_budget(tx_power_dbm, amp_w):\n"
+            "    p = dbm_to_w(tx_power_dbm)\n"
+            "    return amp_w + p\n",
+            DIMENSION_FLOW_RULES,
+            relpath="src/repro/optics/budget.py",
+        )
+        assert findings == []
+
+
+class TestF603CallDimensionMismatch:
+    def test_catches_wrong_dimension_argument(self):
+        findings = check_project_source({
+            "src/repro/phy/fibre.py": (
+                "def propagation(length_m):\n"
+                "    return length_m / 2e8\n"
+            ),
+            "src/repro/core/plan.py": (
+                "from repro.phy.fibre import propagation\n"
+                "def plan(duration_s):\n"
+                "    return propagation(duration_s)\n"
+            ),
+        }, DIMENSION_FLOW_RULES)
+        assert "F603" in _codes(findings)
+        f603 = next(f for f in findings if f.rule == "F603")
+        assert f603.path == "src/repro/core/plan.py"
+        assert "length" in f603.message
+
+    def test_keyword_argument_binding(self):
+        findings = check_source(
+            "def span(length_m=0.0):\n"
+            "    return length_m\n"
+            "def plan(duration_s):\n"
+            "    return span(length_m=duration_s)\n",
+            DIMENSION_FLOW_RULES,
+            relpath="src/repro/core/plan.py",
+        )
+        assert "F603" in _codes(findings)
+
+    def test_clean_twin_correct_dimension_is_silent(self):
+        findings = check_project_source({
+            "src/repro/phy/fibre.py": (
+                "def propagation(length_m):\n"
+                "    return length_m / 2e8\n"
+            ),
+            "src/repro/core/plan.py": (
+                "from repro.phy.fibre import propagation\n"
+                "def plan(span_m):\n"
+                "    return propagation(span_m)\n"
+            ),
+        }, DIMENSION_FLOW_RULES)
+        assert "F603" not in _codes(findings)
+
+
+class TestSuppression:
+    def test_flow_finding_suppressed_at_anchor_line(self):
+        findings = check_source(
+            "def check(deadline_s, queue_bits):\n"
+            "    return deadline_s < queue_bits  # lint: ignore[F601]\n",
+            DIMENSION_FLOW_RULES,
+            relpath="src/repro/core/sched.py",
+        )
+        assert findings == []

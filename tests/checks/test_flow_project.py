@@ -1,0 +1,179 @@
+"""Symbol-table and call-graph tests for ``repro.checks.flow.project``."""
+
+import ast
+
+from repro.checks.engine import parse_file
+from repro.checks.flow.project import Project, module_imports
+
+
+def _ctx(tmp_path, relpath, source):
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    ctx = parse_file(path, root=tmp_path)
+    assert ctx is not None
+    return ctx
+
+
+def _project(tmp_path, files):
+    return Project([_ctx(tmp_path, rel, src) for rel, src in files.items()])
+
+
+class TestSymbolTable:
+    def test_functions_methods_and_nested_defs_get_qualnames(self, tmp_path):
+        project = _project(tmp_path, {
+            "src/repro/core/thing.py": (
+                "def helper():\n"
+                "    def inner():\n"
+                "        return 1\n"
+                "    return inner()\n"
+                "class Box:\n"
+                "    def get(self):\n"
+                "        return helper()\n"
+            ),
+        })
+        assert "repro.core.thing.helper" in project.functions
+        assert "repro.core.thing.helper.inner" in project.functions
+        assert "repro.core.thing.Box.get" in project.functions
+        inner = project.functions["repro.core.thing.helper.inner"]
+        assert inner.parent == "repro.core.thing.helper"
+        assert project.classes["repro.core.thing.Box"].methods == {
+            "get": "repro.core.thing.Box.get"
+        }
+
+    def test_method_params_strip_self(self, tmp_path):
+        project = _project(tmp_path, {
+            "src/repro/core/thing.py": (
+                "class Box:\n"
+                "    def put(self, item_bits, *, tag):\n"
+                "        pass\n"
+            ),
+        })
+        info = project.functions["repro.core.thing.Box.put"]
+        assert info.params == ["item_bits"]
+        assert info.kwonly == ["tag"]
+
+    def test_conditionally_defined_functions_are_indexed(self, tmp_path):
+        project = _project(tmp_path, {
+            "src/repro/core/thing.py": (
+                "try:\n"
+                "    def fast_sum(xs):\n"
+                "        return sum(xs)\n"
+                "except ImportError:\n"
+                "    def fast_sum(xs):\n"
+                "        return 0\n"
+            ),
+        })
+        assert "repro.core.thing.fast_sum" in project.functions
+
+    def test_module_imports_resolve_aliases_and_relative(self):
+        tree = ast.parse(
+            "import numpy as np\n"
+            "from repro.units import dbm_to_w as d2w\n"
+            "from . import sibling\n"
+            "from ..core import rack\n"
+        )
+        imports = module_imports(tree, "repro.phy.optics")
+        assert imports["np"] == "numpy"
+        assert imports["d2w"] == "repro.units.dbm_to_w"
+        assert imports["sibling"] == "repro.phy.sibling"
+        assert imports["rack"] == "repro.core.rack"
+
+
+class TestCallGraph:
+    def test_plain_name_and_imported_calls_resolve(self, tmp_path):
+        project = _project(tmp_path, {
+            "src/repro/units.py": (
+                "def dbm_to_w(level_dbm):\n"
+                "    return 10 ** ((level_dbm - 30) / 10)\n"
+            ),
+            "src/repro/phy/amp.py": (
+                "from repro.units import dbm_to_w\n"
+                "def gain(level_dbm):\n"
+                "    return dbm_to_w(level_dbm)\n"
+            ),
+        })
+        edges = dict(
+            (callee, site)
+            for callee, site in project.calls["repro.phy.amp.gain"]
+        )
+        assert "repro.units.dbm_to_w" in edges
+
+    def test_self_method_resolves_within_class(self, tmp_path):
+        project = _project(tmp_path, {
+            "src/repro/core/net.py": (
+                "class Net:\n"
+                "    def run(self):\n"
+                "        return self.step()\n"
+                "    def step(self):\n"
+                "        return 0\n"
+            ),
+        })
+        callees = [c for c, _ in project.calls["repro.core.net.Net.run"]]
+        assert callees == ["repro.core.net.Net.step"]
+
+    def test_obj_method_falls_back_to_cha(self, tmp_path):
+        project = _project(tmp_path, {
+            "src/repro/core/node.py": (
+                "class Node:\n"
+                "    def tick(self):\n"
+                "        return 1\n"
+            ),
+            "src/repro/core/net.py": (
+                "def drive(node):\n"
+                "    return node.tick()\n"
+            ),
+        })
+        callees = [c for c, _ in project.calls["repro.core.net.drive"]]
+        assert callees == ["repro.core.node.Node.tick"]
+
+    def test_nested_def_gets_implicit_edge_from_encloser(self, tmp_path):
+        project = _project(tmp_path, {
+            "src/repro/core/net.py": (
+                "def outer():\n"
+                "    def closure():\n"
+                "        return 1\n"
+                "    return 0\n"
+            ),
+        })
+        callees = [c for c, _ in project.calls["repro.core.net.outer"]]
+        assert "repro.core.net.outer.closure" in callees
+
+    def test_constructor_call_resolves_to_init(self, tmp_path):
+        project = _project(tmp_path, {
+            "src/repro/core/net.py": (
+                "class Net:\n"
+                "    def __init__(self):\n"
+                "        self.n = 0\n"
+                "def build():\n"
+                "    return Net()\n"
+            ),
+        })
+        callees = [c for c, _ in project.calls["repro.core.net.build"]]
+        assert callees == ["repro.core.net.Net.__init__"]
+
+
+class TestReachability:
+    def test_reachable_from_follows_transitive_calls(self, tmp_path):
+        project = _project(tmp_path, {
+            "src/repro/core/net.py": (
+                "class Net:\n"
+                "    def run(self):\n"
+                "        return self.phase()\n"
+                "    def phase(self):\n"
+                "        return helper()\n"
+                "def helper():\n"
+                "    return 1\n"
+                "def unrelated():\n"
+                "    return 2\n"
+            ),
+        })
+        reached = project.reachable_from(["repro.core.net.Net.run"])
+        assert "repro.core.net.helper" in reached
+        assert "repro.core.net.unrelated" not in reached
+        path = project.call_path(reached, "repro.core.net.helper")
+        assert path == [
+            "repro.core.net.Net.run",
+            "repro.core.net.Net.phase",
+            "repro.core.net.helper",
+        ]

@@ -1,0 +1,191 @@
+"""Fixture tests for the ``T7xx`` determinism-taint rules."""
+
+from repro.checks.engine import check_project_source, check_source
+from repro.checks.flow.taint_rules import TAINT_FLOW_RULES
+
+
+def _codes(findings):
+    return [f.rule for f in findings]
+
+
+class TestT701NondetReachesRun:
+    def test_catches_wall_clock_reachable_from_run(self):
+        findings = check_source(
+            "import time\n"
+            "class SiriusNetwork:\n"
+            "    def run(self):\n"
+            "        return self._stamp()\n"
+            "    def _stamp(self):\n"
+            "        return time.time()\n",
+            TAINT_FLOW_RULES,
+            relpath="src/repro/core/network.py",
+        )
+        assert "T701" in _codes(findings)
+        t701 = next(f for f in findings if f.rule == "T701")
+        assert t701.line == 6  # anchored at the source, not the entry
+        assert "SiriusNetwork.run" in t701.message
+        assert "_stamp" in t701.message
+
+    def test_clean_twin_injectable_clock_is_silent(self):
+        findings = check_source(
+            "class SiriusNetwork:\n"
+            "    def __init__(self, clock):\n"
+            "        self._clock = clock\n"
+            "    def run(self):\n"
+            "        return self._stamp()\n"
+            "    def _stamp(self):\n"
+            "        return self._clock()\n",
+            TAINT_FLOW_RULES,
+            relpath="src/repro/core/network.py",
+        )
+        assert findings == []
+
+    def test_catches_source_across_files(self):
+        findings = check_project_source({
+            "src/repro/core/network.py": (
+                "from repro.phy.noise import thermal_seed\n"
+                "class SiriusNetwork:\n"
+                "    def run(self):\n"
+                "        return thermal_seed()\n"
+            ),
+            "src/repro/phy/noise.py": (
+                "import os\n"
+                "def thermal_seed():\n"
+                "    return os.urandom(8)\n"
+            ),
+        }, TAINT_FLOW_RULES)
+        t701 = [f for f in findings if f.rule == "T701"]
+        assert t701, _codes(findings)
+        assert t701[0].path == "src/repro/phy/noise.py"
+
+    def test_cross_file_finding_suppressed_at_source_line(self):
+        # The entry point is in one file, the source in another; the
+        # suppression comment sits next to the *source* and must win.
+        findings = check_project_source({
+            "src/repro/core/network.py": (
+                "from repro.phy.noise import thermal_seed\n"
+                "class SiriusNetwork:\n"
+                "    def run(self):\n"
+                "        return thermal_seed()\n"
+            ),
+            "src/repro/phy/noise.py": (
+                "import os\n"
+                "def thermal_seed():\n"
+                "    return os.urandom(8)  # lint: ignore[T701]\n"
+            ),
+        }, TAINT_FLOW_RULES)
+        assert [f for f in findings if f.rule == "T701"] == []
+
+    def test_unreachable_source_is_not_reported(self):
+        findings = check_source(
+            "import time\n"
+            "class SiriusNetwork:\n"
+            "    def run(self):\n"
+            "        return 0\n"
+            "def bench_only():\n"
+            "    return time.perf_counter()\n",
+            [rule for rule in TAINT_FLOW_RULES if rule.code == "T701"],
+            relpath="src/repro/core/network.py",
+        )
+        assert findings == []
+
+    def test_obs_modules_are_exempt(self):
+        findings = check_project_source({
+            "src/repro/core/network.py": (
+                "from repro.obs.profiling import stamp\n"
+                "class SiriusNetwork:\n"
+                "    def run(self):\n"
+                "        return stamp()\n"
+            ),
+            "src/repro/obs/profiling.py": (
+                "import time\n"
+                "def stamp():\n"
+                "    return time.perf_counter()\n"
+            ),
+        }, [rule for rule in TAINT_FLOW_RULES if rule.code == "T701"])
+        assert findings == []
+
+    def test_set_iteration_with_d203_suppression_carries_over(self):
+        source = (
+            "class SiriusNetwork:\n"
+            "    def run(self, ids):\n"
+            "        pending = set(ids)\n"
+            "        # order-insensitive sum  # lint: ignore[D203]\n"
+            "        return sum(x for x in pending)\n"
+        )
+        findings = check_source(
+            source,
+            [rule for rule in TAINT_FLOW_RULES if rule.code == "T701"],
+            relpath="src/repro/core/network.py",
+        )
+        assert findings == []
+
+
+class TestT702TaintedReturn:
+    def test_catches_tainted_return_in_sim_critical_module(self):
+        findings = check_source(
+            "import random\n"
+            "def jitter_scale():\n"
+            "    return random.random()\n",
+            [rule for rule in TAINT_FLOW_RULES if rule.code == "T702"],
+            relpath="src/repro/phy/jitter.py",
+        )
+        assert _codes(findings) == ["T702"]
+        assert "jitter_scale" in findings[0].message
+
+    def test_taint_flows_through_helper_summary(self):
+        findings = check_source(
+            "import time\n"
+            "def _raw():\n"
+            "    return time.monotonic()\n"
+            "def scaled():\n"
+            "    base = _raw()\n"
+            "    return base * 2.0\n",
+            [rule for rule in TAINT_FLOW_RULES if rule.code == "T702"],
+            relpath="src/repro/phy/jitter.py",
+        )
+        assert _codes(findings) == ["T702", "T702"]
+
+    def test_unseeded_rng_constructor_is_a_source(self):
+        findings = check_source(
+            "import random\n"
+            "def draw():\n"
+            "    rng = random.Random()\n"
+            "    return rng.random()\n",
+            [rule for rule in TAINT_FLOW_RULES if rule.code == "T702"],
+            relpath="src/repro/workload/synth.py",
+        )
+        assert _codes(findings) == ["T702"]
+
+    def test_clean_twin_seeded_rng_is_silent(self):
+        findings = check_source(
+            "import random\n"
+            "def draw(seed):\n"
+            "    rng = random.Random(seed)\n"
+            "    return rng.random()\n",
+            [rule for rule in TAINT_FLOW_RULES if rule.code == "T702"],
+            relpath="src/repro/workload/synth.py",
+        )
+        assert findings == []
+
+    def test_non_critical_module_not_reported(self):
+        findings = check_source(
+            "import time\n"
+            "def bench_stamp():\n"
+            "    return time.perf_counter()\n",
+            [rule for rule in TAINT_FLOW_RULES if rule.code == "T702"],
+            relpath="src/repro/perf/bench.py",
+        )
+        assert findings == []
+
+    def test_taint_killed_by_reassignment(self):
+        findings = check_source(
+            "import time\n"
+            "def windowed():\n"
+            "    t = time.monotonic()\n"
+            "    t = 0.0\n"
+            "    return t\n",
+            [rule for rule in TAINT_FLOW_RULES if rule.code == "T702"],
+            relpath="src/repro/phy/jitter.py",
+        )
+        assert findings == []
