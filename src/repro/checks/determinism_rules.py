@@ -9,8 +9,9 @@ nondeterminism slips in:
 * ``D201 global-rng`` — sampling from the module-level ``random.*`` or
   ``np.random.*`` globals, whose state is shared and unseeded;
 * ``D202 unseeded-rng`` — constructing ``random.Random()`` /
-  ``np.random.default_rng()`` without a seed (or any
-  ``random.SystemRandom``, which cannot be seeded at all);
+  ``np.random.default_rng()`` / ``np.random.RandomState()`` without a
+  seed or with a literal ``None`` seed (or any ``random.SystemRandom``,
+  which cannot be seeded at all);
 * ``D203 set-iteration`` — iterating a ``set`` whose order depends on
   ``PYTHONHASHSEED``; wrap in ``sorted(...)`` before feeding
   simulation state.
@@ -39,12 +40,21 @@ _RANDOM_FNS = frozenset({
     "seed", "setstate", "getstate", "randbytes",
 })
 
-#: ``numpy.random`` legacy global-state functions.
+#: ``numpy.random`` legacy global-state functions — the full sampling
+#: surface of the implicit global ``RandomState``, not just the common
+#: draws: any of these silently couples a simulation to shared state.
 _NP_RANDOM_FNS = frozenset({
     "rand", "randn", "randint", "random", "random_sample", "ranf",
-    "sample", "choice", "shuffle", "permutation", "normal", "uniform",
-    "poisson", "exponential", "pareto", "binomial", "seed", "standard_normal",
-    "bytes",
+    "sample", "choice", "shuffle", "permutation", "permuted", "normal",
+    "uniform", "poisson", "exponential", "pareto", "binomial", "seed",
+    "standard_normal", "bytes", "beta", "chisquare", "dirichlet", "f",
+    "gamma", "geometric", "gumbel", "hypergeometric", "laplace",
+    "logistic", "lognormal", "logseries", "multinomial",
+    "multivariate_normal", "negative_binomial", "noncentral_chisquare",
+    "noncentral_f", "power", "random_integers", "rayleigh",
+    "standard_cauchy", "standard_exponential", "standard_gamma",
+    "standard_t", "triangular", "vonmises", "wald", "weibull", "zipf",
+    "get_state", "set_state",
 })
 
 
@@ -63,8 +73,8 @@ def _import_aliases(tree: ast.Module) -> Dict[str, str]:
                         aliases[item.asname or "random"] = "numpy.random"
             elif node.module == "numpy.random":
                 for item in node.names:
-                    if item.name == "default_rng":
-                        aliases[item.asname or "default_rng"] = "default_rng"
+                    if item.name in ("default_rng", "RandomState"):
+                        aliases[item.asname or item.name] = item.name
     return aliases
 
 
@@ -135,12 +145,31 @@ class UnseededRngRule(Rule):
                     "SystemRandom is entropy-backed and can never be seeded; "
                     "simulations must use random.Random(seed)",
                 )
-            elif not node.args and not node.keywords:
+            elif self._lacks_seed(node):
                 yield self.finding(
                     ctx, node,
-                    f"{ctor}() without a seed gives a different stream every "
+                    f"{ctor} without a seed gives a different stream every "
                     "run; pass an explicit seed",
                 )
+
+    @staticmethod
+    def _lacks_seed(node: ast.Call) -> bool:
+        """True when the constructor call pins no seed.
+
+        A literal ``None`` seed — positional or ``seed=None`` — is the
+        no-argument case spelled out: numpy treats it as "pull entropy
+        from the OS", so it is flagged the same way.
+        """
+        if not node.args and not node.keywords:
+            return True
+        if node.args:
+            first = node.args[0]
+            return isinstance(first, ast.Constant) and first.value is None
+        for keyword in node.keywords:
+            if keyword.arg == "seed":
+                return (isinstance(keyword.value, ast.Constant)
+                        and keyword.value.value is None)
+        return False
 
     @staticmethod
     def _rng_constructor(node: ast.Call,
@@ -150,17 +179,19 @@ class UnseededRngRule(Rule):
             module = aliases.get(func.value.id)
             if module == "random" and func.attr in ("Random", "SystemRandom"):
                 return f"random.{func.attr}"
-            if module == "numpy.random" and func.attr == "default_rng":
-                return "numpy.random.default_rng"
-        if (isinstance(func, ast.Attribute) and func.attr == "default_rng"
+            if (module == "numpy.random"
+                    and func.attr in ("default_rng", "RandomState")):
+                return f"numpy.random.{func.attr}"
+        if (isinstance(func, ast.Attribute)
+                and func.attr in ("default_rng", "RandomState")
                 and isinstance(func.value, ast.Attribute)
                 and func.value.attr == "random"
                 and isinstance(func.value.value, ast.Name)
                 and aliases.get(func.value.value.id, "").startswith("numpy")):
-            return "numpy.random.default_rng"
+            return f"numpy.random.{func.attr}"
         if (isinstance(func, ast.Name)
-                and aliases.get(func.id) == "default_rng"):
-            return "numpy.random.default_rng"
+                and aliases.get(func.id) in ("default_rng", "RandomState")):
+            return f"numpy.random.{aliases[func.id]}"
         return None
 
 

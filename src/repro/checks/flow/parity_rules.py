@@ -36,6 +36,16 @@ it with ``# lint: ignore[S801]`` where it happens, which is exactly the
 documentation the asymmetry deserves.  Expression-level ``A if fast
 else B`` conditionals are not audited: they produce values rather than
 statements, and their calls are value reads on both paths.
+
+The ``vectorized`` backend generalized the two-strategy split into a
+whole separate epoch loop, so a third rule audits structure across
+loops rather than across branches:
+
+* ``S803 backend-phase-structure`` — every cell-simulator epoch loop
+  (any function whose literal ``.lap("<phase>")`` labels include
+  ``deliver`` and ``transmit``) must profile the same phase-label
+  vocabulary as its sibling loops, keeping the per-phase bench
+  comparison meaningful.
 """
 
 from __future__ import annotations
@@ -49,6 +59,7 @@ from repro.checks.flow.project import FunctionInfo, Project
 
 __all__ = [
     "PARITY_RULES",
+    "BackendPhaseStructureRule",
     "FastPathOnlyStateRule",
     "ReferenceOnlyStateRule",
     "ParityAudit",
@@ -420,6 +431,60 @@ class _ParityRule(ProjectRule):
             )
 
 
+class BackendPhaseStructureRule(ProjectRule):
+    """Every cell-simulator epoch loop must profile the same phases.
+
+    The backends (``reference``/``fast`` share a loop; ``vectorized``
+    has its own) are kept comparable phase by phase: the per-phase
+    wall-clock split in ``BENCH_<date>.json`` and the profiling docs
+    assume one label vocabulary.  An *epoch loop* here is any function
+    whose literal ``.lap("<phase>")`` labels include the core
+    ``deliver`` and ``transmit`` pair — which selects the cell
+    simulators and leaves the fluid loop (``advance``/``recompute``)
+    alone.  A loop missing a label its sibling backends profile has
+    either dropped a phase or renamed it; both break the cross-backend
+    comparison.
+    """
+
+    code = "S803"
+    name = "backend-phase-structure"
+    description = ("cell-simulator epoch loops must share one profiler "
+                   "phase-label vocabulary")
+
+    _CORE_LABELS = frozenset({"deliver", "transmit"})
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        loops: List[Tuple[FunctionInfo, Set[str], ast.AST]] = []
+        for info in project.functions.values():
+            labels: Set[str] = set()
+            anchor: Optional[ast.AST] = None
+            for node in ast.walk(info.node):
+                if (isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and node.func.attr == "lap"
+                        and node.args
+                        and isinstance(node.args[0], ast.Constant)
+                        and isinstance(node.args[0].value, str)):
+                    labels.add(node.args[0].value)
+                    if anchor is None:
+                        anchor = node
+            if anchor is not None and self._CORE_LABELS <= labels:
+                loops.append((info, labels, anchor))
+        if len(loops) < 2:
+            return
+        vocabulary = set().union(*(labels for _, labels, _ in loops))
+        for info, labels, anchor in loops:
+            missing = sorted(vocabulary - labels)
+            if missing:
+                yield self.finding(
+                    info.ctx, anchor,
+                    f"epoch loop {info.short} never profiles "
+                    f"{', '.join(missing)}; its sibling backend loops "
+                    "do, so the per-phase comparison across backends "
+                    "breaks",
+                )
+
+
 class FastPathOnlyStateRule(_ParityRule):
     code = "S801"
     name = "fastpath-only-state"
@@ -436,4 +501,5 @@ class ReferenceOnlyStateRule(_ParityRule):
     fast_only = False
 
 
-PARITY_RULES = [FastPathOnlyStateRule(), ReferenceOnlyStateRule()]
+PARITY_RULES = [FastPathOnlyStateRule(), ReferenceOnlyStateRule(),
+                BackendPhaseStructureRule()]

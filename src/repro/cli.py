@@ -44,6 +44,7 @@ from repro import (
     pod_map_for,
 )
 from repro.analysis import NetworkCostModel, NetworkPowerModel, SiriusPowerModel
+from repro.core.backend import BACKENDS
 from repro.core.telemetry import Telemetry, ascii_sparkline
 from repro.obs import (
     Observation,
@@ -90,6 +91,9 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="print the per-phase wall-clock breakdown")
     sim.add_argument("--sample-every", type=int, default=4,
                      help="epochs between queue-gauge samples (default 4)")
+    sim.add_argument("--backend", choices=BACKENDS, default=None,
+                     help="epoch-loop backend (default: REPRO_BACKEND "
+                          "or 'fast'; 'vectorized' for paper-scale runs)")
 
     cmp_ = sub.add_parser("compare", help="Sirius vs ESN baselines")
     cmp_.add_argument("--nodes", type=int, default=32)
@@ -169,6 +173,7 @@ def _cmd_simulate(args) -> int:
         args.nodes, args.grating_ports,
         uplink_multiplier=args.multiplier,
         config=config, track_reorder=True, seed=args.seed,
+        backend=args.backend,
     )
     workload = FlowWorkload(WorkloadConfig(
         n_nodes=args.nodes, load=args.load,

@@ -13,8 +13,12 @@ Module map:
   queues, forward queues, protocol bookkeeping).
 * :mod:`repro.core.network` — the epoch-synchronous simulator that ties
   it all together and produces the §7 metrics.
+* :mod:`repro.core.backend` / :mod:`repro.core.vectorized` — the
+  selectable epoch-loop strategies (``reference``/``fast``/
+  ``vectorized``) and the numpy-slab engine behind the third.
 """
 
+from repro.core.backend import BACKEND_ENV, BACKENDS, resolve_backend
 from repro.core.cell import Cell, Flow
 from repro.core.failures import (
     AdjustedSchedule,
@@ -34,6 +38,9 @@ from repro.core.telemetry import Telemetry
 
 __all__ = [
     "AdjustedSchedule",
+    "BACKENDS",
+    "BACKEND_ENV",
+    "resolve_backend",
     "Cell",
     "FailureDetector",
     "FailureEvent",

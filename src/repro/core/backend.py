@@ -1,0 +1,77 @@
+"""Backend selection for the cell simulator's epoch loop.
+
+:class:`repro.core.network.SiriusNetwork` keeps three interchangeable
+execution strategies for the same protocol state machine:
+
+* ``reference`` — the straightforward all-nodes loop every other
+  backend is validated against;
+* ``fast`` — sparse active-set iteration with slab cell admission
+  (see :mod:`repro.core.fastpath`), the long-standing default;
+* ``vectorized`` — :mod:`repro.core.vectorized`: per-node depth slabs
+  and activity masks in numpy, closed-form grant admission and
+  idle-epoch skipping, built for paper-scale (512–4096 node) runs.
+
+All three are bit-identical on seeded runs — the three-way parity
+suite (``tests/core/test_fast_path_equivalence.py``) pins the exact
+``SimulationResult`` across them for every congestion and failure
+configuration the simulator supports.
+
+Resolution order for the effective backend:
+
+1. an explicit ``backend=`` constructor argument;
+2. an explicit legacy ``fast_path=`` argument (``True`` → ``fast``,
+   ``False`` → ``reference``);
+3. the ``REPRO_BACKEND`` environment variable;
+4. the legacy ``REPRO_FAST_PATH`` environment variable (off values
+   select ``reference``, anything else ``fast``);
+5. the ``fast`` backend.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.core.fastpath import FAST_PATH_ENV, _OFF_VALUES
+
+__all__ = ["BACKENDS", "BACKEND_ENV", "resolve_backend"]
+
+#: The selectable epoch-loop strategies, in reference-first order.
+BACKENDS = ("reference", "fast", "vectorized")
+
+#: Environment variable consulted when no explicit backend is given.
+BACKEND_ENV = "REPRO_BACKEND"
+
+
+def resolve_backend(backend: Optional[str] = None,
+                    fast_path: Optional[bool] = None) -> str:
+    """Resolve the effective backend name for one simulator instance.
+
+    ``backend`` (a constructor argument) wins, then the legacy
+    ``fast_path`` boolean, then ``REPRO_BACKEND``, then the legacy
+    ``REPRO_FAST_PATH`` variable, then the ``fast`` default.  Raises
+    ``ValueError`` for names outside :data:`BACKENDS`.
+    """
+    if backend is not None:
+        name = backend.strip().lower()
+        if name not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
+        return name
+    if fast_path is not None:
+        return "fast" if fast_path else "reference"
+    env = os.environ.get(BACKEND_ENV)
+    if env is not None and env.strip():
+        name = env.strip().lower()
+        if name not in BACKENDS:
+            raise ValueError(
+                f"{BACKEND_ENV}={env!r} is not a backend; "
+                f"expected one of {BACKENDS}"
+            )
+        return name
+    legacy = os.environ.get(FAST_PATH_ENV)
+    if legacy is not None:
+        return ("reference" if legacy.strip().lower() in _OFF_VALUES
+                else "fast")
+    return "fast"

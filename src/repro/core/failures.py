@@ -85,6 +85,17 @@ class FailurePlan:
     def is_failed(self, node: int) -> bool:
         return node in self.failed
 
+    def next_event_epoch(self) -> Optional[int]:
+        """Epoch of the next unfired event, or None when exhausted.
+
+        A pure peek — :attr:`failed` and the cursor are untouched.  The
+        vectorized backend's idle-epoch skip uses this to avoid jumping
+        over a scripted failure or recovery.
+        """
+        if self._index < len(self.events):
+            return self.events[self._index].epoch
+        return None
+
     @classmethod
     def single_failure(cls, node: int, at_epoch: int,
                        recover_at: Optional[int] = None) -> "FailurePlan":

@@ -21,6 +21,13 @@ Resolution order for which path a network uses:
 2. the ``REPRO_FAST_PATH`` environment variable (``0``/``false``/
    ``off`` select the reference path);
 3. the fast path.
+
+For the cell simulator this boolean is now the legacy spelling of a
+three-way choice: :mod:`repro.core.backend` generalizes it to named
+backends (``reference``/``fast``/``vectorized``) and gives explicit
+``backend=`` arguments and ``REPRO_BACKEND`` precedence over the
+toggles defined here.  The fluid simulator still uses this module
+directly — it has no vectorized backend.
 """
 
 from __future__ import annotations

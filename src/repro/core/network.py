@@ -26,13 +26,16 @@ per-pair capacity of epoch ``e`` is ``floor((e+1)m) − floor(em)``
 (e.g. 1, 2, 1, 2… for m = 1.5), while the physical topology carries
 ``ceil(m)`` uplink replicas.
 
-The epoch loop keeps two execution strategies (see
-:mod:`repro.core.fastpath`): the default **fast path** iterates only
-the nodes with live state — active sets track who has control-plane
-work, pending grants, queued cells or server-side backlog — and admits
-cells in slabs, so an epoch costs time proportional to activity rather
-than to ``n_nodes``.  The **reference path** is the straightforward
-all-nodes loop it is validated against; both produce bit-identical
+The epoch loop is pluggable (see :mod:`repro.core.backend`): the
+``reference`` backend is the straightforward all-nodes loop below; the
+default ``fast`` backend iterates only the nodes with live state —
+active sets track who has control-plane work, pending grants, queued
+cells or server-side backlog — and admits cells in slabs, so an epoch
+costs time proportional to activity rather than to ``n_nodes``; the
+``vectorized`` backend (:mod:`repro.core.vectorized`) replaces the
+active sets with numpy masks and depth slabs, collapses grant
+admission to a closed form and skips fully-idle epochs outright, for
+paper-scale (512–4096 node) runs.  All backends produce bit-identical
 seeded results because a skipped node performs no work and consumes no
 randomness (every per-node phase operation early-returns before its
 first RNG draw when the node is idle).
@@ -46,10 +49,10 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.core.backend import resolve_backend
 from repro.core.cell import Cell, Flow, cell_range
 from repro.core.congestion import CongestionConfig
 from repro.core.failures import FailurePlan
-from repro.core.fastpath import resolve_fast_path
 from repro.core.node import SiriusNode
 from repro.core.telemetry import Telemetry
 from repro.core.schedule import CyclicSchedule, SlotTiming
@@ -97,6 +100,11 @@ class SimulationResult:
     @property
     def completed_flows(self) -> List[Flow]:
         return [f for f in self.flows if f.is_complete]
+
+    @property
+    def delivered_cells(self) -> int:
+        """Cells delivered across all flows (the bench throughput unit)."""
+        return sum(f.delivered_cells for f in self.flows)
 
     def fcts(self, max_size_bits: Optional[float] = None,
              min_size_bits: Optional[float] = None) -> List[float]:
@@ -174,11 +182,18 @@ class SiriusNetwork:
         Seed for all protocol randomness (intermediate choice, grant
         tie-breaks).
     fast_path:
-        Select the epoch loop's execution strategy: ``True`` for the
-        sparse active-set fast path, ``False`` for the all-nodes
-        reference loop.  ``None`` (default) defers to the
-        ``REPRO_FAST_PATH`` environment variable, falling back to the
-        fast path.  Both strategies are bit-identical on seeded runs.
+        Legacy boolean strategy toggle: ``True`` for the active-set
+        fast path, ``False`` for the all-nodes reference loop.
+        Superseded by ``backend=`` (which wins when both are given)
+        but kept for callers that predate the backend interface.
+    backend:
+        Select the epoch loop's execution strategy by name:
+        ``"reference"``, ``"fast"`` or ``"vectorized"``.  ``None``
+        (default) defers to ``fast_path``, then the ``REPRO_BACKEND``
+        and legacy ``REPRO_FAST_PATH`` environment variables, falling
+        back to ``"fast"`` (see
+        :func:`repro.core.backend.resolve_backend`).  All backends are
+        bit-identical on seeded runs.
     """
 
     def __init__(self, n_nodes: int, grating_ports: int, *,
@@ -188,7 +203,8 @@ class SiriusNetwork:
                  track_reorder: bool = False,
                  local_capacity_cells: Optional[int] = None,
                  seed: int = 1,
-                 fast_path: Optional[bool] = None) -> None:
+                 fast_path: Optional[bool] = None,
+                 backend: Optional[str] = None) -> None:
         if uplink_multiplier < 1.0:
             raise ValueError(
                 f"uplink multiplier must be >= 1, got {uplink_multiplier}"
@@ -209,7 +225,10 @@ class SiriusNetwork:
                 f"{local_capacity_cells}"
             )
         self.local_capacity_cells = local_capacity_cells
-        self.fast_path = resolve_fast_path(fast_path)
+        self.backend = resolve_backend(backend, fast_path)
+        #: Backward-compatible view of the strategy choice: both
+        #: non-reference backends avoid the all-nodes scans.
+        self.fast_path = self.backend != "reference"
         self.rng = random.Random(seed)
         self.nodes: List[SiriusNode] = [
             SiriusNode(n, n_nodes, self.config, self.rng)
@@ -282,6 +301,18 @@ class SiriusNetwork:
         the phase loop.  The default is a shared no-op bundle whose
         per-site cost is one attribute load and branch.
         """
+        if self.backend == "vectorized":
+            # Deferred import: the engine imports SimulationResult from
+            # this module, so a top-level import would be circular.
+            from repro.core.vectorized import VectorizedEngine
+
+            return VectorizedEngine(self).run(
+                flows, max_epochs=max_epochs, drain_epochs=drain_epochs,
+                check_invariants=check_invariants,
+                failure_plan=failure_plan,
+                detection_epochs=detection_epochs,
+                telemetry=telemetry, obs=obs,
+            )
         if obs is None:
             obs = NULL_OBS
         tracer = obs.tracer

@@ -131,7 +131,11 @@ class SiriusNode:
         self.n_nodes = n_nodes
         self.config = config
         self.rng = rng
-        self._others = [n for n in range(n_nodes) if n != node]
+        # Candidate-intermediate list, built on first use: at
+        # paper-scale (4096 nodes) the eager per-node list is ~N**2
+        # ints of construction cost and memory, paid even by nodes
+        # that never source a single cell.
+        self._others_cache: List[int] = None
 
         # LOCAL buffer, partitioned by destination, plus request bookkeeping.
         self.local_by_dst: Dict[int, Deque[Cell]] = {}
@@ -197,6 +201,16 @@ class SiriusNode:
         """Attach an :class:`repro.obs.Observation`'s planes."""
         self._tracer = obs.tracer
         self._registry = obs.registry
+
+    @property
+    def _others(self) -> List[int]:
+        """Every other node id, ascending (lazily built and cached)."""
+        others = self._others_cache
+        if others is None:
+            others = self._others_cache = [
+                n for n in range(self.n_nodes) if n != self.node
+            ]
+        return others
 
     # ------------------------------------------------------------------
     # Phase: local arrivals

@@ -204,21 +204,26 @@ class CyclicSchedule:
         """Assert no destination uplink port receives two cells in a slot.
 
         Receive contention is per (grating, output port): each node has
-        one downlink per grating that outputs to it.
+        one downlink per grating that outputs to it.  Within any slot
+        all inputs of a grating transmit on the same wavelength channel,
+        and the AWGR's cyclic routing ``output = (input + channel) mod
+        G`` is a permutation of the input ports for every fixed channel
+        — so two uplinks of one grating collide in *some* slot iff they
+        share an input port, in which case they collide in *every*
+        slot.  Checking input-port distinctness per grating is
+        therefore equivalent to the slot-by-slot output scan, at
+        O(uplinks) instead of O(slots x uplinks) — the difference
+        between milliseconds and tens of seconds at 4096 nodes.
         """
-        for slot in range(self.slots_per_epoch):
-            seen = set()
-            for uplink in self.topology.iter_uplinks():
-                g = self.topology.grating_ports
-                port = self.topology.gratings[uplink.grating].output_port(
-                    uplink.input_port, self.wavelength(slot)
-                )
-                key = (uplink.grating, port)
-                assert key not in seen, (
-                    f"slot {slot}: grating {uplink.grating} output {port} "
-                    "receives two transmissions"
-                )
-                seen.add(key)
+        seen: set = set()
+        for uplink in self.topology.iter_uplinks():
+            key = (uplink.grating, uplink.input_port)
+            assert key not in seen, (
+                f"grating {uplink.grating} input {uplink.input_port} feeds "
+                "two uplinks: every slot's shared-channel permutation would "
+                "deliver both to the same output port"
+            )
+            seen.add(key)
 
     def verify_full_coverage(self) -> None:
         """Assert every node reaches every node exactly

@@ -1,0 +1,815 @@
+"""The ``vectorized`` epoch-loop backend (paper-scale runs, §7).
+
+:class:`VectorizedEngine` executes the same protocol state machine as
+:meth:`repro.core.network.SiriusNetwork.run` — identical phase order,
+identical per-node operations, the same single seeded RNG stream — but
+keeps the *scheduling* of that work in numpy slabs instead of Python
+sets, and exploits two properties the per-node backends cannot:
+
+* **Activity masks and depth slabs.**  Which node has control-plane
+  work, a pending grant decision, queued cells or server-side backlog
+  is one boolean vector per phase; the per-epoch "who is active" scan
+  is ``np.flatnonzero`` (ascending, matching the reference visit
+  order) instead of sorting a Python set, and a node-failure mask
+  filters rows without per-node predicate calls.  When metrics are
+  recorded, per-node queue depths are mirrored into integer slabs so
+  the observation hook aggregates with array sums rather than touching
+  every node object (:meth:`repro.obs.Observation.sample_network_slabs`).
+* **Batched grant admission.**  The grant phase's break-on-deny loop
+  collapses to the closed form
+  :func:`repro.core.congestion.grant_admission_count`; per-destination
+  DRRM pointer ordering of large request batches is a numpy argsort.
+  (When a tracer or registry is live the engine defers to
+  :meth:`SiriusNode.decide_grants` so per-decision observability is
+  preserved.)
+* **Idle-epoch skipping.**  When every mask is empty, nothing is in
+  flight and no announcement is pending, *no* state can change until
+  the next flow arrival or scripted failure event — every per-node
+  phase operation is a no-op that consumes no randomness, and the DRRM
+  offsets and request histories of idle nodes do not advance.  The
+  engine jumps the epoch counter straight to the next event, which is
+  what makes sparse workloads (the bench micro scenario, long drain
+  tails, failure-wait windows) orders of magnitude cheaper.  Skipping
+  is disabled while a telemetry sampler or live observation bundle is
+  attached, since those record per-epoch series.
+
+Cells themselves stay in the per-node queue structures of
+:class:`repro.core.node.SiriusNode`: the simulation's observable output
+is per-cell (flow completion times, queue peaks, reorder distances), so
+cell identity must be preserved and per-cell queue moves remain Python.
+The slabs hold everything *about* the nodes that the epoch loop reads
+on its hot path.
+
+Seeded-run equivalence with the ``reference`` and ``fast`` backends is
+enforced by the three-way parity suite in
+``tests/core/test_fast_path_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import Deque, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.cell import Cell, Flow, cell_range
+from repro.core.congestion import grant_admission_count
+from repro.core.failures import FailurePlan
+from repro.core.telemetry import Telemetry
+from repro.obs.observation import NULL_OBS, Observation
+
+__all__ = ["VectorizedEngine"]
+
+#: Request batches at or above this size take the numpy argsort path in
+#: the grant phase; smaller ones stay on the (cheaper) list sort.
+GRANT_SORT_THRESHOLD = 64
+
+
+class VectorizedEngine:
+    """Run one :class:`SiriusNetwork` simulation on numpy slabs.
+
+    The engine is constructed per run from the owning network and
+    borrows its topology, schedule, config, RNG and nodes — it is an
+    execution strategy, not a second simulator.
+    """
+
+    def __init__(self, network) -> None:
+        self.net = network
+
+    # -- grant phase ---------------------------------------------------------
+    def _decide_grants(self, node, grants_per_destination: int,
+                       direct_window: int = 3) -> List[Tuple[int, int]]:
+        """Batched equivalent of :meth:`SiriusNode.decide_grants`.
+
+        Per destination the sequential admit-until-deny loop grants the
+        first ``grant_admission_count(...)`` sources of the DRRM
+        pointer order (or of the shuffled order in ``random`` mode) —
+        so the batch form admits the same sources, updates the same
+        bookkeeping, and consumes the same RNG draws.
+        """
+        inbox = node.request_inbox
+        if not inbox:
+            return []
+        excluded = node.excluded
+        config = node.config
+        by_dst = {}
+        for src, dst in inbox:
+            if src in excluded or dst in excluded:
+                continue
+            by_dst.setdefault(dst, []).append(src)
+        inbox.clear()
+        grants: List[Tuple[int, int]] = []
+        threshold = config.queue_threshold
+        drrm = config.selection == "drrm"
+        n_nodes = node.n_nodes
+        for dst, sources in by_dst.items():
+            if dst == node.node:
+                window = node._direct_outstanding
+                for src in sources:
+                    in_flight = window.get(src, 0)
+                    if in_flight < direct_window:
+                        window[src] = in_flight + 1
+                        grants.append((src, dst))
+                continue
+            if drrm:
+                pointer = node._grant_pointers.get(dst, 0)
+                if len(sources) >= GRANT_SORT_THRESHOLD:
+                    arr = np.asarray(sources)
+                    order = np.argsort((arr - pointer) % n_nodes)
+                    sources = arr[order].tolist()
+                else:
+                    sources.sort(key=lambda s: (s - pointer) % n_nodes)
+            else:
+                node.rng.shuffle(sources)
+            granted = grant_admission_count(
+                len(sources), len(node.fwd.get(dst, ())),
+                node.outstanding.get(dst, 0), threshold,
+                grants_per_destination,
+            )
+            if not granted:
+                continue
+            winners = sources[:granted]
+            node.outstanding[dst] = node.outstanding.get(dst, 0) + granted
+            by_src = node._outstanding_by_src
+            for src in winners:
+                pair = (src, dst)
+                by_src[pair] = by_src.get(pair, 0) + 1
+                grants.append((src, dst))
+            if drrm:
+                node._grant_pointers[dst] = (winners[-1] + 1) % n_nodes
+        return grants
+
+    # -- request phase -------------------------------------------------------
+    def _generate_requests(self, node) -> List[Tuple[int, int]]:
+        """Slice-based equivalent of :meth:`SiriusNode.generate_requests`.
+
+        Identical request list, bookkeeping and RNG consumption; the
+        DRRM intermediate rotation is two list slices instead of a
+        per-request modulo, and the common single-backlogged-destination
+        case skips the round-robin sequencing loop entirely (every
+        request of the epoch targets that destination).
+        """
+        config = node.config
+        if config.ideal:
+            return []
+        requested = node.requested
+        excluded = node.excluded
+        backlog = [
+            (dst, len(queue) - requested.get(dst, 0))
+            for dst, queue in node.local_by_dst.items()
+            if len(queue) > requested.get(dst, 0) and dst not in excluded
+        ]
+        history = node._sent_request_history
+        if not backlog:
+            history.append(Counter())
+            return []
+        others = node._others
+        drrm = config.selection == "drrm"
+        forbid_direct = config.exclude_destination_intermediate
+        single = len(backlog) == 1 and drrm and not forbid_direct
+        if single:
+            total = min(backlog[0][1], len(others))
+        else:
+            pending = dict(backlog)
+            total = min(sum(pending.values()), len(others))
+            if drrm:
+                order = sorted(pending)
+            else:
+                order = list(pending)
+                node.rng.shuffle(order)
+            dst_sequence: List[int] = []
+            idx = 0
+            while len(dst_sequence) < total:
+                dst = order[idx % len(order)]
+                if pending[dst] > 0:
+                    dst_sequence.append(dst)
+                    pending[dst] -= 1
+                    idx += 1
+                else:
+                    order.remove(dst)
+        candidates = (
+            [o for o in others if o not in excluded]
+            if excluded else others
+        )
+        total = min(total, len(candidates))
+        if drrm:
+            offset = node._request_offset
+            node._request_offset += 1
+            if total:
+                start = offset % len(candidates)
+                stop = start + total
+                if stop <= len(candidates):
+                    intermediates = candidates[start:stop]
+                else:
+                    intermediates = (candidates[start:]
+                                     + candidates[:stop - len(candidates)])
+            else:
+                intermediates = []
+        else:
+            intermediates = node.rng.sample(candidates, total)
+        if single:
+            dst = backlog[0][0]
+            if not total:
+                history.append(Counter())
+                return []
+            requested[dst] = requested.get(dst, 0) + total
+            history.append(Counter({dst: total}))
+            return [(intermediate, dst) for intermediate in intermediates]
+        requests: List[Tuple[int, int]] = []
+        batch: Counter = Counter()
+        for intermediate, dst in zip(intermediates, dst_sequence):
+            if forbid_direct and intermediate == dst:
+                continue
+            requests.append((intermediate, dst))
+            batch[dst] += 1
+            requested[dst] = requested.get(dst, 0) + 1
+        history.append(batch)
+        return requests
+
+    # -- main loop -----------------------------------------------------------
+    def run(self, flows: Sequence[Flow], *,
+            max_epochs: Optional[int] = None,
+            drain_epochs: int = 200_000,
+            check_invariants: bool = False,
+            failure_plan: Optional[FailurePlan] = None,
+            detection_epochs: int = 3,
+            telemetry: Optional[Telemetry] = None,
+            obs: Optional[Observation] = None):
+        """Simulate; same contract as :meth:`SiriusNetwork.run`."""
+        from repro.core.network import SimulationResult
+
+        net = self.net
+        if obs is None:
+            obs = NULL_OBS
+        tracer = obs.tracer
+        registry = obs.registry
+        profiler = obs.profiler
+        tracing = tracer.enabled
+        metering = registry.enabled
+        profiling = profiler.enabled
+        observing = tracing or metering
+        for node in net.nodes:
+            node.observe_with(obs)
+        if failure_plan is not None:
+            failure_plan.observe_with(obs)
+        if metering:
+            delivered_counter = registry.counter(
+                "delivered_bits_total", "application payload delivered"
+            )
+            transmitted_counter = registry.counter(
+                "cells_transmitted_total", "cells placed on schedule slots"
+            )
+            retransmit_counter = registry.counter(
+                "retransmitted_cells_total",
+                "cells resent after loss at a failed node",
+            )
+            failed_flow_counter = registry.counter(
+                "failed_flows_total", "flows terminated by node failures"
+            )
+            dropped_counter = registry.counter(
+                "cells_dropped_total", "cells purged or lost to failures"
+            )
+
+        t_mark = profiler.start_run()
+        epoch_dur = net.schedule.epoch_duration_s
+        payload_bits = net.timing.payload_bits
+        ideal = net.config.ideal
+        track_reorder = net.track_reorder
+        failed_set = failure_plan.failed if failure_plan is not None else None
+        epoch_capacity = net.epoch_capacity
+        cap_table = net._capacity_table()
+        cap_period = len(cap_table) if cap_table else 1
+        grant_cap = net.config.effective_grant_cap
+        queue_threshold = net.config.queue_threshold
+        drrm_selection = net.config.selection == "drrm"
+        flows = list(flows)
+        for i in range(1, len(flows)):
+            if flows[i].arrival_time < flows[i - 1].arrival_time:
+                raise ValueError("flows must be sorted by arrival time")
+        flow_by_id = {}
+        last_cell_bits = {}
+        offered_bits = 0.0
+        for flow in flows:
+            flow.segment(payload_bits)
+            flow_by_id[flow.flow_id] = flow
+            last_cell_bits[flow.flow_id] = (
+                flow.size_bits - (flow.n_cells - 1) * payload_bits
+            )
+            offered_bits += flow.size_bits
+
+        if max_epochs is None:
+            last_arrival = flows[-1].arrival_time if flows else 0.0
+            max_epochs = int(last_arrival / epoch_dur) + drain_epochs
+
+        nodes = net.nodes
+        n_nodes = net.topology.n_nodes
+        n_flows = len(flows)
+        pending_flows = n_flows
+        delivered_bits = 0.0
+        peak_reorder = 0
+        failed_flows = 0
+        retransmits = 0
+        dead_flows: set = set()
+        announcements: Deque[Tuple[int, int, bool]] = deque()
+
+        # The per-phase activity state, as one boolean slab per phase
+        # (the vector analogue of the fast path's active sets) plus the
+        # failure mask.  np.flatnonzero yields rows in ascending order
+        # — exactly the sorted-set visit order the reference RNG
+        # stream requires.
+        control_m = np.zeros(n_nodes, dtype=bool)
+        grant_m = np.zeros(n_nodes, dtype=bool)
+        transmit_m = np.zeros(n_nodes, dtype=bool)
+        backlog_m = np.zeros(n_nodes, dtype=bool)
+        failed_m = np.zeros(n_nodes, dtype=bool)
+        popped: set = set()
+
+        # Depth slabs: per-node queue depths, mirrored only while a
+        # metrics registry is live — they exist so the sampling hook
+        # can aggregate occupancy with three array sums instead of a
+        # full pass over node objects.
+        if metering:
+            local_depth = np.zeros(n_nodes, dtype=np.int64)
+            vq_depth = np.zeros(n_nodes, dtype=np.int64)
+            fwd_depth = np.zeros(n_nodes, dtype=np.int64)
+
+        def sync_depths(idx: int) -> None:
+            node = nodes[idx]
+            local_depth[idx] = node.local_cells
+            vq_depth[idx] = node.vq_cells
+            fwd_depth[idx] = node.fwd_cells
+
+        def alive_rows(mask) -> List[int]:
+            rows = np.flatnonzero(mask)
+            if failure_plan is not None and failed_m.any():
+                rows = rows[~failed_m[rows]]
+            return rows.tolist()
+
+        def rebuild_masks() -> None:
+            control_m[:] = False
+            grant_m[:] = False
+            transmit_m[:] = False
+            for node in nodes:
+                if not node.control_idle:
+                    control_m[node.node] = True
+                if node.request_inbox:
+                    grant_m[node.node] = True
+                if node.fwd or node.vq:
+                    transmit_m[node.node] = True
+                if metering:
+                    sync_depths(node.node)
+
+        def kill_flow(flow_id: int) -> None:
+            nonlocal pending_flows, failed_flows
+            if flow_id in dead_flows:
+                return
+            flow = flow_by_id[flow_id]
+            if flow.is_complete:
+                return
+            dead_flows.add(flow_id)
+            pending_flows -= 1
+            failed_flows += 1
+            if metering:
+                failed_flow_counter.inc()
+
+        def retransmit(cell: Cell) -> None:
+            nonlocal retransmits
+            if cell.flow_id in dead_flows:
+                return
+            if failed_set is not None and cell.src in failed_set:
+                kill_flow(cell.flow_id)
+                return
+            nodes[cell.src].enqueue_local(cell)
+            if ideal:
+                transmit_m[cell.src] = True
+            else:
+                control_m[cell.src] = True
+            if metering:
+                sync_depths(cell.src)
+            retransmits += 1
+            if metering:
+                retransmit_counter.inc()
+
+        def announce_failure(f_node: int) -> None:
+            if tracing:
+                tracer.emit("failure.announce", node=f_node)
+            for node in nodes:
+                if node.node == f_node:
+                    continue
+                node.excluded.add(f_node)
+                node.release_grants_for(f_node)
+                node.purge_destination(f_node)
+            transit, own = nodes[f_node].drain_for_failure()
+            for cell in own:
+                kill_flow(cell.flow_id)
+            for flow in flows:
+                if flow.dst == f_node:
+                    kill_flow(flow.flow_id)
+            for cell in transit:
+                retransmit(cell)
+
+        def announce_recovery(f_node: int) -> None:
+            if tracing:
+                tracer.emit("failure.recover", node=f_node)
+            for node in nodes:
+                node.excluded.discard(f_node)
+
+        def deliver(batch: List[Tuple[int, Cell, int]],
+                    arrival_time: float) -> None:
+            nonlocal pending_flows, delivered_bits, peak_reorder
+            batch_bits = 0.0
+            for recv, cell, sender in batch:
+                if failed_set is not None and recv in failed_set:
+                    if tracing:
+                        tracer.emit("cell.drop", node=recv, count=1,
+                                    flow=cell.flow_id,
+                                    reason="lost-in-flight")
+                    if metering:
+                        dropped_counter.inc(reason="lost-in-flight")
+                    if cell.dst == recv:
+                        kill_flow(cell.flow_id)
+                    else:
+                        retransmit(cell)
+                    continue
+                if cell.flow_id in dead_flows:
+                    continue
+                node = nodes[recv]
+                if cell.dst != recv:
+                    # Inline of SiriusNode.receive_transit: enqueue on
+                    # the forward queue and release the outstanding
+                    # grant the cell consumed.
+                    dst = cell.dst
+                    queue = node.fwd.get(dst)
+                    if queue is None:
+                        queue = node._queue_factory()
+                        node.fwd[dst] = queue
+                    queue.append(cell)
+                    node.fwd_cells += 1
+                    if node.fwd_cells > node.peak_fwd_cells:
+                        node.peak_fwd_cells = node.fwd_cells
+                    if tracing:
+                        tracer.emit("cell.enqueue", node=recv,
+                                    queue="fwd", flow=cell.flow_id,
+                                    dst=dst)
+                    if not ideal:
+                        outstanding = node.outstanding.get(dst, 0)
+                        if outstanding <= 0:
+                            raise RuntimeError(
+                                f"node {recv}: transit cell for {dst} "
+                                "arrived without an outstanding grant"
+                            )
+                        if outstanding == 1:
+                            del node.outstanding[dst]
+                        else:
+                            node.outstanding[dst] = outstanding - 1
+                        pair = (cell.src, dst)
+                        by_src = node._outstanding_by_src.get(pair, 0)
+                        if by_src == 1:
+                            del node._outstanding_by_src[pair]
+                        elif by_src > 1:
+                            node._outstanding_by_src[pair] = by_src - 1
+                    transmit_m[recv] = True
+                    if metering:
+                        sync_depths(recv)
+                    continue
+                if sender == cell.src and not ideal:
+                    node.note_direct_arrival(sender)
+                flow = flow_by_id[cell.flow_id]
+                if track_reorder:
+                    node.reorder.accept(cell.flow_id, cell.seq)
+                if cell.seq == flow.n_cells - 1:
+                    cell_bits = last_cell_bits[cell.flow_id]
+                else:
+                    cell_bits = payload_bits
+                delivered_bits += cell_bits
+                batch_bits += cell_bits
+                if flow.record_delivery(arrival_time):
+                    pending_flows -= 1
+                    if tracing:
+                        tracer.emit("flow.completion", node=recv,
+                                    flow=cell.flow_id)
+                    if track_reorder:
+                        peak = node.reorder.peak_flow_cells
+                        if peak > peak_reorder:
+                            peak_reorder = peak
+                        node.reorder.finish_flow(cell.flow_id)
+            if metering and batch_bits:
+                delivered_counter.inc(batch_bits)
+
+        next_flow = 0
+        in_flight: List[Tuple[int, Cell, int]] = []
+        server_backlog: List[Deque[Tuple[Flow, int]]] = [
+            deque() for _ in nodes
+        ]
+        local_capacity = net.local_capacity_cells
+        # Idle-epoch skipping records per-epoch nothing, so it is only
+        # legal when nothing records per-epoch series either.
+        can_skip = telemetry is None and not obs.enabled
+        epoch = 0
+        if profiling:
+            t_mark = profiler.lap("setup", t_mark)
+        while epoch < max_epochs:
+            if tracing:
+                tracer.at(epoch, epoch * epoch_dur)
+                tracer.emit("epoch", in_flight=len(in_flight))
+            if profiling:
+                profiler.set_epoch(epoch)
+
+            # Phase 0: failure events fire; announcements propagate
+            # after the detection delay.
+            if failure_plan is not None:
+                for event in failure_plan.advance_to(epoch):
+                    failed_m[event.node] = event.fails
+                    announcements.append(
+                        (epoch + detection_epochs, event.node, event.fails)
+                    )
+                announced = False
+                while announcements and announcements[0][0] <= epoch:
+                    _eff, f_node, fails = announcements.popleft()
+                    if fails:
+                        announce_failure(f_node)
+                    else:
+                        announce_recovery(f_node)
+                    announced = True
+                if announced:
+                    rebuild_masks()
+            if profiling:
+                t_mark = profiler.lap("failures", t_mark)
+
+            # Phase 1: deliver last epoch's transmissions.
+            if in_flight:
+                deliver(in_flight, epoch * epoch_dur)
+                in_flight = []
+            if profiling:
+                t_mark = profiler.lap("deliver", t_mark)
+
+            # Phase 2: resolve the completed request round.
+            if not ideal:
+                popped.clear()
+                for idx in alive_rows(control_m):
+                    node = nodes[idx]
+                    if node.control_idle:
+                        control_m[idx] = False
+                        continue
+                    node.apply_grants_and_expiries()
+                    popped.add(idx)
+                    if metering:
+                        sync_depths(idx)
+                    if node.vq_cells:
+                        transmit_m[idx] = True
+            if profiling:
+                t_mark = profiler.lap("resolve", t_mark)
+
+            # Phase 3: admit arrivals whose time falls inside this epoch.
+            horizon = (epoch + 1) * epoch_dur
+            while next_flow < n_flows and (
+                flows[next_flow].arrival_time < horizon
+            ):
+                flow = flows[next_flow]
+                next_flow += 1
+                if tracing:
+                    tracer.emit("flow.arrival", node=flow.src,
+                                flow=flow.flow_id, dst=flow.dst,
+                                cells=flow.n_cells)
+                if failed_set is not None and (
+                    flow.src in failed_set or flow.dst in failed_set
+                ):
+                    kill_flow(flow.flow_id)
+                    continue
+                if local_capacity is None:
+                    src = flow.src
+                    nodes[src].enqueue_local_cells(
+                        cell_range(flow, 0, flow.n_cells)
+                    )
+                    if metering:
+                        sync_depths(src)
+                    if ideal:
+                        transmit_m[src] = True
+                    else:
+                        if src not in popped:
+                            # A node re-activating after the resolve
+                            # phase replays the history rotation it
+                            # slept through (same asymmetry as the
+                            # fast path's admission-time catch-up).
+                            nodes[src].catch_up_history()
+                            popped.add(src)
+                        control_m[src] = True
+                else:
+                    server_backlog[flow.src].append((flow, 0))
+                    backlog_m[flow.src] = True
+            if local_capacity is not None:
+                limit = local_capacity
+                for idx in np.flatnonzero(backlog_m).tolist():
+                    node = nodes[idx]
+                    backlog = server_backlog[idx]
+                    while backlog and node.local_cells < limit:
+                        flow, start = backlog[0]
+                        if flow.flow_id in dead_flows:
+                            backlog.popleft()
+                            continue
+                        room = limit - node.local_cells
+                        end = min(flow.n_cells, start + room)
+                        node.enqueue_local_cells(cell_range(flow, start, end))
+                        if metering:
+                            sync_depths(idx)
+                        if ideal:
+                            transmit_m[idx] = True
+                        else:
+                            if idx not in popped:
+                                node.catch_up_history()
+                                popped.add(idx)
+                            control_m[idx] = True
+                        if end == flow.n_cells:
+                            backlog.popleft()
+                        else:
+                            backlog[0] = (flow, end)
+                            break
+                    if not backlog:
+                        backlog_m[idx] = False
+            if profiling:
+                t_mark = profiler.lap("admit", t_mark)
+
+            # Phases 4-5: grant round, then request round (grants act
+            # on the requests received in the *previous* epoch, §4.3).
+            capacity = (cap_table[epoch % cap_period] if cap_table
+                        else epoch_capacity(epoch))
+            if not ideal:
+                for idx in alive_rows(grant_m):
+                    grant_m[idx] = False
+                    node = nodes[idx]
+                    if observing:
+                        grants = node.decide_grants(grant_cap)
+                    elif len(node.request_inbox) == 1:
+                        # Dominant case on sparse workloads: one request
+                        # pending.  A one-element source list needs no
+                        # ordering (and a one-element shuffle draws
+                        # nothing), so this inline skips the method
+                        # call, grouping dict and sort of the batch
+                        # path while leaving protocol state and RNG
+                        # exactly as it would.
+                        src, dst = node.request_inbox[0]
+                        node.request_inbox.clear()
+                        grants = ()
+                        if src in node.excluded or dst in node.excluded:
+                            pass
+                        elif dst == idx:
+                            window = node._direct_outstanding
+                            direct = window.get(src, 0)
+                            if direct < 3:
+                                window[src] = direct + 1
+                                grants = ((src, dst),)
+                        else:
+                            outstanding = node.outstanding.get(dst, 0)
+                            if (grant_cap >= 1
+                                    and len(node.fwd.get(dst, ()))
+                                    + outstanding < queue_threshold):
+                                node.outstanding[dst] = outstanding + 1
+                                pair = (src, dst)
+                                node._outstanding_by_src[pair] = (
+                                    node._outstanding_by_src.get(pair, 0)
+                                    + 1
+                                )
+                                if drrm_selection:
+                                    node._grant_pointers[dst] = (
+                                        (src + 1) % n_nodes
+                                    )
+                                grants = (pair,)
+                    else:
+                        grants = self._decide_grants(node, grant_cap)
+                    for src, dst in grants:
+                        if failed_set is not None and src in failed_set:
+                            continue
+                        nodes[src].grant_inbox.append((idx, dst))
+                        if src not in popped:
+                            nodes[src].catch_up_history()
+                            popped.add(src)
+                        control_m[src] = True
+                for idx in alive_rows(control_m):
+                    node = nodes[idx]
+                    for intermediate, dst in self._generate_requests(node):
+                        nodes[intermediate].request_inbox.append((idx, dst))
+                        grant_m[intermediate] = True
+                    if node.control_idle:
+                        control_m[idx] = False
+            if profiling:
+                t_mark = profiler.lap("control", t_mark)
+
+            # Phase 6: transmit on every busy pair slot.  The busy-
+            # destination scan is inlined (same key-set union, so the
+            # same visiting order as SiriusNode.busy_destinations —
+            # a transmit-mask bit guarantees a non-empty queue), and so
+            # is the protocol-mode branch of SiriusNode.dequeue_for:
+            # forward cells first, then granted virtual-queue cells, up
+            # to the slot capacity.  Ideal mode keeps the method call
+            # (fair-queue alternation), as do traced runs (per-cell
+            # ``cell.dequeue`` events).
+            for idx in alive_rows(transmit_m):
+                node = nodes[idx]
+                fwd = node.fwd
+                vq = node.vq
+                if ideal or tracing:
+                    for dst in list(fwd.keys() | vq.keys()):
+                        for cell in node.dequeue_for(dst, capacity):
+                            in_flight.append((dst, cell, idx))
+                            if tracing:
+                                tracer.emit("cell.dequeue", node=idx,
+                                            to=dst, flow=cell.flow_id,
+                                            dst=cell.dst)
+                elif capacity > 0:
+                    for dst in list(fwd.keys() | vq.keys()):
+                        taken = 0
+                        fwd_queue = fwd.get(dst)
+                        if fwd_queue:
+                            while fwd_queue and taken < capacity:
+                                in_flight.append(
+                                    (dst, fwd_queue.popleft(), idx)
+                                )
+                                taken += 1
+                            if not fwd_queue:
+                                del fwd[dst]
+                            node.fwd_cells -= taken
+                        vq_queue = vq.get(dst)
+                        if vq_queue and taken < capacity:
+                            vq_taken = 0
+                            while vq_queue and taken + vq_taken < capacity:
+                                in_flight.append(
+                                    (dst, vq_queue.popleft(), idx)
+                                )
+                                vq_taken += 1
+                            if not vq_queue:
+                                del vq[dst]
+                            node.vq_cells -= vq_taken
+                if metering:
+                    sync_depths(idx)
+                if not node.fwd and not node.vq:
+                    transmit_m[idx] = False
+            if metering and in_flight:
+                transmitted_counter.inc(len(in_flight))
+            if profiling:
+                t_mark = profiler.lap("transmit", t_mark)
+
+            if check_invariants:
+                for node in nodes:
+                    node.check_invariants()
+
+            if telemetry is not None:
+                telemetry.sample(epoch, nodes, len(in_flight),
+                                 delivered_bits)
+            if metering and epoch % obs.sample_every == 0:
+                obs.sample_network_slabs(epoch, local_depth, vq_depth,
+                                         fwd_depth, len(in_flight),
+                                         delivered_bits)
+            if profiling:
+                t_mark = profiler.lap("observe", t_mark)
+
+            epoch += 1
+            if (pending_flows == 0 and not in_flight
+                    and next_flow >= n_flows and not backlog_m.any()):
+                break
+
+            # Idle-epoch skip: with every mask empty, nothing in flight
+            # and no pending announcement, each epoch until the next
+            # external event is a proven no-op for every node — no
+            # queue moves, no history rotation, no RNG draw — so the
+            # epoch counter can jump there directly.
+            if (can_skip and not in_flight and not announcements
+                    and not (control_m.any() or grant_m.any()
+                             or transmit_m.any() or backlog_m.any())):
+                targets = []
+                if next_flow < n_flows:
+                    targets.append(
+                        int(flows[next_flow].arrival_time / epoch_dur)
+                    )
+                if failure_plan is not None:
+                    next_event = failure_plan.next_event_epoch()
+                    if next_event is not None:
+                        targets.append(next_event)
+                target = min(targets) if targets else max_epochs
+                if target > epoch:
+                    epoch = min(target, max_epochs)
+
+        if tracing:
+            tracer.at(epoch, epoch * epoch_dur)
+        if in_flight:
+            deliver(in_flight, epoch * epoch_dur)
+
+        duration = max(epoch, 1) * epoch_dur
+        if profiling:
+            profiler.lap("finalize", t_mark)
+            profiler.end_run()
+        return SimulationResult(
+            flows=flows,
+            epochs=epoch,
+            duration_s=duration,
+            delivered_bits=delivered_bits,
+            offered_bits=offered_bits,
+            reference_node_bandwidth_bps=net.reference_node_bandwidth_bps,
+            n_nodes=n_nodes,
+            cell_bytes=net.timing.cell_bytes,
+            peak_fwd_cells=max(n.peak_fwd_cells for n in nodes),
+            peak_local_cells=max(n.peak_local_cells for n in nodes),
+            peak_reorder_cells=peak_reorder,
+            config=net.config,
+            failed_flows=failed_flows,
+            retransmitted_cells=retransmits,
+        )

@@ -106,6 +106,37 @@ class Observation:
             delivered_bits, at=epoch
         )
 
+    def sample_network_slabs(self, epoch: int, local_depth, vq_depth,
+                             fwd_depth, in_flight: int,
+                             delivered_bits: float) -> None:
+        """Publish one epoch's queue state from per-node depth slabs.
+
+        The vectorized backend's counterpart to :meth:`sample_network`:
+        the depth arguments are integer numpy arrays (one entry per
+        node), so the aggregate occupancy series cost three array sums
+        instead of a Python pass over every node object.  The per-node
+        labelled gauges of :meth:`sample_network` are deliberately not
+        published — materializing thousands of labelled samples per
+        epoch is exactly the per-node work the slabs exist to avoid;
+        use the ``fast`` backend for per-node drill-down.
+        """
+        registry = self.registry
+        local = int(local_depth.sum())
+        vq = int(vq_depth.sum())
+        fwd = int(fwd_depth.sum())
+        registry.gauge("net_local_cells", track=True).set(local, at=epoch)
+        registry.gauge("net_vq_cells", track=True).set(vq, at=epoch)
+        registry.gauge("net_fwd_cells", track=True).set(fwd, at=epoch)
+        registry.gauge("net_in_flight_cells", track=True).set(
+            in_flight, at=epoch
+        )
+        registry.gauge("net_backlog_cells", track=True).set(
+            local + vq + fwd + in_flight, at=epoch
+        )
+        registry.gauge("net_delivered_bits", track=True).set(
+            delivered_bits, at=epoch
+        )
+
 
 #: The module-wide no-op bundle the simulators default to.
 NULL_OBS = Observation()

@@ -5,13 +5,16 @@
   and merges results in submission order (deterministic by
   construction; see the module docstring for the guarantees).
 * :mod:`repro.perf.bench` — the ``sirius-repro bench`` harness: a
-  pinned scenario matrix timing the cell simulator's fast and
-  reference paths, the fluid simulator and an end-to-end sweep,
-  snapshotted to ``BENCH_<date>.json``.
+  pinned scenario matrix timing the cell simulator's three backends
+  (``reference``/``fast``/``vectorized``), the vectorized backend at
+  paper scale (512/4096 nodes), the fluid simulator and an end-to-end
+  sweep, snapshotted to ``BENCH_<date>.json``.
 """
 
 from repro.perf.bench import (
     BENCH_SCHEMA,
+    BENCH_SCHEMA_V1,
+    VECTORIZED_4096_RSS_BUDGET_KB,
     run_bench,
     validate_payload,
     write_payload,
@@ -28,6 +31,8 @@ from repro.perf.sweep import (
 
 __all__ = [
     "BENCH_SCHEMA",
+    "BENCH_SCHEMA_V1",
+    "VECTORIZED_4096_RSS_BUDGET_KB",
     "FluidSweepJob",
     "ParallelSweepRunner",
     "SiriusSweepJob",

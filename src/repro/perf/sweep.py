@@ -82,6 +82,7 @@ class SiriusSweepJob:
     workload_seed: int = 2
     max_epochs: Optional[int] = None
     fast_path: Optional[bool] = None
+    backend: Optional[str] = None
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -134,6 +135,7 @@ class SweepPoint:
     delivered_bits: float
     #: Cell-simulator extras (zero for fluid points).
     epochs: int = 0
+    delivered_cells: int = 0
     peak_fwd_cells: int = 0
     peak_local_cells: int = 0
     peak_reorder_cells: int = 0
@@ -171,6 +173,7 @@ def run_sirius_job(job: SiriusSweepJob) -> SweepPoint:
         local_capacity_cells=job.local_capacity_cells,
         seed=job.seed,
         fast_path=job.fast_path,
+        backend=job.backend,
     )
     workload = _make_workload(
         job.n_nodes, job.load, net.reference_node_bandwidth_bps,
@@ -190,6 +193,7 @@ def run_sirius_job(job: SiriusSweepJob) -> SweepPoint:
         duration_s=result.duration_s,
         delivered_bits=result.delivered_bits,
         epochs=result.epochs,
+        delivered_cells=result.delivered_cells,
         peak_fwd_cells=result.peak_fwd_cells,
         peak_local_cells=result.peak_local_cells,
         peak_reorder_cells=result.peak_reorder_cells,

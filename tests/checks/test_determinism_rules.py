@@ -48,6 +48,24 @@ class TestGlobalRng:
         random.seed(0)
         """) == ["D201"]
 
+    def test_bad_numpy_exotic_distribution(self):
+        # The lint covers the whole legacy sampling surface, not just
+        # the common draws.
+        assert codes("""\
+        import numpy as np
+
+        def sizes(n):
+            return np.random.zipf(2.0, size=n)
+        """) == ["D201"]
+
+    def test_bad_numpy_state_poke(self):
+        assert codes("""\
+        import numpy as np
+
+        def rewind(state):
+            np.random.set_state(state)
+        """) == ["D201"]
+
     def test_good_injected_rng(self):
         assert codes("""\
         import random
@@ -96,6 +114,52 @@ class TestUnseededRng:
 
         rng = random.SystemRandom()
         """) == ["D202"]
+
+    def test_bad_unseeded_random_state(self):
+        assert codes("""\
+        import numpy as np
+
+        rng = np.random.RandomState()
+        """) == ["D202"]
+
+    def test_bad_imported_random_state(self):
+        assert codes("""\
+        from numpy.random import RandomState
+
+        rng = RandomState()
+        """) == ["D202"]
+
+    def test_bad_none_seed_is_unseeded(self):
+        # A literal None seed is "pull entropy from the OS" spelled out.
+        assert codes("""\
+        import numpy as np
+
+        rng = np.random.default_rng(None)
+        """) == ["D202"]
+
+    def test_bad_none_seed_keyword(self):
+        assert codes("""\
+        from numpy.random import default_rng
+
+        rng = default_rng(seed=None)
+        """) == ["D202"]
+
+    def test_good_seeded_random_state(self):
+        assert codes("""\
+        import numpy as np
+
+        rng = np.random.RandomState(7)
+        """) == []
+
+    def test_good_seed_threaded_through(self):
+        # A non-literal seed expression is the injection pattern, not
+        # hidden entropy — the lint must not force constants.
+        assert codes("""\
+        from numpy.random import default_rng
+
+        def make(seed):
+            return default_rng(seed=seed)
+        """) == []
 
     def test_good_seeded_random(self):
         assert codes("""\

@@ -1,13 +1,15 @@
-"""The active-set fast path is bit-identical to the reference path.
+"""Every simulation backend is bit-identical to the reference loop.
 
-The fast path (``SiriusNetwork(fast_path=True)``, the default) replaces
-the reference's all-nodes scans with sparse active-set iteration, table
-lookups and slab cell construction — but shares the reference's single
-RNG stream and visit order, so a seeded run must produce *exactly* the
+The cell simulator keeps three interchangeable epoch-loop strategies
+(:mod:`repro.core.backend`): the all-nodes ``reference`` loop, the
+active-set ``fast`` path (the default) and the numpy-slab
+``vectorized`` engine.  All three share the reference's single RNG
+stream and visit order, so a seeded run must produce *exactly* the
 same ``SimulationResult``, not merely a statistically similar one.
-These tests pin that contract across every scheduling mode the
-simulator supports, plus a failure/recovery scenario; the fluid
-simulator's precomputed-resources fast path gets the same treatment.
+These tests pin that contract three ways across every scheduling mode
+the simulator supports, plus a failure/recovery scenario and a scale
+ladder (16/64/256 nodes); the fluid simulator's precomputed-resources
+fast path gets the same treatment.
 """
 
 import pytest
@@ -21,6 +23,7 @@ from repro import (
     WorkloadConfig,
     pod_map_for,
 )
+from repro.core.backend import BACKEND_ENV, BACKENDS, resolve_backend
 from repro.core.fastpath import FAST_PATH_ENV, resolve_fast_path
 from repro.units import KILOBYTE, MEGABYTE
 
@@ -58,23 +61,34 @@ def _fingerprint(result):
     )
 
 
-def _run_pair(*, seed=1, workload_seed=5, make_plan=None, **net_kwargs):
-    """One seeded run per path; returns (fast, reference) fingerprints.
+def _run_backends(*, seed=1, workload_seed=5, make_plan=None,
+                  n_nodes=N_NODES, grating=GRATING, n_flows=60,
+                  **net_kwargs):
+    """One seeded run per backend; returns fingerprints keyed by name.
 
     ``make_plan`` is a factory, not a plan: a ``FailurePlan`` is
     stateful (it tracks fired events and the failed set), so each run
     needs its own instance.
     """
-    results = []
-    for fast in (True, False):
-        net = SiriusNetwork(N_NODES, GRATING, uplink_multiplier=1.5,
-                            seed=seed, fast_path=fast, **net_kwargs)
+    prints = {}
+    for backend in BACKENDS:
+        net = SiriusNetwork(n_nodes, grating, uplink_multiplier=1.5,
+                            seed=seed, backend=backend, **net_kwargs)
         flows = _workload(net.reference_node_bandwidth_bps,
-                          seed=workload_seed)
+                          seed=workload_seed, n_nodes=n_nodes,
+                          n_flows=n_flows)
         plan = make_plan() if make_plan is not None else None
-        results.append(net.run(flows, failure_plan=plan,
-                               check_invariants=True))
-    return tuple(_fingerprint(r) for r in results)
+        prints[backend] = _fingerprint(net.run(
+            flows, failure_plan=plan, check_invariants=True))
+    return prints
+
+
+def _assert_all_equal(prints):
+    reference = prints["reference"]
+    for backend, fingerprint in prints.items():
+        assert fingerprint == reference, (
+            f"{backend} backend diverged from reference"
+        )
 
 
 CONFIG_CASES = {
@@ -84,30 +98,117 @@ CONFIG_CASES = {
     "single-grant": dict(
         config=CongestionConfig(max_grants_per_destination=1)
     ),
+    "exclude-dst-intermediate": dict(
+        config=CongestionConfig(exclude_destination_intermediate=True)
+    ),
     "bounded-local": dict(local_capacity_cells=32),
     "track-reorder": dict(track_reorder=True),
+}
+
+#: The scale ladder: (nodes, grating ports, flows).  Flow counts shrink
+#: as the topology grows to keep the reference runs affordable.
+SCALE_CASES = {
+    "16-node": (16, 4, 60),
+    "64-node": (64, 8, 60),
+    "256-node": (256, 16, 40),
 }
 
 
 class TestSiriusEquivalence:
     @pytest.mark.parametrize("case", sorted(CONFIG_CASES))
     def test_identical_results_per_config(self, case):
-        fast, reference = _run_pair(**CONFIG_CASES[case])
-        assert fast == reference
+        _assert_all_equal(_run_backends(**CONFIG_CASES[case]))
 
     @pytest.mark.parametrize("seed", [1, 7])
     def test_identical_results_across_seeds(self, seed):
-        fast, reference = _run_pair(seed=seed, workload_seed=seed + 4)
-        assert fast == reference
+        _assert_all_equal(_run_backends(seed=seed,
+                                        workload_seed=seed + 4))
 
     def test_identical_results_under_failure_and_recovery(self):
-        fast, reference = _run_pair(make_plan=lambda: (
+        _assert_all_equal(_run_backends(make_plan=lambda: (
             FailurePlan.single_failure(3, at_epoch=30, recover_at=60)
-        ))
-        assert fast == reference
+        )))
 
     def test_fast_path_on_by_default(self):
         assert SiriusNetwork(8, 4).fast_path is resolve_fast_path(None)
+
+
+class TestScaleParity:
+    """The three-way contract holds as the topology grows."""
+
+    @pytest.mark.parametrize("case", sorted(SCALE_CASES))
+    def test_identical_results_at_scale(self, case):
+        nodes, grating, n_flows = SCALE_CASES[case]
+        _assert_all_equal(_run_backends(
+            n_nodes=nodes, grating=grating, n_flows=n_flows,
+        ))
+
+    def test_bounded_local_and_reorder_at_scale(self):
+        nodes, grating, n_flows = SCALE_CASES["64-node"]
+        _assert_all_equal(_run_backends(
+            n_nodes=nodes, grating=grating, n_flows=n_flows,
+            local_capacity_cells=32, track_reorder=True,
+        ))
+
+    def test_failure_and_recovery_at_scale(self):
+        nodes, grating, n_flows = SCALE_CASES["64-node"]
+        _assert_all_equal(_run_backends(
+            n_nodes=nodes, grating=grating, n_flows=n_flows,
+            make_plan=lambda: FailurePlan.single_failure(
+                5, at_epoch=20, recover_at=50
+            ),
+        ))
+
+
+class TestBackendResolution:
+    def test_explicit_argument_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "reference")
+        assert resolve_backend("vectorized") == "vectorized"
+        assert SiriusNetwork(8, 4, backend="fast").backend == "fast"
+
+    def test_explicit_backend_wins_over_fast_path(self):
+        assert resolve_backend("vectorized", fast_path=False) == "vectorized"
+        net = SiriusNetwork(8, 4, backend="reference", fast_path=True)
+        assert net.backend == "reference"
+
+    def test_legacy_fast_path_argument_maps(self):
+        assert resolve_backend(None, fast_path=True) == "fast"
+        assert resolve_backend(None, fast_path=False) == "reference"
+
+    def test_env_selects_backend(self, monkeypatch):
+        for name in BACKENDS:
+            monkeypatch.setenv(BACKEND_ENV, name)
+            assert resolve_backend(None) == name
+            assert SiriusNetwork(8, 4).backend == name
+
+    def test_env_wins_over_legacy_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "vectorized")
+        monkeypatch.setenv(FAST_PATH_ENV, "0")
+        assert resolve_backend(None) == "vectorized"
+
+    def test_legacy_env_still_honoured(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        monkeypatch.setenv(FAST_PATH_ENV, "0")
+        assert resolve_backend(None) == "reference"
+        monkeypatch.setenv(FAST_PATH_ENV, "1")
+        assert resolve_backend(None) == "fast"
+
+    def test_default_is_fast(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        monkeypatch.delenv(FAST_PATH_ENV, raising=False)
+        assert resolve_backend(None) == "fast"
+
+    def test_invalid_names_raise(self, monkeypatch):
+        with pytest.raises(ValueError, match="unknown backend"):
+            resolve_backend("warp")
+        monkeypatch.setenv(BACKEND_ENV, "warp")
+        with pytest.raises(ValueError, match=BACKEND_ENV):
+            resolve_backend(None)
+
+    def test_fast_path_attribute_tracks_backend(self):
+        assert SiriusNetwork(8, 4, backend="vectorized").fast_path is True
+        assert SiriusNetwork(8, 4, backend="fast").fast_path is True
+        assert SiriusNetwork(8, 4, backend="reference").fast_path is False
 
 
 class TestFluidEquivalence:

@@ -5,13 +5,23 @@ from pathlib import Path
 
 import pytest
 
-from repro.perf import BENCH_SCHEMA, run_bench, validate_payload, write_payload
+from repro.perf import (
+    BENCH_SCHEMA,
+    BENCH_SCHEMA_V1,
+    VECTORIZED_4096_RSS_BUDGET_KB,
+    run_bench,
+    validate_payload,
+    write_payload,
+)
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
 
 @pytest.fixture(scope="module")
 def quick_payload():
+    # The tier-1 smoke invocation of `sirius-repro bench --quick`: the
+    # pinned 64-node micro scenario runs for all three backends even in
+    # quick mode (only fluid/sweep shrink and the scale runs drop out).
     return run_bench(quick=True, workers=2)
 
 
@@ -26,9 +36,31 @@ class TestQuickRun:
         assert scenarios == {
             "micro_epoch_loop[fast]",
             "micro_epoch_loop[reference]",
+            "micro_epoch_loop[vectorized]",
             "fluid_events",
             "sweep_e2e",
         }
+
+    def test_micro_covers_all_backends_at_full_scale(self, quick_payload):
+        micro = [r for r in quick_payload["records"]
+                 if r["scenario"].startswith("micro_epoch_loop")]
+        assert {r["backend"] for r in micro} == {
+            "reference", "fast", "vectorized",
+        }
+        assert all(r["nodes"] == 64 for r in micro)
+
+    def test_speedups_recorded(self, quick_payload):
+        assert quick_payload["micro_speedup"] > 0
+        assert quick_payload["vectorized_speedup"] > 0
+
+    def test_sweep_reports_real_cell_throughput(self, quick_payload):
+        sweep = next(r for r in quick_payload["records"]
+                     if r["scenario"] == "sweep_e2e")
+        # The sweep delivers cells, so its throughput cannot be the
+        # 0.0 placeholder it once was — and each job reports goodput.
+        assert sweep["cells_per_s"] > 0
+        assert len(sweep["goodputs"]) == sweep["jobs"]
+        assert all(g > 0 for g in sweep["goodputs"])
 
     def test_phase_totals_attached_to_micro(self, quick_payload):
         fast = next(r for r in quick_payload["records"]
@@ -67,6 +99,43 @@ class TestValidation:
         with pytest.raises(ValueError, match="fluid_events"):
             validate_payload(dict(quick_payload, records=records))
 
+    def test_rejects_missing_vectorized_scenario(self, quick_payload):
+        records = [r for r in quick_payload["records"]
+                   if r["scenario"] != "micro_epoch_loop[vectorized]"]
+        with pytest.raises(ValueError, match="vectorized"):
+            validate_payload(dict(quick_payload, records=records))
+
+    def test_full_payload_requires_scale_scenarios(self, quick_payload):
+        # A non-quick v2 payload without the paper-scale records is
+        # incomplete by definition.
+        with pytest.raises(ValueError, match="scale_"):
+            validate_payload(dict(quick_payload, quick=False))
+
+    def test_rejects_scale_4096_over_memory_budget(self, quick_payload):
+        records = [dict(r) for r in quick_payload["records"]]
+        records.append({
+            "scenario": "scale_512[vectorized]", "nodes": 512,
+            "epochs": 10_000, "wall_s": 1.0, "cells_per_s": 1.0,
+            "peak_rss_kb": 50_000,
+        })
+        records.append({
+            "scenario": "scale_4096[vectorized]", "nodes": 4096,
+            "epochs": 10_000, "wall_s": 1.0, "cells_per_s": 1.0,
+            "peak_rss_kb": VECTORIZED_4096_RSS_BUDGET_KB + 1,
+        })
+        with pytest.raises(ValueError, match="slab budget"):
+            validate_payload(dict(quick_payload, quick=False,
+                                  records=records))
+
+    def test_accepts_v1_payload_without_vectorized(self, quick_payload):
+        # Committed v1 baselines predate the vectorized backend; they
+        # must keep validating without its scenarios or speedup field.
+        records = [r for r in quick_payload["records"]
+                   if r["scenario"] != "micro_epoch_loop[vectorized]"]
+        v1 = dict(quick_payload, schema=BENCH_SCHEMA_V1, records=records)
+        v1.pop("vectorized_speedup")
+        validate_payload(v1)
+
 
 class TestCommittedBaseline:
     def test_baseline_exists_and_validates(self):
@@ -76,9 +145,10 @@ class TestCommittedBaseline:
             payload = json.loads(path.read_text())
             validate_payload(payload)
 
-    def test_baseline_records_fast_path_win(self):
-        # The acceptance bar for the fast path: >= 2x cells/s over the
-        # reference on the pinned (non-quick) micro scenario.
+    def test_baseline_records_backend_wins(self):
+        # The acceptance bars: >= 2x cells/s for the fast path and
+        # >= 3x for the vectorized backend over the reference on the
+        # pinned (non-quick) micro scenario.
         full = [
             json.loads(path.read_text())
             for path in REPO_ROOT.glob("BENCH_*.json")
@@ -87,3 +157,25 @@ class TestCommittedBaseline:
         assert full, "no full-scale committed baseline"
         for payload in full:
             assert payload["micro_speedup"] >= 2.0
+            if payload["schema"] == BENCH_SCHEMA:
+                assert payload["vectorized_speedup"] >= 3.0
+
+    def test_v2_baseline_covers_paper_scale(self):
+        v2 = [
+            json.loads(path.read_text())
+            for path in REPO_ROOT.glob("BENCH_*.json")
+        ]
+        v2 = [p for p in v2
+              if p["schema"] == BENCH_SCHEMA and not p["quick"]]
+        assert v2, "no committed v2 full-scale baseline"
+        for payload in v2:
+            scale = {r["scenario"]: r for r in payload["records"]
+                     if r["scenario"].startswith("scale_")}
+            assert set(scale) == {"scale_512[vectorized]",
+                                  "scale_4096[vectorized]"}
+            big = scale["scale_4096[vectorized]"]
+            # The headline acceptance run: a 4096-node, ~10k-epoch
+            # vectorized simulation in far under five minutes.
+            assert big["epochs"] >= 9000
+            assert big["wall_s"] < 300
+            assert big["peak_rss_kb"] <= VECTORIZED_4096_RSS_BUDGET_KB
