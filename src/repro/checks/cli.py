@@ -8,6 +8,8 @@ Usage::
     sirius-lint src/repro --ignore I302        # everything but these
     sirius-lint src/repro --no-baseline        # report *all* findings
     sirius-lint src/repro --write-baseline     # accept current findings
+    sirius-lint src/repro --stats              # per-family/pass timings
+    sirius-lint src/repro --sarif-out lint.sarif   # CI artifact
 
 Exit status: 0 when no *new* findings relative to the baseline (and no
 stale baseline entries), 1 otherwise, 2 on usage errors.
@@ -36,6 +38,7 @@ from repro.checks.baseline import (
 )
 from repro.checks.engine import (
     Finding,
+    LintStats,
     filter_rules,
     format_json,
     format_sarif,
@@ -113,6 +116,14 @@ def _build_parser() -> argparse.ArgumentParser:
                              "and exit 0")
     parser.add_argument("--list-rules", action="store_true",
                         help="list available rules and exit")
+    parser.add_argument("--stats", action="store_true",
+                        help="print findings-per-family counts and wall "
+                             "time per pass to stderr")
+    parser.add_argument("--sarif-out", type=Path, default=None,
+                        metavar="PATH",
+                        help="additionally write a SARIF 2.1.0 log of the "
+                             "new findings to PATH (CI artifact), whatever "
+                             "--format says")
     return parser
 
 
@@ -159,7 +170,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print("sirius-lint: --select matched no rules", file=sys.stderr)
         return 2
 
-    findings = run_checks(paths, rules, root=root)
+    stats = LintStats() if args.stats else None
+    findings = run_checks(paths, rules, root=root, stats=stats)
 
     baseline_path = args.baseline
     if baseline_path is None:
@@ -185,7 +197,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return 2
         new, stale = diff_against_baseline(findings, baseline)
 
+    if args.sarif_out is not None:
+        args.sarif_out.parent.mkdir(parents=True, exist_ok=True)
+        args.sarif_out.write_text(format_sarif(new, rules=ALL_RULES) + "\n",
+                                  encoding="utf-8")
     _report(args.format, new, stale, total=len(findings))
+    if stats is not None:
+        print(stats.render(), file=sys.stderr)
     return 1 if (new or stale) else 0
 
 

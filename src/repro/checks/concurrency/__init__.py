@@ -1,0 +1,29 @@
+"""Concurrency, async-blocking and pickle-safety analysis.
+
+The third analysis layer on top of the :mod:`repro.checks.flow` symbol
+table and call graph.  Three rule families share one
+:class:`~repro.checks.concurrency.boundaries.ConcurrencyAnalysis`
+computed per lint run:
+
+* ``C9xx`` — cross-process races and fork-inherited state
+  (:mod:`.race_rules`);
+* ``B10xx`` — event-loop blocking on async call paths
+  (:mod:`.async_rules`);
+* ``K11xx`` — pickle-safety of everything crossing the sweep's
+  process boundary (:mod:`.pickle_rules`).
+"""
+
+from repro.checks.concurrency.async_rules import ASYNC_RULES
+from repro.checks.concurrency.boundaries import ConcurrencyAnalysis
+from repro.checks.concurrency.pickle_rules import PICKLE_RULES
+from repro.checks.concurrency.race_rules import RACE_RULES
+
+__all__ = [
+    "ASYNC_RULES",
+    "CONCURRENCY_RULES",
+    "ConcurrencyAnalysis",
+    "PICKLE_RULES",
+    "RACE_RULES",
+]
+
+CONCURRENCY_RULES = [*RACE_RULES, *ASYNC_RULES, *PICKLE_RULES]

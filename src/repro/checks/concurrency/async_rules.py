@@ -1,0 +1,174 @@
+"""Async event-loop blocking rules (family ``B10``).
+
+The service era puts epoch-loop simulations behind async endpoints.  A
+single synchronous call inside a coroutine — or anywhere on a
+coroutine's same-thread call path — stalls the event loop for every
+other request.  These rules walk the call graph from each ``async def``
+root, stopping at thread/process/executor boundary edges (work handed
+to ``run_in_executor`` or ``asyncio.to_thread`` does *not* block the
+loop), and flag what remains:
+
+* ``B1001 blocking-call-in-async`` — a stdlib blocking primitive
+  (``time.sleep``, file/socket I/O, ``subprocess``/``os.system``) on a
+  coroutine's synchronous call path;
+* ``B1002 sim-run-in-async`` — a whole epoch-loop simulation or sweep
+  (``SiriusNetwork.run``, ``FluidNetwork.run``,
+  ``ParallelSweepRunner.map``, the sweep job entry points) invoked
+  synchronously from a coroutine — milliseconds-to-minutes of CPU the
+  loop cannot preempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.checks.concurrency.boundaries import ConcurrencyAnalysis
+from repro.checks.engine import Finding, ProjectRule
+from repro.checks.flow.project import Project
+
+__all__ = [
+    "BlockingCallInAsyncRule",
+    "SimRunInAsyncRule",
+    "ASYNC_RULES",
+]
+
+#: Import-resolved dotted names that block the calling thread.
+_BLOCKING_DOTTED = {
+    "time.sleep": "time.sleep()",
+    "os.system": "os.system()",
+    "os.wait": "os.wait()",
+    "socket.create_connection": "socket.create_connection()",
+    "subprocess.run": "subprocess.run()",
+    "subprocess.call": "subprocess.call()",
+    "subprocess.check_call": "subprocess.check_call()",
+    "subprocess.check_output": "subprocess.check_output()",
+    "subprocess.getoutput": "subprocess.getoutput()",
+    "subprocess.getstatusoutput": "subprocess.getstatusoutput()",
+    "subprocess.Popen": "subprocess.Popen()",
+    "urllib.request.urlopen": "urllib.request.urlopen()",
+}
+
+#: Method names that do synchronous file I/O on a Path/file receiver.
+_BLOCKING_IO_ATTRS = frozenset({
+    "read_text", "write_text", "read_bytes", "write_bytes",
+})
+
+#: Project qualname suffixes that are entire simulations or sweeps.
+_SIM_SUFFIXES = (
+    "SiriusNetwork.run",
+    "FluidNetwork.run",
+    "ParallelSweepRunner.map",
+    ".run_sirius_job",
+    ".run_fluid_job",
+)
+
+
+def _blocking_label(call: ast.Call,
+                    imports: Dict[str, str]) -> Optional[str]:
+    """Human label when this call blocks the calling thread, else None."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        if func.id == "open":
+            return "open()"
+        dotted = imports.get(func.id)
+        if dotted in _BLOCKING_DOTTED:
+            return _BLOCKING_DOTTED[dotted]
+        return None
+    if not isinstance(func, ast.Attribute):
+        return None
+    if func.attr in _BLOCKING_IO_ATTRS:
+        return f"Path.{func.attr}()"
+    if isinstance(func.value, ast.Name):
+        base = imports.get(func.value.id)
+        if base is not None:
+            dotted = f"{base}.{func.attr}"
+            if dotted in _BLOCKING_DOTTED:
+                return _BLOCKING_DOTTED[dotted]
+    return None
+
+
+def _chain(project: Project, reached, qualname: str) -> str:
+    path = project.call_path(reached, qualname)
+    return " -> ".join(project.functions[q].short for q in path
+                       if q in project.functions)
+
+
+class BlockingCallInAsyncRule(ProjectRule):
+    """Flag stdlib blocking primitives on a coroutine's sync call path."""
+
+    code = "B1001"
+    name = "blocking-call-in-async"
+    description = ("blocking stdlib call on the synchronous call path "
+                   "of an async def")
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        analysis = project.shared(ConcurrencyAnalysis)
+        reported: Set[Tuple[str, int, int]] = set()
+        for root in analysis.async_roots:
+            reached = project.reachable_from([root], cross_boundaries=False)
+            for qualname in sorted(reached):
+                info = project.functions.get(qualname)
+                if info is None:
+                    continue
+                imports = project.imports.get(info.module, {})
+                for node in project._own_nodes(info):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    label = _blocking_label(node, imports)
+                    if label is None:
+                        continue
+                    key = (qualname, node.lineno, node.col_offset)
+                    if key in reported:
+                        continue
+                    reported.add(key)
+                    where = ("directly" if qualname == root
+                             else f"via {_chain(project, reached, qualname)}")
+                    yield self.finding(
+                        info.ctx, node,
+                        f"{label} blocks the event loop inside async "
+                        f"{project.functions[root].short} ({where}); await "
+                        "an async equivalent or offload with "
+                        "asyncio.to_thread / run_in_executor",
+                    )
+
+
+class SimRunInAsyncRule(ProjectRule):
+    """Flag epoch-loop simulations invoked synchronously from a coroutine."""
+
+    code = "B1002"
+    name = "sim-run-in-async"
+    description = ("epoch-loop simulation or sweep run synchronously "
+                   "inside an async def")
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        analysis = project.shared(ConcurrencyAnalysis)
+        reported: Set[Tuple[str, str]] = set()
+        for root in analysis.async_roots:
+            reached = project.reachable_from([root], cross_boundaries=False)
+            for target in sorted(reached):
+                if target == root or not _is_sim_entry(target):
+                    continue
+                caller, site = reached[target]
+                if caller is None or site is None:
+                    continue
+                if (caller, target) in reported:
+                    continue
+                reported.add((caller, target))
+                caller_info = project.functions[caller]
+                yield self.finding(
+                    caller_info.ctx, site,
+                    f"{project.functions[target].short} is an epoch-loop "
+                    "entry point; calling it synchronously inside async "
+                    f"{project.functions[root].short} stalls the event loop "
+                    "for its whole runtime — offload with "
+                    "loop.run_in_executor (or asyncio.to_thread)",
+                )
+
+
+def _is_sim_entry(qualname: str) -> bool:
+    return any(qualname.endswith(suffix) for suffix in _SIM_SUFFIXES)
+
+
+ASYNC_RULES: List[ProjectRule] = [BlockingCallInAsyncRule(),
+                                  SimRunInAsyncRule()]

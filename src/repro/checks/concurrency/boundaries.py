@@ -1,0 +1,278 @@
+"""Shared concurrency facts for one :class:`~repro.checks.flow.Project`.
+
+The C9xx / B10xx / K11xx families all reason about the same few
+structures, so they are computed once per lint run and fetched with
+``project.shared(ConcurrencyAnalysis)``:
+
+* **worker closure** — every function reachable from a process-boundary
+  edge target (a ``ParallelSweepRunner`` / ``multiprocessing.Pool``
+  worker entry point), *without* crossing further boundaries.  Code in
+  this closure executes in a forked or spawned child.
+* **module-level state index** — every module-level binding whose value
+  is mutable (containers, RNG instances, ``repro.obs`` recorders), with
+  per-function reference and mutation sites.  A binding shared across
+  the process boundary is exactly the state the C9xx rules audit.
+* **async roots** — every ``async def`` in the project, the starting
+  points for the B10xx event-loop-blocking closure.
+
+Names that follow the ``NULL_*`` / ``Null*`` sentinel convention are
+exempt from the state index: the no-op registry/tracer singletons are
+stateless by design, so sharing them across a fork is harmless.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.checks.engine import FileContext
+from repro.checks.flow.project import FunctionInfo, Project
+
+__all__ = [
+    "ConcurrencyAnalysis",
+    "GlobalState",
+    "StateUse",
+    "MUTATOR_METHODS",
+]
+
+#: Methods that mutate a container in place.
+MUTATOR_METHODS = frozenset({
+    "append", "extend", "insert", "add", "update", "setdefault", "pop",
+    "popitem", "clear", "remove", "discard", "appendleft", "extendleft",
+    "popleft", "sort", "reverse",
+})
+
+#: Constructors that build a mutable container.
+_CONTAINER_CTORS = frozenset({
+    "dict", "list", "set", "bytearray", "defaultdict", "OrderedDict",
+    "Counter", "deque",
+})
+
+#: Constructors that build a random-number generator whose *state*
+#: advances on every draw — the canonical fork-unsafe object.
+_RNG_CTORS = frozenset({
+    "Random", "SystemRandom", "default_rng", "RandomState", "Generator",
+})
+
+#: ``repro.obs`` recorder types: registries and tracers accumulate
+#: events in-process, so a module-level instance silently splits into
+#: one copy per worker.
+_OBS_CTORS = frozenset({
+    "Observation", "MetricsRegistry", "EventTracer", "PhaseProfiler",
+})
+
+
+def _is_sentinel(name: str) -> bool:
+    return name.startswith("__") or "NULL" in name.upper().split("_")
+
+
+@dataclass(frozen=True)
+class GlobalState:
+    """One module-level mutable binding."""
+
+    module: str
+    name: str
+    #: "container" | "rng" | "obs"
+    kind: str
+    node: ast.AST
+    ctx: FileContext
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        return (self.module, self.name)
+
+    @property
+    def dotted(self) -> str:
+        return f"{self.module}.{self.name}"
+
+
+@dataclass(frozen=True)
+class StateUse:
+    """One reference to a module-level binding inside a function."""
+
+    state: Tuple[str, str]  # (module, name)
+    node: ast.AST
+    mutates: bool
+
+
+class ConcurrencyAnalysis:
+    """Worker closures plus the shared-state index for one project."""
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        #: functions running in a pool worker (boundary-free closure
+        #: from every process-edge target)
+        self.worker_reach = project.reachable_from(
+            sorted(project.worker_entries), cross_boundaries=False)
+        self.worker_side: Set[str] = set(self.worker_reach)
+        #: every ``async def`` qualname
+        self.async_roots: List[str] = sorted(
+            qualname for qualname, info in project.functions.items()
+            if isinstance(info.node, ast.AsyncFunctionDef))
+        #: (module, name) -> GlobalState
+        self.globals: Dict[Tuple[str, str], GlobalState] = {}
+        for ctx in project.contexts.values():
+            for state in self._module_state(ctx):
+                self.globals[state.key] = state
+        #: function qualname -> uses of indexed module-level state
+        self.uses: Dict[str, List[StateUse]] = {}
+        if self.globals:
+            for info in project.functions.values():
+                uses = list(self._state_uses(info))
+                if uses:
+                    self.uses[info.qualname] = uses
+
+    # -- module-level state --------------------------------------------------
+    def _module_state(self, ctx: FileContext) -> Iterator[GlobalState]:
+        module = ctx.module_dotted()
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target, value = stmt.targets[0], stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                target, value = stmt.target, stmt.value
+            else:
+                continue
+            if not isinstance(target, ast.Name) or _is_sentinel(target.id):
+                continue
+            kind = self._classify(value)
+            if kind is not None:
+                yield GlobalState(module=module, name=target.id, kind=kind,
+                                  node=value, ctx=ctx)
+
+    @staticmethod
+    def _classify(value: ast.AST) -> Optional[str]:
+        """Mutable-state kind of a module-level value expression."""
+        if isinstance(value, (ast.Dict, ast.List, ast.Set, ast.ListComp,
+                              ast.SetComp, ast.DictComp)):
+            return "container"
+        if isinstance(value, ast.Call):
+            func = value.func
+            callee = (func.attr if isinstance(func, ast.Attribute)
+                      else func.id if isinstance(func, ast.Name) else "")
+            if callee in _CONTAINER_CTORS:
+                return "container"
+            if callee in _RNG_CTORS:
+                return "rng"
+            if callee in _OBS_CTORS or callee == "recording":
+                return "obs"
+        return None
+
+    # -- per-function references ---------------------------------------------
+    def _state_uses(self, info: FunctionInfo) -> Iterator[StateUse]:
+        """References/mutations of indexed globals inside one function.
+
+        A plain name resolves against the function's own module (unless
+        shadowed by a local binding); ``from mod import NAME`` aliases
+        and ``mod.NAME`` attribute chains resolve through the import
+        map, so cross-module sharing is visible too.
+        """
+        imports = self.project.imports.get(info.module, {})
+        local_names = self._local_bindings(info)
+        declared_global: Set[str] = set()
+        for node in self.project._own_nodes(info):
+            if isinstance(node, ast.Global):
+                declared_global.update(node.names)
+
+        def resolve(name: str) -> Optional[Tuple[str, str]]:
+            own = (info.module, name)
+            if own in self.globals and (
+                    name not in local_names or name in declared_global):
+                return own
+            target = imports.get(name)
+            if target is not None and "." in target:
+                module, _, attr = target.rpartition(".")
+                if (module, attr) in self.globals:
+                    return (module, attr)
+            return None
+
+        for node in self.project._own_nodes(info):
+            if isinstance(node, ast.Call) and isinstance(node.func,
+                                                         ast.Attribute):
+                receiver = self._receiver_state(node.func.value, info,
+                                                imports, resolve)
+                if receiver is not None:
+                    yield StateUse(receiver, node,
+                                   node.func.attr in MUTATOR_METHODS)
+                    continue
+            if isinstance(node, ast.Subscript):
+                receiver = self._receiver_state(node.value, info, imports,
+                                                resolve)
+                if receiver is not None:
+                    yield StateUse(receiver, node,
+                                   isinstance(node.ctx,
+                                              (ast.Store, ast.Del)))
+                    continue
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                state = resolve(node.id)
+                if state is not None:
+                    yield StateUse(state, node, False)
+            elif isinstance(node, ast.Name) and isinstance(
+                    node.ctx, (ast.Store, ast.Del)):
+                if node.id in declared_global:
+                    state = (info.module, node.id)
+                    if state in self.globals:
+                        yield StateUse(state, node, True)
+            elif isinstance(node, ast.Attribute) and isinstance(
+                    node.value, ast.Name):
+                module = imports.get(node.value.id)
+                if module is not None and (module, node.attr) in self.globals:
+                    yield StateUse((module, node.attr), node, False)
+
+    def _receiver_state(self, node, info, imports, resolve,
+                        ) -> Optional[Tuple[str, str]]:
+        """The indexed global a method/subscript receiver denotes."""
+        if isinstance(node, ast.Name):
+            return resolve(node.id)
+        if isinstance(node, ast.Attribute) and isinstance(node.value,
+                                                          ast.Name):
+            module = imports.get(node.value.id)
+            if module is not None and (module, node.attr) in self.globals:
+                return (module, node.attr)
+        return None
+
+    def _local_bindings(self, info: FunctionInfo) -> Set[str]:
+        """Names the function binds itself (params + assignments)."""
+        names: Set[str] = set(info.params) | set(info.kwonly)
+        args = info.node.args
+        for extra in (args.vararg, args.kwarg):
+            if extra is not None:
+                names.add(extra.arg)
+        for node in self.project._own_nodes(info):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+                names.add(node.id)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                for name in _target_names(node.target):
+                    names.add(name)
+        return names
+
+    # -- convenience queries -------------------------------------------------
+    def worker_chain(self, qualname: str) -> List[str]:
+        """Readable worker-entry → … → function call chain."""
+        path = self.project.call_path(self.worker_reach, qualname)
+        return [self.project.functions[q].short
+                for q in path if q in self.project.functions]
+
+    def worker_uses(self) -> Iterator[Tuple[str, StateUse]]:
+        """(function qualname, use) pairs inside the worker closure."""
+        for qualname in sorted(self.worker_side):
+            for use in self.uses.get(qualname, ()):
+                yield qualname, use
+
+    def parent_uses(self) -> Iterator[Tuple[str, StateUse]]:
+        """(function qualname, use) pairs outside the worker closure."""
+        for qualname in sorted(self.uses):
+            if qualname in self.worker_side:
+                continue
+            for use in self.uses[qualname]:
+                yield qualname, use
+
+
+def _target_names(target: ast.AST) -> Iterator[str]:
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _target_names(element)
+    elif isinstance(target, ast.Starred):
+        yield from _target_names(target.value)

@@ -1,0 +1,294 @@
+"""Pickle-safety rules (family ``K11``) for sweep jobs and checkpoints.
+
+Everything that crosses the :class:`ParallelSweepRunner` process
+boundary rides through ``pickle``: the job dataclasses going out, the
+:class:`SweepPoint` results coming back, and any future checkpoint
+dataclasses written to disk.  An unpicklable field fails only at
+runtime, deep inside ``multiprocessing``'s worker loop, with a
+traceback that names neither the class nor the field.  These rules
+prove the property statically instead:
+
+* ``K1101 unpicklable-job-field`` — a dataclass field reachable from a
+  worker-entry signature (or any ``*Checkpoint`` class) is annotated
+  with a type pickle rejects — callables, generators, locks, open
+  files, sockets — or carries a lambda default;
+* ``K1102 unpicklable-callable-to-pool`` — a lambda or nested function
+  is handed to a process pool (``pool.map`` surface,
+  ``Process(target=...)``); pickle serializes functions by qualified
+  name, so only module-level functions survive the trip.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.checks.engine import Finding, ProjectRule
+from repro.checks.flow.project import ClassInfo, FunctionInfo, Project, \
+    _POOL_MAP_ATTRS, _TARGET_CTORS
+
+__all__ = [
+    "UnpicklableJobFieldRule",
+    "UnpicklableCallableToPoolRule",
+    "PICKLE_RULES",
+]
+
+#: Import-resolved dotted annotation names pickle rejects.  Callables
+#: and generators pickle by qualified name only (lambdas, closures and
+#: live generators fail); locks, files and sockets are process-local
+#: OS handles.
+_UNPICKLABLE_DOTTED = frozenset({
+    "typing.Callable", "collections.abc.Callable",
+    "typing.Generator", "collections.abc.Generator",
+    "typing.Iterator", "collections.abc.Iterator",
+    "typing.AsyncIterator", "collections.abc.AsyncIterator",
+    "typing.IO", "typing.TextIO", "typing.BinaryIO",
+    "threading.Lock", "threading.RLock", "threading.Condition",
+    "threading.Semaphore", "threading.BoundedSemaphore",
+    "threading.Event", "threading.Thread",
+    "multiprocessing.Lock", "multiprocessing.RLock",
+    "multiprocessing.Condition", "multiprocessing.Semaphore",
+    "multiprocessing.Queue", "multiprocessing.Pool",
+    "socket.socket",
+    "io.TextIOWrapper", "io.BufferedReader", "io.BufferedWriter",
+    "io.IOBase",
+})
+
+#: Bare names treated as unpicklable when no import maps them elsewhere
+#: (covers string annotations and ``from typing import Callable``).
+_UNPICKLABLE_BARE = frozenset({
+    name.rpartition(".")[2] for name in sorted(_UNPICKLABLE_DOTTED)
+} - {"Queue", "Pool", "Thread", "Event", "socket"})
+
+_REASONS = {
+    "Callable": "pickle serializes callables by qualified name only "
+                "(lambdas and bound closures fail)",
+    "Generator": "live generators cannot be pickled",
+    "Iterator": "live iterators generally cannot be pickled",
+    "AsyncIterator": "live async iterators cannot be pickled",
+}
+_DEFAULT_REASON = "it is a process-local handle pickle rejects"
+
+
+def _reason_for(leaf: str) -> str:
+    return _REASONS.get(leaf.rpartition(".")[2], _DEFAULT_REASON)
+
+
+class UnpicklableJobFieldRule(ProjectRule):
+    """Prove every field of boundary-crossing dataclasses picklable."""
+
+    code = "K1101"
+    name = "unpicklable-job-field"
+    description = ("dataclass field reachable from a worker-entry "
+                   "signature has an unpicklable annotation or default")
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        roots = self._root_classes(project)
+        seen: Set[str] = set()
+        queue = [(qualname, origin) for qualname, origin in sorted(roots)]
+        while queue:
+            qualname, origin = queue.pop(0)
+            if qualname in seen:
+                continue
+            seen.add(qualname)
+            cls = project.classes.get(qualname)
+            if cls is None:
+                continue
+            info = self._class_ctx(project, cls)
+            if info is None:
+                continue
+            ctx, imports = info
+            for stmt in cls.node.body:
+                if not (isinstance(stmt, ast.AnnAssign)
+                        and isinstance(stmt.target, ast.Name)):
+                    continue
+                field_name = stmt.target.id
+                leaf = self._unpicklable_leaf(stmt.annotation, imports)
+                if leaf is not None:
+                    yield self.finding(
+                        ctx, stmt,
+                        f"field '{field_name}' of {cls.name} (crosses the "
+                        f"process boundary via {origin}) is annotated "
+                        f"{leaf}; {_reason_for(leaf)} — carry a description "
+                        "(dotted name, config values) and rebuild in the "
+                        "worker",
+                    )
+                lambda_default = self._lambda_default(stmt.value)
+                if lambda_default is not None:
+                    yield self.finding(
+                        ctx, lambda_default,
+                        f"field '{field_name}' of {cls.name} (crosses the "
+                        f"process boundary via {origin}) defaults to a "
+                        "lambda; lambdas cannot be pickled — use a "
+                        "module-level function or default_factory",
+                    )
+                for nested in self._project_classes(stmt.annotation,
+                                                    cls.module, project,
+                                                    imports):
+                    queue.append((nested, origin))
+
+    # -- root discovery ------------------------------------------------------
+    def _root_classes(self, project: Project,
+                      ) -> Set[Tuple[str, str]]:
+        """(class qualname, origin label) for boundary-crossing classes."""
+        roots: Set[Tuple[str, str]] = set()
+        for entry in sorted(project.worker_entries):
+            info = project.functions.get(entry)
+            if info is None:
+                continue
+            imports = project.imports.get(info.module, {})
+            annotations = [a.annotation for a in
+                           (*info.node.args.posonlyargs, *info.node.args.args,
+                            *info.node.args.kwonlyargs)
+                           if a.annotation is not None]
+            if info.node.returns is not None:
+                annotations.append(info.node.returns)
+            for annotation in annotations:
+                for qualname in self._project_classes(annotation,
+                                                      info.module, project,
+                                                      imports):
+                    roots.add((qualname, info.short))
+        for qualname, cls in project.classes.items():
+            if cls.name.endswith("Checkpoint"):
+                roots.add((qualname, f"checkpoint class {cls.name}"))
+        return roots
+
+    # -- helpers -------------------------------------------------------------
+    @staticmethod
+    def _class_ctx(project: Project, cls: ClassInfo):
+        relpath = project.contexts_modules().get(cls.module)
+        if relpath is None:
+            return None
+        ctx = project.contexts[relpath]
+        return ctx, project.imports.get(cls.module, {})
+
+    @staticmethod
+    def _annotation_leaves(annotation: ast.AST,
+                           ) -> Iterator[Tuple[str, Optional[str]]]:
+        """(bare name, import alias base or None) for each named leaf.
+
+        String annotations are re-parsed so quoted forward references
+        participate too.
+        """
+        stack = [annotation]
+        while stack:
+            node = stack.pop()
+            for leaf in ast.walk(node):
+                if isinstance(leaf, ast.Constant) and isinstance(leaf.value,
+                                                                 str):
+                    try:
+                        stack.append(ast.parse(leaf.value, mode="eval").body)
+                    except SyntaxError:
+                        pass
+                elif isinstance(leaf, ast.Name):
+                    yield leaf.id, None
+                elif (isinstance(leaf, ast.Attribute)
+                      and isinstance(leaf.value, ast.Name)):
+                    yield leaf.attr, leaf.value.id
+
+    def _unpicklable_leaf(self, annotation: ast.AST,
+                          imports: Dict[str, str]) -> Optional[str]:
+        for name, base in self._annotation_leaves(annotation):
+            if base is not None:
+                dotted = f"{imports.get(base, base)}.{name}"
+                if dotted in _UNPICKLABLE_DOTTED:
+                    return dotted
+                continue
+            target = imports.get(name)
+            if target is not None:
+                if target in _UNPICKLABLE_DOTTED:
+                    return target
+            elif name in _UNPICKLABLE_BARE:
+                return name
+        return None
+
+    def _project_classes(self, annotation: ast.AST, module: str,
+                         project: Project,
+                         imports: Dict[str, str]) -> Iterator[str]:
+        for name, base in self._annotation_leaves(annotation):
+            if base is not None:
+                dotted = f"{imports.get(base, base)}.{name}"
+                if dotted in project.classes:
+                    yield dotted
+                continue
+            own = f"{module}.{name}"
+            if own in project.classes:
+                yield own
+                continue
+            target = imports.get(name)
+            if target is not None and target in project.classes:
+                yield target
+
+    @staticmethod
+    def _lambda_default(value: Optional[ast.AST]) -> Optional[ast.AST]:
+        if value is None:
+            return None
+        if isinstance(value, ast.Lambda):
+            return value
+        if (isinstance(value, ast.Call) and isinstance(value.func, ast.Name)
+                and value.func.id == "field"):
+            for keyword in value.keywords:
+                if (keyword.arg == "default"
+                        and isinstance(keyword.value, ast.Lambda)):
+                    return keyword.value
+        return None
+
+
+class UnpicklableCallableToPoolRule(ProjectRule):
+    """Flag lambdas/nested functions handed across a process boundary."""
+
+    code = "K1102"
+    name = "unpicklable-callable-to-pool"
+    description = ("lambda or nested function passed to a process pool "
+                   "cannot be pickled")
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        for qualname in sorted(project.functions):
+            info = project.functions[qualname]
+            for node in project._own_nodes(info):
+                if not isinstance(node, ast.Call):
+                    continue
+                for candidate, surface in self._process_candidates(
+                        node, info, project):
+                    yield from self._check_candidate(
+                        candidate, surface, node, info, project)
+
+    @staticmethod
+    def _process_candidates(call: ast.Call, info: FunctionInfo,
+                            project: Project,
+                            ) -> Iterator[Tuple[ast.AST, str]]:
+        func = call.func
+        if (isinstance(func, ast.Attribute)
+                and func.attr in _POOL_MAP_ATTRS and call.args):
+            yield call.args[0], f".{func.attr}()"
+        dotted = project._dotted_callable(func, info)
+        if dotted is not None and _TARGET_CTORS.get(dotted) == "process":
+            for keyword in call.keywords:
+                if keyword.arg == "target":
+                    yield keyword.value, "Process(target=...)"
+
+    def _check_candidate(self, candidate: ast.AST, surface: str,
+                         call: ast.Call, info: FunctionInfo,
+                         project: Project) -> Iterator[Finding]:
+        if isinstance(candidate, ast.Lambda):
+            yield self.finding(
+                info.ctx, call,
+                f"lambda passed to {surface} runs in a worker process; "
+                "pickle serializes functions by qualified name, so lambdas "
+                "fail — use a module-level function",
+            )
+            return
+        for target in project.resolve_func_ref(candidate, info):
+            target_info = project.functions.get(target)
+            if target_info is not None and target_info.parent is not None:
+                yield self.finding(
+                    info.ctx, call,
+                    f"nested function {target_info.short} passed to "
+                    f"{surface} runs in a worker process; functions defined "
+                    "inside another function cannot be pickled — move it to "
+                    "module level",
+                )
+
+
+PICKLE_RULES: List[ProjectRule] = [UnpicklableJobFieldRule(),
+                                   UnpicklableCallableToPoolRule()]

@@ -1,0 +1,208 @@
+"""Concurrency/race rules (family ``C9``) for the sweep/service era.
+
+:class:`~repro.perf.sweep.ParallelSweepRunner` keeps sweeps
+deterministic *by construction* — jobs are pure descriptions, results
+are compact values.  That construction is only safe while no mutable
+state leaks across the ``multiprocessing`` boundary, which no runtime
+test can see: a forked worker happily mutates its private copy of a
+module global and every assertion in the worker passes.  These rules
+audit the boundary statically, using the call graph's process-edge
+annotations:
+
+* ``C901 worker-writes-shared-state`` — a function in the worker
+  closure mutates a module-level container that parent-side code also
+  uses.  Worker writes never propagate back across the boundary, so
+  the parent reads a stale (or forever-empty) structure.
+* ``C902 fork-inherited-state`` — the worker closure uses module-level
+  state whose *identity* matters: an RNG instance (each worker inherits
+  the same stream under fork — parallel draws then depend on worker
+  scheduling — and re-seeds from the OS under spawn), a ``repro.obs``
+  recorder (counts split invisibly across processes), or a container
+  the parent mutates after workers start (the worker sees a snapshot).
+* ``C903 lock-discipline`` — ``lock.acquire()`` without a
+  ``try/finally`` release on the very next statement, or the
+  ``with lock.acquire():`` misuse (that guards a *bool*, not the
+  lock).  Use ``with lock:``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.checks.concurrency.boundaries import ConcurrencyAnalysis
+from repro.checks.engine import FileContext, Finding, ProjectRule, Rule, \
+    parent_of
+from repro.checks.flow.project import Project
+
+__all__ = [
+    "WorkerWritesSharedStateRule",
+    "ForkInheritedStateRule",
+    "LockDisciplineRule",
+    "RACE_RULES",
+]
+
+_KIND_DESCRIPTIONS = {
+    "rng": "RNG instance",
+    "obs": "observability recorder",
+    "container": "mutable container",
+}
+
+
+class WorkerWritesSharedStateRule(ProjectRule):
+    """Flag worker-side writes to module state the parent also uses."""
+
+    code = "C901"
+    name = "worker-writes-shared-state"
+    description = ("module-level mutable state written in a sweep worker "
+                   "process but also used by the parent")
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        analysis = project.shared(ConcurrencyAnalysis)
+        parent_users = {}
+        for qualname, use in analysis.parent_uses():
+            parent_users.setdefault(use.state, qualname)
+        reported: Set[Tuple[str, Tuple[str, str]]] = set()
+        for qualname, use in analysis.worker_uses():
+            if not use.mutates or use.state not in parent_users:
+                continue
+            if (qualname, use.state) in reported:
+                continue
+            reported.add((qualname, use.state))
+            state = analysis.globals[use.state]
+            chain = " -> ".join(analysis.worker_chain(qualname))
+            parent_fn = project.functions[parent_users[use.state]].short
+            yield self.finding(
+                project.functions[qualname].ctx, use.node,
+                f"module-level '{state.name}' is mutated in a sweep worker "
+                f"process (via {chain}) but {parent_fn} uses it in the "
+                "parent; writes in a multiprocessing worker land in the "
+                "worker's copy and never propagate back — return the data "
+                "through the job result instead",
+            )
+
+
+class ForkInheritedStateRule(ProjectRule):
+    """Flag worker-side use of state that does not survive fork/spawn."""
+
+    code = "C902"
+    name = "fork-inherited-state"
+    description = ("worker process uses module-level RNG/recorder/cache "
+                   "state inherited across the multiprocessing boundary")
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        analysis = project.shared(ConcurrencyAnalysis)
+        parent_mutated = {use.state for _q, use in analysis.parent_uses()
+                          if use.mutates}
+        reported: Set[Tuple[str, Tuple[str, str]]] = set()
+        for qualname, use in analysis.worker_uses():
+            state = analysis.globals[use.state]
+            if state.kind == "container":
+                # Reading a parent-mutated cache in the worker sees a
+                # start-time snapshot (fork) or a fresh import (spawn).
+                if use.mutates or use.state not in parent_mutated:
+                    continue
+                detail = ("the parent mutates it after workers start, so "
+                          "the worker reads a stale fork-time snapshot "
+                          "(or a fresh copy under spawn)")
+            else:
+                detail = (
+                    "every forked worker inherits the same stream, making "
+                    "parallel draws depend on worker scheduling, and spawn "
+                    "re-creates it from scratch; thread seeded per-job "
+                    "state through the job description instead"
+                    if state.kind == "rng" else
+                    "each worker records into its own invisible copy; "
+                    "aggregate through the job result instead")
+            if (qualname, use.state) in reported:
+                continue
+            reported.add((qualname, use.state))
+            chain = " -> ".join(analysis.worker_chain(qualname))
+            yield self.finding(
+                project.functions[qualname].ctx, use.node,
+                f"module-level {_KIND_DESCRIPTIONS[state.kind]} "
+                f"'{state.name}' is used inside a sweep worker (via "
+                f"{chain}); {detail}",
+            )
+
+
+class LockDisciplineRule(Rule):
+    """Flag ``.acquire()`` outside the with/try-finally discipline."""
+
+    code = "C903"
+    name = "lock-discipline"
+    description = ("lock.acquire() without with-statement or try/finally "
+                   "release discipline")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ctx.walk():
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "acquire"):
+                continue
+            misuse = self._with_misuse(node)
+            if misuse is not None:
+                yield self.finding(
+                    ctx, node,
+                    "'with lock.acquire():' guards the acquire's boolean "
+                    "result, not the lock, and never releases it; use "
+                    "'with lock:'",
+                )
+                continue
+            if not self._released_in_finally(node):
+                yield self.finding(
+                    ctx, node,
+                    ".acquire() without a try/finally release leaks the "
+                    "lock on any exception between acquire and release; "
+                    "use 'with lock:' (or release in a finally block)",
+                )
+
+    @staticmethod
+    def _with_misuse(node: ast.Call):
+        parent = parent_of(node)
+        if isinstance(parent, ast.withitem) and parent.context_expr is node:
+            return parent
+        return None
+
+    @staticmethod
+    def _released_in_finally(node: ast.Call) -> bool:
+        """True when the acquire is directly followed by a try whose
+        ``finally`` releases the same receiver (textually)."""
+        receiver = ast.dump(node.func.value)
+        stmt: Optional[ast.AST] = node
+        while stmt is not None and not isinstance(stmt, ast.stmt):
+            stmt = parent_of(stmt)
+        # ``stmt`` is now the expression statement (or assignment)
+        # containing the acquire; its parent owns the enclosing body.
+        if stmt is None:
+            return False
+        holder = parent_of(stmt)
+        if holder is None:
+            return False
+        for field_name in ("body", "orelse", "finalbody"):
+            body = getattr(holder, field_name, None)
+            if not isinstance(body, list) or stmt not in body:
+                continue
+            index = body.index(stmt)
+            if index + 1 < len(body):
+                nxt = body[index + 1]
+                if isinstance(nxt, ast.Try) and _releases(nxt.finalbody,
+                                                          receiver):
+                    return True
+            return False
+        return False
+
+
+def _releases(statements: List[ast.stmt], receiver: str) -> bool:
+    for stmt in statements:
+        for node in ast.walk(stmt):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "release"
+                    and ast.dump(node.func.value) == receiver):
+                return True
+    return False
+
+
+RACE_RULES = [WorkerWritesSharedStateRule(), ForkInheritedStateRule(),
+              LockDisciplineRule()]

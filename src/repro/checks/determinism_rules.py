@@ -78,6 +78,15 @@ def _import_aliases(tree: ast.Module) -> Dict[str, str]:
     return aliases
 
 
+def _aliases_for(ctx: FileContext) -> Dict[str, str]:
+    """RNG-relevant import aliases for a file, memoized on the context."""
+    aliases = ctx.memo.get("rng-aliases")
+    if aliases is None:
+        aliases = _import_aliases(ctx.tree)
+        ctx.memo["rng-aliases"] = aliases
+    return aliases  # type: ignore[return-value]
+
+
 def _global_rng_target(node: ast.Call,
                        aliases: Dict[str, str]) -> Optional[str]:
     """Dotted name of a global-RNG call, or None."""
@@ -109,10 +118,10 @@ class GlobalRngRule(Rule):
     description = "call samples the module-level random/np.random global state"
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
-        aliases = _import_aliases(ctx.tree)
+        aliases = _aliases_for(ctx)
         if not aliases:
             return
-        for node in ast.walk(ctx.tree):
+        for node in ctx.walk():
             if not isinstance(node, ast.Call):
                 continue
             target = _global_rng_target(node, aliases)
@@ -132,8 +141,8 @@ class UnseededRngRule(Rule):
     description = "RNG constructed without an explicit seed"
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
-        aliases = _import_aliases(ctx.tree)
-        for node in ast.walk(ctx.tree):
+        aliases = _aliases_for(ctx)
+        for node in ctx.walk():
             if not isinstance(node, ast.Call):
                 continue
             ctor = self._rng_constructor(node, aliases)
@@ -210,7 +219,7 @@ class SetIterationRule(Rule):
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         set_names = self._set_bound_names(ctx.tree)
-        for node in ast.walk(ctx.tree):
+        for node in ctx.walk():
             iterables = []
             if isinstance(node, (ast.For, ast.AsyncFor)):
                 iterables.append(node.iter)

@@ -19,6 +19,7 @@ from __future__ import annotations
 import ast
 import io
 import re
+import time
 import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -29,8 +30,12 @@ __all__ = [
     "Rule",
     "ProjectRule",
     "FileContext",
+    "LintStats",
+    "family_of_code",
+    "rule_family",
     "iter_python_files",
     "parse_file",
+    "clear_parse_cache",
     "run_checks",
     "check_source",
     "check_project_source",
@@ -162,6 +167,24 @@ class FileContext:
     #: line -> set of suppressed rule identifiers ("*" = all rules)
     suppressions: Dict[int, Set[str]] = field(default_factory=dict)
     skip_file: bool = False
+    #: Per-file scratch space for rule families (cached walks, alias
+    #: maps); lives as long as the context, so project rules see the
+    #: same cache the per-file pass filled.
+    memo: Dict[object, object] = field(default_factory=dict)
+
+    def walk(self) -> Tuple[ast.AST, ...]:
+        """Every AST node of the file, cached after the first traversal.
+
+        ``ast.walk`` over a whole module is the single most repeated
+        operation across rule families; sharing one flattened traversal
+        between the per-file pass and the project-rule passes keeps the
+        full-repo lint time flat as families are added.
+        """
+        nodes = self.memo.get("ast-walk")
+        if nodes is None:
+            nodes = tuple(ast.walk(self.tree))
+            self.memo["ast-walk"] = nodes
+        return nodes  # type: ignore[return-value]
 
     def line(self, lineno: int) -> str:
         if 1 <= lineno <= len(self.lines):
@@ -249,8 +272,39 @@ def _relative_to_root(path: Path, root: Optional[Path]) -> str:
     return path.as_posix()
 
 
+#: (resolved path, root) -> (stat signature, parsed context).  Parsing
+#: plus parent-link annotation dominates cold lint time; repeated
+#: ``run_checks`` calls in one process (the self-check suite, ``--stats``
+#: timing runs, editor integrations) reuse the cached context as long as
+#: the file is unchanged on disk.  Rules must treat trees as read-only —
+#: the cache hands the same AST to every pass.
+_PARSE_CACHE: Dict[Tuple[str, Optional[str]], Tuple[Tuple[int, int],
+                                                    FileContext]] = {}
+
+
+def clear_parse_cache() -> None:
+    """Drop every cached :class:`FileContext` (test isolation hook)."""
+    _PARSE_CACHE.clear()
+
+
 def parse_file(path: Path, root: Optional[Path] = None) -> Optional[FileContext]:
-    """Parse ``path`` into a :class:`FileContext` (None on syntax error)."""
+    """Parse ``path`` into a :class:`FileContext` (None on syntax error).
+
+    Results are memoized on ``(path, root, mtime_ns, size)``: the
+    per-file rule pass and every project-rule pass — plus later
+    ``run_checks`` calls in the same process — share one parsed AST per
+    unchanged file.
+    """
+    try:
+        stat = path.stat()
+    except OSError:
+        return None
+    key = (str(path.resolve()),
+           str(root.resolve()) if root is not None else None)
+    signature = (stat.st_mtime_ns, stat.st_size)
+    cached = _PARSE_CACHE.get(key)
+    if cached is not None and cached[0] == signature:
+        return cached[1]
     try:
         source = path.read_text(encoding="utf-8")
     except (OSError, UnicodeDecodeError):
@@ -258,11 +312,12 @@ def parse_file(path: Path, root: Optional[Path] = None) -> Optional[FileContext]
     try:
         tree = ast.parse(source, filename=str(path))
     except SyntaxError:
+        _PARSE_CACHE.pop(key, None)
         return None
     attach_parents(tree)
     relpath = _relative_to_root(path, root)
     suppressions, skip_file = _collect_suppressions(source)
-    return FileContext(
+    ctx = FileContext(
         path=path,
         relpath=relpath,
         source=source,
@@ -271,6 +326,8 @@ def parse_file(path: Path, root: Optional[Path] = None) -> Optional[FileContext]
         suppressions=suppressions,
         skip_file=skip_file,
     )
+    _PARSE_CACHE[key] = (signature, ctx)
+    return ctx
 
 
 # --------------------------------------------------------------------------
@@ -297,32 +354,115 @@ def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
 #: of a code — ``U``, ``F6``, ``T70`` — but never a rule *name*.
 _FAMILY_RE = re.compile(r"^[A-Za-z]+\d*$")
 
+#: Code = family + two-digit rule index (``U101`` = ``U1`` + ``01``,
+#: ``B1001`` = ``B10`` + ``01``).
+_CODE_RE = re.compile(r"^([A-Za-z]+\d*?)\d{2}$")
 
-def _rule_matches(rule: Rule, identifiers: Set[str]) -> bool:
+
+def family_of_code(code: str) -> str:
+    """The family a rule code belongs to (``B1001`` → ``B10``)."""
+    match = _CODE_RE.match(code)
+    return match.group(1) if match else code
+
+
+def rule_family(rule: Rule) -> str:
+    """A rule's family identifier: explicit ``family`` attr, else derived."""
+    explicit = getattr(rule, "family", "")
+    return explicit if explicit else family_of_code(rule.code)
+
+
+def _rule_matches(rule: Rule, identifiers: Set[str],
+                  families: Set[str]) -> bool:
     """True when ``identifiers`` names this rule by code, name or family.
 
-    Family prefixes work too: ``U`` selects every ``U…`` rule and
-    ``F6`` every rule whose code starts with ``F6``.
+    Family matching is longest-prefix and unambiguous across
+    mixed-length families: an identifier that *is* a registered family
+    (``C9``, ``B10``) matches exactly that family — it never spills
+    into a longer family that happens to share the prefix (``C9`` does
+    not swallow a ``C90x`` family, ``B1`` does not alias ``B10`` once a
+    ``B1xx`` family exists).  An identifier that is not a registered
+    family falls back to plain code-prefix matching, so ``B`` selects
+    every B-family rule and ``T70`` narrows within ``T7xx``.
     """
-    return bool(
-        {rule.code, rule.name} & identifiers
-        or any(rule.code.startswith(ident) for ident in identifiers
-               if ident and _FAMILY_RE.match(ident))
-    )
+    if {rule.code, rule.name} & identifiers:
+        return True
+    family = rule_family(rule)
+    for ident in identifiers:
+        if not ident or not _FAMILY_RE.match(ident):
+            continue
+        if ident in families:
+            if family == ident:
+                return True
+            continue
+        if rule.code.startswith(ident):
+            return True
+    return False
 
 
 def filter_rules(rules: Sequence[Rule],
                  select: Optional[Iterable[str]] = None,
                  ignore: Optional[Iterable[str]] = None) -> List[Rule]:
-    """Apply ``--select`` / ``--ignore`` identifier sets to ``rules``."""
+    """Apply ``--select`` / ``--ignore`` identifier sets to ``rules``.
+
+    The registered family set is derived from the *full* rule list, so
+    family-identifier matching stays unambiguous even when a select has
+    already narrowed the active rules.
+    """
+    families = {rule_family(rule) for rule in rules}
     active = list(rules)
     if select:
         wanted = {ident.strip() for ident in select if ident.strip()}
-        active = [rule for rule in active if _rule_matches(rule, wanted)]
+        active = [rule for rule in active
+                  if _rule_matches(rule, wanted, families)]
     if ignore:
         unwanted = {ident.strip() for ident in ignore if ident.strip()}
-        active = [rule for rule in active if not _rule_matches(rule, unwanted)]
+        active = [rule for rule in active
+                  if not _rule_matches(rule, unwanted, families)]
     return active
+
+
+@dataclass
+class LintStats:
+    """Wall-time and finding-count accounting for one lint run.
+
+    Filled by :func:`run_checks` when a ``stats`` instance is passed in;
+    rendered by ``sirius-lint --stats`` so per-pass lint-time
+    regressions show up in CI logs instead of only in the aggregate.
+    """
+
+    files: int = 0
+    parse_s: float = 0.0
+    file_pass_s: float = 0.0
+    project_pass_s: float = 0.0
+    #: family identifier -> surviving finding count
+    findings_per_family: Dict[str, int] = field(default_factory=dict)
+    total_findings: int = 0
+
+    @property
+    def total_s(self) -> float:
+        return self.parse_s + self.file_pass_s + self.project_pass_s
+
+    def count(self, findings: Iterable[Finding]) -> None:
+        for finding in findings:
+            family = family_of_code(finding.rule)
+            self.findings_per_family[family] = (
+                self.findings_per_family.get(family, 0) + 1)
+            self.total_findings += 1
+
+    def render(self) -> str:
+        lines = [
+            "lint stats:",
+            f"  files parsed        {self.files}",
+            f"  parse pass          {self.parse_s:.2f}s",
+            f"  per-file rule pass  {self.file_pass_s:.2f}s",
+            f"  project rule pass   {self.project_pass_s:.2f}s",
+            f"  total               {self.total_s:.2f}s",
+            f"  findings            {self.total_findings}",
+        ]
+        for family in sorted(self.findings_per_family):
+            lines.append(
+                f"    {family + 'xx':<8}{self.findings_per_family[family]}")
+        return "\n".join(lines)
 
 
 def _parse_failure(path: Path, root: Optional[Path]) -> Optional[Finding]:
@@ -377,15 +517,19 @@ def _run_project_rules(contexts: Sequence[FileContext],
 
 
 def run_checks(paths: Sequence[Path], rules: Sequence[Rule],
-               root: Optional[Path] = None) -> List[Finding]:
+               root: Optional[Path] = None,
+               stats: Optional[LintStats] = None) -> List[Finding]:
     """Run ``rules`` over every Python file under ``paths``.
 
     Per-file rules run file by file; :class:`ProjectRule` instances run
     once over a project built from every file that parsed (so the call
-    graph spans all configured paths).  Returns surviving findings
-    (suppressions already applied), sorted by location for stable
-    output.  Files that fail to parse contribute an ``E001
-    parse-error`` finding regardless of rule selection.
+    graph spans all configured paths) — the parsed ASTs are shared
+    between the two passes, and cached across runs by
+    :func:`parse_file`.  Returns surviving findings (suppressions
+    already applied), sorted by location for stable output.  Files that
+    fail to parse contribute an ``E001 parse-error`` finding regardless
+    of rule selection.  Pass a :class:`LintStats` to collect per-pass
+    wall times and per-family finding counts.
     """
     file_rules = [rule for rule in rules
                   if not isinstance(rule, ProjectRule)]
@@ -394,7 +538,11 @@ def run_checks(paths: Sequence[Path], rules: Sequence[Rule],
     findings: List[Finding] = []
     contexts: List[FileContext] = []
     for file_path in iter_python_files(paths):
+        started = time.perf_counter()
         ctx = parse_file(file_path, root=root)
+        if stats is not None:
+            stats.parse_s += time.perf_counter() - started
+            stats.files += 1
         if ctx is None:
             failure = _parse_failure(file_path, root)
             if failure is not None:
@@ -403,11 +551,18 @@ def run_checks(paths: Sequence[Path], rules: Sequence[Rule],
         if ctx.skip_file:
             continue
         contexts.append(ctx)
+        started = time.perf_counter()
         for rule in file_rules:
             for finding in rule.check(ctx):
                 if not ctx.is_suppressed(finding):
                     findings.append(finding)
+        if stats is not None:
+            stats.file_pass_s += time.perf_counter() - started
+    started = time.perf_counter()
     findings.extend(_run_project_rules(contexts, project_rules))
+    if stats is not None:
+        stats.project_pass_s += time.perf_counter() - started
+        stats.count(findings)
     findings.sort(key=Finding.sort_key)
     return findings
 

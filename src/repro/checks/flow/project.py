@@ -27,11 +27,32 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import (Callable, Dict, Iterator, List, Optional, Sequence, Set,
+                    Tuple)
 
 from repro.checks.engine import FileContext
 
 __all__ = ["FunctionInfo", "ClassInfo", "Project", "module_imports"]
+
+#: ``something.<attr>(fn, ...)`` shapes that hand ``fn`` to a pool of
+#: worker *processes* — ``multiprocessing.Pool`` and
+#: ``ParallelSweepRunner`` both expose the ``map`` surface.
+_POOL_MAP_ATTRS = frozenset({
+    "map", "imap", "imap_unordered", "map_async", "starmap",
+    "starmap_async", "apply", "apply_async",
+})
+
+#: Constructor dotted names taking ``target=fn`` → boundary kind.
+_TARGET_CTORS = {
+    "multiprocessing.Process": "process",
+    "multiprocessing.context.Process": "process",
+    "threading.Thread": "thread",
+}
+
+#: Direct dotted calls whose first function argument runs elsewhere.
+_DIRECT_SPAWNERS = {
+    "asyncio.to_thread": "thread",
+}
 
 
 @dataclass
@@ -110,8 +131,12 @@ class Project:
         self.imports: Dict[str, Dict[str, str]] = {}
         #: caller qualname -> [(callee qualname, call-site node)]
         self.calls: Dict[str, List[Tuple[str, ast.AST]]] = {}
+        #: (caller, callee) -> boundary kind the edge crosses
+        #: ("process" | "thread" | "executor"); absent = same-context call.
+        self.edge_boundaries: Dict[Tuple[str, str], str] = {}
         self._shared: Dict[type, object] = {}
         self._modules: Dict[str, str] = {}
+        self._own_cache: Dict[str, Tuple[ast.AST, ...]] = {}
         for ctx in contexts:
             self._index_file(ctx)
         for info in self.functions.values():
@@ -186,22 +211,123 @@ class Project:
     # -- call graph ----------------------------------------------------------
     def _edges_from(self, info: FunctionInfo,
                     ) -> Iterator[Tuple[str, ast.AST]]:
+        edges: List[Tuple[str, ast.AST]] = []
+        spawned: Set[str] = set()
+        for node in self._own_nodes(info):
+            if isinstance(node, ast.Call):
+                for callee in self.resolve_call(node, info):
+                    edges.append((callee, node))
+                for callee, kind in self._spawn_targets(node, info):
+                    self.edge_boundaries[(info.qualname, callee)] = kind
+                    spawned.add(callee)
+                    edges.append((callee, node))
         # Implicit edge to each directly nested def: a closure is
-        # conservatively assumed reachable from its definition scope.
+        # conservatively assumed reachable from its definition scope —
+        # unless this function only hands it across an execution
+        # boundary, in which case the annotated spawn edge is the truth
+        # and a same-context edge would undo it.
         for stmt in ast.walk(info.node):
             if stmt is info.node:
                 continue
             if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 nested = self.functions.get(f"{info.qualname}.{stmt.name}")
-                if nested is not None and nested.parent == info.qualname:
+                if (nested is not None and nested.parent == info.qualname
+                        and nested.qualname not in spawned):
                     yield nested.qualname, stmt
-        for node in self._own_nodes(info):
-            if isinstance(node, ast.Call):
-                for callee in self.resolve_call(node, info):
-                    yield callee, node
+        yield from edges
+
+    def _spawn_targets(self, call: ast.Call, info: FunctionInfo,
+                       ) -> Iterator[Tuple[str, str]]:
+        """(callee qualname, boundary kind) for callables handed to a
+        spawn API at this call site.
+
+        A function *reference* passed to ``pool.map`` /
+        ``ParallelSweepRunner.map``, ``Process(target=...)`` /
+        ``Thread(target=...)``, ``executor.submit`` /
+        ``loop.run_in_executor`` or ``asyncio.to_thread`` is invoked in
+        another process, thread or executor: the call graph gets a real
+        edge there, annotated with the boundary it crosses, so
+        reachability queries can either follow workers (race analysis)
+        or stop at the caller (event-loop blocking analysis).
+        """
+        func = call.func
+        candidates: List[Tuple[ast.AST, str]] = []
+        if isinstance(func, ast.Attribute):
+            if func.attr in _POOL_MAP_ATTRS and call.args:
+                candidates.append((call.args[0], "process"))
+            elif func.attr == "submit" and call.args:
+                candidates.append((call.args[0], "executor"))
+            elif func.attr == "run_in_executor" and len(call.args) >= 2:
+                candidates.append((call.args[1], "executor"))
+        dotted = self._dotted_callable(func, info)
+        if dotted is not None:
+            kind = _TARGET_CTORS.get(dotted)
+            if kind is not None:
+                for keyword in call.keywords:
+                    if keyword.arg == "target":
+                        candidates.append((keyword.value, kind))
+            kind = _DIRECT_SPAWNERS.get(dotted)
+            if kind is not None and call.args:
+                candidates.append((call.args[0], kind))
+        for node, kind in candidates:
+            for callee in self.resolve_func_ref(node, info):
+                yield callee, kind
+
+    def _dotted_callable(self, func: ast.AST,
+                         info: FunctionInfo) -> Optional[str]:
+        """Import-resolved dotted name of a called object, or None."""
+        if isinstance(func, ast.Name):
+            return self.imports.get(info.module, {}).get(func.id)
+        if isinstance(func, ast.Attribute) and isinstance(func.value,
+                                                          ast.Name):
+            base = self.imports.get(info.module, {}).get(func.value.id)
+            if base is not None:
+                return f"{base}.{func.attr}"
+        return None
+
+    def resolve_func_ref(self, node: ast.AST,
+                         info: FunctionInfo) -> List[str]:
+        """Project functions a bare function *reference* may denote.
+
+        Unlike :meth:`resolve_call` this resolves a name that is passed
+        around as a value (``pool.map(run_job, ...)``,
+        ``Process(target=self._worker)``) rather than called.
+        """
+        if isinstance(node, ast.Name):
+            return self._resolve_name(node.id, info)
+        if isinstance(node, ast.Attribute) and isinstance(node.value,
+                                                          ast.Name):
+            if node.value.id in ("self", "cls") and info.class_name:
+                own = self.classes.get(f"{info.module}.{info.class_name}")
+                if own is not None and node.attr in own.methods:
+                    return [own.methods[node.attr]]
+            base = self.imports.get(info.module, {}).get(node.value.id)
+            if base is not None:
+                dotted = f"{base}.{node.attr}"
+                if dotted in self.functions:
+                    return [dotted]
+        return []
+
+    @property
+    def worker_entries(self) -> Set[str]:
+        """Functions entered through a process boundary (pool workers)."""
+        return {callee for (_caller, callee), kind
+                in self.edge_boundaries.items() if kind == "process"}
 
     def _own_nodes(self, info: FunctionInfo) -> Iterator[ast.AST]:
-        """Walk ``info``'s body without descending into nested defs."""
+        """Walk ``info``'s body without descending into nested defs.
+
+        Memoized per function: every analysis family re-walks the same
+        bodies, so the flattened node tuple is computed once per lint
+        run and shared.
+        """
+        cached = self._own_cache.get(info.qualname)
+        if cached is None:
+            cached = tuple(self._iter_own_nodes(info))
+            self._own_cache[info.qualname] = cached
+        return iter(cached)
+
+    def _iter_own_nodes(self, info: FunctionInfo) -> Iterator[ast.AST]:
         stack: List[ast.AST] = list(ast.iter_child_nodes(info.node))
         while stack:
             node = stack.pop()
@@ -279,13 +405,19 @@ class Project:
         return self._modules
 
     # -- reachability --------------------------------------------------------
-    def reachable_from(self, roots: Sequence[str],
+    def reachable_from(self, roots: Sequence[str], *,
+                       cross_boundaries: bool = True,
                        ) -> Dict[str, Tuple[Optional[str], Optional[ast.AST]]]:
         """BFS closure of the call graph from ``roots``.
 
         Returns reached qualname → (caller qualname, call-site node);
         roots map to (None, None).  Following the parent pointers yields
-        a shortest call path for diagnostics.
+        a shortest call path for diagnostics.  With
+        ``cross_boundaries=False`` the walk stops at process / thread /
+        executor boundary edges — the closure then covers only code
+        running in the roots' own execution context (what an event-loop
+        blocking analysis needs), while the default follows workers too
+        (what a cross-process race analysis needs).
         """
         parent: Dict[str, Tuple[Optional[str], Optional[ast.AST]]] = {}
         frontier: List[str] = []
@@ -297,11 +429,36 @@ class Project:
             nxt: List[str] = []
             for caller in frontier:
                 for callee, site in self.calls.get(caller, ()):
+                    if (not cross_boundaries
+                            and (caller, callee) in self.edge_boundaries):
+                        continue
                     if callee not in parent:
                         parent[callee] = (caller, site)
                         nxt.append(callee)
             frontier = nxt
         return parent
+
+    def paths_from(self, roots: Sequence[str],
+                   predicate: Callable[[FunctionInfo], bool], *,
+                   cross_boundaries: bool = True) -> List[List[str]]:
+        """Shortest call paths from ``roots`` to matching functions.
+
+        The reachability query API for rule families: returns one
+        ``[root, ..., target]`` qualname chain per reached function for
+        which ``predicate(info)`` holds, sorted by target qualname.  A
+        root that itself satisfies the predicate yields the one-element
+        chain.
+        """
+        if isinstance(roots, str):
+            roots = [roots]
+        reached = self.reachable_from(roots,
+                                      cross_boundaries=cross_boundaries)
+        paths: List[List[str]] = []
+        for qualname in sorted(reached):
+            info = self.functions.get(qualname)
+            if info is not None and predicate(info):
+                paths.append(self.call_path(reached, qualname))
+        return paths
 
     def call_path(self, reached: Dict[str, Tuple[Optional[str],
                                                  Optional[ast.AST]]],

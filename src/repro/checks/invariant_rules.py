@@ -97,7 +97,7 @@ class FrozenMutationRule(Rule):
         yield from self._setattr_bypasses(ctx)
 
     def _direct_assignments(self, ctx: FileContext) -> Iterator[Finding]:
-        for cls in ast.walk(ctx.tree):
+        for cls in ctx.walk():
             if not (isinstance(cls, ast.ClassDef) and _is_frozen_dataclass(cls)):
                 continue
             for node in ast.walk(cls):
@@ -118,7 +118,7 @@ class FrozenMutationRule(Rule):
                         )
 
     def _setattr_bypasses(self, ctx: FileContext) -> Iterator[Finding]:
-        for node in ast.walk(ctx.tree):
+        for node in ctx.walk():
             if not (isinstance(node, ast.Call)
                     and isinstance(node.func, ast.Attribute)
                     and node.func.attr == "__setattr__"
@@ -149,7 +149,7 @@ class MissingValidatorRule(Rule):
     description = "config dataclass lacks a __post_init__ validator"
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
-        for cls in ast.walk(ctx.tree):
+        for cls in ctx.walk():
             if not isinstance(cls, ast.ClassDef):
                 continue
             if not cls.name.endswith("Config"):
@@ -188,7 +188,7 @@ class ScheduleBypassRule(Rule):
     verifier = "verify_contention_free"
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
-        for node in ast.walk(ctx.tree):
+        for node in ctx.walk():
             if not (isinstance(node, ast.Call)
                     and self._is_schedule_ctor(node)):
                 continue

@@ -52,7 +52,7 @@ class PrintInHotPathRule(Rule):
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         if not _in_hot_path(ctx):
             return
-        for node in ast.walk(ctx.tree):
+        for node in ctx.walk():
             if (isinstance(node, ast.Call)
                     and isinstance(node.func, ast.Name)
                     and node.func.id == "print"):
@@ -74,7 +74,7 @@ class StreamWriteInHotPathRule(Rule):
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         if not _in_hot_path(ctx):
             return
-        for node in ast.walk(ctx.tree):
+        for node in ctx.walk():
             if not (isinstance(node, ast.Call)
                     and isinstance(node.func, ast.Attribute)
                     and node.func.attr in ("write", "writelines")):

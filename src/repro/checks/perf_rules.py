@@ -77,7 +77,7 @@ class PopZeroInLoopRule(Rule):
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         if not _in_hot_path(ctx):
             return
-        for node in ast.walk(ctx.tree):
+        for node in ctx.walk():
             if not (isinstance(node, ast.Call)
                     and isinstance(node.func, ast.Attribute)
                     and node.func.attr == "pop"
@@ -105,7 +105,7 @@ class ListCopyInLoopRule(Rule):
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         if not _in_hot_path(ctx):
             return
-        for node in ast.walk(ctx.tree):
+        for node in ctx.walk():
             # Only list(name) / list(obj.attr): a copy of an existing
             # container.  list(map(...)) etc. builds a new sequence and
             # is not a redundant snapshot.

@@ -30,8 +30,9 @@ live under :mod:`repro.checks.flow`.  The recipe:
    the anchoring line, even for findings whose cause is in another
    file;
 5. give the rule a code in the flow ranges (``F6xx`` dimensions,
-   ``T7xx`` determinism taint, ``S8xx`` fast-path parity, or a new
-   ``X9xx`` family), append the instance to the family list in its
+   ``T7xx`` determinism taint, ``S8xx`` fast-path parity, ``C9xx``
+   concurrency, ``B10xx`` async-blocking, ``K11xx`` pickle-safety, or
+   a new family), append the instance to the family list in its
    module, and add the family list here;
 6. test it with :func:`repro.checks.engine.check_project_source`,
    passing a ``{relpath: source}`` dict — one fixture with the injected
@@ -42,6 +43,7 @@ from __future__ import annotations
 
 from typing import List
 
+from repro.checks.concurrency import CONCURRENCY_RULES
 from repro.checks.determinism_rules import DETERMINISM_RULES
 from repro.checks.engine import Rule
 from repro.checks.flow import FLOW_RULES
@@ -54,7 +56,7 @@ __all__ = ["ALL_RULES", "rules_by_code"]
 
 ALL_RULES: List[Rule] = [
     *UNITS_RULES, *DETERMINISM_RULES, *INVARIANT_RULES, *OBS_RULES,
-    *PERF_RULES, *FLOW_RULES,
+    *PERF_RULES, *FLOW_RULES, *CONCURRENCY_RULES,
 ]
 
 

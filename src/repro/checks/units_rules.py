@@ -166,7 +166,7 @@ class UnitLiteralRule(Rule):
     description = "raw power-of-ten literal where a repro.units constant fits"
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
-        for node in ast.walk(ctx.tree):
+        for node in ctx.walk():
             if not isinstance(node, ast.Constant):
                 continue
             exponent = _sci_exponent(ctx, node)
@@ -251,7 +251,7 @@ class DbLinearMixRule(Rule):
     description = "decibel quantity added to / subtracted from linear power"
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
-        for node in ast.walk(ctx.tree):
+        for node in ctx.walk():
             if not (isinstance(node, ast.BinOp)
                     and isinstance(node.op, (ast.Add, ast.Sub))):
                 continue
@@ -284,7 +284,7 @@ class DimensionMismatchRule(Rule):
     description = "add/sub/compare between names of different dimensions"
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
-        for node in ast.walk(ctx.tree):
+        for node in ctx.walk():
             if (isinstance(node, ast.BinOp)
                     and isinstance(node.op, (ast.Add, ast.Sub))):
                 pairs = [(node.left, node.right)]

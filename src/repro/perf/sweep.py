@@ -29,7 +29,10 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import pickle
 from dataclasses import dataclass, field
+from dataclasses import fields as dataclass_fields
+from dataclasses import is_dataclass
 from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
 
 from repro.core.congestion import CongestionConfig
@@ -243,13 +246,56 @@ def resolve_workers(explicit: Optional[int] = None) -> int:
         return explicit
     env = os.environ.get(WORKERS_ENV)
     if env is not None:
-        value = int(env)
+        try:
+            value = int(env)
+        except ValueError:
+            raise ValueError(
+                f"{WORKERS_ENV} must be a positive integer, got {env!r}"
+            ) from None
         if value < 1:
             raise ValueError(
                 f"{WORKERS_ENV} must be >= 1, got {env}"
             )
         return value
     return os.cpu_count() or 1
+
+
+def _check_picklable(fn: Callable, jobs: Sequence) -> None:
+    """Fail fast, by name, on anything the pool could not ship.
+
+    ``multiprocessing`` reports a pickle failure from deep inside its
+    worker-feeder thread, naming neither the job nor the field.  Checking
+    up front costs one extra serialization of the (small, by design)
+    job descriptions and turns that into an actionable error.
+    """
+    try:
+        pickle.dumps(fn)
+    except Exception as exc:
+        name = getattr(fn, "__qualname__", repr(fn))
+        raise ValueError(
+            f"worker function {name} cannot be pickled for the process "
+            f"pool ({exc}); use a module-level function"
+        ) from exc
+    for index, job in enumerate(jobs):
+        try:
+            pickle.dumps(job)
+        except Exception as exc:
+            detail = ""
+            if is_dataclass(job) and not isinstance(job, type):
+                for spec in dataclass_fields(job):
+                    value = getattr(job, spec.name, None)
+                    try:
+                        pickle.dumps(value)
+                    except Exception:
+                        detail = (f": field '{spec.name}' "
+                                  f"({type(value).__name__}) is not "
+                                  "picklable")
+                        break
+            raise ValueError(
+                f"job {index} ({type(job).__name__}) cannot be pickled "
+                f"for the process pool{detail or f' ({exc})'}; jobs must "
+                "carry only plain configuration values"
+            ) from exc
 
 
 class ParallelSweepRunner:
@@ -268,6 +314,7 @@ class ParallelSweepRunner:
         job_list: List[T] = list(jobs)
         if self.workers <= 1 or len(job_list) < 2:
             return [fn(job) for job in job_list]
+        _check_picklable(fn, job_list)
         processes = min(self.workers, len(job_list))
         with multiprocessing.Pool(processes=processes) as pool:
             # chunksize=1: results merge in submission order and the

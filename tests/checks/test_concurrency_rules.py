@@ -1,0 +1,639 @@
+"""Fixture tests for the concurrency analysis layer.
+
+One true positive and one clean exemplar per rule — ``C9xx``
+race/fork-safety, ``B10xx`` async-blocking, ``K11xx`` pickle-safety —
+plus suppression-placement tests for the cross-file findings.
+"""
+
+from repro.checks.concurrency import (
+    ASYNC_RULES,
+    CONCURRENCY_RULES,
+    PICKLE_RULES,
+    RACE_RULES,
+)
+from repro.checks.engine import check_project_source, check_source
+
+
+def _codes(findings):
+    return [f.rule for f in findings]
+
+
+def _only(findings, code):
+    return [f for f in findings if f.rule == code]
+
+
+# ---------------------------------------------------------------------------
+# C901 worker-writes-shared-state
+# ---------------------------------------------------------------------------
+class TestC901WorkerWritesSharedState:
+    FILES = {
+        "src/repro/perf/cache.py": (
+            "RESULTS = {}\n"
+            "\n"
+            "def record(key, value):\n"
+            "    RESULTS[key] = value\n"
+            "\n"
+            "def summarize():\n"
+            "    return dict(RESULTS)\n"
+        ),
+        "src/repro/perf/driver.py": (
+            "from multiprocessing import Pool\n"
+            "from repro.perf.cache import record\n"
+            "\n"
+            "def worker(job):\n"
+            "    record(job, job * 2)\n"
+            "    return job\n"
+            "\n"
+            "def sweep(jobs):\n"
+            "    with Pool() as pool:\n"
+            "        return pool.map(worker, jobs)\n"
+        ),
+    }
+
+    def test_catches_worker_write_visible_to_parent(self):
+        findings = check_project_source(self.FILES, RACE_RULES)
+        c901 = _only(findings, "C901")
+        assert c901, _codes(findings)
+        # Anchored at the mutation site, in the file that owns the state.
+        assert c901[0].path == "src/repro/perf/cache.py"
+        assert c901[0].line == 4
+        assert "RESULTS" in c901[0].message
+        assert "worker -> record" in c901[0].message
+        assert "summarize" in c901[0].message
+
+    def test_clean_twin_result_through_return_value(self):
+        findings = check_project_source({
+            "src/repro/perf/driver.py": (
+                "from multiprocessing import Pool\n"
+                "\n"
+                "def worker(job):\n"
+                "    return (job, job * 2)\n"
+                "\n"
+                "def sweep(jobs):\n"
+                "    with Pool() as pool:\n"
+                "        return dict(pool.map(worker, jobs))\n"
+            ),
+        }, RACE_RULES)
+        assert findings == []
+
+    def test_worker_only_state_is_not_c901(self):
+        # Mutation with no parent-side user: not a lost-update hazard.
+        findings = check_project_source({
+            "src/repro/perf/driver.py": (
+                "from multiprocessing import Pool\n"
+                "SCRATCH = {}\n"
+                "\n"
+                "def worker(job):\n"
+                "    SCRATCH[job] = True\n"
+                "    return job\n"
+                "\n"
+                "def sweep(jobs):\n"
+                "    with Pool() as pool:\n"
+                "        return pool.map(worker, jobs)\n"
+            ),
+        }, [rule for rule in RACE_RULES if rule.code == "C901"])
+        assert findings == []
+
+    def test_suppression_at_mutation_site(self):
+        files = dict(self.FILES)
+        files["src/repro/perf/cache.py"] = (
+            "RESULTS = {}\n"
+            "\n"
+            "def record(key, value):\n"
+            "    RESULTS[key] = value  # lint: ignore[C901]\n"
+            "\n"
+            "def summarize():\n"
+            "    return dict(RESULTS)\n"
+        )
+        findings = check_project_source(files, RACE_RULES)
+        assert _only(findings, "C901") == []
+
+    def test_suppression_in_spawning_file_does_not_apply(self):
+        # The finding anchors at the mutation (source file); a comment
+        # at the pool.map call site must NOT silence it.
+        files = dict(self.FILES)
+        files["src/repro/perf/driver.py"] = files[
+            "src/repro/perf/driver.py"].replace(
+            "return pool.map(worker, jobs)",
+            "return pool.map(worker, jobs)  # lint: ignore[C901]")
+        findings = check_project_source(files, RACE_RULES)
+        assert _only(findings, "C901"), _codes(findings)
+
+
+# ---------------------------------------------------------------------------
+# C902 fork-inherited-state
+# ---------------------------------------------------------------------------
+class TestC902ForkInheritedState:
+    def test_catches_module_level_rng_in_worker(self):
+        findings = check_source(
+            "import random\n"
+            "from multiprocessing import Pool\n"
+            "\n"
+            "RNG = random.Random(7)\n"
+            "\n"
+            "def worker(job):\n"
+            "    return RNG.random() * job\n"
+            "\n"
+            "def sweep(jobs):\n"
+            "    with Pool() as pool:\n"
+            "        return pool.map(worker, jobs)\n",
+            RACE_RULES, relpath="src/repro/perf/driver.py",
+        )
+        c902 = _only(findings, "C902")
+        assert c902, _codes(findings)
+        assert c902[0].line == 7
+        assert "RNG" in c902[0].message
+        assert "stream" in c902[0].message
+
+    def test_catches_obs_registry_in_worker(self):
+        findings = check_source(
+            "from multiprocessing import Pool\n"
+            "from repro.obs import MetricsRegistry\n"
+            "\n"
+            "METRICS = MetricsRegistry()\n"
+            "\n"
+            "def worker(job):\n"
+            "    METRICS.counter('jobs').increment()\n"
+            "    return job\n"
+            "\n"
+            "def sweep(jobs):\n"
+            "    with Pool() as pool:\n"
+            "        return pool.map(worker, jobs)\n",
+            RACE_RULES, relpath="src/repro/perf/driver.py",
+        )
+        c902 = _only(findings, "C902")
+        assert c902, _codes(findings)
+        assert "recorder" in c902[0].message
+
+    def test_catches_parent_mutated_cache_read_in_worker(self):
+        findings = check_source(
+            "from multiprocessing import Pool\n"
+            "\n"
+            "CAPACITY = {}\n"
+            "\n"
+            "def warm(n):\n"
+            "    CAPACITY[n] = n * 2\n"
+            "\n"
+            "def worker(job):\n"
+            "    return CAPACITY.get(job, 0)\n"
+            "\n"
+            "def sweep(jobs):\n"
+            "    warm(64)\n"
+            "    with Pool() as pool:\n"
+            "        return pool.map(worker, jobs)\n",
+            [rule for rule in RACE_RULES if rule.code == "C902"],
+            relpath="src/repro/perf/driver.py",
+        )
+        c902 = _only(findings, "C902")
+        assert c902, _codes(findings)
+        assert "snapshot" in c902[0].message
+
+    def test_clean_twin_seed_threaded_through_job(self):
+        findings = check_source(
+            "import random\n"
+            "from multiprocessing import Pool\n"
+            "\n"
+            "def worker(job):\n"
+            "    rng = random.Random(job)\n"
+            "    return rng.random()\n"
+            "\n"
+            "def sweep(jobs):\n"
+            "    with Pool() as pool:\n"
+            "        return pool.map(worker, jobs)\n",
+            RACE_RULES, relpath="src/repro/perf/driver.py",
+        )
+        assert findings == []
+
+    def test_null_sentinels_are_exempt(self):
+        findings = check_source(
+            "from multiprocessing import Pool\n"
+            "from repro.obs import NullRegistry\n"
+            "\n"
+            "NULL_METRICS = NullRegistry()\n"
+            "\n"
+            "def worker(job):\n"
+            "    NULL_METRICS.counter('jobs')\n"
+            "    return job\n"
+            "\n"
+            "def sweep(jobs):\n"
+            "    with Pool() as pool:\n"
+            "        return pool.map(worker, jobs)\n",
+            RACE_RULES, relpath="src/repro/perf/driver.py",
+        )
+        assert _only(findings, "C902") == []
+
+
+# ---------------------------------------------------------------------------
+# C903 lock-discipline
+# ---------------------------------------------------------------------------
+class TestC903LockDiscipline:
+    def test_catches_bare_acquire(self):
+        findings = check_source(
+            "def critical(lock, work):\n"
+            "    lock.acquire()\n"
+            "    work()\n"
+            "    lock.release()\n",
+            RACE_RULES, relpath="src/repro/service/state.py",
+        )
+        c903 = _only(findings, "C903")
+        assert c903, _codes(findings)
+        assert c903[0].line == 2
+
+    def test_catches_with_acquire_misuse(self):
+        findings = check_source(
+            "def critical(lock, work):\n"
+            "    with lock.acquire():\n"
+            "        work()\n",
+            RACE_RULES, relpath="src/repro/service/state.py",
+        )
+        c903 = _only(findings, "C903")
+        assert c903, _codes(findings)
+        assert "with lock:" in c903[0].message
+
+    def test_catches_release_on_different_lock(self):
+        findings = check_source(
+            "def critical(a, b, work):\n"
+            "    a.acquire()\n"
+            "    try:\n"
+            "        work()\n"
+            "    finally:\n"
+            "        b.release()\n",
+            RACE_RULES, relpath="src/repro/service/state.py",
+        )
+        assert _only(findings, "C903"), _codes(findings)
+
+    def test_clean_twin_with_statement(self):
+        findings = check_source(
+            "def critical(lock, work):\n"
+            "    with lock:\n"
+            "        work()\n",
+            RACE_RULES, relpath="src/repro/service/state.py",
+        )
+        assert findings == []
+
+    def test_clean_twin_try_finally(self):
+        findings = check_source(
+            "def critical(lock, work):\n"
+            "    lock.acquire()\n"
+            "    try:\n"
+            "        work()\n"
+            "    finally:\n"
+            "        lock.release()\n",
+            RACE_RULES, relpath="src/repro/service/state.py",
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# B1001 blocking-call-in-async
+# ---------------------------------------------------------------------------
+class TestB1001BlockingCallInAsync:
+    def test_catches_time_sleep_directly_in_coroutine(self):
+        findings = check_source(
+            "import time\n"
+            "\n"
+            "async def handler(request):\n"
+            "    time.sleep(0.1)\n"
+            "    return request\n",
+            ASYNC_RULES, relpath="src/repro/service/api.py",
+        )
+        b1001 = _only(findings, "B1001")
+        assert b1001, _codes(findings)
+        assert b1001[0].line == 4
+        assert "time.sleep()" in b1001[0].message
+        assert "directly" in b1001[0].message
+
+    def test_catches_file_io_on_sync_call_path(self):
+        findings = check_source(
+            "def load_config(path):\n"
+            "    return open(path).read()\n"
+            "\n"
+            "async def handler(request):\n"
+            "    return load_config(request)\n",
+            ASYNC_RULES, relpath="src/repro/service/api.py",
+        )
+        b1001 = _only(findings, "B1001")
+        assert b1001, _codes(findings)
+        # Anchored at the blocking call, chain from the async root.
+        assert b1001[0].line == 2
+        assert "handler -> load_config" in b1001[0].message
+
+    def test_clean_twin_offloaded_to_executor(self):
+        # The same blocking helper behind run_in_executor crosses an
+        # executor boundary edge and does not block the loop.
+        findings = check_source(
+            "import asyncio\n"
+            "\n"
+            "def load_config(path):\n"
+            "    return open(path).read()\n"
+            "\n"
+            "async def handler(request):\n"
+            "    loop = asyncio.get_running_loop()\n"
+            "    return await loop.run_in_executor(None, load_config, "
+            "request)\n",
+            ASYNC_RULES, relpath="src/repro/service/api.py",
+        )
+        assert _only(findings, "B1001") == []
+
+    def test_clean_twin_asyncio_to_thread(self):
+        findings = check_source(
+            "import asyncio\n"
+            "import time\n"
+            "\n"
+            "def pause():\n"
+            "    time.sleep(1.0)\n"
+            "\n"
+            "async def handler(request):\n"
+            "    await asyncio.to_thread(pause)\n"
+            "    return request\n",
+            ASYNC_RULES, relpath="src/repro/service/api.py",
+        )
+        assert _only(findings, "B1001") == []
+
+    def test_blocking_call_outside_async_is_silent(self):
+        findings = check_source(
+            "import time\n"
+            "\n"
+            "def bench():\n"
+            "    time.sleep(0.1)\n",
+            ASYNC_RULES, relpath="src/repro/perf/bench.py",
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# B1002 sim-run-in-async
+# ---------------------------------------------------------------------------
+class TestB1002SimRunInAsync:
+    SWEEP = (
+        "class ParallelSweepRunner:\n"
+        "    def map(self, fn, jobs):\n"
+        "        return [fn(job) for job in jobs]\n"
+        "\n"
+        "def run_sirius_job(job):\n"
+        "    return job\n"
+    )
+
+    def test_catches_sweep_run_inside_coroutine(self):
+        findings = check_project_source({
+            "src/repro/service/api.py": (
+                "from repro.perf.sweep import ParallelSweepRunner, "
+                "run_sirius_job\n"
+                "\n"
+                "async def sweep_endpoint(jobs):\n"
+                "    runner = ParallelSweepRunner()\n"
+                "    return runner.map(run_sirius_job, jobs)\n"
+            ),
+            "src/repro/perf/sweep.py": self.SWEEP,
+        }, ASYNC_RULES)
+        b1002 = _only(findings, "B1002")
+        assert b1002, _codes(findings)
+        assert b1002[0].path == "src/repro/service/api.py"
+        assert "ParallelSweepRunner.map" in b1002[0].message
+        assert "run_in_executor" in b1002[0].message
+
+    def test_clean_twin_sweep_offloaded(self):
+        findings = check_project_source({
+            "src/repro/service/api.py": (
+                "import asyncio\n"
+                "from repro.perf.sweep import ParallelSweepRunner, "
+                "run_sirius_job\n"
+                "\n"
+                "def run_sweep(jobs):\n"
+                "    runner = ParallelSweepRunner()\n"
+                "    return runner.map(run_sirius_job, jobs)\n"
+                "\n"
+                "async def sweep_endpoint(jobs):\n"
+                "    loop = asyncio.get_running_loop()\n"
+                "    return await loop.run_in_executor(None, run_sweep, "
+                "jobs)\n"
+            ),
+            "src/repro/perf/sweep.py": self.SWEEP,
+        }, [rule for rule in ASYNC_RULES if rule.code == "B1002"])
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# K1101 unpicklable-job-field
+# ---------------------------------------------------------------------------
+class TestK1101UnpicklableJobField:
+    def test_catches_callable_lock_and_lambda_fields(self):
+        findings = check_project_source({
+            "src/repro/perf/jobs.py": (
+                "import threading\n"
+                "from dataclasses import dataclass, field\n"
+                "from typing import Callable\n"
+                "\n"
+                "@dataclass(frozen=True)\n"
+                "class BadJob:\n"
+                "    n_nodes: int\n"
+                "    make_net: Callable[[int], object]\n"
+                "    lock: threading.Lock = None\n"
+                "    on_done: object = field(default=lambda: None)\n"
+                "\n"
+                "def run_bad(job: BadJob):\n"
+                "    return job.n_nodes\n"
+            ),
+            "src/repro/perf/driver.py": (
+                "from multiprocessing import Pool\n"
+                "from repro.perf.jobs import run_bad\n"
+                "\n"
+                "def sweep(jobs):\n"
+                "    with Pool() as pool:\n"
+                "        return pool.map(run_bad, jobs)\n"
+            ),
+        }, PICKLE_RULES)
+        k1101 = _only(findings, "K1101")
+        fields_flagged = {f.message.split("'")[1] for f in k1101}
+        assert fields_flagged == {"make_net", "lock", "on_done"}
+        # Anchored in the file that declares the class.
+        assert all(f.path == "src/repro/perf/jobs.py" for f in k1101)
+        assert any("run_bad" in f.message for f in k1101)
+
+    def test_recurses_through_nested_dataclasses(self):
+        findings = check_project_source({
+            "src/repro/perf/jobs.py": (
+                "from dataclasses import dataclass\n"
+                "from typing import Callable, Optional\n"
+                "\n"
+                "@dataclass(frozen=True)\n"
+                "class NetSpec:\n"
+                "    builder: Optional[Callable[[], object]] = None\n"
+                "\n"
+                "@dataclass(frozen=True)\n"
+                "class Job:\n"
+                "    spec: NetSpec\n"
+                "\n"
+                "def run_job(job: Job):\n"
+                "    return job\n"
+            ),
+            "src/repro/perf/driver.py": (
+                "from multiprocessing import Pool\n"
+                "from repro.perf.jobs import run_job\n"
+                "\n"
+                "def sweep(jobs):\n"
+                "    with Pool() as pool:\n"
+                "        return pool.map(run_job, jobs)\n"
+            ),
+        }, PICKLE_RULES)
+        k1101 = _only(findings, "K1101")
+        assert k1101, _codes(findings)
+        assert "builder" in k1101[0].message
+
+    def test_checkpoint_classes_are_roots_without_a_pool(self):
+        findings = check_source(
+            "from dataclasses import dataclass\n"
+            "from typing import Iterator\n"
+            "\n"
+            "@dataclass\n"
+            "class SweepCheckpoint:\n"
+            "    cursor: Iterator\n",
+            PICKLE_RULES, relpath="src/repro/perf/checkpoint.py",
+        )
+        k1101 = _only(findings, "K1101")
+        assert k1101, _codes(findings)
+        assert "cursor" in k1101[0].message
+
+    def test_clean_twin_scalar_job_is_silent(self):
+        findings = check_project_source({
+            "src/repro/perf/jobs.py": (
+                "from dataclasses import dataclass\n"
+                "from typing import Optional\n"
+                "\n"
+                "@dataclass(frozen=True)\n"
+                "class GoodJob:\n"
+                "    n_nodes: int\n"
+                "    load: float\n"
+                "    backend: Optional[str] = None\n"
+                "    label: str = ''\n"
+                "\n"
+                "def run_good(job: GoodJob):\n"
+                "    return job.n_nodes\n"
+            ),
+            "src/repro/perf/driver.py": (
+                "from multiprocessing import Pool\n"
+                "from repro.perf.jobs import run_good\n"
+                "\n"
+                "def sweep(jobs):\n"
+                "    with Pool() as pool:\n"
+                "        return pool.map(run_good, jobs)\n"
+            ),
+        }, PICKLE_RULES)
+        assert findings == []
+
+    def test_suppression_at_field_not_at_pool_call(self):
+        files = {
+            "src/repro/perf/jobs.py": (
+                "from dataclasses import dataclass\n"
+                "from typing import Callable\n"
+                "\n"
+                "@dataclass(frozen=True)\n"
+                "class Job:\n"
+                "    # lint: ignore[K1101]\n"
+                "    make_net: Callable[[], object]\n"
+                "\n"
+                "def run_job(job: Job):\n"
+                "    return job\n"
+            ),
+            "src/repro/perf/driver.py": (
+                "from multiprocessing import Pool\n"
+                "from repro.perf.jobs import run_job\n"
+                "\n"
+                "def sweep(jobs):\n"
+                "    with Pool() as pool:\n"
+                "        return pool.map(run_job, jobs)\n"
+            ),
+        }
+        assert _only(check_project_source(files, PICKLE_RULES),
+                     "K1101") == []
+        # A comment at the pool.map sink must not silence the field.
+        files["src/repro/perf/jobs.py"] = files[
+            "src/repro/perf/jobs.py"].replace(
+            "    # lint: ignore[K1101]\n", "")
+        files["src/repro/perf/driver.py"] = files[
+            "src/repro/perf/driver.py"].replace(
+            "return pool.map(run_job, jobs)",
+            "return pool.map(run_job, jobs)  # lint: ignore[K1101]")
+        assert _only(check_project_source(files, PICKLE_RULES), "K1101")
+
+
+# ---------------------------------------------------------------------------
+# K1102 unpicklable-callable-to-pool
+# ---------------------------------------------------------------------------
+class TestK1102UnpicklableCallableToPool:
+    def test_catches_lambda_to_pool_map(self):
+        findings = check_source(
+            "from multiprocessing import Pool\n"
+            "\n"
+            "def sweep(jobs):\n"
+            "    with Pool() as pool:\n"
+            "        return pool.map(lambda job: job * 2, jobs)\n",
+            PICKLE_RULES, relpath="src/repro/perf/driver.py",
+        )
+        k1102 = _only(findings, "K1102")
+        assert k1102, _codes(findings)
+        assert "lambda" in k1102[0].message
+
+    def test_catches_nested_function_to_pool(self):
+        findings = check_source(
+            "from multiprocessing import Pool\n"
+            "\n"
+            "def sweep(jobs, scale):\n"
+            "    def worker(job):\n"
+            "        return job * scale\n"
+            "    with Pool() as pool:\n"
+            "        return pool.map(worker, jobs)\n",
+            PICKLE_RULES, relpath="src/repro/perf/driver.py",
+        )
+        k1102 = _only(findings, "K1102")
+        assert k1102, _codes(findings)
+        assert "sweep.worker" in k1102[0].message
+        assert "module level" in k1102[0].message
+
+    def test_catches_nested_target_to_process(self):
+        findings = check_source(
+            "import multiprocessing\n"
+            "\n"
+            "def launch(value):\n"
+            "    def job():\n"
+            "        return value\n"
+            "    proc = multiprocessing.Process(target=job)\n"
+            "    proc.start()\n",
+            PICKLE_RULES, relpath="src/repro/perf/driver.py",
+        )
+        assert _only(findings, "K1102"), _codes(findings)
+
+    def test_clean_twin_module_level_worker(self):
+        findings = check_source(
+            "from multiprocessing import Pool\n"
+            "\n"
+            "def worker(job):\n"
+            "    return job * 2\n"
+            "\n"
+            "def sweep(jobs):\n"
+            "    with Pool() as pool:\n"
+            "        return pool.map(worker, jobs)\n",
+            PICKLE_RULES, relpath="src/repro/perf/driver.py",
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# The combined family list
+# ---------------------------------------------------------------------------
+class TestCombinedFamilies:
+    def test_registry_exposes_all_seven_rules(self):
+        codes = {rule.code for rule in CONCURRENCY_RULES}
+        assert codes == {"C901", "C902", "C903", "B1001", "B1002",
+                         "K1101", "K1102"}
+
+    def test_all_rules_have_distinct_names(self):
+        names = [rule.name for rule in CONCURRENCY_RULES]
+        assert len(names) == len(set(names))
+
+    def test_registered_in_global_registry(self):
+        from repro.checks.registry import ALL_RULES
+
+        registered = {rule.code for rule in ALL_RULES}
+        for rule in CONCURRENCY_RULES:
+            assert rule.code in registered

@@ -135,8 +135,11 @@ class TestRegistry:
         assert all(name == name.lower() and " " not in name for name in names)
 
     def test_rule_families_present(self):
-        families = {rule.code[0] for rule in ALL_RULES}
-        assert families == {"U", "D", "I", "O", "P", "F", "T", "S"}
+        from repro.checks.engine import rule_family
+
+        families = {rule_family(rule) for rule in ALL_RULES}
+        assert families == {"U1", "D2", "I3", "O4", "P5", "F6", "T7",
+                            "S8", "C9", "B10", "K11"}
 
     def test_unit_rules_exported(self):
         assert any(isinstance(rule, UnitLiteralRule) for rule in UNITS_RULES)
@@ -227,3 +230,104 @@ class TestSarifFormat:
         log = json.loads(format_sarif([]))
         assert log["runs"][0]["results"] == []
         assert log["runs"][0]["tool"]["driver"]["rules"] == []
+
+
+class _StubRule(UnitLiteralRule):
+    """A freely relabeled rule for family-matching tests."""
+
+    def __init__(self, code, name):
+        self.code = code
+        self.name = name
+
+
+class TestLongestPrefixFamilyMatching:
+    # C9 and C90 coexist as distinct registered families; the shorter
+    # ident must select exactly its own family, not every code it is a
+    # string prefix of.
+    RULES = [
+        _StubRule("C901", "race-one"),
+        _StubRule("C902", "race-two"),
+        _StubRule("C9001", "imaginary-one"),
+        _StubRule("B1001", "blocking-one"),
+        _StubRule("K1101", "pickle-one"),
+    ]
+
+    def test_short_family_does_not_swallow_longer_family(self):
+        rules = filter_rules(self.RULES, select=["C9"])
+        assert {r.code for r in rules} == {"C901", "C902"}
+
+    def test_longer_family_selects_only_itself(self):
+        rules = filter_rules(self.RULES, select=["C90"])
+        assert {r.code for r in rules} == {"C9001"}
+
+    def test_ignore_respects_family_boundaries(self):
+        rules = filter_rules(self.RULES, ignore=["C9"])
+        assert {r.code for r in rules} == {"C9001", "B1001", "K1101"}
+
+    def test_unregistered_prefix_falls_back_to_code_prefix(self):
+        # "B1" names no registered family here, so it behaves as a
+        # plain code prefix and still finds the B10xx rules.
+        rules = filter_rules(self.RULES, select=["B1"])
+        assert {r.code for r in rules} == {"B1001"}
+
+    def test_new_families_selectable_from_registry(self):
+        rules = filter_rules(ALL_RULES, select=["C9", "B10", "K11"])
+        assert {r.code for r in rules} == {"C901", "C902", "C903",
+                                           "B1001", "B1002",
+                                           "K1101", "K1102"}
+
+    def test_family_of_code_parses_mixed_lengths(self):
+        from repro.checks.engine import family_of_code
+
+        assert family_of_code("U101") == "U1"
+        assert family_of_code("C901") == "C9"
+        assert family_of_code("B1001") == "B10"
+        assert family_of_code("K1101") == "K11"
+        assert family_of_code("E001") == "E0"
+
+
+class TestLintStats:
+    def test_counts_and_timings_populated(self, tmp_path):
+        from repro.checks.engine import LintStats
+
+        target = tmp_path / "mod.py"
+        target.write_text("def to_us(duration_s):\n"
+                          "    return duration_s / 1e-6\n",
+                          encoding="utf-8")
+        stats = LintStats()
+        findings = run_checks([target], ALL_RULES, root=tmp_path,
+                              stats=stats)
+        assert stats.files == 1
+        assert stats.total_findings == len(findings) > 0
+        assert stats.findings_per_family.get("U1", 0) >= 1
+        assert stats.total_s >= 0.0
+        rendered = stats.render()
+        assert "files parsed" in rendered
+        assert "U1xx" in rendered
+
+    def test_render_with_no_findings(self):
+        from repro.checks.engine import LintStats
+
+        stats = LintStats()
+        assert "findings            0" in stats.render()
+
+
+class TestParseCache:
+    def test_reparse_skipped_until_file_changes(self, tmp_path):
+        import os
+
+        from repro.checks.engine import clear_parse_cache, parse_file
+
+        target = tmp_path / "mod.py"
+        target.write_text("x = 1\n", encoding="utf-8")
+        clear_parse_cache()
+        first = parse_file(target, root=tmp_path)
+        again = parse_file(target, root=tmp_path)
+        assert again is first  # cache hit: identical context object
+
+        target.write_text("x = 2\n", encoding="utf-8")
+        stat = target.stat()
+        os.utime(target, ns=(stat.st_atime_ns, stat.st_mtime_ns + 1))
+        changed = parse_file(target, root=tmp_path)
+        assert changed is not first
+        clear_parse_cache()

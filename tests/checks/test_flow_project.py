@@ -177,3 +177,85 @@ class TestReachability:
             "repro.core.net.Net.phase",
             "repro.core.net.helper",
         ]
+
+
+class TestBoundaryEdges:
+    FILES = {
+        "src/repro/perf/driver.py": (
+            "import asyncio\n"
+            "import threading\n"
+            "from multiprocessing import Pool\n"
+            "\n"
+            "def worker(job):\n"
+            "    return crunch(job)\n"
+            "\n"
+            "def crunch(job):\n"
+            "    return job * 2\n"
+            "\n"
+            "def sweep(jobs):\n"
+            "    with Pool() as pool:\n"
+            "        return pool.map(worker, jobs)\n"
+            "\n"
+            "def side(job):\n"
+            "    thread = threading.Thread(target=worker)\n"
+            "    thread.start()\n"
+            "\n"
+            "async def offload(job):\n"
+            "    return await asyncio.to_thread(crunch, job)\n"
+        ),
+    }
+
+    def test_spawn_apis_annotate_edges(self, tmp_path):
+        project = _project(tmp_path, self.FILES)
+        mod = "repro.perf.driver"
+        assert project.edge_boundaries[
+            (f"{mod}.sweep", f"{mod}.worker")] == "process"
+        assert project.edge_boundaries[
+            (f"{mod}.side", f"{mod}.worker")] == "thread"
+        assert project.edge_boundaries[
+            (f"{mod}.offload", f"{mod}.crunch")] == "thread"
+
+    def test_worker_entries_are_process_targets_only(self, tmp_path):
+        project = _project(tmp_path, self.FILES)
+        assert project.worker_entries == {"repro.perf.driver.worker"}
+
+    def test_reachability_stops_at_boundaries_on_request(self, tmp_path):
+        project = _project(tmp_path, self.FILES)
+        mod = "repro.perf.driver"
+        followed = project.reachable_from([f"{mod}.sweep"])
+        assert f"{mod}.crunch" in followed  # via the worker, by default
+        stopped = project.reachable_from([f"{mod}.sweep"],
+                                         cross_boundaries=False)
+        assert f"{mod}.worker" not in stopped
+        assert f"{mod}.crunch" not in stopped
+
+    def test_paths_from_returns_shortest_chains(self, tmp_path):
+        project = _project(tmp_path, self.FILES)
+        mod = "repro.perf.driver"
+        paths = project.paths_from(
+            f"{mod}.sweep", lambda info: info.name == "crunch")
+        assert paths == [[f"{mod}.sweep", f"{mod}.worker", f"{mod}.crunch"]]
+        assert project.paths_from(
+            f"{mod}.sweep", lambda info: info.name == "crunch",
+            cross_boundaries=False) == []
+
+    def test_nested_def_handed_only_across_boundary(self, tmp_path):
+        # A nested function passed to the pool keeps its annotated
+        # spawn edge but not an implicit same-context closure edge.
+        project = _project(tmp_path, {
+            "src/repro/perf/nested.py": (
+                "from multiprocessing import Pool\n"
+                "\n"
+                "def sweep(jobs):\n"
+                "    def local(job):\n"
+                "        return job\n"
+                "    with Pool() as pool:\n"
+                "        return pool.map(local, jobs)\n"
+            ),
+        })
+        mod = "repro.perf.nested"
+        assert project.edge_boundaries[
+            (f"{mod}.sweep", f"{mod}.sweep.local")] == "process"
+        stopped = project.reachable_from([f"{mod}.sweep"],
+                                         cross_boundaries=False)
+        assert f"{mod}.sweep.local" not in stopped

@@ -1,5 +1,7 @@
 """ParallelSweepRunner: determinism, ordering and worker resolution."""
 
+from dataclasses import dataclass
+
 import pytest
 
 from repro.perf import (
@@ -106,3 +108,59 @@ class TestWorkerResolution:
         # built-in job runners (the CLI uses this for mixed sweeps).
         runner = ParallelSweepRunner(2)
         assert runner.map(abs, [-2, 3, -4]) == [2, 3, 4]
+
+
+class TestWorkerEnvValidation:
+    def test_non_integer_env_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "many")
+        with pytest.raises(ValueError) as excinfo:
+            resolve_workers(None)
+        assert WORKERS_ENV in str(excinfo.value)
+        assert "many" in str(excinfo.value)
+
+    def test_empty_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "")
+        with pytest.raises(ValueError):
+            resolve_workers(None)
+
+    def test_float_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "2.5")
+        with pytest.raises(ValueError):
+            resolve_workers(None)
+
+
+class TestPickleFailFast:
+    def test_unpicklable_job_field_named_before_pool_start(self):
+        @dataclass(frozen=True)
+        class BrokenJob:
+            n_nodes: int
+            make_net: object
+
+        runner = ParallelSweepRunner(workers=2)
+        jobs = [BrokenJob(n_nodes=8, make_net=lambda: None),
+                BrokenJob(n_nodes=16, make_net=lambda: None)]
+        with pytest.raises(ValueError) as excinfo:
+            runner.map(_identity, jobs)
+        message = str(excinfo.value)
+        assert "job 0" in message
+        assert "BrokenJob" in message
+        assert "make_net" in message
+
+    def test_unpicklable_worker_function_named(self):
+        runner = ParallelSweepRunner(workers=2)
+        with pytest.raises(ValueError) as excinfo:
+            runner.map(lambda job: job, [1, 2, 3])
+        assert "module-level function" in str(excinfo.value)
+
+    def test_serial_path_skips_the_check(self):
+        # workers=1 never pickles, so closures stay allowed there.
+        runner = ParallelSweepRunner(workers=1)
+        assert runner.map(lambda job: job * 2, [1, 2]) == [2, 4]
+
+    def test_picklable_jobs_pass_through(self):
+        runner = ParallelSweepRunner(workers=2)
+        assert sorted(runner.map(_identity, [3, 1, 2])) == [1, 2, 3]
+
+
+def _identity(job):
+    return job
