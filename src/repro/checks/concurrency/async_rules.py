@@ -9,13 +9,13 @@ to ``run_in_executor`` or ``asyncio.to_thread`` does *not* block the
 loop), and flag what remains:
 
 * ``B1001 blocking-call-in-async`` — a stdlib blocking primitive
-  (``time.sleep``, file/socket I/O, ``subprocess``/``os.system``) on a
-  coroutine's synchronous call path;
+  (``time.sleep``, file/socket I/O including DNS resolution,
+  ``subprocess``/``os.system``) on a coroutine's synchronous call path;
 * ``B1002 sim-run-in-async`` — a whole epoch-loop simulation or sweep
   (``SiriusNetwork.run``, ``FluidNetwork.run``,
-  ``ParallelSweepRunner.map``, the sweep job entry points) invoked
-  synchronously from a coroutine — milliseconds-to-minutes of CPU the
-  loop cannot preempt.
+  ``ParallelSweepRunner.map``/``map_stream``, the sweep job entry
+  points) invoked synchronously from a coroutine —
+  milliseconds-to-minutes of CPU the loop cannot preempt.
 """
 
 from __future__ import annotations
@@ -39,6 +39,8 @@ _BLOCKING_DOTTED = {
     "os.system": "os.system()",
     "os.wait": "os.wait()",
     "socket.create_connection": "socket.create_connection()",
+    "socket.getaddrinfo": "socket.getaddrinfo()",
+    "socket.gethostbyname": "socket.gethostbyname()",
     "subprocess.run": "subprocess.run()",
     "subprocess.call": "subprocess.call()",
     "subprocess.check_call": "subprocess.check_call()",
@@ -59,6 +61,7 @@ _SIM_SUFFIXES = (
     "SiriusNetwork.run",
     "FluidNetwork.run",
     "ParallelSweepRunner.map",
+    "ParallelSweepRunner.map_stream",
     ".run_sirius_job",
     ".run_fluid_job",
 )

@@ -87,6 +87,21 @@ class ClassInfo:
     name: str
     node: ast.ClassDef
     methods: Dict[str, str] = field(default_factory=dict)  # name -> qualname
+    #: Base-class expressions as written ("Base", "mod.Base"); resolved
+    #: lazily against the defining module's imports.
+    bases: List[str] = field(default_factory=list)
+
+
+def _dotted_text(node: ast.AST) -> Optional[str]:
+    """``Name``/``Attribute`` chain as dotted text (else None)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
 
 
 def module_imports(tree: ast.Module, module: str) -> Dict[str, str]:
@@ -181,7 +196,11 @@ class Project:
                 qualname = f"{scope}.{stmt.name}"
                 self.classes[qualname] = ClassInfo(
                     qualname=qualname, module=module, name=stmt.name,
-                    node=stmt,
+                    node=stmt, bases=[
+                        text for text in
+                        (_dotted_text(base) for base in stmt.bases)
+                        if text is not None
+                    ],
                 )
                 self._index_body(ctx, module, stmt.body, scope=qualname,
                                  class_name=stmt.name, parent=parent)
@@ -377,6 +396,14 @@ class Project:
     def _resolve_attribute(self, func: ast.Attribute,
                            info: FunctionInfo) -> List[str]:
         owner, method = func.value, func.attr
+        if (isinstance(owner, ast.Call) and isinstance(owner.func, ast.Name)
+                and owner.func.id == "super"):
+            # ``super().m()`` dispatches along the base chain only.  A
+            # base outside the project (ValueError, object, ...)
+            # resolves to nothing — falling through to the name-based
+            # approximation here would connect every ``__init__`` in
+            # the repo to every exception constructor.
+            return self._super_targets(info, method)
         if isinstance(owner, ast.Name):
             if owner.id in ("self", "cls") and info.class_name is not None:
                 own = self.classes.get(f"{info.module}.{info.class_name}")
@@ -399,6 +426,39 @@ class Project:
     def _cha(self, method: str) -> List[str]:
         """Class-hierarchy approximation: every method with this name."""
         return list(self.methods_by_name.get(method, []))
+
+    def _super_targets(self, info: FunctionInfo, method: str) -> List[str]:
+        """First project base up the chain defining ``method`` (MRO-ish)."""
+        if info.class_name is None:
+            return []
+        seen: Set[str] = set()
+        frontier = [f"{info.module}.{info.class_name}"]
+        while frontier:
+            cls = self.classes.get(frontier.pop(0))
+            if cls is None or cls.qualname in seen:
+                continue
+            seen.add(cls.qualname)
+            if cls.qualname != f"{info.module}.{info.class_name}" \
+                    and method in cls.methods:
+                return [cls.methods[method]]
+            for base_text in cls.bases:
+                resolved = self._resolve_class_text(cls.module, base_text)
+                if resolved is not None:
+                    frontier.append(resolved)
+        return []
+
+    def _resolve_class_text(self, module: str,
+                            text: str) -> Optional[str]:
+        """Dotted base expression -> project class qualname (or None)."""
+        if f"{module}.{text}" in self.classes:
+            return f"{module}.{text}"
+        alias, _, rest = text.partition(".")
+        target = self.imports.get(module, {}).get(alias)
+        if target is not None:
+            dotted = f"{target}.{rest}" if rest else target
+            if dotted in self.classes:
+                return dotted
+        return None
 
     def contexts_modules(self) -> Dict[str, str]:
         """Dotted module → relpath for every indexed file (precomputed)."""

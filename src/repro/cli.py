@@ -12,6 +12,8 @@ Subcommands::
     python -m repro.cli bench      [--quick] [--out BENCH.json]
     python -m repro.cli report     run.jsonl
     python -m repro.cli trace      run.jsonl -o run.trace.json
+    python -m repro.cli serve      [--port 8151] [--workers 4]
+    python -m repro.cli watch      [--port 8151] [--runs run-1,run-2]
 
 ``sweep`` fans a Sirius-vs-ESN load sweep over worker processes
 (:class:`repro.perf.ParallelSweepRunner`); ``bench`` runs the pinned
@@ -22,6 +24,10 @@ perf-regression scenario matrix and snapshots it to
 trace; ``report`` renders a run summary from a JSONL or Chrome trace
 file and ``trace`` converts a JSONL log to Chrome ``trace_event`` JSON
 (open it in ``chrome://tracing`` or https://ui.perfetto.dev).
+
+``serve`` starts the live telemetry service (:mod:`repro.serve`):
+submit jobs over HTTP, watch them stream in a browser dashboard or
+with ``watch`` from another shell.
 
 Each prints a compact text report; the benchmark suite
 (``pytest benchmarks/``) remains the canonical figure regenerator.
@@ -155,6 +161,30 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="print the summary without writing JSON")
     bench.add_argument("--workers", type=int, default=None,
                        help="worker processes for the sweep scenario")
+
+    serve = sub.add_parser(
+        "serve", help="start the live telemetry service + dashboard"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8151,
+                       help="TCP port (0 picks an ephemeral port)")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="max concurrently running jobs")
+    serve.add_argument("--sample-interval", type=float, default=0.25,
+                       metavar="SECONDS",
+                       help="telemetry sampling period (default 0.25)")
+
+    watch = sub.add_parser(
+        "watch", help="stream a running service's telemetry to the terminal"
+    )
+    watch.add_argument("--host", default="127.0.0.1")
+    watch.add_argument("--port", type=int, default=8151)
+    watch.add_argument("--runs", default=None,
+                       help="comma-separated run ids (default: all runs)")
+    watch.add_argument("--streams", default="metrics,events",
+                       help="comma-separated subset of metrics,events")
+    watch.add_argument("--max-frames", type=int, default=None,
+                       help="stop after N frames (default: stream forever)")
 
     sub.add_parser(
         "lint",
@@ -381,6 +411,45 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serve import serve_forever
+
+    try:
+        asyncio.run(serve_forever(
+            args.host, args.port,
+            sample_interval_s=args.sample_interval,
+            max_workers=args.workers,
+        ))
+    except KeyboardInterrupt:
+        print("sirius-repro serve: stopped")
+    return 0
+
+
+def _cmd_watch(args) -> int:
+    import asyncio
+
+    from repro.serve.watch import watch as watch_client
+
+    runs: object = "*"
+    if args.runs:
+        runs = [part for part in args.runs.split(",") if part]
+    streams = [part for part in args.streams.split(",") if part]
+    try:
+        asyncio.run(watch_client(
+            args.host, args.port, runs=runs, streams=streams,
+            max_frames=args.max_frames,
+        ))
+    except KeyboardInterrupt:
+        pass
+    except ConnectionRefusedError:
+        print(f"no service at {args.host}:{args.port} "
+              f"(start one with `sirius-repro serve`)")
+        return 1
+    return 0
+
+
 def _cmd_report(args) -> int:
     print(render_report(load_any(args.file), title=args.file))
     return 0
@@ -403,6 +472,8 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "report": _cmd_report,
     "trace": _cmd_trace,
+    "serve": _cmd_serve,
+    "watch": _cmd_watch,
 }
 
 

@@ -34,6 +34,7 @@ Quickstart::
 from repro.obs.events import (
     EVENT_TYPES,
     Event,
+    EventTap,
     EventTracer,
     NULL_TRACER,
     NullTracer,
@@ -62,6 +63,7 @@ from repro.obs.trace_io import (
 __all__ = [
     "EVENT_TYPES",
     "Event",
+    "EventTap",
     "EventTracer",
     "NullTracer",
     "NULL_TRACER",

@@ -14,12 +14,13 @@ skip record construction entirely.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from collections import deque
+from typing import Deque, Dict, List, Optional, Union
 
 __all__ = [
     "EVENT_TYPES",
     "Event",
+    "EventTap",
     "EventTracer",
     "NullTracer",
     "NULL_TRACER",
@@ -47,19 +48,40 @@ EVENT_TYPES = frozenset({
 })
 
 
-@dataclass(frozen=True)
 class Event:
     """One structured trace record.
 
     ``epoch``/``ts_s`` are simulated time; ``fields`` carries the
     type-specific payload (queue name, flow id, drop reason, …).
+
+    A ``__slots__`` class rather than a dataclass: a live-instrumented
+    run constructs one of these per traced cell movement (hundreds of
+    thousands per second), and the frozen-dataclass ``__init__`` was
+    the single hottest line of the whole observation layer.
     """
 
-    type: str
-    epoch: int
-    ts_s: float
-    node: Optional[int] = None
-    fields: Dict[str, object] = field(default_factory=dict)
+    __slots__ = ("type", "epoch", "ts_s", "node", "fields")
+
+    def __init__(self, type: str, epoch: int, ts_s: float,
+                 node: Optional[int] = None,
+                 fields: Optional[Dict[str, object]] = None) -> None:
+        self.type = type
+        self.epoch = epoch
+        self.ts_s = ts_s
+        self.node = node
+        self.fields = {} if fields is None else fields
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return (self.type == other.type and self.epoch == other.epoch
+                and self.ts_s == other.ts_s and self.node == other.node
+                and self.fields == other.fields)
+
+    def __repr__(self) -> str:
+        return (f"Event(type={self.type!r}, epoch={self.epoch!r}, "
+                f"ts_s={self.ts_s!r}, node={self.node!r}, "
+                f"fields={self.fields!r})")
 
     def to_dict(self) -> Dict[str, object]:
         record: Dict[str, object] = {
@@ -82,6 +104,55 @@ class Event:
         )
 
 
+class EventTap:
+    """A bounded live feed of one tracer's event stream.
+
+    Created by :meth:`EventTracer.tap`.  The simulation thread pushes
+    into a bounded deque; a consumer (the :mod:`repro.serve` sampler)
+    periodically :meth:`drain`\\ s it.  When the consumer falls behind
+    and the buffer is full, *new* events are counted in
+    :attr:`dropped` and discarded — the push never blocks, so a slow
+    observer can never stall the epoch loop.  Both ends rely on the
+    GIL-atomicity of ``deque.append`` / ``popleft``, so no lock sits on
+    the emit path.
+    """
+
+    def __init__(self, maxlen: int = 4096,
+                 tracer: Optional["EventTracer"] = None) -> None:
+        if maxlen < 1:
+            raise ValueError(f"tap maxlen must be >= 1, got {maxlen}")
+        self.maxlen = maxlen
+        self.dropped = 0
+        self._buffer: Deque[Event] = deque()
+        self._tracer = tracer
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def push(self, event: Event) -> None:
+        """Offer one event; drops (and counts) when the buffer is full."""
+        if len(self._buffer) >= self.maxlen:
+            self.dropped += 1
+            return
+        self._buffer.append(event)
+
+    def drain(self, limit: Optional[int] = None) -> List[Event]:
+        """Pop and return buffered events (oldest first)."""
+        out: List[Event] = []
+        while limit is None or len(out) < limit:
+            try:
+                out.append(self._buffer.popleft())
+            except IndexError:
+                break
+        return out
+
+    def close(self) -> None:
+        """Detach from the tracer; further emits no longer reach this tap."""
+        if self._tracer is not None:
+            self._tracer.untap(self)
+            self._tracer = None
+
+
 class EventTracer:
     """Collects typed events, stamped with the current sim position.
 
@@ -89,20 +160,33 @@ class EventTracer:
     ----------
     max_events:
         Hard cap on retained events; once reached, further emits are
-        counted in :attr:`dropped` but not stored, so tracing a long
-        run degrades gracefully instead of exhausting memory.
+        counted in :attr:`dropped`, so tracing a long run degrades
+        gracefully instead of exhausting memory.
+    ring:
+        Retention policy at the cap.  ``False`` (default, the historic
+        behaviour): the list stops growing and *new* events are
+        dropped.  ``True``: events live in a bounded ring
+        (``collections.deque(maxlen=...)``) and the *oldest* event is
+        evicted for each new one — the right mode for long-running
+        service jobs, where the recent window matters and live
+        consumers follow the stream through :meth:`tap`.
     """
 
     enabled = True
 
-    def __init__(self, max_events: int = 1_000_000) -> None:
+    def __init__(self, max_events: int = 1_000_000, *,
+                 ring: bool = False) -> None:
         if max_events < 1:
             raise ValueError(f"max_events must be >= 1, got {max_events}")
         self.max_events = max_events
-        self.events: List[Event] = []
+        self.ring = ring
+        self.events: Union[List[Event], Deque[Event]] = (
+            deque(maxlen=max_events) if ring else []
+        )
         self.dropped = 0
         self._epoch = 0
         self._ts_s = 0.0
+        self._taps: List[EventTap] = []
 
     # -- position ----------------------------------------------------------
     def at(self, epoch: int, ts_s: float) -> None:
@@ -116,13 +200,33 @@ class EventTracer:
             raise ValueError(
                 f"unknown event type {type!r}; known: {sorted(EVENT_TYPES)}"
             )
-        if len(self.events) >= self.max_events:
+        full = len(self.events) >= self.max_events
+        if full and not self.ring:
             self.dropped += 1
             return
-        self.events.append(
-            Event(type=type, epoch=self._epoch, ts_s=self._ts_s,
-                  node=node, fields=fields)
-        )
+        event = Event(type, self._epoch, self._ts_s, node, fields)
+        if full:
+            self.dropped += 1  # the deque evicts the oldest event
+        self.events.append(event)
+        for tap in self._taps:
+            # Inlined tap.push(): this loop runs per traced cell
+            # movement, and the extra method call was measurable in the
+            # live-service overhead guard.
+            if len(tap._buffer) < tap.maxlen:
+                tap._buffer.append(event)
+            else:
+                tap.dropped += 1
+
+    # -- live taps ---------------------------------------------------------
+    def tap(self, maxlen: int = 4096) -> EventTap:
+        """Attach a bounded live feed of subsequent emits."""
+        tap = EventTap(maxlen, tracer=self)
+        self._taps.append(tap)
+        return tap
+
+    def untap(self, tap: EventTap) -> None:
+        if tap in self._taps:
+            self._taps.remove(tap)
 
     # -- inspection --------------------------------------------------------
     def __len__(self) -> int:
@@ -149,6 +253,13 @@ class NullTracer:
         pass
 
     def emit(self, type: str, node: Optional[int] = None, **fields) -> None:
+        pass
+
+    def tap(self, maxlen: int = 4096) -> EventTap:
+        """A detached tap: never fed, drains empty (interface parity)."""
+        return EventTap(maxlen)
+
+    def untap(self, tap: EventTap) -> None:
         pass
 
     def __len__(self) -> int:

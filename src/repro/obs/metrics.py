@@ -20,6 +20,14 @@ Gauges may be created with ``track=True``: every ``set(value, at=...)``
 is then also appended to a per-labelset series, which is how the
 :class:`repro.core.telemetry.Telemetry` compatibility view stores its
 per-epoch samples.
+
+For live streaming (:mod:`repro.serve`) the registry also supports
+*delta* snapshots: every instrument counts its mutations, and
+``snapshot(since=cursor)`` returns only the instruments touched since
+the cursor was taken — tracked gauges further trim their ``points`` to
+the ones appended since — so a periodic sampler does not re-copy every
+histogram each tick.  Cursors are plain JSON-able dicts; ``{}`` means
+"everything changed" (the first call of a subscription).
 """
 
 from __future__ import annotations
@@ -44,6 +52,28 @@ def _label_key(labels: Dict[str, object]) -> LabelKey:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
+def _label_str(key: LabelKey) -> str:
+    """Stable string form of a labelset (cursor dictionary key)."""
+    return ",".join(f"{k}={v}" for k, v in key)
+
+
+def _stable_sorted(mapping: Dict) -> List:
+    """Sorted keys, tolerant of a writer thread inserting concurrently.
+
+    A live registry is written by the simulation (executor) thread while
+    the service sampler reads it from the event loop; a key insert during
+    ``sorted(dict)`` raises ``RuntimeError: dictionary changed size``.
+    Keys are only ever added, never removed, so retrying yields a valid
+    (slightly newer) key snapshot.
+    """
+    for _ in range(4):
+        try:
+            return sorted(mapping)
+        except RuntimeError:
+            continue
+    return sorted(list(mapping))
+
+
 class _Instrument:
     """Shared machinery: name, help text and per-labelset storage."""
 
@@ -54,6 +84,12 @@ class _Instrument:
             raise ValueError("metric name cannot be empty")
         self.name = name
         self.help = help
+        #: Count of updates ever applied; the delta-snapshot change clock.
+        self._mutations = 0
+
+    @property
+    def mutations(self) -> int:
+        return self._mutations
 
     def label_sets(self) -> List[LabelKey]:
         raise NotImplementedError
@@ -79,18 +115,19 @@ class Counter(_Instrument):
             )
         key = _label_key(labels)
         self._values[key] = self._values.get(key, 0) + amount
+        self._mutations += 1
 
     def value(self, **labels) -> float:
         return self._values.get(_label_key(labels), 0)
 
     def label_sets(self) -> List[LabelKey]:
-        return sorted(self._values)
+        return _stable_sorted(self._values)
 
     def collect(self) -> List[Dict[str, object]]:
         return [
             {"name": self.name, "type": self.kind,
              "labels": dict(key), "value": self._values[key]}
-            for key in sorted(self._values)
+            for key in _stable_sorted(self._values)
         ]
 
 
@@ -118,10 +155,12 @@ class Gauge(_Instrument):
                 (at if at is not None else len(self._series.get(key, ())),
                  value)
             )
+        self._mutations += 1
 
     def add(self, amount: float, **labels) -> None:
         key = _label_key(labels)
         self._values[key] = self._values.get(key, 0) + amount
+        self._mutations += 1
 
     def value(self, **labels) -> float:
         return self._values.get(_label_key(labels), 0)
@@ -131,19 +170,53 @@ class Gauge(_Instrument):
         return list(self._series.get(_label_key(labels), ()))
 
     def label_sets(self) -> List[LabelKey]:
-        return sorted(self._values)
+        return _stable_sorted(self._values)
 
     def collect(self) -> List[Dict[str, object]]:
+        samples, _counts = self.collect_window({})
+        return samples
+
+    def point_counts(self) -> Dict[str, int]:
+        """Current per-labelset tracked-point counts (cursor state)."""
+        if not self.track:
+            return {}
+        return {
+            _label_str(key): len(self._series.get(key, ()))
+            for key in _stable_sorted(self._values)
+        }
+
+    def collect_window(self, since_points: Dict[str, int],
+                       ) -> Tuple[List[Dict[str, object]], Dict[str, int]]:
+        """Samples plus per-labelset point counts, for delta snapshots.
+
+        For a tracked gauge, ``since_points`` maps labelset strings to
+        the number of points a previous snapshot already shipped; each
+        returned sample then carries only the points appended since
+        (with a ``points_offset`` so consumers can detect gaps).  The
+        returned count map is the cursor state for the next window.
+        Untracked gauges ignore ``since_points`` and return ``{}``.
+        """
         out: List[Dict[str, object]] = []
-        for key in sorted(self._values):
+        counts: Dict[str, int] = {}
+        for key in _stable_sorted(self._values):
             sample: Dict[str, object] = {
                 "name": self.name, "type": self.kind,
                 "labels": dict(key), "value": self._values[key],
             }
             if self.track:
-                sample["points"] = [list(p) for p in self._series.get(key, ())]
+                series = self._series.get(key, [])
+                # Capture the length once: the writer thread may append
+                # while this runs, and the cursor must record exactly
+                # what was shipped.
+                n_points = len(series)
+                label = _label_str(key)
+                counts[label] = n_points
+                start = min(int(since_points.get(label, 0)), n_points)
+                sample["points"] = [list(p) for p in series[start:n_points]]
+                if since_points:
+                    sample["points_offset"] = start
             out.append(sample)
-        return out
+        return out, counts
 
 
 #: Default histogram buckets: powers of two, apt for cell/queue counts.
@@ -183,6 +256,7 @@ class Histogram(_Instrument):
         else:
             counts[-1] += 1
         self._sums[key] = self._sums.get(key, 0.0) + value
+        self._mutations += 1
 
     def count(self, **labels) -> int:
         return sum(self._counts.get(_label_key(labels), ()))
@@ -209,7 +283,7 @@ class Histogram(_Instrument):
         return float("inf")
 
     def label_sets(self) -> List[LabelKey]:
-        return sorted(self._counts)
+        return _stable_sorted(self._counts)
 
     def collect(self) -> List[Dict[str, object]]:
         return [
@@ -219,7 +293,7 @@ class Histogram(_Instrument):
              "counts": list(self._counts[key]),
              "sum": self._sums.get(key, 0.0),
              "count": sum(self._counts[key])}
-            for key in sorted(self._counts)
+            for key in _stable_sorted(self._counts)
         ]
 
 
@@ -266,10 +340,10 @@ class MetricsRegistry:
         return self._instruments.get(name)
 
     def names(self) -> List[str]:
-        return sorted(self._instruments)
+        return _stable_sorted(self._instruments)
 
     def __iter__(self) -> Iterator[_Instrument]:
-        for name in sorted(self._instruments):
+        for name in _stable_sorted(self._instruments):
             yield self._instruments[name]
 
     def __len__(self) -> int:
@@ -282,9 +356,73 @@ class MetricsRegistry:
             samples.extend(instrument.collect())
         return samples
 
-    def snapshot(self) -> Dict[str, object]:
-        """JSON-ready view of the whole registry."""
-        return {"metrics": self.collect()}
+    def cursor(self) -> Dict[str, Dict[str, object]]:
+        """The current change-clock position, as a JSON-able dict.
+
+        Pass it back to :meth:`snapshot` (or :meth:`collect_delta`) to
+        receive only what changed after this call.  ``{}`` is the
+        "beginning of time" cursor: everything is considered changed.
+        """
+        _samples, state = self.collect_delta(None, samples_too=False)
+        return state
+
+    def collect_delta(self, since: Optional[Dict[str, Dict[str, object]]],
+                      *, samples_too: bool = True,
+                      ) -> Tuple[List[Dict[str, object]],
+                                 Dict[str, Dict[str, object]]]:
+        """Samples of instruments changed since ``since``, plus the new cursor.
+
+        ``since=None`` (or ``{}``) ships everything.  Tracked gauges trim
+        their ``points`` to those appended inside the window.  The
+        mutation count is captured *before* collecting each instrument,
+        so a concurrent writer can only cause an update to be shipped
+        twice (at-least-once delivery), never skipped.
+        """
+        samples: List[Dict[str, object]] = []
+        state: Dict[str, Dict[str, object]] = {}
+        since = since or {}
+        for name in _stable_sorted(self._instruments):
+            instrument = self._instruments[name]
+            mutations = instrument.mutations
+            previous = since.get(name)
+            entry: Dict[str, object] = {"m": mutations}
+            if previous is not None and previous.get("m") == mutations:
+                # Unchanged: carry the old point counts forward.
+                if "p" in previous:
+                    entry["p"] = dict(previous["p"])  # type: ignore[arg-type]
+                state[name] = entry
+                continue
+            if isinstance(instrument, Gauge):
+                if samples_too:
+                    prev_points = (dict(previous.get("p", {}))
+                                   if previous else {})
+                    gauge_samples, counts = instrument.collect_window(
+                        prev_points
+                    )
+                    samples.extend(gauge_samples)
+                else:
+                    counts = instrument.point_counts()
+                if counts:
+                    entry["p"] = counts
+            elif samples_too:
+                samples.extend(instrument.collect())
+            state[name] = entry
+        return samples, state
+
+    def snapshot(self, since: Optional[Dict[str, Dict[str, object]]] = None,
+                 ) -> Dict[str, object]:
+        """JSON-ready view of the registry.
+
+        Without ``since`` this is the legacy full snapshot
+        (``{"metrics": [...]}``).  With a cursor (from a previous
+        delta snapshot, or ``{}`` to start) it returns only changed
+        instruments plus the next cursor:
+        ``{"metrics": [...], "cursor": {...}}``.
+        """
+        if since is None:
+            return {"metrics": self.collect()}
+        samples, state = self.collect_delta(since)
+        return {"metrics": samples, "cursor": state}
 
 
 class _NullInstrument:
@@ -349,8 +487,16 @@ class NullMetricsRegistry:
     def collect(self) -> List[Dict[str, object]]:
         return []
 
-    def snapshot(self) -> Dict[str, object]:
-        return {"metrics": []}
+    def cursor(self) -> Dict[str, Dict[str, object]]:
+        return {}
+
+    def collect_delta(self, since=None, *, samples_too: bool = True):
+        return [], {}
+
+    def snapshot(self, since=None) -> Dict[str, object]:
+        if since is None:
+            return {"metrics": []}
+        return {"metrics": [], "cursor": {}}
 
 
 NULL_REGISTRY = NullMetricsRegistry()

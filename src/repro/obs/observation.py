@@ -12,6 +12,7 @@ run wall-clock).  :meth:`Observation.recording` turns everything on.
 
 from __future__ import annotations
 
+from time import monotonic
 from typing import Optional, Sequence
 
 from repro.obs.events import NULL_TRACER, EventTracer
@@ -65,6 +66,23 @@ class Observation:
             sample_every=sample_every,
         )
 
+    @classmethod
+    def live(cls, *, sample_every: int = 1,
+             max_events: int = 65_536) -> "Observation":
+        """The streaming-service bundle (:mod:`repro.serve`).
+
+        Metrics plus a *ring* tracer: retained events are a bounded
+        recent window (oldest evicted, :attr:`EventTracer.dropped`
+        counted) and live consumers follow the stream through
+        :meth:`EventTracer.tap`.  No profiler — a long-running service
+        job has no single wall-clock breakdown to report.
+        """
+        return cls(
+            registry=MetricsRegistry(),
+            tracer=EventTracer(max_events=max_events, ring=True),
+            sample_every=sample_every,
+        )
+
     @property
     def enabled(self) -> bool:
         """True when any plane records (False for the no-op default)."""
@@ -105,6 +123,19 @@ class Observation:
         registry.gauge("net_delivered_bits", track=True).set(
             delivered_bits, at=epoch
         )
+        self._sample_progress(registry, epoch)
+
+    def _sample_progress(self, registry, epoch: int) -> None:
+        """Per-run progress/heartbeat gauges for live observers.
+
+        ``run_epoch`` is the simulation's position; ``run_heartbeat_s``
+        is a wall-clock stamp proving the epoch loop is advancing (a
+        stalled run keeps its last stamp, which is how the service
+        distinguishes "slow" from "wedged").  Wall-clock never feeds
+        back into simulated behaviour — it is observation only.
+        """
+        registry.gauge("run_epoch").set(epoch)
+        registry.gauge("run_heartbeat_s").set(monotonic())
 
     def sample_network_slabs(self, epoch: int, local_depth, vq_depth,
                              fwd_depth, in_flight: int,
@@ -136,6 +167,7 @@ class Observation:
         registry.gauge("net_delivered_bits", track=True).set(
             delivered_bits, at=epoch
         )
+        self._sample_progress(registry, epoch)
 
 
 #: The module-wide no-op bundle the simulators default to.

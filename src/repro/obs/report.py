@@ -92,11 +92,18 @@ def _meta_section(meta: Dict[str, object]) -> List[str]:
 
 def _event_section(trace: RunTrace) -> List[str]:
     counts = trace.event_counts()
-    if not counts:
+    dropped = int(trace.meta.get("events_dropped", 0) or 0)
+    if not counts and not dropped:
         return []
     rows = [(name, counts[name]) for name in sorted(counts)]
-    table = format_table(("event", "count"), rows)
-    return ["", "events", *("  " + line for line in table.splitlines())]
+    table = format_table(("event", "count"), rows) if rows else ""
+    lines = ["", "events", *("  " + line for line in table.splitlines())]
+    if dropped:
+        lines.append(
+            f"  ({dropped:,} events dropped at the tracer's "
+            f"retention cap — counts above are partial)"
+        )
+    return lines
 
 
 #: Headline metrics surfaced in the report, in display order.

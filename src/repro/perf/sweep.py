@@ -33,7 +33,16 @@ import pickle
 from dataclasses import dataclass, field
 from dataclasses import fields as dataclass_fields
 from dataclasses import is_dataclass
-from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+from typing import (
+    Callable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
 
 from repro.core.congestion import CongestionConfig
 from repro.core.network import SiriusNetwork
@@ -159,8 +168,14 @@ def _make_workload(n_nodes: int, load: float, bandwidth: float,
     ))
 
 
-def run_sirius_job(job: SiriusSweepJob) -> SweepPoint:
-    """Execute one cell-simulator job (module-level: picklable)."""
+def run_sirius_job(job: SiriusSweepJob, obs=None) -> SweepPoint:
+    """Execute one cell-simulator job (module-level: picklable).
+
+    ``obs`` attaches a live :class:`repro.obs.Observation` to the run —
+    used by the in-process service executor (:mod:`repro.serve.jobs`);
+    it never crosses the process-pool boundary, so pool jobs stay
+    cheap to pickle.
+    """
     timing = SlotTiming(guardband_s=job.guardband_ns * NANOSECOND,
                         header_bytes=job.header_bytes)
     net = SiriusNetwork(
@@ -183,7 +198,7 @@ def run_sirius_job(job: SiriusSweepJob) -> SweepPoint:
         job.mean_flow_bits, job.workload_seed,
     )
     result = net.run(workload.generate(job.n_flows),
-                     max_epochs=job.max_epochs)
+                     max_epochs=job.max_epochs, obs=obs)
     return SweepPoint(
         label=job.label,
         kind="sirius",
@@ -298,6 +313,12 @@ def _check_picklable(fn: Callable, jobs: Sequence) -> None:
             ) from exc
 
 
+def _indexed_call(entry):
+    """Worker trampoline for :meth:`ParallelSweepRunner.map_stream`."""
+    fn, index, job = entry
+    return index, fn(job)
+
+
 class ParallelSweepRunner:
     """Fan independent, seeded simulator jobs over worker processes.
 
@@ -320,6 +341,41 @@ class ParallelSweepRunner:
             # chunksize=1: results merge in submission order and the
             # slowest job cannot strand a whole chunk on one worker.
             return pool.map(fn, job_list, chunksize=1)
+
+    def map_stream(self, fn: Callable[[T], R], jobs: Iterable[T],
+                   on_result: Optional[Callable[[int, R], None]] = None,
+                   ) -> Iterator[Tuple[int, R]]:
+        """Yield ``(job_index, result)`` pairs as jobs *complete*.
+
+        The async-friendly counterpart of :meth:`map`: a long sweep
+        surfaces each finished point immediately (completion order, via
+        ``imap_unordered``) instead of blocking until the last job is
+        done, so a service can stream per-point progress while the
+        sweep runs.  ``on_result`` is invoked before each yield — handy
+        when the consumer is a plain ``for`` loop in an executor thread
+        marshalling progress back to an event loop.
+
+        Results are the same as :meth:`map`'s — each job is still fully
+        seeded and independent — only arrival order differs; reorder by
+        the yielded index for the deterministic submission-order view.
+        """
+        job_list: List[T] = list(jobs)
+        if self.workers <= 1 or len(job_list) < 2:
+            for index, job in enumerate(job_list):
+                result = fn(job)
+                if on_result is not None:
+                    on_result(index, result)
+                yield index, result
+            return
+        _check_picklable(fn, job_list)
+        entries = [(fn, index, job) for index, job in enumerate(job_list)]
+        processes = min(self.workers, len(job_list))
+        with multiprocessing.Pool(processes=processes) as pool:
+            for index, result in pool.imap_unordered(
+                    _indexed_call, entries, chunksize=1):
+                if on_result is not None:
+                    on_result(index, result)
+                yield index, result
 
     def run_sirius(self, jobs: Sequence[SiriusSweepJob]) -> List[SweepPoint]:
         return self.map(run_sirius_job, jobs)

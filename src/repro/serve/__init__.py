@@ -1,0 +1,30 @@
+"""The live telemetry service (``sirius-repro serve`` / ``watch``).
+
+A stdlib-only asyncio stack: :mod:`repro.serve.http` parses requests,
+:mod:`repro.serve.websocket` speaks RFC 6455, :mod:`repro.serve.jobs`
+runs simulations in executor threads, :mod:`repro.serve.hub` fans
+frames out with per-subscriber backpressure, and
+:mod:`repro.serve.app` ties them into :class:`TelemetryServer`.  The
+wire vocabulary lives in :mod:`repro.serve.protocol`; the browser
+dashboard in :mod:`repro.serve.dashboard`; the terminal client in
+:mod:`repro.serve.watch`.
+"""
+
+from repro.serve.app import TelemetryServer, serve_forever
+from repro.serve.hub import Subscriber, TelemetryHub
+from repro.serve.jobs import JobPool, JobSpecError, RunHandle
+from repro.serve.protocol import PROTOCOL_VERSION, ProtocolError
+from repro.serve.watch import watch
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "JobPool",
+    "JobSpecError",
+    "ProtocolError",
+    "RunHandle",
+    "Subscriber",
+    "TelemetryHub",
+    "TelemetryServer",
+    "serve_forever",
+    "watch",
+]

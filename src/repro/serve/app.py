@@ -1,0 +1,384 @@
+"""The ``sirius-repro serve`` application: HTTP + websocket front end.
+
+One :class:`TelemetryServer` owns three things:
+
+* a :class:`repro.serve.jobs.JobPool` running simulations in executor
+  threads;
+* a :class:`repro.serve.hub.TelemetryHub` fanning frames out to
+  websocket subscribers with per-subscriber backpressure;
+* a *sampler task* that ticks every ``sample_interval_s``, pulls a
+  delta snapshot (:meth:`MetricsRegistry.collect_delta`) and a tap
+  drain from every live run, and publishes the results as
+  ``metrics.delta`` / ``events`` frames.
+
+The sampler is the only reader of each run's registry cursor, and it
+runs on the event loop — simulations write metrics from executor
+threads, the sampler reads delta snapshots without locks (the registry
+is designed for that), and the hub never awaits a peer.  A stalled
+browser therefore costs that browser frames, never the epoch loop
+time.
+
+HTTP surface (all JSON unless noted)::
+
+    GET  /              the dashboard (text/html, single file)
+    GET  /api/runs      current run table
+    GET  /api/runs/{id} one run's row plus a full metric snapshot
+    POST /api/jobs      submit {"kind": "simulate"|"sweep", "params": {…}}
+    GET  /api/stats     hub/subscriber statistics
+    GET  /ws            websocket upgrade (the streaming protocol)
+"""
+
+from __future__ import annotations
+
+import asyncio
+from time import monotonic
+from typing import Optional
+
+from repro.serve.dashboard import DASHBOARD_HTML
+from repro.serve.http import (
+    HttpError,
+    HttpRequest,
+    json_response,
+    read_request,
+    response_bytes,
+)
+from repro.serve.hub import DEFAULT_QUEUE_FRAMES, Subscriber, TelemetryHub
+from repro.serve.jobs import JobPool, JobSpecError, RunHandle
+from repro.serve.protocol import (
+    ProtocolError,
+    encode_frame,
+    error_frame,
+    events_frame,
+    heartbeat_frame,
+    hello_frame,
+    metrics_delta_frame,
+    parse_client_frame,
+    run_update_frame,
+)
+from repro.serve.websocket import WebSocket, accept_key
+
+__all__ = ["TelemetryServer", "serve_forever"]
+
+#: Sampler tick period.  Four ticks per second keeps the dashboard
+#: fluid while the per-tick work (a delta snapshot) stays microseconds.
+DEFAULT_SAMPLE_INTERVAL_S = 0.25
+
+#: Heartbeats are sent every N sampler ticks.
+_HEARTBEAT_EVERY_TICKS = 4
+
+#: Cap on trace events shipped per run per tick; the rest stay in the
+#: tap for the next tick (or are dropped there, counted).
+_EVENTS_PER_TICK = 2048
+
+
+class TelemetryServer:
+    """The asyncio service behind ``sirius-repro serve``.
+
+    Use as an async context manager (tests) or via :func:`serve_forever`
+    (the CLI)::
+
+        async with TelemetryServer(port=0) as server:
+            ...  # server.port is the bound ephemeral port
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8151, *,
+                 sample_interval_s: float = DEFAULT_SAMPLE_INTERVAL_S,
+                 queue_frames: int = DEFAULT_QUEUE_FRAMES,
+                 max_workers: int = 4) -> None:
+        if sample_interval_s <= 0:
+            raise ValueError(
+                f"sample_interval_s must be > 0, got {sample_interval_s}"
+            )
+        self.host = host
+        self.port = port
+        self.sample_interval_s = sample_interval_s
+        self.hub = TelemetryHub(queue_frames)
+        self.pool = JobPool(max_workers=max_workers,
+                            on_update=self._on_run_update)
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._sampler_task: Optional[asyncio.Task] = None
+        self._started_at = 0.0
+        self._tick = 0
+        #: Runs whose final post-completion sample has been published.
+        self._flushed: set = set()
+        #: Live per-connection handler tasks, cancelled on stop().
+        self._conn_tasks: set = set()
+
+    # -- lifecycle ----------------------------------------------------------
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        sockets = self._server.sockets or ()
+        for sock in sockets:
+            self.port = sock.getsockname()[1]
+            break
+        self._started_at = monotonic()
+        self._sampler_task = asyncio.get_running_loop().create_task(
+            self._sampler_loop()
+        )
+
+    async def stop(self) -> None:
+        if self._sampler_task is not None:
+            self._sampler_task.cancel()
+            try:
+                await self._sampler_task
+            except asyncio.CancelledError:
+                pass
+            self._sampler_task = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        self.hub.shutdown()
+        self.pool.shutdown(wait=False)
+
+    async def __aenter__(self) -> "TelemetryServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    @property
+    def uptime_s(self) -> float:
+        return monotonic() - self._started_at
+
+    # -- sampler ------------------------------------------------------------
+    async def _sampler_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.sample_interval_s)
+            self.sample_once()
+            self._tick += 1
+            if self._tick % _HEARTBEAT_EVERY_TICKS == 0:
+                self.hub.publish(heartbeat_frame(
+                    round(self.uptime_s, 3),
+                    [run.row() for run in self.pool.runs()],
+                ))
+
+    def sample_once(self) -> int:
+        """One sampler tick: publish deltas for every unflushed run.
+
+        Synchronous and loop-thread-only.  Returns the number of frames
+        published (tests use it to drive the sampler deterministically
+        without waiting out the interval).
+        """
+        published = 0
+        for run in self.pool.runs():
+            if run.run_id in self._flushed:
+                continue
+            # Order matters: read `finished` BEFORE sampling.  If the
+            # run finishes mid-sample, this tick is treated as partial
+            # and the final flush happens next tick — never missed.
+            finished = run.finished
+            published += self._publish_run_delta(run)
+            if finished:
+                self._flushed.add(run.run_id)
+        return published
+
+    def _publish_run_delta(self, run: RunHandle) -> int:
+        published = 0
+        samples, run.cursor = run.obs.registry.collect_delta(
+            run.cursor or None
+        )
+        if samples:
+            run.metrics_seq += 1
+            self.hub.publish(
+                metrics_delta_frame(run.run_id, run.metrics_seq, samples),
+                stream="metrics", run_id=run.run_id,
+            )
+            published += 1
+        tapped = run.tap.drain(_EVENTS_PER_TICK)
+        if tapped or run.tap.dropped:
+            run.events_seq += 1
+            self.hub.publish(
+                events_frame(
+                    run.run_id, run.events_seq,
+                    [event.to_dict() for event in tapped],
+                    tap_dropped=run.tap.dropped,
+                ),
+                stream="events", run_id=run.run_id,
+            )
+            published += 1
+        return published
+
+    def _on_run_update(self, run: RunHandle) -> None:
+        self.hub.publish(run_update_frame(run.row()))
+
+    # -- HTTP ---------------------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            try:
+                request = await read_request(reader)
+            except HttpError as exc:
+                writer.write(json_response(
+                    exc.status, {"error": exc.reason}
+                ))
+                await writer.drain()
+                return
+            if request is None:
+                return
+            if request.path == "/ws":
+                await self._websocket_session(request, reader, writer)
+                return
+            writer.write(self._route(request))
+            await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            # Peer went away, or stop() is tearing the connection down.
+            # Either way the task ends normally: letting the exception
+            # escape only makes asyncio's streams wrapper log it.
+            pass
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            try:
+                writer.close()
+            except RuntimeError:
+                pass
+
+    def _route(self, request: HttpRequest) -> bytes:
+        path, method = request.path, request.method
+        try:
+            if path == "/" and method == "GET":
+                return response_bytes(
+                    200, DASHBOARD_HTML.encode("utf-8"),
+                    "text/html; charset=utf-8",
+                )
+            if path == "/api/runs" and method == "GET":
+                return json_response(200, {
+                    "runs": [run.row() for run in self.pool.runs()],
+                })
+            if path.startswith("/api/runs/") and method == "GET":
+                run = self.pool.get(path[len("/api/runs/"):])
+                if run is None:
+                    return json_response(404, {"error": "unknown run"})
+                return json_response(200, {
+                    "run": run.row(),
+                    "metrics": run.obs.registry.snapshot()["metrics"],
+                })
+            if path == "/api/jobs" and method == "POST":
+                return self._submit_job(request)
+            if path == "/api/stats" and method == "GET":
+                return json_response(200, {
+                    "uptime_s": round(self.uptime_s, 3),
+                    "runs": len(self.pool.runs()),
+                    "active_runs": len(self.pool.active_runs()),
+                    "hub": self.hub.stats(),
+                })
+            if path in ("/", "/api/runs", "/api/jobs", "/api/stats"):
+                return json_response(405, {"error": "method not allowed"})
+            return json_response(404, {"error": f"no route for {path}"})
+        except HttpError as exc:
+            return json_response(exc.status, {"error": exc.reason})
+
+    def _submit_job(self, request: HttpRequest) -> bytes:
+        payload = request.json()
+        if not isinstance(payload, dict):
+            return json_response(400, {"error": "body must be an object"})
+        kind = payload.get("kind", "simulate")
+        params = payload.get("params", {})
+        if not isinstance(params, dict):
+            return json_response(400, {"error": "params must be an object"})
+        try:
+            handle = self.pool.submit(str(kind), params)
+        except JobSpecError as exc:
+            return json_response(400, {"error": str(exc)})
+        return json_response(201, {"run_id": handle.run_id,
+                                   "run": handle.row()})
+
+    # -- websocket ----------------------------------------------------------
+    async def _websocket_session(self, request: HttpRequest,
+                                 reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        key = request.headers.get("sec-websocket-key")
+        if not request.wants_websocket() or not key:
+            writer.write(json_response(
+                426, {"error": "this endpoint speaks websocket"}
+            ))
+            await writer.drain()
+            return
+        writer.write((
+            "HTTP/1.1 101 Switching Protocols\r\n"
+            "Upgrade: websocket\r\n"
+            "Connection: Upgrade\r\n"
+            f"Sec-WebSocket-Accept: {accept_key(key)}\r\n"
+            "\r\n"
+        ).encode("latin-1"))
+        await writer.drain()
+        ws = WebSocket(reader, writer)
+        subscriber = self.hub.register()
+        subscriber.offer(hello_frame(
+            [run.row() for run in self.pool.runs()]
+        ))
+        writer_task = asyncio.get_running_loop().create_task(
+            self._subscriber_writer(ws, subscriber)
+        )
+        try:
+            await self._subscriber_reader(ws, subscriber)
+        finally:
+            self.hub.unregister(subscriber)
+            subscriber.finish()
+            try:
+                await asyncio.wait_for(writer_task, timeout=2.0)
+            except (asyncio.TimeoutError, asyncio.CancelledError,
+                    ConnectionError):
+                writer_task.cancel()
+            ws.close_transport()
+
+    async def _subscriber_reader(self, ws: WebSocket,
+                                 subscriber: Subscriber) -> None:
+        while True:
+            try:
+                text = await ws.recv()
+            except ConnectionError:
+                return
+            if text is None:
+                return
+            try:
+                frame = parse_client_frame(text)
+            except ProtocolError as exc:
+                subscriber.offer(error_frame(str(exc)))
+                continue
+            if frame["type"] == "subscribe":
+                subscriber.subscribe(frame["runs"], frame["streams"])
+            elif frame["type"] == "unsubscribe":
+                subscriber.unsubscribe()
+            elif frame["type"] == "ping":
+                subscriber.offer(heartbeat_frame(
+                    round(self.uptime_s, 3),
+                    [run.row() for run in self.pool.runs()],
+                ))
+
+    async def _subscriber_writer(self, ws: WebSocket,
+                                 subscriber: Subscriber) -> None:
+        """The ONLY place this subscriber's frames touch the network."""
+        try:
+            async for frame in subscriber.frames():
+                await ws.send_text(encode_frame(frame))
+        except ConnectionError:
+            pass  # peer went away; the reader will notice too
+
+
+async def serve_forever(host: str, port: int, *,
+                        sample_interval_s: float = DEFAULT_SAMPLE_INTERVAL_S,
+                        max_workers: int = 4,
+                        queue_frames: int = DEFAULT_QUEUE_FRAMES,
+                        ready_message: bool = True) -> None:
+    """Run the service until cancelled (the CLI entry point)."""
+    async with TelemetryServer(
+        host, port, sample_interval_s=sample_interval_s,
+        queue_frames=queue_frames, max_workers=max_workers,
+    ) as server:
+        if ready_message:
+            print(f"sirius-repro serve: dashboard at "
+                  f"http://{server.host}:{server.port}/  "
+                  f"(websocket at /ws, jobs via POST /api/jobs)")
+        await asyncio.Event().wait()

@@ -1,0 +1,409 @@
+"""The browser dashboard, shipped as one self-contained HTML page.
+
+Served at ``GET /`` by :mod:`repro.serve.app`.  No build step, no CDN,
+no external assets — the page opens from an air-gapped lab box, which
+is where a Sirius testbed lives.  It connects to ``/ws``, subscribes
+to everything and renders:
+
+* a run table (id, kind, state, progress, headline result);
+* live queue-occupancy lines (local / vq / fwd / in-flight cells) for
+  the selected run, from the ``net_*`` tracked-gauge deltas;
+* a goodput line (delivered bits per epoch, from successive
+  ``net_delivered_bits`` points);
+* a per-node event strip: recent trace events as dots on node rows,
+  colored by plane (data / control / failure);
+* the subscriber's own drop counter, so a viewer knows when its view
+  has gaps (the server drops frames for slow consumers by design).
+
+Colors follow the repo's validated data-viz palette: categorical slots
+in fixed order, light and dark both selected (not auto-inverted), text
+in ink tokens rather than series colors.
+"""
+
+from __future__ import annotations
+
+__all__ = ["DASHBOARD_HTML"]
+
+DASHBOARD_HTML = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>sirius-repro · live telemetry</title>
+<style>
+  .viz-root {
+    color-scheme: light;
+    --surface-1: #fcfcfb;
+    --surface-2: #f0efec;
+    --text-primary: #0b0b0b;
+    --text-secondary: #52514e;
+    --grid: #e3e2de;
+    --series-1: #2a78d6;  /* blue    — local / data plane */
+    --series-2: #eb6834;  /* orange  — vq / control plane */
+    --series-3: #1baf7a;  /* aqua    — fwd / failures */
+    --series-4: #eda100;  /* yellow  — in-flight */
+    --status-bad: #e34948;
+    --status-good: #008300;
+  }
+  @media (prefers-color-scheme: dark) {
+    :root:where(:not([data-theme="light"])) .viz-root {
+      color-scheme: dark;
+      --surface-1: #1a1a19;
+      --surface-2: #383835;
+      --text-primary: #ffffff;
+      --text-secondary: #c3c2b7;
+      --grid: #32322f;
+      --series-1: #3987e5;
+      --series-2: #d95926;
+      --series-3: #199e70;
+      --series-4: #c98500;
+      --status-bad: #e66767;
+      --status-good: #00a300;
+    }
+  }
+  body { margin: 0; }
+  .viz-root {
+    font: 14px/1.45 system-ui, sans-serif;
+    background: var(--surface-1); color: var(--text-primary);
+    min-height: 100vh; padding: 16px 20px;
+  }
+  h1 { font-size: 17px; margin: 0 0 2px; }
+  .sub { color: var(--text-secondary); font-size: 12px; margin-bottom: 14px; }
+  .statusline { display: flex; gap: 16px; align-items: baseline;
+                flex-wrap: wrap; margin-bottom: 12px; }
+  .pill { font-size: 12px; color: var(--text-secondary); }
+  .pill b { color: var(--text-primary); font-weight: 600; }
+  .pill.gap b { color: var(--status-bad); }
+  table { border-collapse: collapse; width: 100%; margin-bottom: 18px;
+          font-variant-numeric: tabular-nums; }
+  th, td { text-align: right; padding: 4px 10px; font-size: 13px;
+           border-bottom: 1px solid var(--grid); }
+  th { color: var(--text-secondary); font-weight: 500; }
+  th:first-child, td:first-child { text-align: left; }
+  tr.sel td { background: var(--surface-2); cursor: default; }
+  tr.row { cursor: pointer; }
+  .grid2 { display: grid; gap: 18px;
+           grid-template-columns: repeat(auto-fit, minmax(380px, 1fr)); }
+  .card h2 { font-size: 13px; font-weight: 600; margin: 0 0 2px; }
+  .card .legend { font-size: 12px; color: var(--text-secondary);
+                  margin-bottom: 6px; display: flex; gap: 12px;
+                  flex-wrap: wrap; }
+  .legend .key { display: inline-block; width: 10px; height: 10px;
+                 border-radius: 2px; margin-right: 4px;
+                 vertical-align: -1px; }
+  canvas { width: 100%; height: 190px; display: block; }
+  #tooltip { position: fixed; pointer-events: none; display: none;
+             background: var(--surface-2); color: var(--text-primary);
+             border: 1px solid var(--grid); border-radius: 4px;
+             padding: 4px 8px; font-size: 12px; z-index: 9; }
+  .state-done { color: var(--status-good); }
+  .state-failed { color: var(--status-bad); }
+</style>
+</head>
+<body>
+<div class="viz-root">
+  <h1>sirius-repro live telemetry</h1>
+  <div class="sub">nanosecond optical fabric, observed in flight — select
+    a run to chart it</div>
+  <div class="statusline">
+    <span class="pill">link <b id="link">connecting…</b></span>
+    <span class="pill">frames <b id="frames">0</b></span>
+    <span class="pill gap">missed <b id="missed">0</b></span>
+    <span class="pill">uptime <b id="uptime">–</b></span>
+  </div>
+  <table id="runs">
+    <thead><tr>
+      <th>run</th><th>kind</th><th>state</th><th>epoch</th>
+      <th>backlog cells</th><th>progress</th><th>goodput</th>
+    </tr></thead>
+    <tbody></tbody>
+  </table>
+  <div class="grid2">
+    <div class="card">
+      <h2>queue occupancy (cells, per sampled epoch)</h2>
+      <div class="legend" id="queue-legend"></div>
+      <canvas id="queues"></canvas>
+    </div>
+    <div class="card">
+      <h2>delivered payload per sample (bits)</h2>
+      <div class="legend"></div>
+      <canvas id="goodput"></canvas>
+    </div>
+    <div class="card">
+      <h2>event tracks (recent trace events by node)</h2>
+      <div class="legend" id="event-legend"></div>
+      <canvas id="events"></canvas>
+    </div>
+  </div>
+  <div id="tooltip"></div>
+</div>
+<script>
+"use strict";
+const $ = (id) => document.getElementById(id);
+const css = (name) =>
+  getComputedStyle(document.querySelector(".viz-root"))
+    .getPropertyValue(name).trim();
+
+/* ---- state ----------------------------------------------------------- */
+const runs = new Map();        // run_id -> latest row
+const series = new Map();      // run_id -> {name -> [[at, value], ...]}
+const events = new Map();      // run_id -> recent [{epoch, node, plane}]
+const MAX_POINTS = 2000, MAX_EVENTS = 1500;
+let selected = null, frameCount = 0, missed = 0;
+
+const QUEUE_SERIES = [
+  ["net_local_cells", "local", "--series-1"],
+  ["net_vq_cells", "vq", "--series-2"],
+  ["net_fwd_cells", "fwd", "--series-3"],
+  ["net_in_flight_cells", "in flight", "--series-4"],
+];
+const PLANES = [
+  ["data", "--series-1"], ["control", "--series-2"],
+  ["failure", "--series-3"],
+];
+const planeOf = (type) =>
+  type.startsWith("failure") ? "failure"
+    : (type.startsWith("grant") || type === "epoch") ? "control" : "data";
+
+/* ---- frame handling -------------------------------------------------- */
+function onFrame(frame) {
+  frameCount += 1;
+  if (frame.type === "hello") {
+    frame.runs.forEach(touchRun);
+  } else if (frame.type === "run.update") {
+    touchRun(frame.run);
+  } else if (frame.type === "metrics.delta") {
+    absorbMetrics(frame.run_id, frame.samples);
+  } else if (frame.type === "events") {
+    absorbEvents(frame.run_id, frame.events);
+  } else if (frame.type === "drops") {
+    missed += frame.count;
+  } else if (frame.type === "heartbeat") {
+    $("uptime").textContent = frame.uptime_s.toFixed(0) + " s";
+    frame.runs.forEach(touchRun);
+  }
+  $("frames").textContent = String(frameCount);
+  $("missed").textContent = String(missed);
+  render();
+}
+
+function touchRun(row) {
+  runs.set(row.run_id, row);
+  if (selected === null) selected = row.run_id;
+}
+
+function absorbMetrics(runId, samples) {
+  let bucket = series.get(runId);
+  if (!bucket) { bucket = new Map(); series.set(runId, bucket); }
+  for (const sample of samples) {
+    if (!sample.points || !sample.points.length) continue;
+    let arr = bucket.get(sample.name);
+    if (!arr) { arr = []; bucket.set(sample.name, arr); }
+    // points_offset lets us detect gaps; on a gap just append — the
+    // chart shows the stream that arrived, and "missed" counts the rest.
+    arr.push(...sample.points);
+    if (arr.length > MAX_POINTS) arr.splice(0, arr.length - MAX_POINTS);
+  }
+}
+
+function absorbEvents(runId, records) {
+  let arr = events.get(runId);
+  if (!arr) { arr = []; events.set(runId, arr); }
+  for (const ev of records) {
+    arr.push({ epoch: ev.epoch, node: ev.node == null ? 0 : ev.node,
+               plane: planeOf(ev.type) });
+  }
+  if (arr.length > MAX_EVENTS) arr.splice(0, arr.length - MAX_EVENTS);
+}
+
+/* ---- run table ------------------------------------------------------- */
+function render() {
+  const body = $("runs").querySelector("tbody");
+  body.innerHTML = "";
+  for (const row of runs.values()) {
+    const tr = document.createElement("tr");
+    tr.className = "row" + (row.run_id === selected ? " sel" : "");
+    const p = row.progress || {};
+    const goodput = row.result && row.result.normalized_goodput != null
+      ? row.result.normalized_goodput.toFixed(3)
+      : (row.result && row.result.points
+         ? row.result.points.length + " pts" : "–");
+    const prog = p.points_total
+      ? `${p.points_done || 0}/${p.points_total}` : "–";
+    tr.innerHTML =
+      `<td>${row.run_id}</td><td>${row.kind}</td>` +
+      `<td class="state-${row.state}">${row.state}</td>` +
+      `<td>${p.epoch ?? "–"}</td><td>${p.backlog_cells ?? "–"}</td>` +
+      `<td>${prog}</td><td>${goodput}</td>`;
+    tr.onclick = () => { selected = row.run_id; render(); };
+    body.appendChild(tr);
+  }
+  drawQueueChart();
+  drawGoodputChart();
+  drawEventStrip();
+}
+
+/* ---- charts (canvas, one y-axis each, thin 2px lines) ---------------- */
+function prepCanvas(canvas) {
+  const dpr = window.devicePixelRatio || 1;
+  const w = canvas.clientWidth, h = canvas.clientHeight;
+  canvas.width = w * dpr; canvas.height = h * dpr;
+  const ctx = canvas.getContext("2d");
+  ctx.setTransform(dpr, 0, 0, dpr, 0, 0);
+  ctx.clearRect(0, 0, w, h);
+  return [ctx, w, h];
+}
+
+function frame_axes(ctx, w, h, yMax, pad) {
+  ctx.strokeStyle = css("--grid");
+  ctx.fillStyle = css("--text-secondary");
+  ctx.font = "11px system-ui";
+  ctx.lineWidth = 1;
+  for (const frac of [0, 0.5, 1]) {
+    const y = pad.t + (h - pad.t - pad.b) * (1 - frac);
+    ctx.beginPath(); ctx.moveTo(pad.l, y); ctx.lineTo(w - pad.r, y);
+    ctx.stroke();
+    ctx.fillText(fmt(yMax * frac), 4, y - 2);
+  }
+}
+const fmt = (v) => v >= 1e9 ? (v / 1e9).toFixed(1) + "G"
+  : v >= 1e6 ? (v / 1e6).toFixed(1) + "M"
+  : v >= 1e3 ? (v / 1e3).toFixed(1) + "k" : String(Math.round(v));
+
+function drawLines(canvas, named) {
+  const [ctx, w, h] = prepCanvas(canvas);
+  const pad = { l: 34, r: 50, t: 6, b: 14 };
+  const all = named.flatMap(([, pts]) => pts);
+  if (!all.length) return;
+  const xMin = Math.min(...all.map(p => p[0]));
+  const xMax = Math.max(...all.map(p => p[0]), xMin + 1);
+  const yMax = Math.max(...all.map(p => p[1]), 1);
+  frame_axes(ctx, w, h, yMax, pad);
+  const X = (x) => pad.l + (w - pad.l - pad.r) * (x - xMin) / (xMax - xMin);
+  const Y = (y) => pad.t + (h - pad.t - pad.b) * (1 - y / yMax);
+  for (const [label, pts, colorVar] of named) {
+    if (!pts.length) continue;
+    ctx.strokeStyle = css(colorVar);
+    ctx.lineWidth = 2; ctx.lineJoin = "round";
+    ctx.beginPath();
+    pts.forEach((p, i) =>
+      i ? ctx.lineTo(X(p[0]), Y(p[1])) : ctx.moveTo(X(p[0]), Y(p[1])));
+    ctx.stroke();
+    // Selective direct label: series name at the last point, in ink.
+    const last = pts[pts.length - 1];
+    ctx.fillStyle = css("--text-secondary");
+    ctx.fillText(label, Math.min(X(last[0]) + 4, w - pad.r + 2),
+                 Y(last[1]) + 3);
+  }
+  canvas._scale = { xMin, xMax, yMax, pad, w, h };
+}
+
+function drawQueueChart() {
+  const bucket = series.get(selected) || new Map();
+  const named = QUEUE_SERIES.map(([name, label, colorVar]) =>
+    [label, bucket.get(name) || [], colorVar]);
+  $("queue-legend").innerHTML = QUEUE_SERIES.map(([, label, colorVar]) =>
+    `<span><span class="key" style="background:${css(colorVar)}"></span>` +
+    `${label}</span>`).join("");
+  drawLines($("queues"), named);
+}
+
+function drawGoodputChart() {
+  const bucket = series.get(selected) || new Map();
+  const pts = bucket.get("net_delivered_bits") || [];
+  // Cumulative -> per-sample delta: what each tick actually delivered.
+  const deltas = [];
+  for (let i = 1; i < pts.length; i++) {
+    deltas.push([pts[i][0], Math.max(0, pts[i][1] - pts[i - 1][1])]);
+  }
+  drawLines($("goodput"), [["delivered", deltas, "--series-1"]]);
+}
+
+function drawEventStrip() {
+  const canvas = $("events");
+  const [ctx, w, h] = prepCanvas(canvas);
+  const arr = events.get(selected) || [];
+  $("event-legend").innerHTML = PLANES.map(([plane, colorVar]) =>
+    `<span><span class="key" style="background:${css(colorVar)}"></span>` +
+    `${plane}</span>`).join("");
+  if (!arr.length) return;
+  const pad = { l: 34, r: 10, t: 6, b: 14 };
+  const eMin = Math.min(...arr.map(e => e.epoch));
+  const eMax = Math.max(...arr.map(e => e.epoch), eMin + 1);
+  const nMax = Math.max(...arr.map(e => e.node), 1);
+  ctx.fillStyle = css("--text-secondary");
+  ctx.font = "11px system-ui";
+  ctx.fillText("node " + nMax, 2, pad.t + 8);
+  ctx.fillText("node 0", 2, h - pad.b);
+  const colors = Object.fromEntries(
+    PLANES.map(([plane, colorVar]) => [plane, css(colorVar)]));
+  for (const ev of arr) {
+    const x = pad.l + (w - pad.l - pad.r) * (ev.epoch - eMin) / (eMax - eMin);
+    const y = pad.t + (h - pad.t - pad.b) * (1 - ev.node / nMax);
+    ctx.fillStyle = colors[ev.plane];
+    ctx.fillRect(x - 1.5, y - 1.5, 3, 3);
+  }
+}
+
+/* ---- hover tooltip on the line charts -------------------------------- */
+function attachHover(canvas, lookup) {
+  canvas.addEventListener("mousemove", (e) => {
+    const s = canvas._scale;
+    const tip = $("tooltip");
+    if (!s) { tip.style.display = "none"; return; }
+    const rect = canvas.getBoundingClientRect();
+    const fx = (e.clientX - rect.left - s.pad.l) /
+               (s.w - s.pad.l - s.pad.r);
+    const at = s.xMin + Math.max(0, Math.min(1, fx)) * (s.xMax - s.xMin);
+    const lines = lookup(Math.round(at));
+    if (!lines.length) { tip.style.display = "none"; return; }
+    tip.innerHTML = lines.join("<br>");
+    tip.style.display = "block";
+    tip.style.left = (e.clientX + 12) + "px";
+    tip.style.top = (e.clientY + 12) + "px";
+  });
+  canvas.addEventListener("mouseleave",
+    () => { $("tooltip").style.display = "none"; });
+}
+const nearest = (pts, at) => {
+  if (!pts || !pts.length) return null;
+  let best = pts[0];
+  for (const p of pts)
+    if (Math.abs(p[0] - at) < Math.abs(best[0] - at)) best = p;
+  return best;
+};
+attachHover($("queues"), (at) => {
+  const bucket = series.get(selected) || new Map();
+  const out = [`epoch ≈ ${at}`];
+  for (const [name, label] of QUEUE_SERIES) {
+    const p = nearest(bucket.get(name), at);
+    if (p) out.push(`${label}: ${fmt(p[1])}`);
+  }
+  return out.length > 1 ? out : [];
+});
+attachHover($("goodput"), (at) => {
+  const bucket = series.get(selected) || new Map();
+  const p = nearest(bucket.get("net_delivered_bits"), at);
+  return p ? [`epoch ≈ ${at}`, `cumulative: ${fmt(p[1])} bits`] : [];
+});
+
+/* ---- websocket ------------------------------------------------------- */
+function connect() {
+  const proto = location.protocol === "https:" ? "wss" : "ws";
+  const sock = new WebSocket(`${proto}://${location.host}/ws`);
+  sock.onopen = () => {
+    $("link").textContent = "live";
+    sock.send(JSON.stringify(
+      { type: "subscribe", runs: "*", streams: ["metrics", "events"] }));
+  };
+  sock.onmessage = (msg) => onFrame(JSON.parse(msg.data));
+  sock.onclose = () => {
+    $("link").textContent = "reconnecting…";
+    setTimeout(connect, 1500);
+  };
+}
+connect();
+</script>
+</body>
+</html>
+"""

@@ -1,0 +1,141 @@
+"""A deliberately small HTTP/1.1 layer for the telemetry service.
+
+Request parsing and response serialization over asyncio streams —
+nothing more.  The service needs four verbs' worth of HTTP (a job API,
+a couple of JSON GETs, the dashboard page and the websocket upgrade),
+and the container image has no asyncio HTTP framework, so this module
+implements exactly that subset with hard limits on header and body
+sizes.  Routing lives in :mod:`repro.serve.app`; the websocket
+handshake lives in :mod:`repro.serve.websocket`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+__all__ = [
+    "HttpError",
+    "HttpRequest",
+    "read_request",
+    "response_bytes",
+    "json_response",
+]
+
+#: Limits: a telemetry API request is tiny; anything larger is abuse.
+MAX_HEADER_BYTES = 32 * 1024
+MAX_BODY_BYTES = 1024 * 1024
+
+_REASONS = {
+    200: "OK", 201: "Created", 204: "No Content",
+    400: "Bad Request", 404: "Not Found", 405: "Method Not Allowed",
+    413: "Payload Too Large", 426: "Upgrade Required",
+    500: "Internal Server Error",
+}
+
+
+class HttpError(Exception):
+    """A request the server refuses; carries the response status."""
+
+    def __init__(self, status: int, reason: str) -> None:
+        super().__init__(reason)
+        self.status = status
+        self.reason = reason
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request (headers lower-cased, query decoded)."""
+
+    method: str
+    target: str
+    path: str
+    query: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> object:
+        """The body as JSON (raises :class:`HttpError` 400 when not)."""
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpError(400, f"request body is not JSON: {exc}") from None
+
+    def wants_websocket(self) -> bool:
+        connection = self.headers.get("connection", "").lower()
+        return (self.headers.get("upgrade", "").lower() == "websocket"
+                and "upgrade" in connection)
+
+
+async def read_request(reader: asyncio.StreamReader,
+                       ) -> Optional[HttpRequest]:
+    """Parse one request; None on a cleanly closed idle connection."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise HttpError(400, "truncated request head") from None
+    except asyncio.LimitOverrunError:
+        raise HttpError(413, "request head too large") from None
+    if len(head) > MAX_HEADER_BYTES:
+        raise HttpError(413, "request head too large")
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, f"malformed request line {lines[0]!r}")
+    method, target, _version = parts
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    split = urlsplit(target)
+    query = {
+        name: values[-1]
+        for name, values in parse_qs(split.query).items()
+    }
+    body = b""
+    length_text = headers.get("content-length")
+    if length_text is not None:
+        try:
+            length = int(length_text)
+        except ValueError:
+            raise HttpError(400, "malformed Content-Length") from None
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise HttpError(413, "request body too large")
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                raise HttpError(400, "truncated request body") from None
+    return HttpRequest(method=method.upper(), target=target,
+                       path=split.path, query=query, headers=headers,
+                       body=body)
+
+
+def response_bytes(status: int, body: bytes = b"",
+                   content_type: str = "text/plain; charset=utf-8",
+                   extra_headers: Tuple[Tuple[str, str], ...] = (),
+                   ) -> bytes:
+    """Serialize one complete, connection-close HTTP response."""
+    reason = _REASONS.get(status, "Unknown")
+    head = [f"HTTP/1.1 {status} {reason}"]
+    head.append(f"Content-Type: {content_type}")
+    head.append(f"Content-Length: {len(body)}")
+    head.append("Connection: close")
+    head.extend(f"{name}: {value}" for name, value in extra_headers)
+    return ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body
+
+
+def json_response(status: int, payload: object) -> bytes:
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    return response_bytes(status, body, "application/json")

@@ -1,0 +1,162 @@
+"""Fan-out of telemetry frames to many websocket subscribers.
+
+The hub is the backpressure boundary of the service.  Publishing is a
+synchronous, non-blocking act: each subscriber owns a bounded
+``asyncio.Queue``, ``publish`` does ``put_nowait`` and *drops the
+frame for that subscriber* when its queue is full (counting the drop),
+so a slow or stalled websocket can never hold up the sampler — and the
+sampler never holds up the simulations, which run in executor threads
+and are not even aware of the hub.  Each subscriber's dedicated writer
+task is the only place that awaits the network.
+
+When a subscriber that missed frames catches up (its queue drains
+enough to accept again), the hub enqueues a ``drops`` notice ahead of
+the next frame so the client knows its view has a gap.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import AsyncIterator, Dict, Iterable, List, Optional, Set
+
+from repro.serve.protocol import STREAM_KINDS, drops_frame
+
+__all__ = ["Subscriber", "TelemetryHub"]
+
+#: Default per-subscriber queue bound (frames, not bytes).
+DEFAULT_QUEUE_FRAMES = 256
+
+
+class Subscriber:
+    """One connected observer: a bounded queue plus its subscription."""
+
+    def __init__(self, name: str,
+                 queue_frames: int = DEFAULT_QUEUE_FRAMES) -> None:
+        if queue_frames < 2:
+            # One slot must always be reservable for the drops notice.
+            raise ValueError(
+                f"queue_frames must be >= 2, got {queue_frames}"
+            )
+        self.name = name
+        self.queue: "asyncio.Queue[Optional[dict]]" = asyncio.Queue(
+            maxsize=queue_frames
+        )
+        #: Run ids this subscriber wants, or None for "all runs".
+        self.runs: Optional[Set[str]] = None
+        self.streams: Set[str] = set(STREAM_KINDS)
+        self.active = False
+        self.dropped_total = 0
+        self._dropped_unreported = 0
+        self.sent_total = 0
+
+    # -- subscription -------------------------------------------------------
+    def subscribe(self, runs, streams: Iterable[str]) -> None:
+        self.runs = None if runs == "*" else set(runs)
+        self.streams = set(streams)
+        self.active = True
+
+    def unsubscribe(self) -> None:
+        self.active = False
+
+    def wants(self, stream: str, run_id: Optional[str]) -> bool:
+        if not self.active:
+            return False
+        if stream in STREAM_KINDS and stream not in self.streams:
+            return False
+        if run_id is not None and self.runs is not None:
+            return run_id in self.runs
+        return True
+
+    # -- enqueue (publisher side; never blocks) -----------------------------
+    def offer(self, frame: dict) -> bool:
+        """Queue one frame; on a full queue, count + drop instead."""
+        if self._dropped_unreported and self.queue.maxsize - self.queue.qsize() >= 2:
+            self.queue.put_nowait(drops_frame(self._dropped_unreported))
+            self._dropped_unreported = 0
+        try:
+            self.queue.put_nowait(frame)
+        except asyncio.QueueFull:
+            self.dropped_total += 1
+            self._dropped_unreported += 1
+            return False
+        return True
+
+    def finish(self) -> None:
+        """Sentinel the writer task on shutdown (best effort)."""
+        try:
+            self.queue.put_nowait(None)
+        except asyncio.QueueFull:
+            pass  # a full queue wakes the writer anyway
+
+    # -- drain (writer-task side) -------------------------------------------
+    async def frames(self) -> AsyncIterator[dict]:
+        """Yield queued frames until the shutdown sentinel."""
+        while True:
+            frame = await self.queue.get()
+            if frame is None:
+                return
+            self.sent_total += 1
+            yield frame
+
+
+class TelemetryHub:
+    """Registry of subscribers with non-blocking fan-out."""
+
+    def __init__(self, queue_frames: int = DEFAULT_QUEUE_FRAMES) -> None:
+        self.queue_frames = queue_frames
+        self._subscribers: List[Subscriber] = []
+        self._serial = 0
+        self.published_total = 0
+
+    def __len__(self) -> int:
+        return len(self._subscribers)
+
+    def register(self, name: Optional[str] = None, *,
+                 queue_frames: Optional[int] = None) -> Subscriber:
+        self._serial += 1
+        subscriber = Subscriber(name or f"client-{self._serial}",
+                                queue_frames or self.queue_frames)
+        self._subscribers.append(subscriber)
+        return subscriber
+
+    def unregister(self, subscriber: Subscriber) -> None:
+        if subscriber in self._subscribers:
+            self._subscribers.remove(subscriber)
+
+    def publish(self, frame: dict, *, stream: str = "control",
+                run_id: Optional[str] = None) -> int:
+        """Offer a frame to every matching subscriber; returns accepts.
+
+        Synchronous by design: the sampler calls this inline each tick
+        and must never await a peer.
+        """
+        self.published_total += 1
+        delivered = 0
+        for subscriber in self._subscribers:
+            if subscriber.wants(stream, run_id):
+                if subscriber.offer(frame):
+                    delivered += 1
+        return delivered
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "subscribers": len(self._subscribers),
+            "published_total": self.published_total,
+            "dropped_total": sum(
+                s.dropped_total for s in self._subscribers
+            ),
+            "clients": [
+                {
+                    "name": s.name,
+                    "active": s.active,
+                    "queued": s.queue.qsize(),
+                    "sent_total": s.sent_total,
+                    "dropped_total": s.dropped_total,
+                }
+                for s in self._subscribers
+            ],
+        }
+
+    def shutdown(self) -> None:
+        for subscriber in list(self._subscribers):
+            subscriber.finish()

@@ -1,0 +1,337 @@
+"""The service's pool of concurrently running simulations.
+
+A job is submitted over HTTP as a small JSON spec, validated into a
+:class:`repro.perf.sweep.SiriusSweepJob` (one run) or a list of them
+(a load sweep).  Execution is offloaded to a thread-pool executor —
+an epoch loop is milliseconds-to-minutes of pure CPU that must never
+run on the event loop (lint rule B1002 guards exactly this) — while
+the run's live :class:`repro.obs.Observation` stays shared with the
+event loop: the sampler reads delta snapshots from the registry and
+drains the event tap while the simulation writes into them.
+
+State transitions are marshalled back onto the event loop with
+``call_soon_threadsafe``, so every ``RunHandle`` mutation after
+submission happens on the loop thread and readers never see torn
+state.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.obs import EventTap, Observation
+from repro.perf.sweep import (
+    ParallelSweepRunner,
+    SiriusSweepJob,
+    SweepPoint,
+    run_sirius_job,
+)
+from repro.serve.protocol import run_row
+from repro.units import KILOBYTE
+
+__all__ = ["JobPool", "JobSpecError", "RunHandle"]
+
+#: States a run moves through (strictly forward).
+RUN_STATES = ("pending", "running", "done", "failed")
+
+
+class JobSpecError(ValueError):
+    """A submitted job spec that does not validate."""
+
+
+#: Accepted spec fields for one simulate run and their defaults.  The
+#: names mirror the ``sirius-repro simulate`` CLI flags, not the
+#: internal dataclass fields, so a dashboard form and a curl call read
+#: the same.
+SIMULATE_DEFAULTS: Dict[str, object] = {
+    "nodes": 16,
+    "grating_ports": 4,
+    "load": 0.5,
+    "flows": 300,
+    "multiplier": 1.5,
+    "queue_threshold": 4,
+    "ideal": False,
+    "mean_flow_kb": 100.0,
+    "seed": 1,
+    "backend": None,
+    "max_epochs": None,
+    "sample_every": 4,
+    "max_events": 65_536,
+}
+
+#: Extra fields a sweep spec accepts on top of the per-run ones.
+SWEEP_ONLY_FIELDS = ("loads", "workers")
+
+
+def _simulate_job(spec: Dict[str, object], label: str) -> SiriusSweepJob:
+    return SiriusSweepJob(
+        n_nodes=int(spec["nodes"]),  # type: ignore[arg-type]
+        grating_ports=int(spec["grating_ports"]),  # type: ignore[arg-type]
+        load=float(spec["load"]),  # type: ignore[arg-type]
+        n_flows=int(spec["flows"]),  # type: ignore[arg-type]
+        uplink_multiplier=float(spec["multiplier"]),  # type: ignore[arg-type]
+        queue_threshold=int(spec["queue_threshold"]),  # type: ignore[arg-type]
+        ideal=bool(spec["ideal"]),
+        mean_flow_bits=float(spec["mean_flow_kb"]) * KILOBYTE,  # type: ignore[arg-type]
+        seed=int(spec["seed"]),  # type: ignore[arg-type]
+        workload_seed=int(spec["seed"]) + 1,  # type: ignore[arg-type]
+        max_epochs=(None if spec["max_epochs"] is None
+                    else int(spec["max_epochs"])),  # type: ignore[arg-type]
+        backend=spec["backend"],  # type: ignore[arg-type]
+        label=label,
+    )
+
+
+def validate_spec(kind: str, params: Dict[str, object]) -> Dict[str, object]:
+    """Normalize a submitted spec; raises :class:`JobSpecError`."""
+    if kind not in ("simulate", "sweep"):
+        raise JobSpecError(f"unknown job kind {kind!r}")
+    allowed = set(SIMULATE_DEFAULTS)
+    if kind == "sweep":
+        allowed |= set(SWEEP_ONLY_FIELDS)
+    unknown = set(params) - allowed
+    if unknown:
+        raise JobSpecError(
+            f"unknown {kind} spec fields: {sorted(unknown)} "
+            f"(accepted: {sorted(allowed)})"
+        )
+    spec = dict(SIMULATE_DEFAULTS)
+    spec.update(params)
+    if kind == "sweep":
+        loads = spec.get("loads") or [0.25, 0.5, 1.0]
+        if (not isinstance(loads, list) or not loads
+                or not all(isinstance(l, (int, float)) and l > 0
+                           for l in loads)):
+            raise JobSpecError("sweep.loads must be a list of positive loads")
+        spec["loads"] = [float(l) for l in loads]
+        spec.setdefault("workers", None)
+    try:
+        # Build (and discard) the job up front so bad numbers fail at
+        # submission time with the dataclass's own message, not later
+        # inside the executor.
+        _simulate_job({k: spec[k] for k in SIMULATE_DEFAULTS}, label="probe")
+    except (TypeError, ValueError) as exc:
+        raise JobSpecError(str(exc)) from None
+    return spec
+
+
+def _point_summary(point: SweepPoint) -> Dict[str, object]:
+    return {
+        "label": point.label,
+        "load": point.load,
+        "n_flows": point.n_flows,
+        "completed_flows": point.completed_flows,
+        "normalized_goodput": round(point.normalized_goodput, 6),
+        "fct_p50_s": point.fct_p50_s,
+        "fct_p99_s": point.fct_p99_s,
+        "duration_s": point.duration_s,
+        "epochs": point.epochs,
+        "delivered_cells": point.delivered_cells,
+        "failed_flows": point.failed_flows,
+    }
+
+
+@dataclass
+class RunHandle:
+    """Everything the service tracks about one submitted run."""
+
+    run_id: str
+    kind: str
+    spec: Dict[str, object]
+    obs: Observation
+    tap: EventTap
+    state: str = "pending"
+    error: Optional[str] = None
+    result: Optional[Dict[str, object]] = None
+    #: Sweep-only: per-point summaries, filled as points complete.
+    points_done: int = 0
+    points_total: int = 0
+    #: Wall-clock seconds the simulation itself took (executor-side).
+    sim_wall_s: Optional[float] = None
+    #: Delta-snapshot cursor + stream sequence, owned by the sampler.
+    cursor: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    metrics_seq: int = 0
+    events_seq: int = 0
+    #: Set (on the loop thread) when the run reaches a terminal state.
+    #: Await this instead of polling ``finished``: on a single-core box
+    #: a polling waiter's wakeups steal the GIL from the epoch loop.
+    done_event: Optional[asyncio.Event] = None
+
+    @property
+    def finished(self) -> bool:
+        return self.state in ("done", "failed")
+
+    async def wait_finished(self) -> None:
+        """Block until the run is done or failed (loop thread only)."""
+        if self.done_event is not None:
+            await self.done_event.wait()
+            return
+        while not self.finished:  # pragma: no cover - submit always sets it
+            await asyncio.sleep(0.05)
+
+    def progress(self) -> Dict[str, object]:
+        # get() (never gauge()): reading progress must not register an
+        # instrument the simulation later wants with different options.
+        registry = self.obs.registry
+        progress: Dict[str, object] = {}
+        for field_name, metric in (("epoch", "run_epoch"),
+                                   ("backlog_cells", "net_backlog_cells"),
+                                   ("delivered_bits", "net_delivered_bits")):
+            instrument = registry.get(metric)
+            if instrument is not None:
+                progress[field_name] = instrument.value()
+        if self.kind == "sweep":
+            progress["points_done"] = self.points_done
+            progress["points_total"] = self.points_total
+        if self.sim_wall_s is not None:
+            progress["sim_wall_s"] = round(self.sim_wall_s, 6)
+        return progress
+
+    def row(self) -> Dict[str, object]:
+        return run_row(self.run_id, self.kind, self.state, self.spec,
+                       progress=self.progress(), result=self.result,
+                       error=self.error)
+
+
+class JobPool:
+    """Owns every submitted run and its executor future.
+
+    ``on_update`` (when given) is called on the event loop thread with
+    the :class:`RunHandle` after every state change — the service uses
+    it to broadcast ``run.update`` frames the moment a run starts,
+    finishes a sweep point, completes or fails.
+    """
+
+    def __init__(self, *, max_workers: int = 4,
+                 on_update: Optional[Callable[[RunHandle], None]] = None,
+                 ) -> None:
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers
+        self.on_update = on_update
+        self._runs: Dict[str, RunHandle] = {}
+        self._order: List[str] = []
+        self._serial = 0
+        self._executor = None  # created lazily, inside the running loop
+
+    # -- introspection ------------------------------------------------------
+    def runs(self) -> List[RunHandle]:
+        return [self._runs[run_id] for run_id in self._order]
+
+    def get(self, run_id: str) -> Optional[RunHandle]:
+        return self._runs.get(run_id)
+
+    def active_runs(self) -> List[RunHandle]:
+        return [run for run in self.runs() if not run.finished]
+
+    # -- submission ---------------------------------------------------------
+    def submit(self, kind: str, params: Dict[str, object]) -> RunHandle:
+        """Validate, register and start one run (loop thread only)."""
+        spec = validate_spec(kind, params)
+        self._serial += 1
+        run_id = f"run-{self._serial}"
+        obs = Observation.live(
+            sample_every=int(spec["sample_every"]),  # type: ignore[arg-type]
+            max_events=int(spec["max_events"]),  # type: ignore[arg-type]
+        )
+        handle = RunHandle(run_id=run_id, kind=kind, spec=spec, obs=obs,
+                           tap=obs.tracer.tap(),
+                           done_event=asyncio.Event())
+        if kind == "sweep":
+            handle.points_total = len(spec["loads"])  # type: ignore[arg-type]
+        self._runs[run_id] = handle
+        self._order.append(run_id)
+        loop = asyncio.get_running_loop()
+        if self._executor is None:
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.max_workers,
+                thread_name_prefix="sirius-serve-run",
+            )
+        handle.state = "running"
+        self._notify(handle)
+        if kind == "simulate":
+            work = self._execute_simulate
+        else:
+            work = self._execute_sweep
+        future = loop.run_in_executor(self._executor, work, handle, loop)
+        future.add_done_callback(
+            lambda fut, h=handle: self._finish(h, fut)
+        )
+        return handle
+
+    # -- executor-side work (never touches handle state directly) ----------
+    def _execute_simulate(self, handle: RunHandle,
+                          loop: asyncio.AbstractEventLoop,
+                          ) -> Dict[str, object]:
+        job = _simulate_job(
+            {k: handle.spec[k] for k in SIMULATE_DEFAULTS},
+            label=handle.run_id,
+        )
+        started = time.perf_counter()
+        point = run_sirius_job(job, obs=handle.obs)
+        wall = time.perf_counter() - started
+        summary = _point_summary(point)
+        summary["sim_wall_s"] = round(wall, 6)
+        return summary
+
+    def _execute_sweep(self, handle: RunHandle,
+                       loop: asyncio.AbstractEventLoop,
+                       ) -> Dict[str, object]:
+        spec = handle.spec
+        jobs = [
+            _simulate_job(
+                {**{k: spec[k] for k in SIMULATE_DEFAULTS}, "load": load},
+                label=f"{handle.run_id}@{load}",
+            )
+            for load in spec["loads"]  # type: ignore[union-attr]
+        ]
+        runner = ParallelSweepRunner(spec.get("workers"))  # type: ignore[arg-type]
+        points: List[Optional[SweepPoint]] = [None] * len(jobs)
+
+        def on_point(index: int, point: SweepPoint) -> None:
+            # Executor thread: marshal the progress tick to the loop.
+            loop.call_soon_threadsafe(self._sweep_point_done, handle)
+
+        started = time.perf_counter()
+        for index, point in runner.map_stream(run_sirius_job, jobs,
+                                              on_result=on_point):
+            points[index] = point
+        wall = time.perf_counter() - started
+        return {
+            "points": [_point_summary(p) for p in points if p is not None],
+            "sim_wall_s": round(wall, 6),
+        }
+
+    # -- loop-side state transitions ----------------------------------------
+    def _sweep_point_done(self, handle: RunHandle) -> None:
+        handle.points_done += 1
+        self._notify(handle)
+
+    def _finish(self, handle: RunHandle, future) -> None:
+        exc = future.exception()
+        if exc is not None:
+            handle.state = "failed"
+            handle.error = f"{type(exc).__name__}: {exc}"
+        else:
+            result = future.result()
+            handle.sim_wall_s = result.get("sim_wall_s")
+            handle.result = result
+            handle.state = "done"
+        if handle.done_event is not None:
+            handle.done_event.set()
+        self._notify(handle)
+
+    def _notify(self, handle: RunHandle) -> None:
+        if self.on_update is not None:
+            self.on_update(handle)
+
+    # -- shutdown -----------------------------------------------------------
+    def shutdown(self, wait: bool = True) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=wait)
+            self._executor = None

@@ -1,0 +1,203 @@
+"""Wire schemas of the live telemetry service.
+
+Everything that crosses a websocket (or the HTTP job API) is a JSON
+object with a ``type`` field drawn from a closed vocabulary — the same
+design choice as :data:`repro.obs.events.EVENT_TYPES`: a closed set
+keeps the stream machine-readable for the dashboard, the ``watch``
+terminal client and the tests, with no defensive parsing.
+
+Server → client frame types
+---------------------------
+``hello``          greeting: protocol version + current run table
+``run.update``     a run was added or changed state (carries the row)
+``metrics.delta``  one run's changed metric samples since the last tick
+``events``         one run's freshly tapped trace events
+``drops``          frames were dropped for *this* subscriber (count)
+``heartbeat``      periodic liveness: server clock + per-run progress
+``error``          the server rejected a client frame (reason)
+
+Client → server frame types
+---------------------------
+``subscribe``      start streaming (``runs``: list of run ids or "*";
+                   ``streams``: subset of {"metrics", "events"})
+``unsubscribe``    stop streaming
+``ping``           echo request (server replies with ``heartbeat``)
+
+Frames are deliberately flat and small; the metric payloads inside
+``metrics.delta`` are exactly the sample dicts of
+:meth:`repro.obs.metrics.MetricsRegistry.snapshot`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional, Sequence
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "SERVER_FRAME_TYPES",
+    "CLIENT_FRAME_TYPES",
+    "STREAM_KINDS",
+    "ProtocolError",
+    "encode_frame",
+    "decode_frame",
+    "parse_client_frame",
+    "hello_frame",
+    "run_update_frame",
+    "metrics_delta_frame",
+    "events_frame",
+    "drops_frame",
+    "heartbeat_frame",
+    "error_frame",
+]
+
+PROTOCOL_VERSION = 1
+
+SERVER_FRAME_TYPES = frozenset({
+    "hello", "run.update", "metrics.delta", "events", "drops",
+    "heartbeat", "error",
+})
+
+CLIENT_FRAME_TYPES = frozenset({"subscribe", "unsubscribe", "ping"})
+
+#: Streams a subscription can select.
+STREAM_KINDS = frozenset({"metrics", "events"})
+
+
+class ProtocolError(ValueError):
+    """A frame that does not follow the protocol (bad JSON, unknown
+    type, missing field).  Carried back to clients as an ``error``
+    frame rather than tearing the connection down."""
+
+
+# -- server frame constructors ----------------------------------------------
+def hello_frame(runs: Sequence[Dict[str, object]]) -> Dict[str, object]:
+    return {
+        "type": "hello",
+        "protocol": PROTOCOL_VERSION,
+        "server": "sirius-repro serve",
+        "runs": list(runs),
+    }
+
+
+def run_update_frame(run: Dict[str, object]) -> Dict[str, object]:
+    return {"type": "run.update", "run": dict(run)}
+
+
+def metrics_delta_frame(run_id: str, seq: int,
+                        samples: Sequence[Dict[str, object]],
+                        ) -> Dict[str, object]:
+    return {
+        "type": "metrics.delta",
+        "run_id": run_id,
+        "seq": seq,
+        "samples": list(samples),
+    }
+
+
+def events_frame(run_id: str, seq: int,
+                 events: Sequence[Dict[str, object]],
+                 tap_dropped: int = 0) -> Dict[str, object]:
+    return {
+        "type": "events",
+        "run_id": run_id,
+        "seq": seq,
+        "events": list(events),
+        "tap_dropped": tap_dropped,
+    }
+
+
+def drops_frame(count: int) -> Dict[str, object]:
+    """Tells one subscriber how many frames it missed (backpressure)."""
+    return {"type": "drops", "count": count}
+
+
+def heartbeat_frame(uptime_s: float,
+                    runs: Sequence[Dict[str, object]],
+                    ) -> Dict[str, object]:
+    return {"type": "heartbeat", "uptime_s": uptime_s, "runs": list(runs)}
+
+
+def error_frame(reason: str) -> Dict[str, object]:
+    return {"type": "error", "reason": reason}
+
+
+# -- encoding / decoding ----------------------------------------------------
+def encode_frame(frame: Dict[str, object]) -> str:
+    """Frame dict -> compact JSON text (one websocket text message)."""
+    frame_type = frame.get("type")
+    if frame_type not in SERVER_FRAME_TYPES | CLIENT_FRAME_TYPES:
+        raise ProtocolError(f"unknown frame type {frame_type!r}")
+    return json.dumps(frame, separators=(",", ":"))
+
+
+def decode_frame(text: str) -> Dict[str, object]:
+    """JSON text -> frame dict, validating shape and type."""
+    try:
+        frame = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"frame is not valid JSON: {exc}") from None
+    if not isinstance(frame, dict):
+        raise ProtocolError(
+            f"frame must be a JSON object, got {type(frame).__name__}"
+        )
+    frame_type = frame.get("type")
+    if frame_type not in SERVER_FRAME_TYPES | CLIENT_FRAME_TYPES:
+        raise ProtocolError(f"unknown frame type {frame_type!r}")
+    return frame
+
+
+def parse_client_frame(text: str) -> Dict[str, object]:
+    """Validate a client frame; normalizes ``subscribe`` selections.
+
+    A ``subscribe`` may carry ``runs`` (list of run-id strings, or the
+    single string ``"*"``; default everything) and ``streams`` (subset
+    of :data:`STREAM_KINDS`; default all).  The returned frame always
+    has both fields normalized: ``runs`` is ``"*"`` or a list of
+    strings, ``streams`` a sorted list.
+    """
+    frame = decode_frame(text)
+    frame_type = frame["type"]
+    if frame_type not in CLIENT_FRAME_TYPES:
+        raise ProtocolError(
+            f"{frame_type!r} is a server frame, not a client request"
+        )
+    if frame_type == "subscribe":
+        runs = frame.get("runs", "*")
+        if runs != "*":
+            if (not isinstance(runs, list)
+                    or not all(isinstance(r, str) for r in runs)):
+                raise ProtocolError(
+                    "subscribe.runs must be \"*\" or a list of run ids"
+                )
+        streams = frame.get("streams", sorted(STREAM_KINDS))
+        if (not isinstance(streams, list)
+                or not set(streams) <= STREAM_KINDS):
+            raise ProtocolError(
+                f"subscribe.streams must be a subset of "
+                f"{sorted(STREAM_KINDS)}"
+            )
+        frame["runs"] = runs
+        frame["streams"] = sorted(streams)
+    return frame
+
+
+def run_row(run_id: str, kind: str, state: str,
+            spec: Dict[str, object],
+            progress: Optional[Dict[str, object]] = None,
+            result: Optional[Dict[str, object]] = None,
+            error: Optional[str] = None) -> Dict[str, object]:
+    """The canonical run-table row shared by HTTP and websocket views."""
+    row: Dict[str, object] = {
+        "run_id": run_id,
+        "kind": kind,
+        "state": state,
+        "spec": dict(spec),
+    }
+    if progress:
+        row["progress"] = dict(progress)
+    if result is not None:
+        row["result"] = dict(result)
+    if error is not None:
+        row["error"] = error
+    return row

@@ -1,0 +1,133 @@
+"""``sirius-repro watch`` — a terminal client for the live service.
+
+Connects to a running ``sirius-repro serve``, subscribes to all runs
+and prints one line per telemetry frame: run-state changes, metric
+deltas (headline gauges only), event batches and the client's own gap
+notices.  Rendering is a pure function from frame to text so the tests
+exercise it without a terminal (and the dashboard stays the rich view;
+``watch`` is for shells and CI logs).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, List, Optional
+
+from repro.serve.protocol import decode_frame
+from repro.serve.websocket import client_handshake
+
+__all__ = ["render_frame", "watch"]
+
+#: Gauges worth a terminal line (the rest stream to the dashboard).
+_HEADLINE_GAUGES = (
+    "run_epoch",
+    "net_backlog_cells",
+    "net_delivered_bits",
+)
+
+
+def _last_value(sample: Dict[str, object]) -> Optional[object]:
+    points = sample.get("points")
+    if isinstance(points, list) and points:
+        last = points[-1]
+        if isinstance(last, (list, tuple)) and len(last) == 2:
+            return last[1]
+    return sample.get("value")
+
+
+def render_frame(frame: Dict[str, object]) -> Optional[str]:
+    """One frame -> one display line (None: nothing worth printing)."""
+    frame_type = frame.get("type")
+    if frame_type == "hello":
+        runs = frame.get("runs", [])
+        return (f"connected (protocol {frame.get('protocol')}); "
+                f"{len(runs)} run(s) known")  # type: ignore[arg-type]
+    if frame_type == "run.update":
+        run = frame.get("run", {})
+        parts = [f"{run.get('run_id')} [{run.get('kind')}] "
+                 f"{run.get('state')}"]
+        progress = run.get("progress") or {}
+        if "points_total" in progress:
+            parts.append(
+                f"points {progress.get('points_done', 0)}"
+                f"/{progress['points_total']}"
+            )
+        if run.get("error"):
+            parts.append(f"error: {run['error']}")
+        result = run.get("result") or {}
+        if "normalized_goodput" in result:
+            parts.append(f"goodput {result['normalized_goodput']}")
+        if "sim_wall_s" in result:
+            parts.append(f"wall {result['sim_wall_s']}s")
+        return "  ".join(parts)
+    if frame_type == "metrics.delta":
+        named = {s.get("name"): s for s in frame.get("samples", [])}  # type: ignore[union-attr]
+        shown: List[str] = []
+        for name in _HEADLINE_GAUGES:
+            if name in named:
+                shown.append(f"{name}={_last_value(named[name])}")
+        if not shown:
+            return None
+        return (f"{frame.get('run_id')} metrics#{frame.get('seq')}  "
+                + "  ".join(shown))
+    if frame_type == "events":
+        events = frame.get("events", [])
+        counts: Dict[str, int] = {}
+        for event in events:  # type: ignore[union-attr]
+            event_type = str(event.get("type"))
+            counts[event_type] = counts.get(event_type, 0) + 1
+        summary = " ".join(
+            f"{name}×{count}" for name, count in sorted(counts.items())
+        ) or "(empty)"
+        line = (f"{frame.get('run_id')} events#{frame.get('seq')}  "
+                f"{summary}")
+        if frame.get("tap_dropped"):
+            line += f"  [tap dropped {frame['tap_dropped']}]"
+        return line
+    if frame_type == "drops":
+        return (f"!! this client missed {frame.get('count')} frame(s) "
+                f"(slow consumer)")
+    if frame_type == "heartbeat":
+        runs = frame.get("runs", [])
+        active = sum(
+            1 for run in runs  # type: ignore[union-attr]
+            if run.get("state") in ("pending", "running")
+        )
+        return (f"heartbeat  uptime {frame.get('uptime_s')}s  "
+                f"{active} active / {len(runs)} total run(s)")  # type: ignore[arg-type]
+    if frame_type == "error":
+        return f"server rejected a request: {frame.get('reason')}"
+    return None
+
+
+async def watch(host: str, port: int, *,
+                runs: object = "*",
+                streams: Optional[List[str]] = None,
+                max_frames: Optional[int] = None,
+                print_fn=print) -> int:
+    """Stream the service's telemetry to ``print_fn``; returns frames seen.
+
+    ``max_frames`` bounds the session (tests); None streams until the
+    server closes the connection or the task is cancelled.
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        ws = await client_handshake(reader, writer, f"{host}:{port}")
+        await ws.send_text(json.dumps({
+            "type": "subscribe",
+            "runs": runs,
+            "streams": streams or ["metrics", "events"],
+        }))
+        seen = 0
+        while max_frames is None or seen < max_frames:
+            text = await ws.recv()
+            if text is None:
+                break
+            seen += 1
+            line = render_frame(decode_frame(text))
+            if line is not None:
+                print_fn(line)
+        return seen
+    finally:
+        writer.close()

@@ -1,0 +1,234 @@
+"""Minimal RFC 6455 websockets over asyncio streams.
+
+The container image carries no third-party websocket library, so the
+service implements the protocol directly: the HTTP upgrade handshake
+(`Sec-WebSocket-Accept` is the base64 SHA-1 of key + GUID), the frame
+codec (FIN/opcode bits, 7/16/64-bit lengths, client-side masking) and
+a small :class:`WebSocket` wrapper that handles fragmentation and
+ping/pong transparently.  Only what the telemetry service needs is
+implemented — text and close frames, no extensions, no compression —
+but that subset is spec-conformant, so real browsers connect to the
+dashboard endpoint unmodified.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import hashlib
+import os
+import struct
+from typing import Optional, Tuple
+
+__all__ = [
+    "WS_GUID",
+    "OP_CONT",
+    "OP_TEXT",
+    "OP_BINARY",
+    "OP_CLOSE",
+    "OP_PING",
+    "OP_PONG",
+    "WebSocket",
+    "WebSocketError",
+    "accept_key",
+    "decode_frame_header",
+    "encode_frame",
+    "client_handshake",
+]
+
+#: The fixed GUID every websocket handshake concatenates to the key.
+WS_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+OP_CONT = 0x0
+OP_TEXT = 0x1
+OP_BINARY = 0x2
+OP_CLOSE = 0x8
+OP_PING = 0x9
+OP_PONG = 0xA
+
+_CONTROL_OPCODES = frozenset({OP_CLOSE, OP_PING, OP_PONG})
+
+#: Upper bound on one message; a telemetry frame is a few KB, so
+#: anything near this is a protocol violation, not a big payload.
+MAX_MESSAGE_BYTES = 8 * 1024 * 1024
+
+
+class WebSocketError(ConnectionError):
+    """Malformed frame, oversized message or a failed handshake."""
+
+
+def accept_key(key: str) -> str:
+    """``Sec-WebSocket-Accept`` for a client's ``Sec-WebSocket-Key``."""
+    digest = hashlib.sha1((key + WS_GUID).encode("ascii")).digest()
+    return base64.b64encode(digest).decode("ascii")
+
+
+def encode_frame(opcode: int, payload: bytes, *, fin: bool = True,
+                 mask: bool = False) -> bytes:
+    """One wire frame.  Servers send unmasked; clients must mask."""
+    header = bytearray()
+    header.append((0x80 if fin else 0x00) | (opcode & 0x0F))
+    length = len(payload)
+    mask_bit = 0x80 if mask else 0x00
+    if length < 126:
+        header.append(mask_bit | length)
+    elif length < (1 << 16):
+        header.append(mask_bit | 126)
+        header += struct.pack(">H", length)
+    else:
+        header.append(mask_bit | 127)
+        header += struct.pack(">Q", length)
+    if mask:
+        key = os.urandom(4)
+        header += key
+        payload = bytes(b ^ key[i % 4] for i, b in enumerate(payload))
+    return bytes(header) + payload
+
+
+def decode_frame_header(first: int, second: int) -> Tuple[bool, int, bool, int]:
+    """(fin, opcode, masked, base_length) from the first two bytes."""
+    fin = bool(first & 0x80)
+    if first & 0x70:
+        raise WebSocketError("reserved frame bits set (no extensions)")
+    opcode = first & 0x0F
+    masked = bool(second & 0x80)
+    return fin, opcode, masked, second & 0x7F
+
+
+async def _read_frame(reader: asyncio.StreamReader,
+                      ) -> Tuple[bool, int, bytes]:
+    """Read one frame: (fin, opcode, unmasked payload)."""
+    head = await reader.readexactly(2)
+    fin, opcode, masked, length = decode_frame_header(head[0], head[1])
+    if length == 126:
+        (length,) = struct.unpack(">H", await reader.readexactly(2))
+    elif length == 127:
+        (length,) = struct.unpack(">Q", await reader.readexactly(8))
+    if length > MAX_MESSAGE_BYTES:
+        raise WebSocketError(f"frame of {length} bytes exceeds limit")
+    if opcode in _CONTROL_OPCODES and (length > 125 or not fin):
+        raise WebSocketError("control frames must be short and unfragmented")
+    key = await reader.readexactly(4) if masked else b""
+    payload = await reader.readexactly(length) if length else b""
+    if masked:
+        payload = bytes(b ^ key[i % 4] for i, b in enumerate(payload))
+    return fin, opcode, payload
+
+
+class WebSocket:
+    """One established websocket connection (either side).
+
+    ``recv()`` returns the next complete *text* message, transparently
+    answering pings and reassembling fragments; ``None`` signals a
+    clean close.  ``send_text()`` writes one text message and waits for
+    the transport buffer to drain — callers that must never block on a
+    slow peer (the hub's publisher) do not call this directly; they
+    enqueue to the per-subscriber queue and a dedicated writer task
+    does the blocking send.
+    """
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter, *,
+                 client_side: bool = False) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._client_side = client_side
+        self.closed = False
+
+    async def send_text(self, text: str) -> None:
+        self._writer.write(encode_frame(
+            OP_TEXT, text.encode("utf-8"), mask=self._client_side
+        ))
+        await self._writer.drain()
+
+    async def send_close(self, code: int = 1000) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        try:
+            self._writer.write(encode_frame(
+                OP_CLOSE, struct.pack(">H", code), mask=self._client_side
+            ))
+            await self._writer.drain()
+        except (ConnectionError, RuntimeError):
+            pass
+
+    async def recv(self) -> Optional[str]:
+        """Next text message, or None when the peer closed."""
+        fragments: list = []
+        while True:
+            try:
+                fin, opcode, payload = await _read_frame(self._reader)
+            except WebSocketError:
+                # Protocol violation, not a dropped peer: surface it.
+                self.closed = True
+                raise
+            except (asyncio.IncompleteReadError, ConnectionError):
+                self.closed = True
+                return None
+            if opcode == OP_PING:
+                self._writer.write(encode_frame(
+                    OP_PONG, payload, mask=self._client_side
+                ))
+                await self._writer.drain()
+                continue
+            if opcode == OP_PONG:
+                continue
+            if opcode == OP_CLOSE:
+                await self.send_close()
+                return None
+            if opcode in (OP_TEXT, OP_BINARY):
+                if fragments:
+                    raise WebSocketError(
+                        "new message started inside a fragmented one"
+                    )
+                fragments.append(payload)
+            elif opcode == OP_CONT:
+                if not fragments:
+                    raise WebSocketError("continuation without a start frame")
+                fragments.append(payload)
+            else:
+                raise WebSocketError(f"unsupported opcode {opcode:#x}")
+            if sum(len(f) for f in fragments) > MAX_MESSAGE_BYTES:
+                raise WebSocketError("fragmented message exceeds limit")
+            if fin:
+                message = b"".join(fragments)
+                return message.decode("utf-8")
+
+    def close_transport(self) -> None:
+        self.closed = True
+        try:
+            self._writer.close()
+        except RuntimeError:
+            pass
+
+
+async def client_handshake(reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter,
+                           host: str, path: str = "/ws") -> WebSocket:
+    """Perform the client side of the upgrade on an open connection."""
+    key = base64.b64encode(os.urandom(16)).decode("ascii")
+    request = (
+        f"GET {path} HTTP/1.1\r\n"
+        f"Host: {host}\r\n"
+        "Upgrade: websocket\r\n"
+        "Connection: Upgrade\r\n"
+        f"Sec-WebSocket-Key: {key}\r\n"
+        "Sec-WebSocket-Version: 13\r\n"
+        "\r\n"
+    )
+    writer.write(request.encode("ascii"))
+    await writer.drain()
+    head = await reader.readuntil(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = lines[0].split(" ", 2)
+    if len(status) < 2 or status[1] != "101":
+        raise WebSocketError(f"upgrade refused: {lines[0]!r}")
+    headers = {}
+    for line in lines[1:]:
+        if ":" in line:
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+    if headers.get("sec-websocket-accept") != accept_key(key):
+        raise WebSocketError("Sec-WebSocket-Accept mismatch")
+    return WebSocket(reader, writer, client_side=True)

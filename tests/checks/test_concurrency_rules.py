@@ -360,6 +360,31 @@ class TestB1001BlockingCallInAsync:
         )
         assert findings == []
 
+    def test_catches_dns_resolution_in_coroutine(self):
+        # socket.getaddrinfo is synchronous DNS — seconds of stall on a
+        # slow resolver, invisible in tests against 127.0.0.1.
+        findings = check_source(
+            "import socket\n"
+            "\n"
+            "async def connect(host):\n"
+            "    return socket.getaddrinfo(host, 80)\n",
+            ASYNC_RULES, relpath="src/repro/service/api.py",
+        )
+        b1001 = _only(findings, "B1001")
+        assert b1001, _codes(findings)
+        assert "socket.getaddrinfo()" in b1001[0].message
+
+    def test_clean_twin_loop_getaddrinfo(self):
+        findings = check_source(
+            "import asyncio\n"
+            "\n"
+            "async def connect(host):\n"
+            "    loop = asyncio.get_running_loop()\n"
+            "    return await loop.getaddrinfo(host, 80)\n",
+            ASYNC_RULES, relpath="src/repro/service/api.py",
+        )
+        assert _only(findings, "B1001") == []
+
 
 # ---------------------------------------------------------------------------
 # B1002 sim-run-in-async
@@ -411,6 +436,118 @@ class TestB1002SimRunInAsync:
             "src/repro/perf/sweep.py": self.SWEEP,
         }, [rule for rule in ASYNC_RULES if rule.code == "B1002"])
         assert findings == []
+
+    STREAMING_SWEEP = (
+        "class ParallelSweepRunner:\n"
+        "    def map_stream(self, fn, jobs, on_result=None):\n"
+        "        for index, job in enumerate(jobs):\n"
+        "            yield index, fn(job)\n"
+        "\n"
+        "def run_sirius_job(job):\n"
+        "    return job\n"
+    )
+
+    def test_catches_map_stream_inside_coroutine(self):
+        # The streaming variant is the same epoch-loop CPU as map();
+        # draining its iterator inline stalls the loop identically.
+        findings = check_project_source({
+            "src/repro/service/api.py": (
+                "from repro.perf.sweep import ParallelSweepRunner, "
+                "run_sirius_job\n"
+                "\n"
+                "async def sweep_endpoint(jobs):\n"
+                "    runner = ParallelSweepRunner()\n"
+                "    return list(runner.map_stream(run_sirius_job, jobs))\n"
+            ),
+            "src/repro/perf/sweep.py": self.STREAMING_SWEEP,
+        }, ASYNC_RULES)
+        b1002 = _only(findings, "B1002")
+        assert b1002, _codes(findings)
+        assert "ParallelSweepRunner.map_stream" in b1002[0].message
+
+    def test_clean_twin_map_stream_offloaded(self):
+        findings = check_project_source({
+            "src/repro/service/api.py": (
+                "import asyncio\n"
+                "from repro.perf.sweep import ParallelSweepRunner, "
+                "run_sirius_job\n"
+                "\n"
+                "def run_sweep(jobs):\n"
+                "    runner = ParallelSweepRunner()\n"
+                "    return list(runner.map_stream(run_sirius_job, jobs))\n"
+                "\n"
+                "async def sweep_endpoint(jobs):\n"
+                "    loop = asyncio.get_running_loop()\n"
+                "    return await loop.run_in_executor(None, run_sweep, "
+                "jobs)\n"
+            ),
+            "src/repro/perf/sweep.py": self.STREAMING_SWEEP,
+        }, [rule for rule in ASYNC_RULES if rule.code == "B1002"])
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# super() dispatch precision (shared call-graph layer)
+# ---------------------------------------------------------------------------
+class TestSuperDispatchPrecision:
+    """``super().m()`` resolves along the base chain, never name-wide.
+
+    Before this fix, ``super().__init__`` inside any exception class
+    fanned out to every ``__init__`` in the project, so raising a custom
+    error from a coroutine connected the async root to unrelated heavy
+    code and produced phantom B1002 findings.
+    """
+
+    SIM = (
+        "class SiriusNetwork:\n"
+        "    def run(self, flows):\n"
+        "        return flows\n"
+    )
+
+    def test_exception_super_init_does_not_reach_sims(self):
+        findings = check_project_source({
+            "src/repro/core/network.py": self.SIM,
+            "src/repro/service/errors.py": (
+                "class SpecError(ValueError):\n"
+                "    def __init__(self, status, reason):\n"
+                "        super().__init__(reason)\n"
+                "        self.status = status\n"
+            ),
+            "src/repro/service/api.py": (
+                "from repro.service.errors import SpecError\n"
+                "\n"
+                "async def handler(request):\n"
+                "    if not request:\n"
+                "        raise SpecError(400, 'empty request')\n"
+                "    return request\n"
+            ),
+        }, ASYNC_RULES)
+        assert findings == [], _codes(findings)
+
+    def test_super_to_project_base_still_followed(self):
+        # When the base IS project code that runs a simulation, the
+        # super() edge must survive the precision fix.
+        findings = check_project_source({
+            "src/repro/core/network.py": self.SIM,
+            "src/repro/service/api.py": (
+                "from repro.core.network import SiriusNetwork\n"
+                "\n"
+                "class Base:\n"
+                "    def start(self, flows):\n"
+                "        net = SiriusNetwork()\n"
+                "        return net.run(flows)\n"
+                "\n"
+                "class Handler(Base):\n"
+                "    def start(self, flows):\n"
+                "        return super().start(flows)\n"
+                "\n"
+                "async def endpoint(flows):\n"
+                "    return Handler().start(flows)\n"
+            ),
+        }, ASYNC_RULES)
+        b1002 = _only(findings, "B1002")
+        assert b1002, _codes(findings)
+        assert "SiriusNetwork.run" in b1002[0].message
 
 
 # ---------------------------------------------------------------------------

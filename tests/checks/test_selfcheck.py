@@ -65,6 +65,19 @@ class TestSelfCheck:
             "shared analyses should keep it interactive (<4s)"
         )
 
+    def test_serve_tree_clean_for_concurrency_families(self):
+        # The live service is the repo's only always-async surface; the
+        # event-loop (B10xx), race (C9xx) and pickle (K11xx) families
+        # must hold it to zero findings with no baseline escape hatch.
+        from repro.checks import filter_rules
+
+        rules = filter_rules(ALL_RULES, select=["B10", "C9", "K11"])
+        findings = run_checks([SRC / "serve"], rules, root=REPO_ROOT)
+        assert findings == [], (
+            "concurrency findings in repro.serve:\n"
+            + "\n".join(f.render() for f in findings)
+        )
+
     def test_baseline_file_is_committed(self):
         assert BASELINE.is_file(), (
             f"{DEFAULT_BASELINE_NAME} must be committed at the repo root"

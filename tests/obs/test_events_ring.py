@@ -1,0 +1,112 @@
+"""Ring-mode tracer retention, live taps, and drop accounting.
+
+The legacy tracer stops recording at its cap (keep-oldest); ring mode
+keeps the *recent* window instead, which is what a long-running service
+job needs.  Both count what they discard, the exporters surface the
+count, and a tap is a bounded side-channel that can never block or
+stall the emitting epoch loop.
+"""
+
+from repro.obs import Observation
+from repro.obs.events import EventTap, EventTracer, NullTracer
+from repro.obs.report import render_report
+from repro.obs.trace_io import run_trace
+
+
+def _emit_epochs(tracer, n):
+    for epoch in range(n):
+        tracer.at(epoch, epoch * 1e-6)
+        tracer.emit("epoch")
+
+
+class TestRingMode:
+    def test_legacy_mode_keeps_oldest(self):
+        tracer = EventTracer(max_events=3)
+        _emit_epochs(tracer, 5)
+        assert [e.epoch for e in tracer.events] == [0, 1, 2]
+        assert tracer.dropped == 2
+
+    def test_ring_mode_keeps_newest(self):
+        tracer = EventTracer(max_events=3, ring=True)
+        _emit_epochs(tracer, 5)
+        assert [e.epoch for e in tracer.events] == [2, 3, 4]
+        assert tracer.dropped == 2
+
+    def test_ring_mode_selects_and_counts(self):
+        tracer = EventTracer(max_events=4, ring=True)
+        _emit_epochs(tracer, 3)
+        tracer.emit("cell.drop", node=1, count=2, reason="failure")
+        assert len(tracer.select("cell.drop")) == 1
+        assert tracer.counts_by_type() == {"epoch": 3, "cell.drop": 1}
+
+    def test_live_observation_uses_ring(self):
+        obs = Observation.live(max_events=8)
+        assert obs.tracer.ring is True
+        _emit_epochs(obs.tracer, 20)
+        assert len(obs.tracer) == 8
+        assert obs.tracer.dropped == 12
+
+
+class TestTap:
+    def test_tap_receives_subsequent_emits(self):
+        tracer = EventTracer()
+        tap = tracer.tap()
+        _emit_epochs(tracer, 3)
+        assert [e.epoch for e in tap.drain()] == [0, 1, 2]
+        assert tap.drain() == []
+
+    def test_tap_bounded_drops_new_and_counts(self):
+        tracer = EventTracer()
+        tap = tracer.tap(maxlen=2)
+        _emit_epochs(tracer, 5)
+        assert len(tap) == 2
+        assert tap.dropped == 3
+        # The retained window is the oldest two: drop-new keeps the
+        # consumer's position contiguous.
+        assert [e.epoch for e in tap.drain()] == [0, 1]
+
+    def test_drain_limit(self):
+        tracer = EventTracer()
+        tap = tracer.tap()
+        _emit_epochs(tracer, 5)
+        assert len(tap.drain(limit=2)) == 2
+        assert len(tap.drain()) == 3
+
+    def test_close_detaches(self):
+        tracer = EventTracer()
+        tap = tracer.tap()
+        tap.close()
+        _emit_epochs(tracer, 2)
+        assert tap.drain() == []
+
+    def test_ring_eviction_does_not_touch_tap(self):
+        tracer = EventTracer(max_events=2, ring=True)
+        tap = tracer.tap()
+        _emit_epochs(tracer, 4)
+        # The tracer's ring evicted 2, but the tap saw every emit.
+        assert len(tracer) == 2
+        assert [e.epoch for e in tap.drain()] == [0, 1, 2, 3]
+
+    def test_null_tracer_tap_is_detached(self):
+        tap = NullTracer().tap()
+        assert isinstance(tap, EventTap)
+        assert tap.drain() == []
+
+
+class TestDroppedSurfacedInReport:
+    def _report_for(self, tracer):
+        obs = Observation(tracer=tracer)
+        trace = run_trace(obs, meta={"system": "Sirius"})
+        return render_report(trace)
+
+    def test_report_flags_partial_event_counts(self):
+        tracer = EventTracer(max_events=3, ring=True)
+        _emit_epochs(tracer, 10)
+        report = self._report_for(tracer)
+        assert "7 events dropped" in report
+        assert "partial" in report
+
+    def test_report_silent_when_nothing_dropped(self):
+        tracer = EventTracer()
+        _emit_epochs(tracer, 3)
+        assert "dropped" not in self._report_for(tracer)

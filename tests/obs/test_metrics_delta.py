@@ -1,0 +1,135 @@
+"""Delta/cursor snapshots: only what changed ships, and nothing is lost.
+
+The live service polls ``collect_delta`` several times a second; these
+tests pin the contract it relies on: unchanged instruments are skipped,
+tracked gauges ship only the points appended inside the window (with an
+offset for gap detection), cursors round-trip through JSON, and a
+concurrent writer can at worst cause a double-send, never a miss.
+"""
+
+import json
+
+from repro.obs.metrics import MetricsRegistry, NullMetricsRegistry
+
+
+def _names(samples):
+    return sorted({s["name"] for s in samples})
+
+
+class TestCollectDelta:
+    def test_none_cursor_ships_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("cells").inc(3)
+        registry.gauge("depth").set(7)
+        samples, state = registry.collect_delta(None)
+        assert _names(samples) == ["cells", "depth"]
+        assert set(state) == {"cells", "depth"}
+
+    def test_unchanged_instruments_are_skipped(self):
+        registry = MetricsRegistry()
+        registry.counter("cells").inc(3)
+        registry.gauge("depth").set(7)
+        _samples, cursor = registry.collect_delta(None)
+        registry.gauge("depth").set(9)
+        samples, _cursor = registry.collect_delta(cursor)
+        assert _names(samples) == ["depth"]
+
+    def test_quiet_registry_ships_nothing(self):
+        registry = MetricsRegistry()
+        registry.counter("cells").inc()
+        _samples, cursor = registry.collect_delta(None)
+        samples, again = registry.collect_delta(cursor)
+        assert samples == []
+        assert again == cursor
+
+    def test_tracked_gauge_ships_only_new_points(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("backlog", track=True)
+        gauge.set(1, at=0)
+        gauge.set(2, at=4)
+        _samples, cursor = registry.collect_delta(None)
+        gauge.set(3, at=8)
+        gauge.set(4, at=12)
+        samples, _cursor = registry.collect_delta(cursor)
+        (sample,) = samples
+        assert sample["points"] == [[8, 3], [12, 4]]
+        assert sample["points_offset"] == 2
+
+    def test_points_offset_only_after_a_prior_window(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("backlog", track=True)
+        gauge.set(1, at=0)
+        samples, cursor = registry.collect_delta({})
+        # First window: nothing previously shipped, no offset field.
+        assert "points_offset" not in samples[0]
+        gauge.set(2, at=4)
+        samples, _cursor = registry.collect_delta(cursor)
+        assert samples[0]["points_offset"] == 1
+
+    def test_cursor_json_roundtrip(self):
+        registry = MetricsRegistry()
+        registry.gauge("backlog", track=True).set(5, at=0)
+        registry.counter("cells").inc()
+        _samples, cursor = registry.collect_delta(None)
+        wire = json.loads(json.dumps(cursor))
+        registry.gauge("backlog", track=True).set(6, at=4)
+        samples, _next = registry.collect_delta(wire)
+        assert _names(samples) == ["backlog"]
+        (sample,) = samples
+        assert sample["points"] == [[4, 6]]
+
+    def test_cursor_method_matches_delta_state(self):
+        registry = MetricsRegistry()
+        registry.gauge("backlog", track=True).set(5, at=0)
+        registry.counter("cells").inc()
+        assert registry.cursor() == registry.collect_delta(None)[1]
+
+    def test_at_least_once_on_interleaved_write(self):
+        # A mutation between cursor capture and the next delta is
+        # re-shipped (never silently skipped): the cursor records the
+        # mutation count captured BEFORE collection.
+        registry = MetricsRegistry()
+        counter = registry.counter("cells")
+        counter.inc()
+        _samples, cursor = registry.collect_delta(None)
+        counter.inc()  # concurrent writer between ticks
+        samples, cursor2 = registry.collect_delta(cursor)
+        assert _names(samples) == ["cells"]
+        samples2, _ = registry.collect_delta(cursor2)
+        assert samples2 == []
+
+    def test_new_instrument_appears_in_next_delta(self):
+        registry = MetricsRegistry()
+        registry.counter("cells").inc()
+        _samples, cursor = registry.collect_delta(None)
+        registry.gauge("late").set(1)
+        samples, state = registry.collect_delta(cursor)
+        assert _names(samples) == ["late"]
+        assert "late" in state
+
+
+class TestSnapshotModes:
+    def test_legacy_snapshot_unchanged(self):
+        registry = MetricsRegistry()
+        registry.counter("cells").inc(2)
+        snap = registry.snapshot()
+        assert set(snap) == {"metrics"}
+        assert _names(snap["metrics"]) == ["cells"]
+
+    def test_incremental_snapshot_carries_cursor(self):
+        registry = MetricsRegistry()
+        registry.counter("cells").inc(2)
+        first = registry.snapshot(since={})
+        assert set(first) == {"metrics", "cursor"}
+        registry.counter("cells").inc()
+        second = registry.snapshot(since=first["cursor"])
+        assert _names(second["metrics"]) == ["cells"]
+        third = registry.snapshot(since=second["cursor"])
+        assert third["metrics"] == []
+
+    def test_null_registry_parity(self):
+        registry = NullMetricsRegistry()
+        assert registry.cursor() == {}
+        assert registry.collect_delta(None) == ([], {})
+        assert registry.snapshot() == {"metrics": []}
+        assert registry.snapshot(since={}) == {"metrics": [], "cursor": {}}

@@ -1,0 +1,131 @@
+"""Slow-consumer backpressure: a stalled watcher never costs the run.
+
+The service's contract is one-directional: telemetry flows out on a
+best-effort basis and nothing on the consumer side — a wedged browser
+tab, a dead TCP peer, a queue nobody drains — may slow the simulation
+or grow server state without bound.  These tests stall consumers in
+both ways (a real websocket client that stops reading, and a hub
+subscriber whose queue is never drained, which is exactly what a
+writer task blocked on a dead peer looks like) and assert the run
+finishes unharmed, with identical results, while the drops are
+counted where they happen.
+"""
+
+import asyncio
+import json
+import time
+
+from repro.serve.app import TelemetryServer
+from repro.serve.protocol import decode_frame
+from repro.serve.websocket import client_handshake
+
+#: A run long enough to span many sampler ticks, short enough for CI.
+_SPEC = {"nodes": 16, "flows": 300, "seed": 7}
+
+_SUBSCRIBE = json.dumps(
+    {"type": "subscribe", "runs": "*", "streams": ["metrics", "events"]}
+)
+
+
+async def _wait_finished(run, timeout: float = 60.0) -> float:
+    """Wait out one run; returns observed wall-clock seconds."""
+    started = time.perf_counter()
+    await asyncio.wait_for(run.wait_finished(), timeout)
+    return time.perf_counter() - started
+
+
+def _comparable(result):
+    """A run result with run-identity and timing fields removed."""
+    return {k: v for k, v in result.items()
+            if k not in ("label", "sim_wall_s", "duration_s")}
+
+
+class TestStalledConsumer:
+    def test_stalled_clients_drop_while_the_run_completes_unharmed(self):
+        async def scenario():
+            async with TelemetryServer(
+                port=0, sample_interval_s=0.02
+            ) as server:
+                host, port = server.host, server.port
+
+                # Baseline: the same job with nobody watching.
+                baseline = server.pool.submit("simulate", dict(_SPEC))
+                baseline_wall = await _wait_finished(baseline)
+
+                # A real websocket client that subscribes, then never
+                # reads another byte.
+                reader, writer = await asyncio.open_connection(host, port)
+                stalled = await client_handshake(
+                    reader, writer, host=f"{host}:{port}"
+                )
+                await stalled.send_text(_SUBSCRIBE)
+
+                # A responsive client that reads everything, proving the
+                # stream stays live for consumers that keep up.
+                r2, w2 = await asyncio.open_connection(host, port)
+                live = await client_handshake(r2, w2, host=f"{host}:{port}")
+                await live.send_text(_SUBSCRIBE)
+                seen = []
+
+                async def pump():
+                    while True:
+                        text = await live.recv()
+                        if text is None:
+                            return
+                        seen.append(decode_frame(text))
+
+                pump_task = asyncio.ensure_future(pump())
+
+                # A hub subscriber whose tiny queue is never drained:
+                # the deterministic stand-in for a writer task blocked
+                # on a dead peer (kernel socket buffers make the
+                # TCP-level stall above timing-dependent; this is not).
+                stuck = server.hub.register("stuck", queue_frames=4)
+                stuck.subscribe("*", ["metrics", "events"])
+
+                watched = server.pool.submit("simulate", dict(_SPEC))
+                watched_wall = await _wait_finished(watched)
+                # A few extra ticks so the final flush and a heartbeat
+                # land while the stuck queue is already full.
+                await asyncio.sleep(0.2)
+                stats = server.hub.stats()
+                pump_task.cancel()
+                return (baseline, watched, baseline_wall, watched_wall,
+                        stuck, seen, stats)
+
+        (baseline, watched, baseline_wall, watched_wall,
+         stuck, seen, stats) = asyncio.run(scenario())
+
+        # The run finished, and being watched by stalled consumers
+        # changed its results not at all.
+        assert baseline.state == "done" and watched.state == "done"
+        assert _comparable(watched.result) == _comparable(baseline.result)
+
+        # Nor its wall-clock, beyond scheduling noise: drops happen in
+        # put_nowait on the loop thread, the epoch loop never waits.
+        assert watched_wall <= baseline_wall * 3.0 + 0.5, (
+            f"watched run took {watched_wall:.3f}s vs "
+            f"baseline {baseline_wall:.3f}s — a stalled client stalled it"
+        )
+
+        # The undrained subscriber dropped frames, counted them, and
+        # its queue never grew past its bound.
+        assert stuck.dropped_total > 0
+        assert stuck.queue.qsize() <= 4
+
+        # Server-side state for every client stays bounded too.
+        from repro.serve.hub import DEFAULT_QUEUE_FRAMES
+        for client in stats["clients"]:
+            assert client["queued"] <= DEFAULT_QUEUE_FRAMES, client
+        assert stats["dropped_total"] >= stuck.dropped_total
+
+        # The responsive client meanwhile got the real stream: metric
+        # deltas and trace events for the watched run, and its own view
+        # never gapped (no drops notice).
+        kinds = {frame["type"] for frame in seen}
+        watched_metrics = [f for f in seen if f["type"] == "metrics.delta"
+                          and f["run_id"] == watched.run_id]
+        assert watched_metrics, f"no metric deltas in {sorted(kinds)}"
+        assert any(f["type"] == "events" and f["run_id"] == watched.run_id
+                   for f in seen)
+        assert "drops" not in kinds

@@ -1,0 +1,160 @@
+"""Hub fan-out semantics: filters, bounded queues, drop accounting."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.hub import Subscriber, TelemetryHub
+from repro.serve.protocol import heartbeat_frame, metrics_delta_frame
+
+
+def _frame(run_id="run-1", seq=1):
+    return metrics_delta_frame(run_id, seq, [])
+
+
+class TestSubscription:
+    def test_inactive_subscriber_wants_nothing(self):
+        sub = Subscriber("c")
+        assert not sub.wants("metrics", "run-1")
+        assert not sub.wants("control", None)
+
+    def test_star_subscription_wants_everything(self):
+        sub = Subscriber("c")
+        sub.subscribe("*", ["metrics", "events"])
+        assert sub.wants("metrics", "run-1")
+        assert sub.wants("events", "run-9")
+        assert sub.wants("control", None)
+
+    def test_run_filter(self):
+        sub = Subscriber("c")
+        sub.subscribe(["run-2"], ["metrics", "events"])
+        assert sub.wants("metrics", "run-2")
+        assert not sub.wants("metrics", "run-1")
+        # Control frames (run table updates, heartbeats) always pass.
+        assert sub.wants("control", None)
+
+    def test_stream_filter(self):
+        sub = Subscriber("c")
+        sub.subscribe("*", ["metrics"])
+        assert sub.wants("metrics", "run-1")
+        assert not sub.wants("events", "run-1")
+
+    def test_unsubscribe(self):
+        sub = Subscriber("c")
+        sub.subscribe("*", ["metrics"])
+        sub.unsubscribe()
+        assert not sub.wants("metrics", "run-1")
+
+    def test_queue_needs_room_for_drops_notice(self):
+        with pytest.raises(ValueError):
+            Subscriber("c", queue_frames=1)
+
+
+class TestBackpressure:
+    def test_offer_drops_and_counts_when_full(self):
+        sub = Subscriber("c", queue_frames=2)
+        sub.subscribe("*", ["metrics"])
+        assert sub.offer(_frame(seq=1))
+        assert sub.offer(_frame(seq=2))
+        assert not sub.offer(_frame(seq=3))
+        assert not sub.offer(_frame(seq=4))
+        assert sub.dropped_total == 2
+
+    def test_drops_notice_enqueued_on_catch_up(self):
+        async def scenario():
+            sub = Subscriber("c", queue_frames=2)
+            sub.subscribe("*", ["metrics"])
+            sub.offer(_frame(seq=1))
+            sub.offer(_frame(seq=2))
+            sub.offer(_frame(seq=3))  # dropped
+            # Consumer catches up fully, then the next offer reports
+            # the gap before the new frame.
+            await sub.queue.get()
+            await sub.queue.get()
+            sub.offer(_frame(seq=4))
+            notice = await sub.queue.get()
+            fresh = await sub.queue.get()
+            return notice, fresh
+
+        notice, fresh = asyncio.run(scenario())
+        assert notice == {"type": "drops", "count": 1}
+        assert fresh["seq"] == 4
+
+    def test_publish_never_blocks(self):
+        # A full queue must not make publish wait: it returns
+        # immediately with the delivery count.
+        async def scenario():
+            hub = TelemetryHub(queue_frames=2)
+            slow = hub.register()
+            slow.subscribe("*", ["metrics"])
+            fast = hub.register()
+            fast.subscribe("*", ["metrics"])
+            delivered = []
+            for seq in range(10):
+                delivered.append(
+                    hub.publish(_frame(seq=seq), stream="metrics",
+                                run_id="run-1")
+                )
+                await fast.queue.get()  # fast consumer keeps up
+            return delivered, slow.dropped_total, fast.dropped_total
+
+        delivered, slow_drops, fast_drops = asyncio.run(scenario())
+        assert fast_drops == 0
+        assert slow_drops == 8  # queue of 2 filled, the rest dropped
+        assert delivered[:2] == [2, 2]
+        assert all(count == 1 for count in delivered[2:])
+
+
+class TestHub:
+    def test_register_unregister(self):
+        async def scenario():
+            hub = TelemetryHub()
+            sub = hub.register()
+            assert len(hub) == 1
+            hub.unregister(sub)
+            return len(hub)
+
+        assert asyncio.run(scenario()) == 0
+
+    def test_publish_respects_filters(self):
+        async def scenario():
+            hub = TelemetryHub()
+            only_two = hub.register()
+            only_two.subscribe(["run-2"], ["metrics", "events"])
+            everyone = hub.register()
+            everyone.subscribe("*", ["metrics", "events"])
+            n_run1 = hub.publish(_frame("run-1"), stream="metrics",
+                                 run_id="run-1")
+            n_control = hub.publish(heartbeat_frame(0.0, []))
+            return n_run1, n_control
+
+        n_run1, n_control = asyncio.run(scenario())
+        assert n_run1 == 1
+        assert n_control == 2
+
+    def test_frames_iterator_ends_on_shutdown(self):
+        async def scenario():
+            hub = TelemetryHub()
+            sub = hub.register()
+            sub.subscribe("*", ["metrics"])
+            sub.offer(_frame(seq=1))
+            hub.shutdown()
+            return [frame async for frame in sub.frames()]
+
+        frames = asyncio.run(scenario())
+        assert [f["seq"] for f in frames] == [1]
+
+    def test_stats_shape(self):
+        async def scenario():
+            hub = TelemetryHub()
+            sub = hub.register("watcher")
+            sub.subscribe("*", ["metrics"])
+            hub.publish(_frame(), stream="metrics", run_id="run-1")
+            return hub.stats()
+
+        stats = asyncio.run(scenario())
+        assert stats["subscribers"] == 1
+        assert stats["published_total"] == 1
+        (client,) = stats["clients"]
+        assert client["name"] == "watcher"
+        assert client["queued"] == 1

@@ -1,0 +1,106 @@
+"""Wire-vocabulary tests: the closed frame-type set and its validators."""
+
+import pytest
+
+from repro.serve.protocol import (
+    CLIENT_FRAME_TYPES,
+    SERVER_FRAME_TYPES,
+    STREAM_KINDS,
+    ProtocolError,
+    decode_frame,
+    drops_frame,
+    encode_frame,
+    error_frame,
+    events_frame,
+    heartbeat_frame,
+    hello_frame,
+    metrics_delta_frame,
+    parse_client_frame,
+    run_row,
+    run_update_frame,
+)
+
+
+class TestVocabulary:
+    def test_sets_are_disjoint(self):
+        assert not SERVER_FRAME_TYPES & CLIENT_FRAME_TYPES
+
+    def test_constructors_cover_every_server_type(self):
+        frames = [
+            hello_frame([]),
+            run_update_frame({"run_id": "run-1"}),
+            metrics_delta_frame("run-1", 1, []),
+            events_frame("run-1", 1, []),
+            drops_frame(3),
+            heartbeat_frame(1.5, []),
+            error_frame("nope"),
+        ]
+        assert {f["type"] for f in frames} == set(SERVER_FRAME_TYPES)
+
+    def test_streams_are_the_two_telemetry_kinds(self):
+        assert STREAM_KINDS == {"metrics", "events"}
+
+
+class TestEncodeDecode:
+    def test_roundtrip(self):
+        frame = metrics_delta_frame("run-1", 7, [{"name": "x", "value": 1}])
+        assert decode_frame(encode_frame(frame)) == frame
+
+    def test_encode_rejects_unknown_type(self):
+        with pytest.raises(ProtocolError):
+            encode_frame({"type": "gossip"})
+
+    def test_decode_rejects_bad_json(self):
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            decode_frame("{nope")
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            decode_frame("[1, 2]")
+
+    def test_decode_rejects_unknown_type(self):
+        with pytest.raises(ProtocolError, match="unknown frame type"):
+            decode_frame('{"type": "gossip"}')
+
+
+class TestParseClientFrame:
+    def test_subscribe_defaults(self):
+        frame = parse_client_frame('{"type": "subscribe"}')
+        assert frame["runs"] == "*"
+        assert frame["streams"] == ["events", "metrics"]
+
+    def test_subscribe_normalizes_selections(self):
+        frame = parse_client_frame(
+            '{"type": "subscribe", "runs": ["run-2"],'
+            ' "streams": ["metrics"]}'
+        )
+        assert frame["runs"] == ["run-2"]
+        assert frame["streams"] == ["metrics"]
+
+    def test_subscribe_rejects_bad_runs(self):
+        with pytest.raises(ProtocolError, match="subscribe.runs"):
+            parse_client_frame('{"type": "subscribe", "runs": 7}')
+
+    def test_subscribe_rejects_unknown_stream(self):
+        with pytest.raises(ProtocolError, match="subscribe.streams"):
+            parse_client_frame(
+                '{"type": "subscribe", "streams": ["logs"]}'
+            )
+
+    def test_server_frame_from_client_is_rejected(self):
+        with pytest.raises(ProtocolError, match="server frame"):
+            parse_client_frame('{"type": "heartbeat", "uptime_s": 0}')
+
+
+class TestRunRow:
+    def test_minimal_row(self):
+        row = run_row("run-1", "simulate", "pending", {"nodes": 8})
+        assert row == {"run_id": "run-1", "kind": "simulate",
+                       "state": "pending", "spec": {"nodes": 8}}
+
+    def test_optional_fields_appear_when_set(self):
+        row = run_row("run-1", "sweep", "failed", {}, progress={"epoch": 3},
+                      result={"points": []}, error="boom")
+        assert row["progress"] == {"epoch": 3}
+        assert row["result"] == {"points": []}
+        assert row["error"] == "boom"

@@ -1,0 +1,269 @@
+"""End-to-end service demo: HTTP-submitted jobs streaming live frames.
+
+The acceptance scenario for ``sirius-repro serve``: start the service,
+submit two simulate jobs over plain HTTP, and watch both stream metric
+deltas and trace events over one websocket while they run concurrently.
+Being observed must change the simulated results not at all, and the
+wall-clock cost of live observation stays under 10%.
+"""
+
+import asyncio
+import gc
+import json
+import time
+
+import pytest
+
+from repro.perf.sweep import run_sirius_job
+from repro.serve.app import TelemetryServer
+from repro.serve.jobs import SIMULATE_DEFAULTS, _point_summary, _simulate_job
+from repro.serve.protocol import decode_frame
+from repro.serve.websocket import client_handshake
+
+_SUBSCRIBE = json.dumps(
+    {"type": "subscribe", "runs": "*", "streams": ["metrics", "events"]}
+)
+
+
+async def _http_json(host, port, method, path, payload=None):
+    """One HTTP exchange over a fresh connection; returns (status, body)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+    head = (
+        f"{method} {path} HTTP/1.1\r\n"
+        f"Host: {host}:{port}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Content-Type: application/json\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    )
+    writer.write(head.encode("latin-1") + body)
+    await writer.drain()
+    raw = await reader.read(-1)
+    writer.close()
+    header, _, payload_bytes = raw.partition(b"\r\n\r\n")
+    status = int(header.split(b" ", 2)[1])
+    return status, json.loads(payload_bytes) if payload_bytes else None
+
+
+async def _wait_finished(run, timeout: float = 60.0) -> None:
+    await asyncio.wait_for(run.wait_finished(), timeout)
+
+
+def _comparable(summary):
+    return {k: v for k, v in summary.items()
+            if k not in ("label", "sim_wall_s", "duration_s")}
+
+
+class TestTwoConcurrentJobs:
+    def test_http_submission_streams_live_frames_for_both(self):
+        async def scenario():
+            async with TelemetryServer(
+                port=0, sample_interval_s=0.02
+            ) as server:
+                host, port = server.host, server.port
+                reader, writer = await asyncio.open_connection(host, port)
+                ws = await client_handshake(
+                    reader, writer, host=f"{host}:{port}"
+                )
+                await ws.send_text(_SUBSCRIBE)
+
+                status_a, job_a = await _http_json(
+                    host, port, "POST", "/api/jobs",
+                    {"kind": "simulate",
+                     "params": {"flows": 300, "seed": 3}},
+                )
+                status_b, job_b = await _http_json(
+                    host, port, "POST", "/api/jobs",
+                    {"kind": "simulate",
+                     "params": {"flows": 300, "seed": 4, "load": 0.75}},
+                )
+                ids = {job_a["run_id"], job_b["run_id"]}
+
+                frames = []
+                done = set()
+
+                async def collect():
+                    while done != ids:
+                        text = await ws.recv()
+                        if text is None:
+                            return
+                        frame = decode_frame(text)
+                        frames.append(frame)
+                        if (frame["type"] == "run.update"
+                                and frame["run"]["state"] in
+                                ("done", "failed")):
+                            done.add(frame["run"]["run_id"])
+
+                await asyncio.wait_for(collect(), 60)
+                status_runs, table = await _http_json(
+                    host, port, "GET", "/api/runs"
+                )
+                status_one, one = await _http_json(
+                    host, port, "GET", f"/api/runs/{job_a['run_id']}"
+                )
+                return (status_a, status_b, ids, frames,
+                        status_runs, table, status_one, one)
+
+        (status_a, status_b, ids, frames,
+         status_runs, table, status_one, one) = asyncio.run(scenario())
+
+        assert status_a == 201 and status_b == 201
+        run_a, run_b = sorted(ids)
+
+        # Both jobs streamed live telemetry over the one websocket.
+        metrics_for = lambda rid: [
+            i for i, f in enumerate(frames)
+            if f["type"] == "metrics.delta" and f["run_id"] == rid
+        ]
+        events_for = lambda rid: [
+            f for f in frames
+            if f["type"] == "events" and f["run_id"] == rid
+        ]
+        assert metrics_for(run_a) and metrics_for(run_b)
+        assert events_for(run_a) and events_for(run_b)
+
+        # And concurrently: each run's first delta arrived before the
+        # other run finished — the streams interleave, they don't queue
+        # up behind one another.
+        done_at = {
+            f["run"]["run_id"]: i for i, f in enumerate(frames)
+            if f["type"] == "run.update" and f["run"]["state"] == "done"
+        }
+        assert metrics_for(run_a)[0] < done_at[run_b]
+        assert metrics_for(run_b)[0] < done_at[run_a]
+
+        # No run failed, and the HTTP view agrees when the dust settles.
+        assert not any(f["type"] == "run.update"
+                       and f["run"]["state"] == "failed" for f in frames)
+        assert status_runs == 200
+        by_id = {row["run_id"]: row for row in table["runs"]}
+        assert by_id[run_a]["state"] == "done"
+        assert by_id[run_b]["state"] == "done"
+        assert by_id[run_a]["result"]["completed_flows"] > 0
+        assert status_one == 200
+        assert one["metrics"], "per-run snapshot endpoint returned no metrics"
+
+        # Each delta frame carries real samples with the run gauges.
+        sampled_names = {
+            sample["name"]
+            for f in frames if f["type"] == "metrics.delta"
+            for sample in f["samples"]
+        }
+        assert "run_epoch" in sampled_names
+        assert "net_delivered_bits" in sampled_names
+
+
+class TestObserverNeutrality:
+    def test_served_run_matches_direct_execution_exactly(self):
+        params = {"flows": 300, "seed": 11}
+
+        async def scenario():
+            async with TelemetryServer(
+                port=0, sample_interval_s=0.02
+            ) as server:
+                run = server.pool.submit("simulate", dict(params))
+                await _wait_finished(run)
+                # Drain the final sample so the full pipeline ran.
+                await asyncio.sleep(0.1)
+                return run
+
+        run = asyncio.run(scenario())
+        assert run.state == "done"
+
+        direct = run_sirius_job(_simulate_job(
+            {**SIMULATE_DEFAULTS, **params}, label="direct"
+        ))
+        assert _comparable(run.result) == _comparable(
+            _point_summary(direct)
+        )
+
+
+# Timing guard: like tests/obs/test_overhead.py, take the best of
+# _REPS runs per side and allow _ATTEMPTS tries, so a scheduler hiccup
+# cannot fail the suite while a real regression still does.
+_REPS = 3
+_ATTEMPTS = 3
+_MAX_OVERHEAD = 0.10
+
+
+class TestStreamingOverhead:
+    def test_attached_observer_costs_under_ten_percent(self):
+        # Baseline: the identical live-instrumented execution with no
+        # service attached.  (The cost of instrumentation itself over a
+        # bare run is guarded separately by tests/obs/test_overhead.py's
+        # no-op check; this test pins the *streaming* layer — tap
+        # pushes, sampler ticks, frame encoding, a reading websocket
+        # client — all sharing the process with the epoch loop.)
+        params = {"flows": 300, "seed": 5}
+        job = _simulate_job({**SIMULATE_DEFAULTS, **params},
+                            label="baseline")
+
+        def best_direct():
+            from repro.obs import Observation
+
+            best = float("inf")
+            for _ in range(_REPS):
+                obs = Observation.live(
+                    sample_every=int(SIMULATE_DEFAULTS["sample_every"]),
+                    max_events=int(SIMULATE_DEFAULTS["max_events"]),
+                )
+                gc.collect()
+                started = time.perf_counter()
+                run_sirius_job(job, obs=obs)
+                best = min(best, time.perf_counter() - started)
+            return best
+
+        async def one_served():
+            async with TelemetryServer(port=0) as server:
+                host, port = server.host, server.port
+                reader, writer = await asyncio.open_connection(host, port)
+                ws = await client_handshake(
+                    reader, writer, host=f"{host}:{port}"
+                )
+                await ws.send_text(_SUBSCRIBE)
+
+                # The watcher reads every frame but does not JSON-parse
+                # them: on a single-core box the in-process client's
+                # decoding would be billed to the simulation too, and
+                # this guard is about the server-side streaming cost.
+                async def pump():
+                    while await ws.recv() is not None:
+                        pass
+
+                pump_task = asyncio.ensure_future(pump())
+                run = server.pool.submit("simulate", dict(params))
+                await _wait_finished(run)
+                pump_task.cancel()
+                return run.result["sim_wall_s"]
+
+        def best_served():
+            best = float("inf")
+            for _ in range(_REPS):
+                gc.collect()
+                best = min(best, asyncio.run(one_served()))
+            return best
+
+        # Accumulate the best observation of each side across attempts:
+        # min-over-all-reps is the least noisy estimate of true cost on
+        # a busy (and possibly single-core) CI box.  Cycle collection
+        # is off for the timed region: gc pauses scale with the live
+        # heap, which is far larger with a server attached, and that
+        # asymmetry is not the overhead this guard is about.
+        base = served = float("inf")
+        gc.disable()
+        try:
+            for _ in range(_ATTEMPTS):
+                base = min(base, best_direct())
+                served = min(served, best_served())
+                if served <= base * (1 + _MAX_OVERHEAD):
+                    break
+            else:
+                pytest.fail(
+                    f"streaming overhead too high: served {served:.4f}s "
+                    f"vs direct {base:.4f}s "
+                    f"({(served / base - 1) * 100:.1f}% > "
+                    f"{_MAX_OVERHEAD * 100:.0f}%)"
+                )
+        finally:
+            gc.enable()

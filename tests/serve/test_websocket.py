@@ -1,0 +1,177 @@
+"""RFC 6455 conformance of the stdlib websocket layer.
+
+Covers the handshake accept-key (against the RFC's published vector),
+the frame codec at each length tier, client masking, fragmentation
+reassembly, control-frame rules, and a loopback conversation over real
+asyncio streams.
+"""
+
+import asyncio
+import struct
+
+import pytest
+
+from repro.serve.websocket import (
+    MAX_MESSAGE_BYTES,
+    OP_CLOSE,
+    OP_CONT,
+    OP_PING,
+    OP_TEXT,
+    WebSocket,
+    WebSocketError,
+    accept_key,
+    decode_frame_header,
+    encode_frame,
+)
+
+
+class TestAcceptKey:
+    def test_rfc_6455_published_vector(self):
+        # RFC 6455 §1.3's worked example.
+        assert (accept_key("dGhlIHNhbXBsZSBub25jZQ==")
+                == "s3pPLMBiTxaQ9kYGzzhZRbK+xOo=")
+
+
+class TestFrameCodec:
+    @pytest.mark.parametrize("size", [0, 1, 125, 126, 65_535, 65_536])
+    def test_length_tiers_roundtrip(self, size):
+        payload = bytes(size % 251 for _ in range(size))
+        wire = encode_frame(OP_TEXT, payload)
+        fin, opcode, masked, base = decode_frame_header(wire[0], wire[1])
+        assert fin and opcode == OP_TEXT and not masked
+        if size < 126:
+            assert base == size
+            assert wire[2:] == payload
+        elif size < (1 << 16):
+            assert base == 126
+            assert struct.unpack(">H", wire[2:4])[0] == size
+        else:
+            assert base == 127
+            assert struct.unpack(">Q", wire[2:10])[0] == size
+
+    def test_masked_frame_hides_payload_on_the_wire(self):
+        payload = b"telemetry"
+        wire = encode_frame(OP_TEXT, payload, mask=True)
+        assert payload not in wire
+        key = wire[2:6]
+        unmasked = bytes(b ^ key[i % 4]
+                         for i, b in enumerate(wire[6:]))
+        assert unmasked == payload
+
+    def test_reserved_bits_rejected(self):
+        with pytest.raises(WebSocketError, match="reserved"):
+            decode_frame_header(0x80 | 0x40 | OP_TEXT, 0)
+
+
+class _SinkWriter:
+    """Collects writes in memory; satisfies the StreamWriter surface."""
+
+    def __init__(self):
+        self.sent = []
+
+    def write(self, data):
+        self.sent.append(bytes(data))
+
+    async def drain(self):
+        pass
+
+    def close(self):
+        pass
+
+
+def _recv_from(data: bytes, writer=None):
+    """Run one recv() against a preloaded reader (loop-local setup)."""
+    async def scenario():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        ws = WebSocket(reader, writer or _SinkWriter())
+        return await ws.recv(), ws
+
+    return asyncio.run(scenario())
+
+
+class TestRecv:
+    def test_single_text_message(self):
+        message, _ws = _recv_from(
+            encode_frame(OP_TEXT, "hello".encode(), mask=True)
+        )
+        assert message == "hello"
+
+    def test_fragmented_message_reassembled(self):
+        wire = (encode_frame(OP_TEXT, b"tele", fin=False)
+                + encode_frame(OP_CONT, b"metry", fin=True))
+        assert _recv_from(wire)[0] == "telemetry"
+
+    def test_ping_answered_transparently(self):
+        writer = _SinkWriter()
+        wire = (encode_frame(OP_PING, b"hb")
+                + encode_frame(OP_TEXT, b"after"))
+        message, _ws = _recv_from(wire, writer=writer)
+        assert message == "after"
+        fin, opcode, _masked, length = decode_frame_header(
+            writer.sent[0][0], writer.sent[0][1]
+        )
+        assert opcode == 0xA and length == 2  # pong echoing the payload
+
+    def test_close_frame_returns_none(self):
+        wire = encode_frame(OP_CLOSE, struct.pack(">H", 1000))
+        message, ws = _recv_from(wire)
+        assert message is None
+        assert ws.closed
+
+    def test_eof_mid_stream_returns_none(self):
+        assert _recv_from(b"")[0] is None
+
+    def test_interleaved_message_start_rejected(self):
+        wire = (encode_frame(OP_TEXT, b"a", fin=False)
+                + encode_frame(OP_TEXT, b"b", fin=True))
+        with pytest.raises(WebSocketError, match="inside a fragmented"):
+            _recv_from(wire)
+
+    def test_orphan_continuation_rejected(self):
+        wire = encode_frame(OP_CONT, b"tail", fin=True)
+        with pytest.raises(WebSocketError, match="continuation"):
+            _recv_from(wire)
+
+    def test_fragmented_control_frame_rejected(self):
+        wire = encode_frame(OP_PING, b"x", fin=False)
+        with pytest.raises(WebSocketError, match="control frames"):
+            _recv_from(wire)
+
+    def test_oversized_frame_rejected(self):
+        header = bytearray([0x80 | OP_TEXT, 127])
+        header += struct.pack(">Q", MAX_MESSAGE_BYTES + 1)
+        with pytest.raises(WebSocketError, match="exceeds limit"):
+            _recv_from(bytes(header))
+
+
+class TestLoopback:
+    def test_send_and_receive_over_real_streams(self):
+        async def scenario():
+            server_seen = []
+
+            async def handler(reader, writer):
+                ws = WebSocket(reader, writer)
+                server_seen.append(await ws.recv())
+                await ws.send_text("pong!")
+                await ws.send_close()
+
+            server = await asyncio.start_server(
+                handler, "127.0.0.1", 0
+            )
+            port = server.sockets[0].getsockname()[1]
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", port
+            )
+            client = WebSocket(reader, writer, client_side=True)
+            await client.send_text("ping?")
+            reply = await client.recv()
+            writer.close()
+            server.close()
+            await server.wait_closed()
+            return server_seen, reply
+
+        server_seen, reply = asyncio.run(scenario())
+        assert server_seen == ["ping?"]
+        assert reply == "pong!"
