@@ -440,8 +440,8 @@ class BackendPhaseStructureRule(ProjectRule):
     assume one label vocabulary.  An *epoch loop* here is any function
     whose literal ``.lap("<phase>")`` labels include the core
     ``deliver`` and ``transmit`` pair — which selects the cell
-    simulators and leaves the fluid loop (``advance``/``recompute``)
-    alone.  A loop missing a label its sibling backends profile has
+    simulators and leaves the fluid loops
+    (``advance``/``recompute``/``settle``) alone.  A loop missing a label its sibling backends profile has
     either dropped a phase or renamed it; both break the cross-backend
     comparison.
     """

@@ -12,8 +12,15 @@ hot packages (``repro.core``, ``repro.sim``):
 * ``P502 list-copy-in-loop`` — ``list(name)`` / ``list(obj.attr)``
   inside a loop body; hoist the snapshot out of the loop or iterate
   the container directly.
+* ``P503 invariant-mapping-in-loop`` — a dict/set comprehension (or
+  ``dict(name)``/``set(name)`` copy) inside a loop body whose free
+  names the loop never rebinds or mutates: the mapping is rebuilt
+  identically on every iteration.  This is the shape the fluid
+  simulator's event loop used to have — per-resource membership dicts
+  reconstructed from the full flow list on every event — before the
+  incremental engine made that state persistent.
 
-Both rules look only at loop *bodies* (and ``else`` clauses): a
+The rules look only at loop *bodies* (and ``else`` clauses): a
 ``for x in list(d):`` header at function top level is the standard
 snapshot-before-mutation idiom and is evaluated once, so it does not
 fire.  Presentation layers and tests are out of scope, as with the
@@ -23,13 +30,14 @@ fire.  Presentation layers and tests are out of scope, as with the
 from __future__ import annotations
 
 import ast
-from typing import Iterator
+from typing import Iterator, Optional
 
 from repro.checks.engine import FileContext, Finding, Rule, parent_of
 
 __all__ = [
     "PopZeroInLoopRule",
     "ListCopyInLoopRule",
+    "InvariantMappingInLoopRule",
     "PERF_RULES",
 ]
 
@@ -125,4 +133,115 @@ class ListCopyInLoopRule(Rule):
                 )
 
 
-PERF_RULES = [PopZeroInLoopRule(), ListCopyInLoopRule()]
+def _comprehension_free_names(node: ast.AST) -> set:
+    """Names a comprehension reads from its enclosing scope.
+
+    Every ``Name`` loaded inside the node, minus the comprehension's
+    own targets (which are local to it).
+    """
+    bound = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.comprehension):
+            for target in ast.walk(sub.target):
+                if isinstance(target, ast.Name):
+                    bound.add(target.id)
+    free = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load):
+            if sub.id not in bound:
+                free.add(sub.id)
+    return free
+
+
+def _names_touched_by_loop(loop: ast.AST) -> set:
+    """Names the loop may rebind or mutate on some iteration.
+
+    Conservative: a name counts as touched when it is an assignment /
+    ``for`` / ``with`` / walrus target, augmented-assigned, deleted,
+    stored through (``name.attr = ...``, ``name[k] = ...``), or the
+    receiver of any method call (``name.update(...)`` — we cannot tell
+    mutators from readers, so any method call disqualifies).
+    """
+    touched = set()
+
+    def roots_of(target: ast.AST) -> Iterator[str]:
+        for sub in ast.walk(target):
+            if isinstance(sub, ast.Name):
+                yield sub.id
+
+    for sub in ast.walk(loop):
+        if isinstance(sub, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = (sub.targets if isinstance(sub, ast.Assign)
+                       else [sub.target])
+            for target in targets:
+                touched.update(roots_of(target))
+        elif isinstance(sub, (ast.For, ast.AsyncFor)):
+            touched.update(roots_of(sub.target))
+        elif isinstance(sub, ast.withitem) and sub.optional_vars:
+            touched.update(roots_of(sub.optional_vars))
+        elif isinstance(sub, ast.NamedExpr):
+            touched.add(sub.target.id)
+        elif isinstance(sub, ast.Delete):
+            for target in sub.targets:
+                touched.update(roots_of(target))
+        elif (isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)):
+            for root in roots_of(sub.func.value):
+                touched.add(root)
+    return touched
+
+
+class InvariantMappingInLoopRule(Rule):
+    """Flag loop-invariant dict/set rebuilds inside loop bodies."""
+
+    code = "P503"
+    name = "invariant-mapping-in-loop"
+    description = ("loop-invariant dict/set rebuilt inside a loop body "
+                   "in repro.core/repro.sim")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not _in_hot_path(ctx):
+            return
+        for node in ctx.walk():
+            if isinstance(node, (ast.DictComp, ast.SetComp)):
+                free = _comprehension_free_names(node)
+            elif (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id in ("dict", "set")
+                    and len(node.args) == 1
+                    and not node.keywords
+                    and isinstance(node.args[0],
+                                   (ast.Name, ast.Attribute))):
+                free = _comprehension_free_names(node.args[0])
+            else:
+                continue
+            if not free:
+                continue
+            loop = self._enclosing_loop(node)
+            if loop is None:
+                continue
+            if free & _names_touched_by_loop(loop):
+                continue
+            yield self.finding(
+                ctx, node,
+                "dict/set rebuilt from loop-invariant inputs on every "
+                "iteration; hoist it above the loop or keep it as "
+                "persistent state updated in place",
+            )
+
+    @staticmethod
+    def _enclosing_loop(node: ast.AST) -> "Optional[ast.AST]":
+        """Innermost loop whose body/else contains ``node``, if any."""
+        child: ast.AST = node
+        parent = parent_of(child)
+        while parent is not None:
+            if isinstance(parent, _LOOPS):
+                for stmt in (*parent.body, *parent.orelse):
+                    if stmt is child:
+                        return parent
+            child, parent = parent, parent_of(parent)
+        return None
+
+
+PERF_RULES = [PopZeroInLoopRule(), ListCopyInLoopRule(),
+              InvariantMappingInLoopRule()]

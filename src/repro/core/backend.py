@@ -34,10 +34,16 @@ from typing import Optional
 
 from repro.core.fastpath import FAST_PATH_ENV, _OFF_VALUES
 
-__all__ = ["BACKENDS", "BACKEND_ENV", "resolve_backend"]
+__all__ = ["BACKENDS", "BACKEND_ENV", "FLUID_BACKENDS",
+           "resolve_backend", "resolve_fluid_backend"]
 
 #: The selectable epoch-loop strategies, in reference-first order.
 BACKENDS = ("reference", "fast", "vectorized")
+
+#: The fluid simulator's event-loop strategies (see
+#: :mod:`repro.sim.fluid`): the from-scratch ``reference`` rebuild and
+#: the persistent-state ``incremental`` engine.
+FLUID_BACKENDS = ("reference", "incremental")
 
 #: Environment variable consulted when no explicit backend is given.
 BACKEND_ENV = "REPRO_BACKEND"
@@ -75,3 +81,43 @@ def resolve_backend(backend: Optional[str] = None,
         return ("reference" if legacy.strip().lower() in _OFF_VALUES
                 else "fast")
     return "fast"
+
+
+def resolve_fluid_backend(backend: Optional[str] = None,
+                          fast_path: Optional[bool] = None) -> str:
+    """Resolve the fluid simulator's event-loop strategy.
+
+    Same precedence ladder as :func:`resolve_backend`, mapped onto the
+    fluid simulator's two strategies: an explicit ``backend=`` wins,
+    then the legacy ``fast_path`` boolean (``True`` → ``incremental``,
+    ``False`` → ``reference``), then ``REPRO_BACKEND`` (``reference``
+    selects the reference loop; any other known backend name —
+    ``incremental``, or the cell simulator's ``fast``/``vectorized``,
+    so one environment variable steers both simulators — selects the
+    incremental engine), then ``REPRO_FAST_PATH``, then the
+    ``incremental`` default.
+    """
+    if backend is not None:
+        name = backend.strip().lower()
+        if name not in FLUID_BACKENDS:
+            raise ValueError(
+                f"unknown fluid backend {backend!r}; "
+                f"expected one of {FLUID_BACKENDS}"
+            )
+        return name
+    if fast_path is not None:
+        return "incremental" if fast_path else "reference"
+    env = os.environ.get(BACKEND_ENV)
+    if env is not None and env.strip():
+        name = env.strip().lower()
+        if name not in FLUID_BACKENDS and name not in BACKENDS:
+            raise ValueError(
+                f"{BACKEND_ENV}={env!r} is not a backend; expected one "
+                f"of {FLUID_BACKENDS} or {BACKENDS}"
+            )
+        return "reference" if name == "reference" else "incremental"
+    legacy = os.environ.get(FAST_PATH_ENV)
+    if legacy is not None:
+        return ("reference" if legacy.strip().lower() in _OFF_VALUES
+                else "incremental")
+    return "incremental"

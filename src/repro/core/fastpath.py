@@ -22,12 +22,14 @@ Resolution order for which path a network uses:
    ``off`` select the reference path);
 3. the fast path.
 
-For the cell simulator this boolean is now the legacy spelling of a
-three-way choice: :mod:`repro.core.backend` generalizes it to named
-backends (``reference``/``fast``/``vectorized``) and gives explicit
-``backend=`` arguments and ``REPRO_BACKEND`` precedence over the
-toggles defined here.  The fluid simulator still uses this module
-directly — it has no vectorized backend.
+This boolean is now the legacy spelling of a named-backend choice:
+:mod:`repro.core.backend` generalizes it for the cell simulator
+(``reference``/``fast``/``vectorized``, via ``resolve_backend``) and
+for the fluid simulator (``reference``/``incremental``, via
+``resolve_fluid_backend``), giving explicit ``backend=`` arguments and
+``REPRO_BACKEND`` precedence over the toggles defined here.  Both
+resolvers still honor ``fast_path=``/``REPRO_FAST_PATH`` as the
+two-way fallback.
 """
 
 from __future__ import annotations

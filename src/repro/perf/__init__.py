@@ -7,13 +7,15 @@
 * :mod:`repro.perf.bench` — the ``sirius-repro bench`` harness: a
   pinned scenario matrix timing the cell simulator's three backends
   (``reference``/``fast``/``vectorized``), the vectorized backend at
-  paper scale (512/4096 nodes), the fluid simulator and an end-to-end
-  sweep, snapshotted to ``BENCH_<date>.json``.
+  paper scale (512/4096 nodes), both fluid event-loop backends
+  (``reference``/``incremental``) and an end-to-end sweep,
+  snapshotted to ``BENCH_<date>.json``.
 """
 
 from repro.perf.bench import (
     BENCH_SCHEMA,
     BENCH_SCHEMA_V1,
+    BENCH_SCHEMA_V2,
     VECTORIZED_4096_RSS_BUDGET_KB,
     run_bench,
     validate_payload,
@@ -32,6 +34,7 @@ from repro.perf.sweep import (
 __all__ = [
     "BENCH_SCHEMA",
     "BENCH_SCHEMA_V1",
+    "BENCH_SCHEMA_V2",
     "VECTORIZED_4096_RSS_BUDGET_KB",
     "FluidSweepJob",
     "ParallelSweepRunner",

@@ -15,7 +15,12 @@ committed files rather than a guess:
   scale: a sparse workload spread over a pinned 10k-epoch budget,
   the runs EXPERIMENTS.md's Fig 9-at-scale recipe is built on.
   Skipped under ``--quick``.
-* ``fluid_events`` — the max-min fluid simulator's event loop.
+* ``fluid_events[reference|incremental]`` — the max-min fluid
+  simulator's event loop, once per backend on the same seeded
+  workload.  Fluid records carry an explicit ``events_per_s`` field
+  (``cells_per_s`` is pinned to zero — the fluid model has no cells),
+  and the payload's ``fluid_speedup`` headline is the incremental /
+  reference ``events_per_s`` ratio.
 * ``sweep_e2e`` — an end-to-end load sweep through
   :class:`repro.perf.ParallelSweepRunner`, the shape the benchmark
   suite runs all day.
@@ -57,6 +62,7 @@ from repro.workload import FlowWorkload, WorkloadConfig
 __all__ = [
     "BENCH_SCHEMA",
     "BENCH_SCHEMA_V1",
+    "BENCH_SCHEMA_V2",
     "VECTORIZED_4096_RSS_BUDGET_KB",
     "run_bench",
     "validate_payload",
@@ -64,9 +70,12 @@ __all__ = [
 ]
 
 #: Schema tag of the emitted JSON; bump on incompatible layout changes.
-BENCH_SCHEMA = "sirius-bench/2"
-#: Previous tag, still accepted by :func:`validate_payload` so committed
-#: v1 baselines keep validating (they lack the vectorized scenarios).
+BENCH_SCHEMA = "sirius-bench/3"
+#: Previous tags, still accepted by :func:`validate_payload` so
+#: committed baselines keep validating (v1 lacks the vectorized
+#: scenarios; v2 has a single ``fluid_events`` record whose
+#: ``cells_per_s`` counted completed flows and no ``events_per_s``).
+BENCH_SCHEMA_V2 = "sirius-bench/2"
 BENCH_SCHEMA_V1 = "sirius-bench/1"
 
 #: Pinned scenario scale (full / --quick).
@@ -78,7 +87,14 @@ MICRO_FLOWS, MICRO_FLOWS_QUICK = 300, 80
 #: epoch while the active-set fast path pays only for live state.
 MICRO_LOAD = 0.002
 MICRO_MEAN_FLOW_BITS = 20 * KILOBYTE
-FLUID_NODES, FLUID_FLOWS = 64, 2000
+#: Fluid matrix scale: large enough that the O(steps × resources)
+#: reference rebuild and the O(touched) incremental engine separate
+#: clearly (the ``fluid_speedup`` acceptance ratio is measured here).
+#: ``--quick`` shrinks to a sub-100ms workload.
+FLUID_NODES, FLUID_FLOWS = 512, 800
+FLUID_NODES_QUICK, FLUID_FLOWS_QUICK = 16, 60
+#: The fluid event-loop strategies, ratio-denominator first.
+FLUID_BACKENDS_BENCH = ("reference", "incremental")
 SWEEP_LOADS = (0.1, 0.25, 0.5)
 SWEEP_FLOWS, SWEEP_FLOWS_QUICK = 400, 80
 
@@ -196,25 +212,40 @@ def _bench_scale() -> List[Dict[str, object]]:
     return records
 
 
-def _bench_fluid(quick: bool) -> Dict[str, object]:
-    nodes = MICRO_NODES_QUICK if quick else FLUID_NODES
-    n_flows = MICRO_FLOWS_QUICK if quick else FLUID_FLOWS
+def _bench_fluid(quick: bool) -> List[Dict[str, object]]:
+    nodes = FLUID_NODES_QUICK if quick else FLUID_NODES
+    n_flows = FLUID_FLOWS_QUICK if quick else FLUID_FLOWS
     bandwidth = 4e11
-    net = FluidNetwork(nodes, bandwidth)
-    flows = FlowWorkload(WorkloadConfig(
-        n_nodes=nodes, load=0.5, node_bandwidth_bps=bandwidth,
-        mean_flow_bits=100 * KILOBYTE, truncation_bits=2 * MEGABYTE,
-        seed=7,
-    )).generate(n_flows)
-    t0 = time.perf_counter()
-    result = net.run(flows)
-    wall = time.perf_counter() - t0
-    # The fluid model has no cells; count completed flows per second in
-    # the same field so the schema stays uniform (documented in
-    # EXPERIMENTS.md).
-    completed = len(result.completed_flows)
-    return _record("fluid_events", nodes, 0, wall, completed,
-                   events=completed)
+
+    def workload():
+        # Fresh Flow objects per run: FluidNetwork.run stamps
+        # completions into the caller's list.
+        return FlowWorkload(WorkloadConfig(
+            n_nodes=nodes, load=0.5, node_bandwidth_bps=bandwidth,
+            mean_flow_bits=100 * KILOBYTE, truncation_bits=2 * MEGABYTE,
+            seed=7,
+        )).generate(n_flows)
+
+    records = []
+    for variant in FLUID_BACKENDS_BENCH:
+        # Best-of-3, mirroring the micro matrix: the recorded
+        # events_per_s pair feeds the fluid_speedup headline.
+        wall = float("inf")
+        for _ in range(3):
+            net = FluidNetwork(nodes, bandwidth, backend=variant)
+            flows = workload()
+            t0 = time.perf_counter()
+            result = net.run(flows)
+            wall = min(wall, time.perf_counter() - t0)
+        # The fluid model has no cells — cells_per_s is pinned to 0
+        # and throughput lives in the explicit events_per_s field.
+        records.append(_record(
+            f"fluid_events[{variant}]", nodes, 0, wall, 0,
+            backend=variant, events=result.events,
+            events_per_s=round(result.events / wall, 1) if wall else 0.0,
+            completed_flows=len(result.completed_flows),
+        ))
+    return records
 
 
 def _bench_sweep(quick: bool, workers: Optional[int]) -> Dict[str, object]:
@@ -244,7 +275,7 @@ def run_bench(*, quick: bool = False,
     """Run the pinned scenario matrix; returns the JSON-ready payload."""
     records: List[Dict[str, object]] = []
     records.extend(_bench_micro(quick))
-    records.append(_bench_fluid(quick))
+    records.extend(_bench_fluid(quick))
     records.append(_bench_sweep(quick, workers))
     if not quick:
         records.extend(_bench_scale())
@@ -254,6 +285,10 @@ def run_bench(*, quick: bool = False,
                if r["scenario"] == "micro_epoch_loop[reference]")
     vec = next(r for r in records
                if r["scenario"] == "micro_epoch_loop[vectorized]")
+    fluid_ref = next(r for r in records
+                     if r["scenario"] == "fluid_events[reference]")
+    fluid_inc = next(r for r in records
+                     if r["scenario"] == "fluid_events[incremental]")
     payload: Dict[str, object] = {
         "schema": BENCH_SCHEMA,
         "quick": quick,
@@ -266,6 +301,10 @@ def run_bench(*, quick: bool = False,
         "vectorized_speedup": (
             round(vec["cells_per_s"] / ref["cells_per_s"], 3)
             if ref["cells_per_s"] else 0.0
+        ),
+        "fluid_speedup": (
+            round(fluid_inc["events_per_s"] / fluid_ref["events_per_s"], 3)
+            if fluid_ref["events_per_s"] else 0.0
         ),
         "records": records,
     }
@@ -284,10 +323,10 @@ def validate_payload(payload: Dict[str, object]) -> None:
     (on both a fresh ``--quick`` run and the committed baseline).
     """
     schema = payload.get("schema")
-    if schema not in (BENCH_SCHEMA, BENCH_SCHEMA_V1):
+    accepted = (BENCH_SCHEMA, BENCH_SCHEMA_V2, BENCH_SCHEMA_V1)
+    if schema not in accepted:
         raise ValueError(
-            f"schema mismatch: {schema!r} is neither {BENCH_SCHEMA!r} "
-            f"nor {BENCH_SCHEMA_V1!r}"
+            f"schema mismatch: {schema!r} is not one of {accepted}"
         )
     records = payload.get("records")
     if not isinstance(records, list) or not records:
@@ -308,8 +347,13 @@ def validate_payload(payload: Dict[str, object]) -> None:
             )
     scenarios = [r["scenario"] for r in records]
     required = ["micro_epoch_loop[fast]", "micro_epoch_loop[reference]",
-                "fluid_events", "sweep_e2e"]
+                "sweep_e2e"]
     if schema == BENCH_SCHEMA:
+        required.extend(["fluid_events[reference]",
+                         "fluid_events[incremental]"])
+    else:
+        required.append("fluid_events")
+    if schema in (BENCH_SCHEMA, BENCH_SCHEMA_V2):
         required.append("micro_epoch_loop[vectorized]")
         if not payload.get("quick"):
             required.extend(["scale_512[vectorized]",
@@ -320,6 +364,16 @@ def validate_payload(payload: Dict[str, object]) -> None:
     if "micro_speedup" not in payload:
         raise ValueError("payload missing micro_speedup")
     if schema == BENCH_SCHEMA:
+        for record in records:
+            if not str(record["scenario"]).startswith("fluid_events["):
+                continue
+            if record.get("events_per_s", -1.0) < 0:
+                raise ValueError(
+                    f"record {record['scenario']!r} missing events_per_s"
+                )
+        if "fluid_speedup" not in payload:
+            raise ValueError("payload missing fluid_speedup")
+    if schema in (BENCH_SCHEMA, BENCH_SCHEMA_V2):
         if "vectorized_speedup" not in payload:
             raise ValueError("payload missing vectorized_speedup")
         for record in records:
@@ -346,10 +400,13 @@ def main_text(payload: Dict[str, object]) -> str:
     lines = [f"bench schema {payload['schema']} "
              f"(python {payload['python']})"]
     for record in payload["records"]:
+        rate = (f"events/s={record['events_per_s']:,.0f}"
+                if "events_per_s" in record
+                else f"cells/s={record['cells_per_s']:,.0f}")
         lines.append(
             f"  {record['scenario']:<28} nodes={record['nodes']:<4} "
             f"epochs={record['epochs']:<6} wall={record['wall_s']:.3f}s "
-            f"cells/s={record['cells_per_s']:,.0f} "
+            f"{rate} "
             f"rss={record['peak_rss_kb']}KB"
         )
     lines.append(f"  micro speedup (fast/reference): "
@@ -357,6 +414,9 @@ def main_text(payload: Dict[str, object]) -> str:
     if "vectorized_speedup" in payload:
         lines.append(f"  micro speedup (vectorized/reference): "
                      f"{payload['vectorized_speedup']}x")
+    if "fluid_speedup" in payload:
+        lines.append(f"  fluid speedup (incremental/reference): "
+                     f"{payload['fluid_speedup']}x")
     return "\n".join(lines)
 
 

@@ -117,6 +117,7 @@ class FluidSweepJob:
     mean_flow_bits: float = 100 * KILOBYTE
     workload_seed: int = 2
     fast_path: Optional[bool] = None
+    backend: Optional[str] = None
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -223,7 +224,7 @@ def run_fluid_job(job: FluidSweepJob) -> SweepPoint:
     """Execute one fluid-simulator job (module-level: picklable)."""
     if job.oversubscription is None:
         net = FluidNetwork(job.n_nodes, job.node_bandwidth_bps,
-                           fast_path=job.fast_path)
+                           backend=job.backend, fast_path=job.fast_path)
     else:
         pod = job.pod_size or max(2, job.n_nodes // 4)
         net = FluidNetwork(
@@ -232,6 +233,7 @@ def run_fluid_job(job: FluidSweepJob) -> SweepPoint:
             pod_bandwidth_bps=pod * job.node_bandwidth_bps / (
                 job.oversubscription
             ),
+            backend=job.backend,
             fast_path=job.fast_path,
         )
     workload = _make_workload(

@@ -1,18 +1,20 @@
 """Simulation substrates.
 
-* :mod:`repro.sim.engine` — a minimal discrete-event simulation core
-  (priority-queue event loop) used by the fluid simulator and the
-  time-synchronization experiments.
+* :mod:`repro.sim.engine` — a minimal discrete-event simulation core:
+  a priority-queue event loop (time-synchronization experiments,
+  ad-hoc models) and the keyed completion queue behind the fluid
+  simulator's incremental engine.
 * :mod:`repro.sim.fluid` — an event-driven max-min-fair fluid simulator
   implementing the paper's idealized electrical baselines, ESN (Ideal)
   and ESN-OSUB (Ideal) (§7).
 """
 
-from repro.sim.engine import EventLoop, Event
+from repro.sim.engine import CompletionQueue, EventLoop, Event
 from repro.sim.fluid import FluidNetwork, FluidResult, pod_map_for
 from repro.sim.slotsim import SlotLevelSirius
 
 __all__ = [
+    "CompletionQueue",
     "EventLoop",
     "Event",
     "FluidNetwork",

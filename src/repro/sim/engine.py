@@ -1,15 +1,22 @@
 """A minimal discrete-event simulation engine.
 
-A classic priority-queue event loop: events are ``(time, seq, callback,
-payload)`` entries; callbacks may schedule further events and may cancel
-previously scheduled ones.  The ``seq`` tiebreaker makes simultaneous
-events fire in scheduling order, keeping runs deterministic.
+Two priority-queue primitives share this module:
 
-This is deliberately small — the heavy lifting in this repository is
-done by the epoch-synchronous Sirius simulator
-(:mod:`repro.core.network`) and the fluid baseline
-(:mod:`repro.sim.fluid`); the event loop serves the time-sync
-experiments and any user code that needs ad-hoc event-driven models.
+* :class:`EventLoop` — a classic callback event loop: events are
+  ``(time, seq, callback, payload)`` entries; callbacks may schedule
+  further events and may cancel previously scheduled ones.  The ``seq``
+  tiebreaker makes simultaneous events fire in scheduling order,
+  keeping runs deterministic.  It serves the time-sync experiments and
+  any user code that needs ad-hoc event-driven models.
+* :class:`CompletionQueue` — a keyed min-heap with O(1) stale-entry
+  invalidation, the scheduling core of the fluid simulator's
+  incremental engine (:mod:`repro.sim.fluid`): one live entry per key,
+  superseded entries discarded lazily when they surface at the heap
+  top.  Where ``EventLoop`` cancels by mutating an ``Event`` object it
+  handed out, ``CompletionQueue`` invalidates by key — the natural
+  shape when the producer re-prices entries (a flow's completion
+  instant changes every time its max-min rate does) rather than
+  cancelling one-shot callbacks.
 """
 
 from __future__ import annotations
@@ -17,7 +24,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Hashable, Optional, Tuple
 
 
 @dataclass(order=True)
@@ -103,3 +110,66 @@ class EventLoop:
 
     def __len__(self) -> int:
         return sum(1 for e in self._queue if not e.cancelled)
+
+
+class CompletionQueue:
+    """Keyed min-heap of ``(time, seq)`` entries with lazy invalidation.
+
+    At most one entry per key is *live*: :meth:`push` supersedes the
+    key's previous entry in O(1) (a version bump — the old tuple stays
+    in the heap and is discarded when it reaches the top), so
+    re-pricing a key costs one O(log n) push instead of a heap rebuild.
+    Entries order by ``(time, seq)``; with ``seq`` chosen as a stable
+    per-key index (the fluid simulator uses the flow's arrival index),
+    ties resolve identically to a first-minimum linear scan in
+    insertion order, which is what makes the heap a drop-in,
+    bit-identical replacement for that scan.
+
+    ``len()`` counts live entries only.  Stale tuples are bounded by
+    the number of pushes, not keys, and are reclaimed as they surface.
+    """
+
+    __slots__ = ("_heap", "_current", "_ids", "_live")
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._current: dict = {}
+        self._ids = itertools.count()
+        self._live = 0
+
+    def push(self, time: float, seq: int, key: Hashable) -> None:
+        """Schedule (or re-price) ``key`` at ``time``."""
+        entry = next(self._ids)
+        if key not in self._current:
+            self._live += 1
+        self._current[key] = entry
+        heapq.heappush(self._heap, (time, seq, entry, key))
+
+    def invalidate(self, key: Hashable) -> None:
+        """Drop ``key``'s live entry, if any (idempotent, O(1))."""
+        if self._current.pop(key, None) is not None:
+            self._live -= 1
+
+    def peek(self) -> Optional[Tuple[float, int, Hashable]]:
+        """Earliest live ``(time, seq, key)``, or None; prunes stale
+        entries off the heap top as a side effect."""
+        heap, current = self._heap, self._current
+        while heap:
+            time, seq, entry, key = heap[0]
+            if current.get(key) == entry:
+                return time, seq, key
+            heapq.heappop(heap)
+        return None
+
+    def pop(self) -> Tuple[float, int, Hashable]:
+        """Remove and return the earliest live ``(time, seq, key)``."""
+        item = self.peek()
+        if item is None:
+            raise IndexError("pop from an empty CompletionQueue")
+        heapq.heappop(self._heap)
+        del self._current[item[2]]
+        self._live -= 1
+        return item
+
+    def __len__(self) -> int:
+        return self._live

@@ -142,6 +142,102 @@ class TestListCopyInLoop:
         assert codes(source, CORE) == []
 
 
+class TestInvariantMappingInLoop:
+    def test_invariant_dict_comp_flagged(self):
+        # The shape the incremental fluid engine deleted: membership
+        # dicts rebuilt from the same inputs on every event.
+        source = (
+            "for event in events:\n"
+            "    members = {f: caps[f] for f in flows}\n"
+            "    consume(members)\n"
+        )
+        assert codes(source, SIM) == ["P503"]
+
+    def test_invariant_set_comp_flagged(self):
+        source = (
+            "while pending:\n"
+            "    live = {f for f in flows}\n"
+            "    step(live)\n"
+        )
+        assert codes(source, CORE) == ["P503"]
+
+    def test_invariant_dict_copy_flagged(self):
+        source = (
+            "for event in events:\n"
+            "    cap_left = dict(capacity)\n"
+            "    fill(cap_left)\n"
+        )
+        assert codes(source, SIM) == ["P503"]
+
+    def test_invariant_set_copy_flagged(self):
+        source = (
+            "for event in events:\n"
+            "    todo = set(resources)\n"
+            "    drain(todo)\n"
+        )
+        assert codes(source, SIM) == ["P503"]
+
+    def test_comp_over_loop_variable_allowed(self):
+        # The input is rebound by the loop itself — not invariant.
+        source = (
+            "for batch in batches:\n"
+            "    index = {item.key: item for item in batch}\n"
+        )
+        assert codes(source, SIM) == []
+
+    def test_input_reassigned_in_loop_allowed(self):
+        source = (
+            "for event in events:\n"
+            "    members = {f: caps[f] for f in flows}\n"
+            "    flows = advance(flows)\n"
+        )
+        assert codes(source, SIM) == []
+
+    def test_input_mutated_by_method_allowed(self):
+        # Any method call on an input may mutate it; stay quiet.
+        source = (
+            "for event in events:\n"
+            "    members = {f: caps[f] for f in flows}\n"
+            "    flows.append(event.flow)\n"
+        )
+        assert codes(source, SIM) == []
+
+    def test_input_store_through_subscript_allowed(self):
+        source = (
+            "for event in events:\n"
+            "    cap_left = dict(capacity)\n"
+            "    capacity[event.res] = event.cap\n"
+        )
+        assert codes(source, SIM) == []
+
+    def test_empty_constructor_allowed(self):
+        # set()/dict() with no inputs is a per-iteration accumulator.
+        source = (
+            "for event in events:\n"
+            "    seen = set()\n"
+            "    acc = {}\n"
+        )
+        assert codes(source, SIM) == []
+
+    def test_comp_outside_loop_allowed(self):
+        assert codes("members = {f: 1 for f in flows}\n", SIM) == []
+
+    def test_presentation_layer_allowed(self):
+        source = (
+            "for row in rows:\n"
+            "    table = {c: fmt[c] for c in cols}\n"
+        )
+        assert codes(source, CLI) == []
+
+    def test_suppression_comment_respected(self):
+        source = (
+            "for event in events:\n"
+            "    members = {f: caps[f] for f in flows}"
+            "  # lint: ignore[P503]\n"
+        )
+        assert codes(source, SIM) == []
+
+
 class TestScoping:
     def test_prefix_match_is_exact_package_boundary(self):
         # repro.corelib is NOT repro.core.
@@ -155,3 +251,4 @@ class TestScoping:
         by_code = {rule.code: rule for rule in PERF_RULES}
         assert by_code["P501"].name == "pop-zero-in-loop"
         assert by_code["P502"].name == "list-copy-in-loop"
+        assert by_code["P503"].name == "invariant-mapping-in-loop"

@@ -8,6 +8,7 @@ import pytest
 from repro.perf import (
     BENCH_SCHEMA,
     BENCH_SCHEMA_V1,
+    BENCH_SCHEMA_V2,
     VECTORIZED_4096_RSS_BUDGET_KB,
     run_bench,
     validate_payload,
@@ -37,7 +38,8 @@ class TestQuickRun:
             "micro_epoch_loop[fast]",
             "micro_epoch_loop[reference]",
             "micro_epoch_loop[vectorized]",
-            "fluid_events",
+            "fluid_events[reference]",
+            "fluid_events[incremental]",
             "sweep_e2e",
         }
 
@@ -52,6 +54,21 @@ class TestQuickRun:
     def test_speedups_recorded(self, quick_payload):
         assert quick_payload["micro_speedup"] > 0
         assert quick_payload["vectorized_speedup"] > 0
+        assert quick_payload["fluid_speedup"] > 0
+
+    def test_fluid_records_report_events_per_s(self, quick_payload):
+        fluid = [r for r in quick_payload["records"]
+                 if r["scenario"].startswith("fluid_events[")]
+        assert {r["backend"] for r in fluid} == {
+            "reference", "incremental",
+        }
+        for record in fluid:
+            # Explicit events_per_s; cells_per_s is pinned to zero —
+            # the fluid model has no cells (the old schema leaked
+            # completed flows/s under that key).
+            assert record["events_per_s"] > 0
+            assert record["events"] > 0
+            assert record["cells_per_s"] == 0.0
 
     def test_sweep_reports_real_cell_throughput(self, quick_payload):
         sweep = next(r for r in quick_payload["records"]
@@ -95,9 +112,22 @@ class TestValidation:
 
     def test_rejects_missing_scenario(self, quick_payload):
         records = [r for r in quick_payload["records"]
-                   if r["scenario"] != "fluid_events"]
+                   if r["scenario"] != "fluid_events[incremental]"]
         with pytest.raises(ValueError, match="fluid_events"):
             validate_payload(dict(quick_payload, records=records))
+
+    def test_rejects_fluid_record_without_events_per_s(self, quick_payload):
+        records = [dict(r) for r in quick_payload["records"]]
+        for record in records:
+            record.pop("events_per_s", None)
+        with pytest.raises(ValueError, match="events_per_s"):
+            validate_payload(dict(quick_payload, records=records))
+
+    def test_rejects_v3_payload_without_fluid_speedup(self, quick_payload):
+        bad = dict(quick_payload)
+        bad.pop("fluid_speedup")
+        with pytest.raises(ValueError, match="fluid_speedup"):
+            validate_payload(bad)
 
     def test_rejects_missing_vectorized_scenario(self, quick_payload):
         records = [r for r in quick_payload["records"]
@@ -128,13 +158,32 @@ class TestValidation:
                                   records=records))
 
     def test_accepts_v1_payload_without_vectorized(self, quick_payload):
-        # Committed v1 baselines predate the vectorized backend; they
-        # must keep validating without its scenarios or speedup field.
-        records = [r for r in quick_payload["records"]
-                   if r["scenario"] != "micro_epoch_loop[vectorized]"]
+        # Committed v1 baselines predate the vectorized backend and
+        # the split fluid scenarios; they must keep validating without
+        # those records or speedup fields.
+        records = [dict(r) for r in quick_payload["records"]
+                   if r["scenario"] != "micro_epoch_loop[vectorized]"
+                   and r["scenario"] != "fluid_events[incremental]"]
+        for record in records:
+            if record["scenario"] == "fluid_events[reference]":
+                record["scenario"] = "fluid_events"
         v1 = dict(quick_payload, schema=BENCH_SCHEMA_V1, records=records)
         v1.pop("vectorized_speedup")
+        v1.pop("fluid_speedup")
         validate_payload(v1)
+
+    def test_accepts_v2_payload_with_single_fluid_record(self, quick_payload):
+        # Committed v2 baselines have one fluid_events record with no
+        # events_per_s field and no fluid_speedup headline.
+        records = [dict(r) for r in quick_payload["records"]
+                   if r["scenario"] != "fluid_events[incremental]"]
+        for record in records:
+            if record["scenario"] == "fluid_events[reference]":
+                record["scenario"] = "fluid_events"
+                record.pop("events_per_s")
+        v2 = dict(quick_payload, schema=BENCH_SCHEMA_V2, records=records)
+        v2.pop("fluid_speedup")
+        validate_payload(v2)
 
 
 class TestCommittedBaseline:
@@ -157,8 +206,22 @@ class TestCommittedBaseline:
         assert full, "no full-scale committed baseline"
         for payload in full:
             assert payload["micro_speedup"] >= 2.0
-            if payload["schema"] == BENCH_SCHEMA:
+            if payload["schema"] in (BENCH_SCHEMA, BENCH_SCHEMA_V2):
                 assert payload["vectorized_speedup"] >= 3.0
+
+    def test_baseline_records_fluid_win(self):
+        # The incremental fluid engine's acceptance bar: the committed
+        # full-scale v3 baseline must show >= 10x events/s over the
+        # reference loop on the bench matrix workload.
+        v3 = [
+            json.loads(path.read_text())
+            for path in REPO_ROOT.glob("BENCH_*.json")
+        ]
+        v3 = [p for p in v3
+              if p["schema"] == BENCH_SCHEMA and not p["quick"]]
+        assert v3, "no committed v3 full-scale baseline"
+        for payload in v3:
+            assert payload["fluid_speedup"] >= 10.0
 
     def test_v2_baseline_covers_paper_scale(self):
         v2 = [
@@ -166,8 +229,9 @@ class TestCommittedBaseline:
             for path in REPO_ROOT.glob("BENCH_*.json")
         ]
         v2 = [p for p in v2
-              if p["schema"] == BENCH_SCHEMA and not p["quick"]]
-        assert v2, "no committed v2 full-scale baseline"
+              if p["schema"] in (BENCH_SCHEMA, BENCH_SCHEMA_V2)
+              and not p["quick"]]
+        assert v2, "no committed v2+ full-scale baseline"
         for payload in v2:
             scale = {r["scenario"]: r for r in payload["records"]
                      if r["scenario"].startswith("scale_")}

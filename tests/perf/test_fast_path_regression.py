@@ -46,9 +46,11 @@ def _best_of(backend: str, reps: int = 3) -> float:
 
 
 def test_backends_beat_reference():
-    # Warm-up pass absorbs first-call costs (imports, allocator growth),
-    # then best-of-3 per backend damps scheduler noise.
-    _timed_run("fast")
+    # Warm-up pass per backend absorbs first-call costs (imports,
+    # allocator growth, numpy initialization), then best-of-3 per
+    # backend damps scheduler noise.
+    for backend in ("fast", "vectorized", "reference"):
+        _timed_run(backend)
     fast = _best_of("fast")
     vectorized = _best_of("vectorized")
     reference = _best_of("reference")

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import EventLoop
+from repro.sim import CompletionQueue, EventLoop
 
 
 class TestScheduling:
@@ -99,3 +99,78 @@ class TestControl:
 
         loop.schedule(0.0, reenter)
         loop.run()
+
+
+class TestCompletionQueue:
+    def test_orders_by_time_then_seq(self):
+        q = CompletionQueue()
+        q.push(2.0, 0, "b")
+        q.push(1.0, 1, "a")
+        q.push(2.0, 2, "c")
+        assert q.pop() == (1.0, 1, "a")
+        assert q.pop() == (2.0, 0, "b")
+        assert q.pop() == (2.0, 2, "c")
+
+    def test_tie_resolves_by_seq_like_first_minimum_scan(self):
+        # Bit-equal times: the lower seq (earlier arrival) wins, the
+        # same winner a first-minimum linear scan in insertion order
+        # would pick.
+        q = CompletionQueue()
+        q.push(5.0, 7, "late")
+        q.push(5.0, 3, "early")
+        assert q.pop()[2] == "early"
+
+    def test_push_supersedes_previous_entry(self):
+        q = CompletionQueue()
+        q.push(1.0, 0, "f")
+        q.push(9.0, 0, "f")
+        assert len(q) == 1
+        assert q.pop() == (9.0, 0, "f")
+        assert q.peek() is None
+
+    def test_invalidate_drops_live_entry(self):
+        q = CompletionQueue()
+        q.push(1.0, 0, "f")
+        q.push(2.0, 1, "g")
+        q.invalidate("f")
+        assert len(q) == 1
+        assert q.peek() == (2.0, 1, "g")
+
+    def test_invalidate_is_idempotent_and_tolerates_unknown(self):
+        q = CompletionQueue()
+        q.push(1.0, 0, "f")
+        q.invalidate("f")
+        q.invalidate("f")
+        q.invalidate("never-pushed")
+        assert len(q) == 0
+        assert q.peek() is None
+
+    def test_reprice_after_invalidate(self):
+        q = CompletionQueue()
+        q.push(1.0, 0, "f")
+        q.invalidate("f")
+        q.push(3.0, 0, "f")
+        assert q.pop() == (3.0, 0, "f")
+
+    def test_pop_empty_raises(self):
+        q = CompletionQueue()
+        with pytest.raises(IndexError):
+            q.pop()
+
+    def test_stale_entries_pruned_lazily(self):
+        q = CompletionQueue()
+        for t in (5.0, 4.0, 3.0, 2.0):
+            q.push(t, 0, "f")
+        q.push(1.0, 1, "g")
+        assert len(q) == 2
+        assert q.pop() == (1.0, 1, "g")
+        assert q.pop() == (2.0, 0, "f")
+        assert len(q) == 0
+
+    def test_len_counts_live_only(self):
+        q = CompletionQueue()
+        q.push(1.0, 0, "a")
+        q.push(2.0, 0, "a")
+        q.push(3.0, 1, "b")
+        q.invalidate("b")
+        assert len(q) == 1

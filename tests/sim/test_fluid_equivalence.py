@@ -1,0 +1,322 @@
+"""Incremental-vs-reference fluid engine parity (bit-identical).
+
+The incremental event loop keeps persistent max-min state and a
+completion heap; the reference loop rebuilds everything per event.
+Both execute the same float expressions in the same order, so seeded
+runs must agree *exactly* — every fingerprint comparison here is
+``==`` on floats, no tolerance.  The level-filling allocator both
+loops share is additionally pinned against the retained
+progressive-filling oracle (:meth:`FluidNetwork.maxmin_rates`), to
+relative tolerance, since the two algorithms agree only in exact
+arithmetic.
+"""
+
+import random
+
+import pytest
+
+from repro.core import Flow
+from repro.sim import FluidNetwork, pod_map_for
+from repro.units import KILOBYTE, MEGABYTE
+from repro.workload import FlowWorkload, WorkloadConfig
+
+BANDWIDTH = 4e11
+
+
+def _workload(n_nodes, n_flows, *, load=0.5, seed=5,
+              mean=100 * KILOBYTE, truncation=2 * MEGABYTE):
+    return FlowWorkload(WorkloadConfig(
+        n_nodes=n_nodes,
+        load=load,
+        node_bandwidth_bps=BANDWIDTH,
+        mean_flow_bits=mean,
+        truncation_bits=truncation,
+        seed=seed,
+    )).generate(n_flows)
+
+
+def _fingerprint(result):
+    """Every externally visible field, floats compared exactly."""
+    return (
+        result.duration_s,
+        result.delivered_bits,
+        result.offered_bits,
+        result.events,
+        tuple((f.flow_id, f.completion_time, f.delivered_cells)
+              for f in result.flows),
+    )
+
+
+def _run_pair(flows_factory, *, max_duration_s=None, **net_kwargs):
+    results = []
+    for backend in ("incremental", "reference"):
+        net = FluidNetwork(backend=backend, **net_kwargs)
+        results.append(net.run(flows_factory(),
+                               max_duration_s=max_duration_s))
+    return results
+
+
+class TestSeededParity:
+    """Randomized workloads across the topology/config matrix."""
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_flat_network(self, seed):
+        inc, ref = _run_pair(
+            lambda: _workload(32, 150, seed=seed),
+            n_nodes=32, node_bandwidth_bps=BANDWIDTH,
+        )
+        assert _fingerprint(inc) == _fingerprint(ref)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_oversubscribed_pods(self, seed):
+        # 3:1 oversubscription: pod up/down links are shared, so most
+        # events genuinely re-rate many flows — the worst case for the
+        # incremental engine's touched-set bookkeeping.
+        inc, ref = _run_pair(
+            lambda: _workload(32, 150, seed=seed, load=0.7),
+            n_nodes=32, node_bandwidth_bps=BANDWIDTH,
+            pod_map=pod_map_for(32, 8),
+            pod_bandwidth_bps=8 * BANDWIDTH / 3.0,
+        )
+        assert _fingerprint(inc) == _fingerprint(ref)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_truncated_run(self, seed):
+        # Truncation settles every in-flight flow mid-transfer: the
+        # partial-drain accounting must agree bit-for-bit too.
+        flows = _workload(16, 120, seed=seed)
+        horizon = flows[len(flows) // 2].arrival_time
+        inc, ref = _run_pair(
+            lambda: _workload(16, 120, seed=seed),
+            max_duration_s=horizon,
+            n_nodes=16, node_bandwidth_bps=BANDWIDTH,
+        )
+        assert _fingerprint(inc) == _fingerprint(ref)
+        assert inc.duration_s == horizon
+
+    def test_truncation_before_first_event(self):
+        inc, ref = _run_pair(
+            lambda: [Flow(0, 0, 1, size_bits=1e9, arrival_time=1.0)],
+            max_duration_s=0.5,
+            n_nodes=4, node_bandwidth_bps=BANDWIDTH,
+        )
+        assert _fingerprint(inc) == _fingerprint(ref)
+        assert inc.delivered_bits == 0.0
+
+
+class TestAdversarialShapes:
+    """Hand-built corners the random matrix is unlikely to hit."""
+
+    def test_simultaneous_arrivals_tie_heavy(self):
+        # Many flows arriving at the same instant onto the same
+        # resources: saturation-level ties everywhere, resolved by the
+        # deterministic (level, resource) tie-break in both loops.
+        def flows():
+            out = []
+            for i in range(24):
+                out.append(Flow(i, i % 4, (i % 4 + 1 + i % 3) % 8,
+                                size_bits=10 * KILOBYTE * (1 + i % 5),
+                                arrival_time=0.0))
+            for i in range(24, 36):
+                out.append(Flow(i, i % 8, (i + 5) % 8,
+                                size_bits=25 * KILOBYTE,
+                                arrival_time=1e-6))
+            return out
+        inc, ref = _run_pair(flows, n_nodes=8,
+                             node_bandwidth_bps=BANDWIDTH)
+        assert _fingerprint(inc) == _fingerprint(ref)
+
+    def test_identical_flows_complete_together(self):
+        # Bit-equal completion instants: the reference linear scan
+        # picks the first stored flow; the heap's (time, arrival) key
+        # must pick the same one.
+        def flows():
+            return [Flow(i, 0, 1, size_bits=80 * KILOBYTE,
+                         arrival_time=0.0) for i in range(6)]
+        inc, ref = _run_pair(flows, n_nodes=4,
+                             node_bandwidth_bps=BANDWIDTH)
+        assert _fingerprint(inc) == _fingerprint(ref)
+
+    def test_randomized_same_instant_batches(self):
+        # Arrival batches at repeated instants with random sizes:
+        # stresses arrival-order settle vs heap order.
+        rng = random.Random(11)
+        built = []
+        fid = 0
+        for batch in range(10):
+            at = batch * 5e-6
+            for _ in range(rng.randint(1, 6)):
+                src = rng.randrange(8)
+                dst = (src + 1 + rng.randrange(7)) % 8
+                built.append(Flow(fid, src, dst,
+                                  size_bits=rng.uniform(1, 200) * KILOBYTE,
+                                  arrival_time=at))
+                fid += 1
+        inc, ref = _run_pair(lambda: [Flow(f.flow_id, f.src, f.dst,
+                                           size_bits=f.size_bits,
+                                           arrival_time=f.arrival_time)
+                                      for f in built],
+                             n_nodes=8, node_bandwidth_bps=BANDWIDTH)
+        assert _fingerprint(inc) == _fingerprint(ref)
+
+    def test_self_loops_excluded_by_workload(self):
+        # Degenerate two-node pattern: every flow shares both
+        # resources, so every event re-rates everything.
+        def flows():
+            return [Flow(i, i % 2, (i + 1) % 2,
+                         size_bits=50 * KILOBYTE,
+                         arrival_time=i * 1e-7) for i in range(40)]
+        inc, ref = _run_pair(flows, n_nodes=2,
+                             node_bandwidth_bps=BANDWIDTH)
+        assert _fingerprint(inc) == _fingerprint(ref)
+
+    def test_zero_rate_corner_intra_pod_starvation(self):
+        # A pod link so tight that inter-pod flows are pinned near
+        # zero while intra-pod flows run at line rate.
+        def flows():
+            return (
+                [Flow(i, 0, 1, size_bits=MEGABYTE, arrival_time=0.0)
+                 for i in range(3)]
+                + [Flow(3 + i, 0, 4, size_bits=10 * KILOBYTE,
+                        arrival_time=0.0) for i in range(3)]
+            )
+        inc, ref = _run_pair(
+            flows, n_nodes=8, node_bandwidth_bps=BANDWIDTH,
+            pod_map=pod_map_for(8, 4),
+            pod_bandwidth_bps=BANDWIDTH / 1000.0,
+        )
+        assert _fingerprint(inc) == _fingerprint(ref)
+
+    def test_exactly_zero_rate_flows_never_complete(self):
+        # A zero-capacity pod link pins inter-pod flows at exactly
+        # rate 0 — no completion is ever scheduled for them, and both
+        # loops must terminate with the same partial outcome.
+        def flows():
+            return [
+                Flow(0, 0, 1, size_bits=64 * KILOBYTE, arrival_time=0.0),
+                Flow(1, 0, 4, size_bits=64 * KILOBYTE, arrival_time=0.0),
+            ]
+        inc, ref = _run_pair(
+            flows, n_nodes=8, node_bandwidth_bps=BANDWIDTH,
+            pod_map=pod_map_for(8, 4),
+            pod_bandwidth_bps=0.0,
+        )
+        assert _fingerprint(inc) == _fingerprint(ref)
+        assert [f.flow_id for f in inc.completed_flows] == [0]
+
+    def test_empty_flow_list(self):
+        inc, ref = _run_pair(lambda: [], n_nodes=4,
+                             node_bandwidth_bps=BANDWIDTH)
+        assert _fingerprint(inc) == _fingerprint(ref)
+        assert inc.events == 0
+
+
+class TestLevelFillingOracle:
+    """Both loops' allocator vs verbatim progressive filling."""
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_fill_levels_matches_maxmin_rates(self, seed):
+        rng = random.Random(seed)
+        net = FluidNetwork(
+            16, BANDWIDTH,
+            pod_map=pod_map_for(16, 4),
+            pod_bandwidth_bps=4 * BANDWIDTH / 3.0,
+        )
+        active = {}
+        for fid in range(rng.randint(5, 60)):
+            src = rng.randrange(16)
+            dst = (src + rng.randrange(1, 16)) % 16
+            active[fid] = net._flow_resources(
+                Flow(fid, src, dst, size_bits=KILOBYTE,
+                     arrival_time=0.0)
+            )
+        oracle = net.maxmin_rates(active)
+        levels = net._fill_levels(active)
+        assert set(levels) == set(oracle)
+        for fid, rate in oracle.items():
+            assert levels[fid] == pytest.approx(rate, rel=1e-6)
+
+    def test_oracle_feasibility_of_levels(self):
+        # Level allocations never oversubscribe any resource.
+        net = FluidNetwork(8, BANDWIDTH)
+        active = {
+            fid: net._flow_resources(Flow(fid, fid % 3, 3 + fid % 4,
+                                          size_bits=KILOBYTE,
+                                          arrival_time=0.0))
+            for fid in range(20)
+        }
+        rates = net._fill_levels(active)
+        usage = {}
+        for fid, resources in active.items():
+            for res in resources:
+                usage[res] = usage.get(res, 0.0) + rates[fid]
+        for res, used in usage.items():
+            assert used <= net._capacity(res) * (1 + 1e-9)
+
+
+class TestCompletionTieBreak:
+    """Regression for the single-pass completion scan (satellite fix:
+    the old fast path evaluated its ``min`` key twice per winner)."""
+
+    def test_first_arrived_wins_exact_tie(self):
+        # Two identical flows on disjoint resources complete at the
+        # bit-identical instant; both backends must complete the
+        # earlier-arrived one first (observable through the event
+        # trace ordering being deterministic and fingerprint-equal).
+        def flows():
+            return [
+                Flow(0, 0, 1, size_bits=64 * KILOBYTE, arrival_time=0.0),
+                Flow(1, 2, 3, size_bits=64 * KILOBYTE, arrival_time=0.0),
+            ]
+        inc, ref = _run_pair(flows, n_nodes=4,
+                             node_bandwidth_bps=BANDWIDTH)
+        assert _fingerprint(inc) == _fingerprint(ref)
+        for result in (inc, ref):
+            assert all(f.is_complete for f in result.flows)
+
+    def test_arrival_beats_simultaneous_completion(self):
+        # An arrival at exactly a completion instant: arrivals win in
+        # both loops (`<=` vs the completion head).
+        def flows():
+            return [
+                Flow(0, 0, 1, size_bits=BANDWIDTH * 1e-3,
+                     arrival_time=0.0),
+                Flow(1, 2, 3, size_bits=64 * KILOBYTE,
+                     arrival_time=1e-3),
+            ]
+        inc, ref = _run_pair(flows, n_nodes=4,
+                             node_bandwidth_bps=BANDWIDTH)
+        assert _fingerprint(inc) == _fingerprint(ref)
+
+
+class TestCallerFlowsUsableAfterRun:
+    """``run`` mutates caller Flow objects as documented — and only
+    as documented."""
+
+    def test_flows_are_stamped_and_reusable(self):
+        flows = _workload(8, 40, seed=3)
+        net = FluidNetwork(8, BANDWIDTH)
+        result = net.run(flows)
+        assert result.flows is not flows or result.flows == flows
+        for flow in flows:
+            if flow.is_complete:
+                # The documented fluid-model convention: one
+                # indivisible unit of delivery.
+                assert flow.n_cells == 1
+                assert flow.delivered_cells == 1
+                assert flow.completion_time is not None
+                assert flow.fct >= 0.0
+        # The objects stay usable: FCT stats read them in place...
+        assert result.fct_percentile(50) is not None
+        # ...and a later cell-level run may re-segment them.
+        flow = next(f for f in flows if f.is_complete)
+        assert flow.segment(8 * KILOBYTE) >= 1
+
+    def test_rerun_on_fresh_copies_reproduces(self):
+        flows = _workload(8, 40, seed=3)
+        net = FluidNetwork(8, BANDWIDTH)
+        first = net.run(flows)
+        copies = [Flow(f.flow_id, f.src, f.dst, size_bits=f.size_bits,
+                       arrival_time=f.arrival_time) for f in flows]
+        second = net.run(copies)
+        assert _fingerprint(first) == _fingerprint(second)
