@@ -46,14 +46,22 @@ def load_baseline(path: Path) -> Dict[str, int]:
 def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
     """Persist ``findings`` as the new accepted baseline.
 
-    The output is byte-deterministic for a given finding *set*:
-    fingerprints (``path::rule::snippet``) are sorted, so entries appear
-    ordered by path then rule code regardless of the order rules ran or
-    files were walked, and ``sort_keys`` fixes the envelope key order.
-    Re-running ``--write-baseline`` on an unchanged tree produces an
-    unchanged file — no spurious diffs in review.
+    The output is byte-deterministic for a given finding *set*: entries
+    are ordered by ``(path, rule, line)`` of each fingerprint's first
+    finding (fingerprint string as the tie-break), regardless of the
+    order rules ran or files were walked, and the envelope keys are
+    written in a fixed order — so the file diffs like the source tree
+    reads, and re-running ``--write-baseline`` on an unchanged tree
+    produces a byte-identical file.
     """
     counts = Counter(finding.fingerprint for finding in findings)
+    order: Dict[str, Tuple[str, str, int]] = {}
+    for finding in findings:
+        key = (finding.path, finding.rule, finding.line)
+        previous = order.get(finding.fingerprint)
+        if previous is None or key < previous:
+            order[finding.fingerprint] = key
+    ordered = sorted(counts, key=lambda fp: (*order[fp], fp))
     payload = {
         "version": _FORMAT_VERSION,
         "comment": (
@@ -62,10 +70,9 @@ def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
             "reviewing that every entry is intentional."
         ),
         "count": sum(counts.values()),
-        "fingerprints": {key: counts[key] for key in sorted(counts)},
+        "fingerprints": {key: counts[key] for key in ordered},
     }
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
-                    encoding="utf-8")
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
 
 
 def diff_against_baseline(

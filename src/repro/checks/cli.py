@@ -9,7 +9,9 @@ Usage::
     sirius-lint src/repro --no-baseline        # report *all* findings
     sirius-lint src/repro --write-baseline     # accept current findings
     sirius-lint src/repro --stats              # per-family/pass timings
+    sirius-lint src/repro --stats-json lint-stats.json   # same, as JSON
     sirius-lint src/repro --sarif-out lint.sarif   # CI artifact
+    sirius-lint src/repro --changed-only       # only git-changed files
 
 Exit status: 0 when no *new* findings relative to the baseline (and no
 stale baseline entries), 1 otherwise, 2 on usage errors.
@@ -28,7 +30,7 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.checks.baseline import (
     DEFAULT_BASELINE_NAME,
@@ -52,7 +54,8 @@ try:  # Python >= 3.11
 except ImportError:  # pragma: no cover - 3.9/3.10 fall back to defaults
     tomllib = None
 
-__all__ = ["main", "load_config", "find_project_root"]
+__all__ = ["main", "load_config", "find_project_root",
+           "changed_python_files"]
 
 
 def find_project_root(start: Optional[Path] = None) -> Optional[Path]:
@@ -124,7 +127,73 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="additionally write a SARIF 2.1.0 log of the "
                              "new findings to PATH (CI artifact), whatever "
                              "--format says")
+    parser.add_argument("--stats-json", type=Path, default=None,
+                        metavar="PATH",
+                        help="write machine-readable per-family/per-pass "
+                             "timing and finding-count stats to PATH "
+                             "(companion artifact to --sarif-out)")
+    parser.add_argument("--changed-only", action="store_true",
+                        help="report only findings in files git reports as "
+                             "changed since the merge-base with --diff-base "
+                             "(plus uncommitted and untracked files); "
+                             "cross-file rules still analyze the whole "
+                             "tree, so call-graph closures stay sound")
+    parser.add_argument("--diff-base", type=str, default="main",
+                        metavar="REF",
+                        help="reference branch for --changed-only "
+                             "(default: main)")
     return parser
+
+
+def changed_python_files(root: Path, diff_base: str) -> Optional[List[Path]]:
+    """Python files changed relative to ``merge-base(HEAD, diff_base)``.
+
+    Includes committed changes on the branch, uncommitted edits, and
+    untracked files.  Returns None when ``root`` is not inside a git
+    work tree (the caller reports the usage error); a ``diff_base``
+    with no merge-base (fresh repo, unrelated branch) degrades to
+    diffing against HEAD, so uncommitted work is still linted.
+    """
+    import subprocess
+
+    def git(*cmd: str) -> Optional[str]:
+        try:
+            proc = subprocess.run(["git", *cmd], cwd=root,
+                                  capture_output=True, text=True)
+        except OSError:
+            return None
+        return proc.stdout if proc.returncode == 0 else None
+
+    if git("rev-parse", "--is-inside-work-tree") is None:
+        return None
+    merge_base = git("merge-base", "HEAD", diff_base)
+    rev = merge_base.strip() if merge_base else "HEAD"
+    listed: List[str] = []
+    diff = git("diff", "--name-only", rev)
+    if diff is not None:
+        listed.extend(diff.splitlines())
+    untracked = git("ls-files", "--others", "--exclude-standard")
+    if untracked is not None:
+        listed.extend(untracked.splitlines())
+    top = git("rev-parse", "--show-toplevel")
+    base = Path(top.strip()) if top else root
+    seen = []
+    for name in dict.fromkeys(listed):  # de-dup, keep order
+        if not name.endswith(".py"):
+            continue
+        candidate = base / name
+        if candidate.is_file():
+            seen.append(candidate)
+    return seen
+
+
+def _under(path: Path, parents: List[Path]) -> bool:
+    resolved = path.resolve()
+    for parent in parents:
+        parent = parent.resolve()
+        if resolved == parent or parent in resolved.parents:
+            return True
+    return False
 
 
 def _list_rules() -> str:
@@ -170,8 +239,35 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print("sirius-lint: --select matched no rules", file=sys.stderr)
         return 2
 
-    stats = LintStats() if args.stats else None
+    changed_files: Optional[Set[Path]] = None
+    if args.changed_only:
+        changed = changed_python_files(root or Path.cwd(), args.diff_base)
+        if changed is None:
+            print("sirius-lint: --changed-only needs a git work tree",
+                  file=sys.stderr)
+            return 2
+        # Project rules still analyze every configured path: a method's
+        # read/write closure routinely crosses into unchanged files, and
+        # diffing a partial call graph against the baseline invents
+        # findings.  Only the *report* is narrowed to changed files.
+        changed_files = {path.resolve() for path in changed
+                         if _under(path, paths)}
+        if not changed_files:
+            print("sirius-lint: no changed files under the linted paths")
+            return 0
+
+    stats = LintStats() if (args.stats or args.stats_json) else None
     findings = run_checks(paths, rules, root=root, stats=stats)
+    if changed_files is not None:
+        base = (root or Path.cwd()).resolve()
+        findings = [finding for finding in findings
+                    if (base / finding.path).resolve() in changed_files]
+    if args.stats_json is not None and stats is not None:
+        import json as _json
+
+        args.stats_json.parent.mkdir(parents=True, exist_ok=True)
+        args.stats_json.write_text(
+            _json.dumps(stats.as_dict(), indent=2) + "\n", encoding="utf-8")
 
     baseline_path = args.baseline
     if baseline_path is None:
@@ -196,6 +292,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                   file=sys.stderr)
             return 2
         new, stale = diff_against_baseline(findings, baseline)
+        # A narrowed run produces a narrowed finding set; only entries
+        # the active rules *could* have reproduced count as stale.
+        active_codes = {rule.code for rule in rules}
+        stale = [fp for fp in stale
+                 if fp.split("::")[1:2] and fp.split("::")[1] in active_codes]
+        if args.changed_only:
+            # Findings in unchanged files are filtered out before the
+            # diff; their baseline entries are not stale, just
+            # unreported.
+            stale = []
 
     if args.sarif_out is not None:
         args.sarif_out.parent.mkdir(parents=True, exist_ok=True)

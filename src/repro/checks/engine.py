@@ -436,6 +436,9 @@ class LintStats:
     project_pass_s: float = 0.0
     #: family identifier -> surviving finding count
     findings_per_family: Dict[str, int] = field(default_factory=dict)
+    #: family identifier -> wall time spent in that family's rules
+    #: (both passes; parse time is shared and reported separately)
+    family_s: Dict[str, float] = field(default_factory=dict)
     total_findings: int = 0
 
     @property
@@ -449,6 +452,32 @@ class LintStats:
                 self.findings_per_family.get(family, 0) + 1)
             self.total_findings += 1
 
+    def charge(self, rule: "Rule", seconds: float) -> None:
+        family = rule_family(rule)
+        self.family_s[family] = self.family_s.get(family, 0.0) + seconds
+
+    def as_dict(self) -> Dict[str, object]:
+        """Machine-readable view (``sirius-lint --stats-json``)."""
+        family_order = sorted(set(self.findings_per_family)
+                              | set(self.family_s))
+        return {
+            "files": self.files,
+            "passes_s": {
+                "parse": round(self.parse_s, 6),
+                "file_rules": round(self.file_pass_s, 6),
+                "project_rules": round(self.project_pass_s, 6),
+                "total": round(self.total_s, 6),
+            },
+            "families": {
+                family: {
+                    "findings": self.findings_per_family.get(family, 0),
+                    "rule_s": round(self.family_s.get(family, 0.0), 6),
+                }
+                for family in family_order
+            },
+            "total_findings": self.total_findings,
+        }
+
     def render(self) -> str:
         lines = [
             "lint stats:",
@@ -459,9 +488,11 @@ class LintStats:
             f"  total               {self.total_s:.2f}s",
             f"  findings            {self.total_findings}",
         ]
-        for family in sorted(self.findings_per_family):
-            lines.append(
-                f"    {family + 'xx':<8}{self.findings_per_family[family]}")
+        for family in sorted(set(self.findings_per_family)
+                             | set(self.family_s)):
+            count = self.findings_per_family.get(family, 0)
+            spent = self.family_s.get(family, 0.0)
+            lines.append(f"    {family + 'xx':<8}{count:<6}{spent:.2f}s")
         return "\n".join(lines)
 
 
@@ -494,7 +525,8 @@ def _parse_failure(path: Path, root: Optional[Path]) -> Optional[Finding]:
 
 
 def _run_project_rules(contexts: Sequence[FileContext],
-                       rules: Sequence["ProjectRule"]) -> List[Finding]:
+                       rules: Sequence["ProjectRule"],
+                       stats: Optional[LintStats] = None) -> List[Finding]:
     """Build one ``flow.Project`` over ``contexts`` and run ``rules``.
 
     Suppressions apply at each finding's anchoring file/line, so a
@@ -509,10 +541,13 @@ def _run_project_rules(contexts: Sequence[FileContext],
     by_path = {ctx.relpath: ctx for ctx in contexts}
     findings: List[Finding] = []
     for rule in rules:
+        started = time.perf_counter()
         for finding in rule.check_project(project):
             ctx = by_path.get(finding.path)
             if ctx is None or not ctx.is_suppressed(finding):
                 findings.append(finding)
+        if stats is not None:
+            stats.charge(rule, time.perf_counter() - started)
     return findings
 
 
@@ -553,13 +588,16 @@ def run_checks(paths: Sequence[Path], rules: Sequence[Rule],
         contexts.append(ctx)
         started = time.perf_counter()
         for rule in file_rules:
+            rule_started = time.perf_counter()
             for finding in rule.check(ctx):
                 if not ctx.is_suppressed(finding):
                     findings.append(finding)
+            if stats is not None:
+                stats.charge(rule, time.perf_counter() - rule_started)
         if stats is not None:
             stats.file_pass_s += time.perf_counter() - started
     started = time.perf_counter()
-    findings.extend(_run_project_rules(contexts, project_rules))
+    findings.extend(_run_project_rules(contexts, project_rules, stats=stats))
     if stats is not None:
         stats.project_pass_s += time.perf_counter() - started
         stats.count(findings)

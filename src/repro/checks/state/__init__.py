@@ -1,0 +1,39 @@
+"""``repro.checks.state`` — sirius-state, the mutable-state analysis
+layer (lint families ``M12``/``N13``/``W14``).
+
+Fourth analysis layer on the :mod:`repro.checks.flow` project model
+(after dataflow, parity and concurrency): a per-class **mutable-state
+model** (:mod:`repro.checks.state.model`) consumed by three rule
+families —
+
+* ``M12xx`` snapshot-completeness
+  (:mod:`repro.checks.state.snapshot_rules`): checkpoint surfaces
+  (``snapshot``/``restore``/``__getstate__``/``__setstate__``,
+  ``*Checkpoint`` companions) must cover every mutated field;
+* ``N13xx`` protocol-conformance
+  (:mod:`repro.checks.state.protocol_rules`): strategy/backend
+  implementations must carry the complete, call-compatible protocol
+  surface with no abstract leftovers;
+* ``W14xx`` backend state parity
+  (:mod:`repro.checks.state.parity_rules`): sibling backend loops must
+  read/write the same network-state field set.
+
+This is the static groundwork for ROADMAP items 1 (scheduler strategy
+interface) and 3 (checkpoint/resume orchestration), built PR-7-style
+*before* the risky subsystems so their bug classes fail lint first.
+"""
+
+from repro.checks.state.model import ClassStateModel, StateAnalysis
+from repro.checks.state.parity_rules import STATE_PARITY_RULES
+from repro.checks.state.protocol_rules import PROTOCOL_RULES, ProtocolAnalysis
+from repro.checks.state.snapshot_rules import SNAPSHOT_RULES
+
+#: Every sirius-state rule, in family order (M12, N13, W14).
+STATE_RULES = [*SNAPSHOT_RULES, *PROTOCOL_RULES, *STATE_PARITY_RULES]
+
+__all__ = [
+    "STATE_RULES",
+    "ClassStateModel",
+    "StateAnalysis",
+    "ProtocolAnalysis",
+]

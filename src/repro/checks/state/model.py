@@ -1,0 +1,395 @@
+"""Per-class mutable-state models for :mod:`repro.checks.state`.
+
+The M12xx / N13xx / W14xx families all reason about the same question
+— *what state does this class actually carry?* — so the answer is
+computed once per lint run and fetched with
+``project.shared(StateAnalysis)``.  For every project class the
+analysis builds a :class:`ClassStateModel` recording:
+
+* **fields bound in ``__init__``** — the declared state surface,
+  including which of them are *parameter-bound* (``self.net = network``
+  stores a reference to an object the caller owns, so mutations through
+  that field land on shared state in another module);
+* **fields mutated anywhere else** — plain stores (``self.depth = n``),
+  augmented stores, subscript/attribute stores one level down
+  (``self.fwd[dst] = q``), ``del`` statements, and in-place mutator
+  calls (``self.inbox.append(...)``), *including through local
+  aliases*: ``q = self.fwd.get(dst); q.append(cell)`` mutates ``fwd``
+  exactly as the direct call would, and the backend engines lean on
+  that shape heavily;
+* **per-method read/write field sets plus the ``self.m()`` call graph**
+  — so a rule can ask for the *transitive* field closure of one entry
+  point (everything ``snapshot`` reads through any chain of self-calls,
+  everything ``restore`` writes).
+
+Properties are treated as methods like any other: a ``@property`` body
+that reads three fields contributes those reads to any method that
+touches the property.  Nested functions inside a method attribute
+their accesses to the enclosing method (closures over ``self`` are the
+method's own code).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.checks.flow.project import ClassInfo, FunctionInfo, Project
+
+__all__ = [
+    "ClassStateModel",
+    "FieldRecord",
+    "StateAnalysis",
+    "MUTATOR_METHODS",
+]
+
+#: Methods that mutate their receiver in place (shared vocabulary with
+#: the concurrency layer; duplicated to keep the state layer importable
+#: without it).
+MUTATOR_METHODS = frozenset({
+    "append", "extend", "insert", "add", "update", "setdefault", "pop",
+    "popitem", "clear", "remove", "discard", "appendleft", "extendleft",
+    "popleft", "sort", "reverse",
+})
+
+#: ``self.x.<attr>(...)`` receiver-producing call attrs whose result
+#: aliases the container itself (``q = self.fwd.get(dst)``).
+_ALIASING_ATTRS = frozenset({"get", "setdefault"})
+
+#: Methods that *construct* rather than evolve state: stores here bind
+#: fields (dataclasses run ``__post_init__`` as part of construction).
+INIT_METHODS = frozenset({"__init__", "__post_init__"})
+
+
+@dataclass
+class FieldRecord:
+    """One ``self.<name>`` field of a class."""
+
+    name: str
+    #: bound by a plain ``self.name = ...`` in ``__init__``
+    init_bound: bool = False
+    #: ``__init__`` binds it straight from a constructor parameter —
+    #: the field aliases an object owned across the module boundary
+    param_bound: bool = False
+    #: method name -> mutation-site AST nodes *outside* ``__init__``
+    mutations: Dict[str, List[ast.AST]] = field(default_factory=dict)
+    #: method name -> read-site AST nodes
+    reads: Dict[str, List[ast.AST]] = field(default_factory=dict)
+
+    @property
+    def mutated_outside_init(self) -> bool:
+        return bool(self.mutations)
+
+
+class ClassStateModel:
+    """The mutable-state inventory of one project class."""
+
+    def __init__(self, info: ClassInfo, project: Project) -> None:
+        self.info = info
+        self.project = project
+        self.fields: Dict[str, FieldRecord] = {}
+        #: method name -> directly read / mutated field names
+        self.method_reads: Dict[str, Set[str]] = {}
+        self.method_writes: Dict[str, Set[str]] = {}
+        #: method name -> method names invoked through ``self``/``cls``
+        self.self_calls: Dict[str, Set[str]] = {}
+        for method_name, qualname in info.methods.items():
+            fn = project.functions.get(qualname)
+            if fn is not None:
+                self._scan_method(method_name, fn)
+
+    # -- queries -------------------------------------------------------------
+    def mutated_fields(self, exclude: Iterable[str] = INIT_METHODS,
+                       ) -> List[str]:
+        """Fields mutated outside ``exclude`` methods, sorted — the
+        state a checkpoint of this class must capture.  Constructors
+        (``__init__``/``__post_init__``) are excluded by default:
+        construction *binds* state, it does not evolve it (in-place
+        mutator calls there count as binding too)."""
+        excluded = set(exclude)
+        return sorted(name for name, record in self.fields.items()
+                      if set(record.mutations) - excluded)
+
+    def aliased_fields(self) -> List[str]:
+        """Parameter-bound fields (state shared across the boundary)."""
+        return sorted(name for name, record in self.fields.items()
+                      if record.param_bound)
+
+    def closure_methods(self, entry: str) -> Set[str]:
+        """``entry`` plus every method reachable via ``self.m()`` chains."""
+        seen: Set[str] = set()
+        frontier = [entry]
+        while frontier:
+            name = frontier.pop()
+            if name in seen or name not in self.info.methods:
+                continue
+            seen.add(name)
+            frontier.extend(self.self_calls.get(name, ()))
+        return seen
+
+    def closure_reads(self, entry: str) -> Set[str]:
+        """Fields read by ``entry`` or any transitively self-called method."""
+        fields: Set[str] = set()
+        for name in self.closure_methods(entry):
+            fields |= self.method_reads.get(name, set())
+        return fields
+
+    def closure_writes(self, entry: str) -> Set[str]:
+        """Fields mutated by ``entry`` or any transitive self-call."""
+        fields: Set[str] = set()
+        for name in self.closure_methods(entry):
+            fields |= self.method_writes.get(name, set())
+        return fields
+
+    def mutation_evidence(self, field_name: str) -> Optional[Tuple[str, int]]:
+        """(method name, line) of one mutation site, for messages.
+
+        Prefers a site outside ``__init__`` — the evidence that made
+        the field *mutable state* rather than a constructor binding.
+        """
+        record = self.fields.get(field_name)
+        if record is None:
+            return None
+        ordered = sorted(record.mutations,
+                         key=lambda method: (method in INIT_METHODS, method))
+        for method in ordered:
+            for node in record.mutations[method]:
+                line = getattr(node, "lineno", None)
+                if line is not None:
+                    return method, line
+        return None
+
+    # -- extraction ----------------------------------------------------------
+    def _scan_method(self, method_name: str, fn: FunctionInfo) -> None:
+        is_init = method_name in INIT_METHODS
+        init_params = set(fn.params) | set(fn.kwonly) if is_init else set()
+        reads = self.method_reads.setdefault(method_name, set())
+        writes = self.method_writes.setdefault(method_name, set())
+        calls = self.self_calls.setdefault(method_name, set())
+        aliases = self._self_aliases(fn)
+
+        def record(name: str) -> FieldRecord:
+            rec = self.fields.get(name)
+            if rec is None:
+                rec = self.fields[name] = FieldRecord(name=name)
+            return rec
+
+        def note_write(name: str, node: ast.AST) -> None:
+            writes.add(name)
+            record(name).mutations.setdefault(method_name, []).append(node)
+
+        def note_read(name: str, node: ast.AST) -> None:
+            reads.add(name)
+            record(name).reads.setdefault(method_name, []).append(node)
+
+        def field_of(expr: ast.AST) -> Optional[str]:
+            """The self-field an expression is rooted in (alias-aware)."""
+            while isinstance(expr, (ast.Subscript, ast.Attribute)):
+                if _is_self_attr(expr):
+                    return expr.attr  # type: ignore[union-attr]
+                expr = expr.value
+            if isinstance(expr, ast.Name):
+                return aliases.get(expr.id)
+            return None
+
+        for node in _walk_with_nested(fn.node):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (node.targets if isinstance(node, ast.Assign)
+                           else [node.target])
+                for target in targets:
+                    for name in _field_targets(target):
+                        self._bind(record(name), node, is_init, init_params,
+                                   isinstance(target, ast.Attribute)
+                                   and _is_self_attr(target))
+                        if not (is_init and isinstance(target, ast.Attribute)
+                                and _is_self_attr(target)):
+                            note_write(name, target)
+                    if isinstance(target, (ast.Subscript, ast.Attribute)) \
+                            and not _is_self_attr(target):
+                        deep = field_of(target.value)
+                        if deep is not None:
+                            note_write(deep, target)
+                if isinstance(node, ast.AugAssign) and isinstance(
+                        node.target, ast.Attribute) and _is_self_attr(
+                        node.target):
+                    # ``self.x += 1`` also reads the field.
+                    note_read(node.target.attr, node.target)
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    if isinstance(target, ast.Attribute) and _is_self_attr(
+                            target):
+                        note_write(target.attr, target)
+                    elif isinstance(target, (ast.Subscript, ast.Attribute)):
+                        deep = field_of(target.value)
+                        if deep is not None:
+                            note_write(deep, target)
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Attribute):
+                    if _is_self_attr(func):
+                        calls.add(func.attr)
+                    elif func.attr in MUTATOR_METHODS:
+                        owner = field_of(func.value)
+                        if owner is not None:
+                            note_write(owner, node)
+            elif isinstance(node, ast.Attribute) and _is_self_attr(node):
+                if isinstance(node.ctx, ast.Load):
+                    parent_call = getattr(node, "_lint_parent", None)
+                    is_call_func = (isinstance(parent_call, ast.Call)
+                                    and parent_call.func is node)
+                    if is_call_func and node.attr in self.info.methods:
+                        pass  # already recorded as a self-call
+                    else:
+                        note_read(node.attr, node)
+
+    @staticmethod
+    def _bind(rec: FieldRecord, node: ast.AST, is_init: bool,
+              init_params: Set[str], is_plain_self_store: bool) -> None:
+        if not (is_init and is_plain_self_store):
+            return
+        rec.init_bound = True
+        value = getattr(node, "value", None)
+        if isinstance(value, ast.Name) and value.id in init_params:
+            rec.param_bound = True
+
+    @staticmethod
+    def _self_aliases(fn: FunctionInfo) -> Dict[str, str]:
+        """Local name -> self-field it aliases (one level, flow-insensitive).
+
+        Catches the three shapes the simulator uses: ``x = self._slab``,
+        ``q = self.fwd.get(dst)`` / ``.setdefault(...)``, and
+        ``for q in self.fwd.values():``.  A name later rebound to a
+        non-self value is dropped — better to miss a mutation than to
+        invent one.
+        """
+        aliases: Dict[str, str] = {}
+        dropped: Set[str] = set()
+
+        def source_field(expr: ast.AST) -> Optional[str]:
+            if isinstance(expr, ast.Attribute) and _is_self_attr(expr):
+                return expr.attr
+            if isinstance(expr, ast.Subscript):
+                return source_field(expr.value)
+            if isinstance(expr, ast.Call) and isinstance(
+                    expr.func, ast.Attribute):
+                if expr.func.attr in _ALIASING_ATTRS or \
+                        expr.func.attr == "values":
+                    return source_field(expr.func.value)
+            return None
+
+        for node in _walk_with_nested(fn.node):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name):
+                name = node.targets[0].id
+                fld = source_field(node.value)
+                if fld is not None and name not in dropped:
+                    aliases[name] = fld
+                elif name in aliases:
+                    del aliases[name]
+                    dropped.add(name)
+            elif isinstance(node, (ast.For, ast.AsyncFor)) and isinstance(
+                    node.target, ast.Name):
+                fld = source_field(node.iter)
+                if fld is not None and node.target.id not in dropped:
+                    aliases[node.target.id] = fld
+        return aliases
+
+
+def _is_self_attr(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id in ("self", "cls"))
+
+
+def _field_targets(target: ast.AST) -> Iterator[str]:
+    """Field names a store target binds directly on ``self``."""
+    if isinstance(target, ast.Attribute) and _is_self_attr(target):
+        yield target.attr
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _field_targets(element)
+    elif isinstance(target, ast.Starred):
+        yield from _field_targets(target.value)
+
+
+def _walk_with_nested(fn: ast.AST) -> Iterator[ast.AST]:
+    """Walk a method body including nested defs, excluding nested classes.
+
+    Source order is preserved (breadth-first, like :func:`ast.walk`) —
+    the alias tracker relies on seeing a rebinding *after* the binding
+    it poisons.
+    """
+    queue: Deque[ast.AST] = deque(ast.iter_child_nodes(fn))
+    while queue:
+        node = queue.popleft()
+        if isinstance(node, ast.ClassDef):
+            continue
+        yield node
+        queue.extend(ast.iter_child_nodes(node))
+
+
+class StateAnalysis:
+    """Mutable-state models for every class of one :class:`Project`."""
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        self.models: Dict[str, ClassStateModel] = {}
+        self._plumbing: Optional[Set[str]] = None
+        for qualname, info in project.classes.items():
+            self.models[qualname] = ClassStateModel(info, project)
+
+    def plumbing_fields(self) -> Set[str]:
+        """Field names that are shared-by-reference plumbing: bound
+        from a constructor argument in some class and mutated outside
+        ``__init__`` in none (``config``, ``topology``, ``rng``, ...).
+        Reading such a field through one access path rather than
+        another is a caching choice, not a state divergence."""
+        if self._plumbing is None:
+            bound: Set[str] = set()
+            mutated: Set[str] = set()
+            for model in self.models.values():
+                for name, record in model.fields.items():
+                    if record.param_bound:
+                        bound.add(name)
+                    if set(record.mutations) - INIT_METHODS:
+                        mutated.add(name)
+            self._plumbing = bound - mutated
+        return self._plumbing
+
+    def model_for(self, qualname: str) -> Optional[ClassStateModel]:
+        return self.models.get(qualname)
+
+    def models_named(self, class_name: str) -> List[ClassStateModel]:
+        """Models of every project class with this bare name."""
+        return [model for qualname, model in sorted(self.models.items())
+                if model.info.name == class_name]
+
+    def method_write_fields(self, method_name: str) -> Set[str]:
+        """Union of transitive field writes of every project method with
+        this name — the class-hierarchy approximation the write-set
+        audit uses to expand ``node.method()`` calls."""
+        fields: Set[str] = set()
+        for qualname in self.project.methods_by_name.get(method_name, ()):
+            cls_qual = qualname.rsplit(".", 1)[0]
+            model = self.models.get(cls_qual)
+            if model is not None:
+                fields |= model.closure_writes(method_name)
+        return fields
+
+    def method_read_fields(self, method_name: str) -> Set[str]:
+        """Union of transitive field reads, *excluding* parameter-bound
+        fields: a field ``__init__`` stored from a constructor argument
+        (config, topology) is shared-by-reference plumbing every caller
+        can reach by other paths, not per-instance protocol state."""
+        fields: Set[str] = set()
+        for qualname in self.project.methods_by_name.get(method_name, ()):
+            cls_qual = qualname.rsplit(".", 1)[0]
+            model = self.models.get(cls_qual)
+            if model is not None:
+                for name in model.closure_reads(method_name):
+                    record = model.fields.get(name)
+                    if record is None or not record.param_bound:
+                        fields.add(name)
+        return fields

@@ -1,0 +1,438 @@
+"""Strategy-protocol conformance rules (family ``N13``) for
+:mod:`repro.checks.state`.
+
+ROADMAP item 1 promotes scheduling to a strategy interface with
+rotor/Apollo/PULSE peers; the epoch-loop backends and the fluid
+engines already are such strategy families.  The failure mode of
+string-dispatched strategies is *surface drift*: an implementation
+misses a method, grows an incompatible signature, or keeps an abstract
+stub, and the error surfaces at dispatch time deep inside a sweep.
+These rules enforce the contract statically:
+
+* ``N1301 protocol-missing-method`` — a class subclassing a protocol
+  (``typing.Protocol`` base, or an ABC with ``@abstractmethod``
+  methods) does not implement its full declared surface;
+* ``N1302 protocol-signature-mismatch`` — an implementation (or a
+  sibling strategy method such as ``_loop_incremental`` next to
+  ``_loop_reference``) declares a signature callers of the protocol
+  surface cannot use interchangeably;
+* ``N1303 abstract-leftover`` — an implementation "implements" a
+  protocol method with an abstract body (``...``/``pass``/docstring
+  only, ``raise NotImplementedError``) or a surviving
+  ``@abstractmethod`` decorator.
+
+A *protocol* class here is one whose base chain reaches
+``typing.Protocol``, or an ``abc.ABC``/``ABCMeta`` class with at least
+one ``@abstractmethod``.  Its required surface is every method it (or
+a protocol ancestor) declares abstractly — concrete default bodies on
+a protocol are mixin behaviour, not obligations.  Signature
+compatibility is call-interchangeability: same positional names in
+order (extras need defaults), every protocol keyword accepted, no new
+required parameters.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.checks.engine import Finding, ProjectRule
+from repro.checks.flow.project import ClassInfo, FunctionInfo, Project
+
+__all__ = [
+    "PROTOCOL_RULES",
+    "ProtocolAnalysis",
+    "ProtocolMissingMethodRule",
+    "ProtocolSignatureMismatchRule",
+    "AbstractLeftoverRule",
+]
+
+#: Base-expression dotted texts that mark a protocol declaration even
+#: when the name does not resolve inside the project.
+_PROTOCOL_BASES = frozenset({"Protocol", "typing.Protocol"})
+_ABC_BASES = frozenset({"ABC", "abc.ABC", "ABCMeta", "abc.ABCMeta"})
+
+#: Method-name prefixes that group sibling strategy methods on one
+#: class (``_loop_reference`` / ``_loop_incremental``): same prefix →
+#: same call sites → identical signatures required.
+STRATEGY_PREFIXES = ("_loop_", "_strategy_", "_backend_")
+
+
+def _decorator_names(node: ast.AST) -> Set[str]:
+    names: Set[str] = set()
+    for deco in getattr(node, "decorator_list", []):
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        if isinstance(target, ast.Name):
+            names.add(target.id)
+        elif isinstance(target, ast.Attribute):
+            names.add(target.attr)
+    return names
+
+
+def _is_abstract_decorated(node: ast.AST) -> bool:
+    return bool(_decorator_names(node)
+                & {"abstractmethod", "abstractproperty"})
+
+
+def _is_abstractish(node: ast.AST) -> bool:
+    """A body that declares rather than implements: docstring plus
+    ``...``/``pass`` only, or a bare ``raise NotImplementedError``."""
+    body = list(getattr(node, "body", []))
+    if body and isinstance(body[0], ast.Expr) and isinstance(
+            body[0].value, ast.Constant) and isinstance(
+            body[0].value.value, str):
+        body = body[1:]
+    if not body:
+        return True
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(
+                stmt.value, ast.Constant) and stmt.value.value is Ellipsis:
+            continue
+        if isinstance(stmt, ast.Raise):
+            exc = stmt.exc
+            target = exc.func if isinstance(exc, ast.Call) else exc
+            if isinstance(target, ast.Name) and target.id in (
+                    "NotImplementedError", "NotImplemented"):
+                continue
+        return False
+    return True
+
+
+@dataclass(frozen=True)
+class _Signature:
+    """Call-compatibility view of one method signature."""
+
+    pos: Tuple[str, ...]          #: positional names, self/cls stripped
+    pos_defaults: int             #: how many trailing positionals default
+    kwonly: Tuple[str, ...]
+    kwonly_defaulted: Tuple[str, ...]
+    has_vararg: bool
+    has_kwarg: bool
+
+    @classmethod
+    def of(cls, node: ast.AST, is_method: bool) -> "_Signature":
+        args = node.args
+        pos = [a.arg for a in (*args.posonlyargs, *args.args)]
+        if is_method and pos and pos[0] in ("self", "cls"):
+            pos = pos[1:]
+        defaulted = [a.arg for a, d in zip(args.kwonlyargs, args.kw_defaults)
+                     if d is not None]
+        return cls(
+            pos=tuple(pos),
+            pos_defaults=len(args.defaults),
+            kwonly=tuple(a.arg for a in args.kwonlyargs),
+            kwonly_defaulted=tuple(defaulted),
+            has_vararg=args.vararg is not None,
+            has_kwarg=args.kwarg is not None,
+        )
+
+    def render(self) -> str:
+        parts = list(self.pos)
+        if self.has_vararg or self.kwonly:
+            parts.append("*" if not self.has_vararg else "*args")
+        parts.extend(self.kwonly)
+        if self.has_kwarg:
+            parts.append("**kwargs")
+        return f"({', '.join(parts)})"
+
+
+def _incompatibility(proto: _Signature, impl: _Signature) -> Optional[str]:
+    """Why ``impl`` cannot stand in for ``proto`` at call sites (or None)."""
+    n = len(proto.pos)
+    if impl.pos[:n] != proto.pos:
+        return (f"positional parameters {impl.render()} do not match the "
+                f"declared {proto.render()}")
+    extra_pos = impl.pos[n:]
+    undefaulted = len(impl.pos) - impl.pos_defaults
+    for index, name in enumerate(extra_pos, start=n):
+        if index < undefaulted:
+            return (f"adds required positional parameter '{name}' absent "
+                    f"from the declared {proto.render()}")
+    if proto.has_vararg and not impl.has_vararg:
+        return "drops the declared *args"
+    if not impl.has_kwarg:
+        accepted = set(impl.kwonly) | set(impl.pos)
+        for name in proto.kwonly:
+            if name not in accepted:
+                return (f"does not accept declared keyword parameter "
+                        f"'{name}'")
+    for name in impl.kwonly:
+        if name not in proto.kwonly and name not in proto.pos \
+                and name not in impl.kwonly_defaulted:
+            return (f"adds required keyword parameter '{name}' absent "
+                    f"from the declared {proto.render()}")
+    return None
+
+
+class ProtocolAnalysis:
+    """Protocol classes, their surfaces, and their implementations."""
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        #: qualname -> "typing" | "abc" | None (concrete); see
+        #: :meth:`_protocol_kind`.
+        self._protocol_memo: Dict[str, Optional[str]] = {}
+        #: protocol qualname -> {method name: declaring FunctionInfo}
+        self.surfaces: Dict[str, Dict[str, FunctionInfo]] = {}
+        #: implementation qualname -> protocol qualnames it subclasses
+        self.implementations: Dict[str, List[str]] = {}
+        for qualname in sorted(project.classes):
+            if self.is_protocol(qualname):
+                self.surfaces[qualname] = self._surface(qualname)
+        for qualname in sorted(project.classes):
+            if self.is_protocol(qualname):
+                continue
+            protocols = [ancestor for ancestor in self._ancestors(qualname)
+                         if ancestor in self.surfaces]
+            if protocols:
+                self.implementations[qualname] = protocols
+
+    # -- classification ------------------------------------------------------
+    def is_protocol(self, qualname: str) -> bool:
+        return self._protocol_kind(qualname) is not None
+
+    def _protocol_kind(self, qualname: str) -> Optional[str]:
+        """``"typing"``, ``"abc"``, or None for a concrete class.
+
+        Typing semantics: subclassing a ``Protocol`` class *without*
+        listing ``Protocol`` again yields a concrete implementation —
+        even one that (buggily) keeps an ``@abstractmethod``, which is
+        exactly what ``N1303`` flags.  ABC hierarchies differ: an
+        abstract subclass of an abstract base is still abstract.
+        """
+        memo = self._protocol_memo.get(qualname)
+        if memo is not None or qualname in self._protocol_memo:
+            return memo
+        self._protocol_memo[qualname] = None  # cycle guard
+        info = self.project.classes.get(qualname)
+        if info is None:
+            return None
+        kind: Optional[str] = None
+        abstract = any(
+            _is_abstract_decorated(self.project.functions[m].node)
+            for m in info.methods.values() if m in self.project.functions)
+        for base in info.bases:
+            resolved_text = self._resolved_base_text(info.module, base)
+            if base in _PROTOCOL_BASES or resolved_text in _PROTOCOL_BASES:
+                kind = "typing"
+                break
+            if (base in _ABC_BASES or resolved_text in _ABC_BASES) \
+                    and abstract:
+                kind = "abc"
+                break
+            resolved = self.project._resolve_class_text(info.module, base)
+            if resolved is not None and abstract \
+                    and self._protocol_kind(resolved) == "abc":
+                kind = "abc"
+                break
+        if kind is None and abstract and self._metaclass_is_abc(info):
+            kind = "abc"
+        self._protocol_memo[qualname] = kind
+        return kind
+
+    def _resolved_base_text(self, module: str, text: str) -> str:
+        alias, _, rest = text.partition(".")
+        target = self.project.imports.get(module, {}).get(alias)
+        if target is None:
+            return text
+        return f"{target}.{rest}" if rest else target
+
+    @staticmethod
+    def _metaclass_is_abc(info: ClassInfo) -> bool:
+        for keyword in info.node.keywords:
+            if keyword.arg == "metaclass":
+                text = keyword.value
+                name = (text.attr if isinstance(text, ast.Attribute)
+                        else getattr(text, "id", ""))
+                if name == "ABCMeta":
+                    return True
+        return False
+
+    # -- surfaces and chains -------------------------------------------------
+    def _ancestors(self, qualname: str) -> List[str]:
+        """Project-resolvable base chain of a class (BFS, no self)."""
+        seen: Set[str] = {qualname}
+        order: List[str] = []
+        frontier = [qualname]
+        while frontier:
+            info = self.project.classes.get(frontier.pop(0))
+            if info is None:
+                continue
+            for base in info.bases:
+                resolved = self.project._resolve_class_text(info.module, base)
+                if resolved is not None and resolved not in seen:
+                    seen.add(resolved)
+                    order.append(resolved)
+                    frontier.append(resolved)
+        return order
+
+    def _surface(self, qualname: str) -> Dict[str, FunctionInfo]:
+        """Required methods of a protocol: abstract declarations on it
+        and on every protocol ancestor (nearest declaration wins)."""
+        surface: Dict[str, FunctionInfo] = {}
+        for cls_qual in (qualname, *self._ancestors(qualname)):
+            if cls_qual != qualname and not self.is_protocol(cls_qual):
+                continue
+            info = self.project.classes.get(cls_qual)
+            if info is None:
+                continue
+            for method, fn_qual in info.methods.items():
+                fn = self.project.functions.get(fn_qual)
+                if fn is None or method in surface or method == "__init__":
+                    continue
+                if _is_abstract_decorated(fn.node) or _is_abstractish(fn.node):
+                    surface[method] = fn
+        return surface
+
+    def concrete_methods(self, qualname: str) -> Dict[str, FunctionInfo]:
+        """Methods an implementation actually provides, own first, then
+        inherited from non-protocol ancestors (nearest wins)."""
+        provided: Dict[str, FunctionInfo] = {}
+        for cls_qual in (qualname, *self._ancestors(qualname)):
+            if self.is_protocol(cls_qual):
+                continue
+            info = self.project.classes.get(cls_qual)
+            if info is None:
+                continue
+            for method, fn_qual in info.methods.items():
+                fn = self.project.functions.get(fn_qual)
+                if fn is not None and method not in provided:
+                    provided[method] = fn
+        return provided
+
+    # -- strategy method groups ----------------------------------------------
+    def strategy_groups(self) -> Iterator[Tuple[ClassInfo, str,
+                                                List[FunctionInfo]]]:
+        """(class, prefix, members in source order) for every class with
+        two or more sibling strategy methods sharing a prefix."""
+        for qualname in sorted(self.project.classes):
+            info = self.project.classes[qualname]
+            for prefix in STRATEGY_PREFIXES:
+                members = [
+                    self.project.functions[fn_qual]
+                    for method, fn_qual in info.methods.items()
+                    if method.startswith(prefix)
+                    and len(method) > len(prefix)
+                    and fn_qual in self.project.functions
+                ]
+                if len(members) >= 2:
+                    members.sort(key=lambda fn: fn.node.lineno)
+                    yield info, prefix, members
+
+
+class ProtocolMissingMethodRule(ProjectRule):
+    code = "N1301"
+    name = "protocol-missing-method"
+    description = ("a protocol implementation must provide the full "
+                   "declared method surface")
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        analysis: ProtocolAnalysis = project.shared(ProtocolAnalysis)
+        for impl_qual in sorted(analysis.implementations):
+            impl = project.classes[impl_qual]
+            provided = analysis.concrete_methods(impl_qual)
+            for proto_qual in analysis.implementations[impl_qual]:
+                proto = project.classes[proto_qual]
+                missing = [
+                    method
+                    for method in sorted(analysis.surfaces[proto_qual])
+                    if method not in provided
+                ]
+                if not missing:
+                    continue
+                ctx = project.contexts.get(
+                    project.contexts_modules().get(impl.module, ""))
+                if ctx is None:
+                    continue
+                listed = ", ".join(f"{name}()" for name in missing)
+                yield self.finding(
+                    ctx, impl.node,
+                    f"{impl.name} subclasses {proto.name} but never "
+                    f"implements {listed}; dispatching through the "
+                    "protocol surface would fail at runtime",
+                )
+
+
+class ProtocolSignatureMismatchRule(ProjectRule):
+    code = "N1302"
+    name = "protocol-signature-mismatch"
+    description = ("protocol implementations and sibling strategy "
+                   "methods must keep call-compatible signatures")
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        analysis: ProtocolAnalysis = project.shared(ProtocolAnalysis)
+        for impl_qual in sorted(analysis.implementations):
+            impl = project.classes[impl_qual]
+            for proto_qual in analysis.implementations[impl_qual]:
+                proto = project.classes[proto_qual]
+                surface = analysis.surfaces[proto_qual]
+                for method in sorted(surface):
+                    fn_qual = impl.methods.get(method)
+                    fn = project.functions.get(fn_qual or "")
+                    if fn is None:
+                        continue
+                    reason = _incompatibility(
+                        _Signature.of(surface[method].node, is_method=True),
+                        _Signature.of(fn.node, is_method=True))
+                    if reason is not None:
+                        yield self.finding(
+                            fn.ctx, fn.node,
+                            f"{impl.name}.{method}() {reason} declared by "
+                            f"{proto.name}; the strategies are not "
+                            "interchangeable at call sites",
+                        )
+        for info, prefix, members in analysis.strategy_groups():
+            leader = members[0]
+            leader_sig = _Signature.of(leader.node, is_method=True)
+            for member in members[1:]:
+                sig = _Signature.of(member.node, is_method=True)
+                if sig != leader_sig:
+                    yield self.finding(
+                        member.ctx, member.node,
+                        f"{info.name}.{member.name}() signature "
+                        f"{sig.render()} differs from sibling strategy "
+                        f"{leader.name}(){leader_sig.render()}; "
+                        f"'{prefix}*' strategies share call sites and "
+                        "must keep identical signatures",
+                    )
+
+
+class AbstractLeftoverRule(ProjectRule):
+    code = "N1303"
+    name = "abstract-leftover"
+    description = ("a protocol implementation must not keep abstract "
+                   "bodies or @abstractmethod decorators")
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        analysis: ProtocolAnalysis = project.shared(ProtocolAnalysis)
+        for impl_qual in sorted(analysis.implementations):
+            impl = project.classes[impl_qual]
+            protocols = analysis.implementations[impl_qual]
+            surface_names: Set[str] = set()
+            for proto_qual in protocols:
+                surface_names |= set(analysis.surfaces[proto_qual])
+            for method in sorted(impl.methods):
+                fn = project.functions.get(impl.methods[method])
+                if fn is None:
+                    continue
+                if _is_abstract_decorated(fn.node):
+                    yield self.finding(
+                        fn.ctx, fn.node,
+                        f"{impl.name}.{method}() keeps @abstractmethod "
+                        "on a concrete strategy implementation; "
+                        "instantiating it will fail",
+                    )
+                elif method in surface_names and _is_abstractish(fn.node):
+                    yield self.finding(
+                        fn.ctx, fn.node,
+                        f"{impl.name}.{method}() has an abstract body "
+                        "for a protocol-surface method; the strategy "
+                        "would raise or no-op when dispatched",
+                    )
+
+
+PROTOCOL_RULES = [ProtocolMissingMethodRule(),
+                  ProtocolSignatureMismatchRule(), AbstractLeftoverRule()]

@@ -1,0 +1,242 @@
+"""Snapshot-completeness rules (family ``M12``) for
+:mod:`repro.checks.state`.
+
+ROADMAP item 3 (checkpoint/resume sweep orchestration) will serialize
+live simulator state.  The bug class that kills such features is
+*silent omission*: a class grows a new mutable field, the checkpoint
+method keeps working, and resumed runs diverge without an error.  These
+rules make the omission a lint failure instead, by diffing each class's
+checkpoint surface against its :class:`~repro.checks.state.model.
+ClassStateModel`:
+
+* ``M1201 snapshot-missing-field`` — a ``snapshot()`` /
+  ``__getstate__()`` method (plus everything it reaches through
+  ``self.m()`` chains) never *reads* a field the class mutates outside
+  ``__init__``;
+* ``M1202 restore-missing-field`` — a ``restore()`` /
+  ``__setstate__()`` method never *writes* such a field (a
+  ``self.__dict__.update(...)`` in the closure counts as writing
+  everything);
+* ``M1203 checkpoint-field-drift`` — a ``FooCheckpoint`` /
+  ``FooSnapshot`` companion class does not carry a field for every
+  mutated field of ``Foo`` (matching ``_depth`` against either
+  ``_depth`` or ``depth`` on the companion).
+
+Fields mutated *only* inside the snapshot/restore closure itself are
+exempt — lazily filled caches and emission cursors are bookkeeping of
+the checkpoint, not state it must capture.  Findings anchor on the
+checkpoint method's ``def`` line (M1201/M1202) or the companion
+class's ``class`` line (M1203); that anchor line is where a
+``# lint: ignore[...]`` for a deliberate partial snapshot belongs —
+the mutation evidence named in the message may live in another method
+or file and suppressions there do nothing.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from repro.checks.engine import Finding, ProjectRule
+from repro.checks.flow.project import ClassInfo, Project
+from repro.checks.state.model import (
+    INIT_METHODS,
+    ClassStateModel,
+    StateAnalysis,
+)
+
+__all__ = [
+    "SNAPSHOT_RULES",
+    "SnapshotMissingFieldRule",
+    "RestoreMissingFieldRule",
+    "CheckpointFieldDriftRule",
+]
+
+#: Method names that expose a class's read-side checkpoint surface.
+SNAPSHOT_METHODS = ("snapshot", "__getstate__")
+
+#: Method names that expose the write-side (resume) surface.
+RESTORE_METHODS = ("restore", "__setstate__")
+
+#: Companion-class suffixes paired with the class they checkpoint.
+COMPANION_SUFFIXES = ("Checkpoint", "Snapshot")
+
+
+def _required_fields(model: ClassStateModel,
+                     entry_methods: List[str]) -> List[str]:
+    """Fields the checkpoint surface must cover: everything mutated
+    outside construction and outside the checkpoint closure itself."""
+    exclude: Set[str] = set(INIT_METHODS)
+    for entry in entry_methods:
+        exclude |= model.closure_methods(entry)
+    return model.mutated_fields(exclude=exclude)
+
+
+def _checkpoint_entries(model: ClassStateModel) -> List[str]:
+    """Every snapshot/restore-family method the class defines."""
+    return [name for name in (*SNAPSHOT_METHODS, *RESTORE_METHODS)
+            if name in model.info.methods]
+
+
+def _evidence(model: ClassStateModel, field_name: str) -> str:
+    evidence = model.mutation_evidence(field_name)
+    if evidence is None:
+        return ""
+    method, line = evidence
+    return f" (mutated in {method}(), line {line})"
+
+
+class _CheckpointMethodRule(ProjectRule):
+    """Shared shape of M1201/M1202: per checkpoint method, diff the
+    fields its closure covers against the fields the class mutates."""
+
+    entry_methods: tuple = ()
+    verb: str = ""
+
+    def covered(self, model: ClassStateModel, entry: str) -> Set[str]:
+        raise NotImplementedError
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        analysis: StateAnalysis = project.shared(StateAnalysis)
+        for qualname in sorted(analysis.models):
+            model = analysis.models[qualname]
+            entries = [name for name in self.entry_methods
+                       if name in model.info.methods]
+            if not entries:
+                continue
+            required = set(_required_fields(model,
+                                            _checkpoint_entries(model)))
+            if not required:
+                continue
+            for entry in entries:
+                covered = self.covered(model, entry)
+                missing = sorted(required - covered)
+                if not missing:
+                    continue
+                fn = project.functions.get(model.info.methods[entry])
+                if fn is None:
+                    continue
+                listed = ", ".join(
+                    f"'{name}'{_evidence(model, name)}" for name in missing)
+                yield self.finding(
+                    fn.ctx, fn.node,
+                    f"{model.info.name}.{entry}() never {self.verb} "
+                    f"mutated field{'s' if len(missing) != 1 else ''} "
+                    f"{listed}; a checkpoint built from it would drop "
+                    "state",
+                )
+
+
+class SnapshotMissingFieldRule(_CheckpointMethodRule):
+    code = "M1201"
+    name = "snapshot-missing-field"
+    description = ("snapshot()/__getstate__() must read every field the "
+                   "class mutates outside __init__")
+    entry_methods = SNAPSHOT_METHODS
+    verb = "reads"
+
+    def covered(self, model: ClassStateModel, entry: str) -> Set[str]:
+        return model.closure_reads(entry) | model.closure_writes(entry)
+
+
+class RestoreMissingFieldRule(_CheckpointMethodRule):
+    code = "M1202"
+    name = "restore-missing-field"
+    description = ("restore()/__setstate__() must write every field the "
+                   "class mutates outside __init__")
+    entry_methods = RESTORE_METHODS
+    verb = "writes"
+
+    def covered(self, model: ClassStateModel, entry: str) -> Set[str]:
+        writes = model.closure_writes(entry)
+        if "__dict__" in writes:
+            # ``self.__dict__.update(state)`` restores wholesale.
+            return set(model.fields)
+        return writes
+
+
+class CheckpointFieldDriftRule(ProjectRule):
+    """A ``FooCheckpoint``/``FooSnapshot`` companion must carry every
+    mutated field of ``Foo``."""
+
+    code = "M1203"
+    name = "checkpoint-field-drift"
+    description = ("a *Checkpoint/*Snapshot companion class must carry "
+                   "a field for every mutated field of its subject")
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        analysis: StateAnalysis = project.shared(StateAnalysis)
+        for qualname in sorted(project.classes):
+            companion = project.classes[qualname]
+            subject = self._subject_for(companion, analysis)
+            if subject is None:
+                continue
+            required_fields = _required_fields(subject,
+                                               _checkpoint_entries(subject))
+            surface = self._field_surface(companion, analysis)
+            missing = [name for name in required_fields
+                       if name not in surface
+                       and name.lstrip("_") not in surface]
+            if not missing:
+                continue
+            ctx = project.contexts.get(
+                project.contexts_modules().get(companion.module, ""))
+            if ctx is None:
+                continue
+            listed = ", ".join(
+                f"'{name}'{_evidence(subject, name)}" for name in missing)
+            yield self.finding(
+                ctx, companion.node,
+                f"{companion.name} carries no field for "
+                f"{subject.info.name}'s mutated "
+                f"field{'s' if len(missing) != 1 else ''} {listed}; a "
+                "resume from this checkpoint would lose state",
+            )
+
+    @staticmethod
+    def _subject_for(companion: ClassInfo, analysis: StateAnalysis,
+                     ) -> Optional[ClassStateModel]:
+        """The class a companion checkpoints: strip the suffix, prefer a
+        same-module match, else a unique project-wide one."""
+        base_name = ""
+        for suffix in COMPANION_SUFFIXES:
+            if companion.name.endswith(suffix) and \
+                    len(companion.name) > len(suffix):
+                base_name = companion.name[:-len(suffix)]
+                break
+        if not base_name:
+            return None
+        same_module = analysis.model_for(f"{companion.module}.{base_name}")
+        if same_module is not None:
+            return same_module
+        matches = analysis.models_named(base_name)
+        return matches[0] if len(matches) == 1 else None
+
+    @staticmethod
+    def _field_surface(companion: ClassInfo,
+                       analysis: StateAnalysis) -> Set[str]:
+        """Names the companion can hold state under: dataclass-style
+        class-level annotations, ``__init__``-bound fields, and
+        ``__init__`` parameters."""
+        surface: Set[str] = set()
+        for stmt in companion.node.body:
+            if isinstance(stmt, ast.AnnAssign) and isinstance(
+                    stmt.target, ast.Name):
+                surface.add(stmt.target.id)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        surface.add(target.id)
+        model = analysis.model_for(companion.qualname)
+        if model is not None:
+            surface.update(model.fields)
+            init = analysis.project.functions.get(
+                companion.methods.get("__init__", ""))
+            if init is not None:
+                surface.update(init.params)
+                surface.update(init.kwonly)
+        return surface
+
+
+SNAPSHOT_RULES = [SnapshotMissingFieldRule(), RestoreMissingFieldRule(),
+                  CheckpointFieldDriftRule()]

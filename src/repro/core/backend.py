@@ -30,12 +30,36 @@ Resolution order for the effective backend:
 from __future__ import annotations
 
 import os
-from typing import Optional
+from typing import Optional, Protocol, Sequence
 
 from repro.core.fastpath import FAST_PATH_ENV, _OFF_VALUES
 
-__all__ = ["BACKENDS", "BACKEND_ENV", "FLUID_BACKENDS",
+__all__ = ["BACKENDS", "BACKEND_ENV", "EpochEngine", "FLUID_BACKENDS",
            "resolve_backend", "resolve_fluid_backend"]
+
+
+class EpochEngine(Protocol):
+    """The contract every epoch-loop strategy implements.
+
+    :class:`repro.core.network.SiriusNetwork` (the ``reference`` and
+    ``fast`` loops) and :class:`repro.core.vectorized.VectorizedEngine`
+    both satisfy this surface; the three-way parity suite pins their
+    results bit-identical.  Annotations stay loose because this module
+    sits below :mod:`repro.core.network` in the import order — ``flows``
+    is a sorted sequence of :class:`repro.core.cell.Flow` and the return
+    value a :class:`repro.core.network.SimulationResult`.
+    """
+
+    def run(self, flows: Sequence, *,
+            max_epochs: Optional[int] = None,
+            drain_epochs: int = 200_000,
+            check_invariants: bool = False,
+            failure_plan=None,
+            detection_epochs: int = 3,
+            telemetry=None,
+            obs=None):
+        """Simulate ``flows`` to completion (or an epoch cap)."""
+        ...
 
 #: The selectable epoch-loop strategies, in reference-first order.
 BACKENDS = ("reference", "fast", "vectorized")

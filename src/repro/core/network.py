@@ -49,7 +49,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.core.backend import resolve_backend
+from repro.core.backend import EpochEngine, resolve_backend
 from repro.core.cell import Cell, Flow, cell_range
 from repro.core.congestion import CongestionConfig
 from repro.core.failures import FailurePlan
@@ -151,7 +151,7 @@ class SimulationResult:
         return self.peak_reorder_cells * self.cell_bytes
 
 
-class SiriusNetwork:
+class SiriusNetwork(EpochEngine):
     """A simulated Sirius deployment: topology + schedule + protocol.
 
     Parameters

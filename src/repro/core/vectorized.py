@@ -52,6 +52,7 @@ from typing import Deque, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.backend import EpochEngine
 from repro.core.cell import Cell, Flow, cell_range
 from repro.core.congestion import grant_admission_count
 from repro.core.failures import FailurePlan
@@ -65,7 +66,7 @@ __all__ = ["VectorizedEngine"]
 GRANT_SORT_THRESHOLD = 64
 
 
-class VectorizedEngine:
+class VectorizedEngine(EpochEngine):
     """Run one :class:`SiriusNetwork` simulation on numpy slabs.
 
     The engine is constructed per run from the owning network and

@@ -113,10 +113,26 @@ class TestDeterministicWrites:
         path = tmp_path / "baseline.json"
         write_baseline(path, self._findings())
         keys = list(json.loads(path.read_text())["fingerprints"])
-        assert keys == sorted(keys)
         assert keys[0].startswith("src/a.py::F601")
         assert keys[1].startswith("src/a.py::T701")
         assert keys[2].startswith("src/b.py::U101")
+
+    def test_same_path_and_rule_orders_by_line_not_snippet(self, tmp_path):
+        from repro.checks.engine import Finding
+
+        findings = [
+            Finding(rule="U101", name="unit-literal", path="src/a.py",
+                    line=40, col=0, message="m", snippet="aa / 1e-6"),
+            Finding(rule="U101", name="unit-literal", path="src/a.py",
+                    line=2, col=0, message="m", snippet="zz / 1e-6"),
+        ]
+        path = tmp_path / "baseline.json"
+        write_baseline(path, findings)
+        keys = list(json.loads(path.read_text())["fingerprints"])
+        # Line 2 ('zz') precedes line 40 ('aa'): the file diffs in
+        # source order, not snippet-alphabetical order.
+        assert keys == ["src/a.py::U101::zz / 1e-6",
+                        "src/a.py::U101::aa / 1e-6"]
 
     def test_rewrite_of_unchanged_tree_is_a_no_op(self, tmp_path):
         path = tmp_path / "baseline.json"
@@ -124,3 +140,13 @@ class TestDeterministicWrites:
         first = path.read_bytes()
         write_baseline(path, self._findings())
         assert path.read_bytes() == first
+
+    def test_round_trip_load_preserves_order_and_diffs_clean(self, tmp_path):
+        findings = self._findings()
+        path = tmp_path / "baseline.json"
+        write_baseline(path, findings)
+        baseline = load_baseline(path)
+        on_disk = list(json.loads(path.read_text())["fingerprints"])
+        assert list(baseline) == on_disk
+        new, stale = diff_against_baseline(findings, baseline)
+        assert new == [] and stale == []

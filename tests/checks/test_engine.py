@@ -139,7 +139,7 @@ class TestRegistry:
 
         families = {rule_family(rule) for rule in ALL_RULES}
         assert families == {"U1", "D2", "I3", "O4", "P5", "F6", "T7",
-                            "S8", "C9", "B10", "K11"}
+                            "S8", "C9", "B10", "K11", "M12", "N13", "W14"}
 
     def test_unit_rules_exported(self):
         assert any(isinstance(rule, UnitLiteralRule) for rule in UNITS_RULES)

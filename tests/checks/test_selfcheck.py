@@ -65,6 +65,31 @@ class TestSelfCheck:
             "shared analyses should keep it interactive (<4s)"
         )
 
+    def test_state_families_clean_with_no_baseline_escape(self):
+        # The sirius-state layer (M12xx snapshot-completeness, N13xx
+        # protocol-conformance, W14xx backend state parity) must hold
+        # the whole repo — including the test tree — at zero findings,
+        # with deliberate narrowings annotated in source, not baselined.
+        from repro.checks import filter_rules
+
+        rules = filter_rules(ALL_RULES, select=["M12", "N13", "W14"])
+        assert len(rules) == 9
+        findings = run_checks([*LINT_PATHS, REPO_ROOT / "tests"], rules,
+                              root=REPO_ROOT)
+        assert findings == [], (
+            "sirius-state findings:\n"
+            + "\n".join(f.render() for f in findings)
+        )
+
+    def test_state_families_selectable_via_cli(self, capsys):
+        # ``--select M12,N13,W14`` narrows the run; entries the
+        # baseline holds for *other* families must not read as stale.
+        argv = [str(path) for path in LINT_PATHS]
+        exit_code = main(argv + ["--select", "M12,N13,W14"])
+        out = capsys.readouterr().out
+        assert exit_code == 0, out
+        assert "stale" not in out
+
     def test_serve_tree_clean_for_concurrency_families(self):
         # The live service is the repo's only always-async surface; the
         # event-loop (B10xx), race (C9xx) and pickle (K11xx) families
@@ -234,6 +259,22 @@ class TestStatsAndSarifOut:
         assert result.returncode == 0
         log = json.loads(artifact.read_text(encoding="utf-8"))
         assert log["runs"][0]["results"] == []
+
+    def test_stats_json_writes_artifact(self, tmp_path):
+        out = tmp_path / "stats" / "lint-stats.json"
+        result = run_cli("-m", "repro.checks",
+                         *(str(path) for path in LINT_PATHS),
+                         "--stats-json", str(out))
+        assert result.returncode == 0, result.stdout + result.stderr
+        payload = json.loads(out.read_text(encoding="utf-8"))
+        assert payload["files"] > 0
+        assert payload["passes_s"]["total"] > 0
+        assert payload["passes_s"]["project_rules"] >= 0
+        # Every family is charged wall time even at zero findings —
+        # proof the fourth (sirius-state) layer actually ran.
+        for family in ("U1", "M12", "N13", "W14"):
+            assert family in payload["families"], sorted(payload["families"])
+            assert payload["families"][family]["rule_s"] >= 0
 
     def test_concurrency_families_selectable(self, tmp_path):
         bad = tmp_path / "src" / "repro" / "perf" / "driver.py"

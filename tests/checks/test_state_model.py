@@ -1,0 +1,149 @@
+"""Unit tests for the per-class mutable-state models
+(``repro.checks.state.model``)."""
+
+from repro.checks.engine import parse_file
+from repro.checks.flow.project import Project
+from repro.checks.state.model import StateAnalysis
+
+
+def _ctx(tmp_path, relpath, source):
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    ctx = parse_file(path, root=tmp_path)
+    assert ctx is not None
+    return ctx
+
+
+def _analysis(tmp_path, files):
+    project = Project([_ctx(tmp_path, rel, src)
+                       for rel, src in files.items()])
+    return project.shared(StateAnalysis)
+
+
+NODE = (
+    "class Node:\n"
+    "    def __init__(self, node_id, config):\n"
+    "        self.node_id = node_id\n"
+    "        self.config = config\n"
+    "        self.depth = 0\n"
+    "        self.inbox = []\n"
+    "        self.fwd = {}\n"
+    "\n"
+    "    def receive(self, cell):\n"
+    "        self.depth += 1\n"
+    "        self.inbox.append(cell)\n"
+    "\n"
+    "    def route(self, dst, cell):\n"
+    "        q = self.fwd.get(dst)\n"
+    "        q.append(cell)\n"
+    "\n"
+    "    def drain(self):\n"
+    "        for q in self.fwd.values():\n"
+    "            q.clear()\n"
+    "        return self._advance()\n"
+    "\n"
+    "    def _advance(self):\n"
+    "        self.depth -= 1\n"
+    "        return self.depth\n"
+)
+
+
+class TestFieldInventory:
+    def test_init_binding_and_param_binding(self, tmp_path):
+        analysis = _analysis(tmp_path, {"src/repro/core/node.py": NODE})
+        model = analysis.model_for("repro.core.node.Node")
+        assert model is not None
+        assert model.fields["config"].param_bound
+        assert model.fields["node_id"].param_bound
+        assert model.fields["depth"].init_bound
+        assert not model.fields["depth"].param_bound
+
+    def test_mutated_fields_exclude_construction(self, tmp_path):
+        analysis = _analysis(tmp_path, {"src/repro/core/node.py": NODE})
+        model = analysis.model_for("repro.core.node.Node")
+        # ``config``/``node_id`` are only bound in __init__; the rest
+        # evolve after construction.
+        assert model.mutated_fields() == ["depth", "fwd", "inbox"]
+
+    def test_post_init_counts_as_construction(self, tmp_path):
+        analysis = _analysis(tmp_path, {"src/repro/sim/load.py": (
+            "class Workload:\n"
+            "    def __post_init__(self):\n"
+            "        self.rng = object()\n"
+            "        self.samples = []\n"
+            "\n"
+            "    def draw(self):\n"
+            "        self.samples.append(1)\n"
+        )})
+        model = analysis.model_for("repro.sim.load.Workload")
+        assert model.mutated_fields() == ["samples"]
+
+    def test_alias_mutations_reach_the_field(self, tmp_path):
+        analysis = _analysis(tmp_path, {"src/repro/core/node.py": NODE})
+        model = analysis.model_for("repro.core.node.Node")
+        # ``q = self.fwd.get(dst); q.append(...)`` and the
+        # ``for q in self.fwd.values(): q.clear()`` loop both mutate fwd.
+        assert "route" in model.fields["fwd"].mutations
+        assert "drain" in model.fields["fwd"].mutations
+
+    def test_rebound_alias_is_dropped_not_invented(self, tmp_path):
+        analysis = _analysis(tmp_path, {"src/repro/core/slab.py": (
+            "class Slab:\n"
+            "    def __init__(self):\n"
+            "        self.rows = []\n"
+            "\n"
+            "    def shuffle(self, other):\n"
+            "        rows = self.rows\n"
+            "        rows = other\n"
+            "        rows.append(1)\n"
+        )})
+        model = analysis.model_for("repro.core.slab.Slab")
+        assert "shuffle" not in model.fields["rows"].mutations
+
+
+class TestClosures:
+    def test_self_call_closure_accumulates_reads_and_writes(self, tmp_path):
+        analysis = _analysis(tmp_path, {"src/repro/core/node.py": NODE})
+        model = analysis.model_for("repro.core.node.Node")
+        assert model.closure_methods("drain") == {"drain", "_advance"}
+        assert "depth" in model.closure_writes("drain")
+        assert "depth" in model.closure_reads("drain")
+
+    def test_mutation_evidence_prefers_non_init_site(self, tmp_path):
+        analysis = _analysis(tmp_path, {"src/repro/core/node.py": NODE})
+        model = analysis.model_for("repro.core.node.Node")
+        method, line = model.mutation_evidence("depth")
+        assert method in ("receive", "_advance")
+        assert line > 1
+
+
+class TestStateAnalysis:
+    def test_plumbing_fields_are_bound_and_never_mutated(self, tmp_path):
+        analysis = _analysis(tmp_path, {"src/repro/core/node.py": NODE})
+        plumbing = analysis.plumbing_fields()
+        assert "config" in plumbing
+        assert "depth" not in plumbing
+        assert "inbox" not in plumbing
+
+    def test_method_write_fields_unions_over_class_hierarchy(self, tmp_path):
+        analysis = _analysis(tmp_path, {
+            "src/repro/core/a.py": (
+                "class A:\n"
+                "    def tick(self):\n"
+                "        self.count = 1\n"
+            ),
+            "src/repro/core/b.py": (
+                "class B:\n"
+                "    def tick(self):\n"
+                "        self.seen = []\n"
+                "        self.seen.append(1)\n"
+            ),
+        })
+        assert analysis.method_write_fields("tick") == {"count", "seen"}
+
+    def test_method_read_fields_exclude_param_bound_plumbing(self, tmp_path):
+        analysis = _analysis(tmp_path, {"src/repro/core/node.py": NODE})
+        reads = analysis.method_read_fields("receive")
+        assert "depth" in reads
+        assert "config" not in reads

@@ -1,0 +1,219 @@
+"""Fixture tests for the ``W14xx`` backend state-parity rules.
+
+The centrepiece is the seeded-fault acceptance test: a miniature
+network/vectorized-engine pair (the shape of
+``repro.core.network``/``repro.core.vectorized``) where deleting one
+state-field write from the vectorized copy must produce a ``W1401``
+finding.
+"""
+
+from repro.checks.engine import check_project_source
+from repro.checks.state.parity_rules import STATE_PARITY_RULES
+
+
+def _codes(findings):
+    return [f.rule for f in findings]
+
+
+def _only(findings, code):
+    return [f for f in findings if f.rule == code]
+
+
+NET = (
+    "class Node:\n"
+    "    def __init__(self, config):\n"
+    "        self.config = config\n"
+    "        self.depth = 0\n"
+    "        self.inbox = []\n"
+    "        self.outbox = []\n"
+    "\n"
+    "\n"
+    "class Result:\n"
+    "    def __init__(self, *, delivered, peak):\n"
+    "        self.delivered = delivered\n"
+    "        self.peak = peak\n"
+    "\n"
+    "\n"
+    "class Network:\n"
+    "    def __init__(self, config):\n"
+    "        self.config = config\n"
+    "        self.nodes = [Node(config)]\n"
+    "\n"
+    "    def run(self, flows, obs):\n"
+    "        prof = obs.profiler\n"
+    "        t = prof.start_run()\n"
+    "        delivered = 0\n"
+    "        for node in self.nodes:\n"
+    "            node.inbox.append(flows)\n"
+    "            node.depth += 1\n"
+    "            node.outbox.append(flows)\n"
+    "            delivered += len(node.inbox)\n"
+    "        t = prof.lap('deliver', t)\n"
+    "        prof.lap('transmit', t)\n"
+    "        return Result(delivered=delivered, peak=1)\n"
+)
+
+VEC_BODY = (
+    "from repro.core.net import Result\n"
+    "\n"
+    "\n"
+    "class VecEngine:\n"
+    "    def __init__(self, network):\n"
+    "        self.net = network\n"
+    "\n"
+    "    def run(self, flows, obs):\n"
+    "        prof = obs.profiler\n"
+    "        t = prof.start_run()\n"
+    "        delivered = 0\n"
+    "        nodes = self.net.nodes\n"
+    "        for node in nodes:\n"
+    "            node.inbox.append(flows)\n"
+    "            node.depth += 1\n"
+    "            node.outbox.append(flows)\n"
+    "            delivered += len(node.inbox)\n"
+    "        t = prof.lap('deliver', t)\n"
+    "        prof.lap('transmit', t)\n"
+    "        return Result(delivered=delivered, peak=1)\n"
+)
+
+
+class TestW1401BackendWriteSet:
+    def test_matched_backends_are_clean(self):
+        findings = check_project_source({
+            "src/repro/core/net.py": NET,
+            "src/repro/core/vec.py": VEC_BODY,
+        }, STATE_PARITY_RULES)
+        assert findings == []
+
+    def test_seeded_fault_deleting_one_write_is_caught(self):
+        # The acceptance scenario: drop a single state-field write from
+        # the vectorized copy and the write sets diverge.
+        seeded = VEC_BODY.replace("            node.depth += 1\n", "")
+        assert seeded != VEC_BODY
+        findings = check_project_source({
+            "src/repro/core/net.py": NET,
+            "src/repro/core/vec.py": seeded,
+        }, STATE_PARITY_RULES)
+        w1401 = _only(findings, "W1401")
+        assert w1401, _codes(findings)
+        finding = w1401[0]
+        assert finding.path == "src/repro/core/vec.py"
+        assert "'nodes.depth'" in finding.message
+        assert "Network.run" in finding.message
+
+    def test_mutation_through_aliases_counts_as_a_write(self):
+        # ``self.net.nodes`` vs a two-step local alias chain: both
+        # normalize to the same ``nodes.*`` signatures, so no findings.
+        aliased = VEC_BODY.replace(
+            "        nodes = self.net.nodes\n"
+            "        for node in nodes:\n",
+            "        net = self.net\n"
+            "        for node in net.nodes:\n",
+        )
+        assert aliased != VEC_BODY
+        findings = check_project_source({
+            "src/repro/core/net.py": NET,
+            "src/repro/core/vec.py": aliased,
+        }, STATE_PARITY_RULES)
+        assert findings == []
+
+    def test_single_loop_has_no_siblings_to_diverge_from(self):
+        findings = check_project_source({
+            "src/repro/core/net.py": NET,
+        }, STATE_PARITY_RULES)
+        assert findings == []
+
+    def test_module_level_lap_helpers_are_not_backend_loops(self):
+        # A test fixture replaying a profile is not an execution
+        # strategy, however backend-like its lap labels look.
+        findings = check_project_source({
+            "src/repro/core/net.py": NET,
+            "tests/obs/helper.py": (
+                "def recorded_profile(prof):\n"
+                "    t = prof.start_run()\n"
+                "    t = prof.lap('deliver', t)\n"
+                "    prof.lap('transmit', t)\n"
+            ),
+        }, STATE_PARITY_RULES)
+        assert findings == []
+
+
+class TestW1402BackendResultFields:
+    def test_catches_missing_result_keyword(self):
+        dropped = VEC_BODY.replace(
+            "        return Result(delivered=delivered, peak=1)\n",
+            "        return Result(delivered=delivered)\n",
+        )
+        assert dropped != VEC_BODY
+        findings = check_project_source({
+            "src/repro/core/net.py": NET,
+            "src/repro/core/vec.py": dropped,
+        }, STATE_PARITY_RULES)
+        w1402 = _only(findings, "W1402")
+        assert w1402, _codes(findings)
+        assert "'peak'" in w1402[0].message
+        assert "VecEngine.run" in w1402[0].message
+
+    def test_class_built_by_one_loop_only_is_exempt(self):
+        # ``Network.run`` dispatch-constructing the engine has a single
+        # builder; kwarg parity applies only to shared result classes.
+        extra = VEC_BODY.replace(
+            "        prof.lap('transmit', t)\n",
+            "        prof.lap('transmit', t)\n"
+            "        trace = VecTrace(epochs=1)\n"
+            "        del trace\n",
+        ) + (
+            "\n"
+            "\n"
+            "class VecTrace:\n"
+            "    def __init__(self, *, epochs):\n"
+            "        self.epochs = epochs\n"
+        )
+        findings = check_project_source({
+            "src/repro/core/net.py": NET,
+            "src/repro/core/vec.py": extra,
+        }, STATE_PARITY_RULES)
+        assert findings == []
+
+
+class TestW1403BackendReadSet:
+    def test_catches_dropped_node_state_read(self):
+        dropped = VEC_BODY.replace(
+            "            delivered += len(node.inbox)\n",
+            "            delivered += 1\n",
+        )
+        assert dropped != VEC_BODY
+        findings = check_project_source({
+            "src/repro/core/net.py": NET,
+            "src/repro/core/vec.py": dropped,
+        }, STATE_PARITY_RULES)
+        w1403 = _only(findings, "W1403")
+        # ``node.inbox`` is still *written* by the seeded copy, so the
+        # pure append keeps parity; drop the write too to see the read
+        # divergence.
+        assert w1403 == []
+        dropped_both = dropped.replace(
+            "            node.inbox.append(flows)\n", "")
+        findings = check_project_source({
+            "src/repro/core/net.py": NET,
+            "src/repro/core/vec.py": dropped_both,
+        }, STATE_PARITY_RULES)
+        w1403 = _only(findings, "W1403")
+        assert w1403, _codes(findings)
+        assert "'nodes.inbox'" in w1403[0].message
+
+    def test_self_level_caching_differences_are_exempt(self):
+        # The incremental fluid engine keeps ``self._capacity`` caches
+        # the reference loop rebuilds from scratch; only ``nodes.*``
+        # state participates in read parity.
+        cached = VEC_BODY.replace(
+            "        delivered = 0\n",
+            "        delivered = 0\n"
+            "        self._scratch = {}\n"
+            "        warm = self._scratch\n",
+        )
+        findings = check_project_source({
+            "src/repro/core/net.py": NET,
+            "src/repro/core/vec.py": cached,
+        }, STATE_PARITY_RULES)
+        assert _only(findings, "W1403") == []

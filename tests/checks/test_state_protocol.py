@@ -1,0 +1,307 @@
+"""Fixture tests for the ``N13xx`` protocol-conformance rules."""
+
+from repro.checks.engine import check_project_source
+from repro.checks.state.protocol_rules import PROTOCOL_RULES
+
+
+def _codes(findings):
+    return [f.rule for f in findings]
+
+
+def _only(findings, code):
+    return [f for f in findings if f.rule == code]
+
+
+PROTO = (
+    "from typing import Protocol\n"
+    "\n"
+    "\n"
+    "class Scheduler(Protocol):\n"
+    "    def plan(self, epoch):\n"
+    "        ...\n"
+    "\n"
+    "    def advance(self, epoch, slots):\n"
+    "        ...\n"
+)
+
+
+# ---------------------------------------------------------------------------
+# N1301 protocol-missing-method
+# ---------------------------------------------------------------------------
+class TestN1301ProtocolMissingMethod:
+    def test_catches_unimplemented_surface_method(self):
+        findings = check_project_source({
+            "src/repro/sched/proto.py": PROTO,
+            "src/repro/sched/rotor.py": (
+                "from repro.sched.proto import Scheduler\n"
+                "\n"
+                "\n"
+                "class RotorScheduler(Scheduler):\n"
+                "    def plan(self, epoch):\n"
+                "        return [epoch]\n"
+            ),
+        }, PROTOCOL_RULES)
+        n1301 = _only(findings, "N1301")
+        assert n1301, _codes(findings)
+        finding = n1301[0]
+        assert finding.path == "src/repro/sched/rotor.py"
+        assert finding.line == 4  # the implementation class line
+        assert "advance()" in finding.message
+
+    def test_clean_twin_implements_the_full_surface(self):
+        findings = check_project_source({
+            "src/repro/sched/proto.py": PROTO,
+            "src/repro/sched/rotor.py": (
+                "from repro.sched.proto import Scheduler\n"
+                "\n"
+                "\n"
+                "class RotorScheduler(Scheduler):\n"
+                "    def plan(self, epoch):\n"
+                "        return [epoch]\n"
+                "\n"
+                "    def advance(self, epoch, slots):\n"
+                "        return epoch + slots\n"
+            ),
+        }, PROTOCOL_RULES)
+        assert findings == []
+
+    def test_abc_with_abstractmethod_is_a_protocol_too(self):
+        findings = check_project_source({
+            "src/repro/sched/base.py": (
+                "import abc\n"
+                "\n"
+                "\n"
+                "class Strategy(abc.ABC):\n"
+                "    @abc.abstractmethod\n"
+                "    def plan(self, epoch):\n"
+                "        raise NotImplementedError\n"
+            ),
+            "src/repro/sched/impl.py": (
+                "from repro.sched.base import Strategy\n"
+                "\n"
+                "\n"
+                "class Greedy(Strategy):\n"
+                "    def other(self):\n"
+                "        return 0\n"
+            ),
+        }, PROTOCOL_RULES)
+        n1301 = _only(findings, "N1301")
+        assert n1301, _codes(findings)
+        assert "plan()" in n1301[0].message
+
+    def test_concrete_defaults_on_the_protocol_are_not_required(self):
+        findings = check_project_source({
+            "src/repro/sched/proto.py": (
+                "from typing import Protocol\n"
+                "\n"
+                "\n"
+                "class Scheduler(Protocol):\n"
+                "    def plan(self, epoch):\n"
+                "        ...\n"
+                "\n"
+                "    def describe(self):\n"
+                "        return type(self).__name__\n"
+            ),
+            "src/repro/sched/rotor.py": (
+                "from repro.sched.proto import Scheduler\n"
+                "\n"
+                "\n"
+                "class RotorScheduler(Scheduler):\n"
+                "    def plan(self, epoch):\n"
+                "        return [epoch]\n"
+            ),
+        }, PROTOCOL_RULES)
+        assert findings == []
+
+    def test_abstract_intermediate_of_an_abc_is_not_an_implementation(self):
+        findings = check_project_source({
+            "src/repro/sched/base.py": (
+                "import abc\n"
+                "\n"
+                "\n"
+                "class Strategy(abc.ABC):\n"
+                "    @abc.abstractmethod\n"
+                "    def plan(self, epoch):\n"
+                "        raise NotImplementedError\n"
+                "\n"
+                "    @abc.abstractmethod\n"
+                "    def advance(self, epoch):\n"
+                "        raise NotImplementedError\n"
+            ),
+            "src/repro/sched/mid.py": (
+                "import abc\n"
+                "from repro.sched.base import Strategy\n"
+                "\n"
+                "\n"
+                "class WindowedStrategy(Strategy):\n"
+                "    @abc.abstractmethod\n"
+                "    def window(self):\n"
+                "        raise NotImplementedError\n"
+                "\n"
+                "    def advance(self, epoch):\n"
+                "        return epoch + 1\n"
+            ),
+        }, PROTOCOL_RULES)
+        # The intermediate is still abstract: no N1301 for its missing
+        # plan(), no N1303 for its own @abstractmethod.
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# N1302 protocol-signature-mismatch
+# ---------------------------------------------------------------------------
+class TestN1302SignatureMismatch:
+    def test_catches_new_required_positional(self):
+        findings = check_project_source({
+            "src/repro/sched/proto.py": PROTO,
+            "src/repro/sched/rotor.py": (
+                "from repro.sched.proto import Scheduler\n"
+                "\n"
+                "\n"
+                "class RotorScheduler(Scheduler):\n"
+                "    def plan(self, epoch, horizon):\n"
+                "        return [epoch] * horizon\n"
+                "\n"
+                "    def advance(self, epoch, slots):\n"
+                "        return epoch + slots\n"
+            ),
+        }, PROTOCOL_RULES)
+        n1302 = _only(findings, "N1302")
+        assert n1302, _codes(findings)
+        finding = n1302[0]
+        assert finding.line == 5  # the offending method def
+        assert "horizon" in finding.message
+
+    def test_extra_defaulted_parameters_stay_compatible(self):
+        findings = check_project_source({
+            "src/repro/sched/proto.py": PROTO,
+            "src/repro/sched/rotor.py": (
+                "from repro.sched.proto import Scheduler\n"
+                "\n"
+                "\n"
+                "class RotorScheduler(Scheduler):\n"
+                "    def plan(self, epoch, horizon=1):\n"
+                "        return [epoch] * horizon\n"
+                "\n"
+                "    def advance(self, epoch, slots, **kwargs):\n"
+                "        return epoch + slots\n"
+            ),
+        }, PROTOCOL_RULES)
+        assert findings == []
+
+    def test_dropping_a_declared_keyword_parameter_is_caught(self):
+        findings = check_project_source({
+            "src/repro/sched/proto.py": (
+                "from typing import Protocol\n"
+                "\n"
+                "\n"
+                "class Engine(Protocol):\n"
+                "    def run(self, flows, *, failure_plan=None, obs=None):\n"
+                "        ...\n"
+            ),
+            "src/repro/sched/impl.py": (
+                "from repro.sched.proto import Engine\n"
+                "\n"
+                "\n"
+                "class SlotEngine(Engine):\n"
+                "    def run(self, flows, *, obs=None):\n"
+                "        return flows\n"
+            ),
+        }, PROTOCOL_RULES)
+        n1302 = _only(findings, "N1302")
+        assert n1302, _codes(findings)
+        assert "failure_plan" in n1302[0].message
+
+    def test_sibling_strategy_methods_must_match_exactly(self):
+        findings = check_project_source({
+            "src/repro/sim/fluid.py": (
+                "class FluidSimulation:\n"
+                "    def _loop_reference(self, flows, obs, t_mark):\n"
+                "        return 0\n"
+                "\n"
+                "    def _loop_incremental(self, flows, obs):\n"
+                "        return 0\n"
+            ),
+        }, PROTOCOL_RULES)
+        n1302 = _only(findings, "N1302")
+        assert n1302, _codes(findings)
+        assert "_loop_incremental" in n1302[0].message
+        assert "_loop_reference" in n1302[0].message
+
+    def test_identical_sibling_signatures_are_clean(self):
+        findings = check_project_source({
+            "src/repro/sim/fluid.py": (
+                "class FluidSimulation:\n"
+                "    def _loop_reference(self, flows, obs, t_mark):\n"
+                "        return 0\n"
+                "\n"
+                "    def _loop_incremental(self, flows, obs, t_mark):\n"
+                "        return 1\n"
+            ),
+        }, PROTOCOL_RULES)
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# N1303 abstract-leftover
+# ---------------------------------------------------------------------------
+class TestN1303AbstractLeftover:
+    def test_catches_surviving_abstractmethod_decorator(self):
+        findings = check_project_source({
+            "src/repro/sched/proto.py": PROTO,
+            "src/repro/sched/rotor.py": (
+                "from abc import abstractmethod\n"
+                "from repro.sched.proto import Scheduler\n"
+                "\n"
+                "\n"
+                "class RotorScheduler(Scheduler):\n"
+                "    @abstractmethod\n"
+                "    def plan(self, epoch):\n"
+                "        return [epoch]\n"
+                "\n"
+                "    def advance(self, epoch, slots):\n"
+                "        return epoch + slots\n"
+            ),
+        }, PROTOCOL_RULES)
+        n1303 = _only(findings, "N1303")
+        assert n1303, _codes(findings)
+        assert "@abstractmethod" in n1303[0].message
+
+    def test_catches_abstract_body_for_surface_method(self):
+        findings = check_project_source({
+            "src/repro/sched/proto.py": PROTO,
+            "src/repro/sched/rotor.py": (
+                "from repro.sched.proto import Scheduler\n"
+                "\n"
+                "\n"
+                "class RotorScheduler(Scheduler):\n"
+                "    def plan(self, epoch):\n"
+                "        raise NotImplementedError\n"
+                "\n"
+                "    def advance(self, epoch, slots):\n"
+                "        return epoch + slots\n"
+            ),
+        }, PROTOCOL_RULES)
+        n1303 = _only(findings, "N1303")
+        assert n1303, _codes(findings)
+        assert "plan()" in n1303[0].message
+
+    def test_abstract_private_helper_off_surface_is_fine(self):
+        findings = check_project_source({
+            "src/repro/sched/proto.py": PROTO,
+            "src/repro/sched/rotor.py": (
+                "from repro.sched.proto import Scheduler\n"
+                "\n"
+                "\n"
+                "class RotorScheduler(Scheduler):\n"
+                "    def plan(self, epoch):\n"
+                "        return [epoch]\n"
+                "\n"
+                "    def advance(self, epoch, slots):\n"
+                "        return epoch + slots\n"
+                "\n"
+                "    def _hook(self, epoch):\n"
+                "        pass\n"
+            ),
+        }, PROTOCOL_RULES)
+        assert findings == []

@@ -1,0 +1,255 @@
+"""Fixture tests for the ``M12xx`` snapshot-completeness rules.
+
+One true positive and one clean twin per rule, plus the
+suppression-placement tests the class-anchored findings need: M12xx
+findings anchor on the checkpoint method's ``def`` line (or the
+companion's ``class`` line) — a ``# lint: ignore`` at the mutation
+site named in the message does nothing.
+"""
+
+from repro.checks.engine import check_project_source
+from repro.checks.state import STATE_RULES
+from repro.checks.state.snapshot_rules import SNAPSHOT_RULES
+
+
+def _codes(findings):
+    return [f.rule for f in findings]
+
+
+def _only(findings, code):
+    return [f for f in findings if f.rule == code]
+
+
+ENGINE_HEADER = (
+    "class Engine:\n"
+    "    def __init__(self, config):\n"
+    "        self.config = config\n"
+    "        self.depth = 0\n"
+    "        self.inbox = []\n"
+    "        self._cursor = 0\n"
+    "\n"
+    "    def tick(self, cell):\n"
+    "        self.depth += 1\n"
+    "        self.inbox.append(cell)\n"
+    "        self._cursor += 1\n"
+    "\n"
+)
+
+
+# ---------------------------------------------------------------------------
+# M1201 snapshot-missing-field
+# ---------------------------------------------------------------------------
+class TestM1201SnapshotMissingField:
+    def test_catches_field_the_snapshot_never_reads(self):
+        findings = check_project_source({
+            "src/repro/core/engine.py": ENGINE_HEADER + (
+                "    def snapshot(self):\n"
+                "        return {'depth': self.depth,\n"
+                "                'inbox': list(self.inbox)}\n"
+            ),
+        }, SNAPSHOT_RULES)
+        m1201 = _only(findings, "M1201")
+        assert m1201, _codes(findings)
+        finding = m1201[0]
+        # Anchored at the snapshot def, naming the dropped field and
+        # the mutation evidence.
+        assert finding.line == 13
+        assert "'_cursor'" in finding.message
+        assert "tick()" in finding.message
+
+    def test_clean_twin_reads_every_mutated_field(self):
+        findings = check_project_source({
+            "src/repro/core/engine.py": ENGINE_HEADER + (
+                "    def snapshot(self):\n"
+                "        return {'depth': self.depth,\n"
+                "                'inbox': list(self.inbox),\n"
+                "                'cursor': self._cursor}\n"
+            ),
+        }, SNAPSHOT_RULES)
+        assert findings == []
+
+    def test_coverage_reaches_through_self_calls(self):
+        findings = check_project_source({
+            "src/repro/core/engine.py": ENGINE_HEADER + (
+                "    def snapshot(self):\n"
+                "        return {'queues': self._pack(),\n"
+                "                'depth': self.depth}\n"
+                "\n"
+                "    def _pack(self):\n"
+                "        return (list(self.inbox), self._cursor)\n"
+            ),
+        }, SNAPSHOT_RULES)
+        assert findings == []
+
+    def test_construction_only_fields_are_not_required(self):
+        findings = check_project_source({
+            "src/repro/core/engine.py": (
+                "class Engine:\n"
+                "    def __init__(self, config):\n"
+                "        self.config = config\n"
+                "        self.depth = 0\n"
+                "\n"
+                "    def tick(self):\n"
+                "        self.depth += 1\n"
+                "\n"
+                "    def snapshot(self):\n"
+                "        return {'depth': self.depth}\n"
+            ),
+        }, SNAPSHOT_RULES)
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# M1202 restore-missing-field
+# ---------------------------------------------------------------------------
+class TestM1202RestoreMissingField:
+    SNAPSHOT_OK = (
+        "    def snapshot(self):\n"
+        "        return {'depth': self.depth,\n"
+        "                'inbox': list(self.inbox),\n"
+        "                'cursor': self._cursor}\n"
+        "\n"
+    )
+
+    def test_catches_field_the_restore_never_writes(self):
+        findings = check_project_source({
+            "src/repro/core/engine.py": ENGINE_HEADER + self.SNAPSHOT_OK + (
+                "    def restore(self, state):\n"
+                "        self.depth = state['depth']\n"
+                "        self.inbox = list(state['inbox'])\n"
+            ),
+        }, SNAPSHOT_RULES)
+        m1202 = _only(findings, "M1202")
+        assert m1202, _codes(findings)
+        assert "'_cursor'" in m1202[0].message
+        assert "never writes" in m1202[0].message
+
+    def test_clean_twin_writes_every_mutated_field(self):
+        findings = check_project_source({
+            "src/repro/core/engine.py": ENGINE_HEADER + self.SNAPSHOT_OK + (
+                "    def restore(self, state):\n"
+                "        self.depth = state['depth']\n"
+                "        self.inbox = list(state['inbox'])\n"
+                "        self._cursor = state['cursor']\n"
+            ),
+        }, SNAPSHOT_RULES)
+        assert findings == []
+
+    def test_dict_update_restores_wholesale(self):
+        findings = check_project_source({
+            "src/repro/core/engine.py": ENGINE_HEADER + self.SNAPSHOT_OK + (
+                "    def __setstate__(self, state):\n"
+                "        self.__dict__.update(state)\n"
+            ),
+        }, SNAPSHOT_RULES)
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# M1203 checkpoint-field-drift
+# ---------------------------------------------------------------------------
+class TestM1203CheckpointFieldDrift:
+    SUBJECT = (
+        "class Engine:\n"
+        "    def __init__(self):\n"
+        "        self.depth = 0\n"
+        "        self._pointer = 0\n"
+        "\n"
+        "    def tick(self):\n"
+        "        self.depth += 1\n"
+        "        self._pointer += 1\n"
+        "\n"
+        "\n"
+    )
+
+    def test_catches_companion_without_a_mutated_field(self):
+        findings = check_project_source({
+            "src/repro/core/engine.py": self.SUBJECT + (
+                "class EngineCheckpoint:\n"
+                "    depth: int\n"
+            ),
+        }, SNAPSHOT_RULES)
+        m1203 = _only(findings, "M1203")
+        assert m1203, _codes(findings)
+        # Anchored at the companion class line.
+        assert m1203[0].line == 11
+        assert "'_pointer'" in m1203[0].message
+
+    def test_clean_twin_matches_private_name_unprefixed(self):
+        findings = check_project_source({
+            "src/repro/core/engine.py": self.SUBJECT + (
+                "class EngineCheckpoint:\n"
+                "    depth: int\n"
+                "    pointer: int\n"
+            ),
+        }, SNAPSHOT_RULES)
+        assert findings == []
+
+    def test_init_parameters_count_as_companion_surface(self):
+        findings = check_project_source({
+            "src/repro/core/engine.py": self.SUBJECT + (
+                "class EngineSnapshot:\n"
+                "    def __init__(self, depth, pointer):\n"
+                "        self.payload = (depth, pointer)\n"
+            ),
+        }, SNAPSHOT_RULES)
+        assert findings == []
+
+    def test_suffix_without_subject_class_is_ignored(self):
+        findings = check_project_source({
+            "src/repro/core/io.py": (
+                "class TraceSnapshot:\n"
+                "    events: list\n"
+            ),
+        }, SNAPSHOT_RULES)
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# Suppression placement for class-scoped findings (the M12 anchor is
+# the def/class line, not the mutation evidence).
+# ---------------------------------------------------------------------------
+class TestSuppressionPlacement:
+    BAD_SNAPSHOT = (
+        "    def snapshot(self):\n"
+        "        return {'depth': self.depth,\n"
+        "                'inbox': list(self.inbox)}\n"
+    )
+
+    def test_ignore_on_the_snapshot_def_line_suppresses(self):
+        findings = check_project_source({
+            "src/repro/core/engine.py": ENGINE_HEADER + (
+                "    # lint: ignore[M1201]\n"
+            ) + self.BAD_SNAPSHOT,
+        }, STATE_RULES)
+        assert _only(findings, "M1201") == []
+
+    def test_rule_name_works_as_well_as_code(self):
+        findings = check_project_source({
+            "src/repro/core/engine.py": ENGINE_HEADER + (
+                "    # lint: ignore[snapshot-missing-field]\n"
+            ) + self.BAD_SNAPSHOT,
+        }, STATE_RULES)
+        assert _only(findings, "M1201") == []
+
+    def test_ignore_at_the_mutation_site_does_nothing(self):
+        # The finding anchors on the ``def snapshot`` line; suppressing
+        # at the mutation evidence named in the message must NOT work.
+        source = ENGINE_HEADER.replace(
+            "        self._cursor += 1\n",
+            "        self._cursor += 1  # lint: ignore[M1201]\n",
+        ) + self.BAD_SNAPSHOT
+        findings = check_project_source(
+            {"src/repro/core/engine.py": source}, STATE_RULES)
+        assert _only(findings, "M1201"), _codes(findings)
+
+    def test_companion_ignore_sits_on_the_class_line(self):
+        findings = check_project_source({
+            "src/repro/core/engine.py": (
+                TestM1203CheckpointFieldDrift.SUBJECT
+                + "# lint: ignore[M1203]\n"
+                + "class EngineCheckpoint:\n"
+                + "    depth: int\n"
+            ),
+        }, STATE_RULES)
+        assert _only(findings, "M1203") == []
